@@ -1,0 +1,115 @@
+// Ablation study over the explanation-generation design choices: for the
+// same pool of proofs, compare (a) flat per-step deterministic
+// verbalization, (b) template mapping without enhancement, (c) the full
+// pipeline with enhanced templates, and (d) the simulated-LLM paraphrase of
+// (a). Reported per method: output length relative to (a), completeness,
+// and the expert-study quality score.
+
+#include <cstdio>
+
+#include "apps/generators.h"
+#include "apps/glossaries.h"
+#include "apps/programs.h"
+#include "engine/chase.h"
+#include "engine/proof.h"
+#include "explain/explainer.h"
+#include "llm/omission.h"
+#include "llm/simulated_llm.h"
+#include "stats/descriptive.h"
+#include "studies/expert_study.h"
+
+namespace {
+
+using namespace templex;
+
+struct MethodAccumulator {
+  std::vector<double> length_ratio;
+  std::vector<double> completeness;
+  std::vector<double> quality;
+
+  void Add(const Proof& proof, const std::string& text,
+           const std::string& reference) {
+    length_ratio.push_back(static_cast<double>(text.size()) /
+                           static_cast<double>(reference.size()));
+    const double complete = 1.0 - OmittedInformationRatio(proof, text);
+    completeness.push_back(complete);
+    quality.push_back(TextQualityScore(text, reference, complete));
+  }
+};
+
+}  // namespace
+
+int main() {
+  Rng rng(424242);
+  auto plain_options = ExplainerOptions();
+  plain_options.enhance = false;
+  auto control_plain = Explainer::Create(
+      CompanyControlProgram(), CompanyControlGlossary(), plain_options);
+  auto control_full =
+      Explainer::Create(CompanyControlProgram(), CompanyControlGlossary());
+  auto stress_full =
+      Explainer::Create(StressTestProgram(), StressTestGlossary());
+  auto stress_plain = Explainer::Create(StressTestProgram(),
+                                        StressTestGlossary(), plain_options);
+  if (!control_plain.ok() || !control_full.ok() || !stress_full.ok() ||
+      !stress_plain.ok()) {
+    std::printf("pipeline error\n");
+    return 1;
+  }
+  SimulatedLlm llm;
+
+  MethodAccumulator deterministic;
+  MethodAccumulator templates_plain;
+  MethodAccumulator templates_enhanced;
+  MethodAccumulator llm_paraphrase;
+
+  auto run_pool = [&](const Explainer& full, const Explainer& plain,
+                      const SampledInstance& instance) {
+    Result<ChaseResult> chase =
+        ChaseEngine().Run(full.program(), instance.edb);
+    if (!chase.ok()) return;
+    Result<FactId> id = chase.value().Find(instance.goal);
+    if (!id.ok()) return;
+    Proof proof = Proof::Extract(chase.value().graph, id.value());
+    Result<std::string> reference = full.DeterministicExplanation(proof);
+    Result<std::string> raw_templates = plain.ExplainProof(proof);
+    Result<std::string> enhanced = full.ExplainProof(proof);
+    if (!reference.ok() || !raw_templates.ok() || !enhanced.ok()) return;
+    Result<std::string> paraphrase = llm.Paraphrase(reference.value());
+    if (!paraphrase.ok()) return;
+    deterministic.Add(proof, reference.value(), reference.value());
+    templates_plain.Add(proof, raw_templates.value(), reference.value());
+    templates_enhanced.Add(proof, enhanced.value(), reference.value());
+    llm_paraphrase.Add(proof, paraphrase.value(), reference.value());
+  };
+
+  for (int steps : {2, 4, 6, 8, 10, 14, 18}) {
+    for (int i = 0; i < 6; ++i) {
+      run_pool(*control_full.value(), *control_plain.value(),
+               SampleControlChain(steps, &rng));
+      run_pool(*stress_full.value(), *stress_plain.value(),
+               SampleStressCascade(steps, 2, &rng));
+    }
+  }
+
+  auto report = [](const char* name, const MethodAccumulator& acc) {
+    std::printf("%-28s | n=%3zu | len ratio %.2f | completeness %.3f | "
+                "quality %.3f\n",
+                name, acc.quality.size(), Mean(acc.length_ratio),
+                Mean(acc.completeness), Mean(acc.quality));
+  };
+  std::printf(
+      "Ablation: explanation generation methods over %zu proofs\n"
+      "(len ratio = output/deterministic length; quality = expert-study "
+      "score)\n\n",
+      deterministic.quality.size());
+  report("deterministic per-step", deterministic);
+  report("templates (no enhancement)", templates_plain);
+  report("templates (enhanced)", templates_enhanced);
+  report("simulated LLM paraphrase", llm_paraphrase);
+  std::printf(
+      "\nReading: enhancement buys compactness and fluency at zero\n"
+      "completeness cost; the LLM paraphrase matches fluency but leaks\n"
+      "completeness as proofs grow (cf. Figure 17).\n");
+  return 0;
+}

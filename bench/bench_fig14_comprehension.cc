@@ -1,0 +1,131 @@
+// Regenerates Figure 14: the comprehension user study. Five explanation
+// cases mirroring the paper's selection — (1) control through aggregation
+// over multiple entities, (2) a simple stress test, (3) control via
+// recursion, (4) a complex stress test with recursion and aggregation,
+// (5) control combining recursion and aggregation. Each simulated
+// participant (24, as in the paper) picks, among three candidate KG
+// visualizations (the correct one plus two error-archetype distractors),
+// the one matching the generated textual explanation.
+
+#include <cstdio>
+
+#include "apps/generators.h"
+#include "apps/glossaries.h"
+#include "apps/programs.h"
+#include "engine/chase.h"
+#include "engine/proof.h"
+#include "explain/explainer.h"
+#include "studies/comprehension_study.h"
+
+namespace {
+
+using namespace templex;
+
+// Builds one study case: run the app over `edb`, explain `goal`, build the
+// truth visualization and two archetype distractors.
+Result<ComprehensionCase> BuildCase(const std::string& name,
+                                    const Explainer& explainer,
+                                    const std::vector<Fact>& edb,
+                                    const Fact& goal,
+                                    ErrorArchetype first_archetype,
+                                    ErrorArchetype second_archetype,
+                                    Rng* rng) {
+  Result<ChaseResult> chase = ChaseEngine().Run(explainer.program(), edb);
+  if (!chase.ok()) return chase.status();
+  Result<FactId> id = chase.value().Find(goal);
+  if (!id.ok()) return id.status();
+  Proof proof = Proof::Extract(chase.value().graph, id.value());
+  Result<std::string> text = explainer.ExplainProof(proof);
+  if (!text.ok()) return text.status();
+  ComprehensionCase question;
+  question.name = name;
+  question.explanation = std::move(text).value();
+  question.truth = BuildVisualization(proof);
+  for (ErrorArchetype requested : {first_archetype, second_archetype}) {
+    ErrorArchetype applied;
+    question.distractors.emplace_back(
+        applied, ApplyArchetype(question.truth, requested, rng, &applied));
+    question.distractors.back().first = applied;
+  }
+  return question;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(20250325);
+  auto control =
+      Explainer::Create(CompanyControlProgram(), CompanyControlGlossary());
+  auto stress = Explainer::Create(StressTestProgram(), StressTestGlossary());
+  if (!control.ok() || !stress.ok()) {
+    std::printf("pipeline error\n");
+    return 1;
+  }
+
+  std::vector<ComprehensionCase> cases;
+  auto add_case = [&cases](Result<ComprehensionCase> question) {
+    if (!question.ok()) {
+      std::printf("case error: %s\n", question.status().ToString().c_str());
+      std::exit(1);
+    }
+    cases.push_back(std::move(question).value());
+  };
+
+  // (1) Control through aggregation over multiple entities.
+  SampledInstance star = SampleControlStar(3, &rng);
+  add_case(BuildCase("control via aggregation", *control.value(), star.edb,
+                     star.goal, ErrorArchetype::kFalseEdge,
+                     ErrorArchetype::kWrongAggregationOrder, &rng));
+
+  // (2) A simple stress test scenario.
+  SampledInstance simple = SampleStressCascade(3, 1, &rng);
+  add_case(BuildCase("simple stress test", *stress.value(), simple.edb,
+                     simple.goal, ErrorArchetype::kWrongValue,
+                     ErrorArchetype::kFalseEdge, &rng));
+
+  // (3) Control via recursion (a four-hop chain).
+  SampledInstance chain = SampleControlChain(4, &rng);
+  add_case(BuildCase("control via recursion", *control.value(), chain.edb,
+                     chain.goal, ErrorArchetype::kWrongChain,
+                     ErrorArchetype::kWrongValue, &rng));
+
+  // (4) A complex stress test involving recursion and aggregation.
+  SampledInstance cascade = SampleStressCascade(7, 2, &rng);
+  add_case(BuildCase("stress test w/ recursion+aggregation", *stress.value(),
+                     cascade.edb, cascade.goal,
+                     ErrorArchetype::kWrongAggregationOrder,
+                     ErrorArchetype::kWrongChain, &rng));
+
+  // (5) Control combining recursion and aggregation: a chain into a joint
+  // control.
+  auto S = [](const char* s) { return Value::String(s); };
+  auto D = [](double d) { return Value::Double(d); };
+  std::vector<Fact> combo = {
+      {"Own", {S("Root0"), S("Mid0"), D(0.7)}},
+      {"Own", {S("Mid0"), S("Sub1"), D(0.6)}},
+      {"Own", {S("Mid0"), S("Sub2"), D(0.8)}},
+      {"Own", {S("Sub1"), S("Target0"), D(0.27)}},
+      {"Own", {S("Sub2"), S("Target0"), D(0.26)}},
+  };
+  add_case(BuildCase("control w/ recursion+aggregation", *control.value(),
+                     combo, Fact{"Control", {S("Root0"), S("Target0")}},
+                     ErrorArchetype::kWrongAggregationOrder,
+                     ErrorArchetype::kWrongChain, &rng));
+
+  ComprehensionStudyOptions options;
+  options.participants = 24;
+  options.inattention = 0.03;
+  options.seed = 97;
+  std::vector<ComprehensionCaseResult> results =
+      RunComprehensionStudy(cases, options);
+
+  std::printf(
+      "Figure 14: comprehension study (%d participants, 5 cases, %zu "
+      "answers)\n\n%s\n",
+      options.participants, cases.size() * options.participants,
+      ComprehensionTable(results).c_str());
+  std::printf(
+      "Paper reference: 96%% overall accuracy, no archetype systematically "
+      "causing errors.\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Regenerates Figure 17: the relative proportion of information omitted by
+// the (simulated) LLM when asked to paraphrase and to summarize the
+// deterministic verbalization of proofs of increasing length. For each
+// chase-step count, 10 distinct proofs are sampled (as in the paper); the
+// omission ratio is the fraction of the proof's constants missing from the
+// output text. The template-based approach is measured alongside as the
+// zero-omission reference.
+
+#include <cstdio>
+
+#include "apps/generators.h"
+#include "apps/glossaries.h"
+#include "apps/programs.h"
+#include "engine/chase.h"
+#include "engine/proof.h"
+#include "explain/explainer.h"
+#include "llm/omission.h"
+#include "llm/simulated_llm.h"
+#include "stats/descriptive.h"
+
+namespace {
+
+using namespace templex;
+
+constexpr int kProofsPerLength = 10;
+
+struct OmissionRow {
+  int chase_steps = 0;
+  BoxStats paraphrase;
+  BoxStats summary;
+  double template_max = 0.0;
+};
+
+// Runs the experiment for one application. `sample` draws an instance with
+// the requested number of chase steps.
+template <typename Sampler>
+std::vector<OmissionRow> RunApp(const Explainer& explainer,
+                                const std::vector<int>& lengths,
+                                Sampler sample, Rng* rng) {
+  SimulatedLlm llm;
+  std::vector<OmissionRow> rows;
+  for (int steps : lengths) {
+    std::vector<double> paraphrase_ratios;
+    std::vector<double> summary_ratios;
+    double template_max = 0.0;
+    for (int i = 0; i < kProofsPerLength; ++i) {
+      SampledInstance instance = sample(steps, rng);
+      Result<ChaseResult> chase =
+          ChaseEngine().Run(explainer.program(), instance.edb);
+      if (!chase.ok()) continue;
+      Result<FactId> id = chase.value().Find(instance.goal);
+      if (!id.ok()) continue;
+      Proof proof = Proof::Extract(chase.value().graph, id.value());
+      Result<std::string> deterministic =
+          explainer.DeterministicExplanation(proof);
+      if (!deterministic.ok()) continue;
+      Result<std::string> paraphrase = llm.Paraphrase(deterministic.value());
+      Result<std::string> summary = llm.Summarize(deterministic.value());
+      Result<std::string> templated = explainer.ExplainProof(proof);
+      if (!paraphrase.ok() || !summary.ok() || !templated.ok()) continue;
+      paraphrase_ratios.push_back(
+          OmittedInformationRatio(proof, paraphrase.value()));
+      summary_ratios.push_back(
+          OmittedInformationRatio(proof, summary.value()));
+      template_max = std::max(
+          template_max, OmittedInformationRatio(proof, templated.value()));
+    }
+    if (paraphrase_ratios.empty()) continue;
+    OmissionRow row;
+    row.chase_steps = steps;
+    row.paraphrase = Summarize(paraphrase_ratios);
+    row.summary = Summarize(summary_ratios);
+    row.template_max = template_max;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+void PrintRows(const char* title, const std::vector<OmissionRow>& rows) {
+  std::printf("---- %s ----\n", title);
+  std::printf("%-6s | %-52s | %-52s | %s\n", "steps", "paraphrasis omission",
+              "summary omission", "templates (max)");
+  for (const OmissionRow& row : rows) {
+    std::printf("%-6d | %s | %s | %.3f\n", row.chase_steps,
+                row.paraphrase.ToString().c_str(),
+                row.summary.ToString().c_str(), row.template_max);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(20250326);
+  auto control =
+      Explainer::Create(CompanyControlProgram(), CompanyControlGlossary());
+  auto stress = Explainer::Create(StressTestProgram(), StressTestGlossary());
+  if (!control.ok() || !stress.ok()) {
+    std::printf("pipeline error\n");
+    return 1;
+  }
+  std::printf(
+      "Figure 17: omitted-information ratio of LLM paraphrase/summary over\n"
+      "proofs of increasing length (%d proofs per length; boxplot stats)\n\n",
+      kProofsPerLength);
+
+  std::vector<int> control_lengths = {3, 6, 9, 12, 15, 18, 21};
+  PrintRows("Company control (Figure 17a)",
+            RunApp(*control.value(), control_lengths,
+                   [](int steps, Rng* r) {
+                     return SampleControlChain(steps, r);
+                   },
+                   &rng));
+
+  std::vector<int> stress_lengths = {1, 3, 5, 7, 9};
+  PrintRows("Stress test (Figure 17b)",
+            RunApp(*stress.value(), stress_lengths,
+                   [](int steps, Rng* r) {
+                     return SampleStressCascade(steps, 2, r);
+                   },
+                   &rng));
+
+  std::printf(
+      "Paper reference: the average omitted ratio grows with proof length;\n"
+      "summarization loses more than paraphrasis; the template-based\n"
+      "approach contains all constants by construction (always 0).\n");
+  return 0;
+}

@@ -1,0 +1,153 @@
+// Microbenchmarks for the reasoning substrate: chase throughput over
+// growing instances, the semi-naive vs naive ablation, join selectivity,
+// and aggregation overhead (the design choices DESIGN.md calls out).
+
+#include <benchmark/benchmark.h>
+
+#include "apps/generators.h"
+#include "apps/programs.h"
+#include "datalog/parser.h"
+#include "engine/chase.h"
+#include "engine/proof.h"
+
+namespace {
+
+using namespace templex;
+
+std::vector<Fact> OwnershipEdb(int companies) {
+  OwnershipNetworkOptions options;
+  options.companies = companies;
+  options.chains = companies / 10 + 1;
+  options.chain_length = 5;
+  options.stars = companies / 15 + 1;
+  options.noise_edges = companies * 2;
+  Rng rng(7);
+  return GenerateOwnershipNetwork(options, &rng);
+}
+
+void BM_ChaseCompanyControl(benchmark::State& state) {
+  Program program = CompanyControlProgram();
+  std::vector<Fact> edb = OwnershipEdb(static_cast<int>(state.range(0)));
+  ChaseEngine engine;
+  int64_t derived = 0;
+  for (auto _ : state) {
+    auto result = engine.Run(program, edb);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    derived = result.value().stats.derived_facts;
+    benchmark::DoNotOptimize(result.value().graph.size());
+  }
+  state.counters["edb"] = static_cast<double>(edb.size());
+  state.counters["derived"] = static_cast<double>(derived);
+}
+BENCHMARK(BM_ChaseCompanyControl)->Arg(20)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_ChaseSemiNaiveVsNaive(benchmark::State& state) {
+  Program program = CompanyControlProgram();
+  std::vector<Fact> edb = OwnershipEdb(60);
+  ChaseConfig config;
+  config.semi_naive = state.range(0) != 0;
+  ChaseEngine engine(config);
+  for (auto _ : state) {
+    auto result = engine.Run(program, edb);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result.value().stats.matches);
+  }
+}
+BENCHMARK(BM_ChaseSemiNaiveVsNaive)
+    ->Arg(1)
+    ->Arg(0)
+    ->ArgNames({"semi_naive"});
+
+void BM_ChaseStressCascade(benchmark::State& state) {
+  Program program = StressTestProgram();
+  Rng rng(11);
+  SampledInstance instance =
+      SampleStressCascade(static_cast<int>(state.range(0)), 2, &rng);
+  ChaseEngine engine;
+  for (auto _ : state) {
+    auto result = engine.Run(program, instance.edb);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result.value().graph.size());
+  }
+}
+BENCHMARK(BM_ChaseStressCascade)->Arg(4)->Arg(10)->Arg(22);
+
+void BM_TransitiveClosure(benchmark::State& state) {
+  // Pure join/recursion throughput without aggregation: a path closure over
+  // a ring of n nodes derives n^2 facts.
+  Program program = ParseProgram(R"(
+e: Edge(x, y) -> Path(x, y).
+t: Path(x, y), Edge(y, z) -> Path(x, z).
+)")
+                        .value();
+  const int n = static_cast<int>(state.range(0));
+  std::vector<Fact> edb;
+  for (int i = 0; i < n; ++i) {
+    edb.push_back(
+        Fact{"Edge", {Value::Int(i), Value::Int((i + 1) % n)}});
+  }
+  ChaseEngine engine;
+  for (auto _ : state) {
+    auto result = engine.Run(program, edb);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result.value().graph.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_TransitiveClosure)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_IncrementalExtendVsRechase(benchmark::State& state) {
+  // Adding one ownership edge to a saturated 150-company network:
+  // incremental extension (arg 1) vs full re-chase (arg 0).
+  Program program = CompanyControlProgram();
+  std::vector<Fact> edb = OwnershipEdb(150);
+  ChaseEngine engine;
+  auto base = engine.Run(program, edb);
+  if (!base.ok()) {
+    state.SkipWithError("base chase failed");
+    return;
+  }
+  std::vector<Fact> extra = {
+      Fact{"Own",
+           {Value::String(CompanyName(1)), Value::String(CompanyName(2)),
+            Value::Double(0.77)}}};
+  const bool incremental = state.range(0) != 0;
+  for (auto _ : state) {
+    if (incremental) {
+      ChaseResult copy = base.value();
+      auto extended = engine.Extend(std::move(copy), program, extra);
+      if (!extended.ok()) state.SkipWithError("extend failed");
+      benchmark::DoNotOptimize(extended.value().graph.size());
+    } else {
+      std::vector<Fact> all = edb;
+      all.insert(all.end(), extra.begin(), extra.end());
+      auto rechase = engine.Run(program, all);
+      if (!rechase.ok()) state.SkipWithError("rechase failed");
+      benchmark::DoNotOptimize(rechase.value().graph.size());
+    }
+  }
+}
+BENCHMARK(BM_IncrementalExtendVsRechase)
+    ->Arg(1)
+    ->Arg(0)
+    ->ArgNames({"incremental"});
+
+void BM_ProofExtraction(benchmark::State& state) {
+  Program program = CompanyControlProgram();
+  Rng rng(13);
+  SampledInstance instance =
+      SampleControlChain(static_cast<int>(state.range(0)), &rng);
+  auto chase = ChaseEngine().Run(program, instance.edb);
+  if (!chase.ok()) {
+    state.SkipWithError("chase failed");
+    return;
+  }
+  FactId goal = chase.value().Find(instance.goal).value();
+  for (auto _ : state) {
+    Proof proof = Proof::Extract(chase.value().graph, goal);
+    benchmark::DoNotOptimize(proof.num_chase_steps());
+  }
+}
+BENCHMARK(BM_ProofExtraction)->Arg(5)->Arg(21);
+
+}  // namespace

@@ -1,0 +1,108 @@
+// Microbenchmarks for the explanation pipeline: structural analysis,
+// template generation, proof-to-template mapping, rendering, and the
+// template-vs-per-step-verbalization ablation.
+
+#include <benchmark/benchmark.h>
+
+#include "apps/generators.h"
+#include "apps/glossaries.h"
+#include "apps/programs.h"
+#include "core/structural_analyzer.h"
+#include "engine/chase.h"
+#include "engine/proof.h"
+#include "explain/explainer.h"
+#include "explain/template_generator.h"
+
+namespace {
+
+using namespace templex;
+
+void BM_StructuralAnalysis(benchmark::State& state) {
+  Program program = state.range(0) == 0 ? CompanyControlProgram()
+                                        : StressTestProgram();
+  for (auto _ : state) {
+    auto analysis = AnalyzeProgram(program);
+    if (!analysis.ok()) state.SkipWithError("analysis failed");
+    benchmark::DoNotOptimize(analysis.value().catalog.size());
+  }
+}
+BENCHMARK(BM_StructuralAnalysis)->Arg(0)->Arg(1)->ArgNames({"stress"});
+
+void BM_TemplateGeneration(benchmark::State& state) {
+  Program program = StressTestProgram();
+  DomainGlossary glossary = StressTestGlossary();
+  StructuralAnalysis analysis = AnalyzeProgram(program).value();
+  TemplateGenerator generator(&program, &glossary);
+  for (auto _ : state) {
+    auto templates = generator.Generate(analysis);
+    if (!templates.ok()) state.SkipWithError("generation failed");
+    benchmark::DoNotOptimize(templates.value().size());
+  }
+}
+BENCHMARK(BM_TemplateGeneration);
+
+void BM_PipelineCreation(benchmark::State& state) {
+  // Full once-per-deployment setup cost: analysis + templates + enhancement.
+  for (auto _ : state) {
+    auto explainer =
+        Explainer::Create(StressTestProgram(), StressTestGlossary());
+    if (!explainer.ok()) state.SkipWithError("create failed");
+    benchmark::DoNotOptimize(explainer.value()->templates().size());
+  }
+}
+BENCHMARK(BM_PipelineCreation);
+
+struct PreparedProof {
+  std::unique_ptr<Explainer> explainer;
+  std::unique_ptr<ChaseResult> chase;
+  std::unique_ptr<Proof> proof;
+};
+
+PreparedProof PrepareControlProof(int steps) {
+  PreparedProof prepared;
+  prepared.explainer =
+      Explainer::Create(CompanyControlProgram(), CompanyControlGlossary())
+          .value();
+  Rng rng(17);
+  SampledInstance instance = SampleControlChain(steps, &rng);
+  prepared.chase = std::make_unique<ChaseResult>(
+      ChaseEngine().Run(prepared.explainer->program(), instance.edb).value());
+  prepared.proof = std::make_unique<Proof>(Proof::Extract(
+      prepared.chase->graph, prepared.chase->Find(instance.goal).value()));
+  return prepared;
+}
+
+void BM_MapProof(benchmark::State& state) {
+  PreparedProof prepared = PrepareControlProof(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto units = prepared.explainer->MapProof(*prepared.proof);
+    if (!units.ok()) state.SkipWithError("mapping failed");
+    benchmark::DoNotOptimize(units.value().size());
+  }
+}
+BENCHMARK(BM_MapProof)->Arg(3)->Arg(11)->Arg(21);
+
+void BM_ExplainProof_Templates(benchmark::State& state) {
+  PreparedProof prepared = PrepareControlProof(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto text = prepared.explainer->ExplainProof(*prepared.proof);
+    if (!text.ok()) state.SkipWithError("explanation failed");
+    benchmark::DoNotOptimize(text.value().size());
+  }
+}
+BENCHMARK(BM_ExplainProof_Templates)->Arg(3)->Arg(11)->Arg(21);
+
+void BM_ExplainProof_Deterministic(benchmark::State& state) {
+  // Ablation: plain per-step verbalization (no reasoning paths, no
+  // templates) — the baseline the template mapping competes with.
+  PreparedProof prepared = PrepareControlProof(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto text =
+        prepared.explainer->DeterministicExplanation(*prepared.proof);
+    if (!text.ok()) state.SkipWithError("verbalization failed");
+    benchmark::DoNotOptimize(text.value().size());
+  }
+}
+BENCHMARK(BM_ExplainProof_Deterministic)->Arg(3)->Arg(11)->Arg(21);
+
+}  // namespace

@@ -1,0 +1,87 @@
+// Microbenchmarks for the I/O layer: CSV fact parsing/serialization and
+// JSON export/validation throughput over instances of growing size.
+
+#include <benchmark/benchmark.h>
+
+#include "apps/generators.h"
+#include "apps/programs.h"
+#include "engine/chase.h"
+#include "io/csv.h"
+#include "io/json.h"
+#include "io/json_validate.h"
+
+namespace {
+
+using namespace templex;
+
+std::vector<Fact> MakeFacts(int companies) {
+  OwnershipNetworkOptions options;
+  options.companies = companies;
+  options.noise_edges = companies * 4;
+  options.company_facts = true;
+  Rng rng(3);
+  return GenerateOwnershipNetwork(options, &rng);
+}
+
+void BM_CsvSerialize(benchmark::State& state) {
+  std::vector<Fact> facts = MakeFacts(static_cast<int>(state.range(0)));
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    std::string csv = FactsToCsv(facts);
+    bytes = static_cast<int64_t>(csv.size());
+    benchmark::DoNotOptimize(csv);
+  }
+  state.SetBytesProcessed(state.iterations() * bytes);
+  state.counters["facts"] = static_cast<double>(facts.size());
+}
+BENCHMARK(BM_CsvSerialize)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_CsvParse(benchmark::State& state) {
+  std::string csv = FactsToCsv(MakeFacts(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    auto facts = ParseFactsCsv(csv);
+    if (!facts.ok()) state.SkipWithError("parse failed");
+    benchmark::DoNotOptimize(facts.value().size());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(csv.size()));
+}
+BENCHMARK(BM_CsvParse)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_ChaseGraphToJson(benchmark::State& state) {
+  auto chase = ChaseEngine().Run(CompanyControlProgram(),
+                                 MakeFacts(static_cast<int>(state.range(0))));
+  if (!chase.ok()) {
+    state.SkipWithError("chase failed");
+    return;
+  }
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    std::string json = ChaseGraphToJson(chase.value().graph);
+    bytes = static_cast<int64_t>(json.size());
+    benchmark::DoNotOptimize(json);
+  }
+  state.SetBytesProcessed(state.iterations() * bytes);
+  state.counters["facts"] = static_cast<double>(chase.value().graph.size());
+}
+BENCHMARK(BM_ChaseGraphToJson)->Arg(50)->Arg(200);
+
+void BM_ValidateJson(benchmark::State& state) {
+  auto chase = ChaseEngine().Run(CompanyControlProgram(),
+                                 MakeFacts(static_cast<int>(state.range(0))));
+  if (!chase.ok()) {
+    state.SkipWithError("chase failed");
+    return;
+  }
+  std::string json = ChaseGraphToJson(chase.value().graph);
+  for (auto _ : state) {
+    Status status = ValidateJson(json);
+    if (!status.ok()) state.SkipWithError("invalid JSON");
+    benchmark::DoNotOptimize(status);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(json.size()));
+}
+BENCHMARK(BM_ValidateJson)->Arg(50)->Arg(200);
+
+}  // namespace

@@ -1,0 +1,53 @@
+// Regenerates the template artifacts of the paper:
+//  - Figure 7 / Figure 11: the domain glossaries;
+//  - Figure 6: the deterministic explanation templates and their enhanced
+//    versions for every reasoning path of the simplified stress test, and a
+//    sample of the company-control and stress-test catalogs.
+
+#include <cstdio>
+
+#include "apps/glossaries.h"
+#include "apps/programs.h"
+#include "explain/explainer.h"
+
+namespace {
+
+void PrintCatalog(const char* title, templex::Program program,
+                  templex::DomainGlossary glossary, size_t max_templates) {
+  using namespace templex;
+  std::printf("==================== %s ====================\n", title);
+  std::printf("-- Domain glossary --\n%s\n", glossary.ToTable().c_str());
+  Result<std::unique_ptr<Explainer>> explainer =
+      Explainer::Create(std::move(program), std::move(glossary));
+  if (!explainer.ok()) {
+    std::printf("error: %s\n", explainer.status().ToString().c_str());
+    return;
+  }
+  const auto& templates = explainer.value()->templates();
+  std::printf("-- Explanation templates (%zu in catalog, showing %zu) --\n",
+              templates.size(), std::min(max_templates, templates.size()));
+  for (size_t i = 0; i < templates.size() && i < max_templates; ++i) {
+    const ExplanationTemplate& tmpl = templates[i];
+    std::printf("[%s] %s%s\n", tmpl.name.c_str(),
+                tmpl.path.ToString().c_str(),
+                tmpl.path.is_aggregation_variant() ? "  (aggregation variant)"
+                                                   : "");
+    std::printf("  deterministic: %s\n", tmpl.DeterministicText().c_str());
+    std::printf("  enhanced:      %s\n\n", tmpl.EffectiveText().c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figures 6, 7 and 11: glossaries and explanation templates\n\n");
+  PrintCatalog("Simplified stress test (Figure 6/7)",
+               templex::SimplifiedStressTestProgram(),
+               templex::SimplifiedStressTestGlossary(), 8);
+  PrintCatalog("Company control (Figure 11)",
+               templex::CompanyControlProgram(),
+               templex::CompanyControlGlossary(), 6);
+  PrintCatalog("Stress test (Figure 11)", templex::StressTestProgram(),
+               templex::StressTestGlossary(), 6);
+  return 0;
+}

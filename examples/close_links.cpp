@@ -1,0 +1,79 @@
+// Close links (§6.2): the third financial application. Two entities are
+// closely linked when the integrated (direct + indirect, share-product)
+// ownership reaches 20% — the application mixes arithmetic assignments,
+// recursion, and aggregation. Runs over a synthetic layered ownership DAG
+// and explains one derived link.
+
+#include <cstdio>
+
+#include "apps/generators.h"
+#include "apps/glossaries.h"
+#include "apps/programs.h"
+#include "datalog/printer.h"
+#include "engine/chase.h"
+#include "explain/explainer.h"
+
+int main() {
+  using namespace templex;
+
+  Result<std::unique_ptr<Explainer>> explainer =
+      Explainer::Create(CloseLinksProgram(), CloseLinksGlossary());
+  if (!explainer.ok()) {
+    std::fprintf(stderr, "%s\n", explainer.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("== Close links program ==\n%s\n",
+              FormatProgramAligned(explainer.value()->program()).c_str());
+  std::printf("== Reasoning paths ==\n%s\n",
+              explainer.value()->analysis().ToTable().c_str());
+
+  // A three-hop ownership chain with shares whose product crosses the 20%
+  // threshold only jointly with a direct stake.
+  auto S = [](const char* s) { return Value::String(s); };
+  auto D = [](double d) { return Value::Double(d); };
+  std::vector<Fact> edb = {
+      {"Own", {S("AlphaHolding"), S("BetaFinance"), D(0.5)}},
+      {"Own", {S("BetaFinance"), S("GammaCredit"), D(0.3)}},
+      {"Own", {S("AlphaHolding"), S("GammaCredit"), D(0.1)}},
+      {"Own", {S("GammaCredit"), S("DeltaFunds"), D(0.9)}},
+  };
+  Result<ChaseResult> chase =
+      ChaseEngine().Run(explainer.value()->program(), edb);
+  if (!chase.ok()) {
+    std::fprintf(stderr, "%s\n", chase.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("== Derived close links ==\n");
+  for (const Fact& link : chase.value().FactsOf("CloseLink")) {
+    std::printf("  %s\n", link.ToString().c_str());
+  }
+
+  // AlphaHolding holds 10% directly plus 0.5 * 0.3 = 15% indirectly in
+  // GammaCredit: jointly 25% >= 20%.
+  Fact query{"CloseLink", {S("AlphaHolding"), S("GammaCredit")}};
+  Result<std::string> text =
+      explainer.value()->Explain(chase.value(), query);
+  if (!text.ok()) {
+    std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n== Q_e = {%s} ==\n%s\n", query.ToString().c_str(),
+              text.value().c_str());
+
+  // A bigger random DAG, to show scale.
+  OwnershipDagOptions options;
+  options.layers = 5;
+  options.width = 4;
+  Rng rng(2025);
+  std::vector<Fact> dag = GenerateOwnershipDag(options, &rng);
+  Result<ChaseResult> dag_chase =
+      ChaseEngine().Run(explainer.value()->program(), dag);
+  if (!dag_chase.ok()) {
+    std::fprintf(stderr, "%s\n", dag_chase.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "== Random DAG: %zu ownership edges -> %zu close links derived ==\n",
+      dag.size(), dag_chase.value().FactsOf("CloseLink").size());
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Company control (§5): runs the Bank-of-Italy-style control-closure
+// application over the representative synthetic scenario of Figure 12,
+// prints the derived control edges (Figure 13) and answers the analyst's
+// explanation query Q_e = {Control("B", "D")}, plus the Figure 15
+// IrishBank/MadridCredit case.
+
+#include <cstdio>
+
+#include "apps/glossaries.h"
+#include "apps/programs.h"
+#include "apps/scenario.h"
+#include "datalog/printer.h"
+#include "engine/chase.h"
+#include "explain/explainer.h"
+
+int main() {
+  using namespace templex;
+
+  Result<std::unique_ptr<Explainer>> explainer =
+      Explainer::Create(CompanyControlProgram(), CompanyControlGlossary());
+  if (!explainer.ok()) {
+    std::fprintf(stderr, "%s\n", explainer.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("== Company control program ==\n%s\n",
+              FormatProgramAligned(explainer.value()->program()).c_str());
+
+  RepresentativeScenario scenario = MakeRepresentativeScenario();
+  Result<ChaseResult> chase =
+      ChaseEngine().Run(explainer.value()->program(), scenario.control_edb);
+  if (!chase.ok()) {
+    std::fprintf(stderr, "%s\n", chase.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("== Derived control edges (auto-controls omitted) ==\n");
+  for (const Fact& control : chase.value().FactsOf("Control")) {
+    if (control.args[0] == control.args[1]) continue;
+    std::printf("  %s\n", control.ToString().c_str());
+  }
+
+  Result<std::string> text =
+      explainer.value()->Explain(chase.value(), scenario.control_query);
+  if (!text.ok()) {
+    std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n== Q_e = {%s} ==\n%s\n",
+              scenario.control_query.ToString().c_str(),
+              text.value().c_str());
+
+  // The Figure 15 case: joint control through two majority-held companies.
+  auto S = [](const char* s) { return Value::String(s); };
+  auto D = [](double d) { return Value::Double(d); };
+  std::vector<Fact> irish = {
+      {"Own", {S("IrishBank"), S("FondoItaliano"), D(0.83)}},
+      {"Own", {S("IrishBank"), S("FrenchPLC"), D(0.54)}},
+      {"Own", {S("FondoItaliano"), S("MadridCredit"), D(0.36)}},
+      {"Own", {S("FrenchPLC"), S("MadridCredit"), D(0.21)}},
+  };
+  Result<ChaseResult> irish_chase =
+      ChaseEngine().Run(explainer.value()->program(), irish);
+  if (!irish_chase.ok()) {
+    std::fprintf(stderr, "%s\n", irish_chase.status().ToString().c_str());
+    return 1;
+  }
+  Fact query{"Control", {S("IrishBank"), S("MadridCredit")}};
+  Result<std::string> irish_text =
+      explainer.value()->Explain(irish_chase.value(), query);
+  if (!irish_text.ok()) {
+    std::fprintf(stderr, "%s\n", irish_text.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("== Q_e = {%s} (Figure 15) ==\n%s\n", query.ToString().c_str(),
+              irish_text.value().c_str());
+  return 0;
+}

@@ -1,0 +1,137 @@
+#include "apps/application.h"
+
+#include "io/json.h"
+
+namespace templex {
+
+Result<std::unique_ptr<KnowledgeGraphApplication>>
+KnowledgeGraphApplication::Create(Program program, DomainGlossary glossary,
+                                  ExplainerOptions options) {
+  Result<std::unique_ptr<Explainer>> explainer =
+      Explainer::Create(std::move(program), std::move(glossary), options);
+  if (!explainer.ok()) return explainer.status();
+  std::unique_ptr<KnowledgeGraphApplication> app(
+      new KnowledgeGraphApplication());
+  app->explainer_ = std::move(explainer).value();
+  return app;
+}
+
+void KnowledgeGraphApplication::AddFacts(std::vector<Fact> facts) {
+  facts_.insert(facts_.end(), std::make_move_iterator(facts.begin()),
+                std::make_move_iterator(facts.end()));
+  chase_.reset();
+}
+
+Status KnowledgeGraphApplication::Run(ChaseConfig config) {
+  Result<ChaseResult> result =
+      ChaseEngine(config).Run(explainer_->program(), facts_);
+  if (!result.ok()) return result.status();
+  chase_ = std::make_unique<ChaseResult>(std::move(result).value());
+  return Status::OK();
+}
+
+std::vector<Fact> KnowledgeGraphApplication::Query(
+    const Fact& pattern) const {
+  std::vector<Fact> matches;
+  if (chase_ == nullptr) return matches;
+  for (FactId id : chase_->graph.FactsOf(pattern.predicate)) {
+    const Fact& fact = chase_->graph.node(id).fact;
+    if (fact.arity() != pattern.arity()) continue;
+    bool ok = true;
+    for (int i = 0; i < pattern.arity() && ok; ++i) {
+      if (!pattern.args[i].is_null()) ok = pattern.args[i] == fact.args[i];
+    }
+    if (ok) matches.push_back(fact);
+  }
+  return matches;
+}
+
+Result<std::string> KnowledgeGraphApplication::Explain(
+    const Fact& fact) const {
+  if (chase_ == nullptr) {
+    return Status::FailedPrecondition("Run() the application first");
+  }
+  return explainer_->Explain(*chase_, fact);
+}
+
+Result<AnonymizedText> KnowledgeGraphApplication::ExplainAnonymized(
+    const Fact& fact, const AnonymizerOptions& options) const {
+  if (chase_ == nullptr) {
+    return Status::FailedPrecondition("Run() the application first");
+  }
+  Result<FactId> id = chase_->Find(fact);
+  if (!id.ok()) return id.status();
+  Proof proof = Proof::Extract(chase_->graph, id.value());
+  Result<std::string> text = explainer_->ExplainProof(proof);
+  if (!text.ok()) return text.status();
+  return AnonymizeExplanation(text.value(), proof, options);
+}
+
+Result<KnowledgeGraphApplication::WhatIfResult>
+KnowledgeGraphApplication::WhatIf(const std::vector<Fact>& hypothetical,
+                                  ChaseConfig config) const {
+  if (chase_ == nullptr) {
+    return Status::FailedPrecondition(
+        "Run() the application first: the what-if diffs against the "
+        "baseline chase");
+  }
+  // Monotone programs extend the baseline incrementally (only the delta is
+  // re-derived); programs with negation fall back to a full re-chase.
+  Result<ChaseResult> result =
+      ChaseEngine(config).Extend(*chase_, explainer_->program(),
+                                 hypothetical);
+  if (!result.ok()) {
+    if (result.status().code() != StatusCode::kInvalidArgument) {
+      return result.status();
+    }
+    std::vector<Fact> facts = facts_;
+    facts.insert(facts.end(), hypothetical.begin(), hypothetical.end());
+    result = ChaseEngine(config).Run(explainer_->program(), facts);
+    if (!result.ok()) return result.status();
+  }
+  WhatIfResult scenario;
+  scenario.chase = std::move(result).value();
+  for (int id = 0; id < scenario.chase.graph.size(); ++id) {
+    const ChaseNode& node = scenario.chase.graph.node(id);
+    if (node.is_extensional()) continue;
+    if (!chase_->graph.Find(node.fact).has_value()) {
+      scenario.new_facts.push_back(node.fact);
+    }
+  }
+  return scenario;
+}
+
+Result<std::string> KnowledgeGraphApplication::ExplainUnder(
+    const WhatIfResult& scenario, const Fact& fact) const {
+  return explainer_->Explain(scenario.chase, fact);
+}
+
+const std::vector<ConstraintViolation>&
+KnowledgeGraphApplication::violations() const {
+  static const std::vector<ConstraintViolation> kEmpty;
+  return chase_ == nullptr ? kEmpty : chase_->violations;
+}
+
+std::string KnowledgeGraphApplication::ExportTemplatesJson() const {
+  return TemplatesToJson(explainer_->templates());
+}
+
+Result<std::string> KnowledgeGraphApplication::ExportChaseJson() const {
+  if (chase_ == nullptr) {
+    return Status::FailedPrecondition("Run() the application first");
+  }
+  return ChaseGraphToJson(chase_->graph);
+}
+
+Result<std::string> KnowledgeGraphApplication::ExportProofJson(
+    const Fact& fact) const {
+  if (chase_ == nullptr) {
+    return Status::FailedPrecondition("Run() the application first");
+  }
+  Result<FactId> id = chase_->Find(fact);
+  if (!id.ok()) return id.status();
+  Proof proof = Proof::Extract(chase_->graph, id.value());
+  return ProofToJson(proof);
+}
+
+}  // namespace templex

@@ -1,0 +1,246 @@
+#include "apps/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <utility>
+
+namespace templex {
+
+namespace {
+
+Value Name(const std::string& name) { return Value::String(name); }
+
+// Rounds a share to 4 decimals so percent renderings stay readable.
+double RoundShare(double share) {
+  return std::round(share * 10000.0) / 10000.0;
+}
+
+void AddOwn(std::vector<Fact>* facts, const std::string& from,
+            const std::string& to, double share) {
+  facts->push_back(Fact{"Own", {Name(from), Name(to), Value::Double(share)}});
+}
+
+}  // namespace
+
+std::string CompanyName(int index) {
+  static const char* kStems[] = {"Banca",   "Credit", "Fondo",  "Assicura",
+                                 "Holding", "Invest", "Cassa",  "Banco"};
+  return std::string(kStems[index % 8]) + std::to_string(index);
+}
+
+SampledInstance SampleControlChain(int chase_steps, Rng* rng) {
+  assert(chase_steps >= 1);
+  SampledInstance instance;
+  const int base = static_cast<int>(rng->NextInt(0, 1000)) * 64;
+  std::vector<std::string> names;
+  for (int i = 0; i <= chase_steps; ++i) names.push_back(CompanyName(base + i));
+  for (int i = 0; i < chase_steps; ++i) {
+    AddOwn(&instance.edb, names[i], names[i + 1],
+           RoundShare(rng->NextDouble(0.51, 0.95)));
+  }
+  instance.goal = Fact{"Control", {Name(names.front()), Name(names.back())}};
+  instance.expected_chase_steps = chase_steps;
+  return instance;
+}
+
+SampledInstance SampleControlStar(int contributors, Rng* rng) {
+  assert(contributors >= 1);
+  SampledInstance instance;
+  const int base = static_cast<int>(rng->NextInt(0, 1000)) * 64 + 32000;
+  const std::string holder = CompanyName(base);
+  const std::string target = CompanyName(base + 1);
+  for (int i = 0; i < contributors; ++i) {
+    const std::string mid = CompanyName(base + 2 + i);
+    AddOwn(&instance.edb, holder, mid,
+           RoundShare(rng->NextDouble(0.55, 0.95)));
+    // Each minority share is small enough that no proper subset reaches the
+    // 50% threshold: the aggregation emits the control edge only once all
+    // contributors are in, keeping the proof length exact.
+    AddOwn(&instance.edb, mid, target,
+           RoundShare(rng->NextDouble(0.51 / contributors,
+                                      0.54 / contributors)));
+  }
+  instance.goal = Fact{"Control", {Name(holder), Name(target)}};
+  instance.expected_chase_steps = contributors + 1;
+  return instance;
+}
+
+std::vector<Fact> GenerateOwnershipNetwork(const OwnershipNetworkOptions& o,
+                                           Rng* rng) {
+  std::vector<Fact> facts;
+  std::set<std::pair<int, int>> edges;
+  auto add_edge = [&facts, &edges, rng](int from, int to, double lo,
+                                        double hi) {
+    if (from == to) return;
+    if (!edges.emplace(from, to).second) return;
+    AddOwn(&facts, CompanyName(from), CompanyName(to),
+           RoundShare(rng->NextDouble(lo, hi)));
+  };
+  for (int c = 0; c < o.chains; ++c) {
+    int current = static_cast<int>(rng->NextInt(0, o.companies - 1));
+    for (int i = 0; i < o.chain_length; ++i) {
+      int next = static_cast<int>(rng->NextInt(0, o.companies - 1));
+      add_edge(current, next, 0.51, 0.95);
+      current = next;
+    }
+  }
+  for (int s = 0; s < o.stars; ++s) {
+    int holder = static_cast<int>(rng->NextInt(0, o.companies - 1));
+    int target = static_cast<int>(rng->NextInt(0, o.companies - 1));
+    for (int i = 0; i < o.star_contributors; ++i) {
+      int mid = static_cast<int>(rng->NextInt(0, o.companies - 1));
+      add_edge(holder, mid, 0.55, 0.95);
+      add_edge(mid, target, 0.51 / o.star_contributors,
+               0.54 / o.star_contributors);
+    }
+  }
+  for (int e = 0; e < o.noise_edges; ++e) {
+    add_edge(static_cast<int>(rng->NextInt(0, o.companies - 1)),
+             static_cast<int>(rng->NextInt(0, o.companies - 1)), 0.05, 0.45);
+  }
+  if (o.company_facts) {
+    for (int i = 0; i < o.companies; ++i) {
+      facts.push_back(Fact{"Company", {Name(CompanyName(i))}});
+    }
+  }
+  return facts;
+}
+
+SampledInstance SampleStressCascade(int chase_steps, int debts_per_channel,
+                                    Rng* rng) {
+  assert(chase_steps >= 1);
+  assert(debts_per_channel >= 1);
+  SampledInstance instance;
+  // Decompose chase_steps - 1 into per-hop costs: 2 for a single-channel
+  // hop (σ5/σ6 + σ7), 3 for a dual-channel hop (σ5 + σ6 + σ7). Every total
+  // except 1 is representable; 2 rounds up to 3 (a dual hop).
+  int remaining = chase_steps - 1;
+  if (remaining == 1) remaining = 2;
+  std::vector<int> hop_costs;
+  while (remaining > 0) {
+    if (remaining == 2) {
+      hop_costs.push_back(2);
+      remaining = 0;
+    } else if (remaining == 4) {
+      hop_costs.push_back(2);
+      hop_costs.push_back(2);
+      remaining = 0;
+    } else {
+      hop_costs.push_back(3);
+      remaining -= 3;
+    }
+  }
+  const int base = static_cast<int>(rng->NextInt(0, 1000)) * 64 + 16000;
+  const int institutions = static_cast<int>(hop_costs.size()) + 1;
+  // Capitals are padded so each channel total can be split into
+  // debts_per_channel distinct positive parts (distinct so the facts do not
+  // deduplicate away).
+  const int64_t d = debts_per_channel;
+  const int64_t min_total = d * (d + 1) / 2;
+  std::vector<std::string> names;
+  std::vector<int64_t> capitals;
+  for (int i = 0; i < institutions; ++i) {
+    names.push_back(CompanyName(base + i));
+    capitals.push_back(rng->NextInt(2, 10) + 2 * min_total);
+    instance.edb.push_back(
+        Fact{"HasCapital", {Name(names[i]), Value::Int(capitals[i])}});
+  }
+  instance.edb.push_back(Fact{
+      "Shock",
+      {Name(names[0]), Value::Int(capitals[0] + rng->NextInt(1, 5))}});
+  // Splits `total` into debts_per_channel distinct positive parts summing
+  // exactly to `total` (requires total >= min_total).
+  auto add_debts = [&instance, d, min_total](const char* predicate,
+                                             const std::string& debtor,
+                                             const std::string& creditor,
+                                             int64_t total) {
+    std::vector<int64_t> parts;
+    for (int64_t i = 1; i <= d; ++i) parts.push_back(i);
+    parts.back() += total - min_total;
+    for (int64_t part : parts) {
+      instance.edb.push_back(Fact{
+          predicate, {Name(debtor), Name(creditor), Value::Int(part)}});
+    }
+  };
+  for (size_t hop = 0; hop < hop_costs.size(); ++hop) {
+    const std::string& debtor = names[hop];
+    const std::string& creditor = names[hop + 1];
+    const int64_t capital = capitals[hop + 1];
+    if (hop_costs[hop] == 3) {
+      // Dual channel: each channel alone stays at or below the capital so
+      // the default genuinely needs both (proof contains σ5, σ6 and σ7);
+      // jointly they exceed it by one.
+      const int64_t long_total = capital / 2 + 1;
+      const int64_t short_total = capital - capital / 2 + 1;
+      add_debts("LongTermDebts", debtor, creditor, long_total);
+      add_debts("ShortTermDebts", debtor, creditor, short_total);
+    } else if (rng->NextBool(0.5)) {
+      add_debts("LongTermDebts", debtor, creditor,
+                capital + rng->NextInt(1, 4));
+    } else {
+      add_debts("ShortTermDebts", debtor, creditor,
+                capital + rng->NextInt(1, 4));
+    }
+  }
+  instance.goal = Fact{"Default", {Name(names.back())}};
+  instance.expected_chase_steps =
+      1 + std::accumulate(hop_costs.begin(), hop_costs.end(), 0);
+  return instance;
+}
+
+std::vector<Fact> GenerateDebtNetwork(const DebtNetworkOptions& o, Rng* rng) {
+  std::vector<Fact> facts;
+  std::vector<int64_t> capitals;
+  for (int i = 0; i < o.institutions; ++i) {
+    capitals.push_back(rng->NextInt(3, 12));
+    facts.push_back(
+        Fact{"HasCapital", {Name(CompanyName(i)), Value::Int(capitals[i])}});
+  }
+  facts.push_back(Fact{
+      "Shock", {Name(CompanyName(0)), Value::Int(capitals[0] + 3)}});
+  // A guaranteed cascade along 0 -> 1 -> ... -> cascade_length.
+  for (int i = 0; i + 1 <= o.cascade_length && i + 1 < o.institutions; ++i) {
+    const int64_t needed = capitals[i + 1] + 2;
+    facts.push_back(Fact{"LongTermDebts",
+                         {Name(CompanyName(i)), Name(CompanyName(i + 1)),
+                          Value::Int(needed / 2 + 1)}});
+    facts.push_back(Fact{"ShortTermDebts",
+                         {Name(CompanyName(i)), Name(CompanyName(i + 1)),
+                          Value::Int(needed / 2 + 1)}});
+  }
+  // Noise debts, small enough not to sink anyone on their own.
+  for (int e = 0; e < o.extra_debts; ++e) {
+    int from = static_cast<int>(rng->NextInt(0, o.institutions - 1));
+    int to = static_cast<int>(rng->NextInt(0, o.institutions - 1));
+    if (from == to) continue;
+    const char* predicate =
+        rng->NextBool(0.5) ? "LongTermDebts" : "ShortTermDebts";
+    facts.push_back(Fact{predicate,
+                         {Name(CompanyName(from)), Name(CompanyName(to)),
+                          Value::Int(rng->NextInt(1, 2))}});
+  }
+  return facts;
+}
+
+std::vector<Fact> GenerateOwnershipDag(const OwnershipDagOptions& o,
+                                       Rng* rng) {
+  std::vector<Fact> facts;
+  auto node = [&o](int layer, int i) {
+    return CompanyName(layer * o.width + i);
+  };
+  for (int layer = 0; layer + 1 < o.layers; ++layer) {
+    for (int i = 0; i < o.width; ++i) {
+      for (int j = 0; j < o.width; ++j) {
+        if (!rng->NextBool(o.edge_prob)) continue;
+        AddOwn(&facts, node(layer, i), node(layer + 1, j),
+               RoundShare(rng->NextDouble(0.1, 0.6)));
+      }
+    }
+  }
+  return facts;
+}
+
+}  // namespace templex

@@ -1,0 +1,93 @@
+#ifndef TEMPLEX_APPS_GENERATORS_H_
+#define TEMPLEX_APPS_GENERATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/fact.h"
+
+namespace templex {
+
+// Synthetic financial data generators (the paper evaluates on artificial
+// data, §6: "individual shares and loan information are confidential").
+// All generators are deterministic given the Rng.
+
+// An EDB together with the goal fact whose proof the experiment studies.
+struct SampledInstance {
+  std::vector<Fact> edb;
+  Fact goal;
+  // The number of chase steps the goal's proof is constructed to have.
+  int expected_chase_steps = 0;
+};
+
+// ---- Company control -------------------------------------------------------
+
+// A control chain C0 -> C1 -> ... -> Cn: each company owns a majority of
+// the next. The proof of Control(C0, Cn) has exactly `chase_steps` steps
+// (σ1 then σ3 per additional hop). Requires chase_steps >= 1.
+SampledInstance SampleControlChain(int chase_steps, Rng* rng);
+
+// A joint-control star: X majority-owns `contributors` intermediaries which
+// jointly (via summed minority shares) own the target. The proof of
+// Control(X, Target) has contributors + 1 steps and exercises the
+// multi-contributor aggregation variant of σ3.
+SampledInstance SampleControlStar(int contributors, Rng* rng);
+
+// A random ownership network: `companies` nodes, a few majority chains and
+// joint-control stars embedded, plus noise minority edges. Used to sample
+// pools of heterogeneous control proofs.
+struct OwnershipNetworkOptions {
+  int companies = 40;
+  int chains = 3;
+  int chain_length = 4;
+  int stars = 2;
+  int star_contributors = 3;
+  int noise_edges = 30;
+  bool company_facts = false;  // emit Company(x) for the σ2 auto-controls
+};
+std::vector<Fact> GenerateOwnershipNetwork(const OwnershipNetworkOptions& o,
+                                           Rng* rng);
+
+// ---- Stress tests -----------------------------------------------------------
+
+// A default cascade I0 -> I1 -> ... : I0 is shocked into default; each hop
+// propagates over one or both debt channels with enough exposure to exceed
+// the next institution's capital. The per-hop channel pattern is chosen so
+// the proof of Default(I_last) has exactly `chase_steps` steps when
+// attainable (1, or any value >= 3; 2 is rounded up to 3).
+// `debts_per_channel` > 1 splits each exposure into several debt facts,
+// exercising the multi-contributor aggregation of σ5/σ6.
+SampledInstance SampleStressCascade(int chase_steps, int debts_per_channel,
+                                    Rng* rng);
+
+// A random debt network with a shocked seed institution; used to sample
+// pools of heterogeneous stress-test proofs.
+struct DebtNetworkOptions {
+  int institutions = 30;
+  int cascade_length = 4;
+  int extra_debts = 20;
+  int debts_per_channel = 2;
+};
+std::vector<Fact> GenerateDebtNetwork(const DebtNetworkOptions& o, Rng* rng);
+
+// ---- Close links ------------------------------------------------------------
+
+// A layered (acyclic) ownership DAG suitable for the close-link
+// application: `layers` layers of `width` companies, edges only forward.
+struct OwnershipDagOptions {
+  int layers = 4;
+  int width = 3;
+  double edge_prob = 0.6;
+};
+std::vector<Fact> GenerateOwnershipDag(const OwnershipDagOptions& o, Rng* rng);
+
+// ---- Naming -----------------------------------------------------------------
+
+// Deterministic bank-like names: "Banca0", "Credit1", ... cycling through a
+// small stem list so generated explanations read like the paper's examples.
+std::string CompanyName(int index);
+
+}  // namespace templex
+
+#endif  // TEMPLEX_APPS_GENERATORS_H_

@@ -1,0 +1,123 @@
+#include "apps/glossaries.h"
+
+#include <cassert>
+
+namespace templex {
+
+namespace {
+
+void MustRegister(DomainGlossary* glossary, const std::string& predicate,
+                  GlossaryEntry entry) {
+  Status status = glossary->Register(predicate, std::move(entry));
+  assert(status.ok() && "embedded glossary entry invalid");
+  (void)status;
+}
+
+constexpr NumberStyle kPlain = NumberStyle::kPlain;
+constexpr NumberStyle kMillions = NumberStyle::kMillions;
+constexpr NumberStyle kPercent = NumberStyle::kPercent;
+
+}  // namespace
+
+DomainGlossary SimplifiedStressTestGlossary() {
+  DomainGlossary glossary;
+  MustRegister(&glossary, "HasCapital",
+               {"<f> is a financial institution with capital of <p> euros",
+                {"f", "p"},
+                {kPlain, kMillions}});
+  MustRegister(&glossary, "Shock",
+               {"a shock amounting to <s> euros affects <f>",
+                {"f", "s"},
+                {kPlain, kMillions}});
+  MustRegister(&glossary, "Default", {"<f> is in default", {"f"}, {kPlain}});
+  MustRegister(&glossary, "Debts",
+               {"<d> has an amount of <v> euros of debts with <c>",
+                {"d", "c", "v"},
+                {kPlain, kPlain, kMillions}});
+  MustRegister(&glossary, "Risk",
+               {"<c> is at risk of defaulting given its loan of <e> euros of "
+                "exposures to a defaulted debtor",
+                {"c", "e"},
+                {kPlain, kMillions}});
+  return glossary;
+}
+
+DomainGlossary CompanyControlGlossary() {
+  DomainGlossary glossary;
+  MustRegister(&glossary, "Own",
+               {"<x> owns <s> of the shares of <y>",
+                {"x", "y", "s"},
+                {kPlain, kPlain, kPercent}});
+  MustRegister(&glossary, "Control",
+               {"<x> exercises control over <y>", {"x", "y"}, {kPlain, kPlain}});
+  MustRegister(&glossary, "Company",
+               {"<x> is a business corporation", {"x"}, {kPlain}});
+  return glossary;
+}
+
+DomainGlossary StressTestGlossary() {
+  DomainGlossary glossary;
+  MustRegister(&glossary, "HasCapital",
+               {"<f> is a company with capital of <p> euros",
+                {"f", "p"},
+                {kPlain, kMillions}});
+  MustRegister(&glossary, "Shock",
+               {"a shock amounting to <s> euros hits <f>",
+                {"f", "s"},
+                {kPlain, kMillions}});
+  MustRegister(&glossary, "Default", {"<f> is in default", {"f"}, {kPlain}});
+  MustRegister(&glossary, "LongTermDebts",
+               {"<d> has an amount of <v> euros of long-term debts with <c>",
+                {"d", "c", "v"},
+                {kPlain, kPlain, kMillions}});
+  MustRegister(&glossary, "ShortTermDebts",
+               {"<d> has an amount of <v> euros of short-term debts with <c>",
+                {"d", "c", "v"},
+                {kPlain, kPlain, kMillions}});
+  MustRegister(&glossary, "Risk",
+               {"<c> is at risk of defaulting given its <t>-term loans of "
+                "<e> euros of exposures to a defaulted debtor",
+                {"c", "e", "t"},
+                {kPlain, kMillions, kPlain}});
+  return glossary;
+}
+
+DomainGlossary GoldenPowerGlossary() {
+  DomainGlossary glossary = CompanyControlGlossary();
+  MustRegister(&glossary, "Strategic",
+               {"<y> is a company of strategic national interest", {"y"},
+                {kPlain}});
+  MustRegister(&glossary, "Foreign",
+               {"<x> is a foreign entity", {"x"}, {kPlain}});
+  MustRegister(&glossary, "GoldenPower",
+               {"the golden-power rules apply to <x>'s position in <y>",
+                {"x", "y"},
+                {kPlain, kPlain}});
+  MustRegister(&glossary, "Acquisition",
+               {"<x> filed an acquisition of <y> on <d>",
+                {"x", "y", "d"},
+                {kPlain, kPlain, kPlain}});
+  MustRegister(&glossary, "Review",
+               {"the acquisition of <y> by <x> filed on <d> is subject to "
+                "golden-power review",
+                {"x", "y", "d"},
+                {kPlain, kPlain, kPlain}});
+  return glossary;
+}
+
+DomainGlossary CloseLinksGlossary() {
+  DomainGlossary glossary;
+  MustRegister(&glossary, "Own",
+               {"<x> owns <s> of the shares of <y>",
+                {"x", "y", "s"},
+                {kPlain, kPlain, kPercent}});
+  MustRegister(&glossary, "IntOwn",
+               {"<x> has an integrated ownership of <s> in <y>",
+                {"x", "y", "s"},
+                {kPlain, kPlain, kPercent}});
+  MustRegister(&glossary, "CloseLink",
+               {"<x> is in a close link with <y>", {"x", "y"}, {kPlain, kPlain}});
+  return glossary;
+}
+
+}  // namespace templex

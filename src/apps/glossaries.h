@@ -1,0 +1,30 @@
+#ifndef TEMPLEX_APPS_GLOSSARIES_H_
+#define TEMPLEX_APPS_GLOSSARIES_H_
+
+#include "explain/glossary.h"
+
+namespace templex {
+
+// Domain glossaries of the financial KG applications, following the
+// internal data dictionary of Figures 7 and 11. Monetary amounts are
+// expressed in millions of euros (rendered "7M"), ownership shares as
+// fractions (rendered "83%").
+
+// Glossary for SimplifiedStressTestProgram (Figure 7).
+DomainGlossary SimplifiedStressTestGlossary();
+
+// Glossary for CompanyControlProgram (Figure 11, control part).
+DomainGlossary CompanyControlGlossary();
+
+// Glossary for StressTestProgram (Figure 11, stress-test part).
+DomainGlossary StressTestGlossary();
+
+// Glossary for GoldenPowerProgram.
+DomainGlossary GoldenPowerGlossary();
+
+// Glossary for CloseLinksProgram.
+DomainGlossary CloseLinksGlossary();
+
+}  // namespace templex
+
+#endif  // TEMPLEX_APPS_GLOSSARIES_H_

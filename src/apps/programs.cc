@@ -1,0 +1,72 @@
+#include "apps/programs.h"
+
+#include <cassert>
+
+#include "datalog/parser.h"
+
+namespace templex {
+
+namespace {
+
+Program MustParse(const char* source) {
+  Result<Program> program = ParseProgram(source);
+  assert(program.ok() && "embedded program failed to parse");
+  return std::move(program).value();
+}
+
+}  // namespace
+
+Program SimplifiedStressTestProgram() {
+  return MustParse(R"(
+% Example 4.3: simplified stress test (single debt channel).
+@goal Default.
+alpha: Shock(f, s), HasCapital(f, p1), s > p1 -> Default(f).
+beta:  Default(d), Debts(d, c, v), e = sum(v) -> Risk(c, e).
+gamma: HasCapital(c, p2), Risk(c, e), p2 < e -> Default(c).
+)");
+}
+
+Program CompanyControlProgram() {
+  return MustParse(R"(
+% Company control: one-share-one-vote control closure.
+@goal Control.
+sigma1: Own(x, y, s), s > 0.5 -> Control(x, y).
+sigma2: Company(x) -> Control(x, x).
+sigma3: Control(x, z), Own(z, y, s), ts = sum(s, [z]), ts > 0.5 -> Control(x, y).
+)");
+}
+
+Program StressTestProgram() {
+  return MustParse(R"(
+% Two-channel stress test: long-term and short-term exposures.
+@goal Default.
+sigma4: Shock(f, s), HasCapital(f, p1), s > p1 -> Default(f).
+sigma5: Default(d), LongTermDebts(d, c, v), el = sum(v) -> Risk(c, el, "long").
+sigma6: Default(d), ShortTermDebts(d, c, v), es = sum(v) -> Risk(c, es, "short").
+sigma7: Risk(c, e, t), HasCapital(c, p2), l = sum(e, [t]), l > p2 -> Default(c).
+)");
+}
+
+Program GoldenPowerProgram() {
+  return MustParse(R"(
+% Golden powers: review foreign acquisitions of strategic companies.
+@goal Review.
+sigma1: Own(x, y, s), s > 0.5 -> Control(x, y).
+sigma2: Company(x) -> Control(x, x).
+sigma3: Control(x, z), Own(z, y, s), ts = sum(s, [z]), ts > 0.5 -> Control(x, y).
+gp1: Control(x, y), Strategic(y), Foreign(x) -> GoldenPower(x, y).
+gp2: GoldenPower(x, y), Acquisition(x, y, d) -> Review(x, y, d).
+)");
+}
+
+Program CloseLinksProgram() {
+  return MustParse(R"(
+% Close links: integrated ownership of at least 20%.
+@goal CloseLink.
+kappa1: Own(x, y, s) -> IntOwn(x, y, s).
+kappa2: IntOwn(x, z, s1), Own(z, y, s2), p = s1 * s2 -> IntOwn(x, y, p).
+kappa3: IntOwn(x, y, s), ts = sum(s), ts >= 0.2 -> CloseLink(x, y).
+)");
+}
+
+}  // namespace templex

@@ -1,0 +1,57 @@
+#ifndef TEMPLEX_APPS_PROGRAMS_H_
+#define TEMPLEX_APPS_PROGRAMS_H_
+
+#include "datalog/program.h"
+
+namespace templex {
+
+// The rule-based financial Knowledge Graph applications of the paper (§5),
+// encoded in the library's Vadalog-subset syntax. Each function returns a
+// validated program with its goal predicate set.
+
+// Example 4.3: the simplified single-channel stress test {α, β, γ}.
+//   alpha: Shock(f,s), HasCapital(f,p1), s > p1            -> Default(f).
+//   beta:  Default(d), Debts(d,c,v), e = sum(v)            -> Risk(c,e).
+//   gamma: HasCapital(c,p2), Risk(c,e), p2 < e             -> Default(c).
+Program SimplifiedStressTestProgram();
+
+// §5 "Company Control" {σ1, σ2, σ3}: who controls whom under the
+// one-share-one-vote rule (jointly-held majorities via monotonic sum).
+//   sigma1: Own(x,y,s), s > 0.5                            -> Control(x,y).
+//   sigma2: Company(x)                                     -> Control(x,x).
+//   sigma3: Control(x,z), Own(z,y,s), ts = sum(s,[z]),
+//           ts > 0.5                                       -> Control(x,y).
+Program CompanyControlProgram();
+
+// §5 "Stress Tests" {σ4..σ7}: default-shock propagation over the long-term
+// and short-term debt exposure channels.
+//   sigma4: Shock(f,s), HasCapital(f,p1), s > p1           -> Default(f).
+//   sigma5: Default(d), LongTermDebts(d,c,v), el = sum(v)  -> Risk(c,el,"long").
+//   sigma6: Default(d), ShortTermDebts(d,c,v), es = sum(v) -> Risk(c,es,"short").
+//   sigma7: Risk(c,e,t), HasCapital(c,p2), l = sum(e,[t]),
+//           l > p2                                         -> Default(c).
+Program StressTestProgram();
+
+// Golden-power review (cf. [9], Bellomarini et al. 2020, cited by the
+// paper): flag acquisitions of control over strategic companies by foreign
+// entities. Layers two rules on top of the company-control closure, giving
+// a dependency graph with a non-leaf critical node (Control feeds both the
+// recursion and the review rule).
+//   sigma1..sigma3 as in CompanyControlProgram, then
+//   gp1: Control(x, y), Strategic(y), Foreign(x) -> GoldenPower(x, y).
+//   gp2: GoldenPower(x, y), Acquisition(x, y, d) -> Review(x, y, d).
+Program GoldenPowerProgram();
+
+// §6.2 "close link" application (cf. [2], Atzeni et al., EDBT 2020): two
+// entities are closely linked when the integrated (direct plus indirect,
+// share-product) ownership reaches 20%. Requires an acyclic ownership
+// instance (the chase would not terminate on ownership loops, as share
+// products keep producing fresh values).
+//   kappa1: Own(x,y,s)                                     -> IntOwn(x,y,s).
+//   kappa2: IntOwn(x,z,s1), Own(z,y,s2), p = s1 * s2       -> IntOwn(x,y,p).
+//   kappa3: IntOwn(x,y,s), ts = sum(s), ts >= 0.2          -> CloseLink(x,y).
+Program CloseLinksProgram();
+
+}  // namespace templex
+
+#endif  // TEMPLEX_APPS_PROGRAMS_H_

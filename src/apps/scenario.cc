@@ -1,0 +1,56 @@
+#include "apps/scenario.h"
+
+namespace templex {
+
+namespace {
+
+Value S(const char* name) { return Value::String(name); }
+Value D(double v) { return Value::Double(v); }
+Value I(int64_t v) { return Value::Int(v); }
+
+}  // namespace
+
+RepresentativeScenario MakeRepresentativeScenario() {
+  RepresentativeScenario scenario;
+
+  // Company control side. B -> E -> D gives Control(B, D) along Π = {σ1,
+  // σ3} (the reasoning path the paper reports for this query). A controls C
+  // jointly: 30% directly (through its auto-control, σ2) plus 25% via its
+  // 70%-controlled B.
+  auto& control = scenario.control_edb;
+  for (const char* name : {"A", "B", "C", "D", "E", "F", "G"}) {
+    control.push_back(Fact{"Company", {S(name)}});
+  }
+  control.push_back(Fact{"Own", {S("B"), S("E"), D(0.60)}});
+  control.push_back(Fact{"Own", {S("E"), S("D"), D(0.55)}});
+  control.push_back(Fact{"Own", {S("A"), S("B"), D(0.70)}});
+  control.push_back(Fact{"Own", {S("A"), S("C"), D(0.30)}});
+  control.push_back(Fact{"Own", {S("B"), S("C"), D(0.25)}});
+  control.push_back(Fact{"Own", {S("G"), S("F"), D(0.80)}});
+  control.push_back(Fact{"Own", {S("D"), S("G"), D(0.15)}});
+  scenario.control_query = Fact{"Control", {S("B"), S("D")}};
+
+  // Stress test side (the Default(F) cascade of §5).
+  auto& stress = scenario.stress_edb;
+  stress.push_back(Fact{"HasCapital", {S("A"), I(5)}});
+  stress.push_back(Fact{"HasCapital", {S("B"), I(4)}});
+  stress.push_back(Fact{"HasCapital", {S("C"), I(8)}});
+  stress.push_back(Fact{"HasCapital", {S("D"), I(12)}});
+  stress.push_back(Fact{"HasCapital", {S("E"), I(11)}});
+  stress.push_back(Fact{"HasCapital", {S("F"), I(9)}});
+  stress.push_back(Fact{"HasCapital", {S("G"), I(14)}});
+  stress.push_back(Fact{"Shock", {S("A"), I(14)}});
+  stress.push_back(Fact{"LongTermDebts", {S("A"), S("B"), I(7)}});
+  stress.push_back(Fact{"ShortTermDebts", {S("B"), S("C"), I(9)}});
+  stress.push_back(Fact{"LongTermDebts", {S("C"), S("F"), I(2)}});
+  stress.push_back(Fact{"ShortTermDebts", {S("B"), S("F"), I(9)}});
+  // Exposures that do not trigger further defaults (D, E, G hold).
+  stress.push_back(Fact{"LongTermDebts", {S("A"), S("D"), I(3)}});
+  stress.push_back(Fact{"ShortTermDebts", {S("C"), S("E"), I(5)}});
+  stress.push_back(Fact{"LongTermDebts", {S("B"), S("G"), I(6)}});
+  scenario.stress_query = Fact{"Default", {S("F")}};
+
+  return scenario;
+}
+
+}  // namespace templex

@@ -1,0 +1,36 @@
+#ifndef TEMPLEX_APPS_SCENARIO_H_
+#define TEMPLEX_APPS_SCENARIO_H_
+
+#include <vector>
+
+#include "engine/fact.h"
+
+namespace templex {
+
+// The representative synthetic scenario of §5 (Figures 12 and 13): a small
+// cluster of financial institutions A..G over which the analyst (i) runs
+// the company-control application and asks Q_e = {Control(B, D)}, and
+// (ii) simulates a 14M-euro shock on A and asks Q_e = {Default(F)}.
+//
+// The stress-test side follows the narrative of the paper's Default(F)
+// explanation: A (capital 5M) is shocked with 14M; B holds 7M long-term
+// debts from A and has capital 4M; B's 9M short-term debt puts C (capital
+// 8M) in default; C and B leave F exposed for 2M long-term and 9M
+// short-term against 9M of capital.
+struct RepresentativeScenario {
+  // Own(x, y, s) and Company(x) facts for the company-control run.
+  std::vector<Fact> control_edb;
+  // HasCapital / Shock / LongTermDebts / ShortTermDebts facts for the
+  // stress-test run.
+  std::vector<Fact> stress_edb;
+
+  // The two explanation queries of §5.
+  Fact control_query;  // Control("B", "D")
+  Fact stress_query;   // Default("F")
+};
+
+RepresentativeScenario MakeRepresentativeScenario();
+
+}  // namespace templex
+
+#endif  // TEMPLEX_APPS_SCENARIO_H_

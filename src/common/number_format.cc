@@ -1,0 +1,42 @@
+#include "common/number_format.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace templex {
+
+std::string FormatDouble(double value) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  // Integral values print without a decimal point.
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.0f", value);
+    return buffer;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6f", value);
+  std::string text(buffer);
+  // Strip trailing zeros, then a trailing '.'.
+  size_t end = text.size();
+  while (end > 0 && text[end - 1] == '0') --end;
+  if (end > 0 && text[end - 1] == '.') --end;
+  text.resize(end);
+  return text;
+}
+
+std::string FormatNumber(double value, NumberStyle style) {
+  switch (style) {
+    case NumberStyle::kPlain:
+      return FormatDouble(value);
+    case NumberStyle::kMillions:
+      return FormatDouble(value) + "M";
+    case NumberStyle::kPercent:
+      return FormatDouble(value * 100.0) + "%";
+  }
+  return FormatDouble(value);
+}
+
+std::string FormatInt(int64_t value) { return std::to_string(value); }
+
+}  // namespace templex

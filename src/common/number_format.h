@@ -1,0 +1,32 @@
+#ifndef TEMPLEX_COMMON_NUMBER_FORMAT_H_
+#define TEMPLEX_COMMON_NUMBER_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace templex {
+
+// How a numeric token should be rendered inside a natural-language
+// explanation. The financial KG applications store monetary amounts in
+// millions of euros and ownership shares as fractions in [0, 1]; glossary
+// entries carry one of these hints per predicate argument (see
+// explain/glossary.h).
+enum class NumberStyle {
+  kPlain,     // 7 -> "7", 0.5 -> "0.5"
+  kMillions,  // 7 -> "7M", 11.5 -> "11.5M"  (amounts expressed in millions)
+  kPercent,   // 0.83 -> "83%"               (shares expressed as fractions)
+};
+
+// Formats a double without scientific notation and without trailing zeros
+// ("7", "0.5", "11.25").
+std::string FormatDouble(double value);
+
+// Formats `value` according to `style` (see NumberStyle).
+std::string FormatNumber(double value, NumberStyle style);
+
+// Formats an integer with no grouping ("1234").
+std::string FormatInt(int64_t value);
+
+}  // namespace templex
+
+#endif  // TEMPLEX_COMMON_NUMBER_FORMAT_H_

@@ -1,0 +1,66 @@
+#ifndef TEMPLEX_COMMON_RNG_H_
+#define TEMPLEX_COMMON_RNG_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace templex {
+
+// Deterministic, seedable pseudo-random number generator (xoshiro256**).
+// All stochastic components of the library (data generators, simulated LLM,
+// simulated study participants) draw from an explicitly passed Rng so that
+// every experiment is reproducible from its seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform in [0, 2^64).
+  uint64_t NextUint64();
+
+  // Uniform in [0, bound). `bound` must be > 0.
+  uint64_t NextUint64(uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  // Standard normal via Box-Muller.
+  double NextGaussian();
+
+  // Normal with the given mean and standard deviation.
+  double NextGaussian(double mean, double stddev);
+
+  // Bernoulli trial with success probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextUint64(i));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  // Uniformly picks one element. Requires non-empty.
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    assert(!items.empty());
+    return items[static_cast<size_t>(NextUint64(items.size()))];
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace templex
+
+#endif  // TEMPLEX_COMMON_RNG_H_

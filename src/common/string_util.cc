@@ -1,0 +1,138 @@
+#include "common/string_util.h"
+
+#include <cctype>
+
+namespace templex {
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator) {
+  std::string result;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) result += separator;
+    result += parts[i];
+  }
+  return result;
+}
+
+std::string JoinWithConjunction(const std::vector<std::string>& parts,
+                                std::string_view separator,
+                                std::string_view last_separator) {
+  if (parts.empty()) return "";
+  if (parts.size() == 1) return parts[0];
+  std::string result;
+  for (size_t i = 0; i + 1 < parts.size(); ++i) {
+    if (i > 0) result += separator;
+    result += parts[i];
+  }
+  result += last_separator;
+  result += parts.back();
+  return result;
+}
+
+std::vector<std::string> Split(std::string_view text, char delimiter) {
+  std::vector<std::string> pieces;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      pieces.emplace_back(text.substr(start));
+      break;
+    }
+    pieces.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return pieces;
+}
+
+std::string Trim(std::string_view text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return std::string(text.substr(begin, end - begin));
+}
+
+std::string ReplaceAll(std::string_view text, std::string_view from,
+                       std::string_view to) {
+  if (from.empty()) return std::string(text);
+  std::string result;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(from, start);
+    if (pos == std::string_view::npos) {
+      result.append(text.substr(start));
+      break;
+    }
+    result.append(text.substr(start, pos - start));
+    result.append(to);
+    start = pos + from.size();
+  }
+  return result;
+}
+
+bool Contains(std::string_view text, std::string_view needle) {
+  return text.find(needle) != std::string_view::npos;
+}
+
+std::string ToLower(std::string_view text) {
+  std::string result(text);
+  for (char& c : result) c = std::tolower(static_cast<unsigned char>(c));
+  return result;
+}
+
+std::string ToUpper(std::string_view text) {
+  std::string result(text);
+  for (char& c : result) c = std::toupper(static_cast<unsigned char>(c));
+  return result;
+}
+
+std::string Capitalize(std::string_view text) {
+  std::string result(text);
+  if (!result.empty()) {
+    result[0] = std::toupper(static_cast<unsigned char>(result[0]));
+  }
+  return result;
+}
+
+int CountOccurrences(std::string_view text, std::string_view needle) {
+  if (needle.empty()) return 0;
+  int count = 0;
+  size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string_view::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+std::vector<std::string> SplitSentences(std::string_view text) {
+  std::vector<std::string> sentences;
+  std::string current;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    current.push_back(c);
+    // A '.' between digits is a decimal point ("86.89%"), not a sentence
+    // boundary.
+    const bool decimal_point =
+        c == '.' && i > 0 &&
+        std::isdigit(static_cast<unsigned char>(text[i - 1])) &&
+        i + 1 < text.size() &&
+        std::isdigit(static_cast<unsigned char>(text[i + 1]));
+    if ((c == '.' && !decimal_point) || c == '!' || c == '?') {
+      std::string trimmed = Trim(current);
+      if (!trimmed.empty()) sentences.push_back(trimmed);
+      current.clear();
+    }
+  }
+  std::string trimmed = Trim(current);
+  if (!trimmed.empty()) sentences.push_back(trimmed);
+  return sentences;
+}
+
+}  // namespace templex

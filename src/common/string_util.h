@@ -1,0 +1,50 @@
+#ifndef TEMPLEX_COMMON_STRING_UTIL_H_
+#define TEMPLEX_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace templex {
+
+// Joins the elements of `parts` with `separator`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+// Joins with `separator` between all but the last pair, which uses
+// `last_separator` ("a, b and c"). Used for textual conjunction of
+// aggregation contributors.
+std::string JoinWithConjunction(const std::vector<std::string>& parts,
+                                std::string_view separator,
+                                std::string_view last_separator);
+
+// Splits `text` on `delimiter`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view text, char delimiter);
+
+// Removes leading and trailing ASCII whitespace.
+std::string Trim(std::string_view text);
+
+// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view text, std::string_view from,
+                       std::string_view to);
+
+// True if `text` contains `needle`.
+bool Contains(std::string_view text, std::string_view needle);
+
+// Lower/upper-cases ASCII letters.
+std::string ToLower(std::string_view text);
+std::string ToUpper(std::string_view text);
+
+// Upper-cases the first character (if alphabetic).
+std::string Capitalize(std::string_view text);
+
+// Counts non-overlapping occurrences of `needle` (non-empty) in `text`.
+int CountOccurrences(std::string_view text, std::string_view needle);
+
+// Splits a flowing text into sentences on '.', '!', '?' boundaries,
+// trimming whitespace; the terminating punctuation is kept.
+std::vector<std::string> SplitSentences(std::string_view text);
+
+}  // namespace templex
+
+#endif  // TEMPLEX_COMMON_STRING_UTIL_H_

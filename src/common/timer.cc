@@ -1,0 +1,5 @@
+#include "common/timer.h"
+
+// Timer is header-only; this translation unit exists so the build layout is
+// uniform (one .cc per header) and to anchor the vtable-free class in the
+// library archive.

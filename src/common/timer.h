@@ -1,0 +1,32 @@
+#ifndef TEMPLEX_COMMON_TIMER_H_
+#define TEMPLEX_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace templex {
+
+// Wall-clock stopwatch over std::chrono::steady_clock. Used by the
+// performance experiments (Figure 18) and the microbenchmark helpers.
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  // Elapsed time since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace templex
+
+#endif  // TEMPLEX_COMMON_TIMER_H_

@@ -1,0 +1,111 @@
+#include "core/dependency_graph.h"
+
+#include <algorithm>
+#include <set>
+
+namespace templex {
+
+DependencyGraph DependencyGraph::Build(const Program& program) {
+  DependencyGraph graph;
+  graph.predicates_ = program.Predicates();
+  graph.extensional_ = program.ExtensionalPredicates();
+  graph.leaf_ = program.goal_predicate();
+  for (size_t i = 0; i < program.rules().size(); ++i) {
+    const Rule& rule = program.rules()[i];
+    if (rule.is_constraint) continue;  // constraints derive nothing
+    std::set<std::string> seen;  // one edge per distinct body predicate
+    for (const Atom& atom : rule.body) {
+      if (!seen.insert(atom.predicate).second) continue;
+      graph.edges_.push_back(DependencyEdge{atom.predicate,
+                                            rule.head.predicate, rule.label,
+                                            static_cast<int>(i)});
+    }
+  }
+  return graph;
+}
+
+bool DependencyGraph::IsExtensional(const std::string& predicate) const {
+  return std::find(extensional_.begin(), extensional_.end(), predicate) !=
+         extensional_.end();
+}
+
+std::vector<std::string> DependencyGraph::Roots() const {
+  return extensional_;
+}
+
+std::vector<std::string> DependencyGraph::DerivingRules(
+    const std::string& predicate) const {
+  std::vector<std::string> labels;
+  for (const DependencyEdge& e : edges_) {
+    if (e.to == predicate &&
+        std::find(labels.begin(), labels.end(), e.rule_label) ==
+            labels.end()) {
+      labels.push_back(e.rule_label);
+    }
+  }
+  return labels;
+}
+
+int DependencyGraph::OutDegree(const std::string& predicate) const {
+  int degree = 0;
+  for (const DependencyEdge& e : edges_) {
+    if (e.from == predicate) ++degree;
+  }
+  return degree;
+}
+
+bool DependencyGraph::DependsOn(const std::string& from,
+                                const std::string& to) const {
+  // BFS over edges; self-reachability requires an actual cycle.
+  std::vector<std::string> frontier = {from};
+  std::set<std::string> visited;
+  while (!frontier.empty()) {
+    std::string current = std::move(frontier.back());
+    frontier.pop_back();
+    for (const DependencyEdge& e : edges_) {
+      if (e.from != current) continue;
+      if (e.to == to) return true;
+      if (visited.insert(e.to).second) frontier.push_back(e.to);
+    }
+  }
+  return false;
+}
+
+bool DependencyGraph::IsCyclic() const {
+  for (const std::string& p : predicates_) {
+    if (DependsOn(p, p)) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> DependencyGraph::CriticalNodes() const {
+  std::vector<std::string> critical;
+  for (const std::string& p : predicates_) {
+    if (IsExtensional(p)) continue;
+    if (p == leaf_ || OutDegree(p) > 1) critical.push_back(p);
+  }
+  return critical;
+}
+
+std::string DependencyGraph::ToDot() const {
+  std::vector<std::string> critical = CriticalNodes();
+  auto is_critical = [&critical](const std::string& p) {
+    return std::find(critical.begin(), critical.end(), p) != critical.end();
+  };
+  std::string dot = "digraph dependency {\n  rankdir=LR;\n";
+  for (const std::string& p : predicates_) {
+    dot += "  \"" + p + "\" [shape=" +
+           (IsExtensional(p) ? "box" : "ellipse");
+    if (is_critical(p)) dot += ", peripheries=2";
+    if (p == leaf_) dot += ", style=bold";
+    dot += "];\n";
+  }
+  for (const DependencyEdge& e : edges_) {
+    dot += "  \"" + e.from + "\" -> \"" + e.to + "\" [label=\"" +
+           e.rule_label + "\"];\n";
+  }
+  dot += "}\n";
+  return dot;
+}
+
+}  // namespace templex

@@ -1,0 +1,79 @@
+#ifndef TEMPLEX_CORE_DEPENDENCY_GRAPH_H_
+#define TEMPLEX_CORE_DEPENDENCY_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "datalog/program.h"
+
+namespace templex {
+
+// One edge of the dependency graph D(Σ): `from` appears in the body of rule
+// `rule_label`, whose head predicate is `to`. A rule with k body atoms
+// contributes k parallel edges labelled with the same rule.
+struct DependencyEdge {
+  std::string from;
+  std::string to;
+  std::string rule_label;
+  int rule_index = 0;
+
+  bool operator==(const DependencyEdge& o) const {
+    return from == o.from && to == o.to && rule_label == o.rule_label;
+  }
+};
+
+// The dependency graph of a program (§3): vertices are predicates, edges
+// run from body predicates to head predicates, labelled by rules.
+class DependencyGraph {
+ public:
+  // Builds D(Σ). The leaf is the program's goal predicate.
+  static DependencyGraph Build(const Program& program);
+
+  const std::vector<std::string>& predicates() const { return predicates_; }
+  const std::vector<DependencyEdge>& edges() const { return edges_; }
+  const std::string& leaf() const { return leaf_; }
+
+  bool IsExtensional(const std::string& predicate) const;
+
+  // Root nodes: extensional predicates (they depend on no other node).
+  std::vector<std::string> Roots() const;
+
+  // Labels of the rules with `predicate` as head, in program order.
+  std::vector<std::string> DerivingRules(const std::string& predicate) const;
+
+  // Number of outgoing dependency edges of `predicate`, counting parallel
+  // edges.
+  int OutDegree(const std::string& predicate) const;
+
+  // True iff a' ≺ a: a (possibly empty) path from `from` to `to` exists.
+  // DependsOn(p, p) is true only if p lies on a cycle.
+  bool DependsOn(const std::string& from, const std::string& to) const;
+
+  // The program is recursive iff D(Σ) is cyclic.
+  bool IsCyclic() const;
+
+  // Critical nodes (Definition 4.1): V is critical when V is not
+  // extensional and either it is the leaf node or it has more than one
+  // outgoing dependency edge.
+  //
+  // Interpretation note: we read the definition's deg⁻(V) as the number of
+  // outgoing edges. This is the only reading under which the paper's own
+  // reasoning-path tables (Figure 10) follow from Definition 4.2 — with an
+  // in-degree reading, Risk (two deriving rules in the stress test) would be
+  // critical and Π7–Π9 could not pass through it.
+  std::vector<std::string> CriticalNodes() const;
+
+  // GraphViz DOT rendering (extensional nodes as boxes, critical nodes
+  // doubled, edges labelled with rules).
+  std::string ToDot() const;
+
+ private:
+  std::vector<std::string> predicates_;
+  std::vector<DependencyEdge> edges_;
+  std::vector<std::string> extensional_;
+  std::string leaf_;
+};
+
+}  // namespace templex
+
+#endif  // TEMPLEX_CORE_DEPENDENCY_GRAPH_H_

@@ -1,0 +1,27 @@
+#include "core/reasoning_path.h"
+
+#include <algorithm>
+
+#include "datalog/printer.h"
+
+namespace templex {
+
+bool ReasoningPath::IsMultiAggregation(const std::string& rule) const {
+  return std::find(multi_agg_rules.begin(), multi_agg_rules.end(), rule) !=
+         multi_agg_rules.end();
+}
+
+std::string ReasoningPath::ToString() const {
+  return name + " = " + FormatRuleLabelSet(rules);
+}
+
+bool ReasoningPath::SameRuleSet(const std::vector<std::string>& labels) const {
+  if (labels.size() != rules.size()) return false;
+  std::vector<std::string> a = rules;
+  std::vector<std::string> b = labels;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b;
+}
+
+}  // namespace templex

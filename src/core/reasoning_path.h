@@ -1,0 +1,51 @@
+#ifndef TEMPLEX_CORE_REASONING_PATH_H_
+#define TEMPLEX_CORE_REASONING_PATH_H_
+
+#include <string>
+#include <vector>
+
+namespace templex {
+
+// A reasoning path (Definition 4.2): a database-independent "reasoning
+// story" over the dependency graph, represented compactly as an ordered set
+// of rule labels (bottom-up: rules whose bodies are grounded first, the
+// rule deriving the target last).
+//
+// A simple reasoning path derives `target` (the leaf or a critical node)
+// from root nodes. A reasoning cycle derives `target` using occurrences of
+// the critical node `anchor` as closed inputs, i.e. it connects `anchor`
+// back to `target`.
+//
+// Aggregation variants (§4.1, "Analysis of Aggregations"): for every rule
+// of the path that carries an aggregate, a variant path exists in which
+// that rule's aggregation is verbalized for multiple contributors (the
+// "dashed edge" notation of Figure 5). `multi_agg_rules` lists the rules so
+// marked; the base path has it empty and its aggregations are verbalized as
+// single-contributor rules.
+struct ReasoningPath {
+  enum class Kind { kSimplePath, kCycle };
+
+  Kind kind = Kind::kSimplePath;
+  std::string name;                 // "Pi2", "Gamma1", "Pi3*1", ...
+  std::vector<std::string> rules;   // bottom-up topological order
+  std::string target;               // derived predicate
+  std::string anchor;               // cycles only: the closed critical node
+  std::vector<std::string> multi_agg_rules;
+
+  bool is_cycle() const { return kind == Kind::kCycle; }
+  bool is_aggregation_variant() const { return !multi_agg_rules.empty(); }
+
+  // True iff `rule` is verbalized with the multi-contributor aggregation
+  // wording in this path.
+  bool IsMultiAggregation(const std::string& rule) const;
+
+  // "Pi2 = {sigma1, sigma3}".
+  std::string ToString() const;
+
+  // Same rule multiset (order-insensitive comparison used by the mapper).
+  bool SameRuleSet(const std::vector<std::string>& labels) const;
+};
+
+}  // namespace templex
+
+#endif  // TEMPLEX_CORE_REASONING_PATH_H_

@@ -1,0 +1,311 @@
+#include "core/structural_analyzer.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace templex {
+
+namespace {
+
+// Intensional predicates of a rule's body, in body order, deduplicated.
+std::vector<std::string> IntensionalBodyPredicates(
+    const Rule& rule, const DependencyGraph& graph) {
+  std::vector<std::string> preds;
+  for (const Atom& atom : rule.body) {
+    if (graph.IsExtensional(atom.predicate)) continue;
+    if (std::find(preds.begin(), preds.end(), atom.predicate) == preds.end()) {
+      preds.push_back(atom.predicate);
+    }
+  }
+  return preds;
+}
+
+// Enumerates reasoning paths for one (target, anchor) combination; anchor is
+// empty for simple paths.
+class PathEnumerator {
+ public:
+  PathEnumerator(const Program& program, const DependencyGraph& graph,
+                 const AnalyzerOptions& options)
+      : program_(program), graph_(graph), options_(options) {}
+
+  // Appends enumerated paths to `out`. Returns ResourceExhausted when the
+  // max_paths cap is hit.
+  Status Enumerate(const std::string& target, const std::string& anchor,
+                   std::vector<ReasoningPath>* out) {
+    target_ = target;
+    anchor_ = anchor;
+    out_ = out;
+    for (const std::string& rule_label : graph_.DerivingRules(target)) {
+      State state;
+      TEMPLEX_RETURN_IF_ERROR(UseRule(rule_label, &state));
+      TEMPLEX_RETURN_IF_ERROR(Recurse(state));
+    }
+    return Status::OK();
+  }
+
+ private:
+  struct State {
+    std::vector<std::string> used;     // rules, in pick order
+    std::vector<std::string> pending;  // predicates awaiting a choice
+    std::map<std::string, std::vector<std::string>> inner_choice;
+    bool anchor_used = false;
+  };
+
+  bool IsUsed(const State& state, const std::string& rule_label) const {
+    return std::find(state.used.begin(), state.used.end(), rule_label) !=
+           state.used.end();
+  }
+
+  // Marks `rule_label` used and queues its underived intensional body
+  // predicates. Occurrences of the anchor are closed instead of queued.
+  Status UseRule(const std::string& rule_label, State* state) {
+    state->used.push_back(rule_label);
+    const Rule* rule = program_.FindRule(rule_label);
+    if (rule == nullptr) {
+      return Status::Internal("rule not found: " + rule_label);
+    }
+    for (const std::string& pred : IntensionalBodyPredicates(*rule, graph_)) {
+      if (!anchor_.empty() && pred == anchor_) {
+        state->anchor_used = true;
+        continue;
+      }
+      if (state->inner_choice.count(pred) > 0) continue;
+      if (std::find(state->pending.begin(), state->pending.end(), pred) ==
+          state->pending.end()) {
+        state->pending.push_back(pred);
+      }
+    }
+    return Status::OK();
+  }
+
+  Status Recurse(State state) {
+    if (state.pending.empty()) {
+      if (!anchor_.empty() && !state.anchor_used) return Status::OK();
+      return Emit(state);
+    }
+    std::string pred = state.pending.front();
+    state.pending.erase(state.pending.begin());
+    std::vector<std::string> available;
+    for (const std::string& r : graph_.DerivingRules(pred)) {
+      if (!IsUsed(state, r)) available.push_back(r);
+    }
+    if (available.empty()) return Status::OK();  // dead end
+    // Nonempty subsets, singletons first (stable "Figure 10" ordering).
+    const int n = static_cast<int>(available.size());
+    std::vector<unsigned> masks;
+    for (unsigned mask = 1; mask < (1u << n); ++mask) masks.push_back(mask);
+    std::stable_sort(masks.begin(), masks.end(),
+                     [](unsigned a, unsigned b) {
+                       int pa = __builtin_popcount(a);
+                       int pb = __builtin_popcount(b);
+                       return pa != pb ? pa < pb : a < b;
+                     });
+    for (unsigned mask : masks) {
+      State next = state;
+      std::vector<std::string> chosen;
+      for (int i = 0; i < n; ++i) {
+        if (mask & (1u << i)) chosen.push_back(available[i]);
+      }
+      next.inner_choice[pred] = chosen;
+      bool ok = true;
+      for (const std::string& r : chosen) {
+        Status s = UseRule(r, &next);
+        if (!s.ok()) return s;
+        (void)ok;
+      }
+      TEMPLEX_RETURN_IF_ERROR(Recurse(std::move(next)));
+    }
+    return Status::OK();
+  }
+
+  Status Emit(const State& state) {
+    if (static_cast<int>(out_->size()) >= options_.max_paths) {
+      return Status::ResourceExhausted(
+          "reasoning-path enumeration exceeded max_paths=" +
+          std::to_string(options_.max_paths));
+    }
+    ReasoningPath path;
+    path.kind = anchor_.empty() ? ReasoningPath::Kind::kSimplePath
+                                : ReasoningPath::Kind::kCycle;
+    path.target = target_;
+    path.anchor = anchor_;
+    path.rules = TopologicalOrder(state);
+    // Dedup: the same rule set for the same (target, anchor) can be reached
+    // through different choice orders.
+    for (const ReasoningPath& existing : *out_) {
+      if (existing.target == path.target && existing.anchor == path.anchor &&
+          existing.SameRuleSet(path.rules)) {
+        return Status::OK();
+      }
+    }
+    out_->push_back(std::move(path));
+    return Status::OK();
+  }
+
+  // Bottom-up order: a rule follows every rule chosen for the intensional
+  // body predicates it consumes; the target rule comes last. Kahn's
+  // algorithm with program-order tie-breaking.
+  std::vector<std::string> TopologicalOrder(const State& state) const {
+    const std::vector<std::string>& rules = state.used;
+    auto choice_for = [&state](const std::string& pred)
+        -> const std::vector<std::string>* {
+      auto it = state.inner_choice.find(pred);
+      return it == state.inner_choice.end() ? nullptr : &it->second;
+    };
+    // deps[r] = rules that must precede r.
+    std::map<std::string, std::set<std::string>> deps;
+    for (const std::string& r : rules) deps[r];
+    for (const std::string& r : rules) {
+      const Rule* rule = program_.FindRule(r);
+      for (const std::string& pred :
+           IntensionalBodyPredicates(*rule, graph_)) {
+        if (!anchor_.empty() && pred == anchor_) continue;
+        const std::vector<std::string>* chosen = choice_for(pred);
+        if (chosen == nullptr) continue;
+        for (const std::string& dep : *chosen) {
+          if (dep != r) deps[r].insert(dep);
+        }
+      }
+    }
+    // The first used rule derives the target: force it last by making it
+    // depend on every other rule.
+    const std::string& target_rule = rules.front();
+    for (const std::string& r : rules) {
+      if (r != target_rule) deps[target_rule].insert(r);
+    }
+    std::vector<std::string> order;
+    std::set<std::string> done;
+    while (order.size() < rules.size()) {
+      bool progressed = false;
+      for (size_t i = 0; i < program_.rules().size(); ++i) {
+        const std::string& label = program_.rules()[i].label;
+        if (deps.count(label) == 0 || done.count(label) > 0) continue;
+        bool ready = true;
+        for (const std::string& dep : deps[label]) {
+          if (done.count(dep) == 0) {
+            ready = false;
+            break;
+          }
+        }
+        if (ready) {
+          order.push_back(label);
+          done.insert(label);
+          progressed = true;
+        }
+      }
+      if (!progressed) {
+        // Cycle among chosen rules (mutually recursive predicates): fall
+        // back to pick order, which is still deterministic.
+        for (const std::string& r : rules) {
+          if (done.insert(r).second) order.push_back(r);
+        }
+        break;
+      }
+    }
+    return order;
+  }
+
+  const Program& program_;
+  const DependencyGraph& graph_;
+  const AnalyzerOptions& options_;
+  std::string target_;
+  std::string anchor_;
+  std::vector<ReasoningPath>* out_ = nullptr;
+};
+
+// Rules of `path` that carry an aggregation.
+std::vector<std::string> AggregationRules(const Program& program,
+                                          const ReasoningPath& path) {
+  std::vector<std::string> result;
+  for (const std::string& label : path.rules) {
+    const Rule* rule = program.FindRule(label);
+    if (rule != nullptr && rule->has_aggregate()) result.push_back(label);
+  }
+  return result;
+}
+
+}  // namespace
+
+std::string StructuralAnalysis::ToTable() const {
+  auto has_variant = [this](const ReasoningPath& base) {
+    for (const ReasoningPath& p : catalog) {
+      if (p.is_aggregation_variant() && p.target == base.target &&
+          p.anchor == base.anchor && p.SameRuleSet(base.rules)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  std::string table = "Simple Reasoning Paths:\n";
+  for (const ReasoningPath& p : simple_paths) {
+    table += "  " + p.ToString() + (has_variant(p) ? " *" : "") + "\n";
+  }
+  table += "Reasoning Cycles:\n";
+  for (const ReasoningPath& p : cycles) {
+    table += "  " + p.ToString() + (has_variant(p) ? " *" : "") + "\n";
+  }
+  return table;
+}
+
+Result<StructuralAnalysis> AnalyzeProgram(const Program& program,
+                                          const AnalyzerOptions& options) {
+  TEMPLEX_RETURN_IF_ERROR(program.Validate());
+  if (program.goal_predicate().empty()) {
+    return Status::InvalidArgument(
+        "structural analysis requires a goal predicate (@goal)");
+  }
+  StructuralAnalysis analysis;
+  analysis.graph = DependencyGraph::Build(program);
+
+  std::vector<std::string> targets = analysis.graph.CriticalNodes();
+  if (std::find(targets.begin(), targets.end(),
+                program.goal_predicate()) == targets.end()) {
+    targets.insert(targets.begin(), program.goal_predicate());
+  }
+
+  PathEnumerator enumerator(program, analysis.graph, options);
+  for (const std::string& target : targets) {
+    TEMPLEX_RETURN_IF_ERROR(
+        enumerator.Enumerate(target, "", &analysis.simple_paths));
+  }
+  const std::vector<std::string> criticals = analysis.graph.CriticalNodes();
+  for (const std::string& anchor : criticals) {
+    for (const std::string& target : criticals) {
+      TEMPLEX_RETURN_IF_ERROR(
+          enumerator.Enumerate(target, anchor, &analysis.cycles));
+    }
+  }
+
+  // Names.
+  for (size_t i = 0; i < analysis.simple_paths.size(); ++i) {
+    analysis.simple_paths[i].name = "Pi" + std::to_string(i + 1);
+  }
+  for (size_t i = 0; i < analysis.cycles.size(); ++i) {
+    analysis.cycles[i].name = "Gamma" + std::to_string(i + 1);
+  }
+
+  // Catalog: base paths plus aggregation variants (every nonempty subset of
+  // each path's aggregation rules).
+  auto add_with_variants = [&program, &analysis](const ReasoningPath& base) {
+    analysis.catalog.push_back(base);
+    std::vector<std::string> agg_rules = AggregationRules(program, base);
+    const int n = static_cast<int>(agg_rules.size());
+    int variant_index = 0;
+    for (unsigned mask = 1; mask < (1u << n); ++mask) {
+      ReasoningPath variant = base;
+      variant.multi_agg_rules.clear();
+      for (int i = 0; i < n; ++i) {
+        if (mask & (1u << i)) variant.multi_agg_rules.push_back(agg_rules[i]);
+      }
+      variant.name = base.name + "*" + std::to_string(++variant_index);
+      analysis.catalog.push_back(std::move(variant));
+    }
+  };
+  for (const ReasoningPath& p : analysis.simple_paths) add_with_variants(p);
+  for (const ReasoningPath& p : analysis.cycles) add_with_variants(p);
+
+  return analysis;
+}
+
+}  // namespace templex

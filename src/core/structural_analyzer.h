@@ -1,0 +1,61 @@
+#ifndef TEMPLEX_CORE_STRUCTURAL_ANALYZER_H_
+#define TEMPLEX_CORE_STRUCTURAL_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/dependency_graph.h"
+#include "core/reasoning_path.h"
+#include "datalog/program.h"
+
+namespace templex {
+
+// Output of the preventive structural analysis (§4.1): the dependency
+// graph, the base simple reasoning paths and reasoning cycles, and the
+// full catalog including aggregation variants. The catalog is what the
+// template generator verbalizes and the chase mapper searches.
+struct StructuralAnalysis {
+  DependencyGraph graph;
+  std::vector<ReasoningPath> simple_paths;  // base (non-variant) paths
+  std::vector<ReasoningPath> cycles;        // base (non-variant) cycles
+  std::vector<ReasoningPath> catalog;       // base paths + all variants
+
+  // Paper-style summary table (cf. Figure 10), with '*' marking paths whose
+  // aggregation variant exists.
+  std::string ToTable() const;
+};
+
+// Options for the path enumeration.
+struct AnalyzerOptions {
+  // Safety cap on the number of enumerated paths (the number of reasoning
+  // paths can grow exponentially with rule fan-in).
+  int max_paths = 10000;
+};
+
+// Runs the structural analysis of `program` (which must have a goal
+// predicate — the leaf of the dependency graph).
+//
+// Enumeration semantics, reverse-engineered from Definitions 4.1–4.2 and
+// validated against every path table in the paper (Figures 4, 5, 10):
+//  - a simple reasoning path for target T picks exactly one rule deriving
+//    T, then, for every intensional predicate P required by a picked rule,
+//    picks a nonempty subset of the not-yet-used rules deriving P
+//    (a subset of size > 1 is a "joint" path such as Π5 = {σ1, σ2, σ3}),
+//    recursively until every requirement is grounded in root nodes. Each
+//    rule is used at most once per path, which bounds the enumeration.
+//    Targets are the leaf and every critical node.
+//  - a reasoning cycle from anchor A to target T (both critical) is
+//    enumerated the same way, except that occurrences of A in rule bodies
+//    are closed (taken as given, never derived) and at least one such
+//    occurrence must be used.
+//  - for every enumerated path and every nonempty subset of its
+//    aggregation-carrying rules, an aggregation variant is added to the
+//    catalog (Figure 5's dashed paths).
+Result<StructuralAnalysis> AnalyzeProgram(const Program& program,
+                                          const AnalyzerOptions& options =
+                                              AnalyzerOptions());
+
+}  // namespace templex
+
+#endif  // TEMPLEX_CORE_STRUCTURAL_ANALYZER_H_

@@ -1,0 +1,184 @@
+#include "core/termination.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace templex {
+
+namespace {
+
+// Predicate adjacency (body -> head), positive and negative bodies alike.
+std::map<std::string, std::set<std::string>> BuildAdjacency(
+    const Program& program) {
+  std::map<std::string, std::set<std::string>> adjacency;
+  for (const std::string& predicate : program.Predicates()) {
+    adjacency[predicate];
+  }
+  for (const Rule& rule : program.rules()) {
+    if (rule.is_constraint) continue;
+    for (const Atom& atom : rule.body) {
+      adjacency[atom.predicate].insert(rule.head.predicate);
+    }
+    for (const Atom& atom : rule.negative_body) {
+      adjacency[atom.predicate].insert(rule.head.predicate);
+    }
+  }
+  return adjacency;
+}
+
+// Iterative Tarjan SCC.
+class SccFinder {
+ public:
+  explicit SccFinder(const std::map<std::string, std::set<std::string>>& adj)
+      : adjacency_(adj) {}
+
+  std::vector<std::vector<std::string>> Run() {
+    for (const auto& [node, unused] : adjacency_) {
+      if (index_.count(node) == 0) Strongconnect(node);
+    }
+    return components_;
+  }
+
+ private:
+  void Strongconnect(const std::string& root) {
+    struct Frame {
+      std::string node;
+      std::set<std::string>::const_iterator next;
+    };
+    std::vector<Frame> call_stack;
+    auto push_node = [this, &call_stack](const std::string& node) {
+      index_[node] = counter_;
+      lowlink_[node] = counter_;
+      ++counter_;
+      stack_.push_back(node);
+      on_stack_.insert(node);
+      call_stack.push_back(Frame{node, adjacency_.at(node).begin()});
+    };
+    push_node(root);
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      const auto& neighbors = adjacency_.at(frame.node);
+      if (frame.next != neighbors.end()) {
+        const std::string& next = *frame.next;
+        ++frame.next;
+        if (index_.count(next) == 0) {
+          push_node(next);
+        } else if (on_stack_.count(next) > 0) {
+          lowlink_[frame.node] =
+              std::min(lowlink_[frame.node], index_[next]);
+        }
+        continue;
+      }
+      // Node finished.
+      if (lowlink_[frame.node] == index_[frame.node]) {
+        std::vector<std::string> component;
+        while (true) {
+          std::string top = stack_.back();
+          stack_.pop_back();
+          on_stack_.erase(top);
+          component.push_back(top);
+          if (top == frame.node) break;
+        }
+        std::sort(component.begin(), component.end());
+        components_.push_back(std::move(component));
+      }
+      const std::string finished = frame.node;
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        lowlink_[call_stack.back().node] = std::min(
+            lowlink_[call_stack.back().node], lowlink_[finished]);
+      }
+    }
+  }
+
+  const std::map<std::string, std::set<std::string>>& adjacency_;
+  std::map<std::string, int> index_;
+  std::map<std::string, int> lowlink_;
+  std::vector<std::string> stack_;
+  std::set<std::string> on_stack_;
+  std::vector<std::vector<std::string>> components_;
+  int counter_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::vector<std::string>> PredicateSccs(const Program& program) {
+  return SccFinder(BuildAdjacency(program)).Run();
+}
+
+std::string TerminationAnalysis::ToString() const {
+  if (verdict == TerminationVerdict::kGuaranteed) {
+    return "termination guaranteed on every finite instance";
+  }
+  std::string text = "termination is data-dependent:";
+  for (const TerminationWarning& warning : warnings) {
+    text += "\n  rule '" + warning.rule_label + "': " + warning.reason;
+  }
+  return text;
+}
+
+Result<TerminationAnalysis> AnalyzeTermination(const Program& program) {
+  TEMPLEX_RETURN_IF_ERROR(program.Validate());
+  TerminationAnalysis analysis;
+
+  // Predicate -> SCC id; an SCC is recursive if it has >1 predicate or a
+  // self-loop.
+  const auto adjacency = BuildAdjacency(program);
+  const auto components = PredicateSccs(program);
+  std::map<std::string, int> component_of;
+  for (size_t i = 0; i < components.size(); ++i) {
+    for (const std::string& predicate : components[i]) {
+      component_of[predicate] = static_cast<int>(i);
+    }
+  }
+  auto is_recursive_component = [&](int id) {
+    const auto& component = components[id];
+    if (component.size() > 1) return true;
+    const std::string& only = component[0];
+    return adjacency.at(only).count(only) > 0;
+  };
+
+  for (const Rule& rule : program.rules()) {
+    if (rule.is_constraint) continue;
+    const int head_component = component_of.at(rule.head.predicate);
+    // The rule participates in recursion iff some body predicate shares the
+    // head's SCC (and that SCC is recursive).
+    bool recursive = false;
+    for (const Atom& atom : rule.body) {
+      if (component_of.at(atom.predicate) == head_component &&
+          is_recursive_component(head_component)) {
+        recursive = true;
+      }
+    }
+    if (!recursive) continue;
+
+    // Value inventor 1: assignment-derived head arguments.
+    std::set<std::string> assigned;
+    for (const Assignment& a : rule.assignments) assigned.insert(a.variable);
+    for (const Term& term : rule.head.terms) {
+      if (term.is_variable() && assigned.count(term.variable_name()) > 0) {
+        analysis.warnings.push_back(TerminationWarning{
+            rule.label,
+            "head argument <" + term.variable_name() +
+                "> is computed by an arithmetic assignment inside a "
+                "recursive component; cyclic data can generate fresh values "
+                "forever"});
+      }
+    }
+    // Value inventor 2: existential head variables.
+    for (const std::string& var : rule.ExistentialVariableNames()) {
+      analysis.warnings.push_back(TerminationWarning{
+          rule.label,
+          "existential head variable <" + var +
+              "> inside a recursive component; the chase may keep inventing "
+              "labelled nulls"});
+    }
+  }
+  if (!analysis.warnings.empty()) {
+    analysis.verdict = TerminationVerdict::kDataDependent;
+  }
+  return analysis;
+}
+
+}  // namespace templex

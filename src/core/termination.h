@@ -1,0 +1,67 @@
+#ifndef TEMPLEX_CORE_TERMINATION_H_
+#define TEMPLEX_CORE_TERMINATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/program.h"
+
+namespace templex {
+
+// Conservative static termination analysis.
+//
+// The paper restricts itself to "Vadalog programs involved in reasoning
+// tasks whose termination is guaranteed" (§3, citing [6, 11]). This module
+// makes that precondition checkable: under set semantics, a chase can only
+// diverge if recursion keeps *inventing fresh values*. The analysis finds
+// the recursive components of the dependency graph and flags the two value
+// inventors inside them:
+//
+//  - an arithmetic/assignment-derived head argument in a recursive rule
+//    (the close-link kappa2 pattern: share products shrink forever on
+//    cyclic data);
+//  - an existential head variable in a recursive rule (fresh labelled nulls
+//    each round; the restricted-chase reuse helps but is not a guarantee).
+//
+// Monotonic aggregations do NOT invent unboundedly: their value set is
+// determined by the (finite) set of contributor bindings, so the running
+// sums of the control/stress programs are safe.
+//
+// The analysis is sound for warnings ("clean" programs really terminate on
+// every finite instance) and deliberately incomplete the other way: a
+// flagged program may still terminate (e.g. close links over acyclic
+// ownership), which is why the engine keeps its max_facts/max_rounds guard
+// rails instead of refusing to run.
+
+enum class TerminationVerdict {
+  // No value invention inside any recursive component: the chase reaches
+  // fixpoint on every finite instance.
+  kGuaranteed,
+  // Value invention inside recursion: termination depends on the data.
+  kDataDependent,
+};
+
+struct TerminationWarning {
+  std::string rule_label;
+  std::string reason;  // human-readable explanation of the risk
+};
+
+struct TerminationAnalysis {
+  TerminationVerdict verdict = TerminationVerdict::kGuaranteed;
+  std::vector<TerminationWarning> warnings;
+
+  std::string ToString() const;
+};
+
+// Analyzes `program` (which must validate).
+Result<TerminationAnalysis> AnalyzeTermination(const Program& program);
+
+// Strongly connected components of the program's predicate dependency
+// graph (positive and negative edges), in reverse topological order; each
+// component lists predicates. Exposed for reuse and tests.
+std::vector<std::vector<std::string>> PredicateSccs(const Program& program);
+
+}  // namespace templex
+
+#endif  // TEMPLEX_CORE_TERMINATION_H_

@@ -1,0 +1,38 @@
+#include "datalog/aggregate.h"
+
+#include "common/string_util.h"
+
+namespace templex {
+
+const char* AggregateFunctionToString(AggregateFunction fn) {
+  switch (fn) {
+    case AggregateFunction::kSum:
+      return "sum";
+    case AggregateFunction::kProd:
+      return "prod";
+    case AggregateFunction::kMin:
+      return "min";
+    case AggregateFunction::kMax:
+      return "max";
+    case AggregateFunction::kCount:
+      return "count";
+  }
+  return "?";
+}
+
+std::string Aggregate::ToString() const {
+  std::string result = result_variable;
+  result += " = ";
+  result += AggregateFunctionToString(function);
+  result += "(";
+  result += input_variable;
+  if (!contributor_keys.empty()) {
+    result += ", [";
+    result += Join(contributor_keys, ", ");
+    result += "]";
+  }
+  result += ")";
+  return result;
+}
+
+}  // namespace templex

@@ -1,0 +1,38 @@
+#ifndef TEMPLEX_DATALOG_AGGREGATE_H_
+#define TEMPLEX_DATALOG_AGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+namespace templex {
+
+// Monotonic aggregation functions supported by the Vadalog extensions (§3).
+enum class AggregateFunction { kSum, kProd, kMin, kMax, kCount };
+
+const char* AggregateFunctionToString(AggregateFunction fn);
+
+// An aggregation element of a rule body: `result = sum(input)` or, with
+// explicit contributor keys, `result = sum(input, [k1, k2])`.
+//
+// Semantics (monotonic aggregation): contributions are grouped by the values
+// of the rule's group key (all head / post-condition variables except
+// `result_variable`). Within a group:
+//   - without explicit contributor keys, each distinct residual body binding
+//     contributes its input value exactly once (set semantics);
+//   - with explicit contributor keys, each distinct key tuple contributes its
+//     *latest monotone* value (max for sum/count/max, min for min), which is
+//     how Vadalog's msum aggregates running per-channel totals (rule σ7 of
+//     the stress test sums the latest per-channel exposure).
+struct Aggregate {
+  std::string result_variable;
+  AggregateFunction function = AggregateFunction::kSum;
+  std::string input_variable;
+  std::vector<std::string> contributor_keys;  // may be empty
+
+  // "e = sum(v)" / "ts = sum(s, [z])".
+  std::string ToString() const;
+};
+
+}  // namespace templex
+
+#endif  // TEMPLEX_DATALOG_AGGREGATE_H_

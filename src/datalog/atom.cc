@@ -1,0 +1,30 @@
+#include "datalog/atom.h"
+
+#include <algorithm>
+
+namespace templex {
+
+std::vector<std::string> Atom::VariableNames() const {
+  std::vector<std::string> names;
+  for (const Term& t : terms) {
+    if (t.is_variable() &&
+        std::find(names.begin(), names.end(), t.variable_name()) ==
+            names.end()) {
+      names.push_back(t.variable_name());
+    }
+  }
+  return names;
+}
+
+std::string Atom::ToString() const {
+  std::string result = predicate;
+  result += "(";
+  for (size_t i = 0; i < terms.size(); ++i) {
+    if (i > 0) result += ", ";
+    result += terms[i].ToString();
+  }
+  result += ")";
+  return result;
+}
+
+}  // namespace templex

@@ -1,0 +1,36 @@
+#ifndef TEMPLEX_DATALOG_ATOM_H_
+#define TEMPLEX_DATALOG_ATOM_H_
+
+#include <string>
+#include <vector>
+
+#include "datalog/term.h"
+
+namespace templex {
+
+// An atom R(t1, ..., tn) over a predicate R with terms ti.
+struct Atom {
+  std::string predicate;
+  std::vector<Term> terms;
+
+  Atom() = default;
+  Atom(std::string pred, std::vector<Term> ts)
+      : predicate(std::move(pred)), terms(std::move(ts)) {}
+
+  int arity() const { return static_cast<int>(terms.size()); }
+
+  // Names of the variables occurring in this atom, in positional order,
+  // without duplicates.
+  std::vector<std::string> VariableNames() const;
+
+  bool operator==(const Atom& other) const {
+    return predicate == other.predicate && terms == other.terms;
+  }
+
+  // "R(x, 0.5, \"long\")"
+  std::string ToString() const;
+};
+
+}  // namespace templex
+
+#endif  // TEMPLEX_DATALOG_ATOM_H_

@@ -1,0 +1,227 @@
+#include "datalog/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace templex {
+
+const char* TokenKindToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kLBracket:
+      return "'['";
+    case TokenKind::kRBracket:
+      return "']'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kColon:
+      return "':'";
+    case TokenKind::kArrow:
+      return "'->'";
+    case TokenKind::kAt:
+      return "'@'";
+    case TokenKind::kBang:
+      return "'!'";
+    case TokenKind::kAssign:
+      return "'='";
+    case TokenKind::kEq:
+      return "'=='";
+    case TokenKind::kNe:
+      return "'!='";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kPlus:
+      return "'+'";
+    case TokenKind::kMinus:
+      return "'-'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kSlash:
+      return "'/'";
+    case TokenKind::kEnd:
+      return "end of input";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  size_t i = 0;
+  const size_t n = source.size();
+
+  auto push = [&tokens, &line](TokenKind kind, std::string text = "") {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '%') {  // line comment
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(source[i])) ||
+                       source[i] == '_')) {
+        ++i;
+      }
+      push(TokenKind::kIdent, source.substr(start, i - start));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool is_int = true;
+      while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) ++i;
+      // A '.' is a decimal point only when followed by a digit; otherwise it
+      // terminates the rule ("s > 5." parses as number 5 then dot).
+      if (i + 1 < n && source[i] == '.' &&
+          std::isdigit(static_cast<unsigned char>(source[i + 1]))) {
+        is_int = false;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) {
+          ++i;
+        }
+      }
+      Token t;
+      t.kind = TokenKind::kNumber;
+      t.text = source.substr(start, i - start);
+      t.number = std::strtod(t.text.c_str(), nullptr);
+      t.number_is_int = is_int;
+      t.line = line;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '"') {
+      size_t start = ++i;
+      while (i < n && source[i] != '"') {
+        if (source[i] == '\n') ++line;
+        ++i;
+      }
+      if (i >= n) {
+        return Status::InvalidArgument("line " + std::to_string(line) +
+                                       ": unterminated string literal");
+      }
+      push(TokenKind::kString, source.substr(start, i - start));
+      ++i;  // closing quote
+      continue;
+    }
+    auto two = [&source, i, n](char a, char b) {
+      return source[i] == a && i + 1 < n && source[i + 1] == b;
+    };
+    if (two('-', '>')) {
+      push(TokenKind::kArrow);
+      i += 2;
+      continue;
+    }
+    if (two('=', '=')) {
+      push(TokenKind::kEq);
+      i += 2;
+      continue;
+    }
+    if (two('!', '=')) {
+      push(TokenKind::kNe);
+      i += 2;
+      continue;
+    }
+    if (two('<', '=')) {
+      push(TokenKind::kLe);
+      i += 2;
+      continue;
+    }
+    if (two('>', '=')) {
+      push(TokenKind::kGe);
+      i += 2;
+      continue;
+    }
+    switch (c) {
+      case '(':
+        push(TokenKind::kLParen);
+        break;
+      case ')':
+        push(TokenKind::kRParen);
+        break;
+      case '[':
+        push(TokenKind::kLBracket);
+        break;
+      case ']':
+        push(TokenKind::kRBracket);
+        break;
+      case ',':
+        push(TokenKind::kComma);
+        break;
+      case '.':
+        push(TokenKind::kDot);
+        break;
+      case ':':
+        push(TokenKind::kColon);
+        break;
+      case '@':
+        push(TokenKind::kAt);
+        break;
+      case '=':
+        push(TokenKind::kAssign);
+        break;
+      case '<':
+        push(TokenKind::kLt);
+        break;
+      case '>':
+        push(TokenKind::kGt);
+        break;
+      case '+':
+        push(TokenKind::kPlus);
+        break;
+      case '-':
+        push(TokenKind::kMinus);
+        break;
+      case '*':
+        push(TokenKind::kStar);
+        break;
+      case '/':
+        push(TokenKind::kSlash);
+        break;
+      case '!':
+        push(TokenKind::kBang);
+        break;
+      default:
+        return Status::InvalidArgument("line " + std::to_string(line) +
+                                       ": unexpected character '" +
+                                       std::string(1, c) + "'");
+    }
+    ++i;
+  }
+  push(TokenKind::kEnd);
+  return tokens;
+}
+
+}  // namespace templex

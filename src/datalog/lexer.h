@@ -1,0 +1,57 @@
+#ifndef TEMPLEX_DATALOG_LEXER_H_
+#define TEMPLEX_DATALOG_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace templex {
+
+// Token kinds of the Vadalog-subset surface syntax. `%` starts a line
+// comment.
+enum class TokenKind {
+  kIdent,    // alpha, Shock, f, sum
+  kNumber,   // 0.5, 7
+  kString,   // "long"
+  kLParen,   // (
+  kRParen,   // )
+  kLBracket, // [
+  kRBracket, // ]
+  kComma,    // ,
+  kDot,      // .
+  kColon,    // :
+  kArrow,    // ->
+  kAt,       // @
+  kBang,     // !  (negative-constraint head)
+  kAssign,   // =
+  kEq,       // ==
+  kNe,       // !=
+  kLt,       // <
+  kLe,       // <=
+  kGt,       // >
+  kGe,       // >=
+  kPlus,     // +
+  kMinus,    // -
+  kStar,     // *
+  kSlash,    // /
+  kEnd,      // end of input
+};
+
+const char* TokenKindToString(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;      // identifier name or string contents
+  double number = 0.0;   // numeric value for kNumber
+  bool number_is_int = false;
+  int line = 0;          // 1-based source line, for error messages
+};
+
+// Tokenizes `source`. Errors on unterminated strings and unexpected
+// characters; the returned vector always ends with a kEnd token on success.
+Result<std::vector<Token>> Tokenize(const std::string& source);
+
+}  // namespace templex
+
+#endif  // TEMPLEX_DATALOG_LEXER_H_

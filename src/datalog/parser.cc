@@ -1,0 +1,392 @@
+#include "datalog/parser.h"
+
+#include <utility>
+
+#include "datalog/lexer.h"
+
+namespace templex {
+
+namespace {
+
+// Aggregate function names recognized after `var =`.
+bool LookupAggregateFunction(const std::string& name, AggregateFunction* fn) {
+  if (name == "sum") {
+    *fn = AggregateFunction::kSum;
+  } else if (name == "prod") {
+    *fn = AggregateFunction::kProd;
+  } else if (name == "min") {
+    *fn = AggregateFunction::kMin;
+  } else if (name == "max") {
+    *fn = AggregateFunction::kMax;
+  } else if (name == "count") {
+    *fn = AggregateFunction::kCount;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Program> ParseProgram() {
+    Program program;
+    int auto_label = 0;
+    while (!Check(TokenKind::kEnd)) {
+      if (Check(TokenKind::kAt)) {
+        TEMPLEX_RETURN_IF_ERROR(ParseDirective(&program));
+        continue;
+      }
+      Result<Rule> rule = ParseOneRule();
+      if (!rule.ok()) return rule.status();
+      Rule r = std::move(rule).value();
+      if (r.label.empty()) {
+        r.label = "r" + std::to_string(++auto_label);
+      }
+      program.AddRule(std::move(r));
+    }
+    TEMPLEX_RETURN_IF_ERROR(program.Validate());
+    return program;
+  }
+
+  Result<Rule> ParseSingleRule() {
+    Result<Rule> rule = ParseOneRule();
+    if (!rule.ok()) return rule.status();
+    if (!Check(TokenKind::kEnd)) {
+      return Error("trailing input after rule");
+    }
+    return rule;
+  }
+
+ private:
+  const Token& Peek(int offset = 0) const {
+    size_t i = pos_ + static_cast<size_t>(offset);
+    if (i >= tokens_.size()) return tokens_.back();
+    return tokens_[i];
+  }
+
+  bool Check(TokenKind kind, int offset = 0) const {
+    return Peek(offset).kind == kind;
+  }
+
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool Match(TokenKind kind) {
+    if (!Check(kind)) return false;
+    ++pos_;
+    return true;
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("line " + std::to_string(Peek().line) +
+                                   ": " + message + " (got " +
+                                   TokenKindToString(Peek().kind) + ")");
+  }
+
+  Status Expect(TokenKind kind) {
+    if (!Match(kind)) {
+      return Error(std::string("expected ") + TokenKindToString(kind));
+    }
+    return Status::OK();
+  }
+
+  // `@goal Predicate.`
+  Status ParseDirective(Program* program) {
+    TEMPLEX_RETURN_IF_ERROR(Expect(TokenKind::kAt));
+    if (!Check(TokenKind::kIdent)) return Error("expected directive name");
+    std::string name = Advance().text;
+    if (name != "goal") {
+      return Status::InvalidArgument("unknown directive '@" + name + "'");
+    }
+    if (!Check(TokenKind::kIdent)) return Error("expected goal predicate");
+    program->set_goal_predicate(Advance().text);
+    return Expect(TokenKind::kDot);
+  }
+
+  Result<Rule> ParseOneRule() {
+    Rule rule;
+    // Optional label: IDENT ':' (but not IDENT '(' which is an atom).
+    if (Check(TokenKind::kIdent) && Check(TokenKind::kColon, 1)) {
+      rule.label = Advance().text;
+      Advance();  // ':'
+    }
+    // Body elements until '->'.
+    while (true) {
+      TEMPLEX_RETURN_IF_ERROR(ParseBodyElement(&rule));
+      if (Match(TokenKind::kComma)) continue;
+      break;
+    }
+    TEMPLEX_RETURN_IF_ERROR(Expect(TokenKind::kArrow));
+    if (Match(TokenKind::kBang)) {
+      rule.is_constraint = true;  // `body -> !.`
+    } else {
+      Result<Atom> head = ParseAtom();
+      if (!head.ok()) return head.status();
+      rule.head = std::move(head).value();
+    }
+    TEMPLEX_RETURN_IF_ERROR(Expect(TokenKind::kDot));
+    return rule;
+  }
+
+  Status ParseBodyElement(Rule* rule) {
+    // Negated atom: 'not' IDENT '('.
+    if (Check(TokenKind::kIdent) && Peek().text == "not" &&
+        Check(TokenKind::kIdent, 1) && Check(TokenKind::kLParen, 2)) {
+      Advance();  // 'not'
+      Result<Atom> atom = ParseAtom();
+      if (!atom.ok()) return atom.status();
+      rule->negative_body.push_back(std::move(atom).value());
+      return Status::OK();
+    }
+    // Atom: IDENT '('.
+    if (Check(TokenKind::kIdent) && Check(TokenKind::kLParen, 1)) {
+      Result<Atom> atom = ParseAtom();
+      if (!atom.ok()) return atom.status();
+      rule->body.push_back(std::move(atom).value());
+      return Status::OK();
+    }
+    // Aggregate or assignment: IDENT '='.
+    if (Check(TokenKind::kIdent) && Check(TokenKind::kAssign, 1)) {
+      std::string result_var = Advance().text;
+      Advance();  // '='
+      AggregateFunction fn;
+      if (Check(TokenKind::kIdent) && Check(TokenKind::kLParen, 1) &&
+          LookupAggregateFunction(Peek().text, &fn)) {
+        if (rule->aggregate.has_value()) {
+          return Error("at most one aggregate per rule is supported");
+        }
+        Advance();  // function name
+        Advance();  // '('
+        if (!Check(TokenKind::kIdent)) {
+          return Error("expected aggregate input variable");
+        }
+        Aggregate agg;
+        agg.result_variable = std::move(result_var);
+        agg.function = fn;
+        agg.input_variable = Advance().text;
+        if (Match(TokenKind::kComma)) {
+          TEMPLEX_RETURN_IF_ERROR(Expect(TokenKind::kLBracket));
+          while (true) {
+            if (!Check(TokenKind::kIdent)) {
+              return Error("expected contributor key variable");
+            }
+            agg.contributor_keys.push_back(Advance().text);
+            if (Match(TokenKind::kComma)) continue;
+            break;
+          }
+          TEMPLEX_RETURN_IF_ERROR(Expect(TokenKind::kRBracket));
+        }
+        TEMPLEX_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+        rule->aggregate = std::move(agg);
+        return Status::OK();
+      }
+      // Plain assignment.
+      Result<std::unique_ptr<Expr>> expr = ParseExpr();
+      if (!expr.ok()) return expr.status();
+      rule->assignments.emplace_back(std::move(result_var),
+                                     std::move(expr).value());
+      return Status::OK();
+    }
+    // Condition: expr <cmp> expr.
+    Result<std::unique_ptr<Expr>> lhs = ParseExpr();
+    if (!lhs.ok()) return lhs.status();
+    Comparator cmp;
+    if (Match(TokenKind::kLt)) {
+      cmp = Comparator::kLt;
+    } else if (Match(TokenKind::kLe)) {
+      cmp = Comparator::kLe;
+    } else if (Match(TokenKind::kGt)) {
+      cmp = Comparator::kGt;
+    } else if (Match(TokenKind::kGe)) {
+      cmp = Comparator::kGe;
+    } else if (Match(TokenKind::kEq)) {
+      cmp = Comparator::kEq;
+    } else if (Match(TokenKind::kNe)) {
+      cmp = Comparator::kNe;
+    } else {
+      return Error("expected comparison operator");
+    }
+    Result<std::unique_ptr<Expr>> rhs = ParseExpr();
+    if (!rhs.ok()) return rhs.status();
+    rule->conditions.emplace_back(std::move(lhs).value(), cmp,
+                                  std::move(rhs).value());
+    return Status::OK();
+  }
+
+  Result<Atom> ParseAtom() {
+    if (!Check(TokenKind::kIdent)) return Error("expected predicate name");
+    Atom atom;
+    atom.predicate = Advance().text;
+    TEMPLEX_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+    if (!Match(TokenKind::kRParen)) {
+      while (true) {
+        Result<Term> term = ParseTerm();
+        if (!term.ok()) return term.status();
+        atom.terms.push_back(std::move(term).value());
+        if (Match(TokenKind::kComma)) continue;
+        break;
+      }
+      TEMPLEX_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    }
+    return atom;
+  }
+
+  Result<Term> ParseTerm() {
+    if (Check(TokenKind::kIdent)) {
+      return Term::Variable(Advance().text);
+    }
+    if (Check(TokenKind::kString)) {
+      return Term::Constant(Value::String(Advance().text));
+    }
+    bool negate = Match(TokenKind::kMinus);
+    if (Check(TokenKind::kNumber)) {
+      const Token& t = Advance();
+      double v = negate ? -t.number : t.number;
+      if (t.number_is_int) {
+        return Term::Constant(Value::Int(static_cast<int64_t>(v)));
+      }
+      return Term::Constant(Value::Double(v));
+    }
+    return Error("expected term");
+  }
+
+  // expr := mul (('+'|'-') mul)*
+  Result<std::unique_ptr<Expr>> ParseExpr() {
+    Result<std::unique_ptr<Expr>> lhs = ParseMul();
+    if (!lhs.ok()) return lhs.status();
+    std::unique_ptr<Expr> node = std::move(lhs).value();
+    while (Check(TokenKind::kPlus) || Check(TokenKind::kMinus)) {
+      Expr::Op op = Match(TokenKind::kPlus) ? Expr::Op::kAdd
+                                            : (Advance(), Expr::Op::kSub);
+      Result<std::unique_ptr<Expr>> rhs = ParseMul();
+      if (!rhs.ok()) return rhs.status();
+      node = Expr::Binary(op, std::move(node), std::move(rhs).value());
+    }
+    return node;
+  }
+
+  // mul := primary (('*'|'/') primary)*
+  Result<std::unique_ptr<Expr>> ParseMul() {
+    Result<std::unique_ptr<Expr>> lhs = ParsePrimary();
+    if (!lhs.ok()) return lhs.status();
+    std::unique_ptr<Expr> node = std::move(lhs).value();
+    while (Check(TokenKind::kStar) || Check(TokenKind::kSlash)) {
+      Expr::Op op = Match(TokenKind::kStar) ? Expr::Op::kMul
+                                            : (Advance(), Expr::Op::kDiv);
+      Result<std::unique_ptr<Expr>> rhs = ParsePrimary();
+      if (!rhs.ok()) return rhs.status();
+      node = Expr::Binary(op, std::move(node), std::move(rhs).value());
+    }
+    return node;
+  }
+
+  // primary := NUMBER | STRING | IDENT | '(' expr ')' | '-' primary
+  Result<std::unique_ptr<Expr>> ParsePrimary() {
+    if (Match(TokenKind::kMinus)) {
+      Result<std::unique_ptr<Expr>> inner = ParsePrimary();
+      if (!inner.ok()) return inner.status();
+      return Expr::Binary(Expr::Op::kSub, Expr::Constant(Value::Int(0)),
+                          std::move(inner).value());
+    }
+    if (Check(TokenKind::kNumber)) {
+      const Token& t = Advance();
+      if (t.number_is_int) {
+        return Expr::Constant(Value::Int(static_cast<int64_t>(t.number)));
+      }
+      return Expr::Constant(Value::Double(t.number));
+    }
+    if (Check(TokenKind::kString)) {
+      return Expr::Constant(Value::String(Advance().text));
+    }
+    if (Check(TokenKind::kIdent)) {
+      return Expr::Variable(Advance().text);
+    }
+    if (Match(TokenKind::kLParen)) {
+      Result<std::unique_ptr<Expr>> inner = ParseExpr();
+      if (!inner.ok()) return inner.status();
+      TEMPLEX_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      return inner;
+    }
+    return Error("expected expression");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Program> ParseProgram(const std::string& source) {
+  Result<std::vector<Token>> tokens = Tokenize(source);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value());
+  return parser.ParseProgram();
+}
+
+Result<Rule> ParseRule(const std::string& source) {
+  Result<std::vector<Token>> tokens = Tokenize(source);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value());
+  return parser.ParseSingleRule();
+}
+
+Result<Fact> ParseFactLiteral(const std::string& source) {
+  Result<std::vector<Token>> tokens = Tokenize(source);
+  if (!tokens.ok()) return tokens.status();
+  const std::vector<Token>& ts = tokens.value();
+  size_t i = 0;
+  if (ts[i].kind != TokenKind::kIdent) {
+    return Status::InvalidArgument("fact literal must start with a predicate");
+  }
+  Fact fact;
+  fact.predicate = ts[i++].text;
+  if (ts[i].kind != TokenKind::kLParen) {
+    return Status::InvalidArgument("expected '(' after predicate");
+  }
+  ++i;
+  if (ts[i].kind != TokenKind::kRParen) {
+    while (true) {
+      const Token& t = ts[i];
+      if (t.kind == TokenKind::kIdent || t.kind == TokenKind::kString) {
+        fact.args.push_back(Value::String(t.text));
+        ++i;
+      } else if (t.kind == TokenKind::kNumber ||
+                 t.kind == TokenKind::kMinus) {
+        double sign = 1.0;
+        if (t.kind == TokenKind::kMinus) {
+          sign = -1.0;
+          ++i;
+          if (ts[i].kind != TokenKind::kNumber) {
+            return Status::InvalidArgument("expected number after '-'");
+          }
+        }
+        const Token& n = ts[i++];
+        if (n.number_is_int) {
+          fact.args.push_back(
+              Value::Int(static_cast<int64_t>(sign * n.number)));
+        } else {
+          fact.args.push_back(Value::Double(sign * n.number));
+        }
+      } else {
+        return Status::InvalidArgument("expected constant argument");
+      }
+      if (ts[i].kind == TokenKind::kComma) {
+        ++i;
+        continue;
+      }
+      break;
+    }
+    if (ts[i].kind != TokenKind::kRParen) {
+      return Status::InvalidArgument("expected ')' closing the fact");
+    }
+  }
+  ++i;  // ')'
+  if (ts[i].kind == TokenKind::kDot) ++i;
+  if (ts[i].kind != TokenKind::kEnd) {
+    return Status::InvalidArgument("trailing input after fact literal");
+  }
+  return fact;
+}
+
+}  // namespace templex

@@ -1,0 +1,42 @@
+#ifndef TEMPLEX_DATALOG_PARSER_H_
+#define TEMPLEX_DATALOG_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "datalog/program.h"
+#include "engine/fact.h"
+
+namespace templex {
+
+// Parses a Vadalog-subset program. Surface syntax:
+//
+//   % Stress test (Example 4.3)
+//   @goal Default.
+//   alpha: Shock(f, s), HasCapital(f, p1), s > p1 -> Default(f).
+//   beta:  Default(d), Debts(d, c, v), e = sum(v) -> Risk(c, e).
+//   gamma: HasCapital(c, p2), Risk(c, e), p2 < e -> Default(c).
+//
+// - rules are `label: body -> head.`; the label is optional (auto "r<i>");
+// - body elements: atoms `P(t, ...)`, comparisons `x > y`, assignments
+//   `p = s1 * s2`, and aggregations `e = sum(v)` / `ts = sum(s, [z])`;
+// - terms: identifiers are variables, quoted strings and numbers constants;
+// - `@goal P.` sets the goal predicate of the reasoning task;
+// - `%` starts a line comment.
+//
+// The returned Program is validated (Program::Validate).
+Result<Program> ParseProgram(const std::string& source);
+
+// Parses a single rule body+head line without a trailing directive; mostly
+// for tests and REPL-style use.
+Result<Rule> ParseRule(const std::string& source);
+
+// Parses a ground fact literal, e.g. `Default("C")`, `Own(A, B, 0.6)` or
+// `Risk(C, 11, "long")`. For command-line convenience, bare identifiers in
+// argument position are string constants (`Default(C)` ≡ `Default("C")`).
+// The trailing '.' is optional.
+Result<Fact> ParseFactLiteral(const std::string& source);
+
+}  // namespace templex
+
+#endif  // TEMPLEX_DATALOG_PARSER_H_

@@ -1,0 +1,32 @@
+#include "datalog/printer.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace templex {
+
+std::string FormatProgramAligned(const Program& program) {
+  size_t width = 0;
+  for (const Rule& r : program.rules()) {
+    width = std::max(width, r.label.size());
+  }
+  std::string result;
+  for (const Rule& r : program.rules()) {
+    Rule unlabeled = r;
+    unlabeled.label.clear();
+    std::string line = r.label;
+    line.append(width - r.label.size(), ' ');
+    line += " : ";
+    line += unlabeled.ToString();
+    result += line;
+    result += "\n";
+  }
+  return result;
+}
+
+std::string FormatRuleLabelSet(const std::vector<std::string>& labels) {
+  return "{" + Join(labels, ", ") + "}";
+}
+
+}  // namespace templex

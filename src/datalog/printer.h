@@ -1,0 +1,22 @@
+#ifndef TEMPLEX_DATALOG_PRINTER_H_
+#define TEMPLEX_DATALOG_PRINTER_H_
+
+#include <string>
+
+#include "datalog/program.h"
+
+namespace templex {
+
+// Pretty-printing helpers used by documentation, examples and benches.
+
+// One rule per line, labels right-padded so rule bodies align:
+//   alpha : Shock(f, s), HasCapital(f, p1), s > p1 -> Default(f).
+//   beta  : Default(d), Debts(d, c, v), e = sum(v) -> Risk(c, e).
+std::string FormatProgramAligned(const Program& program);
+
+// Compact set notation for a list of rule labels: "{alpha, beta, gamma}".
+std::string FormatRuleLabelSet(const std::vector<std::string>& labels);
+
+}  // namespace templex
+
+#endif  // TEMPLEX_DATALOG_PRINTER_H_

@@ -1,0 +1,104 @@
+#include "datalog/program.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace templex {
+
+const Rule* Program::FindRule(const std::string& label) const {
+  for (const Rule& r : rules_) {
+    if (r.label == label) return &r;
+  }
+  return nullptr;
+}
+
+int Program::RuleIndex(const std::string& label) const {
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    if (rules_[i].label == label) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<std::string> Program::Predicates() const {
+  std::vector<std::string> preds;
+  auto add = [&preds](const std::string& p) {
+    if (std::find(preds.begin(), preds.end(), p) == preds.end()) {
+      preds.push_back(p);
+    }
+  };
+  for (const Rule& r : rules_) {
+    for (const Atom& a : r.body) add(a.predicate);
+    for (const Atom& a : r.negative_body) add(a.predicate);
+    if (!r.is_constraint) add(r.head.predicate);
+  }
+  return preds;
+}
+
+bool Program::IsIntensional(const std::string& predicate) const {
+  for (const Rule& r : rules_) {
+    if (!r.is_constraint && r.head.predicate == predicate) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> Program::IntensionalPredicates() const {
+  std::vector<std::string> result;
+  for (const std::string& p : Predicates()) {
+    if (IsIntensional(p)) result.push_back(p);
+  }
+  return result;
+}
+
+std::vector<std::string> Program::ExtensionalPredicates() const {
+  std::vector<std::string> result;
+  for (const std::string& p : Predicates()) {
+    if (!IsIntensional(p)) result.push_back(p);
+  }
+  return result;
+}
+
+Status Program::Validate() const {
+  std::set<std::string> labels;
+  std::map<std::string, int> arities;
+  for (const Rule& r : rules_) {
+    TEMPLEX_RETURN_IF_ERROR(r.Validate());
+    if (!r.label.empty() && !labels.insert(r.label).second) {
+      return Status::InvalidArgument("duplicate rule label '" + r.label + "'");
+    }
+    auto check_arity = [&arities](const Atom& atom) -> Status {
+      auto [it, inserted] = arities.emplace(atom.predicate, atom.arity());
+      if (!inserted && it->second != atom.arity()) {
+        return Status::InvalidArgument(
+            "predicate '" + atom.predicate + "' used with arities " +
+            std::to_string(it->second) + " and " + std::to_string(atom.arity()));
+      }
+      return Status::OK();
+    };
+    for (const Atom& a : r.body) TEMPLEX_RETURN_IF_ERROR(check_arity(a));
+    for (const Atom& a : r.negative_body) {
+      TEMPLEX_RETURN_IF_ERROR(check_arity(a));
+    }
+    if (!r.is_constraint) TEMPLEX_RETURN_IF_ERROR(check_arity(r.head));
+  }
+  if (!goal_predicate_.empty()) {
+    std::vector<std::string> preds = Predicates();
+    if (std::find(preds.begin(), preds.end(), goal_predicate_) ==
+        preds.end()) {
+      return Status::InvalidArgument("goal predicate '" + goal_predicate_ +
+                                     "' does not appear in the program");
+    }
+  }
+  return Status::OK();
+}
+
+std::string Program::ToString() const {
+  std::string result;
+  for (const Rule& r : rules_) {
+    result += r.ToString();
+    result += "\n";
+  }
+  return result;
+}
+
+}  // namespace templex

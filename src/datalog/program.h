@@ -1,0 +1,59 @@
+#ifndef TEMPLEX_DATALOG_PROGRAM_H_
+#define TEMPLEX_DATALOG_PROGRAM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/rule.h"
+
+namespace templex {
+
+// A Vadalog program Σ: an ordered set of rules plus the goal ("Ans")
+// predicate of the reasoning task Q = (Σ, Ans).
+class Program {
+ public:
+  Program() = default;
+  Program(std::vector<Rule> rules, std::string goal_predicate)
+      : rules_(std::move(rules)), goal_predicate_(std::move(goal_predicate)) {}
+
+  const std::vector<Rule>& rules() const { return rules_; }
+  const std::string& goal_predicate() const { return goal_predicate_; }
+  void set_goal_predicate(std::string goal) { goal_predicate_ = std::move(goal); }
+
+  void AddRule(Rule rule) { rules_.push_back(std::move(rule)); }
+
+  // Returns the rule with the given label, or nullptr.
+  const Rule* FindRule(const std::string& label) const;
+
+  // Index of the rule with the given label, or -1.
+  int RuleIndex(const std::string& label) const;
+
+  // All predicates appearing anywhere, in first-appearance order.
+  std::vector<std::string> Predicates() const;
+
+  // A predicate is intensional (IDB) iff it occurs in at least one head.
+  bool IsIntensional(const std::string& predicate) const;
+  bool IsExtensional(const std::string& predicate) const {
+    return !IsIntensional(predicate);
+  }
+
+  std::vector<std::string> IntensionalPredicates() const;
+  std::vector<std::string> ExtensionalPredicates() const;
+
+  // Validates every rule, label uniqueness, arity consistency across all
+  // occurrences of each predicate, and that the goal predicate (if set)
+  // appears in the program.
+  Status Validate() const;
+
+  // Rule-per-line listing.
+  std::string ToString() const;
+
+ private:
+  std::vector<Rule> rules_;
+  std::string goal_predicate_;
+};
+
+}  // namespace templex
+
+#endif  // TEMPLEX_DATALOG_PROGRAM_H_

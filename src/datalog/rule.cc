@@ -1,0 +1,184 @@
+#include "datalog/rule.h"
+
+#include <algorithm>
+
+namespace templex {
+
+namespace {
+
+void AppendUnique(std::vector<std::string>& into,
+                  const std::vector<std::string>& names) {
+  for (const std::string& n : names) {
+    if (std::find(into.begin(), into.end(), n) == into.end()) {
+      into.push_back(n);
+    }
+  }
+}
+
+bool Contains(const std::vector<std::string>& names, const std::string& n) {
+  return std::find(names.begin(), names.end(), n) != names.end();
+}
+
+}  // namespace
+
+std::vector<std::string> Rule::BodyVariableNames() const {
+  std::vector<std::string> names;
+  for (const Atom& atom : body) AppendUnique(names, atom.VariableNames());
+  return names;
+}
+
+std::vector<std::string> Rule::HeadVariableNames() const {
+  return head.VariableNames();
+}
+
+std::vector<std::string> Rule::AllBoundVariableNames() const {
+  std::vector<std::string> names = BodyVariableNames();
+  for (const Assignment& a : assignments) {
+    if (!Contains(names, a.variable)) names.push_back(a.variable);
+  }
+  if (aggregate.has_value() && !Contains(names, aggregate->result_variable)) {
+    names.push_back(aggregate->result_variable);
+  }
+  return names;
+}
+
+std::vector<std::string> Rule::ExistentialVariableNames() const {
+  std::vector<std::string> bound = AllBoundVariableNames();
+  std::vector<std::string> result;
+  for (const std::string& v : HeadVariableNames()) {
+    if (!Contains(bound, v)) result.push_back(v);
+  }
+  return result;
+}
+
+std::vector<const Condition*> Rule::PreAggregateConditions() const {
+  std::vector<const Condition*> result;
+  for (const Condition& c : conditions) {
+    if (!aggregate.has_value() ||
+        !Contains(c.VariableNames(), aggregate->result_variable)) {
+      result.push_back(&c);
+    }
+  }
+  return result;
+}
+
+std::vector<const Condition*> Rule::PostAggregateConditions() const {
+  std::vector<const Condition*> result;
+  if (!aggregate.has_value()) return result;
+  for (const Condition& c : conditions) {
+    if (Contains(c.VariableNames(), aggregate->result_variable)) {
+      result.push_back(&c);
+    }
+  }
+  return result;
+}
+
+Status Rule::Validate() const {
+  if (body.empty()) {
+    return Status::InvalidArgument("rule '" + label + "' has an empty body");
+  }
+  if (is_constraint) {
+    if (!head.predicate.empty()) {
+      return Status::InvalidArgument("constraint '" + label +
+                                     "' must not have a head");
+    }
+    if (aggregate.has_value()) {
+      return Status::InvalidArgument("constraint '" + label +
+                                     "' must not aggregate");
+    }
+  } else if (head.predicate.empty()) {
+    return Status::InvalidArgument("rule '" + label + "' has no head");
+  }
+  std::vector<std::string> bound = BodyVariableNames();
+  for (const Assignment& a : assignments) {
+    if (Contains(bound, a.variable)) {
+      return Status::InvalidArgument("rule '" + label + "': assigned variable '" +
+                                     a.variable + "' is already body-bound");
+    }
+    for (const std::string& v : a.expr->VariableNames()) {
+      if (!Contains(bound, v)) {
+        return Status::InvalidArgument(
+            "rule '" + label + "': assignment uses unbound variable '" + v +
+            "'");
+      }
+    }
+    bound.push_back(a.variable);
+  }
+  if (aggregate.has_value()) {
+    const Aggregate& agg = *aggregate;
+    if (!Contains(bound, agg.input_variable)) {
+      return Status::InvalidArgument("rule '" + label +
+                                     "': aggregate input variable '" +
+                                     agg.input_variable + "' is unbound");
+    }
+    if (Contains(bound, agg.result_variable)) {
+      return Status::InvalidArgument("rule '" + label +
+                                     "': aggregate result variable '" +
+                                     agg.result_variable + "' is already bound");
+    }
+    for (const std::string& k : agg.contributor_keys) {
+      if (!Contains(bound, k)) {
+        return Status::InvalidArgument("rule '" + label +
+                                       "': aggregate contributor key '" + k +
+                                       "' is unbound");
+      }
+    }
+    bound.push_back(agg.result_variable);
+  }
+  for (const Condition& c : conditions) {
+    for (const std::string& v : c.VariableNames()) {
+      if (!Contains(bound, v)) {
+        return Status::InvalidArgument("rule '" + label +
+                                       "': condition uses unbound variable '" +
+                                       v + "'");
+      }
+    }
+  }
+  // Safety for negation-as-failure: negated atoms only test, never bind.
+  std::vector<std::string> positive = BodyVariableNames();
+  for (const Atom& atom : negative_body) {
+    for (const std::string& v : atom.VariableNames()) {
+      if (!Contains(positive, v)) {
+        return Status::InvalidArgument(
+            "rule '" + label + "': variable '" + v +
+            "' of negated atom " + atom.ToString() +
+            " is not bound by the positive body");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string Rule::ToString() const {
+  std::string result;
+  if (!label.empty()) {
+    result += label;
+    result += ": ";
+  }
+  for (size_t i = 0; i < body.size(); ++i) {
+    if (i > 0) result += ", ";
+    result += body[i].ToString();
+  }
+  for (const Atom& atom : negative_body) {
+    result += ", not ";
+    result += atom.ToString();
+  }
+  for (const Assignment& a : assignments) {
+    result += ", ";
+    result += a.ToString();
+  }
+  if (aggregate.has_value()) {
+    result += ", ";
+    result += aggregate->ToString();
+  }
+  for (const Condition& c : conditions) {
+    result += ", ";
+    result += c.ToString();
+  }
+  result += " -> ";
+  result += is_constraint ? "!" : head.ToString();
+  result += ".";
+  return result;
+}
+
+}  // namespace templex

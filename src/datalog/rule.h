@@ -1,0 +1,80 @@
+#ifndef TEMPLEX_DATALOG_RULE_H_
+#define TEMPLEX_DATALOG_RULE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/aggregate.h"
+#include "datalog/atom.h"
+#include "datalog/condition.h"
+
+namespace templex {
+
+// A tuple-generating dependency (TGD) with the Vadalog extensions:
+//
+//   body_1, ..., body_n, cond_1, ..., assign_1, ..., [agg] -> head.
+//
+// e.g.  sigma3: Control(x,z), Own(z,y,s), ts = sum(s,[z]), ts > 0.5
+//               -> Control(x,y).
+//
+// Head variables not bound by the body, assignments, or the aggregate are
+// existential: the chase invents a labelled null for each application.
+struct Rule {
+  // Short name used as the edge label in the dependency graph and in
+  // reasoning-path notation (α, σ1, ...). Unique within a Program.
+  std::string label;
+
+  std::vector<Atom> body;
+  // Negated body atoms (`not P(x, y)`), evaluated under stratified
+  // negation-as-failure: the match survives iff no fact unifies with the
+  // atom. Safety requires every variable of a negated atom to be bound by
+  // the positive body.
+  std::vector<Atom> negative_body;
+  std::vector<Condition> conditions;
+  std::vector<Assignment> assignments;
+  std::optional<Aggregate> aggregate;
+  // The head atom; unused when `is_constraint` is true.
+  Atom head;
+  // A negative constraint `body -> !.` (φ(x,y) → ⊥ in the paper's §3): no
+  // head is derived; any body match is reported as a violation after the
+  // chase reaches fixpoint.
+  bool is_constraint = false;
+
+  bool has_aggregate() const { return aggregate.has_value(); }
+
+  // Variables bound by matching the body atoms (positional order, no dups).
+  std::vector<std::string> BodyVariableNames() const;
+
+  // Variables of the head atom.
+  std::vector<std::string> HeadVariableNames() const;
+
+  // All variables a complete application binds: body atoms, then
+  // assignments, then the aggregate result.
+  std::vector<std::string> AllBoundVariableNames() const;
+
+  // Head variables with no binder -> existential.
+  std::vector<std::string> ExistentialVariableNames() const;
+
+  // Conditions that do NOT mention the aggregate result variable; these
+  // filter body matches before they contribute to the aggregate.
+  std::vector<const Condition*> PreAggregateConditions() const;
+
+  // Conditions that mention the aggregate result variable; these are
+  // re-evaluated whenever the group's aggregate value changes.
+  std::vector<const Condition*> PostAggregateConditions() const;
+
+  // Structural validation: non-empty body and head, assignments only use
+  // bound variables, aggregate input bound, contributor keys bound, no
+  // variable both assigned and body-bound, conditions over bound variables
+  // (aggregate result allowed).
+  Status Validate() const;
+
+  // "label: body, conds -> head."
+  std::string ToString() const;
+};
+
+}  // namespace templex
+
+#endif  // TEMPLEX_DATALOG_RULE_H_

@@ -1,0 +1,3 @@
+#include "datalog/term.h"
+
+// Term is header-only; see term.h.

@@ -1,0 +1,53 @@
+#ifndef TEMPLEX_DATALOG_TERM_H_
+#define TEMPLEX_DATALOG_TERM_H_
+
+#include <string>
+
+#include "datalog/value.h"
+
+namespace templex {
+
+// A term is either a variable (named, e.g. `x`) or a constant Value
+// (e.g. 0.5 or "long"). See the paper's relational foundations (§3).
+class Term {
+ public:
+  static Term Variable(std::string name) {
+    Term t;
+    t.is_variable_ = true;
+    t.name_ = std::move(name);
+    return t;
+  }
+
+  static Term Constant(Value value) {
+    Term t;
+    t.is_variable_ = false;
+    t.value_ = std::move(value);
+    return t;
+  }
+
+  bool is_variable() const { return is_variable_; }
+  bool is_constant() const { return !is_variable_; }
+
+  const std::string& variable_name() const { return name_; }
+  const Value& constant_value() const { return value_; }
+
+  bool operator==(const Term& other) const {
+    if (is_variable_ != other.is_variable_) return false;
+    return is_variable_ ? name_ == other.name_ : value_ == other.value_;
+  }
+
+  std::string ToString() const {
+    return is_variable_ ? name_ : value_.ToString();
+  }
+
+ private:
+  Term() = default;
+
+  bool is_variable_ = false;
+  std::string name_;
+  Value value_;
+};
+
+}  // namespace templex
+
+#endif  // TEMPLEX_DATALOG_TERM_H_

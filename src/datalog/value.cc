@@ -1,0 +1,112 @@
+#include "datalog/value.h"
+
+#include <functional>
+
+#include "common/number_format.h"
+
+namespace templex {
+
+Value::Kind Value::kind() const {
+  switch (repr_.index()) {
+    case 0:
+      return Kind::kNull;
+    case 1:
+      return Kind::kBool;
+    case 2:
+      return Kind::kInt;
+    case 3:
+      return Kind::kDouble;
+    case 4:
+      return Kind::kString;
+    case 5:
+      return Kind::kLabeledNull;
+  }
+  return Kind::kNull;
+}
+
+double Value::AsDouble() const {
+  if (is_int()) return static_cast<double>(int_value());
+  return double_value();
+}
+
+bool Value::operator==(const Value& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    return AsDouble() == other.AsDouble();
+  }
+  return repr_ == other.repr_;
+}
+
+bool Value::operator<(const Value& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    return AsDouble() < other.AsDouble();
+  }
+  if (kind() != other.kind()) {
+    return static_cast<int>(kind()) < static_cast<int>(other.kind());
+  }
+  switch (kind()) {
+    case Kind::kNull:
+      return false;
+    case Kind::kBool:
+      return bool_value() < other.bool_value();
+    case Kind::kInt:
+      return int_value() < other.int_value();
+    case Kind::kDouble:
+      return double_value() < other.double_value();
+    case Kind::kString:
+      return string_value() < other.string_value();
+    case Kind::kLabeledNull:
+      return labeled_null_id() < other.labeled_null_id();
+  }
+  return false;
+}
+
+std::string Value::ToString() const {
+  switch (kind()) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kBool:
+      return bool_value() ? "true" : "false";
+    case Kind::kInt:
+      return std::to_string(int_value());
+    case Kind::kDouble:
+      return FormatDouble(double_value());
+    case Kind::kString:
+      return "\"" + string_value() + "\"";
+    case Kind::kLabeledNull:
+      return "_:z" + std::to_string(labeled_null_id());
+  }
+  return "null";
+}
+
+std::string Value::ToDisplayString() const {
+  switch (kind()) {
+    case Kind::kString:
+      return string_value();
+    case Kind::kDouble:
+      return FormatDouble(double_value());
+    default:
+      return ToString();
+  }
+}
+
+size_t Value::Hash() const {
+  // Numerics hash through their double image so that Int(2) and Double(2.0)
+  // collide, consistent with operator==.
+  if (is_numeric()) {
+    return std::hash<double>{}(AsDouble());
+  }
+  switch (kind()) {
+    case Kind::kNull:
+      return 0x9e3779b9;
+    case Kind::kBool:
+      return std::hash<bool>{}(bool_value()) ^ 0x517cc1b7;
+    case Kind::kString:
+      return std::hash<std::string>{}(string_value());
+    case Kind::kLabeledNull:
+      return std::hash<int64_t>{}(labeled_null_id()) ^ 0x2545f491;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace templex

@@ -1,0 +1,105 @@
+#include "engine/aggregate_state.h"
+
+#include <algorithm>
+
+namespace templex {
+
+bool AggregateState::VectorValueLess::operator()(
+    const std::vector<Value>& a, const std::vector<Value>& b) const {
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] < b[i]) return true;
+    if (b[i] < a[i]) return false;
+  }
+  return a.size() < b.size();
+}
+
+std::optional<AggregateEmission> AggregateState::Contribute(
+    int rule_index, AggregateFunction function, bool explicit_keys,
+    const std::vector<Value>& group_key,
+    const std::vector<Value>& contributor_key, const Value& input,
+    const std::vector<FactId>& parents) {
+  Group& group = per_rule_[rule_index][group_key];
+  auto it = group.find(contributor_key);
+  bool changed = false;
+  if (it == group.end()) {
+    group.emplace(contributor_key, ContributorEntry{input, parents});
+    changed = true;
+  } else if (explicit_keys) {
+    bool update = false;
+    switch (function) {
+      case AggregateFunction::kSum:
+      case AggregateFunction::kMax:
+      case AggregateFunction::kCount:
+        update = it->second.value < input;
+        break;
+      case AggregateFunction::kMin:
+        update = input < it->second.value;
+        break;
+      case AggregateFunction::kProd:
+        update = !(input == it->second.value);
+        break;
+    }
+    if (update) {
+      it->second.value = input;
+      it->second.parents = parents;
+      changed = true;
+    }
+  }
+  // With implicit keys a repeated contributor key carries the identical
+  // residual binding, hence the identical input: nothing to do.
+  if (!changed) return std::nullopt;
+  return MakeEmission(function, group);
+}
+
+int AggregateState::GroupContributorCount(
+    int rule_index, const std::vector<Value>& group_key) const {
+  const RuleState& state = per_rule_[rule_index];
+  auto it = state.find(group_key);
+  if (it == state.end()) return 0;
+  return static_cast<int>(it->second.size());
+}
+
+AggregateEmission AggregateState::MakeEmission(AggregateFunction function,
+                                               const Group& group) const {
+  AggregateEmission emission;
+  double acc = 0.0;
+  bool first = true;
+  for (const auto& [key, entry] : group) {
+    const double v = entry.value.is_numeric() ? entry.value.AsDouble() : 0.0;
+    switch (function) {
+      case AggregateFunction::kSum:
+        acc += v;
+        break;
+      case AggregateFunction::kProd:
+        acc = first ? v : acc * v;
+        break;
+      case AggregateFunction::kMin:
+        acc = first ? v : std::min(acc, v);
+        break;
+      case AggregateFunction::kMax:
+        acc = first ? v : std::max(acc, v);
+        break;
+      case AggregateFunction::kCount:
+        acc += 1.0;
+        break;
+    }
+    first = false;
+    emission.contributions.push_back(
+        AggregateContribution{entry.value, entry.parents});
+    for (FactId p : entry.parents) {
+      if (std::find(emission.all_parents.begin(), emission.all_parents.end(),
+                    p) == emission.all_parents.end()) {
+        emission.all_parents.push_back(p);
+      }
+    }
+  }
+  if (function == AggregateFunction::kCount) {
+    emission.aggregate = Value::Int(static_cast<int64_t>(acc));
+  } else {
+    emission.aggregate = Value::Double(acc);
+  }
+  return emission;
+}
+
+}  // namespace templex

@@ -1,0 +1,74 @@
+#ifndef TEMPLEX_ENGINE_AGGREGATE_STATE_H_
+#define TEMPLEX_ENGINE_AGGREGATE_STATE_H_
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "datalog/aggregate.h"
+#include "engine/chase_graph.h"
+
+namespace templex {
+
+// Result of a contribution that changed a group's aggregate: the new
+// aggregate value, a snapshot of all current contributions (for provenance
+// and the dashed-template selection), and the union of their parent facts.
+struct AggregateEmission {
+  Value aggregate;
+  std::vector<AggregateContribution> contributions;
+  std::vector<FactId> all_parents;
+};
+
+// Monotonic aggregation state for all rules of one chase run.
+//
+// State is keyed by (rule, group key); within a group, contributions are
+// keyed by contributor key:
+//   - implicit contributor keys (the residual body binding): each distinct
+//     key contributes its value exactly once; re-contributions are no-ops;
+//   - explicit contributor keys (`sum(v, [t])`): each key holds its latest
+//     monotone value — max for sum/count/max, min for min, last-received for
+//     prod — which lets a rule aggregate running per-channel totals emitted
+//     by an upstream monotonic aggregation (σ7 of the stress test).
+//
+// Every change to a group's contribution map yields an AggregateEmission;
+// duplicate head facts are filtered downstream by the chase graph's set
+// semantics.
+class AggregateState {
+ public:
+  explicit AggregateState(int num_rules) : per_rule_(num_rules) {}
+
+  // Registers a contribution. Returns the emission if the group changed,
+  // nullopt otherwise. `explicit_keys` selects the update discipline above.
+  std::optional<AggregateEmission> Contribute(
+      int rule_index, AggregateFunction function, bool explicit_keys,
+      const std::vector<Value>& group_key,
+      const std::vector<Value>& contributor_key, const Value& input,
+      const std::vector<FactId>& parents);
+
+  // Number of contributors currently recorded for a group (0 if unseen).
+  int GroupContributorCount(int rule_index,
+                            const std::vector<Value>& group_key) const;
+
+ private:
+  struct VectorValueLess {
+    bool operator()(const std::vector<Value>& a,
+                    const std::vector<Value>& b) const;
+  };
+
+  struct ContributorEntry {
+    Value value;
+    std::vector<FactId> parents;
+  };
+
+  using Group = std::map<std::vector<Value>, ContributorEntry, VectorValueLess>;
+  using RuleState = std::map<std::vector<Value>, Group, VectorValueLess>;
+
+  AggregateEmission MakeEmission(AggregateFunction function,
+                                 const Group& group) const;
+
+  std::vector<RuleState> per_rule_;
+};
+
+}  // namespace templex
+
+#endif  // TEMPLEX_ENGINE_AGGREGATE_STATE_H_

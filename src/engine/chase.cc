@@ -1,0 +1,489 @@
+#include "engine/chase.h"
+
+#include <algorithm>
+
+#include "engine/aggregate_state.h"
+#include "engine/fact_store.h"
+#include "engine/matcher.h"
+#include "engine/stratification.h"
+
+namespace templex {
+
+namespace {
+
+bool VectorContains(const std::vector<std::string>& names,
+                    const std::string& n) {
+  return std::find(names.begin(), names.end(), n) != names.end();
+}
+
+// Precomputed per-rule evaluation plan.
+struct RulePlan {
+  const Rule* rule = nullptr;
+  int index = 0;
+
+  std::vector<const Condition*> pre_conditions;
+  std::vector<const Condition*> post_conditions;
+
+  // Aggregation plan (set iff rule->has_aggregate()).
+  std::vector<std::string> group_vars;
+  std::vector<std::string> contributor_vars;  // residual (implicit) key
+  bool explicit_contributor_keys = false;
+
+  std::vector<std::string> existential_vars;
+};
+
+RulePlan MakePlan(const Rule& rule, int index) {
+  RulePlan plan;
+  plan.rule = &rule;
+  plan.index = index;
+  plan.pre_conditions = rule.PreAggregateConditions();
+  plan.post_conditions = rule.PostAggregateConditions();
+  plan.existential_vars = rule.ExistentialVariableNames();
+  if (rule.has_aggregate()) {
+    const Aggregate& agg = *rule.aggregate;
+    // Group key: head variables plus post-condition variables, minus the
+    // aggregate result and existential variables.
+    auto add_group_var = [&plan, &agg](const std::string& v) {
+      if (v == agg.result_variable) return;
+      if (VectorContains(plan.existential_vars, v)) return;
+      if (!VectorContains(plan.group_vars, v)) plan.group_vars.push_back(v);
+    };
+    for (const std::string& v : rule.HeadVariableNames()) add_group_var(v);
+    for (const Condition* c : plan.post_conditions) {
+      for (const std::string& v : c->VariableNames()) add_group_var(v);
+    }
+    plan.explicit_contributor_keys = !agg.contributor_keys.empty();
+    if (!plan.explicit_contributor_keys) {
+      for (const std::string& v : rule.AllBoundVariableNames()) {
+        if (v == agg.result_variable) continue;
+        if (!VectorContains(plan.group_vars, v)) {
+          plan.contributor_vars.push_back(v);
+        }
+      }
+    } else {
+      plan.contributor_vars = agg.contributor_keys;
+    }
+  }
+  return plan;
+}
+
+class ChaseRun {
+ public:
+  ChaseRun(const Program& program, const ChaseConfig& config)
+      : program_(program),
+        config_(config),
+        store_(&result_.graph),
+        aggregates_(static_cast<int>(program.rules().size())) {}
+
+  Result<ChaseResult> Run(const std::vector<Fact>& edb) {
+    TEMPLEX_RETURN_IF_ERROR(Prepare());
+    for (const Fact& fact : edb) {
+      ChaseNode node;
+      node.fact = fact;
+      auto [id, inserted] = result_.graph.AddNode(std::move(node));
+      if (inserted) store_.OnNewFact(id);
+    }
+    result_.stats.initial_facts = result_.graph.size();
+
+    // Stratified evaluation: each stratum runs to fixpoint before any rule
+    // that negates its predicates starts. Programs without negation form a
+    // single stratum.
+    Result<std::vector<std::vector<int>>> strata = RuleStrata(program_);
+    if (!strata.ok()) return strata.status();
+    for (const std::vector<int>& stratum : strata.value()) {
+      TEMPLEX_RETURN_IF_ERROR(RunStratum(stratum, /*delta_begin=*/-1));
+    }
+    return Finalize();
+  }
+
+  Result<ChaseResult> Extend(ChaseResult base,
+                             const std::vector<Fact>& additional) {
+    TEMPLEX_RETURN_IF_ERROR(Prepare());
+    if (base.program_fingerprint != ProgramFingerprint(program_)) {
+      return Status::InvalidArgument(
+          "Extend: the base chase was produced by a different program");
+    }
+    Result<std::vector<std::vector<int>>> strata = RuleStrata(program_);
+    if (!strata.ok()) return strata.status();
+    // Negation in a deriving rule makes extension unsound: new facts can
+    // retract negation-as-failure conclusions already materialized in the
+    // base. (Negation inside constraints is fine — they are re-checked over
+    // the full extended instance.)
+    for (const Rule& rule : program_.rules()) {
+      if (!rule.is_constraint && !rule.negative_body.empty()) {
+        return Status::InvalidArgument(
+            "Extend: incremental extension is unsound for programs with "
+            "negation (new facts can retract negation-as-failure "
+            "conclusions); run the chase from scratch");
+      }
+    }
+    // Seed the run from the base result.
+    result_.graph = std::move(base.graph);
+    result_.stats = base.stats;
+    if (base.aggregate_state != nullptr) {
+      aggregates_ = *base.aggregate_state;  // deep copy before mutating
+    }
+    for (FactId id = 0; id < result_.graph.size(); ++id) {
+      store_.OnNewFact(id);
+      for (const Value& arg : result_.graph.node(id).fact.args) {
+        if (arg.is_labeled_null()) {
+          next_null_id_ =
+              std::max(next_null_id_, arg.labeled_null_id() + 1);
+        }
+      }
+    }
+    const FactId delta_begin = result_.graph.size();
+    int added = 0;
+    for (const Fact& fact : additional) {
+      ChaseNode node;
+      node.fact = fact;
+      auto [id, inserted] = result_.graph.AddNode(std::move(node));
+      if (inserted) {
+        store_.OnNewFact(id);
+        ++added;
+      }
+    }
+    result_.stats.initial_facts += added;
+    TEMPLEX_RETURN_IF_ERROR(RunStratum(strata.value()[0], delta_begin));
+    return Finalize();
+  }
+
+ private:
+  // Evaluates every negative constraint over the saturated instance; each
+  // body match (with pre-conditions and negated atoms honoured) is a
+  // violation.
+  Status CheckConstraints() {
+    const FactId limit = result_.graph.size();
+    for (const RulePlan& plan : plans_) {
+      if (!plan.rule->is_constraint) continue;
+      auto callback = [this, &plan](const BodyMatch& match) -> Status {
+        for (const Atom& atom : plan.rule->negative_body) {
+          if (!NegatedAtomHolds(atom, match.binding)) return Status::OK();
+        }
+        Binding binding = match.binding;
+        for (const Assignment& a : plan.rule->assignments) {
+          Result<Value> v = a.expr->Eval(binding);
+          if (!v.ok()) return v.status();
+          binding.Set(a.variable, std::move(v).value());
+        }
+        for (const Condition* c : plan.pre_conditions) {
+          Result<bool> pass = c->Eval(binding);
+          if (!pass.ok()) return pass.status();
+          if (!pass.value()) return Status::OK();
+        }
+        ConstraintViolation violation;
+        violation.rule_label = plan.rule->label;
+        violation.binding = std::move(binding);
+        violation.facts = match.facts;
+        if (config_.fail_on_violation) {
+          return Status::FailedPrecondition("constraint violated: " +
+                                            violation.ToString());
+        }
+        result_.violations.push_back(std::move(violation));
+        return Status::OK();
+      };
+      TEMPLEX_RETURN_IF_ERROR(EnumerateMatches(*plan.rule, store_,
+                                               result_.graph,
+                                               /*delta_atom=*/-1,
+                                               /*delta_begin=*/0, limit,
+                                               callback));
+    }
+    return Status::OK();
+  }
+
+  Status Prepare() {
+    TEMPLEX_RETURN_IF_ERROR(program_.Validate());
+    for (size_t i = 0; i < program_.rules().size(); ++i) {
+      plans_.push_back(MakePlan(program_.rules()[i], static_cast<int>(i)));
+    }
+    return Status::OK();
+  }
+
+  Result<ChaseResult> Finalize() {
+    result_.stats.derived_facts =
+        result_.graph.size() - result_.stats.initial_facts;
+    result_.violations.clear();
+    TEMPLEX_RETURN_IF_ERROR(CheckConstraints());
+    result_.aggregate_state =
+        std::make_shared<const AggregateState>(std::move(aggregates_));
+    result_.program_fingerprint = ProgramFingerprint(program_);
+    return std::move(result_);
+  }
+
+  // Runs rules to fixpoint. With initial_delta < 0, the first pass
+  // evaluates over every fact derived so far (fresh run / new stratum);
+  // otherwise only matches touching [initial_delta, ...) run (incremental
+  // extension of an already-saturated instance).
+  Status RunStratum(const std::vector<int>& rule_indexes,
+                    FactId initial_delta) {
+    bool first_pass = initial_delta < 0;
+    FactId delta_begin = first_pass ? 0 : initial_delta;
+    while (true) {
+      const FactId limit = result_.graph.size();
+      if (!first_pass && delta_begin >= limit) break;  // fixpoint
+      if (result_.stats.rounds >= config_.max_rounds) {
+        return Status::ResourceExhausted(
+            "chase did not reach fixpoint within max_rounds=" +
+            std::to_string(config_.max_rounds));
+      }
+      ++result_.stats.rounds;
+      for (int index : rule_indexes) {
+        TEMPLEX_RETURN_IF_ERROR(
+            EvaluateRule(plans_[index], first_pass ? -1 : delta_begin, limit));
+      }
+      first_pass = false;
+      delta_begin = limit;
+    }
+    return Status::OK();
+  }
+
+ private:
+  // delta_begin < 0 requests a full evaluation over all facts below
+  // `limit`; otherwise only matches touching [delta_begin, limit) run.
+  Status EvaluateRule(const RulePlan& plan, FactId delta_begin, FactId limit) {
+    auto callback = [this, &plan](const BodyMatch& match) {
+      ++result_.stats.matches;
+      return ProcessMatch(plan, match);
+    };
+    if (delta_begin < 0 || !config_.semi_naive) {
+      return EnumerateMatches(*plan.rule, store_, result_.graph,
+                              /*delta_atom=*/-1, /*delta_begin=*/0, limit,
+                              callback);
+    }
+    for (size_t pos = 0; pos < plan.rule->body.size(); ++pos) {
+      TEMPLEX_RETURN_IF_ERROR(EnumerateMatches(*plan.rule, store_,
+                                               result_.graph,
+                                               static_cast<int>(pos),
+                                               delta_begin, limit, callback));
+    }
+    return Status::OK();
+  }
+
+  // Negation-as-failure: true iff no stored fact unifies with `atom` under
+  // `binding`. Stratification guarantees the negated predicate is already
+  // saturated when this runs.
+  bool NegatedAtomHolds(const Atom& atom, const Binding& binding) const {
+    const std::vector<FactId>& candidates =
+        store_.CandidatesFor(atom, binding);
+    const size_t n = candidates.size();
+    for (size_t i = 0; i < n; ++i) {
+      Binding probe = binding;
+      if (MatchAtom(atom, result_.graph.node(candidates[i]).fact, &probe)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  Status ProcessMatch(const RulePlan& plan, const BodyMatch& match) {
+    for (const Atom& atom : plan.rule->negative_body) {
+      if (!NegatedAtomHolds(atom, match.binding)) return Status::OK();
+    }
+    Binding binding = match.binding;
+    for (const Assignment& a : plan.rule->assignments) {
+      Result<Value> v = a.expr->Eval(binding);
+      if (!v.ok()) return v.status();
+      binding.Set(a.variable, std::move(v).value());
+    }
+    for (const Condition* c : plan.pre_conditions) {
+      Result<bool> pass = c->Eval(binding);
+      if (!pass.ok()) return pass.status();
+      if (!pass.value()) return Status::OK();
+    }
+    if (plan.rule->has_aggregate()) {
+      return ProcessAggregateMatch(plan, match, std::move(binding));
+    }
+    return EmitHead(plan, std::move(binding), match.facts, {});
+  }
+
+  Status ProcessAggregateMatch(const RulePlan& plan, const BodyMatch& match,
+                               Binding binding) {
+    const Aggregate& agg = *plan.rule->aggregate;
+    std::optional<Value> input = binding.Get(agg.input_variable);
+    if (!input.has_value()) {
+      return Status::Internal("aggregate input unbound in rule '" +
+                              plan.rule->label + "'");
+    }
+    if (agg.function != AggregateFunction::kCount && !input->is_numeric()) {
+      return Status::InvalidArgument(
+          "non-numeric aggregate input in rule '" + plan.rule->label +
+          "': " + input->ToString());
+    }
+    auto key_of = [&binding](const std::vector<std::string>& vars) {
+      std::vector<Value> key;
+      key.reserve(vars.size());
+      for (const std::string& v : vars) {
+        key.push_back(binding.Get(v).value_or(Value::Null()));
+      }
+      return key;
+    };
+    std::optional<AggregateEmission> emission = aggregates_.Contribute(
+        plan.index, agg.function, plan.explicit_contributor_keys,
+        key_of(plan.group_vars), key_of(plan.contributor_vars), *input,
+        match.facts);
+    if (!emission.has_value()) return Status::OK();
+    binding.Set(agg.result_variable, emission->aggregate);
+    for (const Condition* c : plan.post_conditions) {
+      Result<bool> pass = c->Eval(binding);
+      if (!pass.ok()) return pass.status();
+      if (!pass.value()) return Status::OK();
+    }
+    return EmitHead(plan, std::move(binding), emission->all_parents,
+                    std::move(emission->contributions));
+  }
+
+  Status EmitHead(const RulePlan& plan, Binding binding,
+                  std::vector<FactId> parents,
+                  std::vector<AggregateContribution> contributions) {
+    const Atom& head = plan.rule->head;
+    // Existential reuse (restricted-chase style): if some existing fact of
+    // the head predicate agrees with the head atom on all positions bound by
+    // the body, no new fact (with fresh nulls) is invented.
+    if (!plan.existential_vars.empty()) {
+      for (FactId id : store_.FactsOf(head.predicate)) {
+        const Fact& existing = result_.graph.node(id).fact;
+        bool agrees = true;
+        for (int pos = 0; pos < head.arity() && agrees; ++pos) {
+          const Term& t = head.terms[pos];
+          if (t.is_constant()) {
+            agrees = t.constant_value() == existing.args[pos];
+          } else if (std::optional<Value> v = binding.Get(t.variable_name());
+                     v.has_value()) {
+            agrees = *v == existing.args[pos];
+          }
+        }
+        if (agrees) return Status::OK();
+      }
+    }
+    Fact fact;
+    fact.predicate = head.predicate;
+    fact.args.reserve(head.terms.size());
+    for (const Term& t : head.terms) {
+      if (t.is_constant()) {
+        fact.args.push_back(t.constant_value());
+        continue;
+      }
+      std::optional<Value> v = binding.Get(t.variable_name());
+      if (!v.has_value()) {
+        Value null = Value::LabeledNull(next_null_id_++);
+        binding.Set(t.variable_name(), null);
+        v = null;
+      }
+      fact.args.push_back(std::move(*v));
+    }
+    if (result_.graph.size() >= config_.max_facts) {
+      return Status::ResourceExhausted("chase exceeded max_facts=" +
+                                       std::to_string(config_.max_facts));
+    }
+    ChaseNode node;
+    node.fact = std::move(fact);
+    node.rule_index = plan.index;
+    node.rule_label = plan.rule->label;
+    node.binding = std::move(binding);
+    node.parents = std::move(parents);
+    node.contributions = std::move(contributions);
+    auto [id, inserted] = result_.graph.AddNode(node);
+    if (inserted) {
+      store_.OnNewFact(id);
+    } else {
+      MaybeRecordAlternative(id, std::move(node));
+    }
+    return Status::OK();
+  }
+
+  // Keeps a bounded list of distinct, acyclic re-derivations of an existing
+  // fact (other reasoning stories for the analyst).
+  void MaybeRecordAlternative(FactId id, ChaseNode candidate) {
+    if (config_.max_alternative_derivations <= 0) return;
+    ChaseNode& existing = result_.graph.mutable_node(id);
+    if (static_cast<int>(existing.alternatives.size()) >=
+        config_.max_alternative_derivations) {
+      return;
+    }
+    // Acyclic only: no parent may (transitively, along primary
+    // derivations) depend on the fact itself, or proofs built from the
+    // alternative would loop. Ids are no proxy here — a fact derived later
+    // can still be independent.
+    for (FactId parent : candidate.parents) {
+      if (parent == id) return;
+      const std::vector<FactId> closure =
+          result_.graph.AncestorClosure(parent);
+      if (std::binary_search(closure.begin(), closure.end(), id)) return;
+    }
+    auto same = [&candidate](int rule_index,
+                             const std::vector<FactId>& parents) {
+      return candidate.rule_index == rule_index &&
+             candidate.parents == parents;
+    };
+    if (same(existing.rule_index, existing.parents)) return;
+    for (const Derivation& alt : existing.alternatives) {
+      if (same(alt.rule_index, alt.parents)) return;
+    }
+    Derivation derivation;
+    derivation.rule_index = candidate.rule_index;
+    derivation.rule_label = std::move(candidate.rule_label);
+    derivation.binding = std::move(candidate.binding);
+    derivation.parents = std::move(candidate.parents);
+    derivation.contributions = std::move(candidate.contributions);
+    existing.alternatives.push_back(std::move(derivation));
+  }
+
+  const Program& program_;
+  const ChaseConfig& config_;
+  ChaseResult result_;
+  FactStore store_;
+  AggregateState aggregates_;
+  std::vector<RulePlan> plans_;
+  int64_t next_null_id_ = 1;
+};
+
+}  // namespace
+
+std::string ConstraintViolation::ToString() const {
+  return "constraint '" + rule_label + "' violated with " +
+         binding.ToString();
+}
+
+Result<FactId> ChaseResult::Find(const Fact& fact) const {
+  std::optional<FactId> id = graph.Find(fact);
+  if (!id.has_value()) {
+    return Status::NotFound("fact not in chase: " + fact.ToString());
+  }
+  return *id;
+}
+
+std::vector<Fact> ChaseResult::FactsOf(const std::string& predicate) const {
+  std::vector<Fact> facts;
+  for (FactId id : graph.FactsOf(predicate)) {
+    facts.push_back(graph.node(id).fact);
+  }
+  return facts;
+}
+
+ChaseEngine::ChaseEngine(ChaseConfig config) : config_(config) {}
+
+Result<ChaseResult> ChaseEngine::Run(const Program& program,
+                                     const std::vector<Fact>& edb) const {
+  ChaseRun run(program, config_);
+  return run.Run(edb);
+}
+
+Result<ChaseResult> ChaseEngine::Extend(
+    ChaseResult base, const Program& program,
+    const std::vector<Fact>& additional) const {
+  ChaseRun run(program, config_);
+  return run.Extend(std::move(base), additional);
+}
+
+size_t ProgramFingerprint(const Program& program) {
+  const std::string text = program.ToString() + "\n@goal " +
+                           program.goal_predicate();
+  size_t h = 1469598103934665603ULL;
+  for (char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace templex

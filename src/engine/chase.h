@@ -1,0 +1,109 @@
+#ifndef TEMPLEX_ENGINE_CHASE_H_
+#define TEMPLEX_ENGINE_CHASE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/program.h"
+#include "engine/chase_graph.h"
+#include "engine/fact.h"
+
+namespace templex {
+
+class AggregateState;  // engine/aggregate_state.h
+
+// Tuning and safety limits for a chase run.
+struct ChaseConfig {
+  // Hard cap on fixpoint rounds; exceeding it is a ResourceExhausted error
+  // (the paper only considers programs with guaranteed termination, so the
+  // caps act as guard rails for mis-specified inputs).
+  int max_rounds = 100000;
+  // Hard cap on the total number of facts (extensional + derived).
+  int max_facts = 5000000;
+  // When false, every round re-evaluates all rules over the whole database
+  // (naive evaluation); used by the ablation benchmarks.
+  bool semi_naive = true;
+  // When true, any negative-constraint violation turns the whole run into a
+  // FailedPrecondition error; otherwise violations are reported in
+  // ChaseResult::violations.
+  bool fail_on_violation = false;
+  // How many alternative derivations to keep per fact (0 disables the
+  // feature). Only acyclic re-derivations through a different rule or
+  // different facts are recorded.
+  int max_alternative_derivations = 4;
+};
+
+// One match of a negative constraint's body (φ(x̄) → ⊥): the instance
+// violates the constraint under this homomorphism.
+struct ConstraintViolation {
+  std::string rule_label;
+  Binding binding;
+  std::vector<FactId> facts;  // the matched body facts, in body order
+
+  std::string ToString() const;
+};
+
+struct ChaseStats {
+  int initial_facts = 0;
+  int derived_facts = 0;
+  int rounds = 0;
+  int64_t matches = 0;  // body homomorphisms enumerated
+};
+
+// Outcome of a chase run: the chase graph (which doubles as the saturated
+// database) and run statistics.
+struct ChaseResult {
+  ChaseGraph graph;
+  ChaseStats stats;
+  // Negative-constraint violations found after fixpoint (empty when the
+  // program has no constraints or the instance satisfies them all).
+  std::vector<ConstraintViolation> violations;
+  // Opaque monotonic-aggregation state, carried so the chase can be
+  // extended incrementally (ChaseEngine::Extend). Shared on copy; Extend
+  // deep-copies before mutating.
+  std::shared_ptr<const AggregateState> aggregate_state;
+  // Fingerprint of the program that produced this result; Extend refuses a
+  // mismatch.
+  size_t program_fingerprint = 0;
+
+  // Id of a fact in the saturated instance, or NotFound.
+  Result<FactId> Find(const Fact& fact) const;
+
+  // All facts of a predicate (extensional and derived).
+  std::vector<Fact> FactsOf(const std::string& predicate) const;
+};
+
+// The chase procedure (§3 of the paper): saturates the database under the
+// program's rules until fixpoint, recording full provenance in the chase
+// graph. Supports the Vadalog extensions used by the financial KG
+// applications: comparisons, arithmetic assignments, monotonic aggregation,
+// and existential head variables (labelled nulls with restricted-chase
+// style reuse).
+class ChaseEngine {
+ public:
+  explicit ChaseEngine(ChaseConfig config = ChaseConfig());
+
+  // Runs the chase of `program` over the extensional facts `edb`.
+  Result<ChaseResult> Run(const Program& program,
+                          const std::vector<Fact>& edb) const;
+
+  // Incremental extension: continues a finished chase with `additional`
+  // extensional facts, re-deriving only what the delta enables. Valid for
+  // monotone programs only — programs with negation are rejected (new
+  // facts can invalidate negation-as-failure conclusions), and `base` must
+  // have been produced by the same `program`. Constraints are re-checked
+  // over the full extended instance.
+  Result<ChaseResult> Extend(ChaseResult base, const Program& program,
+                             const std::vector<Fact>& additional) const;
+
+ private:
+  ChaseConfig config_;
+};
+
+// Fingerprint used to tie a ChaseResult to its program (exposed for tests).
+size_t ProgramFingerprint(const Program& program);
+
+}  // namespace templex
+
+#endif  // TEMPLEX_ENGINE_CHASE_H_

@@ -1,0 +1,93 @@
+#include "engine/chase_graph.h"
+
+#include <algorithm>
+
+namespace templex {
+
+std::pair<FactId, bool> ChaseGraph::AddNode(ChaseNode node) {
+  auto it = index_.find(node.fact);
+  if (it != index_.end()) return {it->second, false};
+  FactId id = static_cast<FactId>(nodes_.size());
+  index_.emplace(node.fact, id);
+  nodes_.push_back(std::move(node));
+  return {id, true};
+}
+
+std::optional<FactId> ChaseGraph::Find(const Fact& fact) const {
+  auto it = index_.find(fact);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<FactId> ChaseGraph::AncestorClosure(FactId id) const {
+  std::vector<FactId> stack = {id};
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<FactId> result;
+  while (!stack.empty()) {
+    FactId current = stack.back();
+    stack.pop_back();
+    if (seen[current]) continue;
+    seen[current] = true;
+    result.push_back(current);
+    for (FactId parent : nodes_[current].parents) {
+      if (!seen[parent]) stack.push_back(parent);
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<FactId> ChaseGraph::FactsOf(const std::string& predicate) const {
+  std::vector<FactId> result;
+  for (FactId id = 0; id < size(); ++id) {
+    if (nodes_[id].fact.predicate == predicate) result.push_back(id);
+  }
+  return result;
+}
+
+ChaseGraph ChaseGraph::WithAlternative(FactId id,
+                                       size_t alternative_index) const {
+  ChaseGraph copy = *this;
+  ChaseNode& node = copy.nodes_[id];
+  if (alternative_index < node.alternatives.size()) {
+    Derivation primary;
+    primary.rule_index = node.rule_index;
+    primary.rule_label = node.rule_label;
+    primary.binding = node.binding;
+    primary.parents = node.parents;
+    primary.contributions = node.contributions;
+    Derivation chosen = node.alternatives[alternative_index];
+    node.rule_index = chosen.rule_index;
+    node.rule_label = std::move(chosen.rule_label);
+    node.binding = std::move(chosen.binding);
+    node.parents = std::move(chosen.parents);
+    node.contributions = std::move(chosen.contributions);
+    node.alternatives[alternative_index] = std::move(primary);
+  }
+  return copy;
+}
+
+std::string ChaseGraph::ToDot(FactId goal) const {
+  std::vector<FactId> ids;
+  if (goal == kInvalidFactId) {
+    ids.resize(nodes_.size());
+    for (FactId id = 0; id < size(); ++id) ids[id] = id;
+  } else {
+    ids = AncestorClosure(goal);
+  }
+  std::string dot = "digraph chase {\n  rankdir=TB;\n";
+  for (FactId id : ids) {
+    dot += "  n" + std::to_string(id) + " [label=\"" + nodes_[id].fact.ToString() +
+           "\", shape=box];\n";
+  }
+  for (FactId id : ids) {
+    for (FactId parent : nodes_[id].parents) {
+      dot += "  n" + std::to_string(parent) + " -> n" + std::to_string(id) +
+             " [label=\"" + nodes_[id].rule_label + "\"];\n";
+    }
+  }
+  dot += "}\n";
+  return dot;
+}
+
+}  // namespace templex

@@ -1,0 +1,106 @@
+#ifndef TEMPLEX_ENGINE_CHASE_GRAPH_H_
+#define TEMPLEX_ENGINE_CHASE_GRAPH_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "datalog/binding.h"
+#include "engine/fact.h"
+
+namespace templex {
+
+// Provenance of one input to an aggregation: the value that was aggregated
+// and the body facts of the match that produced it. Needed both to explain
+// "a total of 11M (sum of loans of 2M and 9M)" and to select the dashed
+// (multi-contributor) template variant during mapping.
+struct AggregateContribution {
+  Value input;
+  std::vector<FactId> parents;
+};
+
+// A way a fact was derived: rule, homomorphism, matched facts, and (for
+// aggregations) the contributor set.
+struct Derivation {
+  // Index of the deriving rule in the Program, or -1 for extensional facts.
+  int rule_index = -1;
+  std::string rule_label;  // empty for extensional facts
+
+  // The homomorphism θ of the deriving chase step (augmented with assignment
+  // and aggregate-result variables). Empty for extensional facts.
+  Binding binding;
+
+  // Ids of the facts this fact directly derives from, in body-atom order
+  // (for aggregations: the union over all contributions, deduplicated).
+  std::vector<FactId> parents;
+
+  // Non-empty iff the deriving rule aggregates; one entry per contributor
+  // that participated in the emitted aggregate value.
+  std::vector<AggregateContribution> contributions;
+};
+
+// One node of the chase graph G(D, Σ): a fact plus how it was derived. The
+// first (chronologically earliest) derivation is the primary one used by
+// proofs; later re-derivations of the same fact through different rules or
+// facts are kept as bounded `alternatives` — the other reasoning stories an
+// analyst can ask for (Explainer::ExplainAllDerivations).
+struct ChaseNode {
+  Fact fact;
+
+  int rule_index = -1;
+  std::string rule_label;
+  Binding binding;
+  std::vector<FactId> parents;
+  std::vector<AggregateContribution> contributions;
+
+  // Alternative derivations (acyclic ones only: every parent precedes this
+  // node), capped by ChaseConfig::max_alternative_derivations.
+  std::vector<Derivation> alternatives;
+
+  bool is_extensional() const { return rule_index < 0; }
+};
+
+// The chase graph: facts as nodes, derivation edges from parents to the
+// derived fact. Nodes are appended in derivation order; a fact is stored at
+// most once (set semantics), so the graph doubles as the fact database.
+class ChaseGraph {
+ public:
+  ChaseGraph() = default;
+
+  // Adds a node for `node.fact` if the fact is new. Returns (id, true) when
+  // inserted, (existing id, false) otherwise.
+  std::pair<FactId, bool> AddNode(ChaseNode node);
+
+  // Id of an existing fact, if present.
+  std::optional<FactId> Find(const Fact& fact) const;
+
+  const ChaseNode& node(FactId id) const { return nodes_[id]; }
+  ChaseNode& mutable_node(FactId id) { return nodes_[id]; }
+
+  int size() const { return static_cast<int>(nodes_.size()); }
+
+  // All ancestor fact ids of `id` (including `id`), ascending — i.e. the
+  // sub-chase-graph that derives the fact, topologically ordered.
+  std::vector<FactId> AncestorClosure(FactId id) const;
+
+  // All facts of a given predicate.
+  std::vector<FactId> FactsOf(const std::string& predicate) const;
+
+  // GraphViz DOT rendering of the sub-graph deriving `goal` (the whole
+  // graph if goal == kInvalidFactId). Edges are labelled with rule labels.
+  std::string ToDot(FactId goal = kInvalidFactId) const;
+
+  // A copy of this graph in which node `id`'s primary derivation is
+  // swapped with its `alternative_index`-th alternative — the basis for
+  // explaining a fact "the other way".
+  ChaseGraph WithAlternative(FactId id, size_t alternative_index) const;
+
+ private:
+  std::vector<ChaseNode> nodes_;
+  std::unordered_map<Fact, FactId, FactHash> index_;
+};
+
+}  // namespace templex
+
+#endif  // TEMPLEX_ENGINE_CHASE_GRAPH_H_

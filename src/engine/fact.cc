@@ -1,0 +1,24 @@
+#include "engine/fact.h"
+
+namespace templex {
+
+std::string Fact::ToString() const {
+  std::string result = predicate;
+  result += "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) result += ", ";
+    result += args[i].ToString();
+  }
+  result += ")";
+  return result;
+}
+
+size_t Fact::Hash() const {
+  size_t h = std::hash<std::string>{}(predicate);
+  for (const Value& v : args) {
+    h ^= v.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace templex

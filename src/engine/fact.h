@@ -1,0 +1,46 @@
+#ifndef TEMPLEX_ENGINE_FACT_H_
+#define TEMPLEX_ENGINE_FACT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datalog/value.h"
+
+namespace templex {
+
+// Identifier of a fact inside a ChaseGraph. Ids are assigned in derivation
+// order, so a fact's parents always have smaller ids — proofs sorted by id
+// are topologically ordered.
+using FactId = int32_t;
+
+inline constexpr FactId kInvalidFactId = -1;
+
+// A ground tuple R(v1, ..., vn).
+struct Fact {
+  std::string predicate;
+  std::vector<Value> args;
+
+  Fact() = default;
+  Fact(std::string pred, std::vector<Value> as)
+      : predicate(std::move(pred)), args(std::move(as)) {}
+
+  int arity() const { return static_cast<int>(args.size()); }
+
+  bool operator==(const Fact& other) const {
+    return predicate == other.predicate && args == other.args;
+  }
+
+  // "Default(\"C\")".
+  std::string ToString() const;
+
+  size_t Hash() const;
+};
+
+struct FactHash {
+  size_t operator()(const Fact& f) const { return f.Hash(); }
+};
+
+}  // namespace templex
+
+#endif  // TEMPLEX_ENGINE_FACT_H_

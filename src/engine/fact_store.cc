@@ -1,0 +1,57 @@
+#include "engine/fact_store.h"
+
+namespace templex {
+
+void FactStore::OnNewFact(FactId id) {
+  const Fact& fact = graph_->node(id).fact;
+  by_predicate_[fact.predicate].push_back(id);
+  for (int pos = 0; pos < fact.arity(); ++pos) {
+    by_position_[PosKey{fact.predicate, pos, fact.args[pos]}].push_back(id);
+  }
+}
+
+const std::vector<FactId>& FactStore::FactsOf(
+    const std::string& predicate) const {
+  auto it = by_predicate_.find(predicate);
+  return it == by_predicate_.end() ? empty_ : it->second;
+}
+
+const std::vector<FactId>& FactStore::CandidatesFor(
+    const Atom& atom, const Binding& binding) const {
+  const std::vector<FactId>* best = nullptr;
+  for (int pos = 0; pos < atom.arity(); ++pos) {
+    const Term& t = atom.terms[pos];
+    Value bound_value;
+    if (t.is_constant()) {
+      bound_value = t.constant_value();
+    } else {
+      std::optional<Value> v = binding.Get(t.variable_name());
+      if (!v.has_value()) continue;
+      bound_value = *v;
+    }
+    auto it = by_position_.find(PosKey{atom.predicate, pos, bound_value});
+    if (it == by_position_.end()) return empty_;  // no fact can match
+    if (best == nullptr || it->second.size() < best->size()) {
+      best = &it->second;
+    }
+  }
+  if (best != nullptr) return *best;
+  return FactsOf(atom.predicate);
+}
+
+bool MatchAtom(const Atom& atom, const Fact& fact, Binding* binding) {
+  if (atom.predicate != fact.predicate || atom.arity() != fact.arity()) {
+    return false;
+  }
+  for (int pos = 0; pos < atom.arity(); ++pos) {
+    const Term& t = atom.terms[pos];
+    if (t.is_constant()) {
+      if (!(t.constant_value() == fact.args[pos])) return false;
+    } else if (!binding->Bind(t.variable_name(), fact.args[pos])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace templex

@@ -1,0 +1,71 @@
+#ifndef TEMPLEX_ENGINE_FACT_STORE_H_
+#define TEMPLEX_ENGINE_FACT_STORE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "datalog/atom.h"
+#include "datalog/binding.h"
+#include "engine/chase_graph.h"
+#include "engine/fact.h"
+
+namespace templex {
+
+// Secondary index layer over a ChaseGraph used by the body matcher: facts
+// per predicate, and facts per (predicate, argument position, value) so
+// joins can scan only candidates agreeing with already-bound variables.
+class FactStore {
+ public:
+  explicit FactStore(const ChaseGraph* graph) : graph_(graph) {}
+
+  FactStore(const FactStore&) = delete;
+  FactStore& operator=(const FactStore&) = delete;
+
+  // Registers a newly inserted fact in all indexes. Must be called exactly
+  // once per ChaseGraph node, in id order.
+  void OnNewFact(FactId id);
+
+  // All facts of a predicate, ascending by id.
+  const std::vector<FactId>& FactsOf(const std::string& predicate) const;
+
+  // Candidate facts that could match `atom` under `binding`: if some atom
+  // position holds a constant or an already-bound variable, the most
+  // selective position index is used; otherwise the full predicate list is
+  // returned. Candidates still need a full MatchAtom check.
+  const std::vector<FactId>& CandidatesFor(const Atom& atom,
+                                           const Binding& binding) const;
+
+ private:
+  struct PosKey {
+    std::string predicate;
+    int position;
+    Value value;
+
+    bool operator==(const PosKey& o) const {
+      return position == o.position && predicate == o.predicate &&
+             value == o.value;
+    }
+  };
+  struct PosKeyHash {
+    size_t operator()(const PosKey& k) const {
+      size_t h = std::hash<std::string>{}(k.predicate);
+      h ^= std::hash<int>{}(k.position) + 0x9e3779b9 + (h << 6) + (h >> 2);
+      h ^= k.value.Hash() + 0x9e3779b9 + (h << 6) + (h >> 2);
+      return h;
+    }
+  };
+
+  const ChaseGraph* graph_;
+  std::unordered_map<std::string, std::vector<FactId>> by_predicate_;
+  std::unordered_map<PosKey, std::vector<FactId>, PosKeyHash> by_position_;
+  std::vector<FactId> empty_;
+};
+
+// Returns true and extends `binding` iff `fact` matches `atom` under the
+// current (partial) binding: constants must equal, variables unify.
+bool MatchAtom(const Atom& atom, const Fact& fact, Binding* binding);
+
+}  // namespace templex
+
+#endif  // TEMPLEX_ENGINE_FACT_STORE_H_

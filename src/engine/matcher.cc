@@ -1,0 +1,82 @@
+#include "engine/matcher.h"
+
+namespace templex {
+
+namespace {
+
+class MatchEnumerator {
+ public:
+  MatchEnumerator(const Rule& rule, const FactStore& store,
+                  const ChaseGraph& graph, int delta_atom, FactId delta_begin,
+                  FactId limit,
+                  const std::function<Status(const BodyMatch&)>& callback)
+      : rule_(rule),
+        store_(store),
+        graph_(graph),
+        delta_atom_(delta_atom),
+        delta_begin_(delta_begin),
+        limit_(limit),
+        callback_(callback) {}
+
+  Status Run() {
+    BodyMatch match;
+    match.facts.reserve(rule_.body.size());
+    return Descend(0, match);
+  }
+
+ private:
+  bool AgeAllowed(int atom_index, FactId id) const {
+    if (id >= limit_) return false;
+    if (delta_atom_ < 0) return true;
+    if (atom_index == delta_atom_) return id >= delta_begin_;
+    if (atom_index < delta_atom_) return id < delta_begin_;
+    return true;
+  }
+
+  Status Descend(size_t atom_index, BodyMatch& match) {
+    if (atom_index == rule_.body.size()) {
+      return callback_(match);
+    }
+    const Atom& atom = rule_.body[atom_index];
+    const std::vector<FactId>& candidates =
+        store_.CandidatesFor(atom, match.binding);
+    // Facts emitted by the enclosing chase round are appended to the index
+    // vectors while we iterate: use index-based access over a size snapshot
+    // (the appended ids are >= limit and age-filtered out regardless).
+    const size_t candidate_count = candidates.size();
+    for (size_t i = 0; i < candidate_count; ++i) {
+      const FactId id = candidates[i];
+      if (!AgeAllowed(static_cast<int>(atom_index), id)) continue;
+      Binding extended = match.binding;
+      if (!MatchAtom(atom, graph_.node(id).fact, &extended)) continue;
+      Binding saved = std::move(match.binding);
+      match.binding = std::move(extended);
+      match.facts.push_back(id);
+      TEMPLEX_RETURN_IF_ERROR(Descend(atom_index + 1, match));
+      match.facts.pop_back();
+      match.binding = std::move(saved);
+    }
+    return Status::OK();
+  }
+
+  const Rule& rule_;
+  const FactStore& store_;
+  const ChaseGraph& graph_;
+  const int delta_atom_;
+  const FactId delta_begin_;
+  const FactId limit_;
+  const std::function<Status(const BodyMatch&)>& callback_;
+};
+
+}  // namespace
+
+Status EnumerateMatches(
+    const Rule& rule, const FactStore& store, const ChaseGraph& graph,
+    int delta_atom, FactId delta_begin, FactId limit,
+    const std::function<Status(const BodyMatch&)>& callback) {
+  MatchEnumerator enumerator(rule, store, graph, delta_atom, delta_begin,
+                             limit, callback);
+  return enumerator.Run();
+}
+
+}  // namespace templex

@@ -1,0 +1,39 @@
+#ifndef TEMPLEX_ENGINE_MATCHER_H_
+#define TEMPLEX_ENGINE_MATCHER_H_
+
+#include <functional>
+
+#include "common/status.h"
+#include "datalog/rule.h"
+#include "engine/fact_store.h"
+
+namespace templex {
+
+// One homomorphism from a rule body into the database: the variable binding
+// and the matched facts, in body-atom order.
+struct BodyMatch {
+  Binding binding;
+  std::vector<FactId> facts;
+};
+
+// Enumerates every homomorphism from `rule`'s body atoms into the facts of
+// `graph` with id < `limit`, invoking `callback` for each. Enumeration order
+// is deterministic (fact-id order per atom).
+//
+// Semi-naive restriction: when `delta_atom >= 0`, the atom at that body
+// index only matches facts with id in [delta_begin, limit) (the "new" facts
+// of the current round), atoms before it only match ids < delta_begin, and
+// atoms after it match any id < limit. Calling this for every delta_atom
+// position enumerates exactly the matches involving at least one new fact,
+// without duplicates. With delta_atom == -1 every atom ranges over
+// [0, limit).
+//
+// Stops and propagates the first non-OK status returned by the callback.
+Status EnumerateMatches(const Rule& rule, const FactStore& store,
+                        const ChaseGraph& graph, int delta_atom,
+                        FactId delta_begin, FactId limit,
+                        const std::function<Status(const BodyMatch&)>& callback);
+
+}  // namespace templex
+
+#endif  // TEMPLEX_ENGINE_MATCHER_H_

@@ -1,0 +1,54 @@
+#ifndef TEMPLEX_ENGINE_PROOF_H_
+#define TEMPLEX_ENGINE_PROOF_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/chase_graph.h"
+
+namespace templex {
+
+// The proof of a derived fact: the portion of the chase graph that derives
+// it, linearized in derivation (= topological) order. The ordered rule
+// labels of the intensional steps form the chase-step sequence τ that the
+// template mapper consumes (Example 4.7: τ = {α, β, γ, β, γ}).
+class Proof {
+ public:
+  // Extracts the proof of `goal` from `graph`. `graph` must outlive the
+  // proof (the proof stores a pointer).
+  static Proof Extract(const ChaseGraph& graph, FactId goal);
+
+  const ChaseGraph& graph() const { return *graph_; }
+  FactId goal() const { return goal_; }
+
+  // Intensional facts of the proof in derivation order (the goal is last).
+  const std::vector<FactId>& steps() const { return steps_; }
+
+  // Extensional facts the proof is grounded in, ascending by id.
+  const std::vector<FactId>& edb_facts() const { return edb_facts_; }
+
+  // Number of chase steps (= intensional facts) in the proof; the x-axis of
+  // Figures 17 and 18.
+  int num_chase_steps() const { return static_cast<int>(steps_.size()); }
+
+  // The ordered rule-label sequence τ of the proof.
+  std::vector<std::string> RuleLabelSequence() const;
+
+  // Every distinct constant appearing in any fact of the proof (extensional
+  // and intensional). This is the denominator of the omission metric of
+  // Figure 17: a complete explanation must mention all of them.
+  std::vector<Value> Constants() const;
+
+  // Human-readable listing, one step per line, for debugging.
+  std::string ToString() const;
+
+ private:
+  const ChaseGraph* graph_ = nullptr;
+  FactId goal_ = kInvalidFactId;
+  std::vector<FactId> steps_;
+  std::vector<FactId> edb_facts_;
+};
+
+}  // namespace templex
+
+#endif  // TEMPLEX_ENGINE_PROOF_H_

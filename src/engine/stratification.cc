@@ -1,0 +1,65 @@
+#include "engine/stratification.h"
+
+#include <algorithm>
+
+namespace templex {
+
+Result<std::map<std::string, int>> StratifyProgram(const Program& program) {
+  std::map<std::string, int> level;
+  const std::vector<std::string> predicates = program.Predicates();
+  for (const std::string& p : predicates) level[p] = 0;
+  // Iterative relaxation; levels are bounded by the number of predicates in
+  // any valid stratification, so exceeding that bound means a negative
+  // cycle.
+  const int max_level = static_cast<int>(predicates.size());
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Rule& rule : program.rules()) {
+      if (rule.is_constraint) continue;
+      int required = 0;
+      for (const Atom& atom : rule.body) {
+        required = std::max(required, level[atom.predicate]);
+      }
+      for (const Atom& atom : rule.negative_body) {
+        required = std::max(required, level[atom.predicate] + 1);
+      }
+      int& head_level = level[rule.head.predicate];
+      if (required > head_level) {
+        if (required > max_level) {
+          return Status::InvalidArgument(
+              "program is not stratifiable: negation through recursion "
+              "involving predicate '" +
+              rule.head.predicate + "'");
+        }
+        head_level = required;
+        changed = true;
+      }
+    }
+  }
+  return level;
+}
+
+Result<std::vector<std::vector<int>>> RuleStrata(const Program& program) {
+  Result<std::map<std::string, int>> levels = StratifyProgram(program);
+  if (!levels.ok()) return levels.status();
+  int max_level = 0;
+  for (const auto& [predicate, level] : levels.value()) {
+    max_level = std::max(max_level, level);
+  }
+  std::vector<std::vector<int>> strata(max_level + 1);
+  for (size_t i = 0; i < program.rules().size(); ++i) {
+    if (program.rules()[i].is_constraint) continue;  // checked post-fixpoint
+    const int level = levels.value().at(program.rules()[i].head.predicate);
+    strata[level].push_back(static_cast<int>(i));
+  }
+  // Drop empty strata (levels occupied only by extensional predicates).
+  std::vector<std::vector<int>> compact;
+  for (std::vector<int>& stratum : strata) {
+    if (!stratum.empty()) compact.push_back(std::move(stratum));
+  }
+  if (compact.empty()) compact.push_back({});
+  return compact;
+}
+
+}  // namespace templex

@@ -1,0 +1,26 @@
+#ifndef TEMPLEX_ENGINE_STRATIFICATION_H_
+#define TEMPLEX_ENGINE_STRATIFICATION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/program.h"
+
+namespace templex {
+
+// Computes a stratification of the program's predicates for
+// negation-as-failure: a level per predicate such that positive
+// dependencies never decrease the level and negative dependencies strictly
+// increase it. Fails with InvalidArgument when the program negates through
+// recursion (no stratification exists).
+Result<std::map<std::string, int>> StratifyProgram(const Program& program);
+
+// Rule indexes grouped by the stratum of their head predicate, ascending.
+// Programs without negation yield a single stratum with every rule.
+Result<std::vector<std::vector<int>>> RuleStrata(const Program& program);
+
+}  // namespace templex
+
+#endif  // TEMPLEX_ENGINE_STRATIFICATION_H_

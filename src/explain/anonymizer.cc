@@ -1,0 +1,115 @@
+#include "explain/anonymizer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "common/number_format.h"
+
+namespace templex {
+
+namespace {
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0;
+}
+
+// Whole-word replacement of `from` by `to`.
+std::string ReplaceWholeWord(const std::string& text, const std::string& from,
+                             const std::string& to) {
+  if (from.empty()) return text;
+  std::string out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(from, start);
+    if (pos == std::string::npos) {
+      out.append(text, start, std::string::npos);
+      break;
+    }
+    const bool left_ok = pos == 0 || !IsWordChar(text[pos - 1]);
+    const size_t end = pos + from.size();
+    const bool right_ok = end >= text.size() || !IsWordChar(text[end]);
+    out.append(text, start, pos - start);
+    if (left_ok && right_ok) {
+      out += to;
+    } else {
+      out.append(from);
+    }
+    start = end;
+  }
+  return out;
+}
+
+// "~10M"-style order-of-magnitude bucket for a number rendered with
+// `suffix`: the exact amount is replaced by the nearest power of ten, so
+// no precise figure survives in the anonymized text.
+std::string Bucket(double value, const std::string& suffix) {
+  if (value == 0.0) return "~0" + suffix;
+  const double bucket =
+      std::pow(10.0, std::round(std::log10(std::fabs(value))));
+  const double sign = value < 0.0 ? -1.0 : 1.0;
+  return "~" + FormatDouble(sign * bucket) + suffix;
+}
+
+}  // namespace
+
+AnonymizedText AnonymizeEntities(const std::string& text,
+                                 const std::vector<std::string>& entities,
+                                 const AnonymizerOptions& options) {
+  AnonymizedText result;
+  result.text = text;
+  // Longest-first so an entity that is a prefix of another ("Banca1" vs
+  // "Banca12") cannot clobber it; whole-word matching already prevents
+  // most collisions, this makes the order deterministic regardless.
+  std::vector<std::pair<std::string, int>> ordered;
+  for (size_t i = 0; i < entities.size(); ++i) {
+    ordered.emplace_back(entities[i], static_cast<int>(i));
+  }
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first.size() > b.first.size();
+                   });
+  for (const auto& [entity, index] : ordered) {
+    const std::string pseudonym =
+        options.pseudonym_prefix + std::to_string(index + 1);
+    std::string replaced = ReplaceWholeWord(result.text, entity, pseudonym);
+    if (replaced != result.text) {
+      result.text = std::move(replaced);
+    }
+  }
+  for (size_t i = 0; i < entities.size(); ++i) {
+    result.mapping.emplace_back(
+        options.pseudonym_prefix + std::to_string(i + 1), entities[i]);
+  }
+  return result;
+}
+
+AnonymizedText AnonymizeExplanation(const std::string& text,
+                                    const Proof& proof,
+                                    const AnonymizerOptions& options) {
+  std::vector<std::string> entities;
+  std::vector<double> numbers;
+  for (const Value& constant : proof.Constants()) {
+    if (constant.is_string()) {
+      entities.push_back(constant.string_value());
+    } else if (constant.is_numeric()) {
+      numbers.push_back(constant.AsDouble());
+    }
+  }
+  AnonymizedText result = AnonymizeEntities(text, entities, options);
+  if (options.coarsen_numbers) {
+    for (double value : numbers) {
+      result.text = ReplaceWholeWord(
+          result.text, FormatNumber(value, NumberStyle::kMillions),
+          Bucket(value, "M"));
+      result.text = ReplaceWholeWord(
+          result.text, FormatNumber(value, NumberStyle::kPercent),
+          Bucket(value * 100.0, "%"));
+      result.text =
+          ReplaceWholeWord(result.text, FormatDouble(value), Bucket(value, ""));
+    }
+  }
+  return result;
+}
+
+}  // namespace templex

@@ -1,0 +1,52 @@
+#ifndef TEMPLEX_EXPLAIN_ANONYMIZER_H_
+#define TEMPLEX_EXPLAIN_ANONYMIZER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/proof.h"
+
+namespace templex {
+
+// Pseudonymization of explanations (§1 of the paper motivates why
+// anonymizing unstructured explanation text is hard and why their approach
+// avoids the need — this utility covers the remaining case where an
+// explanation must leave the trust boundary, e.g. for an external audit or
+// a bug report).
+//
+// The entity constants of the underlying proof are replaced, consistently
+// and whole-word, by stable pseudonyms ("Entity-1", "Entity-2", ... in
+// order of first appearance in the proof). Numeric amounts are left intact
+// by default — they carry the reasoning — or coarsened to buckets when
+// `coarsen_numbers` is set.
+struct AnonymizerOptions {
+  std::string pseudonym_prefix = "Entity-";
+  // Replace numeric renderings ("7M", "83%") with magnitude buckets
+  // ("~10M", "~80%").
+  bool coarsen_numbers = false;
+};
+
+struct AnonymizedText {
+  std::string text;
+  // pseudonym -> original, in pseudonym order (the re-identification key;
+  // keep it inside the trust boundary).
+  std::vector<std::pair<std::string, std::string>> mapping;
+};
+
+// Anonymizes `text` using the entity constants of `proof`.
+AnonymizedText AnonymizeExplanation(const std::string& text,
+                                    const Proof& proof,
+                                    const AnonymizerOptions& options =
+                                        AnonymizerOptions());
+
+// Lower-level variant with an explicit entity list (first-appearance order
+// defines pseudonym numbering).
+AnonymizedText AnonymizeEntities(const std::string& text,
+                                 const std::vector<std::string>& entities,
+                                 const AnonymizerOptions& options =
+                                     AnonymizerOptions());
+
+}  // namespace templex
+
+#endif  // TEMPLEX_EXPLAIN_ANONYMIZER_H_

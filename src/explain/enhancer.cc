@@ -1,0 +1,253 @@
+#include "explain/enhancer.h"
+
+#include <vector>
+
+#include "common/string_util.h"
+#include "llm/llm_client.h"
+
+namespace templex {
+
+namespace {
+
+// Splits "Since c1, and c2, ..., then head." into clauses + head. Returns
+// false when the sentence does not follow the verbalizer's shape.
+bool ParseDeterministicSentence(const std::string& sentence,
+                                std::vector<std::string>* clauses,
+                                std::string* head) {
+  std::string text = Trim(sentence);
+  if (!text.starts_with("Since ")) return false;
+  if (text.ends_with(".")) text.pop_back();
+  size_t then_pos = text.rfind(", then ");
+  if (then_pos == std::string::npos) return false;
+  *head = text.substr(then_pos + 7);
+  std::string body = text.substr(6, then_pos - 6);
+  // Clauses are joined with ", and ".
+  std::string marker = ", and ";
+  size_t start = 0;
+  clauses->clear();
+  while (true) {
+    size_t pos = body.find(marker, start);
+    if (pos == std::string::npos) {
+      clauses->push_back(body.substr(start));
+      break;
+    }
+    clauses->push_back(body.substr(start, pos - start));
+    start = pos + marker.size();
+  }
+  return !clauses->empty() && !head->empty();
+}
+
+// Replaces every <token> with <*> so clauses can be compared across rules
+// that name the same story element differently (<f> vs <d>).
+std::string NormalizeTokens(const std::string& text) {
+  std::string result;
+  size_t i = 0;
+  while (i < text.size()) {
+    if (text[i] == '<') {
+      size_t close = text.find('>', i);
+      if (close != std::string::npos) {
+        result += "<*>";
+        i = close + 1;
+        continue;
+      }
+    }
+    result.push_back(text[i]);
+    ++i;
+  }
+  return result;
+}
+
+// <token> names occurring in `text`.
+std::vector<std::string> TokensIn(const std::string& text) {
+  std::vector<std::string> tokens;
+  size_t pos = 0;
+  while ((pos = text.find('<', pos)) != std::string::npos) {
+    size_t close = text.find('>', pos);
+    if (close == std::string::npos) break;
+    tokens.push_back(text.substr(pos, close - pos + 1));
+    pos = close + 1;
+  }
+  return tokens;
+}
+
+// Leading "<x>" subject of a clause, or empty.
+std::string LeadingToken(const std::string& clause) {
+  if (clause.empty() || clause[0] != '<') return "";
+  size_t end = clause.find('>');
+  if (end == std::string::npos) return "";
+  return clause.substr(0, end + 1);
+}
+
+// Merges consecutive clauses that share the same "<x> ..." subject:
+// "<d> is in default" + "<d> has <v> euros of debts" ->
+// "<d> is in default and has <v> euros of debts".
+std::vector<std::string> MergeSharedSubjects(
+    const std::vector<std::string>& clauses) {
+  std::vector<std::string> merged;
+  for (const std::string& clause : clauses) {
+    std::string subject = LeadingToken(clause);
+    if (!merged.empty() && !subject.empty() &&
+        LeadingToken(merged.back()) == subject &&
+        clause.size() > subject.size() + 1) {
+      merged.back() += " and" + clause.substr(subject.size());
+    } else {
+      merged.push_back(clause);
+    }
+  }
+  return merged;
+}
+
+std::string ComposeSentence(const std::vector<std::string>& clauses,
+                            const std::string& head, int frame,
+                            bool chained) {
+  const std::string body = JoinWithConjunction(clauses, ", ", ", and ");
+  if (chained) {
+    // The clause linking to the previous sentence was elided; open with a
+    // consequence connective instead.
+    switch (frame % 4) {
+      case 0:
+        return "Thus, " + head + ", given " + body + ".";
+      case 1:
+        return "As a result, " + head + ", since " + body + ".";
+      case 2:
+        return Capitalize(head) + ", because " + body + ".";
+      default:
+        return "Consequently, " + head + ", as " + body + ".";
+    }
+  }
+  switch (frame % 4) {
+    case 0:
+      return "Since " + body + ", " + head + ".";
+    case 1:
+      return Capitalize(head) + ", given that " + body + ".";
+    case 2:
+      return "As " + body + ", " + head + ".";
+    default:
+      return Capitalize(head) + " because " + body + ".";
+  }
+}
+
+// Rewrites one segment sentence given the normalized head of the previous
+// segment; returns the rewritten text and outputs this segment's normalized
+// head for chaining.
+std::string RewriteWithContext(const std::string& sentence, int frame,
+                               const std::string& prev_head_normalized,
+                               std::string* head_normalized) {
+  std::vector<std::string> clauses;
+  std::string head;
+  if (!ParseDeterministicSentence(sentence, &clauses, &head)) {
+    *head_normalized = "";
+    return sentence;  // unknown shape: leave untouched
+  }
+  *head_normalized = NormalizeTokens(head);
+  // Elide clauses that restate the previous sentence's conclusion — the
+  // main source of redundancy in chained deterministic templates — but only
+  // when their tokens survive elsewhere in the sentence (the §4.4
+  // completeness requirement).
+  bool chained = false;
+  if (!prev_head_normalized.empty()) {
+    std::vector<std::string> kept;
+    for (size_t i = 0; i < clauses.size(); ++i) {
+      if (NormalizeTokens(clauses[i]) == prev_head_normalized) {
+        std::string rest = head;
+        for (size_t j = 0; j < clauses.size(); ++j) {
+          if (j != i) rest += " " + clauses[j];
+        }
+        bool tokens_survive = true;
+        for (const std::string& token : TokensIn(clauses[i])) {
+          if (!Contains(rest, token)) {
+            tokens_survive = false;
+            break;
+          }
+        }
+        if (tokens_survive) {
+          chained = true;
+          continue;
+        }
+      }
+      kept.push_back(clauses[i]);
+    }
+    if (chained) clauses = std::move(kept);
+  }
+  clauses = MergeSharedSubjects(clauses);
+  if (clauses.empty()) {
+    return Capitalize(head) + ".";
+  }
+  return ComposeSentence(clauses, head, frame, chained);
+}
+
+}  // namespace
+
+std::string CompressDeterministicText(const std::string& text, int variant) {
+  std::vector<std::string> sentences = SplitSentences(text);
+  std::string result;
+  std::string prev_head;
+  for (size_t i = 0; i < sentences.size(); ++i) {
+    std::string head_normalized;
+    std::string rewritten =
+        RewriteWithContext(sentences[i], static_cast<int>(i) + variant,
+                           prev_head, &head_normalized);
+    if (!result.empty()) result += " ";
+    result += rewritten;
+    prev_head = head_normalized;
+  }
+  return result;
+}
+
+Status VerifyTokensPreserved(const TemplateSegment& segment,
+                             const std::string& candidate_text) {
+  for (const TemplateToken& token : segment.tokens) {
+    if (!Contains(candidate_text, "<" + token.variable + ">")) {
+      return Status::FailedPrecondition(
+          "enhanced text omits token <" + token.variable + "> of rule '" +
+          segment.rule_label + "'");
+    }
+  }
+  return Status::OK();
+}
+
+std::string TemplateEnhancer::RewriteSentence(const std::string& sentence,
+                                              int frame) const {
+  std::string unused;
+  return RewriteWithContext(sentence, frame, "", &unused);
+}
+
+Status TemplateEnhancer::Enhance(ExplanationTemplate* tmpl,
+                                 int variant) const {
+  std::string prev_head;
+  for (size_t i = 0; i < tmpl->segments.size(); ++i) {
+    TemplateSegment& segment = tmpl->segments[i];
+    std::string head_normalized;
+    std::string candidate =
+        RewriteWithContext(segment.text, static_cast<int>(i) + variant,
+                           prev_head, &head_normalized);
+    if (VerifyTokensPreserved(segment, candidate).ok()) {
+      segment.enhanced_text = std::move(candidate);
+    } else {
+      segment.enhanced_text.clear();  // fall back to deterministic text
+    }
+    prev_head = head_normalized;
+  }
+  return Status::OK();
+}
+
+Status TemplateEnhancer::EnhanceWithLlm(ExplanationTemplate* tmpl,
+                                        LlmClient* llm,
+                                        int* num_fallbacks) const {
+  int fallbacks = 0;
+  for (TemplateSegment& segment : tmpl->segments) {
+    Result<std::string> candidate =
+        llm->Complete("Rephrase the following text: " + segment.text);
+    if (candidate.ok() &&
+        VerifyTokensPreserved(segment, candidate.value()).ok()) {
+      segment.enhanced_text = std::move(candidate).value();
+    } else {
+      segment.enhanced_text.clear();
+      ++fallbacks;
+    }
+  }
+  if (num_fallbacks != nullptr) *num_fallbacks = fallbacks;
+  return Status::OK();
+}
+
+}  // namespace templex

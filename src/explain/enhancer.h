@@ -1,0 +1,62 @@
+#ifndef TEMPLEX_EXPLAIN_ENHANCER_H_
+#define TEMPLEX_EXPLAIN_ENHANCER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "explain/template.h"
+
+namespace templex {
+
+class LlmClient;  // llm/llm_client.h
+
+// The automatic preventive check of §4.4: every token of the deterministic
+// segment must still occur (as "<name>") in the candidate enhanced text.
+// Returns FailedPrecondition naming the first missing token otherwise.
+Status VerifyTokensPreserved(const TemplateSegment& segment,
+                             const std::string& candidate_text);
+
+// Enhances the deterministic explanation templates into more fluent,
+// compact wording (§4.2, "Enhancement of templates").
+//
+// The paper performs this step once, offline, with an LLM applied to the
+// *rules only* (never to data) and a human-in-the-loop/token check. Since
+// this reproduction has no LLM API, the default enhancer is a deterministic
+// rule-based rewriter that applies the same classes of transformation the
+// paper reports the LLM performing: merging clauses that share a subject,
+// rotating sentence frames so consecutive sentences do not all read "Since
+// ..., then ...", and varying connectives. Different `variant` values yield
+// different but interchangeable phrasings (the paper's repeated-prompt
+// trick to increase textual richness).
+//
+// Every rewritten segment is passed through VerifyTokensPreserved; a
+// failing segment silently keeps its deterministic text (the paper's
+// fallback for template hallucinations/omissions).
+class TemplateEnhancer {
+ public:
+  TemplateEnhancer() = default;
+
+  // Rewrites every segment of `tmpl` in place (fills enhanced_text).
+  Status Enhance(ExplanationTemplate* tmpl, int variant = 0) const;
+
+  // Same, but the rewriting is delegated to an LLM ("Rephrase the following
+  // text: ..."), mirroring the paper's automated pipeline. Segments whose
+  // LLM output fails the token check fall back to the deterministic text.
+  // Returns the number of segments that fell back via `num_fallbacks`.
+  Status EnhanceWithLlm(ExplanationTemplate* tmpl, LlmClient* llm,
+                        int* num_fallbacks) const;
+
+  // Rewrites one deterministic sentence (exposed for tests).
+  std::string RewriteSentence(const std::string& sentence, int frame) const;
+};
+
+// Rewrites a whole deterministic explanation — symbolic (template) or
+// ground — into more fluent prose with the same clause elision and sentence
+// frame rotation the enhancer applies per segment. The simulated LLM uses
+// this to model the fluency of a GPT paraphrase.
+std::string CompressDeterministicText(const std::string& text,
+                                      int variant = 0);
+
+}  // namespace templex
+
+#endif  // TEMPLEX_EXPLAIN_ENHANCER_H_

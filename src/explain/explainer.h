@@ -1,0 +1,106 @@
+#ifndef TEMPLEX_EXPLAIN_EXPLAINER_H_
+#define TEMPLEX_EXPLAIN_EXPLAINER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/structural_analyzer.h"
+#include "engine/chase.h"
+#include "engine/proof.h"
+#include "explain/glossary.h"
+#include "explain/mapper.h"
+#include "explain/template.h"
+#include "explain/verbalizer.h"
+
+namespace templex {
+
+class LlmClient;  // llm/llm_client.h
+
+struct ExplainerOptions {
+  // Apply the rule-based template enhancement (§4.2); when false,
+  // explanations use the raw deterministic templates.
+  bool enhance = true;
+  // Which interchangeable enhanced phrasing to use (the paper generates
+  // several by re-prompting; we rotate sentence frames).
+  int enhancement_variant = 0;
+  // When set (and `enhance` is true), templates are enhanced by prompting
+  // this LLM with the rules — the paper's §4.4 automated pipeline. Every
+  // rewritten segment passes the token-preservation check, falling back to
+  // the deterministic text on omissions. The client must outlive Create().
+  LlmClient* enhancement_llm = nullptr;
+  // Limits for the structural analysis.
+  AnalyzerOptions analyzer;
+};
+
+// The automated pipeline of §4.4: structural analysis of a deployed KG
+// application, template generation and enhancement at creation time, and
+// template-based answering of explanation queries at run time — all without
+// the factual instance ever leaving the process.
+//
+//   auto explainer = Explainer::Create(program, glossary).value();
+//   auto chase = ChaseEngine().Run(program, edb).value();
+//   auto text = explainer->Explain(chase, Fact{"Default", {...}});
+class Explainer {
+ public:
+  // Builds the pipeline. The program must carry a goal predicate and the
+  // glossary must cover every predicate used by the program's rules.
+  static Result<std::unique_ptr<Explainer>> Create(
+      Program program, DomainGlossary glossary,
+      ExplainerOptions options = ExplainerOptions());
+
+  Explainer(const Explainer&) = delete;
+  Explainer& operator=(const Explainer&) = delete;
+
+  // Answers the explanation query Q_e = {fact}: extracts the fact's proof
+  // from the chase graph, maps it to templates, and instantiates them.
+  Result<std::string> Explain(const ChaseResult& chase,
+                              const Fact& fact) const;
+
+  // Same, for an already-extracted proof.
+  Result<std::string> ExplainProof(const Proof& proof) const;
+
+  // Every reasoning story for `fact`: the primary explanation first, then
+  // one explanation per recorded alternative derivation of the fact (the
+  // chase keeps bounded acyclic re-derivations — e.g. a control held both
+  // directly and through subsidiaries). Extensional facts yield one entry.
+  Result<std::vector<std::string>> ExplainAllDerivations(
+      const ChaseResult& chase, const Fact& fact) const;
+
+  // The verbose step-by-step verbalization of a proof — the deterministic
+  // explanation the LLM baselines consume (§6.2–6.3).
+  Result<std::string> DeterministicExplanation(const Proof& proof) const;
+
+  // Exposed for benchmarks: the mapping stage alone.
+  Result<std::vector<MappedUnit>> MapProof(const Proof& proof) const;
+
+  // Instantiates one mapped unit (template instance or fallback step).
+  Result<std::string> RenderUnit(const Proof& proof, const MappedUnit& unit,
+                                 bool enhanced) const;
+
+  const Program& program() const { return program_; }
+  const DomainGlossary& glossary() const { return glossary_; }
+  const StructuralAnalysis& analysis() const { return analysis_; }
+  const std::vector<ExplanationTemplate>& templates() const {
+    return templates_;
+  }
+  const Verbalizer& verbalizer() const { return *verbalizer_; }
+  const ExplainerOptions& options() const { return options_; }
+
+ private:
+  Explainer(Program program, DomainGlossary glossary,
+            ExplainerOptions options);
+
+  Program program_;
+  DomainGlossary glossary_;
+  ExplainerOptions options_;
+  StructuralAnalysis analysis_;
+  std::vector<ExplanationTemplate> templates_;
+  std::unique_ptr<Verbalizer> verbalizer_;
+  std::unique_ptr<ChaseMapper> mapper_;
+};
+
+}  // namespace templex
+
+#endif  // TEMPLEX_EXPLAIN_EXPLAINER_H_

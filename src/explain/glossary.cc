@@ -1,0 +1,121 @@
+#include "explain/glossary.h"
+
+#include "common/string_util.h"
+
+namespace templex {
+
+Status DomainGlossary::Register(const std::string& predicate,
+                                GlossaryEntry entry) {
+  if (entry.arg_styles.empty()) {
+    entry.arg_styles.assign(entry.arg_tokens.size(), NumberStyle::kPlain);
+  }
+  if (entry.arg_styles.size() != entry.arg_tokens.size()) {
+    return Status::InvalidArgument("glossary entry for '" + predicate +
+                                   "': arg_styles/arg_tokens size mismatch");
+  }
+  for (const std::string& token : entry.arg_tokens) {
+    if (!Contains(entry.pattern, "<" + token + ">")) {
+      return Status::InvalidArgument("glossary entry for '" + predicate +
+                                     "': pattern does not mention token <" +
+                                     token + ">");
+    }
+  }
+  if (entries_.count(predicate) == 0) order_.push_back(predicate);
+  entries_[predicate] = std::move(entry);
+  return Status::OK();
+}
+
+const GlossaryEntry* DomainGlossary::Find(const std::string& predicate) const {
+  auto it = entries_.find(predicate);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+NumberStyle DomainGlossary::StyleFor(const std::string& predicate,
+                                     int position) const {
+  const GlossaryEntry* entry = Find(predicate);
+  if (entry == nullptr || position < 0 ||
+      position >= static_cast<int>(entry->arg_styles.size())) {
+    return NumberStyle::kPlain;
+  }
+  return entry->arg_styles[position];
+}
+
+std::string DomainGlossary::FormatValue(const Value& value,
+                                        NumberStyle style) {
+  if (value.is_numeric()) return FormatNumber(value.AsDouble(), style);
+  return value.ToDisplayString();
+}
+
+Result<std::string> DomainGlossary::VerbalizeAtom(const Atom& atom) const {
+  const GlossaryEntry* entry = Find(atom.predicate);
+  if (entry == nullptr) {
+    return Status::NotFound("no glossary entry for predicate '" +
+                            atom.predicate + "'");
+  }
+  if (static_cast<int>(entry->arg_tokens.size()) != atom.arity()) {
+    return Status::InvalidArgument("glossary arity mismatch for '" +
+                                   atom.predicate + "'");
+  }
+  std::string text = entry->pattern;
+  for (int pos = 0; pos < atom.arity(); ++pos) {
+    const std::string token = "<" + entry->arg_tokens[pos] + ">";
+    const Term& term = atom.terms[pos];
+    if (term.is_variable()) {
+      text = ReplaceAll(text, token, "<" + term.variable_name() + ">");
+    } else {
+      text = ReplaceAll(
+          text, token,
+          FormatValue(term.constant_value(), entry->arg_styles[pos]));
+    }
+  }
+  return text;
+}
+
+Result<std::string> DomainGlossary::VerbalizeFact(const Fact& fact) const {
+  const GlossaryEntry* entry = Find(fact.predicate);
+  if (entry == nullptr) {
+    return Status::NotFound("no glossary entry for predicate '" +
+                            fact.predicate + "'");
+  }
+  if (static_cast<int>(entry->arg_tokens.size()) != fact.arity()) {
+    return Status::InvalidArgument("glossary arity mismatch for '" +
+                                   fact.predicate + "'");
+  }
+  std::string text = entry->pattern;
+  for (int pos = 0; pos < fact.arity(); ++pos) {
+    text = ReplaceAll(text, "<" + entry->arg_tokens[pos] + ">",
+                      FormatValue(fact.args[pos], entry->arg_styles[pos]));
+  }
+  return text;
+}
+
+std::map<std::string, NumberStyle> DomainGlossary::VariableStyles(
+    const Atom& atom) const {
+  std::map<std::string, NumberStyle> styles;
+  const GlossaryEntry* entry = Find(atom.predicate);
+  if (entry == nullptr) return styles;
+  for (int pos = 0;
+       pos < atom.arity() &&
+       pos < static_cast<int>(entry->arg_styles.size());
+       ++pos) {
+    if (atom.terms[pos].is_variable()) {
+      styles.emplace(atom.terms[pos].variable_name(),
+                     entry->arg_styles[pos]);
+    }
+  }
+  return styles;
+}
+
+std::string DomainGlossary::ToTable() const {
+  std::string table;
+  for (const std::string& predicate : order_) {
+    const GlossaryEntry& entry = entries_.at(predicate);
+    std::string atom = predicate + "(" + Join(entry.arg_tokens, ", ") + ")";
+    table += atom;
+    table.append(atom.size() < 36 ? 36 - atom.size() : 1, ' ');
+    table += "| " + entry.pattern + ".\n";
+  }
+  return table;
+}
+
+}  // namespace templex

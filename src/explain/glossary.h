@@ -1,0 +1,80 @@
+#ifndef TEMPLEX_EXPLAIN_GLOSSARY_H_
+#define TEMPLEX_EXPLAIN_GLOSSARY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/number_format.h"
+#include "common/status.h"
+#include "datalog/atom.h"
+#include "engine/fact.h"
+
+namespace templex {
+
+// Glossary entry for one predicate: its natural-language pattern, with one
+// token per argument position (Figure 7 / Figure 11). `arg_styles` carries
+// how numeric arguments are rendered in explanations (plain, "7M" for
+// amounts in millions, "83%" for fractional shares).
+struct GlossaryEntry {
+  // "A shock amounting to <s> euro affects <f>" — tokens in angle brackets,
+  // no trailing period.
+  std::string pattern;
+  // Per argument position, the token name used in `pattern` ({"f", "s"}).
+  std::vector<std::string> arg_tokens;
+  // Per argument position, how numbers are formatted. Defaults to kPlain.
+  std::vector<NumberStyle> arg_styles;
+};
+
+// The domain glossary (§4.2): a map from the predicates of the domain
+// schema to their natural-language equivalents, sourced from the
+// organization's data dictionary.
+class DomainGlossary {
+ public:
+  DomainGlossary() = default;
+
+  // Registers the entry for `predicate`. Fails if the pattern does not
+  // mention every arg token exactly, or sizes are inconsistent.
+  Status Register(const std::string& predicate, GlossaryEntry entry);
+
+  const GlossaryEntry* Find(const std::string& predicate) const;
+
+  bool Has(const std::string& predicate) const {
+    return Find(predicate) != nullptr;
+  }
+
+  // Rendering style for argument `position` of `predicate` (kPlain when
+  // unknown).
+  NumberStyle StyleFor(const std::string& predicate, int position) const;
+
+  // Formats a value for explanation text according to `style`.
+  static std::string FormatValue(const Value& value, NumberStyle style);
+
+  // Verbalizes a rule atom symbolically: variable arguments stay as
+  // "<variable>" tokens (named after the *rule's* variables), constant
+  // arguments are substituted with their formatted text.
+  //   VerbalizeAtom(HasCapital(f, p1)) = "<f> is a ... with capital <p1>"
+  Result<std::string> VerbalizeAtom(const Atom& atom) const;
+
+  // Verbalizes a ground fact: all tokens substituted with formatted values.
+  Result<std::string> VerbalizeFact(const Fact& fact) const;
+
+  // Styles by variable name for an atom's variable arguments, used to carry
+  // formatting hints into templates (a variable inherits the style of the
+  // position it occurs in).
+  std::map<std::string, NumberStyle> VariableStyles(const Atom& atom) const;
+
+  // Figure 7/11-style table.
+  std::string ToTable() const;
+
+  // Predicates registered, in registration order.
+  const std::vector<std::string>& predicates() const { return order_; }
+
+ private:
+  std::map<std::string, GlossaryEntry> entries_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace templex
+
+#endif  // TEMPLEX_EXPLAIN_GLOSSARY_H_

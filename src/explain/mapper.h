@@ -1,0 +1,81 @@
+#ifndef TEMPLEX_EXPLAIN_MAPPER_H_
+#define TEMPLEX_EXPLAIN_MAPPER_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "core/structural_analyzer.h"
+#include "engine/proof.h"
+#include "explain/template.h"
+
+namespace templex {
+
+// One selected explanation template applied to a concrete portion of a
+// proof. `alignment[i]` lists the chase steps covered by the template's
+// i-th segment — usually one step; several when aggregation contributors
+// replicate the same rule (e.g. two σ1-derived controls jointly feeding
+// σ3's share sum), in which case the segment's tokens expand to
+// conjunctions ("Fondo Italiano and FrenchPLC").
+struct TemplateInstance {
+  const ExplanationTemplate* tmpl = nullptr;
+  std::vector<std::vector<FactId>> alignment;
+};
+
+// One unit of a mapped explanation: a template instance, or — when no
+// catalog path covers a proof portion — a single chase step to be
+// verbalized directly (deterministic fallback, which keeps explanations
+// complete for arbitrary programs).
+struct MappedUnit {
+  std::optional<TemplateInstance> instance;
+  FactId fallback_step = kInvalidFactId;
+
+  bool is_fallback() const { return !instance.has_value(); }
+};
+
+// Maps a proof onto the template catalog (§4.3): decomposes the proof along
+// its critical-predicate facts into a root-grounded segment and a sequence
+// of cycle segments, greedily merges leading segments into the simple
+// reasoning path covering the highest number of chase steps, and selects
+// the aggregation variant of each template according to the actual number
+// of contributors in the chase.
+class ChaseMapper {
+ public:
+  // All pointers must outlive the mapper; `templates` must be the catalog
+  // generated from `analysis`.
+  ChaseMapper(const Program* program, const StructuralAnalysis* analysis,
+              const std::vector<ExplanationTemplate>* templates)
+      : program_(program), analysis_(analysis), templates_(templates) {}
+
+  Result<std::vector<MappedUnit>> Map(const Proof& proof) const;
+
+ private:
+  struct Segment {
+    FactId critical = kInvalidFactId;     // the derived critical fact
+    std::vector<FactId> steps;            // intensional steps, ascending
+    std::vector<FactId> anchors;          // earlier critical facts consumed
+  };
+
+  std::vector<Segment> SplitIntoSegments(const Proof& proof) const;
+
+  // Finds the catalog template matching `steps` (see MatchSteps in the
+  // implementation); nullptr when none does.
+  const ExplanationTemplate* MatchSteps(const Proof& proof,
+                                        const std::vector<FactId>& steps,
+                                        ReasoningPath::Kind kind,
+                                        const std::string& target_predicate,
+                                        const std::string& anchor_predicate)
+      const;
+
+  TemplateInstance AlignSteps(const ExplanationTemplate& tmpl,
+                              const Proof& proof,
+                              const std::vector<FactId>& steps) const;
+
+  const Program* program_;
+  const StructuralAnalysis* analysis_;
+  const std::vector<ExplanationTemplate>* templates_;
+};
+
+}  // namespace templex
+
+#endif  // TEMPLEX_EXPLAIN_MAPPER_H_

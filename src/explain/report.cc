@@ -1,0 +1,78 @@
+#include "explain/report.h"
+
+#include "common/string_util.h"
+
+namespace templex {
+
+ReportBuilder& ReportBuilder::Title(std::string title) {
+  title_ = std::move(title);
+  return *this;
+}
+
+ReportBuilder& ReportBuilder::Preamble(std::string text) {
+  preamble_ = std::move(text);
+  return *this;
+}
+
+ReportBuilder& ReportBuilder::AddExplanation(const Fact& fact) {
+  sections_.push_back(Section{fact, ""});
+  return *this;
+}
+
+ReportBuilder& ReportBuilder::AddExplanation(const Fact& fact,
+                                             std::string heading) {
+  sections_.push_back(Section{fact, std::move(heading)});
+  return *this;
+}
+
+ReportBuilder& ReportBuilder::AddViolationsAppendix() {
+  violations_appendix_ = true;
+  return *this;
+}
+
+Result<std::string> ReportBuilder::Build() const {
+  std::string doc = "# " + title_ + "\n\n";
+  if (!preamble_.empty()) {
+    doc += preamble_ + "\n\n";
+  }
+  doc += "_" + std::to_string(chase_->graph.size()) + " facts (" +
+         std::to_string(chase_->stats.derived_facts) +
+         " derived) over " + std::to_string(chase_->stats.rounds) +
+         " reasoning rounds._\n\n";
+  for (const Section& section : sections_) {
+    std::string heading = section.heading;
+    if (heading.empty()) {
+      Result<std::string> verbalized =
+          explainer_->glossary().VerbalizeFact(section.fact);
+      heading = verbalized.ok() ? Capitalize(verbalized.value())
+                                : section.fact.ToString();
+    }
+    doc += "## " + heading + "\n\n";
+    Result<std::string> text = explainer_->Explain(*chase_, section.fact);
+    if (!text.ok()) return text.status();
+    doc += text.value() + "\n\n";
+  }
+  if (violations_appendix_) {
+    doc += "## Data-quality findings\n\n";
+    if (chase_->violations.empty()) {
+      doc += "No constraint violations detected.\n";
+    } else {
+      for (const ConstraintViolation& violation : chase_->violations) {
+        doc += "- `" + violation.rule_label + "`";
+        // Name the facts of the violating match where the glossary can.
+        std::vector<std::string> described;
+        for (FactId id : violation.facts) {
+          Result<std::string> text =
+              explainer_->glossary().VerbalizeFact(chase_->graph.node(id).fact);
+          described.push_back(text.ok()
+                                  ? text.value()
+                                  : chase_->graph.node(id).fact.ToString());
+        }
+        doc += ": " + JoinWithConjunction(described, "; ", "; and ") + "\n";
+      }
+    }
+  }
+  return doc;
+}
+
+}  // namespace templex

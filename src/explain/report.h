@@ -1,0 +1,55 @@
+#ifndef TEMPLEX_EXPLAIN_REPORT_H_
+#define TEMPLEX_EXPLAIN_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/chase.h"
+#include "explain/explainer.h"
+
+namespace templex {
+
+// Assembles the "natural language business report" the paper's analysts
+// consume (§1, §5): a markdown document with the scenario header, one
+// section per explanation query, and an appendix with data-quality
+// (constraint) findings. Everything is generated locally from the chase —
+// no data crosses the trust boundary.
+class ReportBuilder {
+ public:
+  // `explainer` and `chase` must outlive the builder.
+  ReportBuilder(const Explainer* explainer, const ChaseResult* chase)
+      : explainer_(explainer), chase_(chase) {}
+
+  ReportBuilder& Title(std::string title);
+  ReportBuilder& Preamble(std::string text);
+
+  // Adds a section explaining Q_e = {fact}; the heading defaults to the
+  // fact's glossary verbalization. Errors are deferred to Build().
+  ReportBuilder& AddExplanation(const Fact& fact);
+  ReportBuilder& AddExplanation(const Fact& fact, std::string heading);
+
+  // Appends the constraint-violation appendix (verbalized when the
+  // glossary covers the facts, raw otherwise).
+  ReportBuilder& AddViolationsAppendix();
+
+  // Renders the markdown document; fails on the first explanation error.
+  Result<std::string> Build() const;
+
+ private:
+  struct Section {
+    Fact fact;
+    std::string heading;  // may be empty: derive from the glossary
+  };
+
+  const Explainer* explainer_;
+  const ChaseResult* chase_;
+  std::string title_ = "Reasoning report";
+  std::string preamble_;
+  std::vector<Section> sections_;
+  bool violations_appendix_ = false;
+};
+
+}  // namespace templex
+
+#endif  // TEMPLEX_EXPLAIN_REPORT_H_

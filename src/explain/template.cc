@@ -1,0 +1,23 @@
+#include "explain/template.h"
+
+namespace templex {
+
+std::string ExplanationTemplate::DeterministicText() const {
+  std::string text;
+  for (const TemplateSegment& segment : segments) {
+    if (!text.empty()) text += " ";
+    text += segment.text;
+  }
+  return text;
+}
+
+std::string ExplanationTemplate::EffectiveText() const {
+  std::string text;
+  for (const TemplateSegment& segment : segments) {
+    if (!text.empty()) text += " ";
+    text += segment.effective_text();
+  }
+  return text;
+}
+
+}  // namespace templex

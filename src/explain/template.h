@@ -1,0 +1,60 @@
+#ifndef TEMPLEX_EXPLAIN_TEMPLATE_H_
+#define TEMPLEX_EXPLAIN_TEMPLATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/number_format.h"
+#include "core/reasoning_path.h"
+
+namespace templex {
+
+// A token of a template sentence: a rule variable that will be substituted
+// with a constant (or a conjunction of constants, for aggregation
+// contributors) when the template is instantiated.
+struct TemplateToken {
+  std::string variable;
+  NumberStyle style = NumberStyle::kPlain;
+};
+
+// One sentence of an explanation template, covering one rule occurrence of
+// the underlying reasoning path.
+struct TemplateSegment {
+  std::string rule_label;
+  // "Since a shock amounting to <s> euro affects <f>, and ..., then <f> is
+  // in default."
+  std::string text;
+  // Enhanced (rewritten) version of `text`; empty until enhancement, in
+  // which case `text` is used. Must mention exactly the same tokens.
+  std::string enhanced_text;
+  std::vector<TemplateToken> tokens;
+  // Whether this segment verbalizes its aggregation for multiple
+  // contributors (the dashed variant).
+  bool multi_aggregation = false;
+  // The aggregate input variable (token that expands to the contributor
+  // list), empty when the rule has no aggregate.
+  std::string aggregate_input_variable;
+
+  const std::string& effective_text() const {
+    return enhanced_text.empty() ? text : enhanced_text;
+  }
+};
+
+// An explanation template (§4.2): the verbalization of one reasoning path,
+// one segment per rule occurrence, in the path's bottom-up rule order.
+struct ExplanationTemplate {
+  std::string name;  // same as path.name
+  ReasoningPath path;
+  std::vector<TemplateSegment> segments;
+
+  // Concatenation of the deterministic segment texts.
+  std::string DeterministicText() const;
+
+  // Concatenation of the enhanced (or deterministic, if not enhanced)
+  // segment texts.
+  std::string EffectiveText() const;
+};
+
+}  // namespace templex
+
+#endif  // TEMPLEX_EXPLAIN_TEMPLATE_H_

@@ -1,0 +1,36 @@
+#include "explain/template_generator.h"
+
+namespace templex {
+
+Result<std::vector<ExplanationTemplate>> TemplateGenerator::Generate(
+    const StructuralAnalysis& analysis) const {
+  std::vector<ExplanationTemplate> templates;
+  templates.reserve(analysis.catalog.size());
+  for (const ReasoningPath& path : analysis.catalog) {
+    Result<ExplanationTemplate> tmpl = GenerateForPath(path);
+    if (!tmpl.ok()) return tmpl.status();
+    templates.push_back(std::move(tmpl).value());
+  }
+  return templates;
+}
+
+Result<ExplanationTemplate> TemplateGenerator::GenerateForPath(
+    const ReasoningPath& path) const {
+  ExplanationTemplate tmpl;
+  tmpl.name = path.name;
+  tmpl.path = path;
+  for (const std::string& label : path.rules) {
+    const Rule* rule = program_->FindRule(label);
+    if (rule == nullptr) {
+      return Status::Internal("reasoning path references unknown rule '" +
+                              label + "'");
+    }
+    Result<TemplateSegment> segment =
+        verbalizer_.VerbalizeRule(*rule, path.IsMultiAggregation(label));
+    if (!segment.ok()) return segment.status();
+    tmpl.segments.push_back(std::move(segment).value());
+  }
+  return tmpl;
+}
+
+}  // namespace templex

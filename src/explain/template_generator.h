@@ -1,0 +1,36 @@
+#ifndef TEMPLEX_EXPLAIN_TEMPLATE_GENERATOR_H_
+#define TEMPLEX_EXPLAIN_TEMPLATE_GENERATOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/structural_analyzer.h"
+#include "explain/template.h"
+#include "explain/verbalizer.h"
+
+namespace templex {
+
+// Turns the reasoning paths of a structural analysis into deterministic
+// explanation templates (§4.2) by verbalizing each rule of each path.
+// Aggregation rules marked multi-contributor in the path (dashed variants)
+// get the explicit aggregation wording; in base paths the aggregation is
+// truncated.
+class TemplateGenerator {
+ public:
+  TemplateGenerator(const Program* program, const DomainGlossary* glossary)
+      : program_(program), verbalizer_(program, glossary) {}
+
+  // One template per catalog path, in catalog order.
+  Result<std::vector<ExplanationTemplate>> Generate(
+      const StructuralAnalysis& analysis) const;
+
+  Result<ExplanationTemplate> GenerateForPath(const ReasoningPath& path) const;
+
+ private:
+  const Program* program_;
+  Verbalizer verbalizer_;
+};
+
+}  // namespace templex
+
+#endif  // TEMPLEX_EXPLAIN_TEMPLATE_GENERATOR_H_

@@ -1,0 +1,172 @@
+#include "io/csv.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/number_format.h"
+#include "common/string_util.h"
+
+namespace templex {
+
+namespace {
+
+// Splits one CSV line into fields, honouring quotes with "" escaping.
+// Returns false on malformed quoting.
+bool SplitCsvLine(const std::string& line, std::vector<std::string>* fields,
+                  std::vector<bool>* quoted) {
+  fields->clear();
+  quoted->clear();
+  std::string current;
+  bool in_quotes = false;
+  bool was_quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_quotes = true;
+      was_quoted = true;
+      continue;
+    }
+    if (c == ',') {
+      fields->push_back(std::move(current));
+      quoted->push_back(was_quoted);
+      current.clear();
+      was_quoted = false;
+      continue;
+    }
+    current.push_back(c);
+  }
+  if (in_quotes) return false;
+  fields->push_back(std::move(current));
+  quoted->push_back(was_quoted);
+  return true;
+}
+
+bool LooksNumeric(const std::string& field, bool* is_int) {
+  if (field.empty()) return false;
+  size_t i = field[0] == '-' || field[0] == '+' ? 1 : 0;
+  if (i >= field.size()) return false;
+  bool dot = false;
+  for (; i < field.size(); ++i) {
+    if (field[i] == '.') {
+      if (dot) return false;
+      dot = true;
+    } else if (!std::isdigit(static_cast<unsigned char>(field[i]))) {
+      return false;
+    }
+  }
+  *is_int = !dot;
+  return true;
+}
+
+Value FieldToValue(const std::string& field, bool was_quoted) {
+  if (!was_quoted) {
+    bool is_int = false;
+    if (LooksNumeric(field, &is_int)) {
+      if (is_int) return Value::Int(std::strtoll(field.c_str(), nullptr, 10));
+      return Value::Double(std::strtod(field.c_str(), nullptr));
+    }
+  }
+  return Value::String(field);
+}
+
+std::string QuoteField(const std::string& field) {
+  return "\"" + ReplaceAll(field, "\"", "\"\"") + "\"";
+}
+
+}  // namespace
+
+Result<std::vector<Fact>> ParseFactsCsv(const std::string& content) {
+  std::vector<Fact> facts;
+  int line_number = 0;
+  for (const std::string& raw_line : Split(content, '\n')) {
+    ++line_number;
+    std::string line = Trim(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> fields;
+    std::vector<bool> quoted;
+    if (!SplitCsvLine(line, &fields, &quoted)) {
+      return Status::InvalidArgument("CSV line " + std::to_string(line_number) +
+                                     ": unterminated quote");
+    }
+    if (fields.empty() || Trim(fields[0]).empty()) {
+      return Status::InvalidArgument("CSV line " + std::to_string(line_number) +
+                                     ": missing predicate");
+    }
+    Fact fact;
+    fact.predicate = Trim(fields[0]);
+    for (size_t i = 1; i < fields.size(); ++i) {
+      fact.args.push_back(
+          FieldToValue(quoted[i] ? fields[i] : Trim(fields[i]), quoted[i]));
+    }
+    facts.push_back(std::move(fact));
+  }
+  return facts;
+}
+
+std::string FactsToCsv(const std::vector<Fact>& facts) {
+  std::string csv;
+  for (const Fact& fact : facts) {
+    csv += fact.predicate;
+    for (const Value& arg : fact.args) {
+      csv += ",";
+      switch (arg.kind()) {
+        case Value::Kind::kString:
+          csv += QuoteField(arg.string_value());
+          break;
+        case Value::Kind::kInt:
+          csv += std::to_string(arg.int_value());
+          break;
+        case Value::Kind::kDouble:
+          csv += FormatDouble(arg.double_value());
+          break;
+        default:
+          csv += QuoteField(arg.ToDisplayString());
+          break;
+      }
+    }
+    csv += "\n";
+  }
+  return csv;
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream stream(path, std::ios::binary);
+  if (!stream) {
+    return Status::NotFound("cannot open file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << stream.rdbuf();
+  return buffer.str();
+}
+
+Result<std::vector<Fact>> LoadFactsCsv(const std::string& path) {
+  Result<std::string> content = ReadFileToString(path);
+  if (!content.ok()) return content.status();
+  return ParseFactsCsv(content.value());
+}
+
+Status SaveFactsCsv(const std::string& path, const std::vector<Fact>& facts) {
+  std::ofstream stream(path, std::ios::binary | std::ios::trunc);
+  if (!stream) {
+    return Status::Internal("cannot write file: " + path);
+  }
+  stream << FactsToCsv(facts);
+  return stream ? Status::OK() : Status::Internal("write failed: " + path);
+}
+
+}  // namespace templex

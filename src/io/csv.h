@@ -1,0 +1,40 @@
+#ifndef TEMPLEX_IO_CSV_H_
+#define TEMPLEX_IO_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/fact.h"
+
+namespace templex {
+
+// CSV-backed fact exchange, so KG applications can run over exported
+// database tables (the extensional component of the EKG).
+//
+// Format: one fact per line, first field the predicate, remaining fields
+// the arguments:
+//
+//   Own,"Banca Uno","Fondo Due",0.83
+//   HasCapital,BancaUno,5
+//
+// Unquoted numeric fields parse as Int (no '.') or Double; everything else
+// is a String. Quoted fields are always strings; embedded quotes are
+// doubled (""). '#' at the start of a line is a comment.
+
+// Parses facts from CSV text.
+Result<std::vector<Fact>> ParseFactsCsv(const std::string& content);
+
+// Serializes facts to CSV text (strings quoted, numbers bare).
+std::string FactsToCsv(const std::vector<Fact>& facts);
+
+// File variants.
+Result<std::vector<Fact>> LoadFactsCsv(const std::string& path);
+Status SaveFactsCsv(const std::string& path, const std::vector<Fact>& facts);
+
+// Reads a whole file into a string (shared helper; NotFound on failure).
+Result<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace templex
+
+#endif  // TEMPLEX_IO_CSV_H_

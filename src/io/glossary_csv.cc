@@ -1,0 +1,75 @@
+#include "io/glossary_csv.h"
+
+#include "common/string_util.h"
+#include "io/csv.h"
+
+namespace templex {
+
+Result<DomainGlossary> ParseGlossaryCsv(const std::string& content) {
+  DomainGlossary glossary;
+  // Rows share the fact-CSV shape: predicate, pattern, token:style fields.
+  Result<std::vector<Fact>> rows = ParseFactsCsv(content);
+  if (!rows.ok()) return rows.status();
+  for (const Fact& row : rows.value()) {
+    if (row.args.empty() || !row.args[0].is_string()) {
+      return Status::InvalidArgument("glossary row for '" + row.predicate +
+                                     "' lacks a pattern");
+    }
+    GlossaryEntry entry;
+    entry.pattern = row.args[0].string_value();
+    for (size_t i = 1; i < row.args.size(); ++i) {
+      const std::string field = row.args[i].ToDisplayString();
+      const size_t colon = field.find(':');
+      const std::string token =
+          colon == std::string::npos ? field : field.substr(0, colon);
+      const std::string style =
+          colon == std::string::npos ? "plain" : field.substr(colon + 1);
+      entry.arg_tokens.push_back(Trim(token));
+      if (style == "millions") {
+        entry.arg_styles.push_back(NumberStyle::kMillions);
+      } else if (style == "percent") {
+        entry.arg_styles.push_back(NumberStyle::kPercent);
+      } else if (style == "plain" || style.empty()) {
+        entry.arg_styles.push_back(NumberStyle::kPlain);
+      } else {
+        return Status::InvalidArgument("glossary row for '" + row.predicate +
+                                       "': unknown style '" + style + "'");
+      }
+    }
+    TEMPLEX_RETURN_IF_ERROR(glossary.Register(row.predicate, entry));
+  }
+  return glossary;
+}
+
+std::string GlossaryToCsv(const DomainGlossary& glossary) {
+  std::string csv;
+  for (const std::string& predicate : glossary.predicates()) {
+    const GlossaryEntry& entry = *glossary.Find(predicate);
+    csv += predicate + ",\"" +
+           ReplaceAll(entry.pattern, "\"", "\"\"") + "\"";
+    for (size_t i = 0; i < entry.arg_tokens.size(); ++i) {
+      csv += "," + entry.arg_tokens[i];
+      switch (entry.arg_styles[i]) {
+        case NumberStyle::kMillions:
+          csv += ":millions";
+          break;
+        case NumberStyle::kPercent:
+          csv += ":percent";
+          break;
+        case NumberStyle::kPlain:
+          csv += ":plain";
+          break;
+      }
+    }
+    csv += "\n";
+  }
+  return csv;
+}
+
+Result<DomainGlossary> LoadGlossaryCsv(const std::string& path) {
+  Result<std::string> content = ReadFileToString(path);
+  if (!content.ok()) return content.status();
+  return ParseGlossaryCsv(content.value());
+}
+
+}  // namespace templex

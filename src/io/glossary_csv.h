@@ -1,0 +1,28 @@
+#ifndef TEMPLEX_IO_GLOSSARY_CSV_H_
+#define TEMPLEX_IO_GLOSSARY_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "explain/glossary.h"
+
+namespace templex {
+
+// CSV representation of a domain glossary, the exchange format between the
+// organization's data dictionary and the explanation pipeline:
+//
+//   Own,"<x> owns <s> of the shares of <y>",x:plain,y:plain,s:percent
+//   Control,"<x> exercises control over <y>",x,y
+//
+// One row per predicate: the pattern, then one `token[:style]` field per
+// argument position (styles: plain | millions | percent; default plain).
+
+Result<DomainGlossary> ParseGlossaryCsv(const std::string& content);
+
+std::string GlossaryToCsv(const DomainGlossary& glossary);
+
+Result<DomainGlossary> LoadGlossaryCsv(const std::string& path);
+
+}  // namespace templex
+
+#endif  // TEMPLEX_IO_GLOSSARY_CSV_H_

@@ -1,0 +1,273 @@
+#include "io/json.h"
+
+#include <cstdio>
+
+#include "common/number_format.h"
+
+namespace templex {
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::Separate() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (has_element_.back()) out_ += ",";
+  has_element_.back() = true;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  Separate();
+  out_ += "{";
+  has_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  out_ += "}";
+  has_element_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  Separate();
+  out_ += "[";
+  has_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  out_ += "]";
+  has_element_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(const std::string& key) {
+  Separate();
+  out_ += "\"" + JsonEscape(key) + "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(const std::string& value) {
+  Separate();
+  out_ += "\"" + JsonEscape(value) + "\"";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(double value) {
+  Separate();
+  out_ += FormatDouble(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  Separate();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  Separate();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  Separate();
+  out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::TemplexValue(const Value& value) {
+  switch (value.kind()) {
+    case Value::Kind::kNull:
+      return Null();
+    case Value::Kind::kBool:
+      return Bool(value.bool_value());
+    case Value::Kind::kInt:
+      return Int(value.int_value());
+    case Value::Kind::kDouble:
+      return Number(value.double_value());
+    case Value::Kind::kString:
+      return String(value.string_value());
+    case Value::Kind::kLabeledNull:
+      return String(value.ToString());
+  }
+  return Null();
+}
+
+namespace {
+
+void WriteFactNode(JsonWriter& json, const ChaseGraph& graph, FactId id) {
+  const ChaseNode& node = graph.node(id);
+  json.BeginObject();
+  json.Key("id").Int(id);
+  json.Key("predicate").String(node.fact.predicate);
+  json.Key("args").BeginArray();
+  for (const Value& arg : node.fact.args) json.TemplexValue(arg);
+  json.EndArray();
+  if (!node.is_extensional()) {
+    json.Key("rule").String(node.rule_label);
+    json.Key("parents").BeginArray();
+    for (FactId parent : node.parents) json.Int(parent);
+    json.EndArray();
+    if (!node.contributions.empty()) {
+      json.Key("contributions").BeginArray();
+      for (const AggregateContribution& c : node.contributions) {
+        json.BeginObject();
+        json.Key("input").TemplexValue(c.input);
+        json.Key("parents").BeginArray();
+        for (FactId parent : c.parents) json.Int(parent);
+        json.EndArray();
+        json.EndObject();
+      }
+      json.EndArray();
+    }
+    if (!node.alternatives.empty()) {
+      json.Key("alternatives").BeginArray();
+      for (const Derivation& alt : node.alternatives) {
+        json.BeginObject();
+        json.Key("rule").String(alt.rule_label);
+        json.Key("parents").BeginArray();
+        for (FactId parent : alt.parents) json.Int(parent);
+        json.EndArray();
+        json.EndObject();
+      }
+      json.EndArray();
+    }
+  }
+  json.EndObject();
+}
+
+}  // namespace
+
+std::string ChaseGraphToJson(const ChaseGraph& graph) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("facts").BeginArray();
+  for (FactId id = 0; id < graph.size(); ++id) {
+    WriteFactNode(json, graph, id);
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.str();
+}
+
+std::string ProofToJson(const Proof& proof) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("goal").Int(proof.goal());
+  json.Key("chase_steps").Int(proof.num_chase_steps());
+  json.Key("rules").BeginArray();
+  for (const std::string& label : proof.RuleLabelSequence()) {
+    json.String(label);
+  }
+  json.EndArray();
+  json.Key("edb").BeginArray();
+  for (FactId id : proof.edb_facts()) {
+    WriteFactNode(json, proof.graph(), id);
+  }
+  json.EndArray();
+  json.Key("steps").BeginArray();
+  for (FactId id : proof.steps()) {
+    WriteFactNode(json, proof.graph(), id);
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.str();
+}
+
+std::string TemplatesToJson(
+    const std::vector<ExplanationTemplate>& templates) {
+  JsonWriter json;
+  json.BeginArray();
+  for (const ExplanationTemplate& tmpl : templates) {
+    json.BeginObject();
+    json.Key("name").String(tmpl.name);
+    json.Key("kind").String(tmpl.path.is_cycle() ? "cycle" : "simple_path");
+    json.Key("target").String(tmpl.path.target);
+    if (tmpl.path.is_cycle()) json.Key("anchor").String(tmpl.path.anchor);
+    json.Key("rules").BeginArray();
+    for (const std::string& label : tmpl.path.rules) json.String(label);
+    json.EndArray();
+    json.Key("aggregation_variant").Bool(tmpl.path.is_aggregation_variant());
+    json.Key("deterministic").String(tmpl.DeterministicText());
+    json.Key("enhanced").String(tmpl.EffectiveText());
+    json.EndObject();
+  }
+  json.EndArray();
+  return json.str();
+}
+
+std::string AnalysisToJson(const StructuralAnalysis& analysis) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("predicates").BeginArray();
+  for (const std::string& predicate : analysis.graph.predicates()) {
+    json.String(predicate);
+  }
+  json.EndArray();
+  json.Key("leaf").String(analysis.graph.leaf());
+  json.Key("critical").BeginArray();
+  for (const std::string& predicate : analysis.graph.CriticalNodes()) {
+    json.String(predicate);
+  }
+  json.EndArray();
+  json.Key("edges").BeginArray();
+  for (const DependencyEdge& edge : analysis.graph.edges()) {
+    json.BeginObject();
+    json.Key("from").String(edge.from);
+    json.Key("to").String(edge.to);
+    json.Key("rule").String(edge.rule_label);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("paths").BeginArray();
+  for (const ReasoningPath& path : analysis.catalog) {
+    json.BeginObject();
+    json.Key("name").String(path.name);
+    json.Key("kind").String(path.is_cycle() ? "cycle" : "simple_path");
+    json.Key("rules").BeginArray();
+    for (const std::string& label : path.rules) json.String(label);
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.str();
+}
+
+}  // namespace templex

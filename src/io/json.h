@@ -1,0 +1,63 @@
+#ifndef TEMPLEX_IO_JSON_H_
+#define TEMPLEX_IO_JSON_H_
+
+#include <string>
+#include <vector>
+
+#include "core/structural_analyzer.h"
+#include "engine/chase.h"
+#include "engine/proof.h"
+#include "explain/template.h"
+
+namespace templex {
+
+// Minimal streaming JSON writer (objects, arrays, scalars, correct string
+// escaping). Enough to feed graph-based front-ends — the paper's analysts
+// interact with the EKG through one (KG-Roar, [10]) — without a third-party
+// dependency.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  // Object key; must be followed by a value (or Begin*).
+  JsonWriter& Key(const std::string& key);
+  JsonWriter& String(const std::string& value);
+  JsonWriter& Number(double value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+  // A templex Value, rendered as the matching JSON scalar.
+  JsonWriter& TemplexValue(const Value& value);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void Separate();
+
+  std::string out_;
+  // Whether the current nesting level already has an element (comma rule).
+  std::vector<bool> has_element_ = {false};
+  bool pending_key_ = false;
+};
+
+// Escapes a string for inclusion in JSON (quotes not included).
+std::string JsonEscape(const std::string& text);
+
+// The chase graph as {"facts": [{id, predicate, args, rule, parents}...]}.
+std::string ChaseGraphToJson(const ChaseGraph& graph);
+
+// A proof as {"goal", "steps": [...], "edb": [...], "rules": [...]}.
+std::string ProofToJson(const Proof& proof);
+
+// The template catalog as an array of {name, kind, rules, deterministic,
+// enhanced}.
+std::string TemplatesToJson(const std::vector<ExplanationTemplate>& templates);
+
+// The structural analysis as {"predicates", "edges", "criticals", "paths"}.
+std::string AnalysisToJson(const StructuralAnalysis& analysis);
+
+}  // namespace templex
+
+#endif  // TEMPLEX_IO_JSON_H_

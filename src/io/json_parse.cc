@@ -1,0 +1,342 @@
+#include "io/json_parse.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+namespace templex {
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Number(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::String(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.items_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::Object(std::map<std::string, JsonValue> members) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.members_ = std::move(members);
+  return v;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  auto it = members_.find(key);
+  return it == members_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    SkipWhitespace();
+    Result<JsonValue> value = ParseValue();
+    if (!value.ok()) return value;
+    SkipWhitespace();
+    if (pos_ != text_.size()) return Error("trailing content");
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + message);
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && (Peek() == ' ' || Peek() == '\t' || Peek() == '\n' ||
+                        Peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  Result<JsonValue> ParseValue() {
+    if (AtEnd()) return Error("unexpected end of input");
+    switch (Peek()) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        Result<std::string> s = ParseString();
+        if (!s.ok()) return s.status();
+        return JsonValue::String(std::move(s).value());
+      }
+      case 't':
+        return ParseLiteral("true", JsonValue::Bool(true));
+      case 'f':
+        return ParseLiteral("false", JsonValue::Bool(false));
+      case 'n':
+        return ParseLiteral("null", JsonValue::Null());
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<JsonValue> ParseLiteral(const std::string& word, JsonValue value) {
+    if (text_.compare(pos_, word.size(), word) != 0) {
+      return Error("invalid literal");
+    }
+    pos_ += word.size();
+    return value;
+  }
+
+  Result<JsonValue> ParseObject() {
+    ++pos_;  // '{'
+    std::map<std::string, JsonValue> members;
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == '}') {
+      ++pos_;
+      return JsonValue::Object(std::move(members));
+    }
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '"') return Error("expected member key");
+      Result<std::string> key = ParseString();
+      if (!key.ok()) return key.status();
+      SkipWhitespace();
+      if (AtEnd() || Peek() != ':') return Error("expected ':'");
+      ++pos_;
+      SkipWhitespace();
+      Result<JsonValue> value = ParseValue();
+      if (!value.ok()) return value;
+      members[key.value()] = std::move(value).value();
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated object");
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return JsonValue::Object(std::move(members));
+      }
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  Result<JsonValue> ParseArray() {
+    ++pos_;  // '['
+    std::vector<JsonValue> items;
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == ']') {
+      ++pos_;
+      return JsonValue::Array(std::move(items));
+    }
+    while (true) {
+      SkipWhitespace();
+      Result<JsonValue> value = ParseValue();
+      if (!value.ok()) return value;
+      items.push_back(std::move(value).value());
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated array");
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return JsonValue::Array(std::move(items));
+      }
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (true) {
+      if (AtEnd()) return Error("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(Peek());
+      ++pos_;
+      if (c == '"') return out;
+      if (c < 0x20) return Error("unescaped control character");
+      if (c != '\\') {
+        out.push_back(static_cast<char>(c));
+        continue;
+      }
+      if (AtEnd()) return Error("dangling escape");
+      const char escape = Peek();
+      ++pos_;
+      switch (escape) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("invalid \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_ + i];
+            if (!std::isxdigit(static_cast<unsigned char>(h))) {
+              return Error("invalid \\u escape");
+            }
+            code = code * 16 +
+                   (std::isdigit(static_cast<unsigned char>(h))
+                        ? h - '0'
+                        : std::tolower(h) - 'a' + 10);
+          }
+          pos_ += 4;
+          // UTF-8 encode the BMP code point (no surrogate pairing).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("invalid escape character");
+      }
+    }
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (!AtEnd() && Peek() == '-') ++pos_;
+    while (!AtEnd() && (std::isdigit(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '.' || Peek() == 'e' || Peek() == 'E' ||
+                        Peek() == '+' || Peek() == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("invalid number");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Error("invalid number");
+    return JsonValue::Number(value);
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+Result<Fact> FactFromJsonObject(const JsonValue& object) {
+  const JsonValue* predicate = object.Find("predicate");
+  if (predicate == nullptr || !predicate->is_string()) {
+    return Status::InvalidArgument(
+        "fact object needs a string \"predicate\" member");
+  }
+  Fact fact;
+  fact.predicate = predicate->string_value();
+  const JsonValue* args = object.Find("args");
+  if (args != nullptr) {
+    if (!args->is_array()) {
+      return Status::InvalidArgument("\"args\" must be an array");
+    }
+    for (const JsonValue& arg : args->items()) {
+      switch (arg.kind()) {
+        case JsonValue::Kind::kString:
+          fact.args.push_back(Value::String(arg.string_value()));
+          break;
+        case JsonValue::Kind::kNumber: {
+          const double d = arg.number_value();
+          if (d == std::floor(d) && std::fabs(d) < 1e15) {
+            fact.args.push_back(Value::Int(static_cast<int64_t>(d)));
+          } else {
+            fact.args.push_back(Value::Double(d));
+          }
+          break;
+        }
+        case JsonValue::Kind::kBool:
+          fact.args.push_back(Value::Bool(arg.bool_value()));
+          break;
+        case JsonValue::Kind::kNull:
+          fact.args.push_back(Value::Null());
+          break;
+        default:
+          return Status::InvalidArgument(
+              "fact arguments must be scalars, got a composite");
+      }
+    }
+  }
+  return fact;
+}
+
+}  // namespace
+
+Result<JsonValue> ParseJson(const std::string& text) {
+  return JsonParser(text).Parse();
+}
+
+Result<std::vector<Fact>> FactsFromJson(const std::string& text) {
+  Result<JsonValue> document = ParseJson(text);
+  if (!document.ok()) return document.status();
+  const JsonValue* array = &document.value();
+  if (document.value().is_object()) {
+    array = document.value().Find("facts");
+    if (array == nullptr || !array->is_array()) {
+      return Status::InvalidArgument(
+          "expected a \"facts\" array in the JSON object");
+    }
+  } else if (!document.value().is_array()) {
+    return Status::InvalidArgument(
+        "expected a JSON array of facts or an object with a \"facts\" "
+        "member");
+  }
+  std::vector<Fact> facts;
+  for (const JsonValue& item : array->items()) {
+    if (!item.is_object()) {
+      return Status::InvalidArgument("every fact must be a JSON object");
+    }
+    Result<Fact> fact = FactFromJsonObject(item);
+    if (!fact.ok()) return fact.status();
+    facts.push_back(std::move(fact).value());
+  }
+  return facts;
+}
+
+}  // namespace templex

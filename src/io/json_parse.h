@@ -1,0 +1,69 @@
+#ifndef TEMPLEX_IO_JSON_PARSE_H_
+#define TEMPLEX_IO_JSON_PARSE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/fact.h"
+
+namespace templex {
+
+// A parsed JSON value (RFC 8259 subset: no surrogate-pair decoding — \u
+// escapes outside the BMP keep their escaped form). Enough to import facts
+// and configuration exported by other systems without a third-party
+// dependency.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double d);
+  static JsonValue String(std::string s);
+  static JsonValue Array(std::vector<JsonValue> items);
+  static JsonValue Object(std::map<std::string, JsonValue> members);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+  const std::map<std::string, JsonValue>& members() const { return members_; }
+
+  // Member lookup on objects; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::map<std::string, JsonValue> members_;
+};
+
+// Parses one JSON document.
+Result<JsonValue> ParseJson(const std::string& text);
+
+// Imports facts from JSON: either a top-level array of
+// {"predicate": "...", "args": [...]} objects, or an object with a "facts"
+// member holding such an array — the shape ChaseGraphToJson exports, so a
+// chase graph dumped by one process can seed another's EDB. String args
+// stay strings, integral numbers become Int, other numbers Double.
+Result<std::vector<Fact>> FactsFromJson(const std::string& text);
+
+}  // namespace templex
+
+#endif  // TEMPLEX_IO_JSON_PARSE_H_

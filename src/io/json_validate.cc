@@ -1,0 +1,203 @@
+#include "io/json_validate.h"
+
+#include <cctype>
+
+namespace templex {
+
+namespace {
+
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : text_(text) {}
+
+  Status Validate() {
+    SkipWhitespace();
+    TEMPLEX_RETURN_IF_ERROR(Value());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing content after JSON value");
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("JSON error at offset " +
+                                   std::to_string(pos_) + ": " + message);
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && (Peek() == ' ' || Peek() == '\t' || Peek() == '\n' ||
+                        Peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  Status Expect(char c) {
+    if (AtEnd() || Peek() != c) {
+      return Error(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Status Value() {
+    if (AtEnd()) return Error("unexpected end of input");
+    switch (Peek()) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  Status Literal(const std::string& word) {
+    if (text_.compare(pos_, word.size(), word) != 0) {
+      return Error("invalid literal");
+    }
+    pos_ += word.size();
+    return Status::OK();
+  }
+
+  Status Object() {
+    TEMPLEX_RETURN_IF_ERROR(Expect('{'));
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == '}') {
+      ++pos_;
+      return Status::OK();
+    }
+    while (true) {
+      SkipWhitespace();
+      TEMPLEX_RETURN_IF_ERROR(String());
+      SkipWhitespace();
+      TEMPLEX_RETURN_IF_ERROR(Expect(':'));
+      SkipWhitespace();
+      TEMPLEX_RETURN_IF_ERROR(Value());
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated object");
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      return Expect('}');
+    }
+  }
+
+  Status Array() {
+    TEMPLEX_RETURN_IF_ERROR(Expect('['));
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == ']') {
+      ++pos_;
+      return Status::OK();
+    }
+    while (true) {
+      SkipWhitespace();
+      TEMPLEX_RETURN_IF_ERROR(Value());
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated array");
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      return Expect(']');
+    }
+  }
+
+  Status String() {
+    TEMPLEX_RETURN_IF_ERROR(Expect('"'));
+    while (true) {
+      if (AtEnd()) return Error("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(Peek());
+      ++pos_;
+      if (c == '"') return Status::OK();
+      if (c < 0x20) return Error("unescaped control character in string");
+      if (c == '\\') {
+        if (AtEnd()) return Error("dangling escape");
+        const char escape = Peek();
+        ++pos_;
+        switch (escape) {
+          case '"':
+          case '\\':
+          case '/':
+          case 'b':
+          case 'f':
+          case 'n':
+          case 'r':
+          case 't':
+            break;
+          case 'u': {
+            for (int i = 0; i < 4; ++i) {
+              if (AtEnd() ||
+                  !std::isxdigit(static_cast<unsigned char>(Peek()))) {
+                return Error("invalid \\u escape");
+              }
+              ++pos_;
+            }
+            break;
+          }
+          default:
+            return Error("invalid escape character");
+        }
+      }
+    }
+  }
+
+  Status Number() {
+    const size_t start = pos_;
+    if (!AtEnd() && Peek() == '-') ++pos_;
+    if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+      return Error("invalid number");
+    }
+    if (Peek() == '0') {
+      ++pos_;
+    } else {
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    if (!AtEnd() && Peek() == '.') {
+      ++pos_;
+      if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Error("digits required after decimal point");
+      }
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Error("digits required in exponent");
+      }
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    return pos_ > start ? Status::OK() : Error("empty number");
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status ValidateJson(const std::string& text) {
+  return JsonValidator(text).Validate();
+}
+
+}  // namespace templex

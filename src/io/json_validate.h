@@ -1,0 +1,19 @@
+#ifndef TEMPLEX_IO_JSON_VALIDATE_H_
+#define TEMPLEX_IO_JSON_VALIDATE_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace templex {
+
+// Validates that `text` is one well-formed JSON value (RFC 8259 syntax:
+// objects, arrays, strings with escapes, numbers, true/false/null). Used by
+// tests to guarantee every export the library produces parses, and by
+// integrations as a cheap sanity gate. Reports the byte offset of the first
+// error.
+Status ValidateJson(const std::string& text);
+
+}  // namespace templex
+
+#endif  // TEMPLEX_IO_JSON_VALIDATE_H_

@@ -1,0 +1,3 @@
+#include "llm/llm_client.h"
+
+// LlmClient is an interface; out-of-line anchor for the vtable.

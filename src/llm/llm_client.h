@@ -1,0 +1,40 @@
+#ifndef TEMPLEX_LLM_LLM_CLIENT_H_
+#define TEMPLEX_LLM_LLM_CLIENT_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace templex {
+
+// Prompt prefixes used by the paper's experiments (§6.2) and pipeline
+// (§4.2).
+inline constexpr char kParaphrasePrompt[] =
+    "Generate a paraphrased version of the following text: ";
+inline constexpr char kSummarizePrompt[] =
+    "Generate a summarized version of the following text: ";
+inline constexpr char kRephrasePrompt[] = "Rephrase the following text: ";
+
+// Abstract large-language-model client. The paper calls OpenAI's GPT
+// models; this reproduction provides SimulatedLlm (llm/simulated_llm.h), a
+// deterministic local stand-in, because forwarding data to an external API
+// is exactly what the paper's approach exists to avoid.
+class LlmClient {
+ public:
+  virtual ~LlmClient() = default;
+
+  // Answers a free-form prompt.
+  virtual Result<std::string> Complete(const std::string& prompt) = 0;
+
+  // Convenience wrappers issuing the paper's prompts.
+  Result<std::string> Paraphrase(const std::string& text) {
+    return Complete(kParaphrasePrompt + text);
+  }
+  Result<std::string> Summarize(const std::string& text) {
+    return Complete(kSummarizePrompt + text);
+  }
+};
+
+}  // namespace templex
+
+#endif  // TEMPLEX_LLM_LLM_CLIENT_H_

@@ -1,0 +1,63 @@
+#include "llm/omission.h"
+
+#include <cctype>
+
+namespace templex {
+
+namespace {
+
+bool IsTokenChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '.' || c == '%';
+}
+
+// All textual forms under which a constant may legitimately appear in an
+// explanation: raw display, millions suffix, percent rendering.
+std::vector<std::string> Renderings(const Value& value) {
+  std::vector<std::string> forms;
+  forms.push_back(value.ToDisplayString());
+  if (value.is_numeric()) {
+    forms.push_back(FormatNumber(value.AsDouble(), NumberStyle::kMillions));
+    forms.push_back(FormatNumber(value.AsDouble(), NumberStyle::kPercent));
+  }
+  return forms;
+}
+
+}  // namespace
+
+bool ContainsWholeWord(const std::string& text, const std::string& needle) {
+  if (needle.empty()) return false;
+  size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsTokenChar(text[pos - 1]);
+    const size_t end = pos + needle.size();
+    const bool right_ok = end >= text.size() || !IsTokenChar(text[end]);
+    if (left_ok && right_ok) return true;
+    pos += 1;
+  }
+  return false;
+}
+
+std::vector<Value> MissingConstants(const Proof& proof,
+                                    const std::string& text) {
+  std::vector<Value> missing;
+  for (const Value& constant : proof.Constants()) {
+    bool found = false;
+    for (const std::string& form : Renderings(constant)) {
+      if (ContainsWholeWord(text, form)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) missing.push_back(constant);
+  }
+  return missing;
+}
+
+double OmittedInformationRatio(const Proof& proof, const std::string& text) {
+  const std::vector<Value> constants = proof.Constants();
+  if (constants.empty()) return 0.0;
+  return static_cast<double>(MissingConstants(proof, text).size()) /
+         static_cast<double>(constants.size());
+}
+
+}  // namespace templex

@@ -1,0 +1,28 @@
+#ifndef TEMPLEX_LLM_OMISSION_H_
+#define TEMPLEX_LLM_OMISSION_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/proof.h"
+#include "explain/glossary.h"
+
+namespace templex {
+
+// True when `needle` occurs in `text` as a whole token (not as a substring
+// of a longer alphanumeric run — "7" does not match inside "17M").
+bool ContainsWholeWord(const std::string& text, const std::string& needle);
+
+// The completeness metric of Figure 17: the fraction of the proof's
+// constants that do NOT appear in `text` under any of the glossary's
+// renderings (plain, millions, percent, display string). 0.0 means the
+// explanation is complete; 1.0 means everything was lost.
+double OmittedInformationRatio(const Proof& proof, const std::string& text);
+
+// The constants of `proof` missing from `text` (for diagnostics/tests).
+std::vector<Value> MissingConstants(const Proof& proof,
+                                    const std::string& text);
+
+}  // namespace templex
+
+#endif  // TEMPLEX_LLM_OMISSION_H_

@@ -1,0 +1,244 @@
+#include "llm/simulated_llm.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "explain/enhancer.h"
+
+namespace templex {
+
+namespace {
+
+// Synonym rewrites applied by both paraphrasis and summarization, so the
+// output visibly differs from the deterministic input text.
+const std::pair<const char*, const char*> kSynonyms[] = {
+    {"Since ", "Given that "},
+    {", then ", ", it follows that "},
+    {" is in default", " has defaulted"},
+    {" amounting to ", " of "},
+    {" is higher than ", " exceeds "},
+    {" is lower than ", " is below "},
+    {" given by the sum of ", " totalling "},
+    {" affects ", " hits "},
+    {" exercises control over ", " controls "},
+};
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
+         c == '%' || c == '\'';
+}
+
+// Splits into alternating separator/word chunks, preserving everything.
+std::vector<std::string> Chunk(const std::string& text) {
+  std::vector<std::string> chunks;
+  std::string current;
+  bool in_word = false;
+  for (char c : text) {
+    bool word = IsWordChar(c);
+    if (!current.empty() && word != in_word) {
+      chunks.push_back(current);
+      current.clear();
+    }
+    in_word = word;
+    current.push_back(c);
+  }
+  if (!current.empty()) chunks.push_back(current);
+  return chunks;
+}
+
+// Trailing sentence periods belong to the word chunk ('.' is a word char so
+// decimals like 0.5 stay intact); strip them for identity purposes.
+std::string StripTrailingDots(const std::string& word) {
+  std::string result = word;
+  while (!result.empty() && result.back() == '.') result.pop_back();
+  return result;
+}
+
+bool LooksLikeConstant(const std::string& word, bool sentence_start) {
+  if (word.empty() || !IsWordChar(word[0])) return false;
+  for (char c : word) {
+    if (std::isdigit(static_cast<unsigned char>(c))) return true;
+  }
+  // Capitalized mid-sentence word = entity mention. Sentence-leading words
+  // are ambiguous; treat them as prose.
+  if (!sentence_start && std::isupper(static_cast<unsigned char>(word[0]))) {
+    // Ignore common sentence-internal capitalized prose (none in our
+    // verbalizations), so any capitalized token counts.
+    return true;
+  }
+  return false;
+}
+
+uint64_t HashText(const std::string& text) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+const std::pair<const char*, const char*> kCompressingSynonyms[] = {
+    {"Since ", "As "},
+    {", then ", ", so "},
+    {" is in default", " fails"},
+    {" amounting to ", " of "},
+    {" is higher than ", " tops "},
+    {" is lower than ", " is under "},
+    {" given by the sum of ", " totalling "},
+    {" is at risk of defaulting given its ", " risks default on "},
+    {" euros of exposures to a defaulted debtor", " of bad exposures"},
+    {" has an amount of ", " has "},
+    {" exercises control over ", " controls "},
+};
+
+std::string ApplySynonyms(const std::string& text) {
+  std::string result = text;
+  for (const auto& [from, to] : kSynonyms) {
+    result = ReplaceAll(result, from, to);
+  }
+  return result;
+}
+
+std::string ApplyCompressingSynonyms(const std::string& text) {
+  std::string result = text;
+  for (const auto& [from, to] : kCompressingSynonyms) {
+    result = ReplaceAll(result, from, to);
+  }
+  return result;
+}
+
+// Removes every mention of the constants in `dropped` from `text`,
+// replacing entities with a vague reference and numbers with a vague
+// quantity, which is how chat models typically elide details.
+std::string DropConstants(const std::string& text,
+                          const std::set<std::string>& dropped) {
+  std::vector<std::string> chunks = Chunk(text);
+  std::string result;
+  bool sentence_start = true;
+  for (const std::string& chunk : chunks) {
+    const bool is_word = !chunk.empty() && IsWordChar(chunk[0]);
+    const std::string word = StripTrailingDots(chunk);
+    if (is_word && dropped.count(word) > 0 && !sentence_start) {
+      bool numeric = std::isdigit(static_cast<unsigned char>(word[0])) != 0;
+      result += numeric ? "some amount" : "another party";
+      result += chunk.substr(word.size());  // keep trailing periods
+    } else {
+      result += chunk;
+    }
+    if (is_word) {
+      sentence_start = chunk.back() == '.';
+    } else if (Contains(chunk, ".")) {
+      sentence_start = true;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+namespace llm_internal {
+
+std::vector<std::string> ConstantMentions(const std::string& text) {
+  std::vector<std::string> mentions;
+  bool sentence_start = true;
+  for (const std::string& chunk : Chunk(text)) {
+    if (!chunk.empty() && IsWordChar(chunk[0])) {
+      const std::string word = StripTrailingDots(chunk);
+      if (!word.empty() && LooksLikeConstant(word, sentence_start)) {
+        if (std::find(mentions.begin(), mentions.end(), word) ==
+            mentions.end()) {
+          mentions.push_back(word);
+        }
+      }
+      sentence_start = !chunk.empty() && chunk.back() == '.';
+    } else if (Contains(chunk, ".")) {
+      sentence_start = true;
+    }
+  }
+  return mentions;
+}
+
+}  // namespace llm_internal
+
+SimulatedLlm::SimulatedLlm(SimulatedLlmOptions options) : options_(options) {}
+
+Result<std::string> SimulatedLlm::Complete(const std::string& prompt) {
+  if (prompt.starts_with(kParaphrasePrompt)) {
+    return ParaphraseText(prompt.substr(sizeof(kParaphrasePrompt) - 1));
+  }
+  if (prompt.starts_with(kSummarizePrompt)) {
+    return SummarizeText(prompt.substr(sizeof(kSummarizePrompt) - 1));
+  }
+  if (prompt.starts_with(kRephrasePrompt)) {
+    return RephraseTemplate(prompt.substr(sizeof(kRephrasePrompt) - 1));
+  }
+  return Status::InvalidArgument(
+      "SimulatedLlm only models the paraphrase/summarize/rephrase prompts");
+}
+
+std::string SimulatedLlm::ParaphraseText(const std::string& text) const {
+  Rng rng(options_.seed ^ HashText(text));
+  const int sentences = static_cast<int>(SplitSentences(text).size());
+  double p = options_.paraphrase_omission_per_step *
+             std::max(0, sentences - 1);
+  p += rng.NextGaussian(0.0, options_.omission_noise);
+  p = std::clamp(p, 0.0, options_.max_omission);
+  std::set<std::string> dropped;
+  for (const std::string& mention : llm_internal::ConstantMentions(text)) {
+    if (rng.NextBool(p)) dropped.insert(mention);
+  }
+  // A chat-model paraphrase is genuinely fluent: redundant chaining clauses
+  // are elided and sentence frames varied, like the template enhancer does.
+  const int variant = static_cast<int>(rng.NextUint64(4));
+  return DropConstants(ApplySynonyms(CompressDeterministicText(text, variant)),
+                       dropped);
+}
+
+std::string SimulatedLlm::SummarizeText(const std::string& text) const {
+  Rng rng(options_.seed * 31 ^ HashText(text));
+  std::vector<std::string> sentences = SplitSentences(text);
+  const int n = static_cast<int>(sentences.size());
+  // Drop whole middle sentences (summaries compress), which loses their
+  // constants outright.
+  std::vector<std::string> kept;
+  for (int i = 0; i < n; ++i) {
+    if (i == 0 || i == n - 1 || rng.NextBool(options_.summary_sentence_keep)) {
+      kept.push_back(sentences[i]);
+    }
+  }
+  std::string condensed = Join(kept, " ");
+  double p = options_.summary_omission_per_step * std::max(0, n - 1);
+  p += rng.NextGaussian(0.0, options_.omission_noise);
+  p = std::clamp(p, 0.0, options_.max_omission);
+  std::set<std::string> dropped;
+  for (const std::string& mention :
+       llm_internal::ConstantMentions(condensed)) {
+    if (rng.NextBool(p)) dropped.insert(mention);
+  }
+  return DropConstants(ApplyCompressingSynonyms(condensed), dropped);
+}
+
+std::string SimulatedLlm::RephraseTemplate(const std::string& text) const {
+  Rng rng(options_.seed * 17 ^ HashText(text));
+  std::string result = ApplySynonyms(text);
+  if (rng.NextBool(options_.rephrase_token_drop)) {
+    // Hallucination mode (§4.4): silently omit one rule variable — every
+    // occurrence of one <token> disappears from the rephrased text. The
+    // enhancer's preventive check is expected to catch this.
+    size_t open = result.find('<');
+    if (open != std::string::npos) {
+      size_t close = result.find('>', open);
+      if (close != std::string::npos) {
+        const std::string token = result.substr(open, close - open + 1);
+        result = ReplaceAll(result, token, "");
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace templex

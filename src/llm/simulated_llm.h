@@ -1,0 +1,76 @@
+#ifndef TEMPLEX_LLM_SIMULATED_LLM_H_
+#define TEMPLEX_LLM_SIMULATED_LLM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "llm/llm_client.h"
+
+namespace templex {
+
+// Behavioural parameters of the simulated LLM. The omission model is
+// calibrated so that the fraction of constants lost grows roughly linearly
+// with the number of input sentences, with summarization losing about twice
+// as much as paraphrasis — the qualitative behaviour the paper measures for
+// ChatGPT in Figure 17.
+struct SimulatedLlmOptions {
+  uint64_t seed = 20250325;
+
+  // Omission probability per input sentence beyond the first, and its cap.
+  double paraphrase_omission_per_step = 0.018;
+  double summary_omission_per_step = 0.040;
+  double max_omission = 0.85;
+  // Gaussian noise on the omission probability (per call).
+  double omission_noise = 0.03;
+
+  // Probability that a template "rephrase" request drops one <token>
+  // (simulating the template-hallucination/omission failure mode of §4.4
+  // that the preventive token check must catch).
+  double rephrase_token_drop = 0.10;
+
+  // Sentence keep-probability for summarization (first and last sentences
+  // are always kept).
+  double summary_sentence_keep = 0.65;
+};
+
+// A deterministic, seedable stand-in for the GPT family used by the paper:
+// it really rewrites text (synonym substitution, sentence dropping for
+// summaries) and exhibits the measured failure mode — information loss
+// growing with input length. Identical prompts always produce identical
+// outputs (the per-call randomness is derived from the seed and a hash of
+// the prompt), so every experiment is reproducible.
+//
+// Substitution note (see DESIGN.md): the paper's claims about the LLM
+// baseline concern the *shape* of its information loss, not any particular
+// model checkpoint; this class exercises the same measurement pipeline
+// (verbalize proof -> rewrite -> count surviving constants).
+class SimulatedLlm : public LlmClient {
+ public:
+  explicit SimulatedLlm(SimulatedLlmOptions options = SimulatedLlmOptions());
+
+  Result<std::string> Complete(const std::string& prompt) override;
+
+  const SimulatedLlmOptions& options() const { return options_; }
+
+ private:
+  std::string ParaphraseText(const std::string& text) const;
+  std::string SummarizeText(const std::string& text) const;
+  std::string RephraseTemplate(const std::string& text) const;
+
+  SimulatedLlmOptions options_;
+};
+
+// Internal helpers exposed for testing.
+namespace llm_internal {
+
+// Splits `text` into word-level chunks and classifies each as a "constant
+// mention" (contains a digit, or is capitalized mid-sentence) or plain
+// prose. Used by the omission model to decide what can be dropped.
+std::vector<std::string> ConstantMentions(const std::string& text);
+
+}  // namespace llm_internal
+
+}  // namespace templex
+
+#endif  // TEMPLEX_LLM_SIMULATED_LLM_H_

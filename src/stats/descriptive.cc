@@ -1,0 +1,61 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace templex {
+
+double Mean(const std::vector<double>& sample) {
+  assert(!sample.empty());
+  double sum = 0.0;
+  for (double v : sample) sum += v;
+  return sum / static_cast<double>(sample.size());
+}
+
+double StdDev(const std::vector<double>& sample) {
+  if (sample.size() < 2) return 0.0;
+  const double mean = Mean(sample);
+  double ss = 0.0;
+  for (double v : sample) ss += (v - mean) * (v - mean);
+  return std::sqrt(ss / static_cast<double>(sample.size() - 1));
+}
+
+double Quantile(std::vector<double> sample, double q) {
+  assert(!sample.empty());
+  std::sort(sample.begin(), sample.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double position = q * static_cast<double>(sample.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(position));
+  const size_t hi = static_cast<size_t>(std::ceil(position));
+  const double fraction = position - static_cast<double>(lo);
+  return sample[lo] + (sample[hi] - sample[lo]) * fraction;
+}
+
+double Median(std::vector<double> sample) {
+  return Quantile(std::move(sample), 0.5);
+}
+
+BoxStats Summarize(const std::vector<double>& sample) {
+  assert(!sample.empty());
+  BoxStats stats;
+  stats.min = *std::min_element(sample.begin(), sample.end());
+  stats.max = *std::max_element(sample.begin(), sample.end());
+  stats.q1 = Quantile(sample, 0.25);
+  stats.median = Quantile(sample, 0.5);
+  stats.q3 = Quantile(sample, 0.75);
+  stats.mean = Mean(sample);
+  stats.n = static_cast<int>(sample.size());
+  return stats;
+}
+
+std::string BoxStats::ToString() const {
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer),
+                "n=%d min=%.3f q1=%.3f med=%.3f q3=%.3f max=%.3f mean=%.3f",
+                n, min, q1, median, q3, max, mean);
+  return buffer;
+}
+
+}  // namespace templex

@@ -1,0 +1,40 @@
+#ifndef TEMPLEX_STATS_DESCRIPTIVE_H_
+#define TEMPLEX_STATS_DESCRIPTIVE_H_
+
+#include <string>
+#include <vector>
+
+namespace templex {
+
+// Descriptive statistics used by the evaluation harness. All functions
+// require a non-empty sample unless stated otherwise.
+
+double Mean(const std::vector<double>& sample);
+
+// Sample standard deviation (n-1 denominator); 0 for samples of size < 2.
+double StdDev(const std::vector<double>& sample);
+
+double Median(std::vector<double> sample);
+
+// Linear-interpolation quantile, q in [0, 1].
+double Quantile(std::vector<double> sample, double q);
+
+// Five-number summary backing the paper's boxplots (Figures 17, 18).
+struct BoxStats {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  int n = 0;
+
+  // "n=10 min=0.00 q1=0.05 med=0.10 q3=0.20 max=0.40 mean=0.12".
+  std::string ToString() const;
+};
+
+BoxStats Summarize(const std::vector<double>& sample);
+
+}  // namespace templex
+
+#endif  // TEMPLEX_STATS_DESCRIPTIVE_H_

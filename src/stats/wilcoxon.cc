@@ -1,0 +1,74 @@
+#include "stats/wilcoxon.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace templex {
+
+double StandardNormalCdf(double z) {
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+Result<WilcoxonResult> WilcoxonSignedRank(const std::vector<double>& a,
+                                          const std::vector<double>& b) {
+  if (a.size() != b.size() || a.empty()) {
+    return Status::InvalidArgument(
+        "Wilcoxon signed-rank requires equal-length, non-empty samples");
+  }
+  struct Diff {
+    double abs;
+    int sign;
+  };
+  std::vector<Diff> diffs;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    if (d == 0.0) continue;  // standard practice: drop zero differences
+    diffs.push_back(Diff{std::fabs(d), d > 0 ? 1 : -1});
+  }
+  const int n = static_cast<int>(diffs.size());
+  if (n < 5) {
+    return Status::InvalidArgument(
+        "Wilcoxon normal approximation needs at least 5 non-zero pairs, got " +
+        std::to_string(n));
+  }
+  std::sort(diffs.begin(), diffs.end(),
+            [](const Diff& x, const Diff& y) { return x.abs < y.abs; });
+
+  WilcoxonResult result;
+  result.n_effective = n;
+  double tie_correction = 0.0;
+  size_t i = 0;
+  while (i < diffs.size()) {
+    size_t j = i;
+    while (j < diffs.size() && diffs[j].abs == diffs[i].abs) ++j;
+    // Average rank for the tie group [i, j).
+    const double avg_rank =
+        (static_cast<double>(i + 1) + static_cast<double>(j)) / 2.0;
+    const double t = static_cast<double>(j - i);
+    if (t > 1.0) tie_correction += t * t * t - t;
+    for (size_t k = i; k < j; ++k) {
+      if (diffs[k].sign > 0) {
+        result.w_plus += avg_rank;
+      } else {
+        result.w_minus += avg_rank;
+      }
+    }
+    i = j;
+  }
+  const double nn = static_cast<double>(n);
+  const double mean = nn * (nn + 1.0) / 4.0;
+  const double variance =
+      nn * (nn + 1.0) * (2.0 * nn + 1.0) / 24.0 - tie_correction / 48.0;
+  const double w = std::min(result.w_plus, result.w_minus);
+  if (variance <= 0.0) {
+    result.z = 0.0;
+    result.p_value = 1.0;
+    return result;
+  }
+  // Continuity correction toward the mean.
+  result.z = (w - mean + 0.5) / std::sqrt(variance);
+  result.p_value = std::min(1.0, 2.0 * StandardNormalCdf(result.z));
+  return result;
+}
+
+}  // namespace templex

@@ -1,0 +1,33 @@
+#ifndef TEMPLEX_STATS_WILCOXON_H_
+#define TEMPLEX_STATS_WILCOXON_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace templex {
+
+// Result of a two-sided Wilcoxon signed-rank test over paired samples.
+struct WilcoxonResult {
+  double w_plus = 0.0;   // sum of positive-difference ranks
+  double w_minus = 0.0;  // sum of negative-difference ranks
+  int n_effective = 0;   // pairs with non-zero difference
+  double z = 0.0;        // normal approximation statistic
+  double p_value = 1.0;  // two-sided
+};
+
+// Two-sided Wilcoxon signed-rank test for paired samples `a` and `b`
+// (equal, non-zero length). Zero differences are discarded; tied absolute
+// differences receive average ranks, with the variance tie correction
+// applied to the normal approximation (the standard treatment for Likert
+// data, cf. the studies the paper follows [25, 27]). Requires at least 5
+// effective pairs for the approximation; fewer is an InvalidArgument.
+Result<WilcoxonResult> WilcoxonSignedRank(const std::vector<double>& a,
+                                          const std::vector<double>& b);
+
+// Standard normal CDF (exposed for tests).
+double StandardNormalCdf(double z);
+
+}  // namespace templex
+
+#endif  // TEMPLEX_STATS_WILCOXON_H_

@@ -1,0 +1,163 @@
+#include "studies/archetypes.h"
+
+#include <algorithm>
+
+namespace templex {
+
+namespace {
+
+// Perturbs a numeric value into a clearly different one, far enough away
+// that it will not coincide with another value mentioned in the same
+// explanation (values in our instances are small).
+double PerturbValue(double value, Rng* rng) {
+  double changed = value * 3.0 + static_cast<double>(rng->NextInt(31, 67));
+  if (changed == value) changed = value + 41.0;
+  return changed;
+}
+
+bool TryFalseEdge(KgVisualization* viz, Rng* rng) {
+  if (viz->nodes.size() < 2) return false;
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    const std::string& from =
+        viz->nodes[rng->NextUint64(viz->nodes.size())].id;
+    const std::string& to = viz->nodes[rng->NextUint64(viz->nodes.size())].id;
+    if (from == to) continue;
+    std::string label =
+        viz->edges.empty() ? "Own" : viz->edges[rng->NextUint64(
+                                                    viz->edges.size())]
+                                         .label;
+    bool duplicate = false;
+    for (const VizEdge& e : viz->edges) {
+      if (e.from == from && e.to == to && e.label == label) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    VizEdge edge;
+    edge.from = from;
+    edge.to = to;
+    edge.label = label;
+    edge.value = static_cast<double>(rng->NextInt(1, 9));
+    edge.has_value = true;
+    viz->edges.push_back(std::move(edge));
+    return true;
+  }
+  return false;
+}
+
+bool TryWrongValue(KgVisualization* viz, Rng* rng) {
+  // Candidates: valued edges and node properties.
+  std::vector<VizEdge*> valued;
+  for (VizEdge& e : viz->edges) {
+    if (e.has_value) valued.push_back(&e);
+  }
+  std::vector<std::pair<VizNode*, std::string>> properties;
+  for (VizNode& n : viz->nodes) {
+    for (auto& [key, value] : n.properties) properties.emplace_back(&n, key);
+  }
+  const size_t total = valued.size() + properties.size();
+  if (total == 0) return false;
+  size_t pick = rng->NextUint64(total);
+  if (pick < valued.size()) {
+    valued[pick]->value = PerturbValue(valued[pick]->value, rng);
+  } else {
+    auto& [node, key] = properties[pick - valued.size()];
+    node->properties[key] = PerturbValue(node->properties[key], rng);
+  }
+  return true;
+}
+
+bool TryWrongAggregationOrder(KgVisualization* viz, Rng* rng) {
+  // Find two same-label valued edges into the same target from *different*
+  // sources with different values (aggregation contributors) and swap their
+  // values. Same-source pairs are excluded: swapping them yields a
+  // semantically identical graph, not an error.
+  std::vector<std::pair<VizEdge*, VizEdge*>> pairs;
+  for (size_t i = 0; i < viz->edges.size(); ++i) {
+    for (size_t j = i + 1; j < viz->edges.size(); ++j) {
+      VizEdge& a = viz->edges[i];
+      VizEdge& b = viz->edges[j];
+      if (a.to == b.to && a.from != b.from && a.label == b.label &&
+          a.has_value && b.has_value && a.value != b.value) {
+        pairs.emplace_back(&a, &b);
+      }
+    }
+  }
+  if (pairs.empty()) return false;
+  auto& [a, b] = pairs[rng->NextUint64(pairs.size())];
+  std::swap(a->value, b->value);
+  return true;
+}
+
+bool TryWrongChain(KgVisualization* viz, Rng* rng) {
+  // Rewire one *extensional* (valued) edge — an ownership share or a debt —
+  // to a wrong endpoint, breaking a chain. Unvalued derived edges are not
+  // rewired: a bare Control edge between two mentioned entities would not
+  // contradict any sentence of the report.
+  if (viz->nodes.size() < 3) return false;
+  std::vector<VizEdge*> valued;
+  for (VizEdge& e : viz->edges) {
+    if (e.has_value) valued.push_back(&e);
+  }
+  if (valued.empty()) return false;
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    VizEdge& edge = *valued[rng->NextUint64(valued.size())];
+    const std::string& new_to =
+        viz->nodes[rng->NextUint64(viz->nodes.size())].id;
+    if (new_to == edge.to || new_to == edge.from) continue;
+    edge.to = new_to;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* ErrorArchetypeToString(ErrorArchetype archetype) {
+  switch (archetype) {
+    case ErrorArchetype::kFalseEdge:
+      return "wrong edge";
+    case ErrorArchetype::kWrongValue:
+      return "wrong value";
+    case ErrorArchetype::kWrongAggregationOrder:
+      return "incorrect aggregation";
+    case ErrorArchetype::kWrongChain:
+      return "incorrect chain";
+  }
+  return "?";
+}
+
+KgVisualization ApplyArchetype(const KgVisualization& truth,
+                               ErrorArchetype archetype, Rng* rng,
+                               ErrorArchetype* applied) {
+  KgVisualization mutated = truth;
+  ErrorArchetype used = archetype;
+  bool done = false;
+  switch (archetype) {
+    case ErrorArchetype::kFalseEdge:
+      done = TryFalseEdge(&mutated, rng);
+      break;
+    case ErrorArchetype::kWrongValue:
+      done = TryWrongValue(&mutated, rng);
+      break;
+    case ErrorArchetype::kWrongAggregationOrder:
+      done = TryWrongAggregationOrder(&mutated, rng);
+      break;
+    case ErrorArchetype::kWrongChain:
+      done = TryWrongChain(&mutated, rng);
+      break;
+  }
+  if (!done) {
+    used = ErrorArchetype::kWrongValue;
+    done = TryWrongValue(&mutated, rng);
+  }
+  if (!done) {
+    used = ErrorArchetype::kFalseEdge;
+    done = TryFalseEdge(&mutated, rng);
+  }
+  if (applied != nullptr) *applied = used;
+  return mutated;
+}
+
+}  // namespace templex

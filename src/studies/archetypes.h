@@ -1,0 +1,36 @@
+#ifndef TEMPLEX_STUDIES_ARCHETYPES_H_
+#define TEMPLEX_STUDIES_ARCHETYPES_H_
+
+#include "common/rng.h"
+#include "studies/visualization.h"
+
+namespace templex {
+
+// The four error archetypes used to build wrong candidate visualizations
+// for the comprehension study (§6.1), mirroring [26]:
+//   I   a false edge is present,
+//   II  a property/edge value is incorrect,
+//   III the values of two aggregation contributors are swapped
+//       (incorrect order of aggregation values),
+//   IV  a chain edge is rewired to the wrong node (incorrect chain).
+enum class ErrorArchetype {
+  kFalseEdge = 1,
+  kWrongValue = 2,
+  kWrongAggregationOrder = 3,
+  kWrongChain = 4,
+};
+
+const char* ErrorArchetypeToString(ErrorArchetype archetype);
+
+// Applies `archetype` to a copy of `truth`, guaranteeing the result differs
+// from `truth`. Archetypes that are not applicable to the given graph
+// (e.g. no aggregation to reorder) degrade to kWrongValue, then to
+// kFalseEdge; the archetype actually applied is returned via
+// `applied` (may be null).
+KgVisualization ApplyArchetype(const KgVisualization& truth,
+                               ErrorArchetype archetype, Rng* rng,
+                               ErrorArchetype* applied = nullptr);
+
+}  // namespace templex
+
+#endif  // TEMPLEX_STUDIES_ARCHETYPES_H_

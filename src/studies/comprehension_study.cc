@@ -1,0 +1,230 @@
+#include "studies/comprehension_study.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "common/number_format.h"
+#include "common/string_util.h"
+
+namespace templex {
+
+namespace {
+
+// All textual renderings a numeric value may have in an explanation.
+std::vector<std::string> ValueForms(double value) {
+  return {
+      FormatDouble(value),
+      FormatNumber(value, NumberStyle::kMillions),
+      FormatNumber(value, NumberStyle::kPercent),
+  };
+}
+
+// First whole-word occurrence of `needle` in `sentence` at or after
+// `start`, or npos.
+size_t FindWord(const std::string& sentence, const std::string& needle,
+                size_t start) {
+  size_t pos = start;
+  while ((pos = sentence.find(needle, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !std::isalnum(static_cast<unsigned char>(
+                                         sentence[pos - 1]));
+    const size_t end = pos + needle.size();
+    const bool right_ok =
+        end >= sentence.size() ||
+        !std::isalnum(static_cast<unsigned char>(sentence[end]));
+    if (left_ok && right_ok) return pos;
+    ++pos;
+  }
+  return std::string::npos;
+}
+
+// Position of the first whole-word occurrence of any rendering of `value`
+// in `sentence` at or after `start`, or npos.
+size_t FindValue(const std::string& sentence, double value,
+                 size_t start = 0) {
+  size_t best = std::string::npos;
+  for (const std::string& form : ValueForms(value)) {
+    size_t pos = FindWord(sentence, form, start);
+    if (pos != std::string::npos && pos < best) best = pos;
+  }
+  return best;
+}
+
+size_t FindEntity(const std::string& sentence, const std::string& id,
+                  size_t start = 0) {
+  return FindWord(sentence, id, start);
+}
+
+// True if the sentence supports a valued edge in the order the glossary
+// patterns use: source entity, then amount/share, then target entity
+// ("<d> has <v> euros of debts with <c>", "<x> owns <s> of the shares of
+// <y>").
+bool MatchesOrderedEdge(const std::string& sentence, const VizEdge& edge) {
+  size_t from_pos = FindEntity(sentence, edge.from);
+  while (from_pos != std::string::npos) {
+    const size_t value_pos = FindValue(sentence, edge.value, from_pos + 1);
+    if (value_pos == std::string::npos) return false;
+    if (FindEntity(sentence, edge.to, value_pos + 1) != std::string::npos) {
+      return true;
+    }
+    from_pos = FindEntity(sentence, edge.from, from_pos + 1);
+  }
+  return false;
+}
+
+}  // namespace
+
+double ScoreVisualizationAgainstText(const std::string& explanation,
+                                     const KgVisualization& viz,
+                                     double inattention, Rng* rng) {
+  const std::vector<std::string> sentences = SplitSentences(explanation);
+  double score = 0.0;
+  auto maybe_skip = [rng, inattention]() {
+    return rng != nullptr && rng->NextBool(inattention);
+  };
+  // An element the text never supports reads as a contradiction: the graph
+  // claims something the report does not say. This is what lets readers
+  // reject distractors with false edges, perturbed values, or rewired
+  // chains.
+  constexpr double kMismatchPenalty = 1.1;
+  for (const VizEdge& edge : viz.edges) {
+    if (maybe_skip()) continue;
+    bool matched = false;
+    for (const std::string& sentence : sentences) {
+      if (edge.has_value ? MatchesOrderedEdge(sentence, edge)
+                         : (FindEntity(sentence, edge.from) !=
+                                std::string::npos &&
+                            FindEntity(sentence, edge.to) !=
+                                std::string::npos)) {
+        matched = true;
+        break;
+      }
+    }
+    score += matched ? 1.0 : -kMismatchPenalty;
+  }
+  for (const VizNode& node : viz.nodes) {
+    for (const auto& [key, value] : node.properties) {
+      if (maybe_skip()) continue;
+      bool matched = false;
+      for (const std::string& sentence : sentences) {
+        if (FindEntity(sentence, node.id) != std::string::npos &&
+            FindValue(sentence, value) != std::string::npos) {
+          matched = true;
+          break;
+        }
+      }
+      score += matched ? 1.0 : -kMismatchPenalty;
+    }
+  }
+  // "Respectively"-list consistency: for two same-label contributors into
+  // the same target, the order of the source mentions must match the order
+  // of their value mentions within the sentence listing both — the check
+  // that catches archetype III (incorrect order of aggregation values).
+  for (size_t i = 0; i < viz.edges.size(); ++i) {
+    for (size_t j = i + 1; j < viz.edges.size(); ++j) {
+      const VizEdge& a = viz.edges[i];
+      const VizEdge& b = viz.edges[j];
+      if (a.to != b.to || a.from == b.from || a.label != b.label ||
+          !a.has_value || !b.has_value || a.value == b.value) {
+        continue;
+      }
+      if (maybe_skip()) continue;
+      for (const std::string& sentence : sentences) {
+        const size_t fa = FindEntity(sentence, a.from);
+        const size_t fb = FindEntity(sentence, b.from);
+        const size_t va = FindValue(sentence, a.value);
+        const size_t vb = FindValue(sentence, b.value);
+        if (fa == std::string::npos || fb == std::string::npos ||
+            va == std::string::npos || vb == std::string::npos) {
+          continue;
+        }
+        const bool consistent = (fa < fb) == (va < vb);
+        score += consistent ? 0.5 : -0.8;
+        break;
+      }
+    }
+  }
+  return score;
+}
+
+std::vector<ComprehensionCaseResult> RunComprehensionStudy(
+    const std::vector<ComprehensionCase>& cases,
+    const ComprehensionStudyOptions& options) {
+  std::vector<ComprehensionCaseResult> results;
+  Rng rng(options.seed);
+  for (const ComprehensionCase& question : cases) {
+    ComprehensionCaseResult result;
+    result.name = question.name;
+    for (int participant = 0; participant < options.participants;
+         ++participant) {
+      // Candidate order is shuffled per participant, as in the study.
+      struct Candidate {
+        const KgVisualization* viz;
+        int distractor_index;  // -1 = truth
+      };
+      std::vector<Candidate> candidates;
+      candidates.push_back(Candidate{&question.truth, -1});
+      for (size_t d = 0; d < question.distractors.size(); ++d) {
+        candidates.push_back(
+            Candidate{&question.distractors[d].second, static_cast<int>(d)});
+      }
+      rng.Shuffle(candidates);
+      double best_score = -1.0;
+      std::vector<const Candidate*> best;
+      for (const Candidate& candidate : candidates) {
+        const double score = ScoreVisualizationAgainstText(
+            question.explanation, *candidate.viz, options.inattention, &rng);
+        if (score > best_score + 1e-9) {
+          best_score = score;
+          best = {&candidate};
+        } else if (score > best_score - 1e-9) {
+          best.push_back(&candidate);
+        }
+      }
+      const Candidate* picked = best[rng.NextUint64(best.size())];
+      ++result.participants;
+      if (picked->distractor_index < 0) {
+        ++result.correct;
+      } else {
+        ++result.errors[question.distractors[picked->distractor_index].first];
+      }
+    }
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+std::string ComprehensionTable(
+    const std::vector<ComprehensionCaseResult>& results) {
+  std::string table =
+      "Case | Wrong Edge | Wrong Value | Incorrect Aggregation | "
+      "Incorrect Chain | Correct\n";
+  int total_correct = 0;
+  int total = 0;
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ComprehensionCaseResult& r = results[i];
+    auto pct = [&r](ErrorArchetype a) {
+      auto it = r.errors.find(a);
+      const int count = it == r.errors.end() ? 0 : it->second;
+      return 100.0 * count / std::max(1, r.participants);
+    };
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "%zu (%s) | %.0f%% | %.0f%% | %.0f%% | %.0f%% | %.0f%%\n",
+                  i + 1, r.name.c_str(), pct(ErrorArchetype::kFalseEdge),
+                  pct(ErrorArchetype::kWrongValue),
+                  pct(ErrorArchetype::kWrongAggregationOrder),
+                  pct(ErrorArchetype::kWrongChain), 100.0 * r.accuracy());
+    table += line;
+    total_correct += r.correct;
+    total += r.participants;
+  }
+  char overall[64];
+  std::snprintf(overall, sizeof(overall), "Overall accuracy: %.0f%%\n",
+                100.0 * total_correct / std::max(1, total));
+  table += overall;
+  return table;
+}
+
+}  // namespace templex

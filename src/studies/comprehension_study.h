@@ -1,0 +1,68 @@
+#ifndef TEMPLEX_STUDIES_COMPREHENSION_STUDY_H_
+#define TEMPLEX_STUDIES_COMPREHENSION_STUDY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "studies/archetypes.h"
+#include "studies/visualization.h"
+
+namespace templex {
+
+// One multiple-choice question of the comprehension study (§6.1): a textual
+// explanation ("business report") plus three candidate KG visualizations —
+// the correct one and two archetype-mutated distractors.
+struct ComprehensionCase {
+  std::string name;  // "control via aggregation", ...
+  std::string explanation;
+  KgVisualization truth;
+  std::vector<std::pair<ErrorArchetype, KgVisualization>> distractors;
+};
+
+// Per-case tally over all participants.
+struct ComprehensionCaseResult {
+  std::string name;
+  int participants = 0;
+  int correct = 0;
+  std::map<ErrorArchetype, int> errors;  // wrong picks, by archetype
+
+  double accuracy() const {
+    return participants == 0
+               ? 0.0
+               : static_cast<double>(correct) / participants;
+  }
+};
+
+struct ComprehensionStudyOptions {
+  int participants = 24;
+  // Probability that a participant overlooks one consistency check
+  // (attention noise; the source of the paper's occasional wrong answers).
+  double inattention = 0.08;
+  uint64_t seed = 42;
+};
+
+// The simulated lay reader: scores how consistent a candidate visualization
+// is with the explanation text by sentence-level co-occurrence of the
+// visualization's elements (edge endpoints + value in one sentence, with a
+// proximity bonus that resolves "respectively"-style contributor
+// orderings). Exposed for tests.
+double ScoreVisualizationAgainstText(const std::string& explanation,
+                                     const KgVisualization& viz,
+                                     double inattention, Rng* rng);
+
+// Runs the study: every participant answers every case by picking the
+// highest-scoring candidate (ties broken at random). Returns one result per
+// case, in input order.
+std::vector<ComprehensionCaseResult> RunComprehensionStudy(
+    const std::vector<ComprehensionCase>& cases,
+    const ComprehensionStudyOptions& options);
+
+// Figure 14-style table.
+std::string ComprehensionTable(
+    const std::vector<ComprehensionCaseResult>& results);
+
+}  // namespace templex
+
+#endif  // TEMPLEX_STUDIES_COMPREHENSION_STUDY_H_

@@ -1,0 +1,73 @@
+#ifndef TEMPLEX_STUDIES_EXPERT_STUDY_H_
+#define TEMPLEX_STUDIES_EXPERT_STUDY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "stats/wilcoxon.h"
+
+namespace templex {
+
+// The three explanation methodologies compared in the expert study (§6.2).
+enum class ExplanationMethod {
+  kGptParaphrase = 0,
+  kGptSummary = 1,
+  kTemplateBased = 2,
+};
+
+const char* ExplanationMethodToString(ExplanationMethod method);
+
+// One scenario shown to every expert: the three candidate texts explaining
+// the same proof, plus the reference data a grader needs (the verbose
+// deterministic explanation as the length baseline, and each text's
+// completeness = 1 - omitted-information ratio).
+struct ExpertScenario {
+  std::string name;
+  std::string deterministic;  // reference verbose explanation
+  std::string texts[3];       // indexed by ExplanationMethod
+  double completeness[3] = {1.0, 1.0, 1.0};
+};
+
+struct ExpertStudyOptions {
+  int experts = 14;
+  uint64_t seed = 7;
+  // Grader model spread: per-expert leniency bias and per-grade noise (on
+  // the latent quality score before rounding to the 5-point Likert scale).
+  double expert_bias_stddev = 0.45;
+  double grade_noise_stddev = 0.85;
+};
+
+// Intrinsic text quality in [0, 1] as a grader perceives it: a weighted
+// blend of completeness, compactness w.r.t. the deterministic reference,
+// and a fluency proxy (penalizing monotonous "Since ... then ..." chains
+// and repeated fragments). Exposed for tests and ablations.
+double TextQualityScore(const std::string& text,
+                        const std::string& deterministic_reference,
+                        double completeness);
+
+struct ExpertStudyResult {
+  // Likert grades per method, one entry per (expert, scenario) pair.
+  std::vector<double> grades[3];
+  double mean[3] = {0, 0, 0};
+  double stddev[3] = {0, 0, 0};
+  // Pairwise two-sided Wilcoxon signed-rank tests.
+  WilcoxonResult paraphrase_vs_templates;
+  WilcoxonResult summary_vs_templates;
+  WilcoxonResult paraphrase_vs_summary;
+
+  // Figure 16-style table plus the p-values.
+  std::string ToTable() const;
+};
+
+// Runs the simulated expert study: every expert grades every scenario's
+// three texts on a 5-point Likert scale; grades derive from the texts'
+// intrinsic quality plus expert bias and noise. Requires a non-empty
+// scenario list.
+Result<ExpertStudyResult> RunExpertStudy(
+    const std::vector<ExpertScenario>& scenarios,
+    const ExpertStudyOptions& options);
+
+}  // namespace templex
+
+#endif  // TEMPLEX_STUDIES_EXPERT_STUDY_H_

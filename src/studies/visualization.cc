@@ -1,0 +1,100 @@
+#include "studies/visualization.h"
+
+#include <algorithm>
+
+#include "common/number_format.h"
+#include "common/string_util.h"
+
+namespace templex {
+
+VizNode* KgVisualization::FindNode(const std::string& id) {
+  for (VizNode& node : nodes) {
+    if (node.id == id) return &node;
+  }
+  return nullptr;
+}
+
+const VizNode* KgVisualization::FindNode(const std::string& id) const {
+  for (const VizNode& node : nodes) {
+    if (node.id == id) return &node;
+  }
+  return nullptr;
+}
+
+VizNode* KgVisualization::EnsureNode(const std::string& id) {
+  if (VizNode* existing = FindNode(id)) return existing;
+  nodes.push_back(VizNode{id, {}, {}});
+  return &nodes.back();
+}
+
+std::string KgVisualization::ToString() const {
+  std::string text;
+  for (const VizNode& node : nodes) {
+    text += node.id;
+    for (const auto& [key, value] : node.properties) {
+      text += " " + key + "=" + FormatDouble(value);
+    }
+    for (const std::string& marker : node.markers) {
+      text += " [" + marker + "]";
+    }
+    text += "\n";
+  }
+  for (const VizEdge& edge : edges) {
+    text += edge.from + " -" + edge.label;
+    if (edge.has_value) text += "(" + FormatDouble(edge.value) + ")";
+    text += "-> " + edge.to + "\n";
+  }
+  return text;
+}
+
+bool KgVisualization::operator==(const KgVisualization& other) const {
+  return ToString() == other.ToString();
+}
+
+KgVisualization BuildVisualization(const Proof& proof) {
+  KgVisualization viz;
+  auto add_fact = [&viz](const Fact& fact, bool derived) {
+    std::vector<std::string> entities;
+    std::vector<double> numbers;
+    for (const Value& arg : fact.args) {
+      if (arg.is_string()) {
+        entities.push_back(arg.string_value());
+      } else if (arg.is_numeric()) {
+        numbers.push_back(arg.AsDouble());
+      }
+    }
+    if (entities.empty()) return;
+    if (entities.size() == 1) {
+      VizNode* node = viz.EnsureNode(entities[0]);
+      if (!numbers.empty()) {
+        node->properties[ToLower(fact.predicate)] = numbers[0];
+      } else if (derived) {
+        if (std::find(node->markers.begin(), node->markers.end(),
+                      ToLower(fact.predicate)) == node->markers.end()) {
+          node->markers.push_back(ToLower(fact.predicate));
+        }
+      }
+      return;
+    }
+    viz.EnsureNode(entities[0]);
+    viz.EnsureNode(entities[1]);
+    VizEdge edge;
+    edge.from = entities[0];
+    edge.to = entities[1];
+    edge.label = fact.predicate;
+    if (!numbers.empty()) {
+      edge.value = numbers[0];
+      edge.has_value = true;
+    }
+    viz.edges.push_back(std::move(edge));
+  };
+  for (FactId id : proof.edb_facts()) {
+    add_fact(proof.graph().node(id).fact, /*derived=*/false);
+  }
+  for (FactId id : proof.steps()) {
+    add_fact(proof.graph().node(id).fact, /*derived=*/true);
+  }
+  return viz;
+}
+
+}  // namespace templex

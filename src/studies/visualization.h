@@ -1,0 +1,57 @@
+#ifndef TEMPLEX_STUDIES_VISUALIZATION_H_
+#define TEMPLEX_STUDIES_VISUALIZATION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "engine/proof.h"
+
+namespace templex {
+
+// A "visual KG" as shown to comprehension-study participants (§6.1): the
+// graph rendering of the knowledge a textual explanation describes, kept as
+// data so simulated readers can check it against the text. Figures 12/13
+// are instances of this shape.
+struct VizNode {
+  std::string id;
+  // Numeric properties, e.g. {"capital": 5, "shock": 14}.
+  std::map<std::string, double> properties;
+  // Flag-like derived markers, e.g. {"default"}.
+  std::vector<std::string> markers;
+};
+
+struct VizEdge {
+  std::string from;
+  std::string to;
+  std::string label;   // predicate, e.g. "Own", "LongTermDebts", "Control"
+  double value = 0.0;  // share / amount
+  bool has_value = false;
+};
+
+struct KgVisualization {
+  std::vector<VizNode> nodes;
+  std::vector<VizEdge> edges;
+
+  VizNode* FindNode(const std::string& id);
+  const VizNode* FindNode(const std::string& id) const;
+  VizNode* EnsureNode(const std::string& id);
+
+  // Stable textual rendering (tests, debugging).
+  std::string ToString() const;
+
+  bool operator==(const KgVisualization& other) const;
+};
+
+// Builds the ground-truth visualization of a proof: every fact of the proof
+// (extensional and derived) becomes a node property, marker, or edge:
+//  - Fact(entity)                      -> node
+//  - Fact(entity, number)              -> node property named after the
+//                                         predicate (lower-cased)
+//  - Fact(entity, entity [, number]..) -> edge (first value = edge value)
+//  - derived 1-ary facts               -> node markers ("default")
+KgVisualization BuildVisualization(const Proof& proof);
+
+}  // namespace templex
+
+#endif  // TEMPLEX_STUDIES_VISUALIZATION_H_

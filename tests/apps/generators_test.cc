@@ -1,0 +1,160 @@
+#include "apps/generators.h"
+
+#include <cmath>
+#include <set>
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "apps/programs.h"
+#include "engine/chase.h"
+#include "engine/proof.h"
+
+namespace templex {
+namespace {
+
+int ActualChaseSteps(const Program& program, const SampledInstance& instance) {
+  auto result = ChaseEngine().Run(program, instance.edb);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  auto goal = result.value().Find(instance.goal);
+  EXPECT_TRUE(goal.ok()) << "goal not derived: " << instance.goal.ToString();
+  if (!goal.ok()) return -1;
+  return Proof::Extract(result.value().graph, goal.value()).num_chase_steps();
+}
+
+TEST(GeneratorsTest, ControlChainHitsExactProofLength) {
+  Rng rng(1);
+  Program program = CompanyControlProgram();
+  for (int steps : {1, 2, 3, 5, 9, 15, 21}) {
+    SampledInstance instance = SampleControlChain(steps, &rng);
+    EXPECT_EQ(instance.expected_chase_steps, steps);
+    EXPECT_EQ(ActualChaseSteps(program, instance), steps) << steps;
+  }
+}
+
+TEST(GeneratorsTest, ControlStarHitsExactProofLength) {
+  Rng rng(2);
+  Program program = CompanyControlProgram();
+  for (int contributors : {1, 2, 3, 5, 8}) {
+    SampledInstance instance = SampleControlStar(contributors, &rng);
+    EXPECT_EQ(instance.expected_chase_steps, contributors + 1);
+    EXPECT_EQ(ActualChaseSteps(program, instance), contributors + 1)
+        << contributors;
+  }
+}
+
+TEST(GeneratorsTest, ControlStarNeedsAllContributors) {
+  Rng rng(3);
+  Program program = CompanyControlProgram();
+  SampledInstance instance = SampleControlStar(4, &rng);
+  // Dropping any single minority edge breaks the joint control.
+  for (size_t drop = 0; drop < instance.edb.size(); ++drop) {
+    const Fact& fact = instance.edb[drop];
+    if (fact.args[2].AsDouble() > 0.5) continue;  // keep majority edges
+    std::vector<Fact> reduced;
+    for (size_t i = 0; i < instance.edb.size(); ++i) {
+      if (i != drop) reduced.push_back(instance.edb[i]);
+    }
+    auto result = ChaseEngine().Run(program, reduced);
+    ASSERT_TRUE(result.ok());
+    EXPECT_FALSE(result.value().Find(instance.goal).ok())
+        << "control survives without contributor " << fact.ToString();
+  }
+}
+
+TEST(GeneratorsTest, StressCascadeHitsExactProofLength) {
+  Rng rng(4);
+  Program program = StressTestProgram();
+  for (int steps : {1, 3, 4, 5, 7, 10, 16, 22}) {
+    SampledInstance instance = SampleStressCascade(steps, 1, &rng);
+    EXPECT_EQ(instance.expected_chase_steps, steps) << steps;
+    EXPECT_EQ(ActualChaseSteps(program, instance), steps) << steps;
+  }
+}
+
+TEST(GeneratorsTest, StressCascadeTwoStepsRoundsUp) {
+  Rng rng(5);
+  SampledInstance instance = SampleStressCascade(2, 1, &rng);
+  EXPECT_EQ(instance.expected_chase_steps, 3);
+}
+
+TEST(GeneratorsTest, StressCascadeWithSplitDebtsKeepsLength) {
+  Rng rng(6);
+  Program program = StressTestProgram();
+  SampledInstance instance = SampleStressCascade(7, 3, &rng);
+  EXPECT_EQ(ActualChaseSteps(program, instance), 7);
+  // Aggregations now have multiple contributor facts.
+  int debts = 0;
+  for (const Fact& fact : instance.edb) {
+    if (fact.predicate == "LongTermDebts" ||
+        fact.predicate == "ShortTermDebts") {
+      ++debts;
+    }
+  }
+  EXPECT_GT(debts, 3);
+}
+
+TEST(GeneratorsTest, OwnershipNetworkDeterministicPerSeed) {
+  OwnershipNetworkOptions options;
+  Rng rng1(7);
+  Rng rng2(7);
+  auto a = GenerateOwnershipNetwork(options, &rng1);
+  auto b = GenerateOwnershipNetwork(options, &rng2);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(GeneratorsTest, OwnershipNetworkChaseTerminates) {
+  OwnershipNetworkOptions options;
+  options.companies = 25;
+  Rng rng(8);
+  auto facts = GenerateOwnershipNetwork(options, &rng);
+  auto result = ChaseEngine().Run(CompanyControlProgram(), facts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result.value().FactsOf("Control").empty());
+}
+
+TEST(GeneratorsTest, OwnershipNetworkNoSelfOrDuplicateEdges) {
+  OwnershipNetworkOptions options;
+  Rng rng(9);
+  auto facts = GenerateOwnershipNetwork(options, &rng);
+  std::set<std::pair<std::string, std::string>> seen;
+  for (const Fact& fact : facts) {
+    if (fact.predicate != "Own") continue;
+    auto from = fact.args[0].string_value();
+    auto to = fact.args[1].string_value();
+    EXPECT_NE(from, to);
+    EXPECT_TRUE(seen.emplace(from, to).second)
+        << "duplicate edge " << from << "->" << to;
+  }
+}
+
+TEST(GeneratorsTest, DebtNetworkCascades) {
+  DebtNetworkOptions options;
+  Rng rng(10);
+  auto facts = GenerateDebtNetwork(options, &rng);
+  auto result = ChaseEngine().Run(StressTestProgram(), facts);
+  ASSERT_TRUE(result.ok());
+  // The guaranteed cascade sinks at least the institutions on the chain.
+  EXPECT_GE(result.value().FactsOf("Default").size(),
+            static_cast<size_t>(options.cascade_length));
+}
+
+TEST(GeneratorsTest, OwnershipDagIsAcyclicAndChaseable) {
+  OwnershipDagOptions options;
+  Rng rng(11);
+  auto facts = GenerateOwnershipDag(options, &rng);
+  ASSERT_FALSE(facts.empty());
+  auto result = ChaseEngine().Run(CloseLinksProgram(), facts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+}
+
+TEST(GeneratorsTest, CompanyNamesAreDistinctAndStable) {
+  EXPECT_EQ(CompanyName(3), CompanyName(3));
+  std::set<std::string> names;
+  for (int i = 0; i < 100; ++i) names.insert(CompanyName(i));
+  EXPECT_EQ(names.size(), 100u);
+}
+
+}  // namespace
+}  // namespace templex

@@ -1,0 +1,88 @@
+#include "apps/programs.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/glossaries.h"
+
+namespace templex {
+namespace {
+
+TEST(ProgramsTest, AllProgramsValidate) {
+  EXPECT_TRUE(SimplifiedStressTestProgram().Validate().ok());
+  EXPECT_TRUE(CompanyControlProgram().Validate().ok());
+  EXPECT_TRUE(StressTestProgram().Validate().ok());
+  EXPECT_TRUE(CloseLinksProgram().Validate().ok());
+}
+
+TEST(ProgramsTest, GoalsSet) {
+  EXPECT_EQ(SimplifiedStressTestProgram().goal_predicate(), "Default");
+  EXPECT_EQ(CompanyControlProgram().goal_predicate(), "Control");
+  EXPECT_EQ(StressTestProgram().goal_predicate(), "Default");
+  EXPECT_EQ(CloseLinksProgram().goal_predicate(), "CloseLink");
+}
+
+TEST(ProgramsTest, RuleLabelsMatchPaper) {
+  Program control = CompanyControlProgram();
+  EXPECT_NE(control.FindRule("sigma1"), nullptr);
+  EXPECT_NE(control.FindRule("sigma2"), nullptr);
+  EXPECT_NE(control.FindRule("sigma3"), nullptr);
+  Program stress = StressTestProgram();
+  for (const char* label : {"sigma4", "sigma5", "sigma6", "sigma7"}) {
+    EXPECT_NE(stress.FindRule(label), nullptr) << label;
+  }
+}
+
+TEST(ProgramsTest, AggregationsWhereThePaperHasThem) {
+  Program control = CompanyControlProgram();
+  EXPECT_FALSE(control.FindRule("sigma1")->has_aggregate());
+  EXPECT_FALSE(control.FindRule("sigma2")->has_aggregate());
+  EXPECT_TRUE(control.FindRule("sigma3")->has_aggregate());
+  Program stress = StressTestProgram();
+  EXPECT_FALSE(stress.FindRule("sigma4")->has_aggregate());
+  EXPECT_TRUE(stress.FindRule("sigma5")->has_aggregate());
+  EXPECT_TRUE(stress.FindRule("sigma6")->has_aggregate());
+  EXPECT_TRUE(stress.FindRule("sigma7")->has_aggregate());
+}
+
+TEST(ProgramsTest, ChannelConstantsInRiskHeads) {
+  Program stress = StressTestProgram();
+  const Rule* sigma5 = stress.FindRule("sigma5");
+  ASSERT_EQ(sigma5->head.predicate, "Risk");
+  EXPECT_EQ(sigma5->head.terms[2].constant_value(), Value::String("long"));
+  const Rule* sigma6 = stress.FindRule("sigma6");
+  EXPECT_EQ(sigma6->head.terms[2].constant_value(), Value::String("short"));
+}
+
+TEST(GlossariesTest, CoverEveryProgramPredicate) {
+  struct Pair {
+    Program program;
+    DomainGlossary glossary;
+  };
+  std::vector<Pair> pairs;
+  pairs.push_back({SimplifiedStressTestProgram(),
+                   SimplifiedStressTestGlossary()});
+  pairs.push_back({CompanyControlProgram(), CompanyControlGlossary()});
+  pairs.push_back({StressTestProgram(), StressTestGlossary()});
+  pairs.push_back({CloseLinksProgram(), CloseLinksGlossary()});
+  for (const Pair& pair : pairs) {
+    for (const std::string& predicate : pair.program.Predicates()) {
+      EXPECT_TRUE(pair.glossary.Has(predicate))
+          << "missing glossary entry for " << predicate;
+    }
+  }
+}
+
+TEST(GlossariesTest, SharesUsePercentStyle) {
+  DomainGlossary glossary = CompanyControlGlossary();
+  EXPECT_EQ(glossary.StyleFor("Own", 2), NumberStyle::kPercent);
+}
+
+TEST(GlossariesTest, AmountsUseMillionsStyle) {
+  DomainGlossary glossary = StressTestGlossary();
+  EXPECT_EQ(glossary.StyleFor("HasCapital", 1), NumberStyle::kMillions);
+  EXPECT_EQ(glossary.StyleFor("LongTermDebts", 2), NumberStyle::kMillions);
+  EXPECT_EQ(glossary.StyleFor("Shock", 1), NumberStyle::kMillions);
+}
+
+}  // namespace
+}  // namespace templex

@@ -1,0 +1,92 @@
+#include "apps/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/glossaries.h"
+#include "apps/programs.h"
+#include "engine/chase.h"
+#include "engine/proof.h"
+#include "explain/explainer.h"
+
+namespace templex {
+namespace {
+
+Value S(const char* s) { return Value::String(s); }
+
+TEST(ScenarioTest, ControlQueryDerivable) {
+  RepresentativeScenario scenario = MakeRepresentativeScenario();
+  auto chase =
+      ChaseEngine().Run(CompanyControlProgram(), scenario.control_edb);
+  ASSERT_TRUE(chase.ok()) << chase.status().ToString();
+  EXPECT_TRUE(chase.value().Find(scenario.control_query).ok());
+}
+
+TEST(ScenarioTest, ControlBtoDUsesSigma1Sigma3Path) {
+  // §5: "the corresponding reasoning path followed [for Control(B, D)] is
+  // Π2" = {σ1, σ3}.
+  RepresentativeScenario scenario = MakeRepresentativeScenario();
+  auto chase =
+      ChaseEngine().Run(CompanyControlProgram(), scenario.control_edb);
+  ASSERT_TRUE(chase.ok());
+  FactId goal = chase.value().Find(scenario.control_query).value();
+  Proof proof = Proof::Extract(chase.value().graph, goal);
+  EXPECT_EQ(proof.RuleLabelSequence(),
+            (std::vector<std::string>{"sigma1", "sigma3"}));
+}
+
+TEST(ScenarioTest, JointControlOfCDerived) {
+  RepresentativeScenario scenario = MakeRepresentativeScenario();
+  auto chase =
+      ChaseEngine().Run(CompanyControlProgram(), scenario.control_edb);
+  ASSERT_TRUE(chase.ok());
+  // A controls C jointly (30% direct + 25% via B).
+  EXPECT_TRUE(chase.value().Find({"Control", {S("A"), S("C")}}).ok());
+}
+
+TEST(ScenarioTest, StressCascadeReachesF) {
+  RepresentativeScenario scenario = MakeRepresentativeScenario();
+  auto chase = ChaseEngine().Run(StressTestProgram(), scenario.stress_edb);
+  ASSERT_TRUE(chase.ok()) << chase.status().ToString();
+  // The §5 narrative: A, B, C, F default; D, E, G hold.
+  for (const char* defaulted : {"A", "B", "C", "F"}) {
+    EXPECT_TRUE(chase.value().Find({"Default", {S(defaulted)}}).ok())
+        << defaulted;
+  }
+  for (const char* holds : {"D", "E", "G"}) {
+    EXPECT_FALSE(chase.value().Find({"Default", {S(holds)}}).ok()) << holds;
+  }
+}
+
+TEST(ScenarioTest, DefaultFExplanationMatchesNarrative) {
+  RepresentativeScenario scenario = MakeRepresentativeScenario();
+  auto explainer =
+      Explainer::Create(StressTestProgram(), StressTestGlossary());
+  ASSERT_TRUE(explainer.ok());
+  auto chase = ChaseEngine().Run(StressTestProgram(), scenario.stress_edb);
+  ASSERT_TRUE(chase.ok());
+  auto text =
+      explainer.value()->Explain(chase.value(), scenario.stress_query);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  // The §5 explanation mentions the 14M shock, capitals 5M/4M/8M/9M, the
+  // 7M and 9M debts, and F's total 11M exposure.
+  for (const char* snippet :
+       {"14M", "5M", "4M", "8M", "9M", "7M", "11M", "A", "B", "C", "F"}) {
+    EXPECT_NE(text.value().find(snippet), std::string::npos)
+        << "missing " << snippet << "\nin: " << text.value();
+  }
+}
+
+TEST(ScenarioTest, FDefaultProofCombinesBothChannels) {
+  RepresentativeScenario scenario = MakeRepresentativeScenario();
+  auto chase = ChaseEngine().Run(StressTestProgram(), scenario.stress_edb);
+  ASSERT_TRUE(chase.ok());
+  FactId goal = chase.value().Find(scenario.stress_query).value();
+  Proof proof = Proof::Extract(chase.value().graph, goal);
+  auto labels = proof.RuleLabelSequence();
+  // Both channel rules appear in F's derivation.
+  EXPECT_NE(std::find(labels.begin(), labels.end(), "sigma5"), labels.end());
+  EXPECT_NE(std::find(labels.begin(), labels.end(), "sigma6"), labels.end());
+}
+
+}  // namespace
+}  // namespace templex

@@ -1,0 +1,50 @@
+#include "common/number_format.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace templex {
+namespace {
+
+TEST(FormatDoubleTest, IntegralValuesHaveNoDecimalPoint) {
+  EXPECT_EQ(FormatDouble(7.0), "7");
+  EXPECT_EQ(FormatDouble(-3.0), "-3");
+  EXPECT_EQ(FormatDouble(0.0), "0");
+  EXPECT_EQ(FormatDouble(1000000.0), "1000000");
+}
+
+TEST(FormatDoubleTest, StripsTrailingZeros) {
+  EXPECT_EQ(FormatDouble(0.5), "0.5");
+  EXPECT_EQ(FormatDouble(11.25), "11.25");
+  EXPECT_EQ(FormatDouble(0.830000), "0.83");
+}
+
+TEST(FormatDoubleTest, SpecialValues) {
+  EXPECT_EQ(FormatDouble(std::nan("")), "nan");
+  EXPECT_EQ(FormatDouble(INFINITY), "inf");
+  EXPECT_EQ(FormatDouble(-INFINITY), "-inf");
+}
+
+TEST(FormatNumberTest, Millions) {
+  EXPECT_EQ(FormatNumber(7, NumberStyle::kMillions), "7M");
+  EXPECT_EQ(FormatNumber(11.5, NumberStyle::kMillions), "11.5M");
+}
+
+TEST(FormatNumberTest, Percent) {
+  EXPECT_EQ(FormatNumber(0.83, NumberStyle::kPercent), "83%");
+  EXPECT_EQ(FormatNumber(0.5, NumberStyle::kPercent), "50%");
+  EXPECT_EQ(FormatNumber(0.057, NumberStyle::kPercent), "5.7%");
+}
+
+TEST(FormatNumberTest, Plain) {
+  EXPECT_EQ(FormatNumber(0.83, NumberStyle::kPlain), "0.83");
+}
+
+TEST(FormatIntTest, Basic) {
+  EXPECT_EQ(FormatInt(1234), "1234");
+  EXPECT_EQ(FormatInt(-5), "-5");
+}
+
+}  // namespace
+}  // namespace templex

@@ -1,0 +1,80 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace templex {
+namespace {
+
+TEST(JoinTest, Basic) {
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"a"}, ", "), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(JoinWithConjunctionTest, TextualConjunction) {
+  EXPECT_EQ(JoinWithConjunction({}, ", ", " and "), "");
+  EXPECT_EQ(JoinWithConjunction({"2M"}, ", ", " and "), "2M");
+  EXPECT_EQ(JoinWithConjunction({"2M", "9M"}, ", ", " and "), "2M and 9M");
+  EXPECT_EQ(JoinWithConjunction({"a", "b", "c"}, ", ", " and "),
+            "a, b and c");
+}
+
+TEST(SplitTest, KeepsEmptyPieces) {
+  EXPECT_EQ(Split("a,b,,c", ',').size(), 4u);
+  EXPECT_EQ(Split("abc", ',').size(), 1u);
+  EXPECT_EQ(Split("", ',').size(), 1u);
+  EXPECT_EQ(Split("a,", ',')[1], "");
+}
+
+TEST(TrimTest, RemovesWhitespace) {
+  EXPECT_EQ(Trim("  a b  "), "a b");
+  EXPECT_EQ(Trim("\t\n x \r"), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(ReplaceAllTest, ReplacesEveryOccurrence) {
+  EXPECT_EQ(ReplaceAll("<x> and <x>", "<x>", "A"), "A and A");
+  EXPECT_EQ(ReplaceAll("abc", "d", "e"), "abc");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");  // non-overlapping
+  EXPECT_EQ(ReplaceAll("abc", "", "x"), "abc");   // empty needle is a no-op
+}
+
+TEST(ContainsTest, Substring) {
+  EXPECT_TRUE(Contains("hello world", "lo wo"));
+  EXPECT_FALSE(Contains("hello", "world"));
+  EXPECT_TRUE(Contains("x", ""));
+}
+
+TEST(CaseTest, LowerUpperCapitalize) {
+  EXPECT_EQ(ToLower("AbC1"), "abc1");
+  EXPECT_EQ(ToUpper("AbC1"), "ABC1");
+  EXPECT_EQ(Capitalize("hello"), "Hello");
+  EXPECT_EQ(Capitalize(""), "");
+  EXPECT_EQ(Capitalize("1x"), "1x");
+}
+
+TEST(CountOccurrencesTest, NonOverlapping) {
+  EXPECT_EQ(CountOccurrences("ababab", "ab"), 3);
+  EXPECT_EQ(CountOccurrences("aaaa", "aa"), 2);
+  EXPECT_EQ(CountOccurrences("abc", ""), 0);
+  EXPECT_EQ(CountOccurrences("", "a"), 0);
+}
+
+TEST(SplitSentencesTest, SplitsOnTerminators) {
+  auto sentences = SplitSentences("One. Two! Three? Four");
+  ASSERT_EQ(sentences.size(), 4u);
+  EXPECT_EQ(sentences[0], "One.");
+  EXPECT_EQ(sentences[1], "Two!");
+  EXPECT_EQ(sentences[2], "Three?");
+  EXPECT_EQ(sentences[3], "Four");
+}
+
+TEST(SplitSentencesTest, IgnoresEmptyTails) {
+  EXPECT_EQ(SplitSentences("Only one sentence.").size(), 1u);
+  EXPECT_EQ(SplitSentences("").size(), 0u);
+  EXPECT_EQ(SplitSentences("   ").size(), 0u);
+}
+
+}  // namespace
+}  // namespace templex

@@ -1,0 +1,107 @@
+#include "core/dependency_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/programs.h"
+
+namespace templex {
+namespace {
+
+template <typename T>
+bool Has(const std::vector<T>& v, const T& x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+TEST(DependencyGraphTest, SimplifiedStressTestStructure) {
+  DependencyGraph graph = DependencyGraph::Build(SimplifiedStressTestProgram());
+  // Figure 3: nodes Shock, HasCapital, Default, Debts, Risk.
+  EXPECT_EQ(graph.predicates().size(), 5u);
+  EXPECT_EQ(graph.leaf(), "Default");
+  auto roots = graph.Roots();
+  EXPECT_TRUE(Has<std::string>(roots, "Shock"));
+  EXPECT_TRUE(Has<std::string>(roots, "HasCapital"));
+  EXPECT_TRUE(Has<std::string>(roots, "Debts"));
+  EXPECT_FALSE(Has<std::string>(roots, "Default"));
+}
+
+TEST(DependencyGraphTest, EdgesLabeledByRules) {
+  DependencyGraph graph = DependencyGraph::Build(SimplifiedStressTestProgram());
+  bool found = false;
+  for (const DependencyEdge& e : graph.edges()) {
+    if (e.from == "Default" && e.to == "Risk" && e.rule_label == "beta") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DependencyGraphTest, CyclicityMatchesRecursion) {
+  EXPECT_TRUE(DependencyGraph::Build(SimplifiedStressTestProgram()).IsCyclic());
+  EXPECT_TRUE(DependencyGraph::Build(CompanyControlProgram()).IsCyclic());
+  EXPECT_TRUE(DependencyGraph::Build(StressTestProgram()).IsCyclic());
+  EXPECT_TRUE(DependencyGraph::Build(CloseLinksProgram()).IsCyclic());
+}
+
+TEST(DependencyGraphTest, DependsOnReachability) {
+  DependencyGraph graph = DependencyGraph::Build(SimplifiedStressTestProgram());
+  EXPECT_TRUE(graph.DependsOn("Shock", "Default"));
+  EXPECT_TRUE(graph.DependsOn("Shock", "Risk"));     // via Default
+  EXPECT_TRUE(graph.DependsOn("Default", "Default"));  // on a cycle
+  EXPECT_FALSE(graph.DependsOn("Default", "Shock"));
+  EXPECT_FALSE(graph.DependsOn("Shock", "Shock"));  // not on a cycle
+}
+
+TEST(DependencyGraphTest, DerivingRules) {
+  DependencyGraph graph = DependencyGraph::Build(StressTestProgram());
+  EXPECT_EQ(graph.DerivingRules("Default"),
+            (std::vector<std::string>{"sigma4", "sigma7"}));
+  EXPECT_EQ(graph.DerivingRules("Risk"),
+            (std::vector<std::string>{"sigma5", "sigma6"}));
+  EXPECT_TRUE(graph.DerivingRules("Shock").empty());
+}
+
+TEST(DependencyGraphTest, CriticalNodesSimplified) {
+  // Example 4.3: "the dependency graph contains a critical node, i.e., the
+  // leaf node Default itself" — Risk is NOT critical.
+  DependencyGraph graph = DependencyGraph::Build(SimplifiedStressTestProgram());
+  EXPECT_EQ(graph.CriticalNodes(), (std::vector<std::string>{"Default"}));
+}
+
+TEST(DependencyGraphTest, CriticalNodesCompanyControl) {
+  DependencyGraph graph = DependencyGraph::Build(CompanyControlProgram());
+  EXPECT_EQ(graph.CriticalNodes(), (std::vector<std::string>{"Control"}));
+}
+
+TEST(DependencyGraphTest, CriticalNodesStressTest) {
+  // Risk is derived by two rules but has a single outgoing edge: not
+  // critical (otherwise Figure 10's Π7-Π9 could not pass through it).
+  DependencyGraph graph = DependencyGraph::Build(StressTestProgram());
+  EXPECT_EQ(graph.CriticalNodes(), (std::vector<std::string>{"Default"}));
+}
+
+TEST(DependencyGraphTest, CriticalNodesCloseLinks) {
+  // IntOwn feeds both kappa2 and kappa3: out-degree 2 -> critical, plus the
+  // leaf CloseLink.
+  DependencyGraph graph = DependencyGraph::Build(CloseLinksProgram());
+  auto criticals = graph.CriticalNodes();
+  EXPECT_TRUE(Has<std::string>(criticals, "IntOwn"));
+  EXPECT_TRUE(Has<std::string>(criticals, "CloseLink"));
+}
+
+TEST(DependencyGraphTest, OutDegreeCountsParallelRuleEdges) {
+  DependencyGraph graph = DependencyGraph::Build(StressTestProgram());
+  EXPECT_EQ(graph.OutDegree("Default"), 2);     // sigma5, sigma6
+  EXPECT_EQ(graph.OutDegree("Risk"), 1);        // sigma7
+  EXPECT_EQ(graph.OutDegree("HasCapital"), 2);  // sigma4, sigma7
+}
+
+TEST(DependencyGraphTest, ToDotRendersNodesAndEdges) {
+  DependencyGraph graph = DependencyGraph::Build(CompanyControlProgram());
+  std::string dot = graph.ToDot();
+  EXPECT_NE(dot.find("\"Own\""), std::string::npos);
+  EXPECT_NE(dot.find("\"Control\" -> \"Control\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"sigma3\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace templex

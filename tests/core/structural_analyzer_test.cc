@@ -1,0 +1,190 @@
+#include "core/structural_analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/programs.h"
+#include "datalog/parser.h"
+
+namespace templex {
+namespace {
+
+// Collects the rule sets of paths of a given kind as sets-of-sets for
+// order-insensitive comparison with the paper's tables.
+std::set<std::set<std::string>> RuleSets(
+    const std::vector<ReasoningPath>& paths) {
+  std::set<std::set<std::string>> sets;
+  for (const ReasoningPath& p : paths) {
+    sets.insert(std::set<std::string>(p.rules.begin(), p.rules.end()));
+  }
+  return sets;
+}
+
+TEST(StructuralAnalyzerTest, RequiresGoal) {
+  Program program = ParseProgram("a: P(x) -> Q(x).").value();
+  EXPECT_FALSE(AnalyzeProgram(program).ok());
+}
+
+TEST(StructuralAnalyzerTest, SimplifiedStressTestMatchesFigures4And5) {
+  auto analysis = AnalyzeProgram(SimplifiedStressTestProgram());
+  ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+  // Figure 4: Π1 = {α}, Π2 = {α, β, γ}; Γ1 = {β, γ}.
+  EXPECT_EQ(RuleSets(analysis.value().simple_paths),
+            (std::set<std::set<std::string>>{{"alpha"},
+                                             {"alpha", "beta", "gamma"}}));
+  EXPECT_EQ(RuleSets(analysis.value().cycles),
+            (std::set<std::set<std::string>>{{"beta", "gamma"}}));
+  // Figure 5: one aggregation variant for Π2 and one for Γ1 (β aggregates).
+  int variants = 0;
+  for (const ReasoningPath& p : analysis.value().catalog) {
+    if (p.is_aggregation_variant()) {
+      ++variants;
+      EXPECT_EQ(p.multi_agg_rules, (std::vector<std::string>{"beta"}));
+    }
+  }
+  EXPECT_EQ(variants, 2);
+}
+
+TEST(StructuralAnalyzerTest, CompanyControlMatchesFigure10) {
+  auto analysis = AnalyzeProgram(CompanyControlProgram());
+  ASSERT_TRUE(analysis.ok());
+  // Figure 10: Π1..Π5 = {σ1}, {σ1,σ3}, {σ2}, {σ2,σ3}, {σ1,σ2,σ3}; Γ1={σ3}.
+  EXPECT_EQ(RuleSets(analysis.value().simple_paths),
+            (std::set<std::set<std::string>>{
+                {"sigma1"},
+                {"sigma2"},
+                {"sigma1", "sigma3"},
+                {"sigma2", "sigma3"},
+                {"sigma1", "sigma2", "sigma3"}}));
+  EXPECT_EQ(RuleSets(analysis.value().cycles),
+            (std::set<std::set<std::string>>{{"sigma3"}}));
+}
+
+TEST(StructuralAnalyzerTest, StressTestMatchesFigure10) {
+  auto analysis = AnalyzeProgram(StressTestProgram());
+  ASSERT_TRUE(analysis.ok());
+  // Figure 10: Π6..Π9 and Γ2..Γ4.
+  EXPECT_EQ(RuleSets(analysis.value().simple_paths),
+            (std::set<std::set<std::string>>{
+                {"sigma4"},
+                {"sigma4", "sigma5", "sigma7"},
+                {"sigma4", "sigma6", "sigma7"},
+                {"sigma4", "sigma5", "sigma6", "sigma7"}}));
+  EXPECT_EQ(RuleSets(analysis.value().cycles),
+            (std::set<std::set<std::string>>{
+                {"sigma5", "sigma7"},
+                {"sigma6", "sigma7"},
+                {"sigma5", "sigma6", "sigma7"}}));
+}
+
+TEST(StructuralAnalyzerTest, PathsAreTopologicallyOrdered) {
+  auto analysis = AnalyzeProgram(StressTestProgram());
+  ASSERT_TRUE(analysis.ok());
+  for (const ReasoningPath& p : analysis.value().simple_paths) {
+    if (p.rules.size() < 2) continue;
+    // sigma4 grounds every longer path and must come first; the rule
+    // deriving the target (sigma7) must come last.
+    EXPECT_EQ(p.rules.front(), "sigma4") << p.ToString();
+    EXPECT_EQ(p.rules.back(), "sigma7") << p.ToString();
+  }
+}
+
+TEST(StructuralAnalyzerTest, CyclesRequireAnchorUse) {
+  auto analysis = AnalyzeProgram(CompanyControlProgram());
+  ASSERT_TRUE(analysis.ok());
+  // σ1 and σ2 derive the leaf without consuming it: not cycles.
+  for (const ReasoningPath& cycle : analysis.value().cycles) {
+    EXPECT_NE(std::find(cycle.rules.begin(), cycle.rules.end(), "sigma3"),
+              cycle.rules.end());
+  }
+}
+
+TEST(StructuralAnalyzerTest, CloseLinksHasTwoCriticalTargets) {
+  auto analysis = AnalyzeProgram(CloseLinksProgram());
+  ASSERT_TRUE(analysis.ok());
+  // Simple paths target both the leaf (CloseLink) and the critical IntOwn.
+  std::set<std::string> targets;
+  for (const ReasoningPath& p : analysis.value().simple_paths) {
+    targets.insert(p.target);
+  }
+  EXPECT_EQ(targets,
+            (std::set<std::string>{"CloseLink", "IntOwn"}));
+  // Cycles: IntOwn -> IntOwn via kappa2, IntOwn -> CloseLink via kappa3.
+  std::set<std::pair<std::string, std::string>> anchor_targets;
+  for (const ReasoningPath& c : analysis.value().cycles) {
+    anchor_targets.emplace(c.anchor, c.target);
+  }
+  EXPECT_TRUE(anchor_targets.count({"IntOwn", "IntOwn"}) > 0);
+  EXPECT_TRUE(anchor_targets.count({"IntOwn", "CloseLink"}) > 0);
+}
+
+TEST(StructuralAnalyzerTest, VariantsEnumerateAggregationSubsets) {
+  auto analysis = AnalyzeProgram(StressTestProgram());
+  ASSERT_TRUE(analysis.ok());
+  // Π9 = {σ4, σ5, σ6, σ7} has three aggregation rules -> 7 variants + base.
+  int pi9_entries = 0;
+  for (const ReasoningPath& p : analysis.value().catalog) {
+    if (p.kind == ReasoningPath::Kind::kSimplePath && p.rules.size() == 4) {
+      ++pi9_entries;
+    }
+  }
+  EXPECT_EQ(pi9_entries, 8);
+}
+
+TEST(StructuralAnalyzerTest, NamesAreUnique) {
+  auto analysis = AnalyzeProgram(StressTestProgram());
+  ASSERT_TRUE(analysis.ok());
+  std::set<std::string> names;
+  for (const ReasoningPath& p : analysis.value().catalog) {
+    EXPECT_TRUE(names.insert(p.name).second) << "duplicate name " << p.name;
+  }
+}
+
+TEST(StructuralAnalyzerTest, NonRecursiveProgramHasNoCycles) {
+  Program program = ParseProgram(R"(
+@goal Q.
+a: P(x) -> Q(x).
+b: R(x), P(x) -> Q(x).
+)")
+                        .value();
+  auto analysis = AnalyzeProgram(program);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_TRUE(analysis.value().cycles.empty());
+  EXPECT_EQ(analysis.value().simple_paths.size(), 2u);
+}
+
+TEST(StructuralAnalyzerTest, MaxPathsGuard) {
+  AnalyzerOptions options;
+  options.max_paths = 1;
+  auto analysis = AnalyzeProgram(CompanyControlProgram(), options);
+  EXPECT_FALSE(analysis.ok());
+  EXPECT_EQ(analysis.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(StructuralAnalyzerTest, ToTableMarksAggregationVariants) {
+  auto analysis = AnalyzeProgram(SimplifiedStressTestProgram());
+  ASSERT_TRUE(analysis.ok());
+  std::string table = analysis.value().ToTable();
+  EXPECT_NE(table.find("Simple Reasoning Paths:"), std::string::npos);
+  EXPECT_NE(table.find("Reasoning Cycles:"), std::string::npos);
+  EXPECT_NE(table.find("{alpha, beta, gamma} *"), std::string::npos);
+}
+
+TEST(ReasoningPathTest, SameRuleSetIsOrderInsensitive) {
+  ReasoningPath path;
+  path.rules = {"a", "b"};
+  EXPECT_TRUE(path.SameRuleSet({"b", "a"}));
+  EXPECT_FALSE(path.SameRuleSet({"a"}));
+  EXPECT_FALSE(path.SameRuleSet({"a", "a"}));
+}
+
+TEST(ReasoningPathTest, ToStringUsesSetNotation) {
+  ReasoningPath path;
+  path.name = "Pi2";
+  path.rules = {"alpha", "beta"};
+  EXPECT_EQ(path.ToString(), "Pi2 = {alpha, beta}");
+}
+
+}  // namespace
+}  // namespace templex

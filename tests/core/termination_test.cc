@@ -1,0 +1,129 @@
+#include "core/termination.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/programs.h"
+#include "datalog/parser.h"
+
+namespace templex {
+namespace {
+
+TEST(SccTest, LinearProgramHasSingletonComponents) {
+  Program program = ParseProgram("a: P(x) -> Q(x).\nb: Q(x) -> R(x).").value();
+  auto sccs = PredicateSccs(program);
+  EXPECT_EQ(sccs.size(), 3u);
+  for (const auto& component : sccs) {
+    EXPECT_EQ(component.size(), 1u);
+  }
+}
+
+TEST(SccTest, MutualRecursionGrouped) {
+  Program program = ParseProgram(R"(
+a: P(x) -> Q(x).
+b: Q(x) -> P(x).
+c: Q(x) -> R(x).
+)")
+                        .value();
+  auto sccs = PredicateSccs(program);
+  bool found_pair = false;
+  for (const auto& component : sccs) {
+    if (component == std::vector<std::string>{"P", "Q"}) found_pair = true;
+  }
+  EXPECT_TRUE(found_pair);
+}
+
+TEST(SccTest, StressTestComponents) {
+  auto sccs = PredicateSccs(StressTestProgram());
+  // Default and Risk are mutually recursive.
+  bool found = false;
+  for (const auto& component : sccs) {
+    if (component == std::vector<std::string>{"Default", "Risk"}) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TerminationTest, PaperApplicationsGuaranteed) {
+  for (Program program :
+       {SimplifiedStressTestProgram(), CompanyControlProgram(),
+        StressTestProgram(), GoldenPowerProgram()}) {
+    auto analysis = AnalyzeTermination(program);
+    ASSERT_TRUE(analysis.ok());
+    EXPECT_EQ(analysis.value().verdict, TerminationVerdict::kGuaranteed)
+        << analysis.value().ToString();
+  }
+}
+
+TEST(TerminationTest, CloseLinksFlagged) {
+  // kappa2 computes a head share by multiplication inside the IntOwn
+  // recursion: divergent on cyclic ownership.
+  auto analysis = AnalyzeTermination(CloseLinksProgram());
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_EQ(analysis.value().verdict, TerminationVerdict::kDataDependent);
+  ASSERT_EQ(analysis.value().warnings.size(), 1u);
+  EXPECT_EQ(analysis.value().warnings[0].rule_label, "kappa2");
+  EXPECT_NE(analysis.value().ToString().find("kappa2"), std::string::npos);
+}
+
+TEST(TerminationTest, CounterProgramFlagged) {
+  Program program = ParseProgram("s: Num(x), y = x + 1 -> Num(y).").value();
+  auto analysis = AnalyzeTermination(program);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_EQ(analysis.value().verdict, TerminationVerdict::kDataDependent);
+}
+
+TEST(TerminationTest, ExistentialInRecursionFlagged) {
+  Program program = ParseProgram(R"(
+k: Person(x) -> Knows(x, z).
+p: Knows(x, z) -> Person(z).
+)")
+                        .value();
+  auto analysis = AnalyzeTermination(program);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_EQ(analysis.value().verdict, TerminationVerdict::kDataDependent);
+  bool existential_warning = false;
+  for (const TerminationWarning& warning : analysis.value().warnings) {
+    if (warning.reason.find("existential") != std::string::npos) {
+      existential_warning = true;
+    }
+  }
+  EXPECT_TRUE(existential_warning);
+}
+
+TEST(TerminationTest, ExistentialOutsideRecursionClean) {
+  Program program = ParseProgram("k: Person(x) -> Knows(x, z).").value();
+  auto analysis = AnalyzeTermination(program);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_EQ(analysis.value().verdict, TerminationVerdict::kGuaranteed);
+}
+
+TEST(TerminationTest, AssignmentOutsideRecursionClean) {
+  Program program =
+      ParseProgram("m: Pair(x, a, b), p = a * b -> Product(x, p).").value();
+  auto analysis = AnalyzeTermination(program);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_EQ(analysis.value().verdict, TerminationVerdict::kGuaranteed);
+}
+
+TEST(TerminationTest, TransitiveClosureClean) {
+  Program program = ParseProgram(R"(
+e: Edge(x, y) -> Path(x, y).
+t: Path(x, y), Edge(y, z) -> Path(x, z).
+)")
+                        .value();
+  auto analysis = AnalyzeTermination(program);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_EQ(analysis.value().verdict, TerminationVerdict::kGuaranteed);
+}
+
+TEST(TerminationTest, MonotoneAggregationInRecursionClean) {
+  // Running sums in recursive rules are bounded by the finite contributor
+  // set (the σ5 pattern): no warning.
+  auto analysis = AnalyzeTermination(StressTestProgram());
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_TRUE(analysis.value().warnings.empty());
+}
+
+}  // namespace
+}  // namespace templex

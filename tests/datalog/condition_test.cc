@@ -1,0 +1,159 @@
+#include "datalog/condition.h"
+
+#include <gtest/gtest.h>
+
+namespace templex {
+namespace {
+
+Binding MakeBinding(std::initializer_list<std::pair<const char*, Value>> kv) {
+  Binding binding;
+  for (const auto& [name, value] : kv) binding.Set(name, value);
+  return binding;
+}
+
+TEST(ExprTest, ConstantEval) {
+  auto e = Expr::Constant(Value::Int(7));
+  Binding empty;
+  ASSERT_TRUE(e->Eval(empty).ok());
+  EXPECT_EQ(e->Eval(empty).value(), Value::Int(7));
+}
+
+TEST(ExprTest, VariableEval) {
+  auto e = Expr::Variable("x");
+  Binding binding = MakeBinding({{"x", Value::Double(0.5)}});
+  EXPECT_EQ(e->Eval(binding).value(), Value::Double(0.5));
+}
+
+TEST(ExprTest, UnboundVariableErrors) {
+  auto e = Expr::Variable("x");
+  Binding empty;
+  EXPECT_EQ(e->Eval(empty).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExprTest, Arithmetic) {
+  Binding binding =
+      MakeBinding({{"a", Value::Double(6)}, {"b", Value::Double(2)}});
+  auto mk = [](Expr::Op op) {
+    return Expr::Binary(op, Expr::Variable("a"), Expr::Variable("b"));
+  };
+  EXPECT_EQ(mk(Expr::Op::kAdd)->Eval(binding).value(), Value::Double(8));
+  EXPECT_EQ(mk(Expr::Op::kSub)->Eval(binding).value(), Value::Double(4));
+  EXPECT_EQ(mk(Expr::Op::kMul)->Eval(binding).value(), Value::Double(12));
+  EXPECT_EQ(mk(Expr::Op::kDiv)->Eval(binding).value(), Value::Double(3));
+}
+
+TEST(ExprTest, DivisionByZeroErrors) {
+  Binding binding =
+      MakeBinding({{"a", Value::Int(1)}, {"b", Value::Int(0)}});
+  auto e = Expr::Binary(Expr::Op::kDiv, Expr::Variable("a"),
+                        Expr::Variable("b"));
+  EXPECT_FALSE(e->Eval(binding).ok());
+}
+
+TEST(ExprTest, NonNumericArithmeticErrors) {
+  Binding binding = MakeBinding(
+      {{"a", Value::String("x")}, {"b", Value::Int(1)}});
+  auto e = Expr::Binary(Expr::Op::kAdd, Expr::Variable("a"),
+                        Expr::Variable("b"));
+  EXPECT_EQ(e->Eval(binding).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExprTest, NestedExpression) {
+  // (a + b) * 2
+  Binding binding =
+      MakeBinding({{"a", Value::Int(3)}, {"b", Value::Int(4)}});
+  auto e = Expr::Binary(
+      Expr::Op::kMul,
+      Expr::Binary(Expr::Op::kAdd, Expr::Variable("a"), Expr::Variable("b")),
+      Expr::Constant(Value::Int(2)));
+  EXPECT_EQ(e->Eval(binding).value(), Value::Double(14));
+  EXPECT_EQ(e->ToString(), "((a + b) * 2)");
+}
+
+TEST(ExprTest, CloneIsDeep) {
+  auto e = Expr::Binary(Expr::Op::kMul, Expr::Variable("s1"),
+                        Expr::Variable("s2"));
+  auto clone = e->Clone();
+  Binding binding = MakeBinding(
+      {{"s1", Value::Double(0.5)}, {"s2", Value::Double(0.4)}});
+  EXPECT_EQ(clone->Eval(binding).value(), Value::Double(0.2));
+  EXPECT_EQ(clone->ToString(), e->ToString());
+}
+
+TEST(ExprTest, VariableNamesDeduplicated) {
+  auto e = Expr::Binary(Expr::Op::kAdd, Expr::Variable("x"),
+                        Expr::Binary(Expr::Op::kMul, Expr::Variable("x"),
+                                     Expr::Variable("y")));
+  auto names = e->VariableNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "x");
+  EXPECT_EQ(names[1], "y");
+}
+
+TEST(ConditionTest, NumericComparisons) {
+  Binding binding =
+      MakeBinding({{"s", Value::Int(6)}, {"p", Value::Int(5)}});
+  auto make = [](Comparator cmp) {
+    return Condition(Expr::Variable("s"), cmp, Expr::Variable("p"));
+  };
+  EXPECT_TRUE(make(Comparator::kGt).Eval(binding).value());
+  EXPECT_TRUE(make(Comparator::kGe).Eval(binding).value());
+  EXPECT_FALSE(make(Comparator::kLt).Eval(binding).value());
+  EXPECT_FALSE(make(Comparator::kLe).Eval(binding).value());
+  EXPECT_FALSE(make(Comparator::kEq).Eval(binding).value());
+  EXPECT_TRUE(make(Comparator::kNe).Eval(binding).value());
+}
+
+TEST(ConditionTest, StringEquality) {
+  Binding binding = MakeBinding(
+      {{"t", Value::String("long")}, {"u", Value::String("short")}});
+  Condition eq(Expr::Variable("t"), Comparator::kEq,
+               Expr::Constant(Value::String("long")));
+  EXPECT_TRUE(eq.Eval(binding).value());
+  Condition ne(Expr::Variable("t"), Comparator::kNe, Expr::Variable("u"));
+  EXPECT_TRUE(ne.Eval(binding).value());
+}
+
+TEST(ConditionTest, OrderedStringComparisonErrors) {
+  Binding binding = MakeBinding({{"t", Value::String("long")}});
+  Condition lt(Expr::Variable("t"), Comparator::kLt,
+               Expr::Constant(Value::Int(1)));
+  EXPECT_FALSE(lt.Eval(binding).ok());
+}
+
+TEST(ConditionTest, CopySemantics) {
+  Condition original(Expr::Variable("a"), Comparator::kGt,
+                     Expr::Constant(Value::Int(0)));
+  Condition copy = original;
+  Binding binding = MakeBinding({{"a", Value::Int(1)}});
+  EXPECT_TRUE(copy.Eval(binding).value());
+  EXPECT_EQ(copy.ToString(), "a > 0");
+}
+
+TEST(ConditionTest, VariableNamesAcrossSides) {
+  Condition c(Expr::Variable("a"), Comparator::kLt,
+              Expr::Binary(Expr::Op::kAdd, Expr::Variable("b"),
+                           Expr::Variable("a")));
+  auto names = c.VariableNames();
+  ASSERT_EQ(names.size(), 2u);
+}
+
+TEST(AssignmentTest, ToStringAndCopy) {
+  Assignment a("p", Expr::Binary(Expr::Op::kMul, Expr::Variable("s1"),
+                                 Expr::Variable("s2")));
+  EXPECT_EQ(a.ToString(), "p = (s1 * s2)");
+  Assignment copy = a;
+  EXPECT_EQ(copy.ToString(), a.ToString());
+}
+
+TEST(ComparatorTest, ToStringAll) {
+  EXPECT_STREQ(ComparatorToString(Comparator::kLt), "<");
+  EXPECT_STREQ(ComparatorToString(Comparator::kLe), "<=");
+  EXPECT_STREQ(ComparatorToString(Comparator::kGt), ">");
+  EXPECT_STREQ(ComparatorToString(Comparator::kGe), ">=");
+  EXPECT_STREQ(ComparatorToString(Comparator::kEq), "==");
+  EXPECT_STREQ(ComparatorToString(Comparator::kNe), "!=");
+}
+
+}  // namespace
+}  // namespace templex

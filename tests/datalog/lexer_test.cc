@@ -1,0 +1,104 @@
+#include "datalog/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace templex {
+namespace {
+
+std::vector<Token> MustTokenize(const std::string& source) {
+  Result<std::vector<Token>> tokens = Tokenize(source);
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  return std::move(tokens).value();
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  auto tokens = MustTokenize("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, Identifiers) {
+  auto tokens = MustTokenize("Own x _private p1");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].text, "Own");
+  EXPECT_EQ(tokens[1].text, "x");
+  EXPECT_EQ(tokens[2].text, "_private");
+  EXPECT_EQ(tokens[3].text, "p1");
+}
+
+TEST(LexerTest, IntegerAndDoubleNumbers) {
+  auto tokens = MustTokenize("42 0.5");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kNumber);
+  EXPECT_TRUE(tokens[0].number_is_int);
+  EXPECT_DOUBLE_EQ(tokens[0].number, 42.0);
+  EXPECT_FALSE(tokens[1].number_is_int);
+  EXPECT_DOUBLE_EQ(tokens[1].number, 0.5);
+}
+
+TEST(LexerTest, NumberFollowedByRuleDot) {
+  // "5." at end of rule: the dot terminates the rule, it is not a decimal.
+  auto tokens = MustTokenize("s > 5.");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kNumber);
+  EXPECT_TRUE(tokens[2].number_is_int);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kDot);
+}
+
+TEST(LexerTest, StringLiterals) {
+  auto tokens = MustTokenize("\"long\" \"two words\"");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[0].text, "long");
+  EXPECT_EQ(tokens[1].text, "two words");
+}
+
+TEST(LexerTest, UnterminatedStringErrors) {
+  EXPECT_FALSE(Tokenize("\"oops").ok());
+}
+
+TEST(LexerTest, OperatorsAndPunctuation) {
+  auto tokens = MustTokenize("( ) [ ] , . : -> @ = == != < <= > >= + - * /");
+  std::vector<TokenKind> expected = {
+      TokenKind::kLParen, TokenKind::kRParen,  TokenKind::kLBracket,
+      TokenKind::kRBracket, TokenKind::kComma, TokenKind::kDot,
+      TokenKind::kColon,  TokenKind::kArrow,   TokenKind::kAt,
+      TokenKind::kAssign, TokenKind::kEq,      TokenKind::kNe,
+      TokenKind::kLt,     TokenKind::kLe,      TokenKind::kGt,
+      TokenKind::kGe,     TokenKind::kPlus,    TokenKind::kMinus,
+      TokenKind::kStar,   TokenKind::kSlash,   TokenKind::kEnd};
+  ASSERT_EQ(tokens.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(tokens[i].kind, expected[i]) << "token " << i;
+  }
+}
+
+TEST(LexerTest, CommentsSkippedToEndOfLine) {
+  auto tokens = MustTokenize("a % this is a comment -> ()\nb");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(LexerTest, LineNumbersTracked) {
+  auto tokens = MustTokenize("a\nb\n\nc");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[2].line, 4);
+}
+
+TEST(LexerTest, UnexpectedCharacterErrors) {
+  Result<std::vector<Token>> result = Tokenize("a # b");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(LexerTest, ArrowVersusMinus) {
+  auto tokens = MustTokenize("a - > b -> c");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kMinus);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kGt);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kArrow);
+}
+
+}  // namespace
+}  // namespace templex

@@ -1,0 +1,84 @@
+// Robustness: the lexer/parser must return a Status — never crash, hang, or
+// accept garbage silently — on arbitrary input. Seeded pseudo-random fuzz
+// over (a) byte soup, (b) token soup from the language's alphabet, and
+// (c) mutations of valid programs.
+
+#include <gtest/gtest.h>
+
+#include "apps/programs.h"
+#include "common/rng.h"
+#include "datalog/parser.h"
+
+namespace templex {
+namespace {
+
+class ParserFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzz, ByteSoupNeverCrashes) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 200; ++round) {
+    std::string input;
+    const int length = static_cast<int>(rng.NextInt(0, 120));
+    for (int i = 0; i < length; ++i) {
+      input.push_back(static_cast<char>(rng.NextInt(1, 126)));
+    }
+    // Must return, with either outcome.
+    Result<Program> result = ParseProgram(input);
+    if (result.ok()) {
+      EXPECT_TRUE(result.value().Validate().ok());
+    }
+  }
+}
+
+TEST_P(ParserFuzz, TokenSoupNeverCrashes) {
+  Rng rng(GetParam() * 31);
+  const std::vector<std::string> tokens = {
+      "Own", "x", "y", "s", "->", ".", ",", "(", ")", "[", "]", "sum",
+      "not",  "!",  "=", "==", ">", "<", "0.5", "42", "\"A\"", ":", "@goal",
+      "+",   "*"};
+  for (int round = 0; round < 300; ++round) {
+    std::string input;
+    const int length = static_cast<int>(rng.NextInt(1, 40));
+    for (int i = 0; i < length; ++i) {
+      input += rng.Pick(tokens);
+      input += " ";
+    }
+    Result<Program> result = ParseProgram(input);
+    if (result.ok()) {
+      EXPECT_TRUE(result.value().Validate().ok());
+    }
+  }
+}
+
+TEST_P(ParserFuzz, MutatedValidProgramsNeverCrash) {
+  Rng rng(GetParam() * 101);
+  const std::string source = StressTestProgram().ToString();
+  for (int round = 0; round < 200; ++round) {
+    std::string mutated = source;
+    const int edits = static_cast<int>(rng.NextInt(1, 5));
+    for (int e = 0; e < edits; ++e) {
+      const size_t pos = rng.NextUint64(mutated.size());
+      switch (rng.NextInt(0, 2)) {
+        case 0:
+          mutated[pos] = static_cast<char>(rng.NextInt(32, 126));
+          break;
+        case 1:
+          mutated.erase(pos, 1);
+          break;
+        default:
+          mutated.insert(pos, 1, static_cast<char>(rng.NextInt(32, 126)));
+          break;
+      }
+    }
+    Result<Program> result = ParseProgram(mutated);
+    if (result.ok()) {
+      EXPECT_TRUE(result.value().Validate().ok());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace templex

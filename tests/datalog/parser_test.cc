@@ -1,0 +1,193 @@
+#include "datalog/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace templex {
+namespace {
+
+TEST(ParserTest, SimpleRule) {
+  Result<Rule> rule = ParseRule("Own(x, y, s), s > 0.5 -> Control(x, y).");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_EQ(rule.value().body.size(), 1u);
+  EXPECT_EQ(rule.value().conditions.size(), 1u);
+  EXPECT_EQ(rule.value().head.predicate, "Control");
+}
+
+TEST(ParserTest, LabeledRule) {
+  Result<Rule> rule = ParseRule("sigma1: Own(x, y, s) -> Control(x, y).");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule.value().label, "sigma1");
+}
+
+TEST(ParserTest, ConstantsInAtoms) {
+  Result<Rule> rule =
+      ParseRule("Risk(c, e, \"long\"), Neg(c, -5) -> Out(c, 0.25).");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  const Rule& r = rule.value();
+  EXPECT_EQ(r.body[0].terms[2].constant_value(), Value::String("long"));
+  EXPECT_EQ(r.body[1].terms[1].constant_value(), Value::Int(-5));
+  EXPECT_EQ(r.head.terms[1].constant_value(), Value::Double(0.25));
+}
+
+TEST(ParserTest, AggregateWithoutKeys) {
+  Result<Rule> rule =
+      ParseRule("Default(d), Debts(d, c, v), e = sum(v) -> Risk(c, e).");
+  ASSERT_TRUE(rule.ok());
+  ASSERT_TRUE(rule.value().has_aggregate());
+  const Aggregate& agg = *rule.value().aggregate;
+  EXPECT_EQ(agg.result_variable, "e");
+  EXPECT_EQ(agg.function, AggregateFunction::kSum);
+  EXPECT_EQ(agg.input_variable, "v");
+  EXPECT_TRUE(agg.contributor_keys.empty());
+}
+
+TEST(ParserTest, AggregateWithContributorKeys) {
+  Result<Rule> rule = ParseRule(
+      "Control(x, z), Own(z, y, s), ts = sum(s, [z]), ts > 0.5 -> "
+      "Control(x, y).");
+  ASSERT_TRUE(rule.ok());
+  ASSERT_TRUE(rule.value().has_aggregate());
+  ASSERT_EQ(rule.value().aggregate->contributor_keys.size(), 1u);
+  EXPECT_EQ(rule.value().aggregate->contributor_keys[0], "z");
+}
+
+TEST(ParserTest, AllAggregateFunctions) {
+  for (const char* fn : {"sum", "prod", "min", "max", "count"}) {
+    std::string source =
+        std::string("P(x, v), r = ") + fn + "(v) -> Q(x, r).";
+    Result<Rule> rule = ParseRule(source);
+    ASSERT_TRUE(rule.ok()) << fn << ": " << rule.status().ToString();
+    EXPECT_TRUE(rule.value().has_aggregate());
+  }
+}
+
+TEST(ParserTest, TwoAggregatesRejected) {
+  Result<Rule> rule = ParseRule(
+      "P(x, v), a = sum(v), b = max(v) -> Q(x, a, b).");
+  EXPECT_FALSE(rule.ok());
+}
+
+TEST(ParserTest, AssignmentWithArithmetic) {
+  Result<Rule> rule = ParseRule(
+      "IntOwn(x, z, s1), Own(z, y, s2), p = s1 * s2 -> IntOwn(x, y, p).");
+  ASSERT_TRUE(rule.ok());
+  ASSERT_EQ(rule.value().assignments.size(), 1u);
+  EXPECT_EQ(rule.value().assignments[0].variable, "p");
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  Result<Rule> rule = ParseRule("P(a, b, c), x = a + b * c -> Q(x).");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule.value().assignments[0].expr->ToString(), "(a + (b * c))");
+}
+
+TEST(ParserTest, Parentheses) {
+  Result<Rule> rule = ParseRule("P(a, b, c), x = (a + b) * c -> Q(x).");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule.value().assignments[0].expr->ToString(), "((a + b) * c)");
+}
+
+TEST(ParserTest, UnaryMinusInExpression) {
+  Result<Rule> rule = ParseRule("P(a), a > -1 -> Q(a).");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule.value().conditions[0].ToString(), "a > (0 - 1)");
+}
+
+TEST(ParserTest, AllComparators) {
+  for (const char* cmp : {"<", "<=", ">", ">=", "==", "!="}) {
+    std::string source = std::string("P(a), a ") + cmp + " 1 -> Q(a).";
+    Result<Rule> rule = ParseRule(source);
+    ASSERT_TRUE(rule.ok()) << cmp;
+    EXPECT_EQ(rule.value().conditions.size(), 1u);
+  }
+}
+
+TEST(ParserTest, MissingDotErrors) {
+  EXPECT_FALSE(ParseRule("P(x) -> Q(x)").ok());
+}
+
+TEST(ParserTest, MissingArrowErrors) {
+  EXPECT_FALSE(ParseRule("P(x), Q(x).").ok());
+}
+
+TEST(ParserTest, ErrorsCarryLineNumbers) {
+  Result<Program> program = ParseProgram("a: P(x) -> Q(x).\nb: R(x -> S(x).");
+  ASSERT_FALSE(program.ok());
+  EXPECT_NE(program.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(ParserTest, GoalDirective) {
+  Result<Program> program = ParseProgram("@goal Q.\na: P(x) -> Q(x).");
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program.value().goal_predicate(), "Q");
+}
+
+TEST(ParserTest, UnknownDirectiveErrors) {
+  EXPECT_FALSE(ParseProgram("@whatever Q.\na: P(x) -> Q(x).").ok());
+}
+
+TEST(ParserTest, AutoLabels) {
+  Result<Program> program = ParseProgram("P(x) -> Q(x).\nQ(x) -> R(x).");
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program.value().rules()[0].label, "r1");
+  EXPECT_EQ(program.value().rules()[1].label, "r2");
+}
+
+TEST(ParserTest, FullStressTestProgramParses) {
+  Result<Program> program = ParseProgram(R"(
+% Stress test, two channels.
+@goal Default.
+sigma4: Shock(f, s), HasCapital(f, p1), s > p1 -> Default(f).
+sigma5: Default(d), LongTermDebts(d, c, v), el = sum(v) -> Risk(c, el, "long").
+sigma6: Default(d), ShortTermDebts(d, c, v), es = sum(v) -> Risk(c, es, "short").
+sigma7: Risk(c, e, t), HasCapital(c, p2), l = sum(e, [t]), l > p2 -> Default(c).
+)");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_EQ(program.value().rules().size(), 4u);
+  EXPECT_EQ(program.value().goal_predicate(), "Default");
+}
+
+TEST(ParserTest, TrailingInputAfterSingleRuleErrors) {
+  EXPECT_FALSE(ParseRule("P(x) -> Q(x). R(y) -> S(y).").ok());
+}
+
+TEST(ParseFactLiteralTest, QuotedAndBareIdentifiers) {
+  Result<Fact> fact = ParseFactLiteral("Default(C)");
+  ASSERT_TRUE(fact.ok());
+  EXPECT_EQ(fact.value(), (Fact{"Default", {Value::String("C")}}));
+  Result<Fact> quoted = ParseFactLiteral("Default(\"C\").");
+  ASSERT_TRUE(quoted.ok());
+  EXPECT_EQ(quoted.value(), fact.value());
+}
+
+TEST(ParseFactLiteralTest, MixedTypedArguments) {
+  Result<Fact> fact = ParseFactLiteral("Risk(C, 11, \"long\")");
+  ASSERT_TRUE(fact.ok());
+  EXPECT_EQ(fact.value().args[1], Value::Int(11));
+  EXPECT_EQ(fact.value().args[2], Value::String("long"));
+  Result<Fact> shares = ParseFactLiteral("Own(A, B, -0.6)");
+  ASSERT_TRUE(shares.ok());
+  EXPECT_EQ(shares.value().args[2], Value::Double(-0.6));
+}
+
+TEST(ParseFactLiteralTest, ZeroArity) {
+  Result<Fact> fact = ParseFactLiteral("Flag()");
+  ASSERT_TRUE(fact.ok());
+  EXPECT_EQ(fact.value().arity(), 0);
+}
+
+TEST(ParseFactLiteralTest, RejectsVariablesAndJunk) {
+  EXPECT_FALSE(ParseFactLiteral("Default").ok());
+  EXPECT_FALSE(ParseFactLiteral("Default(C) extra").ok());
+  EXPECT_FALSE(ParseFactLiteral("Default(C").ok());
+  EXPECT_FALSE(ParseFactLiteral("(C)").ok());
+}
+
+TEST(ParserTest, ZeroArityAtom) {
+  Result<Rule> rule = ParseRule("Trigger() -> Done().");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_EQ(rule.value().body[0].arity(), 0);
+}
+
+}  // namespace
+}  // namespace templex

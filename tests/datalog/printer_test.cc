@@ -1,0 +1,29 @@
+#include "datalog/printer.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+
+namespace templex {
+namespace {
+
+TEST(PrinterTest, AlignedProgramListsEveryRule) {
+  Program program = ParseProgram(R"(
+alpha: Shock(f, s) -> Default(f).
+longername: Default(d) -> Risk(d).
+)")
+                        .value();
+  std::string text = FormatProgramAligned(program);
+  EXPECT_NE(text.find("alpha      : "), std::string::npos);
+  EXPECT_NE(text.find("longername : "), std::string::npos);
+  // Labels are not repeated inside the rule bodies.
+  EXPECT_EQ(text.find("alpha: Shock"), std::string::npos);
+}
+
+TEST(PrinterTest, RuleLabelSet) {
+  EXPECT_EQ(FormatRuleLabelSet({"alpha", "beta"}), "{alpha, beta}");
+  EXPECT_EQ(FormatRuleLabelSet({}), "{}");
+}
+
+}  // namespace
+}  // namespace templex

@@ -1,0 +1,86 @@
+#include "datalog/program.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+
+namespace templex {
+namespace {
+
+Program ControlProgram() {
+  return ParseProgram(R"(
+@goal Control.
+sigma1: Own(x, y, s), s > 0.5 -> Control(x, y).
+sigma2: Company(x) -> Control(x, x).
+sigma3: Control(x, z), Own(z, y, s), ts = sum(s, [z]), ts > 0.5 -> Control(x, y).
+)")
+      .value();
+}
+
+TEST(ProgramTest, PredicatesInFirstAppearanceOrder) {
+  auto predicates = ControlProgram().Predicates();
+  ASSERT_EQ(predicates.size(), 3u);
+  EXPECT_EQ(predicates[0], "Own");
+  EXPECT_EQ(predicates[1], "Control");
+  EXPECT_EQ(predicates[2], "Company");
+}
+
+TEST(ProgramTest, IntensionalExtensionalSplit) {
+  Program program = ControlProgram();
+  EXPECT_TRUE(program.IsIntensional("Control"));
+  EXPECT_FALSE(program.IsIntensional("Own"));
+  EXPECT_TRUE(program.IsExtensional("Company"));
+  EXPECT_EQ(program.IntensionalPredicates(),
+            std::vector<std::string>{"Control"});
+  auto edb = program.ExtensionalPredicates();
+  ASSERT_EQ(edb.size(), 2u);
+}
+
+TEST(ProgramTest, FindRuleAndIndex) {
+  Program program = ControlProgram();
+  ASSERT_NE(program.FindRule("sigma2"), nullptr);
+  EXPECT_EQ(program.FindRule("sigma2")->head.predicate, "Control");
+  EXPECT_EQ(program.FindRule("nope"), nullptr);
+  EXPECT_EQ(program.RuleIndex("sigma1"), 0);
+  EXPECT_EQ(program.RuleIndex("sigma3"), 2);
+  EXPECT_EQ(program.RuleIndex("nope"), -1);
+}
+
+TEST(ProgramValidateTest, DuplicateLabelsRejected) {
+  auto result = ParseProgram(R"(
+a: P(x) -> Q(x).
+a: Q(x) -> R(x).
+)");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ProgramValidateTest, ArityMismatchRejected) {
+  auto result = ParseProgram(R"(
+a: P(x) -> Q(x).
+b: P(x, y) -> Q(x).
+)");
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("arities"), std::string::npos);
+}
+
+TEST(ProgramValidateTest, UnknownGoalRejected) {
+  auto result = ParseProgram(R"(
+@goal Missing.
+a: P(x) -> Q(x).
+)");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ProgramTest, GoalPredicate) {
+  EXPECT_EQ(ControlProgram().goal_predicate(), "Control");
+}
+
+TEST(ProgramTest, ToStringListsAllRules) {
+  std::string text = ControlProgram().ToString();
+  EXPECT_NE(text.find("sigma1"), std::string::npos);
+  EXPECT_NE(text.find("sigma3"), std::string::npos);
+  EXPECT_NE(text.find("ts = sum(s, [z])"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace templex

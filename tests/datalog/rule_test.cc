@@ -1,0 +1,119 @@
+#include "datalog/rule.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+
+namespace templex {
+namespace {
+
+Rule Parse(const std::string& text) {
+  Result<Rule> rule = ParseRule(text);
+  EXPECT_TRUE(rule.ok()) << rule.status().ToString();
+  return std::move(rule).value();
+}
+
+TEST(RuleTest, BodyVariableNamesInOrder) {
+  Rule rule = Parse("Shock(f, s), HasCapital(f, p1), s > p1 -> Default(f).");
+  auto names = rule.BodyVariableNames();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "f");
+  EXPECT_EQ(names[1], "s");
+  EXPECT_EQ(names[2], "p1");
+}
+
+TEST(RuleTest, HeadVariableNames) {
+  Rule rule = Parse("Own(x, y, s) -> Control(x, y).");
+  auto names = rule.HeadVariableNames();
+  ASSERT_EQ(names.size(), 2u);
+}
+
+TEST(RuleTest, AggregateResultIsBound) {
+  Rule rule = Parse("Default(d), Debts(d, c, v), e = sum(v) -> Risk(c, e).");
+  ASSERT_TRUE(rule.has_aggregate());
+  auto bound = rule.AllBoundVariableNames();
+  EXPECT_NE(std::find(bound.begin(), bound.end(), "e"), bound.end());
+  EXPECT_TRUE(rule.ExistentialVariableNames().empty());
+}
+
+TEST(RuleTest, ExistentialDetection) {
+  Rule rule = Parse("Person(x) -> Knows(x, z).");
+  auto existentials = rule.ExistentialVariableNames();
+  ASSERT_EQ(existentials.size(), 1u);
+  EXPECT_EQ(existentials[0], "z");
+}
+
+TEST(RuleTest, AssignmentBindsVariable) {
+  Rule rule =
+      Parse("IntOwn(x, z, s1), Own(z, y, s2), p = s1 * s2 -> IntOwn(x, y, p).");
+  EXPECT_TRUE(rule.ExistentialVariableNames().empty());
+  EXPECT_TRUE(rule.Validate().ok());
+}
+
+TEST(RuleTest, PrePostConditionSplit) {
+  Rule rule = Parse(
+      "Risk(c, e, t), HasCapital(c, p2), l = sum(e, [t]), l > p2, p2 > 0 "
+      "-> Default(c).");
+  auto pre = rule.PreAggregateConditions();
+  auto post = rule.PostAggregateConditions();
+  ASSERT_EQ(pre.size(), 1u);   // p2 > 0 does not mention l
+  ASSERT_EQ(post.size(), 1u);  // l > p2 mentions the aggregate result
+  EXPECT_EQ(post[0]->ToString(), "l > p2");
+}
+
+TEST(RuleTest, NoAggregateMeansAllPre) {
+  Rule rule = Parse("Own(x, y, s), s > 0.5 -> Control(x, y).");
+  EXPECT_EQ(rule.PreAggregateConditions().size(), 1u);
+  EXPECT_TRUE(rule.PostAggregateConditions().empty());
+}
+
+TEST(RuleValidateTest, EmptyBodyRejected) {
+  Rule rule;
+  rule.label = "bad";
+  rule.head = Atom("P", {Term::Variable("x")});
+  EXPECT_EQ(rule.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RuleValidateTest, AssignmentOverBodyVariableRejected) {
+  Rule rule = Parse("Own(x, y, s) -> Control(x, y).");
+  rule.assignments.emplace_back("s", Expr::Constant(Value::Int(1)));
+  EXPECT_FALSE(rule.Validate().ok());
+}
+
+TEST(RuleValidateTest, AssignmentWithUnboundVariableRejected) {
+  Rule rule = Parse("Own(x, y, s) -> Control(x, y).");
+  rule.assignments.emplace_back("q", Expr::Variable("unknown"));
+  EXPECT_FALSE(rule.Validate().ok());
+}
+
+TEST(RuleValidateTest, AggregateInputMustBeBound) {
+  Rule rule = Parse("Own(x, y, s) -> Control(x, y).");
+  rule.aggregate = Aggregate{"t", AggregateFunction::kSum, "unbound", {}};
+  EXPECT_FALSE(rule.Validate().ok());
+}
+
+TEST(RuleValidateTest, AggregateContributorKeyMustBeBound) {
+  Rule rule = Parse("Own(x, y, s) -> Control(x, y).");
+  rule.aggregate = Aggregate{"t", AggregateFunction::kSum, "s", {"nope"}};
+  EXPECT_FALSE(rule.Validate().ok());
+}
+
+TEST(RuleValidateTest, ConditionOverUnboundVariableRejected) {
+  Rule rule = Parse("Own(x, y, s) -> Control(x, y).");
+  rule.conditions.emplace_back(Expr::Variable("zz"), Comparator::kGt,
+                               Expr::Constant(Value::Int(0)));
+  EXPECT_FALSE(rule.Validate().ok());
+}
+
+TEST(RuleTest, ToStringRoundTripsThroughParser) {
+  const std::string source =
+      "sigma3: Control(x, z), Own(z, y, s), ts = sum(s, [z]), ts > 0.5 -> "
+      "Control(x, y).";
+  Rule rule = Parse(source);
+  Rule reparsed = Parse(rule.ToString());
+  EXPECT_EQ(reparsed.ToString(), rule.ToString());
+  EXPECT_EQ(reparsed.label, "sigma3");
+}
+
+}  // namespace
+}  // namespace templex

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "datalog/atom.h"
+#include "datalog/term.h"
+
+namespace templex {
+namespace {
+
+TEST(TermTest, VariableAndConstant) {
+  Term v = Term::Variable("x");
+  EXPECT_TRUE(v.is_variable());
+  EXPECT_FALSE(v.is_constant());
+  EXPECT_EQ(v.variable_name(), "x");
+  EXPECT_EQ(v.ToString(), "x");
+
+  Term c = Term::Constant(Value::Double(0.5));
+  EXPECT_TRUE(c.is_constant());
+  EXPECT_EQ(c.constant_value(), Value::Double(0.5));
+  EXPECT_EQ(c.ToString(), "0.5");
+}
+
+TEST(TermTest, Equality) {
+  EXPECT_EQ(Term::Variable("x"), Term::Variable("x"));
+  EXPECT_FALSE(Term::Variable("x") == Term::Variable("y"));
+  EXPECT_EQ(Term::Constant(Value::Int(1)), Term::Constant(Value::Int(1)));
+  EXPECT_FALSE(Term::Variable("x") == Term::Constant(Value::String("x")));
+}
+
+TEST(AtomTest, ToString) {
+  Atom atom("Own", {Term::Variable("x"), Term::Variable("y"),
+                    Term::Constant(Value::Double(0.5))});
+  EXPECT_EQ(atom.ToString(), "Own(x, y, 0.5)");
+  EXPECT_EQ(atom.arity(), 3);
+}
+
+TEST(AtomTest, VariableNamesDeduplicated) {
+  Atom atom("Control", {Term::Variable("x"), Term::Variable("x")});
+  auto names = atom.VariableNames();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "x");
+}
+
+TEST(AtomTest, VariableNamesSkipConstants) {
+  Atom atom("Risk", {Term::Variable("c"), Term::Variable("e"),
+                     Term::Constant(Value::String("long"))});
+  auto names = atom.VariableNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "c");
+  EXPECT_EQ(names[1], "e");
+}
+
+TEST(AtomTest, ZeroArity) {
+  Atom atom("Flag", {});
+  EXPECT_EQ(atom.arity(), 0);
+  EXPECT_EQ(atom.ToString(), "Flag()");
+  EXPECT_TRUE(atom.VariableNames().empty());
+}
+
+TEST(AtomTest, Equality) {
+  Atom a("P", {Term::Variable("x")});
+  Atom b("P", {Term::Variable("x")});
+  Atom c("P", {Term::Variable("y")});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace templex

@@ -1,0 +1,76 @@
+#include "datalog/value.h"
+
+#include <gtest/gtest.h>
+
+namespace templex {
+namespace {
+
+TEST(ValueTest, Kinds) {
+  EXPECT_EQ(Value::Null().kind(), Value::Kind::kNull);
+  EXPECT_EQ(Value::Bool(true).kind(), Value::Kind::kBool);
+  EXPECT_EQ(Value::Int(3).kind(), Value::Kind::kInt);
+  EXPECT_EQ(Value::Double(0.5).kind(), Value::Kind::kDouble);
+  EXPECT_EQ(Value::String("A").kind(), Value::Kind::kString);
+  EXPECT_EQ(Value::LabeledNull(7).kind(), Value::Kind::kLabeledNull);
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_TRUE(Value::Bool(true).bool_value());
+  EXPECT_EQ(Value::Int(42).int_value(), 42);
+  EXPECT_DOUBLE_EQ(Value::Double(0.25).double_value(), 0.25);
+  EXPECT_EQ(Value::String("hello").string_value(), "hello");
+  EXPECT_EQ(Value::LabeledNull(9).labeled_null_id(), 9);
+}
+
+TEST(ValueTest, NumericCrossKindEquality) {
+  EXPECT_EQ(Value::Int(2), Value::Double(2.0));
+  EXPECT_EQ(Value::Double(2.0), Value::Int(2));
+  EXPECT_NE(Value::Int(2), Value::Double(2.5));
+}
+
+TEST(ValueTest, NumericCrossKindHashConsistency) {
+  EXPECT_EQ(Value::Int(2).Hash(), Value::Double(2.0).Hash());
+}
+
+TEST(ValueTest, StringsCompareByContent) {
+  EXPECT_EQ(Value::String("A"), Value::String("A"));
+  EXPECT_NE(Value::String("A"), Value::String("B"));
+  EXPECT_NE(Value::String("2"), Value::Int(2));
+}
+
+TEST(ValueTest, Ordering) {
+  EXPECT_TRUE(Value::Int(1) < Value::Int(2));
+  EXPECT_TRUE(Value::Double(1.5) < Value::Int(2));
+  EXPECT_TRUE(Value::String("A") < Value::String("B"));
+  EXPECT_FALSE(Value::String("A") < Value::String("A"));
+  // Cross-kind (non-numeric): ordered by kind index, stable either way.
+  EXPECT_TRUE(Value::Bool(false) < Value::String("A"));
+}
+
+TEST(ValueTest, AsDouble) {
+  EXPECT_DOUBLE_EQ(Value::Int(7).AsDouble(), 7.0);
+  EXPECT_DOUBLE_EQ(Value::Double(0.5).AsDouble(), 0.5);
+}
+
+TEST(ValueTest, ToStringQuoting) {
+  EXPECT_EQ(Value::String("A").ToString(), "\"A\"");
+  EXPECT_EQ(Value::Int(7).ToString(), "7");
+  EXPECT_EQ(Value::Double(0.5).ToString(), "0.5");
+  EXPECT_EQ(Value::Bool(true).ToString(), "true");
+  EXPECT_EQ(Value::Null().ToString(), "null");
+  EXPECT_EQ(Value::LabeledNull(3).ToString(), "_:z3");
+}
+
+TEST(ValueTest, DisplayStringUnquoted) {
+  EXPECT_EQ(Value::String("A").ToDisplayString(), "A");
+  EXPECT_EQ(Value::Double(11.0).ToDisplayString(), "11");
+}
+
+TEST(ValueTest, LabeledNullsDistinct) {
+  EXPECT_NE(Value::LabeledNull(1), Value::LabeledNull(2));
+  EXPECT_EQ(Value::LabeledNull(1), Value::LabeledNull(1));
+  EXPECT_NE(Value::LabeledNull(1), Value::Null());
+}
+
+}  // namespace
+}  // namespace templex

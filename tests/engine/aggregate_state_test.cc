@@ -1,0 +1,183 @@
+#include "engine/aggregate_state.h"
+
+#include <gtest/gtest.h>
+
+namespace templex {
+namespace {
+
+std::vector<Value> Key(std::initializer_list<Value> values) {
+  return std::vector<Value>(values);
+}
+
+TEST(AggregateStateTest, FirstContributionEmits) {
+  AggregateState state(1);
+  auto emission =
+      state.Contribute(0, AggregateFunction::kSum, false,
+                       Key({Value::String("C")}), Key({Value::Int(1)}),
+                       Value::Int(7), {0, 1});
+  ASSERT_TRUE(emission.has_value());
+  EXPECT_EQ(emission->aggregate, Value::Double(7));
+  ASSERT_EQ(emission->contributions.size(), 1u);
+  EXPECT_EQ(emission->all_parents.size(), 2u);
+}
+
+TEST(AggregateStateTest, ImplicitKeyRepeatIsNoOp) {
+  AggregateState state(1);
+  auto key = Key({Value::String("C")});
+  auto ckey = Key({Value::Int(1)});
+  ASSERT_TRUE(state
+                  .Contribute(0, AggregateFunction::kSum, false, key, ckey,
+                              Value::Int(7), {0})
+                  .has_value());
+  EXPECT_FALSE(state
+                   .Contribute(0, AggregateFunction::kSum, false, key, ckey,
+                               Value::Int(7), {0})
+                   .has_value());
+}
+
+TEST(AggregateStateTest, SumAccumulatesAcrossContributors) {
+  AggregateState state(1);
+  auto group = Key({Value::String("C")});
+  state.Contribute(0, AggregateFunction::kSum, false, group,
+                   Key({Value::Int(1)}), Value::Int(2), {0});
+  auto emission =
+      state.Contribute(0, AggregateFunction::kSum, false, group,
+                       Key({Value::Int(2)}), Value::Int(9), {1});
+  ASSERT_TRUE(emission.has_value());
+  EXPECT_EQ(emission->aggregate, Value::Double(11));
+  EXPECT_EQ(emission->contributions.size(), 2u);
+}
+
+TEST(AggregateStateTest, GroupsAreIndependent) {
+  AggregateState state(1);
+  state.Contribute(0, AggregateFunction::kSum, false,
+                   Key({Value::String("B")}), Key({Value::Int(1)}),
+                   Value::Int(5), {0});
+  auto emission = state.Contribute(0, AggregateFunction::kSum, false,
+                                   Key({Value::String("C")}),
+                                   Key({Value::Int(1)}), Value::Int(3), {1});
+  ASSERT_TRUE(emission.has_value());
+  EXPECT_EQ(emission->aggregate, Value::Double(3));
+  EXPECT_EQ(state.GroupContributorCount(0, Key({Value::String("B")})), 1);
+  EXPECT_EQ(state.GroupContributorCount(0, Key({Value::String("C")})), 1);
+}
+
+TEST(AggregateStateTest, RulesAreIndependent) {
+  AggregateState state(2);
+  auto group = Key({Value::String("C")});
+  state.Contribute(0, AggregateFunction::kSum, false, group,
+                   Key({Value::Int(1)}), Value::Int(5), {0});
+  auto emission =
+      state.Contribute(1, AggregateFunction::kSum, false, group,
+                       Key({Value::Int(1)}), Value::Int(3), {1});
+  ASSERT_TRUE(emission.has_value());
+  EXPECT_EQ(emission->aggregate, Value::Double(3));
+}
+
+TEST(AggregateStateTest, ExplicitKeyTakesMonotoneMaxForSum) {
+  // The σ7 pattern: running per-channel totals; each channel key keeps the
+  // latest (max) value.
+  AggregateState state(1);
+  auto group = Key({Value::String("F")});
+  state.Contribute(0, AggregateFunction::kSum, true, group,
+                   Key({Value::String("long")}), Value::Int(2), {0});
+  auto updated =
+      state.Contribute(0, AggregateFunction::kSum, true, group,
+                       Key({Value::String("long")}), Value::Int(5), {1});
+  ASSERT_TRUE(updated.has_value());
+  EXPECT_EQ(updated->aggregate, Value::Double(5));  // replaced, not added
+  auto second_channel =
+      state.Contribute(0, AggregateFunction::kSum, true, group,
+                       Key({Value::String("short")}), Value::Int(9), {2});
+  ASSERT_TRUE(second_channel.has_value());
+  EXPECT_EQ(second_channel->aggregate, Value::Double(14));
+}
+
+TEST(AggregateStateTest, ExplicitKeySmallerValueIsIgnoredForSum) {
+  AggregateState state(1);
+  auto group = Key({Value::String("F")});
+  state.Contribute(0, AggregateFunction::kSum, true, group,
+                   Key({Value::String("long")}), Value::Int(5), {0});
+  EXPECT_FALSE(state
+                   .Contribute(0, AggregateFunction::kSum, true, group,
+                               Key({Value::String("long")}), Value::Int(2),
+                               {1})
+                   .has_value());
+}
+
+TEST(AggregateStateTest, MinKeepsSmallest) {
+  AggregateState state(1);
+  auto group = Key({Value::String("X")});
+  state.Contribute(0, AggregateFunction::kMin, true, group,
+                   Key({Value::Int(1)}), Value::Int(5), {0});
+  auto emission =
+      state.Contribute(0, AggregateFunction::kMin, true, group,
+                       Key({Value::Int(1)}), Value::Int(2), {1});
+  ASSERT_TRUE(emission.has_value());
+  EXPECT_EQ(emission->aggregate, Value::Double(2));
+}
+
+TEST(AggregateStateTest, MaxOverContributors) {
+  AggregateState state(1);
+  auto group = Key({Value::String("X")});
+  state.Contribute(0, AggregateFunction::kMax, false, group,
+                   Key({Value::Int(1)}), Value::Int(5), {0});
+  auto emission =
+      state.Contribute(0, AggregateFunction::kMax, false, group,
+                       Key({Value::Int(2)}), Value::Int(3), {1});
+  ASSERT_TRUE(emission.has_value());
+  EXPECT_EQ(emission->aggregate, Value::Double(5));
+}
+
+TEST(AggregateStateTest, CountCountsContributors) {
+  AggregateState state(1);
+  auto group = Key({Value::String("X")});
+  state.Contribute(0, AggregateFunction::kCount, false, group,
+                   Key({Value::Int(1)}), Value::Int(100), {0});
+  auto emission =
+      state.Contribute(0, AggregateFunction::kCount, false, group,
+                       Key({Value::Int(2)}), Value::Int(100), {1});
+  ASSERT_TRUE(emission.has_value());
+  EXPECT_EQ(emission->aggregate, Value::Int(2));
+}
+
+TEST(AggregateStateTest, ProdMultiplies) {
+  AggregateState state(1);
+  auto group = Key({Value::String("X")});
+  state.Contribute(0, AggregateFunction::kProd, false, group,
+                   Key({Value::Int(1)}), Value::Double(0.5), {0});
+  auto emission = state.Contribute(0, AggregateFunction::kProd, false, group,
+                                   Key({Value::Int(2)}), Value::Double(0.4),
+                                   {1});
+  ASSERT_TRUE(emission.has_value());
+  EXPECT_EQ(emission->aggregate, Value::Double(0.2));
+}
+
+TEST(AggregateStateTest, ParentsUnionIsDeduplicated) {
+  AggregateState state(1);
+  auto group = Key({Value::String("C")});
+  state.Contribute(0, AggregateFunction::kSum, false, group,
+                   Key({Value::Int(1)}), Value::Int(2), {0, 7});
+  auto emission =
+      state.Contribute(0, AggregateFunction::kSum, false, group,
+                       Key({Value::Int(2)}), Value::Int(9), {1, 7});
+  ASSERT_TRUE(emission.has_value());
+  EXPECT_EQ(emission->all_parents.size(), 3u);  // 0, 7, 1
+}
+
+TEST(AggregateStateTest, ContributionsOrderedByContributorKey) {
+  AggregateState state(1);
+  auto group = Key({Value::String("C")});
+  state.Contribute(0, AggregateFunction::kSum, false, group,
+                   Key({Value::Int(9)}), Value::Int(9), {0});
+  auto emission =
+      state.Contribute(0, AggregateFunction::kSum, false, group,
+                       Key({Value::Int(2)}), Value::Int(2), {1});
+  ASSERT_TRUE(emission.has_value());
+  // Sorted by contributor key: 2 before 9.
+  EXPECT_EQ(emission->contributions[0].input, Value::Int(2));
+  EXPECT_EQ(emission->contributions[1].input, Value::Int(9));
+}
+
+}  // namespace
+}  // namespace templex

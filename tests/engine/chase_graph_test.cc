@@ -1,0 +1,95 @@
+#include "engine/chase_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace templex {
+namespace {
+
+ChaseNode Node(const Fact& fact, std::vector<FactId> parents = {},
+               const std::string& rule = "") {
+  ChaseNode node;
+  node.fact = fact;
+  node.parents = std::move(parents);
+  node.rule_label = rule;
+  node.rule_index = rule.empty() ? -1 : 0;
+  return node;
+}
+
+TEST(ChaseGraphTest, AddAndFind) {
+  ChaseGraph graph;
+  auto [id, inserted] = graph.AddNode(Node({"P", {Value::Int(1)}}));
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(id, 0);
+  EXPECT_EQ(graph.size(), 1);
+  ASSERT_TRUE(graph.Find({"P", {Value::Int(1)}}).has_value());
+  EXPECT_FALSE(graph.Find({"P", {Value::Int(2)}}).has_value());
+}
+
+TEST(ChaseGraphTest, DuplicateFactNotInserted) {
+  ChaseGraph graph;
+  graph.AddNode(Node({"P", {Value::Int(1)}}));
+  auto [id, inserted] = graph.AddNode(Node({"P", {Value::Int(1)}}));
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(id, 0);
+  EXPECT_EQ(graph.size(), 1);
+}
+
+TEST(ChaseGraphTest, ExtensionalFlag) {
+  ChaseGraph graph;
+  graph.AddNode(Node({"P", {Value::Int(1)}}));
+  graph.AddNode(Node({"Q", {Value::Int(1)}}, {0}, "r1"));
+  EXPECT_TRUE(graph.node(0).is_extensional());
+  EXPECT_FALSE(graph.node(1).is_extensional());
+}
+
+TEST(ChaseGraphTest, AncestorClosureIsSortedAndComplete) {
+  ChaseGraph graph;
+  graph.AddNode(Node({"A", {}}));                 // 0
+  graph.AddNode(Node({"B", {}}));                 // 1
+  graph.AddNode(Node({"C", {}}, {0, 1}, "r1"));   // 2
+  graph.AddNode(Node({"D", {}}, {2}, "r2"));      // 3
+  graph.AddNode(Node({"E", {}}));                 // 4 (unrelated)
+  auto closure = graph.AncestorClosure(3);
+  EXPECT_EQ(closure, (std::vector<FactId>{0, 1, 2, 3}));
+}
+
+TEST(ChaseGraphTest, AncestorClosureHandlesDiamonds) {
+  ChaseGraph graph;
+  graph.AddNode(Node({"A", {}}));                    // 0
+  graph.AddNode(Node({"B", {}}, {0}, "r1"));         // 1
+  graph.AddNode(Node({"C", {}}, {0}, "r2"));         // 2
+  graph.AddNode(Node({"D", {}}, {1, 2}, "r3"));      // 3
+  auto closure = graph.AncestorClosure(3);
+  EXPECT_EQ(closure.size(), 4u);  // 0 appears once
+}
+
+TEST(ChaseGraphTest, FactsOfPredicate) {
+  ChaseGraph graph;
+  graph.AddNode(Node({"P", {Value::Int(1)}}));
+  graph.AddNode(Node({"Q", {Value::Int(1)}}));
+  graph.AddNode(Node({"P", {Value::Int(2)}}));
+  EXPECT_EQ(graph.FactsOf("P").size(), 2u);
+  EXPECT_EQ(graph.FactsOf("Q").size(), 1u);
+}
+
+TEST(ChaseGraphTest, ToDotContainsNodesAndLabeledEdges) {
+  ChaseGraph graph;
+  graph.AddNode(Node({"P", {Value::Int(1)}}));
+  graph.AddNode(Node({"Q", {Value::Int(1)}}, {0}, "alpha"));
+  std::string dot = graph.ToDot();
+  EXPECT_NE(dot.find("P(1)"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"alpha\""), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+}
+
+TEST(ChaseGraphTest, ToDotRestrictedToGoal) {
+  ChaseGraph graph;
+  graph.AddNode(Node({"P", {Value::Int(1)}}));
+  graph.AddNode(Node({"Q", {Value::Int(1)}}, {0}, "alpha"));
+  graph.AddNode(Node({"Unrelated", {}}));
+  std::string dot = graph.ToDot(1);
+  EXPECT_EQ(dot.find("Unrelated"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace templex

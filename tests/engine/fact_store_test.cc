@@ -1,0 +1,126 @@
+#include "engine/fact_store.h"
+
+#include <gtest/gtest.h>
+
+namespace templex {
+namespace {
+
+class FactStoreTest : public ::testing::Test {
+ protected:
+  FactStoreTest() : store_(&graph_) {}
+
+  FactId Add(const Fact& fact) {
+    ChaseNode node;
+    node.fact = fact;
+    auto [id, inserted] = graph_.AddNode(std::move(node));
+    if (inserted) store_.OnNewFact(id);
+    return id;
+  }
+
+  ChaseGraph graph_;
+  FactStore store_;
+};
+
+TEST_F(FactStoreTest, FactsOfPredicate) {
+  Add({"Own", {Value::String("A"), Value::String("B"), Value::Double(0.6)}});
+  Add({"Own", {Value::String("B"), Value::String("C"), Value::Double(0.7)}});
+  Add({"Company", {Value::String("A")}});
+  EXPECT_EQ(store_.FactsOf("Own").size(), 2u);
+  EXPECT_EQ(store_.FactsOf("Company").size(), 1u);
+  EXPECT_TRUE(store_.FactsOf("Missing").empty());
+}
+
+TEST_F(FactStoreTest, CandidatesUseBoundPositionIndex) {
+  for (int i = 0; i < 10; ++i) {
+    Add({"Own",
+         {Value::String("A" + std::to_string(i)), Value::String("B"),
+          Value::Double(0.6)}});
+  }
+  Atom atom("Own", {Term::Variable("x"), Term::Variable("y"),
+                    Term::Variable("s")});
+  Binding binding;
+  binding.Set("x", Value::String("A3"));
+  const auto& candidates = store_.CandidatesFor(atom, binding);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(graph_.node(candidates[0]).fact.args[0], Value::String("A3"));
+}
+
+TEST_F(FactStoreTest, CandidatesWithConstantTerm) {
+  Add({"Risk", {Value::String("C"), Value::Int(11), Value::String("long")}});
+  Add({"Risk", {Value::String("C"), Value::Int(9), Value::String("short")}});
+  Atom atom("Risk", {Term::Variable("c"), Term::Variable("e"),
+                     Term::Constant(Value::String("long"))});
+  Binding empty;
+  const auto& candidates = store_.CandidatesFor(atom, empty);
+  ASSERT_EQ(candidates.size(), 1u);
+}
+
+TEST_F(FactStoreTest, CandidatesEmptyWhenNoValueMatches) {
+  Add({"Own", {Value::String("A"), Value::String("B"), Value::Double(0.6)}});
+  Atom atom("Own", {Term::Constant(Value::String("Z")), Term::Variable("y"),
+                    Term::Variable("s")});
+  Binding empty;
+  EXPECT_TRUE(store_.CandidatesFor(atom, empty).empty());
+}
+
+TEST_F(FactStoreTest, CandidatesFallBackToFullPredicateScan) {
+  Add({"Own", {Value::String("A"), Value::String("B"), Value::Double(0.6)}});
+  Add({"Own", {Value::String("B"), Value::String("C"), Value::Double(0.7)}});
+  Atom atom("Own", {Term::Variable("x"), Term::Variable("y"),
+                    Term::Variable("s")});
+  Binding empty;
+  EXPECT_EQ(store_.CandidatesFor(atom, empty).size(), 2u);
+}
+
+TEST(MatchAtomTest, ConstantMismatch) {
+  Atom atom("Risk", {Term::Variable("c"),
+                     Term::Constant(Value::String("long"))});
+  Fact fact{"Risk", {Value::String("C"), Value::String("short")}};
+  Binding binding;
+  EXPECT_FALSE(MatchAtom(atom, fact, &binding));
+}
+
+TEST(MatchAtomTest, BindsVariables) {
+  Atom atom("Own", {Term::Variable("x"), Term::Variable("y"),
+                    Term::Variable("s")});
+  Fact fact{"Own", {Value::String("A"), Value::String("B"),
+                    Value::Double(0.6)}};
+  Binding binding;
+  ASSERT_TRUE(MatchAtom(atom, fact, &binding));
+  EXPECT_EQ(*binding.Get("x"), Value::String("A"));
+  EXPECT_EQ(*binding.Get("s"), Value::Double(0.6));
+}
+
+TEST(MatchAtomTest, RepeatedVariableRequiresEqualArgs) {
+  Atom atom("Control", {Term::Variable("x"), Term::Variable("x")});
+  Binding binding;
+  EXPECT_TRUE(MatchAtom(
+      atom, Fact{"Control", {Value::String("A"), Value::String("A")}},
+      &binding));
+  Binding binding2;
+  EXPECT_FALSE(MatchAtom(
+      atom, Fact{"Control", {Value::String("A"), Value::String("B")}},
+      &binding2));
+}
+
+TEST(MatchAtomTest, PredicateAndArityChecked) {
+  Atom atom("P", {Term::Variable("x")});
+  Binding binding;
+  EXPECT_FALSE(MatchAtom(atom, Fact{"Q", {Value::Int(1)}}, &binding));
+  EXPECT_FALSE(
+      MatchAtom(atom, Fact{"P", {Value::Int(1), Value::Int(2)}}, &binding));
+}
+
+TEST(MatchAtomTest, HonorsExistingBinding) {
+  Atom atom("Own", {Term::Variable("x"), Term::Variable("y"),
+                    Term::Variable("s")});
+  Binding binding;
+  binding.Set("x", Value::String("Z"));
+  EXPECT_FALSE(MatchAtom(
+      atom,
+      Fact{"Own", {Value::String("A"), Value::String("B"), Value::Double(0.6)}},
+      &binding));
+}
+
+}  // namespace
+}  // namespace templex

@@ -1,0 +1,49 @@
+#include "engine/fact.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace templex {
+namespace {
+
+TEST(FactTest, ToString) {
+  Fact fact{"Default", {Value::String("C")}};
+  EXPECT_EQ(fact.ToString(), "Default(\"C\")");
+  Fact risk{"Risk", {Value::String("C"), Value::Int(11)}};
+  EXPECT_EQ(risk.ToString(), "Risk(\"C\", 11)");
+}
+
+TEST(FactTest, Equality) {
+  Fact a{"P", {Value::Int(1)}};
+  Fact b{"P", {Value::Int(1)}};
+  Fact c{"P", {Value::Int(2)}};
+  Fact d{"Q", {Value::Int(1)}};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == d);
+}
+
+TEST(FactTest, NumericCrossKindEquality) {
+  Fact a{"P", {Value::Int(2)}};
+  Fact b{"P", {Value::Double(2.0)}};
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(FactTest, HashDistributesOverArgs) {
+  Fact a{"P", {Value::Int(1), Value::Int(2)}};
+  Fact b{"P", {Value::Int(2), Value::Int(1)}};
+  EXPECT_NE(a.Hash(), b.Hash());  // order matters
+}
+
+TEST(FactTest, UsableInUnorderedSet) {
+  std::unordered_set<Fact, FactHash> facts;
+  facts.insert(Fact{"P", {Value::Int(1)}});
+  facts.insert(Fact{"P", {Value::Int(1)}});
+  facts.insert(Fact{"P", {Value::Int(2)}});
+  EXPECT_EQ(facts.size(), 2u);
+}
+
+}  // namespace
+}  // namespace templex

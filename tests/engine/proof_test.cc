@@ -1,0 +1,113 @@
+#include "engine/proof.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/programs.h"
+#include "engine/chase.h"
+
+namespace templex {
+namespace {
+
+Value S(const char* s) { return Value::String(s); }
+Value I(int64_t i) { return Value::Int(i); }
+
+class ProofTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Program program = SimplifiedStressTestProgram();
+    std::vector<Fact> edb = {
+        {"Shock", {S("A"), I(6)}},          {"HasCapital", {S("A"), I(5)}},
+        {"HasCapital", {S("B"), I(2)}},     {"HasCapital", {S("C"), I(10)}},
+        {"Debts", {S("A"), S("B"), I(7)}},  {"Debts", {S("B"), S("C"), I(2)}},
+        {"Debts", {S("B"), S("C"), I(9)}},
+    };
+    auto result = ChaseEngine().Run(program, edb);
+    ASSERT_TRUE(result.ok());
+    chase_ = std::make_unique<ChaseResult>(std::move(result).value());
+  }
+
+  std::unique_ptr<ChaseResult> chase_;
+};
+
+TEST_F(ProofTest, Example47RuleSequence) {
+  FactId goal = chase_->Find({"Default", {S("C")}}).value();
+  Proof proof = Proof::Extract(chase_->graph, goal);
+  EXPECT_EQ(proof.RuleLabelSequence(),
+            (std::vector<std::string>{"alpha", "beta", "gamma", "beta",
+                                      "gamma"}));
+  EXPECT_EQ(proof.num_chase_steps(), 5);
+}
+
+TEST_F(ProofTest, IntermediateAggregateEmissionsExcluded) {
+  FactId goal = chase_->Find({"Default", {S("C")}}).value();
+  Proof proof = Proof::Extract(chase_->graph, goal);
+  // Risk(C, 2) exists in the chase but is not an ancestor of Default(C).
+  FactId partial = chase_->Find({"Risk", {S("C"), I(2)}}).value();
+  for (FactId step : proof.steps()) {
+    EXPECT_NE(step, partial);
+  }
+}
+
+TEST_F(ProofTest, EdbFactsGroundTheProof) {
+  FactId goal = chase_->Find({"Default", {S("C")}}).value();
+  Proof proof = Proof::Extract(chase_->graph, goal);
+  EXPECT_EQ(proof.edb_facts().size(), 7u);  // the whole Figure 8 EDB
+  for (FactId id : proof.edb_facts()) {
+    EXPECT_TRUE(chase_->graph.node(id).is_extensional());
+  }
+}
+
+TEST_F(ProofTest, ShorterProofForEarlierDefault) {
+  FactId goal = chase_->Find({"Default", {S("A")}}).value();
+  Proof proof = Proof::Extract(chase_->graph, goal);
+  EXPECT_EQ(proof.num_chase_steps(), 1);
+  EXPECT_EQ(proof.edb_facts().size(), 2u);  // Shock(A), HasCapital(A)
+}
+
+TEST_F(ProofTest, StepsAreTopologicallyOrdered) {
+  FactId goal = chase_->Find({"Default", {S("C")}}).value();
+  Proof proof = Proof::Extract(chase_->graph, goal);
+  for (size_t i = 1; i < proof.steps().size(); ++i) {
+    EXPECT_LT(proof.steps()[i - 1], proof.steps()[i]);
+  }
+  EXPECT_EQ(proof.steps().back(), goal);
+}
+
+TEST_F(ProofTest, ConstantsCoverEveryValueInTheProof) {
+  FactId goal = chase_->Find({"Default", {S("C")}}).value();
+  Proof proof = Proof::Extract(chase_->graph, goal);
+  auto constants = proof.Constants();
+  auto contains = [&constants](const Value& v) {
+    return std::find(constants.begin(), constants.end(), v) !=
+           constants.end();
+  };
+  EXPECT_TRUE(contains(S("A")));
+  EXPECT_TRUE(contains(S("B")));
+  EXPECT_TRUE(contains(S("C")));
+  EXPECT_TRUE(contains(I(6)));
+  EXPECT_TRUE(contains(I(11)));  // the derived aggregate value
+  EXPECT_TRUE(contains(I(2)));
+  EXPECT_TRUE(contains(I(9)));
+}
+
+TEST_F(ProofTest, ConstantsDeduplicated) {
+  FactId goal = chase_->Find({"Default", {S("C")}}).value();
+  Proof proof = Proof::Extract(chase_->graph, goal);
+  auto constants = proof.Constants();
+  std::vector<Value> copy = constants;
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(std::adjacent_find(copy.begin(), copy.end()), copy.end());
+}
+
+TEST_F(ProofTest, ToStringListsStepsWithRules) {
+  FactId goal = chase_->Find({"Default", {S("B")}}).value();
+  Proof proof = Proof::Extract(chase_->graph, goal);
+  std::string text = proof.ToString();
+  EXPECT_NE(text.find("[alpha]"), std::string::npos);
+  EXPECT_NE(text.find("[beta]"), std::string::npos);
+  EXPECT_NE(text.find("[gamma]"), std::string::npos);
+  EXPECT_NE(text.find("[edb]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace templex

@@ -1,0 +1,108 @@
+#include "explain/anonymizer.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/glossaries.h"
+#include "apps/programs.h"
+#include "engine/chase.h"
+#include "explain/explainer.h"
+
+namespace templex {
+namespace {
+
+Value S(const char* s) { return Value::String(s); }
+Value I(int64_t i) { return Value::Int(i); }
+
+TEST(AnonymizeEntitiesTest, ConsistentWholeWordReplacement) {
+  AnonymizedText result = AnonymizeEntities(
+      "BancaUno owes BancaDue; BancaUno pays.", {"BancaUno", "BancaDue"});
+  EXPECT_EQ(result.text, "Entity-1 owes Entity-2; Entity-1 pays.");
+  ASSERT_EQ(result.mapping.size(), 2u);
+  EXPECT_EQ(result.mapping[0].first, "Entity-1");
+  EXPECT_EQ(result.mapping[0].second, "BancaUno");
+}
+
+TEST(AnonymizeEntitiesTest, PrefixEntitiesDoNotClobber) {
+  AnonymizedText result = AnonymizeEntities("Banca1 and Banca12 differ.",
+                                            {"Banca1", "Banca12"});
+  EXPECT_EQ(result.text, "Entity-1 and Entity-2 differ.");
+}
+
+TEST(AnonymizeEntitiesTest, CustomPrefix) {
+  AnonymizerOptions options;
+  options.pseudonym_prefix = "Company-";
+  AnonymizedText result = AnonymizeEntities("A pays B.", {"A", "B"}, options);
+  EXPECT_EQ(result.text, "Company-1 pays Company-2.");
+}
+
+TEST(AnonymizeEntitiesTest, SubstringsInsideWordsUntouched) {
+  AnonymizedText result = AnonymizeEntities("CAB contains A and B letters.",
+                                            {"A", "B"});
+  EXPECT_EQ(result.text, "CAB contains Entity-1 and Entity-2 letters.");
+}
+
+class AnonymizeExplanationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto explainer = Explainer::Create(SimplifiedStressTestProgram(),
+                                       SimplifiedStressTestGlossary());
+    ASSERT_TRUE(explainer.ok());
+    explainer_ = std::move(explainer).value();
+    std::vector<Fact> edb = {
+        {"Shock", {S("BancaUno"), I(6)}},
+        {"HasCapital", {S("BancaUno"), I(5)}},
+        {"HasCapital", {S("FondoDue"), I(2)}},
+        {"Debts", {S("BancaUno"), S("FondoDue"), I(7)}},
+    };
+    auto chase = ChaseEngine().Run(explainer_->program(), edb);
+    ASSERT_TRUE(chase.ok());
+    chase_ = std::make_unique<ChaseResult>(std::move(chase).value());
+    FactId goal = chase_->Find({"Default", {S("FondoDue")}}).value();
+    proof_ = std::make_unique<Proof>(Proof::Extract(chase_->graph, goal));
+    auto text = explainer_->ExplainProof(*proof_);
+    ASSERT_TRUE(text.ok());
+    text_ = std::move(text).value();
+  }
+
+  std::unique_ptr<Explainer> explainer_;
+  std::unique_ptr<ChaseResult> chase_;
+  std::unique_ptr<Proof> proof_;
+  std::string text_;
+};
+
+TEST_F(AnonymizeExplanationTest, EntitiesDisappear) {
+  AnonymizedText anonymized = AnonymizeExplanation(text_, *proof_);
+  EXPECT_EQ(anonymized.text.find("BancaUno"), std::string::npos);
+  EXPECT_EQ(anonymized.text.find("FondoDue"), std::string::npos);
+  EXPECT_NE(anonymized.text.find("Entity-1"), std::string::npos);
+  EXPECT_NE(anonymized.text.find("Entity-2"), std::string::npos);
+}
+
+TEST_F(AnonymizeExplanationTest, AmountsKeptByDefault) {
+  AnonymizedText anonymized = AnonymizeExplanation(text_, *proof_);
+  EXPECT_NE(anonymized.text.find("6M"), std::string::npos);
+  EXPECT_NE(anonymized.text.find("7M"), std::string::npos);
+}
+
+TEST_F(AnonymizeExplanationTest, CoarsenedNumbersBecomeBuckets) {
+  AnonymizerOptions options;
+  options.coarsen_numbers = true;
+  AnonymizedText anonymized = AnonymizeExplanation(text_, *proof_, options);
+  EXPECT_EQ(anonymized.text.find("7M"), std::string::npos);
+  EXPECT_NE(anonymized.text.find("~"), std::string::npos);
+}
+
+TEST_F(AnonymizeExplanationTest, MappingAllowsReidentification) {
+  AnonymizedText anonymized = AnonymizeExplanation(text_, *proof_);
+  bool banca = false;
+  bool fondo = false;
+  for (const auto& [pseudonym, original] : anonymized.mapping) {
+    if (original == "BancaUno") banca = true;
+    if (original == "FondoDue") fondo = true;
+  }
+  EXPECT_TRUE(banca);
+  EXPECT_TRUE(fondo);
+}
+
+}  // namespace
+}  // namespace templex

@@ -1,0 +1,144 @@
+#include "explain/enhancer.h"
+
+#include <cmath>
+#include <set>
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "apps/glossaries.h"
+#include "apps/programs.h"
+#include "explain/template_generator.h"
+#include "llm/simulated_llm.h"
+
+namespace templex {
+namespace {
+
+ExplanationTemplate MakeTemplate() {
+  Program program = SimplifiedStressTestProgram();
+  DomainGlossary glossary = SimplifiedStressTestGlossary();
+  StructuralAnalysis analysis = AnalyzeProgram(program).value();
+  TemplateGenerator generator(&program, &glossary);
+  // Pi2 = {alpha, beta, gamma}: three segments.
+  for (const ReasoningPath& path : analysis.simple_paths) {
+    if (path.rules.size() == 3) {
+      return generator.GenerateForPath(path).value();
+    }
+  }
+  return ExplanationTemplate{};
+}
+
+TEST(VerifyTokensTest, AcceptsTextWithAllTokens) {
+  TemplateSegment segment;
+  segment.tokens = {{"f", NumberStyle::kPlain}, {"s", NumberStyle::kPlain}};
+  EXPECT_TRUE(
+      VerifyTokensPreserved(segment, "text with <f> and <s> inside").ok());
+}
+
+TEST(VerifyTokensTest, RejectsMissingToken) {
+  TemplateSegment segment;
+  segment.rule_label = "alpha";
+  segment.tokens = {{"f", NumberStyle::kPlain}, {"s", NumberStyle::kPlain}};
+  Status status = VerifyTokensPreserved(segment, "text with <f> only");
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("<s>"), std::string::npos);
+}
+
+TEST(VerifyTokensTest, TokenNamePrefixesDoNotCollide) {
+  TemplateSegment segment;
+  segment.tokens = {{"p", NumberStyle::kPlain}};
+  // "<p2>" does not contain "<p>" as a substring: the check must fail.
+  EXPECT_FALSE(VerifyTokensPreserved(segment, "only <p2> here").ok());
+}
+
+TEST(EnhancerTest, EnhancementPreservesTokens) {
+  ExplanationTemplate tmpl = MakeTemplate();
+  ASSERT_EQ(tmpl.segments.size(), 3u);
+  TemplateEnhancer enhancer;
+  ASSERT_TRUE(enhancer.Enhance(&tmpl).ok());
+  for (const TemplateSegment& segment : tmpl.segments) {
+    ASSERT_FALSE(segment.enhanced_text.empty());
+    EXPECT_TRUE(VerifyTokensPreserved(segment, segment.enhanced_text).ok());
+  }
+}
+
+TEST(EnhancerTest, EnhancementChangesText) {
+  ExplanationTemplate tmpl = MakeTemplate();
+  TemplateEnhancer enhancer;
+  ASSERT_TRUE(enhancer.Enhance(&tmpl).ok());
+  bool changed = false;
+  for (const TemplateSegment& segment : tmpl.segments) {
+    if (segment.enhanced_text != segment.text) changed = true;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(EnhancerTest, VariantsDiffer) {
+  ExplanationTemplate a = MakeTemplate();
+  ExplanationTemplate b = MakeTemplate();
+  TemplateEnhancer enhancer;
+  ASSERT_TRUE(enhancer.Enhance(&a, 0).ok());
+  ASSERT_TRUE(enhancer.Enhance(&b, 1).ok());
+  EXPECT_NE(a.EffectiveText(), b.EffectiveText());
+}
+
+TEST(EnhancerTest, MergesSharedSubjectClauses) {
+  TemplateEnhancer enhancer;
+  std::string rewritten = enhancer.RewriteSentence(
+      "Since <d> is in default, and <d> has <v> euros of debts with <c>, "
+      "then <c> is at risk.",
+      0);
+  EXPECT_NE(rewritten.find("<d> is in default and has <v> euros"),
+            std::string::npos);
+}
+
+TEST(EnhancerTest, FrameRotation) {
+  TemplateEnhancer enhancer;
+  const std::string sentence = "Since <a> is here, then <b> is there.";
+  std::set<std::string> variants;
+  for (int frame = 0; frame < 4; ++frame) {
+    variants.insert(enhancer.RewriteSentence(sentence, frame));
+  }
+  EXPECT_EQ(variants.size(), 4u);
+}
+
+TEST(EnhancerTest, UnknownShapeLeftUntouched) {
+  TemplateEnhancer enhancer;
+  const std::string odd = "This is not a verbalizer sentence.";
+  EXPECT_EQ(enhancer.RewriteSentence(odd, 1), odd);
+}
+
+TEST(EnhancerTest, LlmEnhancementFallsBackOnTokenDrop) {
+  // Force the simulated LLM to always drop a token: every segment must fall
+  // back to the deterministic text (the §4.4 preventive check).
+  SimulatedLlmOptions options;
+  options.rephrase_token_drop = 1.0;
+  SimulatedLlm llm(options);
+  ExplanationTemplate tmpl = MakeTemplate();
+  TemplateEnhancer enhancer;
+  int fallbacks = 0;
+  ASSERT_TRUE(enhancer.EnhanceWithLlm(&tmpl, &llm, &fallbacks).ok());
+  EXPECT_EQ(fallbacks, 3);
+  for (const TemplateSegment& segment : tmpl.segments) {
+    EXPECT_TRUE(segment.enhanced_text.empty());
+    EXPECT_EQ(segment.effective_text(), segment.text);
+  }
+}
+
+TEST(EnhancerTest, LlmEnhancementAcceptsTokenPreservingRewrites) {
+  SimulatedLlmOptions options;
+  options.rephrase_token_drop = 0.0;
+  SimulatedLlm llm(options);
+  ExplanationTemplate tmpl = MakeTemplate();
+  TemplateEnhancer enhancer;
+  int fallbacks = 0;
+  ASSERT_TRUE(enhancer.EnhanceWithLlm(&tmpl, &llm, &fallbacks).ok());
+  EXPECT_EQ(fallbacks, 0);
+  for (const TemplateSegment& segment : tmpl.segments) {
+    EXPECT_FALSE(segment.enhanced_text.empty());
+    EXPECT_TRUE(VerifyTokensPreserved(segment, segment.enhanced_text).ok());
+  }
+}
+
+}  // namespace
+}  // namespace templex

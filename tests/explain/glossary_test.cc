@@ -1,0 +1,132 @@
+#include "explain/glossary.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/glossaries.h"
+
+namespace templex {
+namespace {
+
+TEST(GlossaryTest, RegisterAndFind) {
+  DomainGlossary glossary;
+  ASSERT_TRUE(glossary
+                  .Register("Default",
+                            {"<f> is in default", {"f"}, {NumberStyle::kPlain}})
+                  .ok());
+  EXPECT_TRUE(glossary.Has("Default"));
+  EXPECT_FALSE(glossary.Has("Missing"));
+  EXPECT_EQ(glossary.Find("Default")->pattern, "<f> is in default");
+}
+
+TEST(GlossaryTest, RejectsPatternMissingToken) {
+  DomainGlossary glossary;
+  Status status = glossary.Register(
+      "Own", {"<x> owns shares", {"x", "y"}, {}});
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GlossaryTest, RejectsStyleSizeMismatch) {
+  DomainGlossary glossary;
+  Status status = glossary.Register(
+      "Own", {"<x> owns <y>", {"x", "y"}, {NumberStyle::kPlain}});
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GlossaryTest, DefaultStylesArePlain) {
+  DomainGlossary glossary;
+  ASSERT_TRUE(glossary.Register("P", {"<a> then <b>", {"a", "b"}, {}}).ok());
+  EXPECT_EQ(glossary.StyleFor("P", 0), NumberStyle::kPlain);
+  EXPECT_EQ(glossary.StyleFor("P", 1), NumberStyle::kPlain);
+  EXPECT_EQ(glossary.StyleFor("P", 5), NumberStyle::kPlain);  // out of range
+  EXPECT_EQ(glossary.StyleFor("Unknown", 0), NumberStyle::kPlain);
+}
+
+TEST(GlossaryTest, VerbalizeAtomKeepsVariableTokens) {
+  DomainGlossary glossary = SimplifiedStressTestGlossary();
+  Atom atom("HasCapital", {Term::Variable("f"), Term::Variable("p1")});
+  auto text = glossary.VerbalizeAtom(atom);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text.value(),
+            "<f> is a financial institution with capital of <p1> euros");
+}
+
+TEST(GlossaryTest, VerbalizeAtomSubstitutesConstants) {
+  DomainGlossary glossary = StressTestGlossary();
+  Atom atom("Risk", {Term::Variable("c"), Term::Variable("e"),
+                     Term::Constant(Value::String("long"))});
+  auto text = glossary.VerbalizeAtom(atom);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text.value().find("<c>"), std::string::npos);
+  EXPECT_NE(text.value().find("long-term loans"), std::string::npos);
+  EXPECT_EQ(text.value().find("<t>"), std::string::npos);
+}
+
+TEST(GlossaryTest, VerbalizeAtomUnknownPredicateErrors) {
+  DomainGlossary glossary;
+  Atom atom("Missing", {Term::Variable("x")});
+  EXPECT_EQ(glossary.VerbalizeAtom(atom).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(GlossaryTest, VerbalizeAtomArityMismatchErrors) {
+  DomainGlossary glossary = SimplifiedStressTestGlossary();
+  Atom atom("Default", {Term::Variable("x"), Term::Variable("y")});
+  EXPECT_FALSE(glossary.VerbalizeAtom(atom).ok());
+}
+
+TEST(GlossaryTest, VerbalizeFactFormatsByStyle) {
+  DomainGlossary glossary = SimplifiedStressTestGlossary();
+  Fact fact{"Shock", {Value::String("A"), Value::Int(6)}};
+  auto text = glossary.VerbalizeFact(fact);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text.value(), "a shock amounting to 6M euros affects A");
+}
+
+TEST(GlossaryTest, VerbalizeFactPercentStyle) {
+  DomainGlossary glossary = CompanyControlGlossary();
+  Fact fact{"Own",
+            {Value::String("IrishBank"), Value::String("FondoItaliano"),
+             Value::Double(0.83)}};
+  auto text = glossary.VerbalizeFact(fact);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text.value(),
+            "IrishBank owns 83% of the shares of FondoItaliano");
+}
+
+TEST(GlossaryTest, VariableStylesFollowPositions) {
+  DomainGlossary glossary = SimplifiedStressTestGlossary();
+  Atom atom("Shock", {Term::Variable("f"), Term::Variable("s")});
+  auto styles = glossary.VariableStyles(atom);
+  EXPECT_EQ(styles.at("f"), NumberStyle::kPlain);
+  EXPECT_EQ(styles.at("s"), NumberStyle::kMillions);
+}
+
+TEST(GlossaryTest, FormatValueStatic) {
+  EXPECT_EQ(DomainGlossary::FormatValue(Value::Int(7),
+                                        NumberStyle::kMillions),
+            "7M");
+  EXPECT_EQ(DomainGlossary::FormatValue(Value::Double(0.57),
+                                        NumberStyle::kPercent),
+            "57%");
+  EXPECT_EQ(
+      DomainGlossary::FormatValue(Value::String("A"), NumberStyle::kMillions),
+      "A");
+}
+
+TEST(GlossaryTest, ToTableListsEntriesInRegistrationOrder) {
+  DomainGlossary glossary = SimplifiedStressTestGlossary();
+  std::string table = glossary.ToTable();
+  EXPECT_NE(table.find("HasCapital(f, p)"), std::string::npos);
+  EXPECT_LT(table.find("HasCapital"), table.find("Risk"));
+}
+
+TEST(GlossaryTest, ReRegisterOverwrites) {
+  DomainGlossary glossary;
+  ASSERT_TRUE(glossary.Register("P", {"first <a>", {"a"}, {}}).ok());
+  ASSERT_TRUE(glossary.Register("P", {"second <a>", {"a"}, {}}).ok());
+  EXPECT_EQ(glossary.Find("P")->pattern, "second <a>");
+  EXPECT_EQ(glossary.predicates().size(), 1u);
+}
+
+}  // namespace
+}  // namespace templex

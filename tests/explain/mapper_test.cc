@@ -1,0 +1,189 @@
+#include "explain/mapper.h"
+
+#include <cmath>
+#include <set>
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "apps/glossaries.h"
+#include "apps/programs.h"
+#include "engine/chase.h"
+#include "explain/explainer.h"
+
+namespace templex {
+namespace {
+
+Value S(const char* s) { return Value::String(s); }
+Value I(int64_t i) { return Value::Int(i); }
+Value D(double d) { return Value::Double(d); }
+
+// Builds an explainer + chase for a program and EDB; returns the mapping of
+// the goal's proof.
+struct MappedProof {
+  std::unique_ptr<Explainer> explainer;
+  std::unique_ptr<ChaseResult> chase;
+  std::unique_ptr<Proof> proof;
+  std::vector<MappedUnit> units;
+};
+
+MappedProof MapGoal(Program program, DomainGlossary glossary,
+                    const std::vector<Fact>& edb, const Fact& goal) {
+  MappedProof out;
+  auto explainer = Explainer::Create(std::move(program), std::move(glossary));
+  EXPECT_TRUE(explainer.ok()) << explainer.status().ToString();
+  out.explainer = std::move(explainer).value();
+  auto chase = ChaseEngine().Run(out.explainer->program(), edb);
+  EXPECT_TRUE(chase.ok()) << chase.status().ToString();
+  out.chase = std::make_unique<ChaseResult>(std::move(chase).value());
+  auto id = out.chase->Find(goal);
+  EXPECT_TRUE(id.ok()) << id.status().ToString();
+  out.proof =
+      std::make_unique<Proof>(Proof::Extract(out.chase->graph, id.value()));
+  auto units = out.explainer->MapProof(*out.proof);
+  EXPECT_TRUE(units.ok()) << units.status().ToString();
+  out.units = std::move(units).value();
+  return out;
+}
+
+std::vector<Fact> Figure8Edb() {
+  return {
+      {"Shock", {S("A"), I(6)}},          {"HasCapital", {S("A"), I(5)}},
+      {"HasCapital", {S("B"), I(2)}},     {"HasCapital", {S("C"), I(10)}},
+      {"Debts", {S("A"), S("B"), I(7)}},  {"Debts", {S("B"), S("C"), I(2)}},
+      {"Debts", {S("B"), S("C"), I(9)}},
+  };
+}
+
+TEST(MapperTest, Example47SelectsPi2ThenAggregatedCycle) {
+  MappedProof mapped =
+      MapGoal(SimplifiedStressTestProgram(), SimplifiedStressTestGlossary(),
+              Figure8Edb(), {"Default", {S("C")}});
+  // Expected composition (Example 4.7): Π2 = {α, β, γ} then the dashed
+  // Γ1* = {β, γ} (multiple aggregation inputs).
+  ASSERT_EQ(mapped.units.size(), 2u);
+  ASSERT_FALSE(mapped.units[0].is_fallback());
+  ASSERT_FALSE(mapped.units[1].is_fallback());
+  const ExplanationTemplate* first = mapped.units[0].instance->tmpl;
+  const ExplanationTemplate* second = mapped.units[1].instance->tmpl;
+  EXPECT_EQ(first->path.kind, ReasoningPath::Kind::kSimplePath);
+  EXPECT_TRUE(first->path.SameRuleSet({"alpha", "beta", "gamma"}));
+  EXPECT_FALSE(first->path.is_aggregation_variant());
+  EXPECT_EQ(second->path.kind, ReasoningPath::Kind::kCycle);
+  EXPECT_TRUE(second->path.SameRuleSet({"beta", "gamma"}));
+  EXPECT_TRUE(second->path.is_aggregation_variant());
+}
+
+TEST(MapperTest, SingleStepProofUsesPi1) {
+  MappedProof mapped =
+      MapGoal(SimplifiedStressTestProgram(), SimplifiedStressTestGlossary(),
+              Figure8Edb(), {"Default", {S("A")}});
+  ASSERT_EQ(mapped.units.size(), 1u);
+  ASSERT_FALSE(mapped.units[0].is_fallback());
+  EXPECT_TRUE(mapped.units[0].instance->tmpl->path.SameRuleSet({"alpha"}));
+}
+
+TEST(MapperTest, LongControlChainUsesCyclesPerHop) {
+  std::vector<Fact> edb = {
+      {"Own", {S("C0"), S("C1"), D(0.6)}},
+      {"Own", {S("C1"), S("C2"), D(0.7)}},
+      {"Own", {S("C2"), S("C3"), D(0.8)}},
+      {"Own", {S("C3"), S("C4"), D(0.9)}},
+  };
+  MappedProof mapped = MapGoal(CompanyControlProgram(),
+                               CompanyControlGlossary(), edb,
+                               {"Control", {S("C0"), S("C4")}});
+  // Expected: Π{σ1, σ3} then Γ{σ3} twice.
+  ASSERT_EQ(mapped.units.size(), 3u);
+  EXPECT_TRUE(
+      mapped.units[0].instance->tmpl->path.SameRuleSet({"sigma1", "sigma3"}));
+  for (size_t i = 1; i < 3; ++i) {
+    ASSERT_FALSE(mapped.units[i].is_fallback());
+    EXPECT_TRUE(mapped.units[i].instance->tmpl->path.SameRuleSet({"sigma3"}));
+    EXPECT_EQ(mapped.units[i].instance->tmpl->path.kind,
+              ReasoningPath::Kind::kCycle);
+  }
+}
+
+TEST(MapperTest, JointContributorsCoveredByOneInstance) {
+  // Two σ1-derived controls jointly feed σ3's aggregation: the mapper must
+  // cover the repeated σ1 steps with a single Π{σ1,σ3} instance whose σ1
+  // segment aligns to both steps.
+  std::vector<Fact> edb = {
+      {"Own", {S("X"), S("Z1"), D(0.6)}}, {"Own", {S("X"), S("Z2"), D(0.6)}},
+      {"Own", {S("Z1"), S("Y"), D(0.3)}}, {"Own", {S("Z2"), S("Y"), D(0.3)}}};
+  MappedProof mapped =
+      MapGoal(CompanyControlProgram(), CompanyControlGlossary(), edb,
+              {"Control", {S("X"), S("Y")}});
+  ASSERT_EQ(mapped.units.size(), 1u);
+  ASSERT_FALSE(mapped.units[0].is_fallback());
+  const TemplateInstance& instance = *mapped.units[0].instance;
+  EXPECT_TRUE(instance.tmpl->path.SameRuleSet({"sigma1", "sigma3"}));
+  EXPECT_TRUE(instance.tmpl->path.is_aggregation_variant());
+  // σ1 segment covers two steps, σ3 segment one.
+  ASSERT_EQ(instance.alignment.size(), 2u);
+  EXPECT_EQ(instance.alignment[0].size(), 2u);
+  EXPECT_EQ(instance.alignment[1].size(), 1u);
+}
+
+TEST(MapperTest, StressCascadeUsesChannelCycles) {
+  // A defaults; long-term debts sink B; B's short-term debts sink C.
+  std::vector<Fact> edb = {
+      {"HasCapital", {S("A"), I(5)}},  {"HasCapital", {S("B"), I(4)}},
+      {"HasCapital", {S("C"), I(8)}},  {"Shock", {S("A"), I(14)}},
+      {"LongTermDebts", {S("A"), S("B"), I(7)}},
+      {"ShortTermDebts", {S("B"), S("C"), I(9)}},
+  };
+  MappedProof mapped = MapGoal(StressTestProgram(), StressTestGlossary(), edb,
+                               {"Default", {S("C")}});
+  ASSERT_EQ(mapped.units.size(), 2u);
+  EXPECT_TRUE(mapped.units[0].instance->tmpl->path.SameRuleSet(
+      {"sigma4", "sigma5", "sigma7"}));
+  EXPECT_TRUE(mapped.units[1].instance->tmpl->path.SameRuleSet(
+      {"sigma6", "sigma7"}));
+}
+
+TEST(MapperTest, DualChannelDefaultUsesJointCycle) {
+  // B and C both default and jointly sink F over both channels: Γ{σ5, σ6,
+  // σ7}.
+  std::vector<Fact> edb = {
+      {"HasCapital", {S("A"), I(5)}},  {"HasCapital", {S("B"), I(4)}},
+      {"HasCapital", {S("C"), I(8)}},  {"HasCapital", {S("F"), I(9)}},
+      {"Shock", {S("A"), I(14)}},
+      {"LongTermDebts", {S("A"), S("B"), I(7)}},
+      {"ShortTermDebts", {S("B"), S("C"), I(9)}},
+      {"LongTermDebts", {S("C"), S("F"), I(2)}},
+      {"ShortTermDebts", {S("B"), S("F"), I(9)}},
+  };
+  MappedProof mapped = MapGoal(StressTestProgram(), StressTestGlossary(), edb,
+                               {"Default", {S("F")}});
+  ASSERT_GE(mapped.units.size(), 3u);
+  const MappedUnit& last = mapped.units.back();
+  ASSERT_FALSE(last.is_fallback());
+  EXPECT_TRUE(
+      last.instance->tmpl->path.SameRuleSet({"sigma5", "sigma6", "sigma7"}));
+  EXPECT_EQ(last.instance->tmpl->path.kind, ReasoningPath::Kind::kCycle);
+}
+
+TEST(MapperTest, EveryStepCoveredExactlyOnce) {
+  MappedProof mapped =
+      MapGoal(SimplifiedStressTestProgram(), SimplifiedStressTestGlossary(),
+              Figure8Edb(), {"Default", {S("C")}});
+  std::set<FactId> covered;
+  for (const MappedUnit& unit : mapped.units) {
+    if (unit.is_fallback()) {
+      EXPECT_TRUE(covered.insert(unit.fallback_step).second);
+      continue;
+    }
+    for (const auto& steps : unit.instance->alignment) {
+      for (FactId id : steps) {
+        EXPECT_TRUE(covered.insert(id).second) << "step covered twice";
+      }
+    }
+  }
+  EXPECT_EQ(covered.size(), static_cast<size_t>(
+                                mapped.proof->num_chase_steps()));
+}
+
+}  // namespace
+}  // namespace templex

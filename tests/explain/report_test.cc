@@ -1,0 +1,108 @@
+#include "explain/report.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/glossaries.h"
+#include "apps/programs.h"
+#include "datalog/parser.h"
+#include "engine/chase.h"
+
+namespace templex {
+namespace {
+
+Value S(const char* s) { return Value::String(s); }
+Value I(int64_t i) { return Value::Int(i); }
+
+class ReportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto explainer = Explainer::Create(SimplifiedStressTestProgram(),
+                                       SimplifiedStressTestGlossary());
+    ASSERT_TRUE(explainer.ok());
+    explainer_ = std::move(explainer).value();
+    std::vector<Fact> edb = {
+        {"Shock", {S("A"), I(6)}},      {"HasCapital", {S("A"), I(5)}},
+        {"HasCapital", {S("B"), I(2)}}, {"Debts", {S("A"), S("B"), I(7)}},
+    };
+    auto chase = ChaseEngine().Run(explainer_->program(), edb);
+    ASSERT_TRUE(chase.ok());
+    chase_ = std::make_unique<ChaseResult>(std::move(chase).value());
+  }
+
+  std::unique_ptr<Explainer> explainer_;
+  std::unique_ptr<ChaseResult> chase_;
+};
+
+TEST_F(ReportTest, MarkdownStructure) {
+  auto report = ReportBuilder(explainer_.get(), chase_.get())
+                    .Title("Stress exercise 2026-Q1")
+                    .Preamble("Simulated shock over the A-B corridor.")
+                    .AddExplanation({"Default", {S("B")}})
+                    .Build();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const std::string& doc = report.value();
+  EXPECT_NE(doc.find("# Stress exercise 2026-Q1"), std::string::npos);
+  EXPECT_NE(doc.find("Simulated shock over the A-B corridor."),
+            std::string::npos);
+  EXPECT_NE(doc.find("## B is in default"), std::string::npos);
+  EXPECT_NE(doc.find("7M"), std::string::npos);
+  EXPECT_NE(doc.find("derived)"), std::string::npos);
+}
+
+TEST_F(ReportTest, CustomHeading) {
+  auto report = ReportBuilder(explainer_.get(), chase_.get())
+                    .AddExplanation({"Default", {S("B")}}, "Why B failed")
+                    .Build();
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report.value().find("## Why B failed"), std::string::npos);
+}
+
+TEST_F(ReportTest, MultipleSectionsInOrder) {
+  auto report = ReportBuilder(explainer_.get(), chase_.get())
+                    .AddExplanation({"Default", {S("A")}})
+                    .AddExplanation({"Default", {S("B")}})
+                    .Build();
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report.value().find("A is in default"),
+            report.value().find("B is in default"));
+}
+
+TEST_F(ReportTest, UnknownFactFailsBuild) {
+  auto report = ReportBuilder(explainer_.get(), chase_.get())
+                    .AddExplanation({"Default", {S("Z")}})
+                    .Build();
+  EXPECT_EQ(report.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ReportTest, ViolationsAppendixEmptyCase) {
+  auto report = ReportBuilder(explainer_.get(), chase_.get())
+                    .AddViolationsAppendix()
+                    .Build();
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report.value().find("No constraint violations detected."),
+            std::string::npos);
+}
+
+TEST(ReportViolationsTest, AppendixListsVerbalizedFindings) {
+  Program program = ParseProgram(R"(
+@goal Default.
+alpha: Shock(f, s), HasCapital(f, p1), s > p1 -> Default(f).
+c1: HasCapital(f, p), p < 0 -> !.
+)")
+                        .value();
+  DomainGlossary glossary = SimplifiedStressTestGlossary();
+  auto explainer = Explainer::Create(program, glossary);
+  ASSERT_TRUE(explainer.ok()) << explainer.status().ToString();
+  auto chase = ChaseEngine().Run(
+      program, {{"HasCapital", {S("GhostBank"), I(-3)}}});
+  ASSERT_TRUE(chase.ok());
+  auto report = ReportBuilder(explainer.value().get(), &chase.value())
+                    .AddViolationsAppendix()
+                    .Build();
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report.value().find("`c1`"), std::string::npos);
+  EXPECT_NE(report.value().find("GhostBank"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace templex

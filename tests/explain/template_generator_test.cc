@@ -1,0 +1,116 @@
+#include "explain/template_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/glossaries.h"
+#include "apps/programs.h"
+
+namespace templex {
+namespace {
+
+class TemplateGeneratorTest : public ::testing::Test {
+ protected:
+  TemplateGeneratorTest()
+      : program_(SimplifiedStressTestProgram()),
+        glossary_(SimplifiedStressTestGlossary()) {
+    auto analysis = AnalyzeProgram(program_);
+    EXPECT_TRUE(analysis.ok());
+    analysis_ = std::move(analysis).value();
+  }
+
+  Program program_;
+  DomainGlossary glossary_;
+  StructuralAnalysis analysis_;
+};
+
+TEST_F(TemplateGeneratorTest, OneTemplatePerCatalogPath) {
+  TemplateGenerator generator(&program_, &glossary_);
+  auto templates = generator.Generate(analysis_);
+  ASSERT_TRUE(templates.ok()) << templates.status().ToString();
+  EXPECT_EQ(templates.value().size(), analysis_.catalog.size());
+  for (size_t i = 0; i < templates.value().size(); ++i) {
+    EXPECT_EQ(templates.value()[i].name, analysis_.catalog[i].name);
+    EXPECT_EQ(templates.value()[i].segments.size(),
+              analysis_.catalog[i].rules.size());
+  }
+}
+
+TEST_F(TemplateGeneratorTest, SegmentsFollowPathRuleOrder) {
+  TemplateGenerator generator(&program_, &glossary_);
+  auto templates = generator.Generate(analysis_);
+  ASSERT_TRUE(templates.ok());
+  for (const ExplanationTemplate& tmpl : templates.value()) {
+    for (size_t i = 0; i < tmpl.segments.size(); ++i) {
+      EXPECT_EQ(tmpl.segments[i].rule_label, tmpl.path.rules[i]);
+    }
+  }
+}
+
+TEST_F(TemplateGeneratorTest, VariantSegmentsVerbalizeAggregation) {
+  TemplateGenerator generator(&program_, &glossary_);
+  auto templates = generator.Generate(analysis_);
+  ASSERT_TRUE(templates.ok());
+  for (const ExplanationTemplate& tmpl : templates.value()) {
+    for (const TemplateSegment& segment : tmpl.segments) {
+      const bool should_be_multi =
+          tmpl.path.IsMultiAggregation(segment.rule_label);
+      EXPECT_EQ(segment.multi_aggregation, should_be_multi);
+      EXPECT_EQ(segment.text.find("given by the sum") != std::string::npos,
+                should_be_multi);
+    }
+  }
+}
+
+TEST_F(TemplateGeneratorTest, DeterministicTextConcatenatesSegments) {
+  TemplateGenerator generator(&program_, &glossary_);
+  auto tmpl = generator.GenerateForPath(analysis_.simple_paths[1]);
+  ASSERT_TRUE(tmpl.ok());
+  std::string text = tmpl.value().DeterministicText();
+  for (const TemplateSegment& segment : tmpl.value().segments) {
+    EXPECT_NE(text.find(segment.text), std::string::npos);
+  }
+}
+
+TEST_F(TemplateGeneratorTest, MissingGlossaryEntryErrors) {
+  DomainGlossary empty;
+  TemplateGenerator generator(&program_, &empty);
+  auto templates = generator.Generate(analysis_);
+  EXPECT_FALSE(templates.ok());
+  EXPECT_EQ(templates.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(TemplateGeneratorTest, UnknownRuleInPathErrors) {
+  TemplateGenerator generator(&program_, &glossary_);
+  ReasoningPath bogus;
+  bogus.name = "X";
+  bogus.rules = {"no_such_rule"};
+  auto tmpl = generator.GenerateForPath(bogus);
+  EXPECT_FALSE(tmpl.ok());
+  EXPECT_EQ(tmpl.status().code(), StatusCode::kInternal);
+}
+
+TEST_F(TemplateGeneratorTest, TokensCoverEveryRuleVariable) {
+  TemplateGenerator generator(&program_, &glossary_);
+  auto templates = generator.Generate(analysis_);
+  ASSERT_TRUE(templates.ok());
+  // Every variable of every rule of the path must appear as a token in the
+  // corresponding segment (this is what makes template explanations
+  // complete by construction, §6.3).
+  for (const ExplanationTemplate& tmpl : templates.value()) {
+    for (const TemplateSegment& segment : tmpl.segments) {
+      const Rule* rule = program_.FindRule(segment.rule_label);
+      ASSERT_NE(rule, nullptr);
+      for (const std::string& var : rule->BodyVariableNames()) {
+        bool found = false;
+        for (const TemplateToken& token : segment.tokens) {
+          if (token.variable == var) found = true;
+        }
+        EXPECT_TRUE(found) << "variable " << var << " missing in segment of "
+                           << segment.rule_label;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace templex

@@ -1,0 +1,126 @@
+// Catalog-level properties asserted across every financial KG application:
+// template well-formedness, token preservation under enhancement, unique
+// naming, and valid JSON exports. Parameterized over the app registry so a
+// new application is automatically covered.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/glossaries.h"
+#include "apps/programs.h"
+#include "explain/enhancer.h"
+#include "explain/explainer.h"
+#include "io/json.h"
+#include "io/json_validate.h"
+
+namespace templex {
+namespace {
+
+struct AppCase {
+  const char* name;
+  Program (*program)();
+  DomainGlossary (*glossary)();
+};
+
+class CatalogProperty : public ::testing::TestWithParam<AppCase> {
+ protected:
+  void SetUp() override {
+    auto explainer =
+        Explainer::Create(GetParam().program(), GetParam().glossary());
+    ASSERT_TRUE(explainer.ok()) << explainer.status().ToString();
+    explainer_ = std::move(explainer).value();
+  }
+
+  std::unique_ptr<Explainer> explainer_;
+};
+
+TEST_P(CatalogProperty, TemplateSegmentsMatchPathRules) {
+  for (const ExplanationTemplate& tmpl : explainer_->templates()) {
+    ASSERT_EQ(tmpl.segments.size(), tmpl.path.rules.size()) << tmpl.name;
+    for (size_t i = 0; i < tmpl.segments.size(); ++i) {
+      EXPECT_EQ(tmpl.segments[i].rule_label, tmpl.path.rules[i]);
+    }
+  }
+}
+
+TEST_P(CatalogProperty, EveryRuleVariableIsATokenOfItsSegment) {
+  const Program& program = explainer_->program();
+  for (const ExplanationTemplate& tmpl : explainer_->templates()) {
+    for (const TemplateSegment& segment : tmpl.segments) {
+      const Rule* rule = program.FindRule(segment.rule_label);
+      ASSERT_NE(rule, nullptr);
+      for (const std::string& var : rule->AllBoundVariableNames()) {
+        // Aggregate result variables only surface in dashed variants or in
+        // head/conditions; every body-bound variable must be a token.
+        if (rule->has_aggregate() && var == rule->aggregate->result_variable &&
+            !segment.multi_aggregation) {
+          continue;
+        }
+        bool found = false;
+        for (const TemplateToken& token : segment.tokens) {
+          if (token.variable == var) found = true;
+        }
+        EXPECT_TRUE(found) << GetParam().name << " " << tmpl.name << " <"
+                           << var << ">";
+      }
+    }
+  }
+}
+
+TEST_P(CatalogProperty, EnhancedSegmentsPreserveTokens) {
+  for (const ExplanationTemplate& tmpl : explainer_->templates()) {
+    for (const TemplateSegment& segment : tmpl.segments) {
+      if (segment.enhanced_text.empty()) continue;  // deterministic fallback
+      EXPECT_TRUE(
+          VerifyTokensPreserved(segment, segment.enhanced_text).ok())
+          << GetParam().name << " " << tmpl.name;
+    }
+  }
+}
+
+TEST_P(CatalogProperty, CatalogNamesUnique) {
+  std::set<std::string> names;
+  for (const ExplanationTemplate& tmpl : explainer_->templates()) {
+    EXPECT_TRUE(names.insert(tmpl.name).second) << tmpl.name;
+  }
+}
+
+TEST_P(CatalogProperty, BasePathsHaveNoDuplicateRules) {
+  for (const ReasoningPath& path : explainer_->analysis().catalog) {
+    std::set<std::string> rules(path.rules.begin(), path.rules.end());
+    EXPECT_EQ(rules.size(), path.rules.size()) << path.ToString();
+  }
+}
+
+TEST_P(CatalogProperty, CycleAnchorsAreCritical) {
+  const auto criticals = explainer_->analysis().graph.CriticalNodes();
+  for (const ReasoningPath& path : explainer_->analysis().cycles) {
+    EXPECT_NE(std::find(criticals.begin(), criticals.end(), path.anchor),
+              criticals.end())
+        << path.ToString();
+  }
+}
+
+TEST_P(CatalogProperty, JsonExportsAreWellFormed) {
+  EXPECT_TRUE(
+      ValidateJson(TemplatesToJson(explainer_->templates())).ok());
+  EXPECT_TRUE(ValidateJson(AnalysisToJson(explainer_->analysis())).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Apps, CatalogProperty,
+    ::testing::Values(
+        AppCase{"simplified_stress", &SimplifiedStressTestProgram,
+                &SimplifiedStressTestGlossary},
+        AppCase{"company_control", &CompanyControlProgram,
+                &CompanyControlGlossary},
+        AppCase{"stress_test", &StressTestProgram, &StressTestGlossary},
+        AppCase{"golden_power", &GoldenPowerProgram, &GoldenPowerGlossary},
+        AppCase{"close_links", &CloseLinksProgram, &CloseLinksGlossary}),
+    [](const ::testing::TestParamInfo<AppCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace templex

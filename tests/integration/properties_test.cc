@@ -1,0 +1,238 @@
+// Property-based (parameterized) tests over randomly generated instances:
+// the library's core guarantees must hold for every proof shape, not just
+// the paper's worked examples.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <algorithm>
+
+#include "apps/generators.h"
+#include "apps/glossaries.h"
+#include "apps/programs.h"
+#include "engine/chase.h"
+#include "explain/explainer.h"
+#include "llm/omission.h"
+
+namespace templex {
+namespace {
+
+struct ControlParam {
+  int chase_steps;
+  uint64_t seed;
+};
+
+class ControlCompletenessProperty
+    : public ::testing::TestWithParam<ControlParam> {};
+
+// The headline §6.3 guarantee: template-based explanations contain every
+// constant of the proof, for any chain length and any random shares.
+TEST_P(ControlCompletenessProperty, ExplanationOmitsNothing) {
+  Rng rng(GetParam().seed);
+  SampledInstance instance = SampleControlChain(GetParam().chase_steps, &rng);
+  auto explainer =
+      Explainer::Create(CompanyControlProgram(), CompanyControlGlossary());
+  ASSERT_TRUE(explainer.ok());
+  auto chase = ChaseEngine().Run(explainer.value()->program(), instance.edb);
+  ASSERT_TRUE(chase.ok());
+  auto goal = chase.value().Find(instance.goal);
+  ASSERT_TRUE(goal.ok());
+  Proof proof = Proof::Extract(chase.value().graph, goal.value());
+  ASSERT_EQ(proof.num_chase_steps(), GetParam().chase_steps);
+  auto text = explainer.value()->ExplainProof(proof);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_DOUBLE_EQ(OmittedInformationRatio(proof, text.value()), 0.0)
+      << text.value();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Chains, ControlCompletenessProperty,
+    ::testing::Values(ControlParam{1, 11}, ControlParam{2, 12},
+                      ControlParam{3, 13}, ControlParam{5, 14},
+                      ControlParam{8, 15}, ControlParam{13, 16},
+                      ControlParam{21, 17}));
+
+class StarCompletenessProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(StarCompletenessProperty, JointControlExplanationOmitsNothing) {
+  Rng rng(100 + GetParam());
+  SampledInstance instance = SampleControlStar(GetParam(), &rng);
+  auto explainer =
+      Explainer::Create(CompanyControlProgram(), CompanyControlGlossary());
+  ASSERT_TRUE(explainer.ok());
+  auto chase = ChaseEngine().Run(explainer.value()->program(), instance.edb);
+  ASSERT_TRUE(chase.ok());
+  auto goal = chase.value().Find(instance.goal);
+  ASSERT_TRUE(goal.ok());
+  Proof proof = Proof::Extract(chase.value().graph, goal.value());
+  auto text = explainer.value()->ExplainProof(proof);
+  ASSERT_TRUE(text.ok());
+  EXPECT_DOUBLE_EQ(OmittedInformationRatio(proof, text.value()), 0.0)
+      << text.value();
+}
+
+INSTANTIATE_TEST_SUITE_P(Stars, StarCompletenessProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+struct StressParam {
+  int chase_steps;
+  int debts_per_channel;
+  uint64_t seed;
+};
+
+class StressCompletenessProperty
+    : public ::testing::TestWithParam<StressParam> {};
+
+TEST_P(StressCompletenessProperty, CascadeExplanationOmitsNothing) {
+  Rng rng(GetParam().seed);
+  SampledInstance instance = SampleStressCascade(
+      GetParam().chase_steps, GetParam().debts_per_channel, &rng);
+  auto explainer =
+      Explainer::Create(StressTestProgram(), StressTestGlossary());
+  ASSERT_TRUE(explainer.ok());
+  auto chase = ChaseEngine().Run(explainer.value()->program(), instance.edb);
+  ASSERT_TRUE(chase.ok());
+  auto goal = chase.value().Find(instance.goal);
+  ASSERT_TRUE(goal.ok());
+  Proof proof = Proof::Extract(chase.value().graph, goal.value());
+  auto text = explainer.value()->ExplainProof(proof);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_DOUBLE_EQ(OmittedInformationRatio(proof, text.value()), 0.0)
+      << text.value();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cascades, StressCompletenessProperty,
+    ::testing::Values(StressParam{1, 1, 21}, StressParam{3, 1, 22},
+                      StressParam{5, 2, 23}, StressParam{7, 1, 24},
+                      StressParam{9, 3, 25}, StressParam{13, 2, 26},
+                      StressParam{22, 1, 27}));
+
+class MappingCoverageProperty : public ::testing::TestWithParam<int> {};
+
+// Every intensional step of a proof is covered by exactly one mapped unit.
+TEST_P(MappingCoverageProperty, StepsPartitioned) {
+  Rng rng(300 + GetParam());
+  SampledInstance instance = SampleStressCascade(GetParam(), 2, &rng);
+  auto explainer =
+      Explainer::Create(StressTestProgram(), StressTestGlossary());
+  ASSERT_TRUE(explainer.ok());
+  auto chase = ChaseEngine().Run(explainer.value()->program(), instance.edb);
+  ASSERT_TRUE(chase.ok());
+  Proof proof = Proof::Extract(chase.value().graph,
+                               chase.value().Find(instance.goal).value());
+  auto units = explainer.value()->MapProof(proof);
+  ASSERT_TRUE(units.ok());
+  std::set<FactId> covered;
+  for (const MappedUnit& unit : units.value()) {
+    if (unit.is_fallback()) {
+      EXPECT_TRUE(covered.insert(unit.fallback_step).second);
+      continue;
+    }
+    for (const auto& steps : unit.instance->alignment) {
+      for (FactId id : steps) EXPECT_TRUE(covered.insert(id).second);
+    }
+  }
+  EXPECT_EQ(covered.size(),
+            static_cast<size_t>(proof.num_chase_steps()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, MappingCoverageProperty,
+                         ::testing::Values(1, 3, 4, 5, 7, 10, 15, 22));
+
+class ChaseDeterminismProperty : public ::testing::TestWithParam<uint64_t> {};
+
+// Two runs over the same instance produce the same chase graph.
+TEST_P(ChaseDeterminismProperty, SameGraphTwice) {
+  OwnershipNetworkOptions options;
+  options.companies = 20;
+  Rng rng1(GetParam());
+  Rng rng2(GetParam());
+  auto facts1 = GenerateOwnershipNetwork(options, &rng1);
+  auto facts2 = GenerateOwnershipNetwork(options, &rng2);
+  auto a = ChaseEngine().Run(CompanyControlProgram(), facts1);
+  auto b = ChaseEngine().Run(CompanyControlProgram(), facts2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a.value().graph.size(), b.value().graph.size());
+  for (int i = 0; i < a.value().graph.size(); ++i) {
+    EXPECT_EQ(a.value().graph.node(i).fact, b.value().graph.node(i).fact);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaseDeterminismProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+class ControlSemanticsProperty : public ::testing::TestWithParam<uint64_t> {};
+
+// Derived control shares really exceed 50%: for every derived Control(x,y)
+// with x != y, the sum of y-shares owned by x's controlled companies
+// (including x itself) exceeds 0.5.
+TEST_P(ControlSemanticsProperty, MajorityInvariant) {
+  OwnershipNetworkOptions options;
+  options.companies = 18;
+  options.company_facts = true;
+  Rng rng(GetParam());
+  auto facts = GenerateOwnershipNetwork(options, &rng);
+  auto result = ChaseEngine().Run(CompanyControlProgram(), facts);
+  ASSERT_TRUE(result.ok());
+  const ChaseResult& chase = result.value();
+  auto controls = chase.FactsOf("Control");
+  auto owns = chase.FactsOf("Own");
+  auto controlled_by = [&controls](const Value& x) {
+    std::set<std::string> companies;
+    for (const Fact& c : controls) {
+      if (c.args[0] == x) companies.insert(c.args[1].string_value());
+    }
+    return companies;
+  };
+  for (const Fact& control : controls) {
+    if (control.args[0] == control.args[1]) continue;  // auto-control
+    std::set<std::string> holders = controlled_by(control.args[0]);
+    holders.insert(control.args[0].string_value());
+    double total = 0.0;
+    for (const Fact& own : owns) {
+      if (own.args[1] == control.args[1] &&
+          holders.count(own.args[0].string_value()) > 0) {
+        total += own.args[2].AsDouble();
+      }
+    }
+    EXPECT_GT(total, 0.5) << control.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ControlSemanticsProperty,
+                         ::testing::Values(11, 12, 13, 14));
+
+class EnhancementVariantProperty : public ::testing::TestWithParam<int> {};
+
+// Every enhancement variant remains complete (token-preserving) end to end.
+TEST_P(EnhancementVariantProperty, VariantStaysComplete) {
+  ExplainerOptions options;
+  options.enhancement_variant = GetParam();
+  auto explainer = Explainer::Create(SimplifiedStressTestProgram(),
+                                     SimplifiedStressTestGlossary(), options);
+  ASSERT_TRUE(explainer.ok());
+  Rng rng(500 + GetParam());
+  std::vector<Fact> edb = {
+      {"Shock", {Value::String("A"), Value::Int(6)}},
+      {"HasCapital", {Value::String("A"), Value::Int(5)}},
+      {"HasCapital", {Value::String("B"), Value::Int(2)}},
+      {"Debts", {Value::String("A"), Value::String("B"), Value::Int(7)}},
+  };
+  auto chase = ChaseEngine().Run(explainer.value()->program(), edb);
+  ASSERT_TRUE(chase.ok());
+  Fact goal{"Default", {Value::String("B")}};
+  Proof proof = Proof::Extract(chase.value().graph,
+                               chase.value().Find(goal).value());
+  auto text = explainer.value()->ExplainProof(proof);
+  ASSERT_TRUE(text.ok());
+  EXPECT_DOUBLE_EQ(OmittedInformationRatio(proof, text.value()), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, EnhancementVariantProperty,
+                         ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace templex

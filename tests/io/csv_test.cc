@@ -1,0 +1,102 @@
+#include "io/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace templex {
+namespace {
+
+TEST(CsvParseTest, TypedFields) {
+  auto facts = ParseFactsCsv("Own,\"Banca Uno\",FondoDue,0.83\n"
+                             "HasCapital,BancaUno,5\n");
+  ASSERT_TRUE(facts.ok()) << facts.status().ToString();
+  ASSERT_EQ(facts.value().size(), 2u);
+  const Fact& own = facts.value()[0];
+  EXPECT_EQ(own.predicate, "Own");
+  EXPECT_EQ(own.args[0], Value::String("Banca Uno"));
+  EXPECT_EQ(own.args[1], Value::String("FondoDue"));
+  EXPECT_EQ(own.args[2], Value::Double(0.83));
+  EXPECT_EQ(facts.value()[1].args[1], Value::Int(5));
+}
+
+TEST(CsvParseTest, QuotedNumbersStayStrings) {
+  auto facts = ParseFactsCsv("P,\"42\"\n");
+  ASSERT_TRUE(facts.ok());
+  EXPECT_EQ(facts.value()[0].args[0], Value::String("42"));
+}
+
+TEST(CsvParseTest, EscapedQuotes) {
+  auto facts = ParseFactsCsv("P,\"say \"\"hi\"\"\"\n");
+  ASSERT_TRUE(facts.ok());
+  EXPECT_EQ(facts.value()[0].args[0], Value::String("say \"hi\""));
+}
+
+TEST(CsvParseTest, CommentsAndBlankLinesSkipped) {
+  auto facts = ParseFactsCsv("# header comment\n\nP,1\n  \nQ,2\n");
+  ASSERT_TRUE(facts.ok());
+  EXPECT_EQ(facts.value().size(), 2u);
+}
+
+TEST(CsvParseTest, NegativeAndSignedNumbers) {
+  auto facts = ParseFactsCsv("P,-3,+4,-0.5\n");
+  ASSERT_TRUE(facts.ok());
+  EXPECT_EQ(facts.value()[0].args[0], Value::Int(-3));
+  EXPECT_EQ(facts.value()[0].args[1], Value::Int(4));
+  EXPECT_EQ(facts.value()[0].args[2], Value::Double(-0.5));
+}
+
+TEST(CsvParseTest, ZeroArityFact) {
+  auto facts = ParseFactsCsv("Flag\n");
+  ASSERT_TRUE(facts.ok());
+  EXPECT_EQ(facts.value()[0].predicate, "Flag");
+  EXPECT_EQ(facts.value()[0].arity(), 0);
+}
+
+TEST(CsvParseTest, UnterminatedQuoteErrors) {
+  auto facts = ParseFactsCsv("P,\"oops\n");
+  ASSERT_FALSE(facts.ok());
+  EXPECT_NE(facts.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(CsvParseTest, MissingPredicateErrors) {
+  EXPECT_FALSE(ParseFactsCsv(",1,2\n").ok());
+}
+
+TEST(CsvRoundTripTest, ParseSerializeParse) {
+  const std::string csv =
+      "Own,\"A\",\"B\",0.83\nHasCapital,\"A\",5\nNote,\"with, comma\"\n";
+  auto facts = ParseFactsCsv(csv);
+  ASSERT_TRUE(facts.ok());
+  std::string serialized = FactsToCsv(facts.value());
+  auto reparsed = ParseFactsCsv(serialized);
+  ASSERT_TRUE(reparsed.ok());
+  ASSERT_EQ(reparsed.value().size(), facts.value().size());
+  for (size_t i = 0; i < facts.value().size(); ++i) {
+    EXPECT_EQ(reparsed.value()[i], facts.value()[i]);
+  }
+}
+
+TEST(CsvFileTest, SaveAndLoad) {
+  const std::string path = ::testing::TempDir() + "/templex_csv_test.csv";
+  std::vector<Fact> facts = {
+      {"Own", {Value::String("A"), Value::String("B"), Value::Double(0.6)}},
+      {"HasCapital", {Value::String("A"), Value::Int(5)}}};
+  ASSERT_TRUE(SaveFactsCsv(path, facts).ok());
+  auto loaded = LoadFactsCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().size(), 2u);
+  EXPECT_EQ(loaded.value()[0], facts[0]);
+  EXPECT_EQ(loaded.value()[1], facts[1]);
+  std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, MissingFileIsNotFound) {
+  auto result = LoadFactsCsv("/nonexistent/path/facts.csv");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace templex

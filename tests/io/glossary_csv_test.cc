@@ -1,0 +1,75 @@
+#include "io/glossary_csv.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/glossaries.h"
+
+namespace templex {
+namespace {
+
+TEST(GlossaryCsvTest, ParsesPatternsTokensAndStyles) {
+  auto glossary = ParseGlossaryCsv(
+      "Own,\"<x> owns <s> of the shares of <y>\",x:plain,y,s:percent\n"
+      "HasCapital,\"<f> has capital of <p> euros\",f,p:millions\n");
+  ASSERT_TRUE(glossary.ok()) << glossary.status().ToString();
+  const GlossaryEntry* own = glossary.value().Find("Own");
+  ASSERT_NE(own, nullptr);
+  EXPECT_EQ(own->arg_tokens, (std::vector<std::string>{"x", "y", "s"}));
+  EXPECT_EQ(own->arg_styles[2], NumberStyle::kPercent);
+  EXPECT_EQ(own->arg_styles[1], NumberStyle::kPlain);  // default
+  EXPECT_EQ(glossary.value().StyleFor("HasCapital", 1),
+            NumberStyle::kMillions);
+}
+
+TEST(GlossaryCsvTest, TokenOrderIsArgumentOrderNotPatternOrder) {
+  // The pattern mentions <s> before <y>, but the fields fix the argument
+  // positions as (x, y, s).
+  auto glossary = ParseGlossaryCsv(
+      "Own,\"<x> holds <s> in <y>\",x,y,s:percent\n");
+  ASSERT_TRUE(glossary.ok());
+  Fact fact{"Own",
+            {Value::String("A"), Value::String("B"), Value::Double(0.4)}};
+  auto text = glossary.value().VerbalizeFact(fact);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text.value(), "A holds 40% in B");
+}
+
+TEST(GlossaryCsvTest, RejectsUnknownStyle) {
+  EXPECT_FALSE(ParseGlossaryCsv("P,\"<a> is\",a:loud\n").ok());
+}
+
+TEST(GlossaryCsvTest, RejectsMissingPattern) {
+  EXPECT_FALSE(ParseGlossaryCsv("P\n").ok());
+  EXPECT_FALSE(ParseGlossaryCsv("P,42\n").ok());
+}
+
+TEST(GlossaryCsvTest, RejectsPatternTokenMismatch) {
+  // Token b never appears in the pattern -> glossary validation fails.
+  EXPECT_FALSE(ParseGlossaryCsv("P,\"only <a> here\",a,b\n").ok());
+}
+
+TEST(GlossaryCsvTest, RoundTripsAppGlossaries) {
+  for (DomainGlossary original :
+       {CompanyControlGlossary(), StressTestGlossary(),
+        CloseLinksGlossary(), GoldenPowerGlossary()}) {
+    std::string csv = GlossaryToCsv(original);
+    auto reparsed = ParseGlossaryCsv(csv);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n" << csv;
+    ASSERT_EQ(reparsed.value().predicates(), original.predicates());
+    for (const std::string& predicate : original.predicates()) {
+      const GlossaryEntry* a = original.Find(predicate);
+      const GlossaryEntry* b = reparsed.value().Find(predicate);
+      EXPECT_EQ(a->pattern, b->pattern);
+      EXPECT_EQ(a->arg_tokens, b->arg_tokens);
+      EXPECT_EQ(a->arg_styles, b->arg_styles);
+    }
+  }
+}
+
+TEST(GlossaryCsvTest, MissingFileIsNotFound) {
+  EXPECT_EQ(LoadGlossaryCsv("/no/such/glossary.csv").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace templex

@@ -1,0 +1,94 @@
+#include "io/json_parse.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/programs.h"
+#include "engine/chase.h"
+#include "io/json.h"
+
+namespace templex {
+namespace {
+
+Value S(const char* s) { return Value::String(s); }
+Value I(int64_t i) { return Value::Int(i); }
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(ParseJson("null").value().is_null());
+  EXPECT_TRUE(ParseJson("true").value().bool_value());
+  EXPECT_FALSE(ParseJson("false").value().bool_value());
+  EXPECT_DOUBLE_EQ(ParseJson("-12.5e2").value().number_value(), -1250.0);
+  EXPECT_EQ(ParseJson("\"hi\"").value().string_value(), "hi");
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  EXPECT_EQ(ParseJson("\"a\\\"b\\\\c\\n\"").value().string_value(),
+            "a\"b\\c\n");
+  EXPECT_EQ(ParseJson("\"\\u0041\"").value().string_value(), "A");
+  EXPECT_EQ(ParseJson("\"\\u00e9\"").value().string_value(), "\xc3\xa9");
+}
+
+TEST(JsonParseTest, NestedStructures) {
+  auto value = ParseJson("{\"a\": [1, {\"b\": null}], \"c\": true}");
+  ASSERT_TRUE(value.ok()) << value.status().ToString();
+  const JsonValue* a = value.value().Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->items().size(), 2u);
+  EXPECT_DOUBLE_EQ(a->items()[0].number_value(), 1.0);
+  EXPECT_NE(a->items()[1].Find("b"), nullptr);
+  EXPECT_EQ(value.value().Find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":}").ok());
+  EXPECT_FALSE(ParseJson("[1 2]").ok());
+  EXPECT_FALSE(ParseJson("\"\\x\"").ok());
+  EXPECT_FALSE(ParseJson("12abc").ok());
+  EXPECT_FALSE(ParseJson("{} {}").ok());
+}
+
+TEST(FactsFromJsonTest, ArrayOfFactObjects) {
+  auto facts = FactsFromJson(R"([
+    {"predicate": "Own", "args": ["A", "B", 0.6]},
+    {"predicate": "HasCapital", "args": ["A", 5]},
+    {"predicate": "Flag"}
+  ])");
+  ASSERT_TRUE(facts.ok()) << facts.status().ToString();
+  ASSERT_EQ(facts.value().size(), 3u);
+  EXPECT_EQ(facts.value()[0],
+            (Fact{"Own", {S("A"), S("B"), Value::Double(0.6)}}));
+  EXPECT_EQ(facts.value()[1].args[1], I(5));  // integral number -> Int
+  EXPECT_EQ(facts.value()[2].arity(), 0);
+}
+
+TEST(FactsFromJsonTest, RejectsCompositeArguments) {
+  EXPECT_FALSE(
+      FactsFromJson("[{\"predicate\": \"P\", \"args\": [[1]]}]").ok());
+  EXPECT_FALSE(FactsFromJson("[{\"args\": [1]}]").ok());
+  EXPECT_FALSE(FactsFromJson("[42]").ok());
+  EXPECT_FALSE(FactsFromJson("\"not facts\"").ok());
+}
+
+TEST(FactsFromJsonTest, ChaseGraphExportRoundTrips) {
+  // A chase graph dumped by ChaseGraphToJson re-imports as the same facts
+  // (extensional and derived) — one process's derived knowledge can seed
+  // another's EDB.
+  Value D6 = Value::Double(0.6);
+  Value D7 = Value::Double(0.7);
+  auto chase = ChaseEngine().Run(CompanyControlProgram(),
+                                 {{"Own", {S("A"), S("B"), D6}},
+                                  {"Own", {S("B"), S("C"), D7}}});
+  ASSERT_TRUE(chase.ok());
+  std::string json = ChaseGraphToJson(chase.value().graph);
+  auto facts = FactsFromJson(json);
+  ASSERT_TRUE(facts.ok()) << facts.status().ToString();
+  ASSERT_EQ(static_cast<int>(facts.value().size()),
+            chase.value().graph.size());
+  for (int id = 0; id < chase.value().graph.size(); ++id) {
+    EXPECT_EQ(facts.value()[id], chase.value().graph.node(id).fact);
+  }
+}
+
+}  // namespace
+}  // namespace templex

@@ -1,0 +1,116 @@
+#include "io/json.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/glossaries.h"
+#include "apps/programs.h"
+#include "engine/chase.h"
+#include "explain/explainer.h"
+
+namespace templex {
+namespace {
+
+Value S(const char* s) { return Value::String(s); }
+Value I(int64_t i) { return Value::Int(i); }
+
+TEST(JsonEscapeTest, SpecialCharacters) {
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+}
+
+TEST(JsonWriterTest, ObjectWithMixedValues) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("name").String("x");
+  json.Key("count").Int(3);
+  json.Key("ratio").Number(0.5);
+  json.Key("flag").Bool(true);
+  json.Key("none").Null();
+  json.EndObject();
+  EXPECT_EQ(json.str(),
+            "{\"name\":\"x\",\"count\":3,\"ratio\":0.5,\"flag\":true,"
+            "\"none\":null}");
+}
+
+TEST(JsonWriterTest, NestedArrays) {
+  JsonWriter json;
+  json.BeginArray();
+  json.BeginArray().Int(1).Int(2).EndArray();
+  json.BeginArray().EndArray();
+  json.EndArray();
+  EXPECT_EQ(json.str(), "[[1,2],[]]");
+}
+
+TEST(JsonWriterTest, TemplexValues) {
+  JsonWriter json;
+  json.BeginArray();
+  json.TemplexValue(Value::Int(7));
+  json.TemplexValue(Value::Double(0.5));
+  json.TemplexValue(Value::String("A"));
+  json.TemplexValue(Value::Bool(false));
+  json.TemplexValue(Value::Null());
+  json.TemplexValue(Value::LabeledNull(3));
+  json.EndArray();
+  EXPECT_EQ(json.str(), "[7,0.5,\"A\",false,null,\"_:z3\"]");
+}
+
+class JsonExportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    program_ = SimplifiedStressTestProgram();
+    std::vector<Fact> edb = {
+        {"Shock", {S("A"), I(6)}},      {"HasCapital", {S("A"), I(5)}},
+        {"HasCapital", {S("B"), I(2)}}, {"Debts", {S("A"), S("B"), I(7)}},
+    };
+    auto result = ChaseEngine().Run(program_, edb);
+    ASSERT_TRUE(result.ok());
+    chase_ = std::make_unique<ChaseResult>(std::move(result).value());
+  }
+
+  Program program_;
+  std::unique_ptr<ChaseResult> chase_;
+};
+
+TEST_F(JsonExportTest, ChaseGraphJsonContainsFactsAndProvenance) {
+  std::string json = ChaseGraphToJson(chase_->graph);
+  EXPECT_NE(json.find("\"predicate\":\"Default\""), std::string::npos);
+  EXPECT_NE(json.find("\"rule\":\"alpha\""), std::string::npos);
+  EXPECT_NE(json.find("\"parents\":["), std::string::npos);
+  // EDB nodes carry no rule.
+  EXPECT_NE(json.find("{\"id\":0,\"predicate\":\"Shock\",\"args\":[\"A\",6]}"),
+            std::string::npos);
+}
+
+TEST_F(JsonExportTest, ProofJsonHasRuleSequence) {
+  FactId goal = chase_->Find({"Default", {S("B")}}).value();
+  Proof proof = Proof::Extract(chase_->graph, goal);
+  std::string json = ProofToJson(proof);
+  EXPECT_NE(json.find("\"rules\":[\"alpha\",\"beta\",\"gamma\"]"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"chase_steps\":3"), std::string::npos);
+}
+
+TEST_F(JsonExportTest, TemplatesJson) {
+  auto explainer = Explainer::Create(SimplifiedStressTestProgram(),
+                                     SimplifiedStressTestGlossary());
+  ASSERT_TRUE(explainer.ok());
+  std::string json = TemplatesToJson(explainer.value()->templates());
+  EXPECT_NE(json.find("\"name\":\"Pi1\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"cycle\""), std::string::npos);
+  EXPECT_NE(json.find("\"aggregation_variant\":true"), std::string::npos);
+}
+
+TEST_F(JsonExportTest, AnalysisJson) {
+  auto analysis = AnalyzeProgram(program_);
+  ASSERT_TRUE(analysis.ok());
+  std::string json = AnalysisToJson(analysis.value());
+  EXPECT_NE(json.find("\"leaf\":\"Default\""), std::string::npos);
+  EXPECT_NE(json.find("\"critical\":[\"Default\"]"), std::string::npos);
+  EXPECT_NE(json.find("\"from\":\"Shock\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace templex

@@ -1,0 +1,82 @@
+#include "io/json_validate.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/generators.h"
+#include "apps/glossaries.h"
+#include "apps/programs.h"
+#include "engine/chase.h"
+#include "explain/explainer.h"
+#include "io/json.h"
+
+namespace templex {
+namespace {
+
+TEST(ValidateJsonTest, AcceptsScalars) {
+  EXPECT_TRUE(ValidateJson("0").ok());
+  EXPECT_TRUE(ValidateJson("-12.5e3").ok());
+  EXPECT_TRUE(ValidateJson("\"text\"").ok());
+  EXPECT_TRUE(ValidateJson("true").ok());
+  EXPECT_TRUE(ValidateJson("false").ok());
+  EXPECT_TRUE(ValidateJson("null").ok());
+}
+
+TEST(ValidateJsonTest, AcceptsNestedStructures) {
+  EXPECT_TRUE(ValidateJson("{\"a\":[1,2,{\"b\":null}],\"c\":\"x\"}").ok());
+  EXPECT_TRUE(ValidateJson("[]").ok());
+  EXPECT_TRUE(ValidateJson("{}").ok());
+  EXPECT_TRUE(ValidateJson(" [ 1 , 2 ] ").ok());
+}
+
+TEST(ValidateJsonTest, AcceptsEscapes) {
+  EXPECT_TRUE(ValidateJson("\"a\\\"b\\\\c\\n\\u00e9\"").ok());
+}
+
+TEST(ValidateJsonTest, RejectsMalformed) {
+  EXPECT_FALSE(ValidateJson("").ok());
+  EXPECT_FALSE(ValidateJson("{").ok());
+  EXPECT_FALSE(ValidateJson("[1,]").ok());
+  EXPECT_FALSE(ValidateJson("{\"a\" 1}").ok());
+  EXPECT_FALSE(ValidateJson("\"unterminated").ok());
+  EXPECT_FALSE(ValidateJson("01").ok());
+  EXPECT_FALSE(ValidateJson("1.").ok());
+  EXPECT_FALSE(ValidateJson("\"bad\\escape\"").ok());
+  EXPECT_FALSE(ValidateJson("\"ctl\x01\"").ok());
+  EXPECT_FALSE(ValidateJson("true false").ok());
+  EXPECT_FALSE(ValidateJson("nul").ok());
+}
+
+TEST(ValidateJsonTest, ErrorsCarryOffsets) {
+  Status status = ValidateJson("[1,]");
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("offset 3"), std::string::npos);
+}
+
+TEST(ValidateJsonTest, EveryLibraryExportIsWellFormed) {
+  auto explainer =
+      Explainer::Create(StressTestProgram(), StressTestGlossary());
+  ASSERT_TRUE(explainer.ok());
+  Rng rng(5);
+  SampledInstance instance = SampleStressCascade(7, 2, &rng);
+  auto chase = ChaseEngine().Run(explainer.value()->program(), instance.edb);
+  ASSERT_TRUE(chase.ok());
+  Proof proof = Proof::Extract(chase.value().graph,
+                               chase.value().Find(instance.goal).value());
+
+  EXPECT_TRUE(ValidateJson(ChaseGraphToJson(chase.value().graph)).ok());
+  EXPECT_TRUE(ValidateJson(ProofToJson(proof)).ok());
+  EXPECT_TRUE(ValidateJson(TemplatesToJson(explainer.value()->templates())).ok());
+  EXPECT_TRUE(ValidateJson(AnalysisToJson(explainer.value()->analysis())).ok());
+}
+
+TEST(ValidateJsonTest, ExportsWithTrickyStringsStayWellFormed) {
+  // Entity names with quotes/backslashes/newlines must survive escaping.
+  ChaseGraph graph;
+  ChaseNode node;
+  node.fact = Fact{"P", {Value::String("a\"b\\c\nd"), Value::Double(0.5)}};
+  graph.AddNode(std::move(node));
+  EXPECT_TRUE(ValidateJson(ChaseGraphToJson(graph)).ok());
+}
+
+}  // namespace
+}  // namespace templex

@@ -1,0 +1,86 @@
+#include "llm/omission.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/glossaries.h"
+#include "apps/programs.h"
+#include "engine/chase.h"
+
+namespace templex {
+namespace {
+
+Value S(const char* s) { return Value::String(s); }
+Value I(int64_t i) { return Value::Int(i); }
+
+TEST(ContainsWholeWordTest, RespectsTokenBoundaries) {
+  EXPECT_TRUE(ContainsWholeWord("a total of 7 euros", "7"));
+  EXPECT_FALSE(ContainsWholeWord("a total of 17 euros", "7"));
+  EXPECT_FALSE(ContainsWholeWord("a total of 7M euros", "7"));
+  EXPECT_TRUE(ContainsWholeWord("a total of 7M euros", "7M"));
+  EXPECT_TRUE(ContainsWholeWord("7 euros", "7"));
+  EXPECT_TRUE(ContainsWholeWord("costs 7", "7"));
+  EXPECT_FALSE(ContainsWholeWord("", "7"));
+  EXPECT_FALSE(ContainsWholeWord("anything", ""));
+}
+
+TEST(ContainsWholeWordTest, EntityNames) {
+  EXPECT_TRUE(ContainsWholeWord("Banca1 defaulted", "Banca1"));
+  EXPECT_FALSE(ContainsWholeWord("Banca12 defaulted", "Banca1"));
+}
+
+class OmissionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Program program = SimplifiedStressTestProgram();
+    std::vector<Fact> edb = {
+        {"Shock", {S("A"), I(6)}},          {"HasCapital", {S("A"), I(5)}},
+        {"HasCapital", {S("B"), I(2)}},     {"Debts", {S("A"), S("B"), I(7)}},
+    };
+    auto result = ChaseEngine().Run(program, edb);
+    ASSERT_TRUE(result.ok());
+    chase_ = std::make_unique<ChaseResult>(std::move(result).value());
+    FactId goal = chase_->Find({"Default", {S("B")}}).value();
+    proof_ = std::make_unique<Proof>(Proof::Extract(chase_->graph, goal));
+  }
+
+  std::unique_ptr<ChaseResult> chase_;
+  std::unique_ptr<Proof> proof_;
+};
+
+TEST_F(OmissionTest, CompleteTextHasZeroRatio) {
+  // Mentions every constant: A, B, 6, 5, 2, 7 (in M renderings).
+  const std::string text =
+      "A shock of 6M hits A (capital 5M); A owes 7M to B whose capital is "
+      "2M, so B defaults on 7M.";
+  EXPECT_DOUBLE_EQ(OmittedInformationRatio(*proof_, text), 0.0);
+  EXPECT_TRUE(MissingConstants(*proof_, text).empty());
+}
+
+TEST_F(OmissionTest, EmptyTextOmitsEverything) {
+  EXPECT_DOUBLE_EQ(OmittedInformationRatio(*proof_, ""), 1.0);
+}
+
+TEST_F(OmissionTest, PartialTextCountsMissingConstants) {
+  const std::string text = "A was shocked with 6M and defaulted.";
+  auto missing = MissingConstants(*proof_, text);
+  // B, 5, 2, 7 missing; A and 6 present.
+  EXPECT_EQ(missing.size(), 4u);
+  const double ratio = OmittedInformationRatio(*proof_, text);
+  EXPECT_NEAR(ratio, 4.0 / 6.0, 1e-9);
+}
+
+TEST_F(OmissionTest, AcceptsAnyRendering) {
+  // Raw "6", millions "6M", percent "600%" all count as mentions.
+  EXPECT_LT(OmittedInformationRatio(*proof_, "values 6 5 2 7 A B"), 1e-9);
+  EXPECT_LT(OmittedInformationRatio(*proof_, "values 6M 5M 2M 7M A B"), 1e-9);
+}
+
+TEST_F(OmissionTest, SubstringNumbersDoNotCount) {
+  // "67M" must not satisfy the constants 6 or 7.
+  const std::string text = "values 67M 5 2 A B";
+  auto missing = MissingConstants(*proof_, text);
+  EXPECT_EQ(missing.size(), 2u);  // 6 and 7
+}
+
+}  // namespace
+}  // namespace templex

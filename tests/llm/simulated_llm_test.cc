@@ -1,0 +1,133 @@
+#include "llm/simulated_llm.h"
+
+#include <gtest/gtest.h>
+
+namespace templex {
+namespace {
+
+const char kShortText[] =
+    "Since a shock amounting to 6M euros affects Banca1, then Banca1 is in "
+    "default.";
+
+std::string LongText(int sentences) {
+  std::string text;
+  for (int i = 0; i < sentences; ++i) {
+    text += "Since Banca" + std::to_string(i) + " is in default, and Banca" +
+            std::to_string(i) + " has " + std::to_string(3 + i) +
+            "M euros of debts with Banca" + std::to_string(i + 1) +
+            ", then Banca" + std::to_string(i + 1) + " is in default. ";
+  }
+  return text;
+}
+
+TEST(SimulatedLlmTest, DeterministicForSamePrompt) {
+  SimulatedLlm llm;
+  auto a = llm.Paraphrase(kShortText);
+  auto b = llm.Paraphrase(kShortText);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(SimulatedLlmTest, ParaphraseRewords) {
+  SimulatedLlm llm;
+  auto result = llm.Paraphrase(kShortText);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result.value(), kShortText);
+  // Synonym substitution applied.
+  EXPECT_EQ(result.value().find("Since "), std::string::npos);
+}
+
+TEST(SimulatedLlmTest, ShortTextKeepsItsConstants) {
+  SimulatedLlm llm;
+  auto result = llm.Paraphrase(kShortText);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result.value().find("Banca1"), std::string::npos);
+  EXPECT_NE(result.value().find("6M"), std::string::npos);
+}
+
+TEST(SimulatedLlmTest, LongInputLosesConstants) {
+  SimulatedLlm llm;
+  const std::string text = LongText(20);
+  auto para = llm.Paraphrase(text);
+  ASSERT_TRUE(para.ok());
+  const auto before = llm_internal::ConstantMentions(text);
+  int missing = 0;
+  for (const std::string& mention : before) {
+    if (para.value().find(mention) == std::string::npos) ++missing;
+  }
+  EXPECT_GT(missing, 0) << "20-sentence paraphrase lost nothing";
+}
+
+TEST(SimulatedLlmTest, SummaryCompressesSentences) {
+  SimulatedLlm llm;
+  const std::string text = LongText(20);
+  auto summary = llm.Summarize(text);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_LT(summary.value().size(), text.size());
+}
+
+TEST(SimulatedLlmTest, SummaryLosesMoreThanParaphrase) {
+  SimulatedLlm llm;
+  // Average over several long texts to smooth the per-call noise.
+  int para_missing = 0;
+  int summary_missing = 0;
+  for (int round = 0; round < 8; ++round) {
+    std::string text = LongText(14 + round);
+    const auto mentions = llm_internal::ConstantMentions(text);
+    auto para = llm.Paraphrase(text);
+    auto summary = llm.Summarize(text);
+    ASSERT_TRUE(para.ok());
+    ASSERT_TRUE(summary.ok());
+    for (const std::string& mention : mentions) {
+      if (para.value().find(mention) == std::string::npos) ++para_missing;
+      if (summary.value().find(mention) == std::string::npos) {
+        ++summary_missing;
+      }
+    }
+  }
+  EXPECT_GT(summary_missing, para_missing);
+}
+
+TEST(SimulatedLlmTest, UnknownPromptRejected) {
+  SimulatedLlm llm;
+  EXPECT_FALSE(llm.Complete("Write a poem about Datalog").ok());
+}
+
+TEST(SimulatedLlmTest, RephraseCanDropToken) {
+  SimulatedLlmOptions options;
+  options.rephrase_token_drop = 1.0;
+  SimulatedLlm llm(options);
+  auto result = llm.Complete(std::string(kRephrasePrompt) +
+                             "Since <f> is big, then <f> wins.");
+  ASSERT_TRUE(result.ok());
+  // The hallucination mode omits the variable entirely: every occurrence of
+  // the dropped token disappears.
+  EXPECT_EQ(result.value().find("<f>"), std::string::npos);
+}
+
+TEST(SimulatedLlmTest, RephraseWithoutDropKeepsTokens) {
+  SimulatedLlmOptions options;
+  options.rephrase_token_drop = 0.0;
+  SimulatedLlm llm(options);
+  auto result = llm.Complete(std::string(kRephrasePrompt) +
+                             "Since <f> is big, then <f> wins.");
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result.value().find("<f>"), std::string::npos);
+}
+
+TEST(ConstantMentionsTest, FindsNumbersAndMidSentenceCapitalizedWords) {
+  auto mentions = llm_internal::ConstantMentions(
+      "Since a shock of 6M euros affects Banca1, then Banca1 defaults.");
+  EXPECT_NE(std::find(mentions.begin(), mentions.end(), "6M"), mentions.end());
+  EXPECT_NE(std::find(mentions.begin(), mentions.end(), "Banca1"),
+            mentions.end());
+}
+
+TEST(ConstantMentionsTest, SentenceLeadingWordsIgnored) {
+  auto mentions = llm_internal::ConstantMentions("Hello world. Another one.");
+  EXPECT_TRUE(mentions.empty());
+}
+
+}  // namespace
+}  // namespace templex

@@ -1,0 +1,63 @@
+#include "stats/descriptive.h"
+
+#include <cmath>
+#include <set>
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace templex {
+namespace {
+
+TEST(MeanTest, Basic) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({5}), 5.0);
+  EXPECT_DOUBLE_EQ(Mean({-1, 1}), 0.0);
+}
+
+TEST(StdDevTest, SampleDenominator) {
+  // Sample stddev of {2, 4, 4, 4, 5, 5, 7, 9} is sqrt(32/7).
+  EXPECT_NEAR(StdDev({2, 4, 4, 4, 5, 5, 7, 9}), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(StdDev({3}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({3, 3, 3}), 0.0);
+}
+
+TEST(MedianTest, OddAndEven) {
+  EXPECT_DOUBLE_EQ(Median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4, 1, 3, 2}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({7}), 7.0);
+}
+
+TEST(QuantileTest, InterpolatesLinearly) {
+  std::vector<double> sample = {0, 10};
+  EXPECT_DOUBLE_EQ(Quantile(sample, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Quantile(sample, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(sample, 1.0), 10.0);
+}
+
+TEST(QuantileTest, ClampsOutOfRange) {
+  std::vector<double> sample = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(Quantile(sample, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(sample, 1.5), 3.0);
+}
+
+TEST(SummarizeTest, FiveNumberSummary) {
+  BoxStats stats = Summarize({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(stats.min, 1.0);
+  EXPECT_DOUBLE_EQ(stats.q1, 2.0);
+  EXPECT_DOUBLE_EQ(stats.median, 3.0);
+  EXPECT_DOUBLE_EQ(stats.q3, 4.0);
+  EXPECT_DOUBLE_EQ(stats.max, 5.0);
+  EXPECT_DOUBLE_EQ(stats.mean, 3.0);
+  EXPECT_EQ(stats.n, 5);
+}
+
+TEST(SummarizeTest, ToStringReadable) {
+  BoxStats stats = Summarize({0.1, 0.2});
+  std::string text = stats.ToString();
+  EXPECT_NE(text.find("n=2"), std::string::npos);
+  EXPECT_NE(text.find("med="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace templex

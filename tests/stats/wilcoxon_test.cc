@@ -1,0 +1,100 @@
+#include "stats/wilcoxon.h"
+
+#include <cmath>
+#include <set>
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace templex {
+namespace {
+
+TEST(NormalCdfTest, KnownValues) {
+  EXPECT_NEAR(StandardNormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(StandardNormalCdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(StandardNormalCdf(-1.959963985), 0.025, 1e-6);
+}
+
+TEST(WilcoxonTest, RejectsMismatchedSizes) {
+  EXPECT_FALSE(WilcoxonSignedRank({1, 2}, {1}).ok());
+  EXPECT_FALSE(WilcoxonSignedRank({}, {}).ok());
+}
+
+TEST(WilcoxonTest, RejectsTooFewEffectivePairs) {
+  // All differences zero: no effective pairs.
+  EXPECT_FALSE(WilcoxonSignedRank({1, 2, 3, 4, 5, 6},
+                                  {1, 2, 3, 4, 5, 6})
+                   .ok());
+}
+
+TEST(WilcoxonTest, IdenticalDistributionsNotSignificant) {
+  Rng rng(42);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 60; ++i) {
+    double base = rng.NextDouble(1, 5);
+    a.push_back(std::round(base + rng.NextGaussian(0, 0.7)));
+    b.push_back(std::round(base + rng.NextGaussian(0, 0.7)));
+  }
+  auto result = WilcoxonSignedRank(a, b);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result.value().p_value, 0.05);
+}
+
+TEST(WilcoxonTest, ShiftedDistributionSignificant) {
+  Rng rng(43);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 60; ++i) {
+    double base = rng.NextDouble(1, 4);
+    a.push_back(base + 1.0 + rng.NextGaussian(0, 0.3));
+    b.push_back(base + rng.NextGaussian(0, 0.3));
+  }
+  auto result = WilcoxonSignedRank(a, b);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result.value().p_value, 0.01);
+  EXPECT_GT(result.value().w_plus, result.value().w_minus);
+}
+
+TEST(WilcoxonTest, ZeroDifferencesDropped) {
+  std::vector<double> a = {1, 2, 3, 4, 5, 6, 7, 5};
+  std::vector<double> b = {1, 3, 2, 5, 4, 7, 6, 5};  // two zero diffs
+  auto result = WilcoxonSignedRank(a, b);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().n_effective, 6);
+}
+
+TEST(WilcoxonTest, RankSumsPartitionTotal) {
+  std::vector<double> a = {1, 4, 2, 6, 3, 8, 1};
+  std::vector<double> b = {2, 2, 4, 3, 5, 5, 4};
+  auto result = WilcoxonSignedRank(a, b);
+  ASSERT_TRUE(result.ok());
+  const int n = result.value().n_effective;
+  EXPECT_DOUBLE_EQ(result.value().w_plus + result.value().w_minus,
+                   n * (n + 1) / 2.0);
+}
+
+TEST(WilcoxonTest, PValueBounded) {
+  std::vector<double> a = {1, 2, 3, 4, 5, 6};
+  std::vector<double> b = {2, 3, 4, 5, 6, 7};
+  auto result = WilcoxonSignedRank(a, b);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result.value().p_value, 0.0);
+  EXPECT_LE(result.value().p_value, 1.0);
+}
+
+TEST(WilcoxonTest, SymmetricInArguments) {
+  std::vector<double> a = {1, 4, 2, 6, 3, 8};
+  std::vector<double> b = {2, 2, 4, 3, 5, 5};
+  auto ab = WilcoxonSignedRank(a, b);
+  auto ba = WilcoxonSignedRank(b, a);
+  ASSERT_TRUE(ab.ok());
+  ASSERT_TRUE(ba.ok());
+  EXPECT_DOUBLE_EQ(ab.value().p_value, ba.value().p_value);
+  EXPECT_DOUBLE_EQ(ab.value().w_plus, ba.value().w_minus);
+}
+
+}  // namespace
+}  // namespace templex

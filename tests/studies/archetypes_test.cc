@@ -1,0 +1,106 @@
+#include "studies/archetypes.h"
+
+#include <cmath>
+#include <set>
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace templex {
+namespace {
+
+KgVisualization MakeViz() {
+  KgVisualization viz;
+  viz.EnsureNode("A")->properties["capital"] = 5;
+  viz.EnsureNode("B")->properties["capital"] = 2;
+  viz.EnsureNode("C")->properties["capital"] = 10;
+  viz.edges.push_back(VizEdge{"A", "B", "Debts", 7, true});
+  // Two contributors into C from distinct debtors (an aggregation pair).
+  viz.edges.push_back(VizEdge{"B", "C", "Debts", 2, true});
+  viz.edges.push_back(VizEdge{"A", "C", "Debts", 9, true});
+  return viz;
+}
+
+TEST(ArchetypesTest, EveryArchetypeProducesADifferentGraph) {
+  KgVisualization truth = MakeViz();
+  Rng rng(1);
+  for (ErrorArchetype a :
+       {ErrorArchetype::kFalseEdge, ErrorArchetype::kWrongValue,
+        ErrorArchetype::kWrongAggregationOrder, ErrorArchetype::kWrongChain}) {
+    KgVisualization mutated = ApplyArchetype(truth, a, &rng);
+    EXPECT_FALSE(mutated == truth) << ErrorArchetypeToString(a);
+  }
+}
+
+TEST(ArchetypesTest, FalseEdgeAddsAnEdge) {
+  KgVisualization truth = MakeViz();
+  Rng rng(2);
+  KgVisualization mutated =
+      ApplyArchetype(truth, ErrorArchetype::kFalseEdge, &rng);
+  EXPECT_EQ(mutated.edges.size(), truth.edges.size() + 1);
+}
+
+TEST(ArchetypesTest, WrongValueKeepsTopology) {
+  KgVisualization truth = MakeViz();
+  Rng rng(3);
+  KgVisualization mutated =
+      ApplyArchetype(truth, ErrorArchetype::kWrongValue, &rng);
+  ASSERT_EQ(mutated.edges.size(), truth.edges.size());
+  for (size_t i = 0; i < mutated.edges.size(); ++i) {
+    EXPECT_EQ(mutated.edges[i].from, truth.edges[i].from);
+    EXPECT_EQ(mutated.edges[i].to, truth.edges[i].to);
+  }
+}
+
+TEST(ArchetypesTest, AggregationSwapExchangesContributorValues) {
+  KgVisualization truth = MakeViz();
+  Rng rng(4);
+  ErrorArchetype applied;
+  KgVisualization mutated = ApplyArchetype(
+      truth, ErrorArchetype::kWrongAggregationOrder, &rng, &applied);
+  EXPECT_EQ(applied, ErrorArchetype::kWrongAggregationOrder);
+  // Contributor values swapped between distinct sources: the multiset of
+  // values is unchanged while the assignment differs.
+  std::multiset<double> truth_values;
+  std::multiset<double> mutated_values;
+  for (const VizEdge& e : truth.edges) truth_values.insert(e.value);
+  for (const VizEdge& e : mutated.edges) mutated_values.insert(e.value);
+  EXPECT_EQ(truth_values, mutated_values);
+  EXPECT_FALSE(mutated == truth);
+}
+
+TEST(ArchetypesTest, AggregationSwapDegradesWhenNoPairs) {
+  KgVisualization truth;
+  truth.EnsureNode("A")->properties["capital"] = 5;
+  truth.EnsureNode("B");
+  truth.edges.push_back(VizEdge{"A", "B", "Own", 0.6, true});
+  Rng rng(5);
+  ErrorArchetype applied;
+  KgVisualization mutated = ApplyArchetype(
+      truth, ErrorArchetype::kWrongAggregationOrder, &rng, &applied);
+  EXPECT_EQ(applied, ErrorArchetype::kWrongValue);
+  EXPECT_FALSE(mutated == truth);
+}
+
+TEST(ArchetypesTest, WrongChainRewiresAnEdge) {
+  KgVisualization truth = MakeViz();
+  Rng rng(6);
+  KgVisualization mutated =
+      ApplyArchetype(truth, ErrorArchetype::kWrongChain, &rng);
+  ASSERT_EQ(mutated.edges.size(), truth.edges.size());
+  int rewired = 0;
+  for (size_t i = 0; i < mutated.edges.size(); ++i) {
+    if (mutated.edges[i].to != truth.edges[i].to) ++rewired;
+  }
+  EXPECT_EQ(rewired, 1);
+}
+
+TEST(ArchetypesTest, ArchetypeNames) {
+  EXPECT_STREQ(ErrorArchetypeToString(ErrorArchetype::kFalseEdge),
+               "wrong edge");
+  EXPECT_STREQ(ErrorArchetypeToString(ErrorArchetype::kWrongChain),
+               "incorrect chain");
+}
+
+}  // namespace
+}  // namespace templex

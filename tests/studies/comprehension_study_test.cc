@@ -1,0 +1,113 @@
+#include "studies/comprehension_study.h"
+
+#include <gtest/gtest.h>
+
+namespace templex {
+namespace {
+
+// A miniature explanation plus its faithful visualization.
+ComprehensionCase MakeCase(uint64_t seed) {
+  ComprehensionCase question;
+  question.name = "simple stress test";
+  question.explanation =
+      "Since a shock amounting to 6M euros affects A, and A is a financial "
+      "institution with capital of 5M euros, then A is in default. Since A "
+      "is in default, and A has an amount of 7M euros of debts with B, and "
+      "B is a financial institution with capital of 2M euros, then B is in "
+      "default.";
+  question.truth.EnsureNode("A")->properties["capital"] = 5;
+  question.truth.FindNode("A")->properties["shock"] = 6;
+  question.truth.EnsureNode("B")->properties["capital"] = 2;
+  question.truth.edges.push_back(VizEdge{"A", "B", "Debts", 7, true});
+  Rng rng(seed);
+  for (ErrorArchetype a :
+       {ErrorArchetype::kWrongValue, ErrorArchetype::kWrongChain}) {
+    ErrorArchetype applied;
+    question.distractors.emplace_back(
+        applied, ApplyArchetype(question.truth, a, &rng, &applied));
+    question.distractors.back().first = applied;
+  }
+  return question;
+}
+
+TEST(ReaderTest, TruthScoresAtLeastAsHighAsDistractors) {
+  ComprehensionCase question = MakeCase(1);
+  double truth_score = ScoreVisualizationAgainstText(
+      question.explanation, question.truth, 0.0, nullptr);
+  for (const auto& [archetype, distractor] : question.distractors) {
+    double distractor_score = ScoreVisualizationAgainstText(
+        question.explanation, distractor, 0.0, nullptr);
+    EXPECT_GE(truth_score, distractor_score)
+        << ErrorArchetypeToString(archetype);
+  }
+}
+
+TEST(ReaderTest, WrongValueScoresStrictlyLower) {
+  ComprehensionCase question = MakeCase(2);
+  Rng rng(3);
+  KgVisualization wrong =
+      ApplyArchetype(question.truth, ErrorArchetype::kWrongValue, &rng);
+  EXPECT_LT(ScoreVisualizationAgainstText(question.explanation, wrong, 0.0,
+                                          nullptr),
+            ScoreVisualizationAgainstText(question.explanation,
+                                          question.truth, 0.0, nullptr));
+}
+
+TEST(ReaderTest, NoiseFreeReaderIsDeterministic) {
+  ComprehensionCase question = MakeCase(4);
+  double a = ScoreVisualizationAgainstText(question.explanation,
+                                           question.truth, 0.0, nullptr);
+  double b = ScoreVisualizationAgainstText(question.explanation,
+                                           question.truth, 0.0, nullptr);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(ComprehensionStudyTest, HighAccuracyWithAttentiveReaders) {
+  std::vector<ComprehensionCase> cases;
+  for (uint64_t seed = 1; seed <= 5; ++seed) cases.push_back(MakeCase(seed));
+  ComprehensionStudyOptions options;
+  options.participants = 24;
+  options.inattention = 0.0;
+  auto results = RunComprehensionStudy(cases, options);
+  ASSERT_EQ(results.size(), 5u);
+  for (const ComprehensionCaseResult& result : results) {
+    EXPECT_EQ(result.participants, 24);
+    EXPECT_EQ(result.correct, 24) << result.name;
+  }
+}
+
+TEST(ComprehensionStudyTest, InattentionProducesOccasionalErrors) {
+  std::vector<ComprehensionCase> cases;
+  for (uint64_t seed = 1; seed <= 5; ++seed) cases.push_back(MakeCase(seed));
+  ComprehensionStudyOptions options;
+  options.participants = 200;  // large sample to make errors near-certain
+  options.inattention = 0.5;
+  auto results = RunComprehensionStudy(cases, options);
+  int errors = 0;
+  for (const auto& result : results) {
+    errors += result.participants - result.correct;
+  }
+  EXPECT_GT(errors, 0);
+}
+
+TEST(ComprehensionStudyTest, DeterministicPerSeed) {
+  std::vector<ComprehensionCase> cases = {MakeCase(1)};
+  ComprehensionStudyOptions options;
+  options.inattention = 0.3;
+  auto a = RunComprehensionStudy(cases, options);
+  auto b = RunComprehensionStudy(cases, options);
+  EXPECT_EQ(a[0].correct, b[0].correct);
+}
+
+TEST(ComprehensionStudyTest, TableFormat) {
+  std::vector<ComprehensionCase> cases = {MakeCase(1)};
+  ComprehensionStudyOptions options;
+  auto results = RunComprehensionStudy(cases, options);
+  std::string table = ComprehensionTable(results);
+  EXPECT_NE(table.find("Correct"), std::string::npos);
+  EXPECT_NE(table.find("Overall accuracy"), std::string::npos);
+  EXPECT_NE(table.find("simple stress test"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace templex

@@ -1,0 +1,132 @@
+#include "studies/expert_study.h"
+
+#include <gtest/gtest.h>
+
+namespace templex {
+namespace {
+
+ExpertScenario MakeScenario(const std::string& name) {
+  ExpertScenario scenario;
+  scenario.name = name;
+  scenario.deterministic =
+      "Since a shock amounting to 6M euros affects A, and A is a financial "
+      "institution with capital of 5M euros, then A is in default. Since A "
+      "is in default, and A has an amount of 7M euros of debts with B, then "
+      "B is at risk of defaulting given its loan of 7M euros of exposures "
+      "to a defaulted debtor. Since B is a financial institution with "
+      "capital of 2M euros, and B is at risk of defaulting given its loan "
+      "of 7M euros of exposures to a defaulted debtor, then B is in "
+      "default.";
+  scenario.texts[0] =
+      "Given that a shock of 6M euros hits A, whose capital is 5M euros, A "
+      "has defaulted. A owed 7M euros to B, whose capital of 2M euros is "
+      "insufficient, so B has defaulted as well.";
+  scenario.texts[1] =
+      "A was shocked and defaulted; B, exposed to A, defaulted as well.";
+  scenario.texts[2] =
+      "A is in default due to a shock of 6M euros, being over its capital "
+      "of 5M euros. With 7M euros of debts to A, B is at risk given its "
+      "exposure to a defaulted debtor. B has a capital of 2M euros, lower "
+      "than 7M, thus also being in default.";
+  scenario.completeness[0] = 1.0;
+  scenario.completeness[1] = 0.5;  // the summary lost the amounts
+  scenario.completeness[2] = 1.0;
+  return scenario;
+}
+
+TEST(TextQualityTest, EmptyTextScoresZero) {
+  EXPECT_DOUBLE_EQ(TextQualityScore("", "ref", 1.0), 0.0);
+}
+
+TEST(TextQualityTest, CompletenessRaisesQuality) {
+  const std::string text = "B defaulted because of A.";
+  EXPECT_GT(TextQualityScore(text, "a much longer reference text........",
+                             1.0),
+            TextQualityScore(text, "a much longer reference text........",
+                             0.2));
+}
+
+TEST(TextQualityTest, VerboseRepetitiveReferenceScoresLowerThanRewrite) {
+  ExpertScenario scenario = MakeScenario("x");
+  const double deterministic_quality = TextQualityScore(
+      scenario.deterministic, scenario.deterministic, 1.0);
+  const double template_quality =
+      TextQualityScore(scenario.texts[2], scenario.deterministic, 1.0);
+  EXPECT_GT(template_quality, deterministic_quality);
+}
+
+TEST(ExpertStudyTest, RequiresScenarios) {
+  EXPECT_FALSE(RunExpertStudy({}, ExpertStudyOptions()).ok());
+}
+
+TEST(ExpertStudyTest, GradesInLikertRange) {
+  std::vector<ExpertScenario> scenarios = {MakeScenario("a"),
+                                           MakeScenario("b")};
+  auto result = RunExpertStudy(scenarios, ExpertStudyOptions());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  for (int m = 0; m < 3; ++m) {
+    EXPECT_EQ(result.value().grades[m].size(), 2u * 14u);
+    for (double grade : result.value().grades[m]) {
+      EXPECT_GE(grade, 1.0);
+      EXPECT_LE(grade, 5.0);
+    }
+  }
+}
+
+TEST(ExpertStudyTest, EqualQualityMethodsNotSignificantlyDifferent) {
+  // When two methods produce texts of identical quality, the grades differ
+  // only by noise and the Wilcoxon test must not report significance (the
+  // machinery behind the paper's headline claim).
+  std::vector<ExpertScenario> scenarios;
+  for (int i = 0; i < 4; ++i) {
+    ExpertScenario scenario = MakeScenario("s" + std::to_string(i));
+    scenario.texts[0] = scenario.texts[2];
+    scenario.completeness[0] = scenario.completeness[2];
+    scenarios.push_back(std::move(scenario));
+  }
+  auto result = RunExpertStudy(scenarios, ExpertStudyOptions());
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.value().paraphrase_vs_templates.p_value, 0.05);
+}
+
+TEST(ExpertStudyTest, DeterministicPerSeed) {
+  std::vector<ExpertScenario> scenarios = {MakeScenario("a")};
+  auto a = RunExpertStudy(scenarios, ExpertStudyOptions());
+  auto b = RunExpertStudy(scenarios, ExpertStudyOptions());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().grades[0], b.value().grades[0]);
+}
+
+TEST(ExpertStudyTest, MeansTrackQuality) {
+  std::vector<ExpertScenario> scenarios;
+  for (int i = 0; i < 4; ++i) {
+    scenarios.push_back(MakeScenario("s" + std::to_string(i)));
+  }
+  auto result = RunExpertStudy(scenarios, ExpertStudyOptions());
+  ASSERT_TRUE(result.ok());
+  // The incomplete summary must grade below the complete methods.
+  EXPECT_LT(result.value().mean[1], result.value().mean[0]);
+  EXPECT_LT(result.value().mean[1], result.value().mean[2]);
+}
+
+TEST(ExpertStudyTest, TableContainsStats) {
+  std::vector<ExpertScenario> scenarios = {MakeScenario("a"),
+                                           MakeScenario("b")};
+  auto result = RunExpertStudy(scenarios, ExpertStudyOptions());
+  ASSERT_TRUE(result.ok());
+  std::string table = result.value().ToTable();
+  EXPECT_NE(table.find("Mean"), std::string::npos);
+  EXPECT_NE(table.find("Std. Dev."), std::string::npos);
+  EXPECT_NE(table.find("Wilcoxon"), std::string::npos);
+}
+
+TEST(ExplanationMethodTest, Names) {
+  EXPECT_STREQ(ExplanationMethodToString(ExplanationMethod::kGptParaphrase),
+               "Paraphrasis");
+  EXPECT_STREQ(ExplanationMethodToString(ExplanationMethod::kTemplateBased),
+               "Templates");
+}
+
+}  // namespace
+}  // namespace templex

@@ -1,0 +1,91 @@
+#include "studies/visualization.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/programs.h"
+#include "engine/chase.h"
+
+namespace templex {
+namespace {
+
+Value S(const char* s) { return Value::String(s); }
+Value I(int64_t i) { return Value::Int(i); }
+
+Proof MakeProof(const ChaseResult& chase, const Fact& goal) {
+  return Proof::Extract(chase.graph, chase.Find(goal).value());
+}
+
+class VisualizationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::vector<Fact> edb = {
+        {"Shock", {S("A"), I(6)}},         {"HasCapital", {S("A"), I(5)}},
+        {"HasCapital", {S("B"), I(2)}},    {"Debts", {S("A"), S("B"), I(7)}},
+    };
+    auto result = ChaseEngine().Run(SimplifiedStressTestProgram(), edb);
+    ASSERT_TRUE(result.ok());
+    chase_ = std::make_unique<ChaseResult>(std::move(result).value());
+  }
+
+  std::unique_ptr<ChaseResult> chase_;
+};
+
+TEST_F(VisualizationTest, NodesAndPropertiesFromUnaryNumericFacts) {
+  Proof proof = MakeProof(*chase_, {"Default", {S("B")}});
+  KgVisualization viz = BuildVisualization(proof);
+  const VizNode* a = viz.FindNode("A");
+  ASSERT_NE(a, nullptr);
+  EXPECT_DOUBLE_EQ(a->properties.at("hascapital"), 5.0);
+  EXPECT_DOUBLE_EQ(a->properties.at("shock"), 6.0);
+}
+
+TEST_F(VisualizationTest, EdgesFromBinaryFacts) {
+  Proof proof = MakeProof(*chase_, {"Default", {S("B")}});
+  KgVisualization viz = BuildVisualization(proof);
+  bool found = false;
+  for (const VizEdge& edge : viz.edges) {
+    if (edge.label == "Debts" && edge.from == "A" && edge.to == "B") {
+      found = true;
+      EXPECT_TRUE(edge.has_value);
+      EXPECT_DOUBLE_EQ(edge.value, 7.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(VisualizationTest, DerivedUnaryFactsBecomeMarkers) {
+  Proof proof = MakeProof(*chase_, {"Default", {S("B")}});
+  KgVisualization viz = BuildVisualization(proof);
+  const VizNode* b = viz.FindNode("B");
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(std::find(b->markers.begin(), b->markers.end(), "default"),
+            b->markers.end());
+}
+
+TEST_F(VisualizationTest, EnsureNodeIdempotent) {
+  KgVisualization viz;
+  VizNode* first = viz.EnsureNode("X");
+  VizNode* second = viz.EnsureNode("X");
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(viz.nodes.size(), 1u);
+}
+
+TEST_F(VisualizationTest, EqualityViaToString) {
+  Proof proof = MakeProof(*chase_, {"Default", {S("B")}});
+  KgVisualization a = BuildVisualization(proof);
+  KgVisualization b = BuildVisualization(proof);
+  EXPECT_EQ(a, b);
+  b.edges[0].value += 1;
+  EXPECT_FALSE(a == b);
+}
+
+TEST_F(VisualizationTest, ToStringListsEverything) {
+  Proof proof = MakeProof(*chase_, {"Default", {S("B")}});
+  std::string text = BuildVisualization(proof).ToString();
+  EXPECT_NE(text.find("A"), std::string::npos);
+  EXPECT_NE(text.find("-Debts(7)-> B"), std::string::npos);
+  EXPECT_NE(text.find("[default]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace templex

@@ -1,0 +1,315 @@
+// templex_cli — run a Vadalog-subset KG application from the command line.
+//
+//   templex_cli --program rules.vada --facts data.csv
+//               [--glossary glossary.csv] [--query 'Control(A, C)']
+//               [--explain 'Control(A, C)']... [--anonymize]
+//               [--report out.md] [--interactive]
+//               [--dump-json chase.json] [--templates]
+//
+// --program    rule file (see src/datalog/parser.h for the syntax);
+// --facts      CSV facts (see src/io/csv.h); repeatable;
+// --glossary   CSV with lines `predicate,"pattern",token:style,...` — one
+//              token:style pair per predicate argument, in argument order
+//              (styles: plain|millions|percent). Without it, a minimal
+//              fallback glossary is generated from the rules.
+// --query      prints all facts matching a pattern (use _ as wildcard);
+// --explain    prints the textual explanation of a derived fact
+//              (repeatable);
+// --explain-all prints every recorded reasoning story for the fact;
+// --anonymize  pseudonymizes the explanation output;
+// --report     writes a markdown business report covering every --explain
+//              plus the data-quality appendix;
+// --what-if    adds hypothetical facts (repeatable), reasons over
+//              baseline+hypothesis without mutating it, and prints the
+//              newly derived facts;
+// --interactive reads further query/explain lines from stdin
+//              ("? Control(A, _)" queries, any fact literal explains);
+// --templates  prints the explanation-template catalog;
+// --dump-json  writes the chase graph as JSON.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/application.h"
+#include "core/termination.h"
+#include "explain/report.h"
+#include "datalog/parser.h"
+#include "io/csv.h"
+#include "io/glossary_csv.h"
+
+namespace {
+
+using namespace templex;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: templex_cli --program FILE --facts FILE [--facts FILE]...\n"
+      "                   [--glossary FILE] [--query FACT] [--explain FACT]...\n"
+      "                   [--anonymize] [--report FILE] [--interactive]\n"
+      "                   [--templates] [--dump-json FILE]\n");
+  return 2;
+}
+
+// Parses a query pattern: like a fact literal, but `_` is a wildcard.
+Result<Fact> ParsePattern(const std::string& text) {
+  Result<Fact> fact = ParseFactLiteral(text);
+  if (!fact.ok()) return fact;
+  Fact pattern = std::move(fact).value();
+  for (Value& arg : pattern.args) {
+    if (arg.is_string() && arg.string_value() == "_") arg = Value::Null();
+  }
+  return pattern;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string program_path;
+  std::vector<std::string> fact_paths;
+  std::string glossary_path;
+  std::string query_text;
+  std::vector<std::string> explain_texts;
+  std::string explain_all_text;
+  std::vector<std::string> whatif_texts;
+  std::string json_path;
+  std::string report_path;
+  bool anonymize = false;
+  bool print_templates = false;
+  bool interactive = false;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires an argument\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--program")) {
+      program_path = next("--program");
+    } else if (!std::strcmp(argv[i], "--facts")) {
+      fact_paths.push_back(next("--facts"));
+    } else if (!std::strcmp(argv[i], "--glossary")) {
+      glossary_path = next("--glossary");
+    } else if (!std::strcmp(argv[i], "--query")) {
+      query_text = next("--query");
+    } else if (!std::strcmp(argv[i], "--explain")) {
+      explain_texts.push_back(next("--explain"));
+    } else if (!std::strcmp(argv[i], "--explain-all")) {
+      explain_all_text = next("--explain-all");
+    } else if (!std::strcmp(argv[i], "--what-if")) {
+      whatif_texts.push_back(next("--what-if"));
+    } else if (!std::strcmp(argv[i], "--report")) {
+      report_path = next("--report");
+    } else if (!std::strcmp(argv[i], "--interactive")) {
+      interactive = true;
+    } else if (!std::strcmp(argv[i], "--dump-json")) {
+      json_path = next("--dump-json");
+    } else if (!std::strcmp(argv[i], "--anonymize")) {
+      anonymize = true;
+    } else if (!std::strcmp(argv[i], "--templates")) {
+      print_templates = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return Usage();
+    }
+  }
+  if (program_path.empty() || fact_paths.empty()) return Usage();
+
+  auto die = [](const Status& status) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    std::exit(1);
+  };
+
+  Result<std::string> source = ReadFileToString(program_path);
+  if (!source.ok()) die(source.status());
+  Result<Program> program = ParseProgram(source.value());
+  if (!program.ok()) die(program.status());
+  Result<TerminationAnalysis> termination =
+      AnalyzeTermination(program.value());
+  if (termination.ok() &&
+      termination.value().verdict == TerminationVerdict::kDataDependent) {
+    std::fprintf(stderr, "warning: %s\n",
+                 termination.value().ToString().c_str());
+  }
+
+  DomainGlossary glossary;
+  bool have_glossary = !glossary_path.empty();
+  if (have_glossary) {
+    Result<DomainGlossary> loaded = LoadGlossaryCsv(glossary_path);
+    if (!loaded.ok()) die(loaded.status());
+    glossary = std::move(loaded).value();
+  } else {
+    // Minimal fallback glossary so the pipeline can build: each predicate
+    // verbalizes as itself ("Own of <a1>, <a2>, <a3> holds").
+    std::map<std::string, int> arities;
+    for (const Rule& rule : program.value().rules()) {
+      for (const Atom& atom : rule.body) {
+        arities[atom.predicate] = atom.arity();
+      }
+      for (const Atom& atom : rule.negative_body) {
+        arities[atom.predicate] = atom.arity();
+      }
+      if (!rule.is_constraint) {
+        arities[rule.head.predicate] = rule.head.arity();
+      }
+    }
+    for (const auto& [predicate, arity] : arities) {
+      GlossaryEntry entry;
+      entry.pattern = predicate + " holds for";
+      for (int a = 0; a < arity; ++a) {
+        const std::string token = "a" + std::to_string(a + 1);
+        entry.pattern += (a ? ", <" : " <") + token + ">";
+        entry.arg_tokens.push_back(token);
+      }
+      if (arity == 0) entry.pattern = predicate + " holds";
+      Status status = glossary.Register(predicate, entry);
+      if (!status.ok()) die(status);
+    }
+  }
+
+  auto app = KnowledgeGraphApplication::Create(std::move(program).value(),
+                                               std::move(glossary));
+  if (!app.ok()) die(app.status());
+
+  for (const std::string& path : fact_paths) {
+    Result<std::vector<Fact>> facts = LoadFactsCsv(path);
+    if (!facts.ok()) die(facts.status());
+    app.value()->AddFacts(std::move(facts).value());
+  }
+  Status run = app.value()->Run();
+  if (!run.ok()) die(run);
+
+  const ChaseResult& chase = app.value()->chase();
+  std::printf("facts: %d total (%d derived) in %d rounds\n",
+              chase.graph.size(), chase.stats.derived_facts,
+              chase.stats.rounds);
+  for (const ConstraintViolation& violation : app.value()->violations()) {
+    std::printf("violation: %s\n", violation.ToString().c_str());
+  }
+
+  if (print_templates) {
+    for (const ExplanationTemplate& tmpl :
+         app.value()->explainer().templates()) {
+      std::printf("[%s] %s\n  %s\n", tmpl.name.c_str(),
+                  tmpl.path.ToString().c_str(), tmpl.EffectiveText().c_str());
+    }
+  }
+
+  if (!query_text.empty()) {
+    Result<Fact> pattern = ParsePattern(query_text);
+    if (!pattern.ok()) die(pattern.status());
+    for (const Fact& fact : app.value()->Query(pattern.value())) {
+      std::printf("%s\n", fact.ToString().c_str());
+    }
+  }
+
+  for (const std::string& explain_text : explain_texts) {
+    Result<Fact> goal = ParseFactLiteral(explain_text);
+    if (!goal.ok()) die(goal.status());
+    if (anonymize) {
+      Result<AnonymizedText> text =
+          app.value()->ExplainAnonymized(goal.value());
+      if (!text.ok()) die(text.status());
+      std::printf("%s\n", text.value().text.c_str());
+    } else {
+      Result<std::string> text = app.value()->Explain(goal.value());
+      if (!text.ok()) die(text.status());
+      std::printf("%s\n", text.value().c_str());
+    }
+  }
+
+  if (!whatif_texts.empty()) {
+    std::vector<Fact> hypothetical;
+    for (const std::string& text : whatif_texts) {
+      Result<Fact> fact = ParseFactLiteral(text);
+      if (!fact.ok()) die(fact.status());
+      hypothetical.push_back(std::move(fact).value());
+    }
+    auto scenario = app.value()->WhatIf(hypothetical);
+    if (!scenario.ok()) die(scenario.status());
+    std::printf("what-if: %zu new derived facts\n",
+                scenario.value().new_facts.size());
+    for (const Fact& fact : scenario.value().new_facts) {
+      std::printf("  %s\n", fact.ToString().c_str());
+    }
+  }
+
+  if (!explain_all_text.empty()) {
+    Result<Fact> goal = ParseFactLiteral(explain_all_text);
+    if (!goal.ok()) die(goal.status());
+    Result<std::vector<std::string>> stories =
+        app.value()->explainer().ExplainAllDerivations(app.value()->chase(),
+                                                       goal.value());
+    if (!stories.ok()) die(stories.status());
+    for (size_t i = 0; i < stories.value().size(); ++i) {
+      std::printf("[story %zu/%zu] %s\n", i + 1, stories.value().size(),
+                  stories.value()[i].c_str());
+    }
+  }
+
+  if (!report_path.empty()) {
+    ReportBuilder builder(&app.value()->explainer(), &app.value()->chase());
+    builder.Title("Reasoning report for " + program_path);
+    for (const std::string& explain_text : explain_texts) {
+      Result<Fact> goal = ParseFactLiteral(explain_text);
+      if (!goal.ok()) die(goal.status());
+      builder.AddExplanation(goal.value());
+    }
+    builder.AddViolationsAppendix();
+    Result<std::string> report = builder.Build();
+    if (!report.ok()) die(report.status());
+    std::ofstream out(report_path, std::ios::binary | std::ios::trunc);
+    out << report.value();
+    if (!out) die(Status::Internal("cannot write " + report_path));
+    std::printf("report written to %s\n", report_path.c_str());
+  }
+
+  if (interactive) {
+    std::printf(
+        "interactive mode: '? Pattern(...)' queries (use _ as wildcard), a "
+        "fact literal explains it, empty line exits\n");
+    std::string line;
+    while (std::printf("> "), std::fflush(stdout),
+           std::getline(std::cin, line)) {
+      if (line.empty()) break;
+      if (line[0] == '?') {
+        Result<Fact> pattern = ParsePattern(line.substr(1));
+        if (!pattern.ok()) {
+          std::printf("error: %s\n", pattern.status().ToString().c_str());
+          continue;
+        }
+        for (const Fact& fact : app.value()->Query(pattern.value())) {
+          std::printf("%s\n", fact.ToString().c_str());
+        }
+        continue;
+      }
+      Result<Fact> goal = ParseFactLiteral(line);
+      if (!goal.ok()) {
+        std::printf("error: %s\n", goal.status().ToString().c_str());
+        continue;
+      }
+      Result<std::string> text = app.value()->Explain(goal.value());
+      if (!text.ok()) {
+        std::printf("error: %s\n", text.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%s\n", text.value().c_str());
+    }
+  }
+
+  if (!json_path.empty()) {
+    Result<std::string> json = app.value()->ExportChaseJson();
+    if (!json.ok()) die(json.status());
+    std::ofstream out(json_path, std::ios::binary | std::ios::trunc);
+    out << json.value();
+    if (!out) die(Status::Internal("cannot write " + json_path));
+    std::printf("chase graph written to %s\n", json_path.c_str());
+  }
+  return 0;
+}
