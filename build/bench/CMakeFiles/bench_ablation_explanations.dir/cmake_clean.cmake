@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_explanations.dir/bench_ablation_explanations.cc.o"
+  "CMakeFiles/bench_ablation_explanations.dir/bench_ablation_explanations.cc.o.d"
+  "bench_ablation_explanations"
+  "bench_ablation_explanations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_explanations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

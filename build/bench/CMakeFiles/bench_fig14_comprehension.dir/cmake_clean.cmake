@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_comprehension.dir/bench_fig14_comprehension.cc.o"
+  "CMakeFiles/bench_fig14_comprehension.dir/bench_fig14_comprehension.cc.o.d"
+  "bench_fig14_comprehension"
+  "bench_fig14_comprehension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_comprehension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

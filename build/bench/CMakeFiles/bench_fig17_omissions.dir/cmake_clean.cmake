@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_omissions.dir/bench_fig17_omissions.cc.o"
+  "CMakeFiles/bench_fig17_omissions.dir/bench_fig17_omissions.cc.o.d"
+  "bench_fig17_omissions"
+  "bench_fig17_omissions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_omissions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_explain.dir/bench_micro_explain.cc.o"
+  "CMakeFiles/bench_micro_explain.dir/bench_micro_explain.cc.o.d"
+  "bench_micro_explain"
+  "bench_micro_explain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_explain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_io.dir/bench_micro_io.cc.o"
+  "CMakeFiles/bench_micro_io.dir/bench_micro_io.cc.o.d"
+  "bench_micro_io"
+  "bench_micro_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_paper_walkthrough.dir/bench_paper_walkthrough.cc.o"
+  "CMakeFiles/bench_paper_walkthrough.dir/bench_paper_walkthrough.cc.o.d"
+  "bench_paper_walkthrough"
+  "bench_paper_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_paper_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

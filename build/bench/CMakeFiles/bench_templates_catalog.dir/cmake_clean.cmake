@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_templates_catalog.dir/bench_templates_catalog.cc.o"
+  "CMakeFiles/bench_templates_catalog.dir/bench_templates_catalog.cc.o.d"
+  "bench_templates_catalog"
+  "bench_templates_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_templates_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

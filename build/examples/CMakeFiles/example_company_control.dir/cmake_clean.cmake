@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_company_control.dir/company_control.cpp.o"
+  "CMakeFiles/example_company_control.dir/company_control.cpp.o.d"
+  "company_control"
+  "company_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_company_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

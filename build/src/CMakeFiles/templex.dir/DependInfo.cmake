@@ -1,0 +1,74 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/application.cc" "src/CMakeFiles/templex.dir/apps/application.cc.o" "gcc" "src/CMakeFiles/templex.dir/apps/application.cc.o.d"
+  "/root/repo/src/apps/generators.cc" "src/CMakeFiles/templex.dir/apps/generators.cc.o" "gcc" "src/CMakeFiles/templex.dir/apps/generators.cc.o.d"
+  "/root/repo/src/apps/glossaries.cc" "src/CMakeFiles/templex.dir/apps/glossaries.cc.o" "gcc" "src/CMakeFiles/templex.dir/apps/glossaries.cc.o.d"
+  "/root/repo/src/apps/programs.cc" "src/CMakeFiles/templex.dir/apps/programs.cc.o" "gcc" "src/CMakeFiles/templex.dir/apps/programs.cc.o.d"
+  "/root/repo/src/apps/scenario.cc" "src/CMakeFiles/templex.dir/apps/scenario.cc.o" "gcc" "src/CMakeFiles/templex.dir/apps/scenario.cc.o.d"
+  "/root/repo/src/common/number_format.cc" "src/CMakeFiles/templex.dir/common/number_format.cc.o" "gcc" "src/CMakeFiles/templex.dir/common/number_format.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/templex.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/templex.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/templex.dir/common/status.cc.o" "gcc" "src/CMakeFiles/templex.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/templex.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/templex.dir/common/string_util.cc.o.d"
+  "/root/repo/src/common/timer.cc" "src/CMakeFiles/templex.dir/common/timer.cc.o" "gcc" "src/CMakeFiles/templex.dir/common/timer.cc.o.d"
+  "/root/repo/src/core/dependency_graph.cc" "src/CMakeFiles/templex.dir/core/dependency_graph.cc.o" "gcc" "src/CMakeFiles/templex.dir/core/dependency_graph.cc.o.d"
+  "/root/repo/src/core/reasoning_path.cc" "src/CMakeFiles/templex.dir/core/reasoning_path.cc.o" "gcc" "src/CMakeFiles/templex.dir/core/reasoning_path.cc.o.d"
+  "/root/repo/src/core/structural_analyzer.cc" "src/CMakeFiles/templex.dir/core/structural_analyzer.cc.o" "gcc" "src/CMakeFiles/templex.dir/core/structural_analyzer.cc.o.d"
+  "/root/repo/src/core/termination.cc" "src/CMakeFiles/templex.dir/core/termination.cc.o" "gcc" "src/CMakeFiles/templex.dir/core/termination.cc.o.d"
+  "/root/repo/src/datalog/aggregate.cc" "src/CMakeFiles/templex.dir/datalog/aggregate.cc.o" "gcc" "src/CMakeFiles/templex.dir/datalog/aggregate.cc.o.d"
+  "/root/repo/src/datalog/atom.cc" "src/CMakeFiles/templex.dir/datalog/atom.cc.o" "gcc" "src/CMakeFiles/templex.dir/datalog/atom.cc.o.d"
+  "/root/repo/src/datalog/binding.cc" "src/CMakeFiles/templex.dir/datalog/binding.cc.o" "gcc" "src/CMakeFiles/templex.dir/datalog/binding.cc.o.d"
+  "/root/repo/src/datalog/condition.cc" "src/CMakeFiles/templex.dir/datalog/condition.cc.o" "gcc" "src/CMakeFiles/templex.dir/datalog/condition.cc.o.d"
+  "/root/repo/src/datalog/lexer.cc" "src/CMakeFiles/templex.dir/datalog/lexer.cc.o" "gcc" "src/CMakeFiles/templex.dir/datalog/lexer.cc.o.d"
+  "/root/repo/src/datalog/parser.cc" "src/CMakeFiles/templex.dir/datalog/parser.cc.o" "gcc" "src/CMakeFiles/templex.dir/datalog/parser.cc.o.d"
+  "/root/repo/src/datalog/printer.cc" "src/CMakeFiles/templex.dir/datalog/printer.cc.o" "gcc" "src/CMakeFiles/templex.dir/datalog/printer.cc.o.d"
+  "/root/repo/src/datalog/program.cc" "src/CMakeFiles/templex.dir/datalog/program.cc.o" "gcc" "src/CMakeFiles/templex.dir/datalog/program.cc.o.d"
+  "/root/repo/src/datalog/rule.cc" "src/CMakeFiles/templex.dir/datalog/rule.cc.o" "gcc" "src/CMakeFiles/templex.dir/datalog/rule.cc.o.d"
+  "/root/repo/src/datalog/term.cc" "src/CMakeFiles/templex.dir/datalog/term.cc.o" "gcc" "src/CMakeFiles/templex.dir/datalog/term.cc.o.d"
+  "/root/repo/src/datalog/value.cc" "src/CMakeFiles/templex.dir/datalog/value.cc.o" "gcc" "src/CMakeFiles/templex.dir/datalog/value.cc.o.d"
+  "/root/repo/src/engine/aggregate_state.cc" "src/CMakeFiles/templex.dir/engine/aggregate_state.cc.o" "gcc" "src/CMakeFiles/templex.dir/engine/aggregate_state.cc.o.d"
+  "/root/repo/src/engine/chase.cc" "src/CMakeFiles/templex.dir/engine/chase.cc.o" "gcc" "src/CMakeFiles/templex.dir/engine/chase.cc.o.d"
+  "/root/repo/src/engine/chase_graph.cc" "src/CMakeFiles/templex.dir/engine/chase_graph.cc.o" "gcc" "src/CMakeFiles/templex.dir/engine/chase_graph.cc.o.d"
+  "/root/repo/src/engine/fact.cc" "src/CMakeFiles/templex.dir/engine/fact.cc.o" "gcc" "src/CMakeFiles/templex.dir/engine/fact.cc.o.d"
+  "/root/repo/src/engine/fact_store.cc" "src/CMakeFiles/templex.dir/engine/fact_store.cc.o" "gcc" "src/CMakeFiles/templex.dir/engine/fact_store.cc.o.d"
+  "/root/repo/src/engine/matcher.cc" "src/CMakeFiles/templex.dir/engine/matcher.cc.o" "gcc" "src/CMakeFiles/templex.dir/engine/matcher.cc.o.d"
+  "/root/repo/src/engine/proof.cc" "src/CMakeFiles/templex.dir/engine/proof.cc.o" "gcc" "src/CMakeFiles/templex.dir/engine/proof.cc.o.d"
+  "/root/repo/src/engine/stratification.cc" "src/CMakeFiles/templex.dir/engine/stratification.cc.o" "gcc" "src/CMakeFiles/templex.dir/engine/stratification.cc.o.d"
+  "/root/repo/src/explain/anonymizer.cc" "src/CMakeFiles/templex.dir/explain/anonymizer.cc.o" "gcc" "src/CMakeFiles/templex.dir/explain/anonymizer.cc.o.d"
+  "/root/repo/src/explain/enhancer.cc" "src/CMakeFiles/templex.dir/explain/enhancer.cc.o" "gcc" "src/CMakeFiles/templex.dir/explain/enhancer.cc.o.d"
+  "/root/repo/src/explain/explainer.cc" "src/CMakeFiles/templex.dir/explain/explainer.cc.o" "gcc" "src/CMakeFiles/templex.dir/explain/explainer.cc.o.d"
+  "/root/repo/src/explain/glossary.cc" "src/CMakeFiles/templex.dir/explain/glossary.cc.o" "gcc" "src/CMakeFiles/templex.dir/explain/glossary.cc.o.d"
+  "/root/repo/src/explain/mapper.cc" "src/CMakeFiles/templex.dir/explain/mapper.cc.o" "gcc" "src/CMakeFiles/templex.dir/explain/mapper.cc.o.d"
+  "/root/repo/src/explain/report.cc" "src/CMakeFiles/templex.dir/explain/report.cc.o" "gcc" "src/CMakeFiles/templex.dir/explain/report.cc.o.d"
+  "/root/repo/src/explain/template.cc" "src/CMakeFiles/templex.dir/explain/template.cc.o" "gcc" "src/CMakeFiles/templex.dir/explain/template.cc.o.d"
+  "/root/repo/src/explain/template_generator.cc" "src/CMakeFiles/templex.dir/explain/template_generator.cc.o" "gcc" "src/CMakeFiles/templex.dir/explain/template_generator.cc.o.d"
+  "/root/repo/src/explain/verbalizer.cc" "src/CMakeFiles/templex.dir/explain/verbalizer.cc.o" "gcc" "src/CMakeFiles/templex.dir/explain/verbalizer.cc.o.d"
+  "/root/repo/src/io/csv.cc" "src/CMakeFiles/templex.dir/io/csv.cc.o" "gcc" "src/CMakeFiles/templex.dir/io/csv.cc.o.d"
+  "/root/repo/src/io/glossary_csv.cc" "src/CMakeFiles/templex.dir/io/glossary_csv.cc.o" "gcc" "src/CMakeFiles/templex.dir/io/glossary_csv.cc.o.d"
+  "/root/repo/src/io/json.cc" "src/CMakeFiles/templex.dir/io/json.cc.o" "gcc" "src/CMakeFiles/templex.dir/io/json.cc.o.d"
+  "/root/repo/src/io/json_parse.cc" "src/CMakeFiles/templex.dir/io/json_parse.cc.o" "gcc" "src/CMakeFiles/templex.dir/io/json_parse.cc.o.d"
+  "/root/repo/src/io/json_validate.cc" "src/CMakeFiles/templex.dir/io/json_validate.cc.o" "gcc" "src/CMakeFiles/templex.dir/io/json_validate.cc.o.d"
+  "/root/repo/src/llm/llm_client.cc" "src/CMakeFiles/templex.dir/llm/llm_client.cc.o" "gcc" "src/CMakeFiles/templex.dir/llm/llm_client.cc.o.d"
+  "/root/repo/src/llm/omission.cc" "src/CMakeFiles/templex.dir/llm/omission.cc.o" "gcc" "src/CMakeFiles/templex.dir/llm/omission.cc.o.d"
+  "/root/repo/src/llm/simulated_llm.cc" "src/CMakeFiles/templex.dir/llm/simulated_llm.cc.o" "gcc" "src/CMakeFiles/templex.dir/llm/simulated_llm.cc.o.d"
+  "/root/repo/src/stats/descriptive.cc" "src/CMakeFiles/templex.dir/stats/descriptive.cc.o" "gcc" "src/CMakeFiles/templex.dir/stats/descriptive.cc.o.d"
+  "/root/repo/src/stats/wilcoxon.cc" "src/CMakeFiles/templex.dir/stats/wilcoxon.cc.o" "gcc" "src/CMakeFiles/templex.dir/stats/wilcoxon.cc.o.d"
+  "/root/repo/src/studies/archetypes.cc" "src/CMakeFiles/templex.dir/studies/archetypes.cc.o" "gcc" "src/CMakeFiles/templex.dir/studies/archetypes.cc.o.d"
+  "/root/repo/src/studies/comprehension_study.cc" "src/CMakeFiles/templex.dir/studies/comprehension_study.cc.o" "gcc" "src/CMakeFiles/templex.dir/studies/comprehension_study.cc.o.d"
+  "/root/repo/src/studies/expert_study.cc" "src/CMakeFiles/templex.dir/studies/expert_study.cc.o" "gcc" "src/CMakeFiles/templex.dir/studies/expert_study.cc.o.d"
+  "/root/repo/src/studies/visualization.cc" "src/CMakeFiles/templex.dir/studies/visualization.cc.o" "gcc" "src/CMakeFiles/templex.dir/studies/visualization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

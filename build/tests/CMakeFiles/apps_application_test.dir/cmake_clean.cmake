@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_application_test.dir/apps/application_test.cc.o"
+  "CMakeFiles/apps_application_test.dir/apps/application_test.cc.o.d"
+  "apps_application_test"
+  "apps_application_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_application_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_generators_test.dir/apps/generators_test.cc.o"
+  "CMakeFiles/apps_generators_test.dir/apps/generators_test.cc.o.d"
+  "apps_generators_test"
+  "apps_generators_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_generators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_golden_power_test.dir/apps/golden_power_test.cc.o"
+  "CMakeFiles/apps_golden_power_test.dir/apps/golden_power_test.cc.o.d"
+  "apps_golden_power_test"
+  "apps_golden_power_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_golden_power_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

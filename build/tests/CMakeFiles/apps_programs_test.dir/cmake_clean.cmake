@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_programs_test.dir/apps/programs_test.cc.o"
+  "CMakeFiles/apps_programs_test.dir/apps/programs_test.cc.o.d"
+  "apps_programs_test"
+  "apps_programs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_programs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

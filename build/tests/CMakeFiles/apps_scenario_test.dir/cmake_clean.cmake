@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_scenario_test.dir/apps/scenario_test.cc.o"
+  "CMakeFiles/apps_scenario_test.dir/apps/scenario_test.cc.o.d"
+  "apps_scenario_test"
+  "apps_scenario_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_scenario_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_whatif_test.dir/apps/whatif_test.cc.o"
+  "CMakeFiles/apps_whatif_test.dir/apps/whatif_test.cc.o.d"
+  "apps_whatif_test"
+  "apps_whatif_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_whatif_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_number_format_test.dir/common/number_format_test.cc.o"
+  "CMakeFiles/common_number_format_test.dir/common/number_format_test.cc.o.d"
+  "common_number_format_test"
+  "common_number_format_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_number_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalog_binding_test.dir/datalog/binding_test.cc.o"
+  "CMakeFiles/datalog_binding_test.dir/datalog/binding_test.cc.o.d"
+  "datalog_binding_test"
+  "datalog_binding_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalog_binding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

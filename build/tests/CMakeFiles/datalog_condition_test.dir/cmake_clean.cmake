@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalog_condition_test.dir/datalog/condition_test.cc.o"
+  "CMakeFiles/datalog_condition_test.dir/datalog/condition_test.cc.o.d"
+  "datalog_condition_test"
+  "datalog_condition_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalog_condition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalog_lexer_test.dir/datalog/lexer_test.cc.o"
+  "CMakeFiles/datalog_lexer_test.dir/datalog/lexer_test.cc.o.d"
+  "datalog_lexer_test"
+  "datalog_lexer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalog_lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalog_parser_test.dir/datalog/parser_test.cc.o"
+  "CMakeFiles/datalog_parser_test.dir/datalog/parser_test.cc.o.d"
+  "datalog_parser_test"
+  "datalog_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalog_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

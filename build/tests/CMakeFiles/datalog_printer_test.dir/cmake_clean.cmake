@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalog_printer_test.dir/datalog/printer_test.cc.o"
+  "CMakeFiles/datalog_printer_test.dir/datalog/printer_test.cc.o.d"
+  "datalog_printer_test"
+  "datalog_printer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalog_printer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalog_program_test.dir/datalog/program_test.cc.o"
+  "CMakeFiles/datalog_program_test.dir/datalog/program_test.cc.o.d"
+  "datalog_program_test"
+  "datalog_program_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalog_program_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

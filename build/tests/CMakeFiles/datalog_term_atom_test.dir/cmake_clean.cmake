@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalog_term_atom_test.dir/datalog/term_atom_test.cc.o"
+  "CMakeFiles/datalog_term_atom_test.dir/datalog/term_atom_test.cc.o.d"
+  "datalog_term_atom_test"
+  "datalog_term_atom_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalog_term_atom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

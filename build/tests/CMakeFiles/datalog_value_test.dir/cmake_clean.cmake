@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalog_value_test.dir/datalog/value_test.cc.o"
+  "CMakeFiles/datalog_value_test.dir/datalog/value_test.cc.o.d"
+  "datalog_value_test"
+  "datalog_value_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalog_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

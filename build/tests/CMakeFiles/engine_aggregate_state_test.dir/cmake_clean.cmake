@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_aggregate_state_test.dir/engine/aggregate_state_test.cc.o"
+  "CMakeFiles/engine_aggregate_state_test.dir/engine/aggregate_state_test.cc.o.d"
+  "engine_aggregate_state_test"
+  "engine_aggregate_state_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_aggregate_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_alternatives_test.dir/engine/alternatives_test.cc.o"
+  "CMakeFiles/engine_alternatives_test.dir/engine/alternatives_test.cc.o.d"
+  "engine_alternatives_test"
+  "engine_alternatives_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_alternatives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

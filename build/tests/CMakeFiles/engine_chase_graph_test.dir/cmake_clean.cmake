@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_chase_graph_test.dir/engine/chase_graph_test.cc.o"
+  "CMakeFiles/engine_chase_graph_test.dir/engine/chase_graph_test.cc.o.d"
+  "engine_chase_graph_test"
+  "engine_chase_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_chase_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

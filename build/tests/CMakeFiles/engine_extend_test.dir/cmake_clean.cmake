@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_extend_test.dir/engine/extend_test.cc.o"
+  "CMakeFiles/engine_extend_test.dir/engine/extend_test.cc.o.d"
+  "engine_extend_test"
+  "engine_extend_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_extend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

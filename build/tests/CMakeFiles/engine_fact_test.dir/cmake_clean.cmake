@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_fact_test.dir/engine/fact_test.cc.o"
+  "CMakeFiles/engine_fact_test.dir/engine/fact_test.cc.o.d"
+  "engine_fact_test"
+  "engine_fact_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_fact_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

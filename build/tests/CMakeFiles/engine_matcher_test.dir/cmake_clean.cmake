@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_matcher_test.dir/engine/matcher_test.cc.o"
+  "CMakeFiles/engine_matcher_test.dir/engine/matcher_test.cc.o.d"
+  "engine_matcher_test"
+  "engine_matcher_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_matcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

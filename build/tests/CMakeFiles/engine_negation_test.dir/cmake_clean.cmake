@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_negation_test.dir/engine/negation_test.cc.o"
+  "CMakeFiles/engine_negation_test.dir/engine/negation_test.cc.o.d"
+  "engine_negation_test"
+  "engine_negation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_negation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

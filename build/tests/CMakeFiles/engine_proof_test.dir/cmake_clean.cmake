@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_proof_test.dir/engine/proof_test.cc.o"
+  "CMakeFiles/engine_proof_test.dir/engine/proof_test.cc.o.d"
+  "engine_proof_test"
+  "engine_proof_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_proof_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

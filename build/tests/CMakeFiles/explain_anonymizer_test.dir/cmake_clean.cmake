@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_anonymizer_test.dir/explain/anonymizer_test.cc.o"
+  "CMakeFiles/explain_anonymizer_test.dir/explain/anonymizer_test.cc.o.d"
+  "explain_anonymizer_test"
+  "explain_anonymizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_anonymizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_enhancer_test.dir/explain/enhancer_test.cc.o"
+  "CMakeFiles/explain_enhancer_test.dir/explain/enhancer_test.cc.o.d"
+  "explain_enhancer_test"
+  "explain_enhancer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_enhancer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

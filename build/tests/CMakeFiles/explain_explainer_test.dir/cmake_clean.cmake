@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_explainer_test.dir/explain/explainer_test.cc.o"
+  "CMakeFiles/explain_explainer_test.dir/explain/explainer_test.cc.o.d"
+  "explain_explainer_test"
+  "explain_explainer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_explainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

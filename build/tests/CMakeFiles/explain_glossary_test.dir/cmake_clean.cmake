@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_glossary_test.dir/explain/glossary_test.cc.o"
+  "CMakeFiles/explain_glossary_test.dir/explain/glossary_test.cc.o.d"
+  "explain_glossary_test"
+  "explain_glossary_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_glossary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

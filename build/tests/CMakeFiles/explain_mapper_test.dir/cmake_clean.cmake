@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_mapper_test.dir/explain/mapper_test.cc.o"
+  "CMakeFiles/explain_mapper_test.dir/explain/mapper_test.cc.o.d"
+  "explain_mapper_test"
+  "explain_mapper_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_mapper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

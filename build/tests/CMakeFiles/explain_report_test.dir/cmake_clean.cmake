@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_report_test.dir/explain/report_test.cc.o"
+  "CMakeFiles/explain_report_test.dir/explain/report_test.cc.o.d"
+  "explain_report_test"
+  "explain_report_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

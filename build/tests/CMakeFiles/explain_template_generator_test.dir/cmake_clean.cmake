@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_template_generator_test.dir/explain/template_generator_test.cc.o"
+  "CMakeFiles/explain_template_generator_test.dir/explain/template_generator_test.cc.o.d"
+  "explain_template_generator_test"
+  "explain_template_generator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_template_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

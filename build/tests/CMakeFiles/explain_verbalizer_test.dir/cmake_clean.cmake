@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_verbalizer_test.dir/explain/verbalizer_test.cc.o"
+  "CMakeFiles/explain_verbalizer_test.dir/explain/verbalizer_test.cc.o.d"
+  "explain_verbalizer_test"
+  "explain_verbalizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_verbalizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_scale_test.dir/integration/scale_test.cc.o"
+  "CMakeFiles/integration_scale_test.dir/integration/scale_test.cc.o.d"
+  "integration_scale_test"
+  "integration_scale_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_scale_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_json_parse_test.dir/io/json_parse_test.cc.o"
+  "CMakeFiles/io_json_parse_test.dir/io/json_parse_test.cc.o.d"
+  "io_json_parse_test"
+  "io_json_parse_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_json_parse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llm_omission_test.dir/llm/omission_test.cc.o"
+  "CMakeFiles/llm_omission_test.dir/llm/omission_test.cc.o.d"
+  "llm_omission_test"
+  "llm_omission_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llm_omission_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

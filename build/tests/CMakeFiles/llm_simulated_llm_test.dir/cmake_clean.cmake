@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llm_simulated_llm_test.dir/llm/simulated_llm_test.cc.o"
+  "CMakeFiles/llm_simulated_llm_test.dir/llm/simulated_llm_test.cc.o.d"
+  "llm_simulated_llm_test"
+  "llm_simulated_llm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llm_simulated_llm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_wilcoxon_test.dir/stats/wilcoxon_test.cc.o"
+  "CMakeFiles/stats_wilcoxon_test.dir/stats/wilcoxon_test.cc.o.d"
+  "stats_wilcoxon_test"
+  "stats_wilcoxon_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_wilcoxon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

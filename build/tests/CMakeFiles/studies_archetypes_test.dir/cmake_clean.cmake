@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/studies_archetypes_test.dir/studies/archetypes_test.cc.o"
+  "CMakeFiles/studies_archetypes_test.dir/studies/archetypes_test.cc.o.d"
+  "studies_archetypes_test"
+  "studies_archetypes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/studies_archetypes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/studies_expert_study_test.dir/studies/expert_study_test.cc.o"
+  "CMakeFiles/studies_expert_study_test.dir/studies/expert_study_test.cc.o.d"
+  "studies_expert_study_test"
+  "studies_expert_study_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/studies_expert_study_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/studies_visualization_test.dir/studies/visualization_test.cc.o"
+  "CMakeFiles/studies_visualization_test.dir/studies/visualization_test.cc.o.d"
+  "studies_visualization_test"
+  "studies_visualization_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/studies_visualization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/templex_cli.dir/templex_cli.cc.o"
+  "CMakeFiles/templex_cli.dir/templex_cli.cc.o.d"
+  "templex_cli"
+  "templex_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/templex_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
