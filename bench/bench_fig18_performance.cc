@@ -5,6 +5,7 @@
 // both financial KG applications.
 
 #include <cstdio>
+#include <fstream>
 
 #include "apps/generators.h"
 #include "apps/glossaries.h"
@@ -13,6 +14,8 @@
 #include "engine/chase.h"
 #include "engine/proof.h"
 #include "explain/explainer.h"
+#include "io/json.h"
+#include "obs/metrics.h"
 #include "stats/descriptive.h"
 
 namespace {
@@ -20,18 +23,23 @@ namespace {
 using namespace templex;
 
 constexpr int kProofsPerLength = 15;
+constexpr const char* kMetricsSidecar = "fig18_metrics.json";
 
 template <typename Sampler>
 void RunApp(const char* title, const Explainer& explainer,
-            const std::vector<int>& lengths, Sampler sample, Rng* rng) {
+            const std::vector<int>& lengths, Sampler sample, Rng* rng,
+            obs::MetricsRegistry* metrics) {
   std::printf("---- %s ----\n", title);
   std::printf("%-6s | %s\n", "steps", "explanation time (milliseconds)");
+  ChaseConfig chase_config;
+  chase_config.metrics = metrics;
+  const ChaseEngine engine(chase_config);
   for (int steps : lengths) {
     std::vector<double> millis;
     for (int i = 0; i < kProofsPerLength; ++i) {
       SampledInstance instance = sample(steps, rng);
       Result<ChaseResult> chase =
-          ChaseEngine().Run(explainer.program(), instance.edb);
+          engine.Run(explainer.program(), instance.edb);
       if (!chase.ok()) continue;
       Result<FactId> id = chase.value().Find(instance.goal);
       if (!id.ok()) continue;
@@ -51,9 +59,15 @@ void RunApp(const char* title, const Explainer& explainer,
 
 int main() {
   Rng rng(20250327);
-  auto control =
-      Explainer::Create(CompanyControlProgram(), CompanyControlGlossary());
-  auto stress = Explainer::Create(StressTestProgram(), StressTestGlossary());
+  // One registry across both apps: the sidecar aggregates rule firings and
+  // phase latencies over every sampled chase + explanation of the run.
+  obs::MetricsRegistry metrics;
+  ExplainerOptions options;
+  options.metrics = &metrics;
+  auto control = Explainer::Create(CompanyControlProgram(),
+                                   CompanyControlGlossary(), options);
+  auto stress =
+      Explainer::Create(StressTestProgram(), StressTestGlossary(), options);
   if (!control.ok() || !stress.ok()) {
     std::printf("pipeline error\n");
     return 1;
@@ -66,12 +80,18 @@ int main() {
   std::vector<int> control_lengths = {1, 3, 5, 7, 9, 11, 13, 16, 18, 21};
   RunApp("Company control (Figure 18a)", *control.value(), control_lengths,
          [](int steps, Rng* r) { return SampleControlChain(steps, r); },
-         &rng);
+         &rng, &metrics);
 
   std::vector<int> stress_lengths = {1, 4, 7, 10, 13, 16, 19, 22};
   RunApp("Stress test (Figure 18b)", *stress.value(), stress_lengths,
          [](int steps, Rng* r) { return SampleStressCascade(steps, 2, r); },
-         &rng);
+         &rng, &metrics);
+
+  std::ofstream sidecar(kMetricsSidecar);
+  if (sidecar) {
+    sidecar << MetricsSnapshotToJson(metrics.Snapshot()) << "\n";
+    std::printf("Aggregate run metrics written to %s\n\n", kMetricsSidecar);
+  }
 
   std::printf(
       "Paper reference: times grow with the number of inference steps; the\n"

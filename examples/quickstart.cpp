@@ -93,9 +93,10 @@ gamma: HasCapital(c, p2), Risk(c, e), p2 < e -> Default(c).
     std::fprintf(stderr, "%s\n", chase.status().ToString().c_str());
     return 1;
   }
-  std::printf("== Chase: %d facts (%d derived) in %d rounds ==\n",
-              chase.value().graph.size(), chase.value().stats.derived_facts,
-              chase.value().stats.rounds);
+  std::printf("== Chase: %d facts (%lld derived) in %lld rounds ==\n",
+              chase.value().graph.size(),
+              static_cast<long long>(chase.value().stats.derived_facts),
+              static_cast<long long>(chase.value().stats.rounds));
   Fact goal{"Default", {S("C")}};
   Result<FactId> goal_id = chase.value().Find(goal);
   if (!goal_id.ok()) {

@@ -27,6 +27,32 @@ class Timer {
   std::chrono::steady_clock::time_point start_;
 };
 
+// Accumulates its lifetime into a caller-owned duration — the pattern VLog
+// uses for its per-phase counters (durationJoin, durationRetain, ...): own
+// a `double seconds` per phase and let scopes add to it. Stop() ends the
+// measurement early (and makes the destructor a no-op), so callers can
+// exclude a tail from the accumulated span.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* accumulated_seconds)
+      : accumulated_seconds_(accumulated_seconds) {}
+  ~ScopedTimer() { Stop(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  void Stop() {
+    if (stopped_) return;
+    stopped_ = true;
+    *accumulated_seconds_ += timer_.ElapsedSeconds();
+  }
+
+ private:
+  double* accumulated_seconds_;
+  Timer timer_;
+  bool stopped_ = false;
+};
+
 }  // namespace templex
 
 #endif  // TEMPLEX_COMMON_TIMER_H_

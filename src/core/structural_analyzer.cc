@@ -4,6 +4,8 @@
 #include <map>
 #include <set>
 
+#include "obs/stage.h"
+
 namespace templex {
 
 namespace {
@@ -250,6 +252,8 @@ std::string StructuralAnalysis::ToTable() const {
 
 Result<StructuralAnalysis> AnalyzeProgram(const Program& program,
                                           const AnalyzerOptions& options) {
+  obs::StageScope stage(options.metrics, options.tracer, "core.analyze",
+                        "core.phase.analysis.seconds");
   TEMPLEX_RETURN_IF_ERROR(program.Validate());
   if (program.goal_predicate().empty()) {
     return Status::InvalidArgument(
@@ -305,6 +309,14 @@ Result<StructuralAnalysis> AnalyzeProgram(const Program& program,
   for (const ReasoningPath& p : analysis.simple_paths) add_with_variants(p);
   for (const ReasoningPath& p : analysis.cycles) add_with_variants(p);
 
+  if (options.metrics != nullptr) {
+    options.metrics->counter("core.analysis.simple_paths")
+        ->Increment(static_cast<int64_t>(analysis.simple_paths.size()));
+    options.metrics->counter("core.analysis.cycles")
+        ->Increment(static_cast<int64_t>(analysis.cycles.size()));
+    options.metrics->counter("core.analysis.catalog")
+        ->Increment(static_cast<int64_t>(analysis.catalog.size()));
+  }
   return analysis;
 }
 

@@ -11,6 +11,11 @@
 
 namespace templex {
 
+namespace obs {
+class MetricsRegistry;  // obs/metrics.h
+class Tracer;           // obs/trace.h
+}  // namespace obs
+
 // Output of the preventive structural analysis (§4.1): the dependency
 // graph, the base simple reasoning paths and reasoning cycles, and the
 // full catalog including aggregation variants. The catalog is what the
@@ -31,6 +36,12 @@ struct AnalyzerOptions {
   // Safety cap on the number of enumerated paths (the number of reasoning
   // paths can grow exponentially with rule fan-in).
   int max_paths = 10000;
+  // Optional observability sinks (may be null): the analysis records a
+  // "core.analyze" span, a core.phase.analysis.seconds histogram sample,
+  // and path/cycle/catalog counters. Explainer::Create propagates its own
+  // sinks here unless these are already set.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 // Runs the structural analysis of `program` (which must have a goal

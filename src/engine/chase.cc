@@ -1,11 +1,14 @@
 #include "engine/chase.h"
 
 #include <algorithm>
+#include <optional>
 
+#include "common/timer.h"
 #include "engine/aggregate_state.h"
 #include "engine/fact_store.h"
 #include "engine/matcher.h"
 #include "engine/stratification.h"
+#include "obs/trace.h"
 
 namespace templex {
 
@@ -30,7 +33,18 @@ struct RulePlan {
   bool explicit_contributor_keys = false;
 
   std::vector<std::string> existential_vars;
+
+  // Per-rule instruments, resolved once in Prepare(); null when the run has
+  // no MetricsRegistry attached (the hot loop then pays one pointer test).
+  obs::Counter* matches_counter = nullptr;    // body homomorphisms
+  obs::Counter* firings_counter = nullptr;    // head emissions attempted
+  obs::Counter* duplicates_counter = nullptr; // emissions already present
 };
+
+// Metric segment for a rule: its label, or "rule<i>" for unlabeled rules.
+std::string RuleMetricName(const Rule& rule, int index) {
+  return rule.label.empty() ? "rule" + std::to_string(index) : rule.label;
+}
 
 RulePlan MakePlan(const Rule& rule, int index) {
   RulePlan plan;
@@ -72,10 +86,14 @@ class ChaseRun {
   ChaseRun(const Program& program, const ChaseConfig& config)
       : program_(program),
         config_(config),
+        metrics_(config.metrics),
+        tracer_(config.tracer),
         store_(&result_.graph),
         aggregates_(static_cast<int>(program.rules().size())) {}
 
   Result<ChaseResult> Run(const std::vector<Fact>& edb) {
+    obs::Span run_span(tracer_, "chase.run");
+    run_span.AddAttribute("edb_facts", static_cast<int64_t>(edb.size()));
     TEMPLEX_RETURN_IF_ERROR(Prepare());
     for (const Fact& fact : edb) {
       ChaseNode node;
@@ -98,6 +116,9 @@ class ChaseRun {
 
   Result<ChaseResult> Extend(ChaseResult base,
                              const std::vector<Fact>& additional) {
+    obs::Span run_span(tracer_, "chase.extend");
+    run_span.AddAttribute("delta_facts",
+                          static_cast<int64_t>(additional.size()));
     TEMPLEX_RETURN_IF_ERROR(Prepare());
     if (base.program_fingerprint != ProgramFingerprint(program_)) {
       return Status::InvalidArgument(
@@ -153,6 +174,21 @@ class ChaseRun {
   // body match (with pre-conditions and negated atoms honoured) is a
   // violation.
   Status CheckConstraints() {
+    obs::Span span(tracer_, "chase.constraints");
+    double seconds = 0.0;
+    std::optional<ScopedTimer> phase_timer;
+    if (metrics_ != nullptr) phase_timer.emplace(&seconds);
+    Status status = CheckConstraintsBody();
+    if (metrics_ != nullptr) {
+      phase_timer->Stop();
+      constraints_hist_->Observe(seconds);
+      metrics_->counter("chase.violations")
+          ->Increment(static_cast<int64_t>(result_.violations.size()));
+    }
+    return status;
+  }
+
+  Status CheckConstraintsBody() {
     const FactId limit = result_.graph.size();
     for (const RulePlan& plan : plans_) {
       if (!plan.rule->is_constraint) continue;
@@ -196,6 +232,21 @@ class ChaseRun {
     for (size_t i = 0; i < program_.rules().size(); ++i) {
       plans_.push_back(MakePlan(program_.rules()[i], static_cast<int>(i)));
     }
+    if (metrics_ != nullptr) {
+      for (RulePlan& plan : plans_) {
+        if (plan.rule->is_constraint) continue;
+        const std::string prefix =
+            "chase.rule." + RuleMetricName(*plan.rule, plan.index) + ".";
+        plan.matches_counter = metrics_->counter(prefix + "matches");
+        plan.firings_counter = metrics_->counter(prefix + "firings");
+        plan.duplicates_counter = metrics_->counter(prefix + "duplicates");
+      }
+      match_hist_ = metrics_->histogram("chase.phase.match.seconds");
+      head_hist_ = metrics_->histogram("chase.phase.head.seconds");
+      aggregate_hist_ = metrics_->histogram("chase.phase.aggregate.seconds");
+      constraints_hist_ =
+          metrics_->histogram("chase.phase.constraints.seconds");
+    }
     return Status::OK();
   }
 
@@ -207,6 +258,17 @@ class ChaseRun {
     result_.aggregate_state =
         std::make_shared<const AggregateState>(std::move(aggregates_));
     result_.program_fingerprint = ProgramFingerprint(program_);
+    if (metrics_ != nullptr) {
+      // Fold ChaseStats into the registry (process-wide totals: a registry
+      // shared across runs accumulates), then snapshot into the result.
+      metrics_->counter("chase.facts.initial")
+          ->Increment(result_.stats.initial_facts);
+      metrics_->counter("chase.facts.derived")
+          ->Increment(result_.stats.derived_facts);
+      metrics_->counter("chase.rounds")->Increment(result_.stats.rounds);
+      metrics_->counter("chase.matches")->Increment(result_.stats.matches);
+      result_.metrics = metrics_->Snapshot();
+    }
     return std::move(result_);
   }
 
@@ -227,6 +289,9 @@ class ChaseRun {
             std::to_string(config_.max_rounds));
       }
       ++result_.stats.rounds;
+      obs::Span round_span(tracer_, "chase.round");
+      round_span.AddAttribute("round", result_.stats.rounds)
+          .AddAttribute("facts", static_cast<int64_t>(limit));
       for (int index : rule_indexes) {
         TEMPLEX_RETURN_IF_ERROR(
             EvaluateRule(plans_[index], first_pass ? -1 : delta_begin, limit));
@@ -240,9 +305,38 @@ class ChaseRun {
  private:
   // delta_begin < 0 requests a full evaluation over all facts below
   // `limit`; otherwise only matches touching [delta_begin, limit) run.
+  // With a registry attached, the evaluation is timed and decomposed into
+  // the match / head-creation / aggregation phases: head and aggregation
+  // scopes accumulate into their own cells, and the matching share is the
+  // remainder of the whole-evaluation time.
   Status EvaluateRule(const RulePlan& plan, FactId delta_begin, FactId limit) {
+    if (metrics_ == nullptr && tracer_ == nullptr) {
+      return EvaluateRuleBody(plan, delta_begin, limit);
+    }
+    obs::Span span(tracer_, "chase.rule");
+    span.AddAttribute("rule", RuleMetricName(*plan.rule, plan.index));
+    if (metrics_ == nullptr) return EvaluateRuleBody(plan, delta_begin, limit);
+    const double head_before = head_seconds_;
+    const double aggregate_before = aggregate_seconds_;
+    double eval_seconds = 0.0;
+    Status status;
+    {
+      ScopedTimer timer(&eval_seconds);
+      status = EvaluateRuleBody(plan, delta_begin, limit);
+    }
+    const double head = head_seconds_ - head_before;
+    const double aggregate = aggregate_seconds_ - aggregate_before;
+    match_hist_->Observe(std::max(0.0, eval_seconds - head - aggregate));
+    if (head > 0.0) head_hist_->Observe(head);
+    if (aggregate > 0.0) aggregate_hist_->Observe(aggregate);
+    return status;
+  }
+
+  Status EvaluateRuleBody(const RulePlan& plan, FactId delta_begin,
+                          FactId limit) {
     auto callback = [this, &plan](const BodyMatch& match) {
       ++result_.stats.matches;
+      if (plan.matches_counter != nullptr) plan.matches_counter->Increment();
       return ProcessMatch(plan, match);
     };
     if (delta_begin < 0 || !config_.semi_naive) {
@@ -298,6 +392,9 @@ class ChaseRun {
 
   Status ProcessAggregateMatch(const RulePlan& plan, const BodyMatch& match,
                                Binding binding) {
+    // Stopped before EmitHead so head-creation time is not double-counted.
+    std::optional<ScopedTimer> phase_timer;
+    if (metrics_ != nullptr) phase_timer.emplace(&aggregate_seconds_);
     const Aggregate& agg = *plan.rule->aggregate;
     std::optional<Value> input = binding.Get(agg.input_variable);
     if (!input.has_value()) {
@@ -328,6 +425,7 @@ class ChaseRun {
       if (!pass.ok()) return pass.status();
       if (!pass.value()) return Status::OK();
     }
+    if (phase_timer.has_value()) phase_timer->Stop();
     return EmitHead(plan, std::move(binding), emission->all_parents,
                     std::move(emission->contributions));
   }
@@ -335,6 +433,8 @@ class ChaseRun {
   Status EmitHead(const RulePlan& plan, Binding binding,
                   std::vector<FactId> parents,
                   std::vector<AggregateContribution> contributions) {
+    std::optional<ScopedTimer> phase_timer;
+    if (metrics_ != nullptr) phase_timer.emplace(&head_seconds_);
     const Atom& head = plan.rule->head;
     // Existential reuse (restricted-chase style): if some existing fact of
     // the head predicate agrees with the head atom on all positions bound by
@@ -383,9 +483,13 @@ class ChaseRun {
     node.parents = std::move(parents);
     node.contributions = std::move(contributions);
     auto [id, inserted] = result_.graph.AddNode(node);
+    if (plan.firings_counter != nullptr) plan.firings_counter->Increment();
     if (inserted) {
       store_.OnNewFact(id);
     } else {
+      if (plan.duplicates_counter != nullptr) {
+        plan.duplicates_counter->Increment();
+      }
       MaybeRecordAlternative(id, std::move(node));
     }
     return Status::OK();
@@ -430,11 +534,22 @@ class ChaseRun {
 
   const Program& program_;
   const ChaseConfig& config_;
+  obs::MetricsRegistry* metrics_;  // may be null
+  obs::Tracer* tracer_;            // may be null
   ChaseResult result_;
   FactStore store_;
   AggregateState aggregates_;
   std::vector<RulePlan> plans_;
   int64_t next_null_id_ = 1;
+  // Per-phase accumulators (seconds), only touched when metrics_ is set;
+  // phase scopes add to them via ScopedTimer, EvaluateRule observes the
+  // per-evaluation deltas into the histograms below.
+  double head_seconds_ = 0.0;
+  double aggregate_seconds_ = 0.0;
+  obs::Histogram* match_hist_ = nullptr;
+  obs::Histogram* head_hist_ = nullptr;
+  obs::Histogram* aggregate_hist_ = nullptr;
+  obs::Histogram* constraints_hist_ = nullptr;
 };
 
 }  // namespace

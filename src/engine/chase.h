@@ -8,10 +8,15 @@
 #include "datalog/program.h"
 #include "engine/chase_graph.h"
 #include "engine/fact.h"
+#include "obs/metrics.h"
 
 namespace templex {
 
 class AggregateState;  // engine/aggregate_state.h
+
+namespace obs {
+class Tracer;  // obs/trace.h
+}
 
 // Tuning and safety limits for a chase run.
 struct ChaseConfig {
@@ -32,6 +37,17 @@ struct ChaseConfig {
   // feature). Only acyclic re-derivations through a different rule or
   // different facts are recorded.
   int max_alternative_derivations = 4;
+  // Optional observability sinks (obs/metrics.h, obs/trace.h); both may be
+  // null, in which case instrumented code paths reduce to one pointer test
+  // each — tier-1 timings are unaffected. When `metrics` is set, the run
+  // maintains per-rule firing/match/duplicate counters and per-phase
+  // latency histograms (matching, head creation, aggregation, constraint
+  // checking — VLog's breakdown) and ChaseResult::metrics carries the final
+  // snapshot. When `tracer` is set, the run records nested spans
+  // (chase.run -> chase.round -> chase.rule) exportable as Chrome
+  // trace-event JSON. Both must outlive the run.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 // One match of a negative constraint's body (φ(x̄) → ⊥): the instance
@@ -44,10 +60,13 @@ struct ConstraintViolation {
   std::string ToString() const;
 };
 
+// All fields are 64-bit: at the ROADMAP's target scale the fact counts
+// outgrow int, and the fields are folded into 64-bit metrics counters
+// (chase.facts.*, chase.rounds, chase.matches) on snapshot anyway.
 struct ChaseStats {
-  int initial_facts = 0;
-  int derived_facts = 0;
-  int rounds = 0;
+  int64_t initial_facts = 0;
+  int64_t derived_facts = 0;
+  int64_t rounds = 0;
   int64_t matches = 0;  // body homomorphisms enumerated
 };
 
@@ -56,6 +75,10 @@ struct ChaseStats {
 struct ChaseResult {
   ChaseGraph graph;
   ChaseStats stats;
+  // Snapshot of ChaseConfig::metrics taken at the end of the run (empty
+  // when no registry was attached): per-rule counters, per-phase latency
+  // histograms, and the ChaseStats fields as counters.
+  obs::MetricsSnapshot metrics;
   // Negative-constraint violations found after fixpoint (empty when the
   // program has no constraints or the instance satisfies them all).
   std::vector<ConstraintViolation> violations;

@@ -7,6 +7,7 @@
 #include "engine/fact_store.h"
 #include "explain/enhancer.h"
 #include "explain/template_generator.h"
+#include "obs/stage.h"
 
 namespace templex {
 
@@ -59,30 +60,59 @@ Result<std::unique_ptr<Explainer>> Explainer::Create(
                                      predicate + "'");
     }
   }
+  obs::Span create_span(options.tracer, "explain.create");
+  if (options.analyzer.metrics == nullptr) {
+    options.analyzer.metrics = options.metrics;
+  }
+  if (options.analyzer.tracer == nullptr) {
+    options.analyzer.tracer = options.tracer;
+  }
   std::unique_ptr<Explainer> explainer(
       new Explainer(std::move(program), std::move(glossary), options));
 
-  Result<StructuralAnalysis> analysis =
-      AnalyzeProgram(explainer->program_, options.analyzer);
+  Result<StructuralAnalysis> analysis = [&] {
+    obs::StageScope stage(options.metrics, options.tracer, "explain.analyze",
+                          "explain.phase.analysis.seconds");
+    return AnalyzeProgram(explainer->program_, options.analyzer);
+  }();
   if (!analysis.ok()) return analysis.status();
   explainer->analysis_ = std::move(analysis).value();
 
   TemplateGenerator generator(&explainer->program_, &explainer->glossary_);
-  Result<std::vector<ExplanationTemplate>> templates =
-      generator.Generate(explainer->analysis_);
+  Result<std::vector<ExplanationTemplate>> templates = [&] {
+    obs::StageScope stage(options.metrics, options.tracer,
+                          "explain.generate_templates",
+                          "explain.phase.template_generation.seconds");
+    return generator.Generate(explainer->analysis_);
+  }();
   if (!templates.ok()) return templates.status();
   explainer->templates_ = std::move(templates).value();
+  if (options.metrics != nullptr) {
+    options.metrics->counter("explain.templates.generated")
+        ->Increment(static_cast<int64_t>(explainer->templates_.size()));
+  }
 
   if (options.enhance) {
+    obs::StageScope stage(options.metrics, options.tracer, "explain.enhance",
+                          "explain.phase.enhancement.seconds");
     TemplateEnhancer enhancer;
+    // Segments whose LLM rewrite failed the token-preservation (omission)
+    // check and kept their deterministic text.
+    int omission_fallbacks = 0;
     for (ExplanationTemplate& tmpl : explainer->templates_) {
       if (options.enhancement_llm != nullptr) {
+        int fallbacks = 0;
         TEMPLEX_RETURN_IF_ERROR(enhancer.EnhanceWithLlm(
-            &tmpl, options.enhancement_llm, /*num_fallbacks=*/nullptr));
+            &tmpl, options.enhancement_llm, &fallbacks));
+        omission_fallbacks += fallbacks;
       } else {
         TEMPLEX_RETURN_IF_ERROR(
             enhancer.Enhance(&tmpl, options.enhancement_variant));
       }
+    }
+    if (options.metrics != nullptr) {
+      options.metrics->counter("explain.enhance.omission_fallbacks")
+          ->Increment(omission_fallbacks);
     }
   }
 
@@ -106,10 +136,30 @@ Result<std::string> Explainer::Explain(const ChaseResult& chase,
 }
 
 Result<std::string> Explainer::ExplainProof(const Proof& proof) const {
-  Result<std::vector<MappedUnit>> units = MapProof(proof);
+  obs::Span query_span(options_.tracer, "explain.query");
+  if (options_.metrics != nullptr) {
+    options_.metrics->counter("explain.queries")->Increment();
+  }
+  Result<std::vector<MappedUnit>> units = [&] {
+    obs::StageScope stage(options_.metrics, options_.tracer, "explain.map",
+                          "explain.phase.map.seconds");
+    return MapProof(proof);
+  }();
   if (!units.ok()) return units.status();
+  obs::StageScope render_stage(options_.metrics, options_.tracer,
+                               "explain.render",
+                               "explain.phase.render.seconds");
+  obs::Counter* template_units = nullptr;
+  obs::Counter* fallback_units = nullptr;
+  if (options_.metrics != nullptr) {
+    template_units = options_.metrics->counter("explain.units.template");
+    fallback_units = options_.metrics->counter("explain.units.fallback");
+  }
   std::string text;
   for (const MappedUnit& unit : units.value()) {
+    if (template_units != nullptr) {
+      (unit.is_fallback() ? fallback_units : template_units)->Increment();
+    }
     Result<std::string> rendered =
         RenderUnit(proof, unit, options_.enhance);
     if (!rendered.ok()) return rendered.status();

@@ -22,6 +22,14 @@ struct ExplainerOptions {
   // Apply the rule-based template enhancement (§4.2); when false,
   // explanations use the raw deterministic templates.
   bool enhance = true;
+  // Optional observability sinks (may be null; must outlive the explainer).
+  // With a registry, the pipeline maintains per-stage latency histograms
+  // (analysis, template generation, enhancement at Create(); mapping and
+  // rendering per query) plus query/unit/fallback counters; with a tracer,
+  // each stage records a span. Both propagate into `analyzer` unless that
+  // one carries its own.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
   // Which interchangeable enhanced phrasing to use (the paper generates
   // several by re-prompting; we rotate sentence frames).
   int enhancement_variant = 0;

@@ -1,5 +1,6 @@
 #include "explain/report.h"
 
+#include "common/number_format.h"
 #include "common/string_util.h"
 
 namespace templex {
@@ -27,6 +28,13 @@ ReportBuilder& ReportBuilder::AddExplanation(const Fact& fact,
 
 ReportBuilder& ReportBuilder::AddViolationsAppendix() {
   violations_appendix_ = true;
+  return *this;
+}
+
+ReportBuilder& ReportBuilder::AddMetricsAppendix(
+    obs::MetricsSnapshot snapshot) {
+  metrics_appendix_ = true;
+  metrics_ = std::move(snapshot);
   return *this;
 }
 
@@ -69,6 +77,27 @@ Result<std::string> ReportBuilder::Build() const {
                                   : chase_->graph.node(id).fact.ToString());
         }
         doc += ": " + JoinWithConjunction(described, "; ", "; and ") + "\n";
+      }
+    }
+  }
+  if (metrics_appendix_ && !metrics_.empty()) {
+    doc += "\n## Run metrics\n\n";
+    if (!metrics_.counters.empty()) {
+      doc += "| counter | value |\n|---|---|\n";
+      for (const obs::CounterSnapshot& c : metrics_.counters) {
+        doc += "| `" + c.name + "` | " + std::to_string(c.value) + " |\n";
+      }
+      doc += "\n";
+    }
+    if (!metrics_.histograms.empty()) {
+      doc += "| phase | samples | p50 | p95 | p99 |\n|---|---|---|---|---|\n";
+      for (const obs::HistogramSnapshot& h : metrics_.histograms) {
+        auto millis = [](double seconds) {
+          return FormatDouble(seconds * 1e3) + "ms";
+        };
+        doc += "| `" + h.name + "` | " + std::to_string(h.count) + " | " +
+               millis(h.p50) + " | " + millis(h.p95) + " | " + millis(h.p99) +
+               " |\n";
       }
     }
   }

@@ -33,6 +33,12 @@ class ReportBuilder {
   // glossary covers the facts, raw otherwise).
   ReportBuilder& AddViolationsAppendix();
 
+  // Appends a "Run metrics" appendix with the snapshot's counters and
+  // latency-histogram percentiles — so a report carries the provenance of
+  // how long its reasoning took. Pass `chase->metrics`, or a fresher
+  // registry snapshot covering the explanation queries too.
+  ReportBuilder& AddMetricsAppendix(obs::MetricsSnapshot snapshot);
+
   // Renders the markdown document; fails on the first explanation error.
   Result<std::string> Build() const;
 
@@ -48,6 +54,8 @@ class ReportBuilder {
   std::string preamble_;
   std::vector<Section> sections_;
   bool violations_appendix_ = false;
+  bool metrics_appendix_ = false;
+  obs::MetricsSnapshot metrics_;
 };
 
 }  // namespace templex

@@ -270,4 +270,58 @@ std::string AnalysisToJson(const StructuralAnalysis& analysis) {
   return json.str();
 }
 
+std::string MetricsSnapshotToJson(const obs::MetricsSnapshot& snapshot) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("counters").BeginObject();
+  for (const obs::CounterSnapshot& c : snapshot.counters) {
+    json.Key(c.name).Int(c.value);
+  }
+  json.EndObject();
+  json.Key("gauges").BeginObject();
+  for (const obs::GaugeSnapshot& g : snapshot.gauges) {
+    json.Key(g.name).Number(g.value);
+  }
+  json.EndObject();
+  json.Key("histograms").BeginObject();
+  for (const obs::HistogramSnapshot& h : snapshot.histograms) {
+    json.Key(h.name).BeginObject();
+    json.Key("count").Int(h.count);
+    json.Key("sum").Number(h.sum);
+    json.Key("min").Number(h.min);
+    json.Key("max").Number(h.max);
+    json.Key("p50").Number(h.p50);
+    json.Key("p95").Number(h.p95);
+    json.Key("p99").Number(h.p99);
+    json.EndObject();
+  }
+  json.EndObject();
+  json.EndObject();
+  return json.str();
+}
+
+std::string TraceEventsToJson(const std::vector<obs::TraceEvent>& events) {
+  JsonWriter json;
+  json.BeginArray();
+  for (const obs::TraceEvent& event : events) {
+    json.BeginObject();
+    json.Key("name").String(event.name);
+    json.Key("cat").String("templex");
+    json.Key("ph").String("X");
+    json.Key("ts").Number(event.ts_micros);
+    json.Key("dur").Number(event.dur_micros);
+    json.Key("pid").Int(1);
+    json.Key("tid").Int(0);
+    json.Key("args").BeginObject();
+    json.Key("depth").Int(event.depth);
+    for (const auto& [key, value] : event.attributes) {
+      json.Key(key).String(value);
+    }
+    json.EndObject();
+    json.EndObject();
+  }
+  json.EndArray();
+  return json.str();
+}
+
 }  // namespace templex

@@ -8,6 +8,8 @@
 #include "engine/chase.h"
 #include "engine/proof.h"
 #include "explain/template.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace templex {
 
@@ -57,6 +59,17 @@ std::string TemplatesToJson(const std::vector<ExplanationTemplate>& templates);
 
 // The structural analysis as {"predicates", "edges", "criticals", "paths"}.
 std::string AnalysisToJson(const StructuralAnalysis& analysis);
+
+// A metrics snapshot as {"counters": {name: value}, "gauges": {...},
+// "histograms": {name: {count, sum, min, max, p50, p95, p99}}} — the
+// templex_cli --metrics-json payload and the sidecar the Figure 18
+// benchmark writes next to its results.
+std::string MetricsSnapshotToJson(const obs::MetricsSnapshot& snapshot);
+
+// Trace events in Chrome trace-event format: a JSON array of complete
+// ("ph":"X") events [{name, cat, ph, ts, dur, pid, tid, args}, ...],
+// loadable in chrome://tracing and Perfetto.
+std::string TraceEventsToJson(const std::vector<obs::TraceEvent>& events);
 
 }  // namespace templex
 

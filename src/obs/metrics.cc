@@ -1,0 +1,187 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace templex {
+namespace obs {
+
+std::vector<double> Histogram::DefaultLatencyBounds() {
+  std::vector<double> bounds;
+  for (double decade = 1e-6; decade < 10.0; decade *= 10.0) {
+    bounds.push_back(decade);
+    bounds.push_back(decade * 2.0);
+    bounds.push_back(decade * 5.0);
+  }
+  bounds.push_back(10.0);
+  return bounds;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1, 0) {}
+
+void Histogram::Observe(double value) {
+  size_t bucket =
+      std::upper_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  ++buckets_[bucket];
+  ++count_;
+  sum_ += value;
+  if (count_ == 1) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  const double target = p / 100.0 * static_cast<double>(count_);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    const int64_t next = cumulative + buckets_[i];
+    if (static_cast<double>(next) >= target) {
+      // Interpolate inside bucket i between its bounds; the overflow
+      // bucket has no upper bound, so it reports the observed maximum.
+      if (i >= bounds_.size()) return max_;
+      const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+      const double upper = bounds_[i];
+      const double fraction =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(buckets_[i]);
+      const double value = lower + (upper - lower) * fraction;
+      return std::clamp(value, min_, max_);
+    }
+    cumulative = next;
+  }
+  return max_;
+}
+
+const CounterSnapshot* MetricsSnapshot::FindCounter(
+    const std::string& name) const {
+  for (const CounterSnapshot& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const GaugeSnapshot* MetricsSnapshot::FindGauge(
+    const std::string& name) const {
+  for (const GaugeSnapshot& g : gauges) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+const HistogramSnapshot* MetricsSnapshot::FindHistogram(
+    const std::string& name) const {
+  for (const HistogramSnapshot& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.push_back({name, counter->value()});
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.push_back({name, gauge->value()});
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot h;
+    h.name = name;
+    h.count = histogram->count();
+    h.sum = histogram->sum();
+    h.min = histogram->min();
+    h.max = histogram->max();
+    h.p50 = histogram->Percentile(50.0);
+    h.p95 = histogram->Percentile(95.0);
+    h.p99 = histogram->Percentile(99.0);
+    snapshot.histograms.push_back(std::move(h));
+  }
+  return snapshot;
+}
+
+namespace {
+
+// Seconds, rendered with a unit that keeps 3+ significant digits.
+std::string FormatSeconds(double seconds) {
+  char buffer[32];
+  if (seconds < 1e-3) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fus", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.2fms", seconds * 1e3);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.3fs", seconds);
+  }
+  return buffer;
+}
+
+}  // namespace
+
+std::string ProfileTable(const MetricsSnapshot& snapshot) {
+  std::string table;
+  char line[256];
+  if (!snapshot.counters.empty()) {
+    table += "-- counters ----------------------------------------------\n";
+    for (const CounterSnapshot& c : snapshot.counters) {
+      std::snprintf(line, sizeof(line), "%-48s %12lld\n", c.name.c_str(),
+                    static_cast<long long>(c.value));
+      table += line;
+    }
+  }
+  if (!snapshot.gauges.empty()) {
+    table += "-- gauges ------------------------------------------------\n";
+    for (const GaugeSnapshot& g : snapshot.gauges) {
+      std::snprintf(line, sizeof(line), "%-48s %12g\n", g.name.c_str(),
+                    g.value);
+      table += line;
+    }
+  }
+  if (!snapshot.histograms.empty()) {
+    table += "-- histograms --------------------------------------------\n";
+    for (const HistogramSnapshot& h : snapshot.histograms) {
+      std::snprintf(line, sizeof(line),
+                    "%-40s n=%-8lld p50=%-10s p95=%-10s p99=%-10s total=%s\n",
+                    h.name.c_str(), static_cast<long long>(h.count),
+                    FormatSeconds(h.p50).c_str(),
+                    FormatSeconds(h.p95).c_str(),
+                    FormatSeconds(h.p99).c_str(),
+                    FormatSeconds(h.sum).c_str());
+      table += line;
+    }
+  }
+  return table;
+}
+
+}  // namespace obs
+}  // namespace templex

@@ -1,0 +1,147 @@
+#ifndef TEMPLEX_OBS_METRICS_H_
+#define TEMPLEX_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace templex {
+namespace obs {
+
+// Named instruments for the reasoning and explanation layers, modelled on
+// the per-phase counters mature chase engines carry (VLog's durationJoin /
+// durationCreateHead breakdown and trigger counters). Instruments are
+// created on demand, addressed by dotted names ("chase.rule.sigma1.firings",
+// "explain.phase.map.seconds" — see docs/OBSERVABILITY.md for the scheme),
+// and snapshot into plain structs for JSON export or profile tables.
+//
+// Instrumented code receives a MetricsRegistry* that may be null; every
+// instrumentation site branches on it, so a run without a registry pays
+// one pointer test per site and nothing else.
+//
+// Not yet thread-safe: the engine is single-threaded today; switching the
+// cells to atomics (and the tracer to per-thread buffers) is a ROADMAP
+// open item for the parallel chase.
+
+// Monotonically increasing integer (events: firings, matches, duplicates).
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) { value_ += delta; }
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+// Last-write-wins floating-point level (sizes, ratios).
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// Fixed-bucket histogram with percentile summaries. Buckets are defined by
+// ascending upper bounds; observations above the last bound land in an
+// implicit overflow bucket. Percentiles interpolate linearly inside the
+// containing bucket (Prometheus-style) and are clamped to the exact
+// observed [min, max], so small-count histograms stay honest.
+class Histogram {
+ public:
+  // Default bounds: a 1-2-5 ladder from 1 microsecond to 10 seconds,
+  // in seconds — sized for the latencies the chase and explain phases emit.
+  static std::vector<double> DefaultLatencyBounds();
+
+  explicit Histogram(std::vector<double> bounds = DefaultLatencyBounds());
+
+  void Observe(double value);
+
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  // p in (0, 100]; returns 0 when empty.
+  double Percentile(double p) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  const std::vector<int64_t>& bucket_counts() const { return buckets_; }
+
+ private:
+  std::vector<double> bounds_;   // ascending upper bounds
+  std::vector<int64_t> buckets_; // bounds_.size() + 1 (overflow last)
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Point-in-time copies, ordered by name (std::map iteration), so two
+// identical runs snapshot byte-identical JSON.
+struct CounterSnapshot {
+  std::string name;
+  int64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  double value = 0.0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+
+  // Lookup by exact name; nullptr when absent.
+  const CounterSnapshot* FindCounter(const std::string& name) const;
+  const GaugeSnapshot* FindGauge(const std::string& name) const;
+  const HistogramSnapshot* FindHistogram(const std::string& name) const;
+};
+
+// Get-or-create registry. Returned pointers are stable for the registry's
+// lifetime, so hot loops resolve instruments once and bump raw pointers.
+class MetricsRegistry {
+ public:
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  // `bounds` only applies on first creation of `name`.
+  Histogram* histogram(const std::string& name);
+  Histogram* histogram(const std::string& name, std::vector<double> bounds);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// Fixed-width human-readable summary of a snapshot (the templex_cli
+// --profile output): counters first, then gauges, then histograms with
+// count / p50 / p95 / p99 / total columns.
+std::string ProfileTable(const MetricsSnapshot& snapshot);
+
+}  // namespace obs
+}  // namespace templex
+
+#endif  // TEMPLEX_OBS_METRICS_H_

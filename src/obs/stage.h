@@ -1,0 +1,51 @@
+#ifndef TEMPLEX_OBS_STAGE_H_
+#define TEMPLEX_OBS_STAGE_H_
+
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace templex {
+namespace obs {
+
+// A timed pipeline stage: one trace span plus one latency-histogram
+// observation, both optional (null registry/tracer make this a cheap
+// no-op). Used by the explain pipeline and the structural analysis, whose
+// stages are long enough that a map lookup per stage is irrelevant — the
+// chase hot loop resolves its instruments up front instead.
+//
+//   Result<X> x = [&] {
+//     obs::StageScope stage(metrics, tracer, "explain.map",
+//                           "explain.phase.map.seconds");
+//     return ComputeX();
+//   }();
+class StageScope {
+ public:
+  StageScope(MetricsRegistry* metrics, Tracer* tracer, const char* span_name,
+             const char* histogram_name)
+      : metrics_(metrics),
+        histogram_name_(histogram_name),
+        span_(tracer, span_name),
+        timer_(&seconds_) {}
+
+  ~StageScope() {
+    if (metrics_ == nullptr) return;
+    timer_.Stop();
+    metrics_->histogram(histogram_name_)->Observe(seconds_);
+  }
+
+  StageScope(const StageScope&) = delete;
+  StageScope& operator=(const StageScope&) = delete;
+
+ private:
+  MetricsRegistry* metrics_;
+  const char* histogram_name_;
+  Span span_;
+  double seconds_ = 0.0;
+  ScopedTimer timer_;
+};
+
+}  // namespace obs
+}  // namespace templex
+
+#endif  // TEMPLEX_OBS_STAGE_H_

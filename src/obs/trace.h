@@ -1,0 +1,116 @@
+#ifndef TEMPLEX_OBS_TRACE_H_
+#define TEMPLEX_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace templex {
+namespace obs {
+
+// One completed span, ready for Chrome trace-event export ("X" complete
+// events: chrome://tracing or https://ui.perfetto.dev both load the JSON
+// array TraceEventsToJson produces). Timestamps are microseconds relative
+// to the owning Tracer's epoch.
+struct TraceEvent {
+  std::string name;
+  double ts_micros = 0.0;
+  double dur_micros = 0.0;
+  // Nesting depth when the span opened (0 = top level). Chrome infers
+  // nesting from ts/dur containment; the depth is kept for assertions and
+  // non-visual consumers.
+  int depth = 0;
+  std::vector<std::pair<std::string, std::string>> attributes;
+};
+
+// Collects spans for one run. Like MetricsRegistry, a Tracer* threaded
+// through instrumented code may be null: Span construction against a null
+// tracer is a no-op (one branch, no clock read).
+//
+// Single-threaded by design for now (per-thread buffers are the ROADMAP
+// follow-up for the parallel chase); events are appended when spans close,
+// so children precede their parents in events() — Chrome orders by ts.
+class Tracer {
+ public:
+  Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+  // Microseconds since the tracer was created.
+  double NowMicros() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void Clear() { events_.clear(); }
+
+  // Span bookkeeping (public for Span; not meant for direct use).
+  int OpenSpan() { return depth_++; }
+  void CloseSpan(TraceEvent event) {
+    --depth_;
+    events_.push_back(std::move(event));
+  }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  int depth_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+// RAII timed span: opens at construction, records a TraceEvent into the
+// tracer when destroyed (or End()-ed explicitly). The duration comes from a
+// ScopedTimer accumulating into the span's own cell, reusing the same
+// primitive the per-phase metrics use.
+//
+//   obs::Span round(tracer, "chase.round");   // tracer may be null
+//   round.AddAttribute("round", round_number);
+class Span {
+ public:
+  Span(Tracer* tracer, std::string name)
+      : tracer_(tracer), timer_(&elapsed_seconds_) {
+    if (tracer_ == nullptr) return;
+    event_.name = std::move(name);
+    event_.ts_micros = tracer_->NowMicros();
+    event_.depth = tracer_->OpenSpan();
+  }
+
+  ~Span() { End(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  Span& AddAttribute(const std::string& key, std::string value) {
+    if (tracer_ != nullptr && !ended_) {
+      event_.attributes.emplace_back(key, std::move(value));
+    }
+    return *this;
+  }
+  Span& AddAttribute(const std::string& key, int64_t value) {
+    return AddAttribute(key, std::to_string(value));
+  }
+
+  // Closes the span early; idempotent.
+  void End() {
+    if (tracer_ == nullptr || ended_) return;
+    ended_ = true;
+    timer_.Stop();
+    event_.dur_micros = elapsed_seconds_ * 1e6;
+    tracer_->CloseSpan(std::move(event_));
+  }
+
+ private:
+  Tracer* tracer_;
+  TraceEvent event_;
+  double elapsed_seconds_ = 0.0;
+  ScopedTimer timer_;
+  bool ended_ = false;
+};
+
+}  // namespace obs
+}  // namespace templex
+
+#endif  // TEMPLEX_OBS_TRACE_H_

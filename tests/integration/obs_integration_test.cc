@@ -1,0 +1,176 @@
+// End-to-end observability: run the company-control application with a
+// registry + tracer attached and check the instruments the paper's
+// reasoning layers emit — per-rule firing counters, per-phase latency
+// histograms, nested chase spans — plus the determinism guard that two
+// identical runs snapshot byte-identical counter JSON.
+
+#include <gtest/gtest.h>
+
+#include "apps/glossaries.h"
+#include "apps/programs.h"
+#include "engine/chase.h"
+#include "explain/explainer.h"
+#include "io/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace templex {
+namespace {
+
+Value S(const char* s) { return Value::String(s); }
+Value D(double d) { return Value::Double(d); }
+
+// A two-hop control chain: sigma1 fires twice (direct control A->B and
+// B->C), sigma3 once (transitive A->C), sigma2 never (no Company facts).
+std::vector<Fact> ControlChainEdb() {
+  return {
+      {"Own", {S("A"), S("B"), D(0.6)}},
+      {"Own", {S("B"), S("C"), D(0.6)}},
+  };
+}
+
+Result<ChaseResult> RunObserved(obs::MetricsRegistry* metrics,
+                                obs::Tracer* tracer) {
+  ChaseConfig config;
+  config.metrics = metrics;
+  config.tracer = tracer;
+  return ChaseEngine(config).Run(CompanyControlProgram(), ControlChainEdb());
+}
+
+TEST(ObsIntegrationTest, PerRuleFiringCounters) {
+  obs::MetricsRegistry metrics;
+  Result<ChaseResult> chase = RunObserved(&metrics, nullptr);
+  ASSERT_TRUE(chase.ok()) << chase.status().ToString();
+  obs::MetricsSnapshot snapshot = metrics.Snapshot();
+
+  const obs::CounterSnapshot* sigma1 =
+      snapshot.FindCounter("chase.rule.sigma1.firings");
+  ASSERT_NE(sigma1, nullptr);
+  EXPECT_EQ(sigma1->value, 2);
+  const obs::CounterSnapshot* sigma2 =
+      snapshot.FindCounter("chase.rule.sigma2.firings");
+  ASSERT_NE(sigma2, nullptr);
+  EXPECT_EQ(sigma2->value, 0);
+  const obs::CounterSnapshot* sigma3 =
+      snapshot.FindCounter("chase.rule.sigma3.firings");
+  ASSERT_NE(sigma3, nullptr);
+  EXPECT_EQ(sigma3->value, 1);
+
+  // Fact/round totals folded from ChaseStats.
+  const obs::CounterSnapshot* derived =
+      snapshot.FindCounter("chase.facts.derived");
+  ASSERT_NE(derived, nullptr);
+  EXPECT_EQ(derived->value, chase.value().stats.derived_facts);
+  EXPECT_EQ(derived->value, 3);
+  const obs::CounterSnapshot* initial =
+      snapshot.FindCounter("chase.facts.initial");
+  ASSERT_NE(initial, nullptr);
+  EXPECT_EQ(initial->value, 2);
+}
+
+TEST(ObsIntegrationTest, PerPhaseHistogramsPopulated) {
+  obs::MetricsRegistry metrics;
+  ASSERT_TRUE(RunObserved(&metrics, nullptr).ok());
+  obs::MetricsSnapshot snapshot = metrics.Snapshot();
+  const obs::HistogramSnapshot* match =
+      snapshot.FindHistogram("chase.phase.match.seconds");
+  ASSERT_NE(match, nullptr);
+  EXPECT_GT(match->count, 0);
+  EXPECT_GE(match->p99, match->p50);
+  // Aggregation ran (sigma3 sums shares), so its phase histogram has
+  // samples too.
+  const obs::HistogramSnapshot* aggregate =
+      snapshot.FindHistogram("chase.phase.aggregate.seconds");
+  ASSERT_NE(aggregate, nullptr);
+  EXPECT_GT(aggregate->count, 0);
+}
+
+TEST(ObsIntegrationTest, ChaseResultCarriesSnapshot) {
+  obs::MetricsRegistry metrics;
+  Result<ChaseResult> chase = RunObserved(&metrics, nullptr);
+  ASSERT_TRUE(chase.ok());
+  EXPECT_FALSE(chase.value().metrics.empty());
+  EXPECT_NE(chase.value().metrics.FindCounter("chase.rule.sigma1.firings"),
+            nullptr);
+  // Without a registry the snapshot stays empty — the zero-cost path.
+  Result<ChaseResult> plain =
+      ChaseEngine().Run(CompanyControlProgram(), ControlChainEdb());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_TRUE(plain.value().metrics.empty());
+}
+
+TEST(ObsIntegrationTest, TwoIdenticalRunsSnapshotIdenticalCounters) {
+  // Counters and rule structure are deterministic; histogram timings are
+  // not, so the guard compares the counters section only.
+  auto counters_json = [] {
+    obs::MetricsRegistry metrics;
+    EXPECT_TRUE(RunObserved(&metrics, nullptr).ok());
+    obs::MetricsSnapshot snapshot = metrics.Snapshot();
+    snapshot.gauges.clear();
+    snapshot.histograms.clear();
+    return MetricsSnapshotToJson(snapshot);
+  };
+  const std::string first = counters_json();
+  const std::string second = counters_json();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(ObsIntegrationTest, TracerRecordsNestedChaseSpans) {
+  obs::MetricsRegistry metrics;
+  obs::Tracer tracer;
+  ASSERT_TRUE(RunObserved(&metrics, &tracer).ok());
+  const std::vector<obs::TraceEvent>& events = tracer.events();
+  ASSERT_FALSE(events.empty());
+  const obs::TraceEvent* run = nullptr;
+  const obs::TraceEvent* round = nullptr;
+  const obs::TraceEvent* rule = nullptr;
+  for (const obs::TraceEvent& event : events) {
+    if (event.name == "chase.run") run = &event;
+    if (event.name == "chase.round" && round == nullptr) round = &event;
+    if (event.name == "chase.rule" && rule == nullptr) rule = &event;
+  }
+  ASSERT_NE(run, nullptr);
+  ASSERT_NE(round, nullptr);
+  ASSERT_NE(rule, nullptr);
+  // chase.run > chase.round > chase.rule nesting, by depth and containment.
+  EXPECT_LT(run->depth, round->depth);
+  EXPECT_LT(round->depth, rule->depth);
+  EXPECT_LE(run->ts_micros, round->ts_micros);
+  EXPECT_LE(round->ts_micros + round->dur_micros,
+            run->ts_micros + run->dur_micros + 1.0);
+}
+
+TEST(ObsIntegrationTest, ExplainPipelineCounters) {
+  obs::MetricsRegistry metrics;
+  ExplainerOptions options;
+  options.metrics = &metrics;
+  auto explainer = Explainer::Create(CompanyControlProgram(),
+                                     CompanyControlGlossary(), options);
+  ASSERT_TRUE(explainer.ok());
+  ChaseConfig config;
+  config.metrics = &metrics;
+  Result<ChaseResult> chase =
+      ChaseEngine(config).Run(explainer.value()->program(), ControlChainEdb());
+  ASSERT_TRUE(chase.ok());
+  Result<std::string> text =
+      explainer.value()->Explain(chase.value(), {"Control", {S("A"), S("C")}});
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+
+  obs::MetricsSnapshot snapshot = metrics.Snapshot();
+  const obs::CounterSnapshot* templates =
+      snapshot.FindCounter("explain.templates.generated");
+  ASSERT_NE(templates, nullptr);
+  EXPECT_GT(templates->value, 0);
+  const obs::CounterSnapshot* queries =
+      snapshot.FindCounter("explain.queries");
+  ASSERT_NE(queries, nullptr);
+  EXPECT_EQ(queries->value, 1);
+  EXPECT_NE(snapshot.FindHistogram("explain.phase.map.seconds"), nullptr);
+  EXPECT_NE(snapshot.FindHistogram("explain.phase.render.seconds"), nullptr);
+  EXPECT_NE(snapshot.FindHistogram("explain.phase.analysis.seconds"),
+            nullptr);
+}
+
+}  // namespace
+}  // namespace templex

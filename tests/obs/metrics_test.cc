@@ -1,0 +1,180 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "io/json.h"
+#include "io/json_parse.h"
+
+namespace templex {
+namespace obs {
+namespace {
+
+TEST(CounterTest, IncrementsMonotonically) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0);
+  counter.Increment();
+  counter.Increment();
+  EXPECT_EQ(counter.value(), 2);
+  counter.Increment(40);
+  EXPECT_EQ(counter.value(), 42);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.value(), 0.0);
+  gauge.Set(3.5);
+  gauge.Set(-1.25);
+  EXPECT_EQ(gauge.value(), -1.25);
+}
+
+TEST(HistogramTest, EmptyHistogramReportsZeros) {
+  Histogram hist;
+  EXPECT_EQ(hist.count(), 0);
+  EXPECT_EQ(hist.sum(), 0.0);
+  EXPECT_EQ(hist.min(), 0.0);
+  EXPECT_EQ(hist.max(), 0.0);
+  EXPECT_EQ(hist.Percentile(50.0), 0.0);
+  EXPECT_EQ(hist.Percentile(99.0), 0.0);
+}
+
+TEST(HistogramTest, CountSumMinMax) {
+  Histogram hist({1.0, 2.0});
+  hist.Observe(0.5);
+  hist.Observe(1.5);
+  hist.Observe(3.0);
+  EXPECT_EQ(hist.count(), 3);
+  EXPECT_DOUBLE_EQ(hist.sum(), 5.0);
+  EXPECT_DOUBLE_EQ(hist.min(), 0.5);
+  EXPECT_DOUBLE_EQ(hist.max(), 3.0);
+  // Bucketing: [0,1], (1,2], overflow.
+  ASSERT_EQ(hist.bucket_counts().size(), 3u);
+  EXPECT_EQ(hist.bucket_counts()[0], 1);
+  EXPECT_EQ(hist.bucket_counts()[1], 1);
+  EXPECT_EQ(hist.bucket_counts()[2], 1);
+}
+
+TEST(HistogramTest, PercentileInterpolatesInsideBucket) {
+  Histogram hist({1.0, 2.0});
+  hist.Observe(0.5);  // bucket [0, 1]
+  hist.Observe(1.5);  // bucket (1, 2]
+  hist.Observe(1.5);  // bucket (1, 2]
+  hist.Observe(3.0);  // overflow
+  // p50: target rank 2 falls in (1, 2] as its first of two samples →
+  // midpoint of the bucket.
+  EXPECT_DOUBLE_EQ(hist.Percentile(50.0), 1.5);
+  // p25: target rank 1 exhausts the first bucket → its upper bound.
+  EXPECT_DOUBLE_EQ(hist.Percentile(25.0), 1.0);
+  // p99 lands in the unbounded overflow bucket → the observed maximum.
+  EXPECT_DOUBLE_EQ(hist.Percentile(99.0), 3.0);
+}
+
+TEST(HistogramTest, PercentileClampsToObservedRange) {
+  // One sample of 0.7 in the [0, 1] bucket: raw interpolation would say
+  // 0.35 at p50, but no observation was below 0.7.
+  Histogram hist({1.0});
+  hist.Observe(0.7);
+  EXPECT_DOUBLE_EQ(hist.Percentile(50.0), 0.7);
+  EXPECT_DOUBLE_EQ(hist.Percentile(100.0), 0.7);
+}
+
+TEST(HistogramTest, DefaultBoundsCoverMicrosecondsToSeconds) {
+  const std::vector<double> bounds = Histogram::DefaultLatencyBounds();
+  ASSERT_FALSE(bounds.empty());
+  EXPECT_DOUBLE_EQ(bounds.front(), 1e-6);
+  EXPECT_DOUBLE_EQ(bounds.back(), 10.0);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+TEST(MetricsRegistryTest, GetOrCreateReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* a = registry.counter("chase.rounds");
+  Counter* b = registry.counter("chase.rounds");
+  EXPECT_EQ(a, b);
+  a->Increment(3);
+  EXPECT_EQ(registry.counter("chase.rounds")->value(), 3);
+  Histogram* h = registry.histogram("phase.seconds", {1.0});
+  EXPECT_EQ(registry.histogram("phase.seconds"), h);
+  // Bounds of an existing histogram are not overwritten.
+  EXPECT_EQ(registry.histogram("phase.seconds", {5.0})->bounds().size(), 1u);
+  EXPECT_DOUBLE_EQ(registry.histogram("phase.seconds")->bounds()[0], 1.0);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsNameOrderedAndComplete) {
+  MetricsRegistry registry;
+  registry.counter("z.last")->Increment(1);
+  registry.counter("a.first")->Increment(2);
+  registry.gauge("ratio")->Set(0.5);
+  registry.histogram("lat")->Observe(0.001);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 2u);
+  EXPECT_EQ(snapshot.counters[0].name, "a.first");
+  EXPECT_EQ(snapshot.counters[1].name, "z.last");
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_EQ(snapshot.gauges[0].value, 0.5);
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].count, 1);
+  EXPECT_FALSE(snapshot.empty());
+  EXPECT_TRUE(MetricsSnapshot().empty());
+}
+
+TEST(MetricsRegistryTest, SnapshotLookupByName) {
+  MetricsRegistry registry;
+  registry.counter("hits")->Increment(7);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  const CounterSnapshot* hits = snapshot.FindCounter("hits");
+  ASSERT_NE(hits, nullptr);
+  EXPECT_EQ(hits->value, 7);
+  EXPECT_EQ(snapshot.FindCounter("misses"), nullptr);
+  EXPECT_EQ(snapshot.FindGauge("hits"), nullptr);
+  EXPECT_EQ(snapshot.FindHistogram("hits"), nullptr);
+}
+
+TEST(MetricsJsonTest, SnapshotJsonShape) {
+  MetricsRegistry registry;
+  registry.counter("chase.rounds")->Increment(4);
+  registry.gauge("load")->Set(1.5);
+  registry.histogram("phase.seconds", {1.0})->Observe(0.25);
+  Result<JsonValue> parsed =
+      ParseJson(MetricsSnapshotToJson(registry.Snapshot()));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& root = parsed.value();
+  ASSERT_TRUE(root.is_object());
+  const JsonValue* counters = root.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const JsonValue* rounds = counters->Find("chase.rounds");
+  ASSERT_NE(rounds, nullptr);
+  EXPECT_DOUBLE_EQ(rounds->number_value(), 4.0);
+  const JsonValue* gauges = root.Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_DOUBLE_EQ(gauges->Find("load")->number_value(), 1.5);
+  const JsonValue* histograms = root.Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const JsonValue* phase = histograms->Find("phase.seconds");
+  ASSERT_NE(phase, nullptr);
+  for (const char* key : {"count", "sum", "min", "max", "p50", "p95", "p99"}) {
+    ASSERT_NE(phase->Find(key), nullptr) << key;
+    EXPECT_TRUE(phase->Find(key)->is_number()) << key;
+  }
+  EXPECT_DOUBLE_EQ(phase->Find("count")->number_value(), 1.0);
+  EXPECT_DOUBLE_EQ(phase->Find("p50")->number_value(), 0.25);
+}
+
+TEST(ProfileTableTest, RendersEverySection) {
+  MetricsRegistry registry;
+  registry.counter("chase.rule.sigma1.firings")->Increment(12);
+  registry.gauge("facts.ratio")->Set(2.0);
+  registry.histogram("chase.phase.match.seconds")->Observe(0.002);
+  const std::string table = ProfileTable(registry.Snapshot());
+  EXPECT_NE(table.find("chase.rule.sigma1.firings"), std::string::npos);
+  EXPECT_NE(table.find("12"), std::string::npos);
+  EXPECT_NE(table.find("facts.ratio"), std::string::npos);
+  EXPECT_NE(table.find("chase.phase.match.seconds"), std::string::npos);
+  EXPECT_NE(table.find("p95="), std::string::npos);
+  EXPECT_EQ(ProfileTable(MetricsSnapshot()), "");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace templex

@@ -1,0 +1,127 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "io/json.h"
+#include "io/json_parse.h"
+
+namespace templex {
+namespace obs {
+namespace {
+
+TEST(SpanTest, NullTracerIsNoOp) {
+  // Must not crash or record anything; the instrumented code paths run
+  // with tracer == nullptr in every non-observed execution.
+  Span span(nullptr, "chase.run");
+  span.AddAttribute("rule", "sigma1").AddAttribute("round", int64_t{3});
+  span.End();
+  span.End();  // idempotent
+}
+
+TEST(SpanTest, RecordsEventOnDestruction) {
+  Tracer tracer;
+  {
+    Span span(&tracer, "chase.round");
+    span.AddAttribute("round", int64_t{1});
+  }
+  ASSERT_EQ(tracer.events().size(), 1u);
+  const TraceEvent& event = tracer.events()[0];
+  EXPECT_EQ(event.name, "chase.round");
+  EXPECT_EQ(event.depth, 0);
+  EXPECT_GE(event.ts_micros, 0.0);
+  EXPECT_GE(event.dur_micros, 0.0);
+  ASSERT_EQ(event.attributes.size(), 1u);
+  EXPECT_EQ(event.attributes[0].first, "round");
+  EXPECT_EQ(event.attributes[0].second, "1");
+}
+
+TEST(SpanTest, EndIsIdempotent) {
+  Tracer tracer;
+  Span span(&tracer, "explain.query");
+  span.End();
+  span.End();
+  EXPECT_EQ(tracer.events().size(), 1u);
+  span.AddAttribute("late", "ignored");
+  EXPECT_TRUE(tracer.events()[0].attributes.empty());
+}
+
+TEST(TracerTest, NestedSpansRecordDepthAndContainment) {
+  Tracer tracer;
+  {
+    Span outer(&tracer, "chase.run");
+    {
+      Span inner(&tracer, "chase.round");
+      Span leaf(&tracer, "chase.rule");
+      leaf.End();
+    }
+  }
+  // Spans are appended as they close: leaf, inner, outer.
+  ASSERT_EQ(tracer.events().size(), 3u);
+  const TraceEvent& leaf = tracer.events()[0];
+  const TraceEvent& inner = tracer.events()[1];
+  const TraceEvent& outer = tracer.events()[2];
+  EXPECT_EQ(leaf.name, "chase.rule");
+  EXPECT_EQ(inner.name, "chase.round");
+  EXPECT_EQ(outer.name, "chase.run");
+  EXPECT_EQ(outer.depth, 0);
+  EXPECT_EQ(inner.depth, 1);
+  EXPECT_EQ(leaf.depth, 2);
+  // Chrome infers nesting from ts/dur containment; check it holds.
+  EXPECT_LE(outer.ts_micros, inner.ts_micros);
+  EXPECT_LE(inner.ts_micros, leaf.ts_micros);
+  EXPECT_LE(leaf.ts_micros + leaf.dur_micros,
+            inner.ts_micros + inner.dur_micros + 1.0);
+  EXPECT_LE(inner.ts_micros + inner.dur_micros,
+            outer.ts_micros + outer.dur_micros + 1.0);
+}
+
+TEST(TracerTest, ClearDropsEventsAndKeepsEpoch) {
+  Tracer tracer;
+  { Span span(&tracer, "a"); }
+  ASSERT_EQ(tracer.events().size(), 1u);
+  tracer.Clear();
+  EXPECT_TRUE(tracer.events().empty());
+  { Span span(&tracer, "b"); }
+  EXPECT_EQ(tracer.events().size(), 1u);
+}
+
+TEST(TraceJsonTest, ChromeTraceEventShape) {
+  Tracer tracer;
+  {
+    Span outer(&tracer, "chase.run");
+    Span inner(&tracer, "chase.round");
+    inner.AddAttribute("round", int64_t{2});
+  }
+  Result<JsonValue> parsed = ParseJson(TraceEventsToJson(tracer.events()));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& root = parsed.value();
+  ASSERT_TRUE(root.is_array());
+  ASSERT_EQ(root.items().size(), 2u);
+  for (const JsonValue& event : root.items()) {
+    ASSERT_TRUE(event.is_object());
+    ASSERT_NE(event.Find("name"), nullptr);
+    EXPECT_TRUE(event.Find("name")->is_string());
+    ASSERT_NE(event.Find("ph"), nullptr);
+    EXPECT_EQ(event.Find("ph")->string_value(), "X");
+    for (const char* key : {"ts", "dur", "pid", "tid"}) {
+      ASSERT_NE(event.Find(key), nullptr) << key;
+      EXPECT_TRUE(event.Find(key)->is_number()) << key;
+    }
+  }
+  // Events close innermost-first; attributes land under "args".
+  EXPECT_EQ(root.items()[0].Find("name")->string_value(), "chase.round");
+  const JsonValue* args = root.items()[0].Find("args");
+  ASSERT_NE(args, nullptr);
+  ASSERT_NE(args->Find("round"), nullptr);
+  EXPECT_EQ(args->Find("round")->string_value(), "2");
+  EXPECT_DOUBLE_EQ(args->Find("depth")->number_value(), 1.0);
+}
+
+TEST(TraceJsonTest, EmptyTracerProducesEmptyArray) {
+  Tracer tracer;
+  EXPECT_EQ(TraceEventsToJson(tracer.events()), "[]");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace templex

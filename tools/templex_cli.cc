@@ -5,6 +5,9 @@
 //               [--explain 'Control(A, C)']... [--anonymize]
 //               [--report out.md] [--interactive]
 //               [--dump-json chase.json] [--templates]
+//               [--metrics-json m.json] [--trace-out t.json] [--profile]
+//
+// Every flag also accepts the --flag=value form.
 //
 // --program    rule file (see src/datalog/parser.h for the syntax);
 // --facts      CSV facts (see src/io/csv.h); repeatable;
@@ -25,7 +28,13 @@
 // --interactive reads further query/explain lines from stdin
 //              ("? Control(A, _)" queries, any fact literal explains);
 // --templates  prints the explanation-template catalog;
-// --dump-json  writes the chase graph as JSON.
+// --dump-json  writes the chase graph as JSON;
+// --metrics-json writes the run's metrics snapshot (per-rule firing
+//              counters, per-phase latency histograms with p50/p95/p99) as
+//              JSON — see docs/OBSERVABILITY.md for the naming scheme;
+// --trace-out  writes a Chrome trace-event JSON of the run's nested spans
+//              (load in chrome://tracing or https://ui.perfetto.dev);
+// --profile    prints a metrics summary table on stderr after the run.
 
 #include <cstdio>
 #include <cstring>
@@ -40,6 +49,9 @@
 #include "datalog/parser.h"
 #include "io/csv.h"
 #include "io/glossary_csv.h"
+#include "io/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -51,7 +63,9 @@ int Usage() {
       "usage: templex_cli --program FILE --facts FILE [--facts FILE]...\n"
       "                   [--glossary FILE] [--query FACT] [--explain FACT]...\n"
       "                   [--anonymize] [--report FILE] [--interactive]\n"
-      "                   [--templates] [--dump-json FILE]\n");
+      "                   [--templates] [--dump-json FILE]\n"
+      "                   [--metrics-json FILE] [--trace-out FILE] "
+      "[--profile]\n");
   return 2;
 }
 
@@ -78,48 +92,79 @@ int main(int argc, char** argv) {
   std::vector<std::string> whatif_texts;
   std::string json_path;
   std::string report_path;
+  std::string metrics_path;
+  std::string trace_path;
   bool anonymize = false;
   bool print_templates = false;
   bool interactive = false;
+  bool profile = false;
 
+  // Normalize "--flag=value" into "--flag" "value" so both forms parse.
+  std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
-    auto next = [&](const char* flag) -> const char* {
-      if (i + 1 >= argc) {
+    const std::string arg = argv[i];
+    const size_t eq = arg.find('=');
+    if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
+      args.push_back(arg.substr(0, eq));
+      args.push_back(arg.substr(eq + 1));
+    } else {
+      args.push_back(arg);
+    }
+  }
+
+  for (size_t i = 0; i < args.size(); ++i) {
+    auto next = [&](const char* flag) -> const std::string& {
+      if (i + 1 >= args.size()) {
         std::fprintf(stderr, "%s requires an argument\n", flag);
         std::exit(2);
       }
-      return argv[++i];
+      return args[++i];
     };
-    if (!std::strcmp(argv[i], "--program")) {
+    const std::string& arg = args[i];
+    if (arg == "--program") {
       program_path = next("--program");
-    } else if (!std::strcmp(argv[i], "--facts")) {
+    } else if (arg == "--facts") {
       fact_paths.push_back(next("--facts"));
-    } else if (!std::strcmp(argv[i], "--glossary")) {
+    } else if (arg == "--glossary") {
       glossary_path = next("--glossary");
-    } else if (!std::strcmp(argv[i], "--query")) {
+    } else if (arg == "--query") {
       query_text = next("--query");
-    } else if (!std::strcmp(argv[i], "--explain")) {
+    } else if (arg == "--explain") {
       explain_texts.push_back(next("--explain"));
-    } else if (!std::strcmp(argv[i], "--explain-all")) {
+    } else if (arg == "--explain-all") {
       explain_all_text = next("--explain-all");
-    } else if (!std::strcmp(argv[i], "--what-if")) {
+    } else if (arg == "--what-if") {
       whatif_texts.push_back(next("--what-if"));
-    } else if (!std::strcmp(argv[i], "--report")) {
+    } else if (arg == "--report") {
       report_path = next("--report");
-    } else if (!std::strcmp(argv[i], "--interactive")) {
+    } else if (arg == "--interactive") {
       interactive = true;
-    } else if (!std::strcmp(argv[i], "--dump-json")) {
+    } else if (arg == "--dump-json") {
       json_path = next("--dump-json");
-    } else if (!std::strcmp(argv[i], "--anonymize")) {
+    } else if (arg == "--metrics-json") {
+      metrics_path = next("--metrics-json");
+    } else if (arg == "--trace-out") {
+      trace_path = next("--trace-out");
+    } else if (arg == "--profile") {
+      profile = true;
+    } else if (arg == "--anonymize") {
       anonymize = true;
-    } else if (!std::strcmp(argv[i], "--templates")) {
+    } else if (arg == "--templates") {
       print_templates = true;
     } else {
-      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return Usage();
     }
   }
   if (program_path.empty() || fact_paths.empty()) return Usage();
+
+  // One registry + tracer for the whole invocation (pipeline build, chase,
+  // and every explanation query) when any observability output is asked
+  // for; otherwise the instrumented paths stay on their null branches.
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+  const bool observe =
+      !metrics_path.empty() || !trace_path.empty() || profile;
 
   auto die = [](const Status& status) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
@@ -173,8 +218,14 @@ int main(int argc, char** argv) {
     }
   }
 
+  ExplainerOptions explainer_options;
+  if (observe) {
+    explainer_options.metrics = &registry;
+    explainer_options.tracer = &tracer;
+  }
   auto app = KnowledgeGraphApplication::Create(std::move(program).value(),
-                                               std::move(glossary));
+                                               std::move(glossary),
+                                               explainer_options);
   if (!app.ok()) die(app.status());
 
   for (const std::string& path : fact_paths) {
@@ -182,13 +233,19 @@ int main(int argc, char** argv) {
     if (!facts.ok()) die(facts.status());
     app.value()->AddFacts(std::move(facts).value());
   }
-  Status run = app.value()->Run();
+  ChaseConfig chase_config;
+  if (observe) {
+    chase_config.metrics = &registry;
+    chase_config.tracer = &tracer;
+  }
+  Status run = app.value()->Run(chase_config);
   if (!run.ok()) die(run);
 
   const ChaseResult& chase = app.value()->chase();
-  std::printf("facts: %d total (%d derived) in %d rounds\n",
-              chase.graph.size(), chase.stats.derived_facts,
-              chase.stats.rounds);
+  std::printf("facts: %d total (%lld derived) in %lld rounds\n",
+              chase.graph.size(),
+              static_cast<long long>(chase.stats.derived_facts),
+              static_cast<long long>(chase.stats.rounds));
   for (const ConstraintViolation& violation : app.value()->violations()) {
     std::printf("violation: %s\n", violation.ToString().c_str());
   }
@@ -262,6 +319,7 @@ int main(int argc, char** argv) {
       builder.AddExplanation(goal.value());
     }
     builder.AddViolationsAppendix();
+    if (observe) builder.AddMetricsAppendix(registry.Snapshot());
     Result<std::string> report = builder.Build();
     if (!report.ok()) die(report.status());
     std::ofstream out(report_path, std::ios::binary | std::ios::trunc);
@@ -310,6 +368,25 @@ int main(int argc, char** argv) {
     out << json.value();
     if (!out) die(Status::Internal("cannot write " + json_path));
     std::printf("chase graph written to %s\n", json_path.c_str());
+  }
+
+  // Observability outputs last, so the snapshot covers the whole
+  // invocation (pipeline build, chase, queries, reports).
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path, std::ios::binary | std::ios::trunc);
+    out << MetricsSnapshotToJson(registry.Snapshot()) << "\n";
+    if (!out) die(Status::Internal("cannot write " + metrics_path));
+    std::printf("metrics written to %s\n", metrics_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path, std::ios::binary | std::ios::trunc);
+    out << TraceEventsToJson(tracer.events()) << "\n";
+    if (!out) die(Status::Internal("cannot write " + trace_path));
+    std::printf("trace written to %s (load in chrome://tracing)\n",
+                trace_path.c_str());
+  }
+  if (profile) {
+    std::fprintf(stderr, "%s", ProfileTable(registry.Snapshot()).c_str());
   }
   return 0;
 }
