@@ -36,6 +36,17 @@ class Binding {
   // should treat `false` as a hard error).
   bool Merge(const Binding& other);
 
+  // Drops every entry past the first `n` (no-op when n >= size()). Entries
+  // are append-ordered, so this is the undo-trail primitive the match
+  // enumerator backtracks with: remember size(), bind deeper atoms, then
+  // truncate back.
+  void Truncate(size_t n) {
+    if (n < entries_.size()) {
+      entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(n),
+                     entries_.end());
+    }
+  }
+
   size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "engine/aggregate_state.h"
 #include "engine/fact_store.h"
@@ -83,9 +84,10 @@ RulePlan MakePlan(const Rule& rule, int index) {
 
 class ChaseRun {
  public:
-  ChaseRun(const Program& program, const ChaseConfig& config)
+  ChaseRun(const Program& program, const ChaseConfig& config, ThreadPool* pool)
       : program_(program),
         config_(config),
+        pool_(pool),
         metrics_(config.metrics),
         tracer_(config.tracer),
         store_(&result_.graph),
@@ -119,6 +121,11 @@ class ChaseRun {
     obs::Span run_span(tracer_, "chase.extend");
     run_span.AddAttribute("delta_facts",
                           static_cast<int64_t>(additional.size()));
+    extend_mode_ = true;
+    extend_base_rounds_ = base.stats.rounds;
+    // Covers seeding plus incremental derivation; the post-fixpoint
+    // constraint re-check is reported by chase.phase.constraints.seconds.
+    ScopedTimer extend_timer(&extend_seconds_);
     TEMPLEX_RETURN_IF_ERROR(Prepare());
     if (base.program_fingerprint != ProgramFingerprint(program_)) {
       return Status::InvalidArgument(
@@ -139,17 +146,22 @@ class ChaseRun {
       }
     }
     // Seed the run from the base result.
-    result_.graph = std::move(base.graph);
-    result_.stats = base.stats;
-    if (base.aggregate_state != nullptr) {
-      aggregates_ = *base.aggregate_state;  // deep copy before mutating
-    }
-    for (FactId id = 0; id < result_.graph.size(); ++id) {
-      store_.OnNewFact(id);
-      for (const Value& arg : result_.graph.node(id).fact.args) {
-        if (arg.is_labeled_null()) {
-          next_null_id_ =
-              std::max(next_null_id_, arg.labeled_null_id() + 1);
+    {
+      obs::Span seed_span(tracer_, "chase.extend.seed");
+      seed_span.AddAttribute("base_facts",
+                             static_cast<int64_t>(base.graph.size()));
+      result_.graph = std::move(base.graph);
+      result_.stats = base.stats;
+      if (base.aggregate_state != nullptr) {
+        aggregates_ = *base.aggregate_state;  // deep copy before mutating
+      }
+      for (FactId id = 0; id < result_.graph.size(); ++id) {
+        store_.OnNewFact(id);
+        for (const Value& arg : result_.graph.node(id).fact.args) {
+          if (arg.is_labeled_null()) {
+            next_null_id_ =
+                std::max(next_null_id_, arg.labeled_null_id() + 1);
+          }
         }
       }
     }
@@ -165,7 +177,10 @@ class ChaseRun {
       }
     }
     result_.stats.initial_facts += added;
+    extend_added_ = added;
+    extend_start_size_ = result_.graph.size();
     TEMPLEX_RETURN_IF_ERROR(RunStratum(strata.value()[0], delta_begin));
+    extend_timer.Stop();
     return Finalize();
   }
 
@@ -267,6 +282,16 @@ class ChaseRun {
           ->Increment(result_.stats.derived_facts);
       metrics_->counter("chase.rounds")->Increment(result_.stats.rounds);
       metrics_->counter("chase.matches")->Increment(result_.stats.matches);
+      if (extend_mode_) {
+        metrics_->counter("chase.extend.runs")->Increment();
+        metrics_->counter("chase.extend.delta_facts")
+            ->Increment(extend_added_);
+        metrics_->counter("chase.extend.derived_facts")
+            ->Increment(result_.graph.size() - extend_start_size_);
+        metrics_->counter("chase.extend.rounds")
+            ->Increment(result_.stats.rounds - extend_base_rounds_);
+        metrics_->histogram("chase.extend.seconds")->Observe(extend_seconds_);
+      }
       result_.metrics = metrics_->Snapshot();
     }
     return std::move(result_);
@@ -292,9 +317,14 @@ class ChaseRun {
       obs::Span round_span(tracer_, "chase.round");
       round_span.AddAttribute("round", result_.stats.rounds)
           .AddAttribute("facts", static_cast<int64_t>(limit));
-      for (int index : rule_indexes) {
-        TEMPLEX_RETURN_IF_ERROR(
-            EvaluateRule(plans_[index], first_pass ? -1 : delta_begin, limit));
+      if (pool_ != nullptr) {
+        TEMPLEX_RETURN_IF_ERROR(RunRoundParallel(
+            rule_indexes, first_pass ? -1 : delta_begin, limit));
+      } else {
+        for (int index : rule_indexes) {
+          TEMPLEX_RETURN_IF_ERROR(EvaluateRule(
+              plans_[index], first_pass ? -1 : delta_begin, limit));
+        }
       }
       first_pass = false;
       delta_begin = limit;
@@ -353,6 +383,130 @@ class ChaseRun {
     return Status::OK();
   }
 
+  // A head instantiation buffered by a parallel match task, awaiting the
+  // sequential apply phase.
+  struct PendingHead {
+    Binding binding;
+    std::vector<FactId> facts;
+  };
+
+  // One unit of parallel match work: enumerate a rule over one id window
+  // and buffer the surviving head instantiations. Tasks share no mutable
+  // state; their outputs are folded in by the driving thread afterwards.
+  struct MatchTask {
+    const RulePlan* plan = nullptr;
+    MatchWindow window;
+    // Outputs, owned by this task until the merge:
+    Status status;
+    int64_t matches = 0;  // homomorphisms enumerated (pre-filter)
+    std::vector<PendingHead> heads;
+  };
+
+  // Splits one rule's round work into windowed tasks, appended in canonical
+  // order: delta position ascending, then id-window ascending. Window
+  // slices concatenate back to the unpartitioned enumeration, so replaying
+  // task outputs in this order reproduces the sequential match order
+  // exactly.
+  void PlanRuleTasks(const RulePlan& plan, FactId delta_begin, FactId limit,
+                     std::vector<MatchTask>* tasks) const {
+    // A few tasks per thread so work stealing can even out skewed windows.
+    const FactId slices =
+        static_cast<FactId>(pool_->num_threads()) * 2;
+    auto add_windows = [&](int pivot, FactId begin, FactId end, FactId cap) {
+      if (begin >= end) return;
+      const FactId span = end - begin;
+      const FactId n = std::min(slices, span);
+      for (FactId s = 0; s < n; ++s) {
+        MatchTask task;
+        task.plan = &plan;
+        task.window.limit = limit;
+        task.window.pivot_atom = pivot;
+        task.window.pivot_begin = begin + span * s / n;
+        task.window.pivot_end = begin + span * (s + 1) / n;
+        task.window.pre_pivot_cap = cap;
+        tasks->push_back(std::move(task));
+      }
+    };
+    if (delta_begin < 0 || !config_.semi_naive) {
+      if (plan.rule->body.empty()) {
+        // No atom to pivot on; a single unwindowed task enumerates the one
+        // empty-body match.
+        MatchTask task;
+        task.plan = &plan;
+        task.window.limit = limit;
+        tasks->push_back(std::move(task));
+        return;
+      }
+      add_windows(/*pivot=*/0, 0, limit, /*cap=*/0);
+      return;
+    }
+    for (size_t pos = 0; pos < plan.rule->body.size(); ++pos) {
+      add_windows(static_cast<int>(pos), delta_begin, limit, delta_begin);
+    }
+  }
+
+  // Runs on a pool thread: everything reached from here is read-only over
+  // the round-frozen store/graph; outputs go only into *task.
+  void RunMatchTask(MatchTask* task) const {
+    task->status = EnumerateMatches(
+        *task->plan->rule, store_, result_.graph, task->window,
+        [this, task](const BodyMatch& match) -> Status {
+          ++task->matches;
+          std::optional<Binding> binding;
+          TEMPLEX_RETURN_IF_ERROR(EvalMatch(*task->plan, match, &binding));
+          if (binding.has_value()) {
+            PendingHead head;
+            head.binding = std::move(*binding);
+            head.facts = match.facts;
+            task->heads.push_back(std::move(head));
+          }
+          return Status::OK();
+        });
+  }
+
+  // One chase round, parallel form: fan the stratum's (rule, id-window)
+  // match tasks across the pool, then fold the buffered heads back in on
+  // this thread in canonical task order — which replays exactly the
+  // sequential interleaving of existential reuse, aggregate contributions,
+  // fresh-null assignment, and duplicate handling. A task's match-phase
+  // error propagates after its buffered heads are applied (those heads
+  // precede the erroring match in canonical order) and before any later
+  // task's outputs.
+  Status RunRoundParallel(const std::vector<int>& rule_indexes,
+                          FactId delta_begin, FactId limit) {
+    std::vector<MatchTask> tasks;
+    for (int index : rule_indexes) {
+      PlanRuleTasks(plans_[index], delta_begin, limit, &tasks);
+    }
+    if (tasks.empty()) return Status::OK();
+    double match_seconds = 0.0;
+    {
+      obs::Span span(tracer_, "chase.match.parallel");
+      span.AddAttribute("tasks", static_cast<int64_t>(tasks.size()))
+          .AddAttribute("threads",
+                        static_cast<int64_t>(pool_->num_threads()));
+      std::optional<ScopedTimer> timer;
+      if (metrics_ != nullptr) timer.emplace(&match_seconds);
+      pool_->ParallelFor(tasks.size(), [this, &tasks](size_t i) {
+        RunMatchTask(&tasks[i]);
+      });
+    }
+    if (metrics_ != nullptr) match_hist_->Observe(match_seconds);
+    obs::Span merge_span(tracer_, "chase.merge");
+    for (MatchTask& task : tasks) {
+      result_.stats.matches += task.matches;
+      if (task.plan->matches_counter != nullptr && task.matches > 0) {
+        task.plan->matches_counter->Increment(task.matches);
+      }
+      for (PendingHead& head : task.heads) {
+        TEMPLEX_RETURN_IF_ERROR(ApplyHead(*task.plan, std::move(head.binding),
+                                          std::move(head.facts)));
+      }
+      TEMPLEX_RETURN_IF_ERROR(task.status);
+    }
+    return Status::OK();
+  }
+
   // Negation-as-failure: true iff no stored fact unifies with `atom` under
   // `binding`. Stratification guarantees the negated predicate is already
   // saturated when this runs.
@@ -369,7 +523,14 @@ class ChaseRun {
     return true;
   }
 
-  Status ProcessMatch(const RulePlan& plan, const BodyMatch& match) {
+  // Match-side half of processing a body homomorphism: negation-as-failure,
+  // assignments, and pre-aggregate conditions. Reads only state frozen for
+  // the round (store, graph, plans), so parallel match tasks run it
+  // concurrently. On success *out holds the evaluated binding; nullopt means
+  // the match was filtered out.
+  Status EvalMatch(const RulePlan& plan, const BodyMatch& match,
+                   std::optional<Binding>* out) const {
+    out->reset();
     for (const Atom& atom : plan.rule->negative_body) {
       if (!NegatedAtomHolds(atom, match.binding)) return Status::OK();
     }
@@ -384,14 +545,31 @@ class ChaseRun {
       if (!pass.ok()) return pass.status();
       if (!pass.value()) return Status::OK();
     }
-    if (plan.rule->has_aggregate()) {
-      return ProcessAggregateMatch(plan, match, std::move(binding));
-    }
-    return EmitHead(plan, std::move(binding), match.facts, {});
+    *out = std::move(binding);
+    return Status::OK();
   }
 
-  Status ProcessAggregateMatch(const RulePlan& plan, const BodyMatch& match,
-                               Binding binding) {
+  // Apply-side half: aggregation state updates and head emission, which
+  // mutate the graph/store/aggregates and therefore always run on the
+  // driving thread, in canonical match order.
+  Status ApplyHead(const RulePlan& plan, Binding binding,
+                   std::vector<FactId> facts) {
+    if (plan.rule->has_aggregate()) {
+      return ProcessAggregateMatch(plan, std::move(binding),
+                                   std::move(facts));
+    }
+    return EmitHead(plan, std::move(binding), std::move(facts), {});
+  }
+
+  Status ProcessMatch(const RulePlan& plan, const BodyMatch& match) {
+    std::optional<Binding> binding;
+    TEMPLEX_RETURN_IF_ERROR(EvalMatch(plan, match, &binding));
+    if (!binding.has_value()) return Status::OK();
+    return ApplyHead(plan, std::move(*binding), match.facts);
+  }
+
+  Status ProcessAggregateMatch(const RulePlan& plan, Binding binding,
+                               std::vector<FactId> facts) {
     // Stopped before EmitHead so head-creation time is not double-counted.
     std::optional<ScopedTimer> phase_timer;
     if (metrics_ != nullptr) phase_timer.emplace(&aggregate_seconds_);
@@ -417,7 +595,7 @@ class ChaseRun {
     std::optional<AggregateEmission> emission = aggregates_.Contribute(
         plan.index, agg.function, plan.explicit_contributor_keys,
         key_of(plan.group_vars), key_of(plan.contributor_vars), *input,
-        match.facts);
+        facts);
     if (!emission.has_value()) return Status::OK();
     binding.Set(agg.result_variable, emission->aggregate);
     for (const Condition* c : plan.post_conditions) {
@@ -534,6 +712,7 @@ class ChaseRun {
 
   const Program& program_;
   const ChaseConfig& config_;
+  ThreadPool* pool_;               // null: sequential rounds
   obs::MetricsRegistry* metrics_;  // may be null
   obs::Tracer* tracer_;            // may be null
   ChaseResult result_;
@@ -541,6 +720,12 @@ class ChaseRun {
   AggregateState aggregates_;
   std::vector<RulePlan> plans_;
   int64_t next_null_id_ = 1;
+  // Extend-run bookkeeping for the chase.extend.* metrics.
+  bool extend_mode_ = false;
+  double extend_seconds_ = 0.0;
+  int64_t extend_added_ = 0;
+  int64_t extend_base_rounds_ = 0;
+  int64_t extend_start_size_ = 0;
   // Per-phase accumulators (seconds), only touched when metrics_ is set;
   // phase scopes add to them via ScopedTimer, EvaluateRule observes the
   // per-evaluation deltas into the histograms below.
@@ -575,18 +760,26 @@ std::vector<Fact> ChaseResult::FactsOf(const std::string& predicate) const {
   return facts;
 }
 
-ChaseEngine::ChaseEngine(ChaseConfig config) : config_(config) {}
+ChaseEngine::ChaseEngine(ChaseConfig config) : config_(config) {
+  int threads = config_.num_threads;
+  if (threads == 0) threads = ThreadPool::HardwareConcurrency();
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+ChaseEngine::~ChaseEngine() = default;
+ChaseEngine::ChaseEngine(ChaseEngine&&) noexcept = default;
+ChaseEngine& ChaseEngine::operator=(ChaseEngine&&) noexcept = default;
 
 Result<ChaseResult> ChaseEngine::Run(const Program& program,
                                      const std::vector<Fact>& edb) const {
-  ChaseRun run(program, config_);
+  ChaseRun run(program, config_, pool_.get());
   return run.Run(edb);
 }
 
 Result<ChaseResult> ChaseEngine::Extend(
     ChaseResult base, const Program& program,
     const std::vector<Fact>& additional) const {
-  ChaseRun run(program, config_);
+  ChaseRun run(program, config_, pool_.get());
   return run.Extend(std::move(base), additional);
 }
 

@@ -13,6 +13,7 @@
 namespace templex {
 
 class AggregateState;  // engine/aggregate_state.h
+class ThreadPool;      // common/thread_pool.h
 
 namespace obs {
 class Tracer;  // obs/trace.h
@@ -37,6 +38,14 @@ struct ChaseConfig {
   // feature). Only acyclic re-derivations through a different rule or
   // different facts are recorded.
   int max_alternative_derivations = 4;
+  // Threads for the match phase of each chase round. 1 (the default) keeps
+  // the fully sequential engine; 0 means "use hardware concurrency"; N > 1
+  // fans (rule, id-window) match tasks across N threads and merges their
+  // buffered heads in canonical order before the sequential apply phase.
+  // Successful runs are byte-identical across thread counts: same fact ids,
+  // chase graph, provenance, stats, and per-rule counters (only the phase
+  // *latency* histograms and span shapes differ — see DESIGN.md).
+  int num_threads = 1;
   // Optional observability sinks (obs/metrics.h, obs/trace.h); both may be
   // null, in which case instrumented code paths reduce to one pointer test
   // each — tier-1 timings are unaffected. When `metrics` is set, the run
@@ -106,6 +115,13 @@ struct ChaseResult {
 class ChaseEngine {
  public:
   explicit ChaseEngine(ChaseConfig config = ChaseConfig());
+  ~ChaseEngine();
+
+  // Movable, not copyable: the engine owns its thread pool (spawned once in
+  // the constructor when config.num_threads != 1 and reused across Run and
+  // Extend calls).
+  ChaseEngine(ChaseEngine&&) noexcept;
+  ChaseEngine& operator=(ChaseEngine&&) noexcept;
 
   // Runs the chase of `program` over the extensional facts `edb`.
   Result<ChaseResult> Run(const Program& program,
@@ -122,6 +138,7 @@ class ChaseEngine {
 
  private:
   ChaseConfig config_;
+  std::unique_ptr<ThreadPool> pool_;  // null when running sequentially
 };
 
 // Fingerprint used to tie a ChaseResult to its program (exposed for tests).

@@ -7,15 +7,12 @@ namespace {
 class MatchEnumerator {
  public:
   MatchEnumerator(const Rule& rule, const FactStore& store,
-                  const ChaseGraph& graph, int delta_atom, FactId delta_begin,
-                  FactId limit,
+                  const ChaseGraph& graph, const MatchWindow& window,
                   const std::function<Status(const BodyMatch&)>& callback)
       : rule_(rule),
         store_(store),
         graph_(graph),
-        delta_atom_(delta_atom),
-        delta_begin_(delta_begin),
-        limit_(limit),
+        window_(window),
         callback_(callback) {}
 
   Status Run() {
@@ -26,10 +23,12 @@ class MatchEnumerator {
 
  private:
   bool AgeAllowed(int atom_index, FactId id) const {
-    if (id >= limit_) return false;
-    if (delta_atom_ < 0) return true;
-    if (atom_index == delta_atom_) return id >= delta_begin_;
-    if (atom_index < delta_atom_) return id < delta_begin_;
+    if (id >= window_.limit) return false;
+    if (window_.pivot_atom < 0) return true;
+    if (atom_index == window_.pivot_atom) {
+      return id >= window_.pivot_begin && id < window_.pivot_end;
+    }
+    if (atom_index < window_.pivot_atom) return id < window_.pre_pivot_cap;
     return true;
   }
 
@@ -44,17 +43,24 @@ class MatchEnumerator {
     // vectors while we iterate: use index-based access over a size snapshot
     // (the appended ids are >= limit and age-filtered out regardless).
     const size_t candidate_count = candidates.size();
+    // Candidates are matched into the one scratch binding; every exit from
+    // a candidate — failed unification included, which may have bound a
+    // prefix of the atom's variables — backtracks by truncating to the
+    // depth this atom started at. Bind() only ever appends (an existing
+    // entry is checked, never overwritten), so truncation restores the
+    // exact pre-candidate state without copying a Binding per candidate.
+    const size_t binding_mark = match.binding.size();
     for (size_t i = 0; i < candidate_count; ++i) {
       const FactId id = candidates[i];
       if (!AgeAllowed(static_cast<int>(atom_index), id)) continue;
-      Binding extended = match.binding;
-      if (!MatchAtom(atom, graph_.node(id).fact, &extended)) continue;
-      Binding saved = std::move(match.binding);
-      match.binding = std::move(extended);
+      if (!MatchAtom(atom, graph_.node(id).fact, &match.binding)) {
+        match.binding.Truncate(binding_mark);
+        continue;
+      }
       match.facts.push_back(id);
       TEMPLEX_RETURN_IF_ERROR(Descend(atom_index + 1, match));
       match.facts.pop_back();
-      match.binding = std::move(saved);
+      match.binding.Truncate(binding_mark);
     }
     return Status::OK();
   }
@@ -62,9 +68,7 @@ class MatchEnumerator {
   const Rule& rule_;
   const FactStore& store_;
   const ChaseGraph& graph_;
-  const int delta_atom_;
-  const FactId delta_begin_;
-  const FactId limit_;
+  const MatchWindow window_;
   const std::function<Status(const BodyMatch&)>& callback_;
 };
 
@@ -72,11 +76,23 @@ class MatchEnumerator {
 
 Status EnumerateMatches(
     const Rule& rule, const FactStore& store, const ChaseGraph& graph,
+    const MatchWindow& window,
+    const std::function<Status(const BodyMatch&)>& callback) {
+  MatchEnumerator enumerator(rule, store, graph, window, callback);
+  return enumerator.Run();
+}
+
+Status EnumerateMatches(
+    const Rule& rule, const FactStore& store, const ChaseGraph& graph,
     int delta_atom, FactId delta_begin, FactId limit,
     const std::function<Status(const BodyMatch&)>& callback) {
-  MatchEnumerator enumerator(rule, store, graph, delta_atom, delta_begin,
-                             limit, callback);
-  return enumerator.Run();
+  MatchWindow window;
+  window.limit = limit;
+  window.pivot_atom = delta_atom;
+  window.pivot_begin = delta_begin;
+  window.pivot_end = limit;
+  window.pre_pivot_cap = delta_begin;
+  return EnumerateMatches(rule, store, graph, window, callback);
 }
 
 }  // namespace templex

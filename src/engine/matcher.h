@@ -11,24 +11,59 @@ namespace templex {
 
 // One homomorphism from a rule body into the database: the variable binding
 // and the matched facts, in body-atom order.
+//
+// The BodyMatch handed to an enumeration callback aliases the enumerator's
+// scratch state — it is only valid for the duration of the callback; copy
+// what outlives it.
 struct BodyMatch {
   Binding binding;
   std::vector<FactId> facts;
 };
 
-// Enumerates every homomorphism from `rule`'s body atoms into the facts of
-// `graph` with id < `limit`, invoking `callback` for each. Enumeration order
-// is deterministic (fact-id order per atom).
+// Restricts which fact ids an enumeration may touch. Only facts with
+// id < limit exist for the enumeration; optionally one `pivot_atom` is
+// further restricted to ids in [pivot_begin, pivot_end) and every atom
+// before it to ids < pre_pivot_cap.
 //
-// Semi-naive restriction: when `delta_atom >= 0`, the atom at that body
-// index only matches facts with id in [delta_begin, limit) (the "new" facts
-// of the current round), atoms before it only match ids < delta_begin, and
-// atoms after it match any id < limit. Calling this for every delta_atom
-// position enumerates exactly the matches involving at least one new fact,
-// without duplicates. With delta_atom == -1 every atom ranges over
-// [0, limit).
+// The two users:
+//  - Semi-naive delta evaluation: pivot_atom = the body position holding a
+//    "new" fact, [pivot_begin, pivot_end) ⊆ [delta_begin, limit) a slice of
+//    the round's delta, pre_pivot_cap = delta_begin. Iterating the pivot
+//    over every body position enumerates exactly the matches touching the
+//    delta, without duplicates; slicing the delta window splits one
+//    position's matches across parallel tasks.
+//  - Partitioned full evaluation: pivot_atom = 0 with
+//    [pivot_begin, pivot_end) a slice of [0, limit) and pre_pivot_cap
+//    unused (no atom precedes position 0) splits a full pass by the first
+//    atom's fact id.
+// Concatenating the slices of a window in ascending id order reproduces
+// the unpartitioned enumeration order exactly — the property the parallel
+// chase's deterministic merge rests on.
+struct MatchWindow {
+  FactId limit = 0;
+  int pivot_atom = -1;  // -1: every atom ranges over [0, limit)
+  FactId pivot_begin = 0;
+  FactId pivot_end = 0;
+  FactId pre_pivot_cap = 0;
+};
+
+// Enumerates every homomorphism from `rule`'s body atoms into the facts of
+// `graph` admitted by `window`, invoking `callback` for each. Enumeration
+// order is deterministic (fact-id order per atom). Matching keeps one
+// scratch binding and backtracks by truncation, so failed candidates cost
+// no allocation.
+//
+// Read-only over `store` and `graph`: concurrent enumerations over the
+// same frozen store are safe (the parallel match phase relies on this).
 //
 // Stops and propagates the first non-OK status returned by the callback.
+Status EnumerateMatches(const Rule& rule, const FactStore& store,
+                        const ChaseGraph& graph, const MatchWindow& window,
+                        const std::function<Status(const BodyMatch&)>& callback);
+
+// Classic semi-naive form: delta_atom < 0 evaluates every atom over
+// [0, limit); otherwise the atom at `delta_atom` matches [delta_begin,
+// limit), atoms before it ids < delta_begin, atoms after it any id < limit.
 Status EnumerateMatches(const Rule& rule, const FactStore& store,
                         const ChaseGraph& graph, int delta_atom,
                         FactId delta_begin, FactId limit,

@@ -311,7 +311,7 @@ std::string TraceEventsToJson(const std::vector<obs::TraceEvent>& events) {
     json.Key("ts").Number(event.ts_micros);
     json.Key("dur").Number(event.dur_micros);
     json.Key("pid").Int(1);
-    json.Key("tid").Int(0);
+    json.Key("tid").Int(event.tid);
     json.Key("args").BeginObject();
     json.Key("depth").Int(event.depth);
     for (const auto& [key, value] : event.attributes) {

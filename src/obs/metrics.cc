@@ -1,10 +1,41 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 
 namespace templex {
 namespace obs {
+
+namespace {
+
+// Lock-free accumulate for atomic<double> (fetch_add on floating atomics
+// is C++20 but not universally lock-free; the CAS loop is portable).
+void AtomicAdd(std::atomic<double>* cell, double delta) {
+  double current = cell->load(std::memory_order_relaxed);
+  while (!cell->compare_exchange_weak(current, current + delta,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>* cell, double value) {
+  double current = cell->load(std::memory_order_relaxed);
+  while (value < current &&
+         !cell->compare_exchange_weak(current, value,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* cell, double value) {
+  double current = cell->load(std::memory_order_relaxed);
+  while (value > current &&
+         !cell->compare_exchange_weak(current, value,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
 
 std::vector<double> Histogram::DefaultLatencyBounds() {
   std::vector<double> bounds;
@@ -18,45 +49,117 @@ std::vector<double> Histogram::DefaultLatencyBounds() {
 }
 
 Histogram::Histogram(std::vector<double> bounds)
-    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1, 0) {}
-
-void Histogram::Observe(double value) {
-  size_t bucket =
-      std::upper_bound(bounds_.begin(), bounds_.end(), value) -
-      bounds_.begin();
-  ++buckets_[bucket];
-  ++count_;
-  sum_ += value;
-  if (count_ == 1) {
-    min_ = max_ = value;
-  } else {
-    min_ = std::min(min_, value);
-    max_ = std::max(max_, value);
+    : bounds_(std::move(bounds)) {
+  stripes_.reserve(kStripes);
+  for (int s = 0; s < kStripes; ++s) {
+    auto stripe = std::make_unique<Stripe>(bounds_.size() + 1);
+    stripe->min.store(std::numeric_limits<double>::infinity(),
+                      std::memory_order_relaxed);
+    stripe->max.store(-std::numeric_limits<double>::infinity(),
+                      std::memory_order_relaxed);
+    stripes_.push_back(std::move(stripe));
   }
 }
 
+Histogram::Stripe& Histogram::LocalStripe() {
+  // Threads are dealt stripe indices round-robin on first use; the same
+  // thread keeps its stripe across all histograms, so two threads only
+  // share a stripe when more than kStripes threads observe.
+  static std::atomic<unsigned> next_thread{0};
+  thread_local const unsigned thread_slot =
+      next_thread.fetch_add(1, std::memory_order_relaxed);
+  return *stripes_[thread_slot % kStripes];
+}
+
+void Histogram::Observe(double value) {
+  Stripe& stripe = LocalStripe();
+  const size_t bucket =
+      std::upper_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  stripe.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&stripe.sum, value);
+  AtomicMin(&stripe.min, value);
+  AtomicMax(&stripe.max, value);
+  // Count last, with release: a reader that acquires a stripe's count sees
+  // the min/max/sum/bucket writes of the observations it counted.
+  stripe.count.fetch_add(1, std::memory_order_release);
+}
+
+int64_t Histogram::count() const {
+  int64_t total = 0;
+  for (const auto& stripe : stripes_) {
+    total += stripe->count.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+double Histogram::sum() const {
+  double total = 0.0;
+  for (const auto& stripe : stripes_) {
+    if (stripe->count.load(std::memory_order_acquire) == 0) continue;
+    total += stripe->sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::min() const {
+  double result = std::numeric_limits<double>::infinity();
+  for (const auto& stripe : stripes_) {
+    if (stripe->count.load(std::memory_order_acquire) == 0) continue;
+    result = std::min(result, stripe->min.load(std::memory_order_relaxed));
+  }
+  return std::isinf(result) ? 0.0 : result;
+}
+
+double Histogram::max() const {
+  double result = -std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (const auto& stripe : stripes_) {
+    if (stripe->count.load(std::memory_order_acquire) == 0) continue;
+    result = std::max(result, stripe->max.load(std::memory_order_relaxed));
+    any = true;
+  }
+  return any ? result : 0.0;
+}
+
+std::vector<int64_t> Histogram::bucket_counts() const {
+  std::vector<int64_t> totals(bounds_.size() + 1, 0);
+  for (const auto& stripe : stripes_) {
+    if (stripe->count.load(std::memory_order_acquire) == 0) continue;
+    for (size_t i = 0; i < totals.size(); ++i) {
+      totals[i] += stripe->buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return totals;
+}
+
 double Histogram::Percentile(double p) const {
-  if (count_ == 0) return 0.0;
-  const double target = p / 100.0 * static_cast<double>(count_);
+  const std::vector<int64_t> buckets = bucket_counts();
+  int64_t total = 0;
+  for (int64_t b : buckets) total += b;
+  if (total == 0) return 0.0;
+  const double observed_min = min();
+  const double observed_max = max();
+  const double target = p / 100.0 * static_cast<double>(total);
   int64_t cumulative = 0;
-  for (size_t i = 0; i < buckets_.size(); ++i) {
-    if (buckets_[i] == 0) continue;
-    const int64_t next = cumulative + buckets_[i];
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const int64_t next = cumulative + buckets[i];
     if (static_cast<double>(next) >= target) {
       // Interpolate inside bucket i between its bounds; the overflow
       // bucket has no upper bound, so it reports the observed maximum.
-      if (i >= bounds_.size()) return max_;
+      if (i >= bounds_.size()) return observed_max;
       const double lower = i == 0 ? 0.0 : bounds_[i - 1];
       const double upper = bounds_[i];
       const double fraction =
           (target - static_cast<double>(cumulative)) /
-          static_cast<double>(buckets_[i]);
+          static_cast<double>(buckets[i]);
       const double value = lower + (upper - lower) * fraction;
-      return std::clamp(value, min_, max_);
+      return std::clamp(value, observed_min, observed_max);
     }
     cumulative = next;
   }
-  return max_;
+  return observed_max;
 }
 
 const CounterSnapshot* MetricsSnapshot::FindCounter(
@@ -84,18 +187,21 @@ const HistogramSnapshot* MetricsSnapshot::FindHistogram(
 }
 
 Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   std::unique_ptr<Counter>& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   std::unique_ptr<Gauge>& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
 Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   std::unique_ptr<Histogram>& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return slot.get();
@@ -103,12 +209,14 @@ Histogram* MetricsRegistry::histogram(const std::string& name) {
 
 Histogram* MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
   std::unique_ptr<Histogram>& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
   return slot.get();
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot snapshot;
   for (const auto& [name, counter] : counters_) {
     snapshot.counters.push_back({name, counter->value()});

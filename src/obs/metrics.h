@@ -1,9 +1,11 @@
 #ifndef TEMPLEX_OBS_METRICS_H_
 #define TEMPLEX_OBS_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -21,28 +23,35 @@ namespace obs {
 // instrumentation site branches on it, so a run without a registry pays
 // one pointer test per site and nothing else.
 //
-// Not yet thread-safe: the engine is single-threaded today; switching the
-// cells to atomics (and the tracer to per-thread buffers) is a ROADMAP
-// open item for the parallel chase.
+// Thread-safe: the parallel chase bumps instruments from worker threads.
+// Counters and gauges are single atomic cells; histograms stripe their
+// buckets across several atomic cells so concurrent observers do not
+// serialize on one cache line; the registry's get-or-create maps take a
+// mutex (hot loops resolve instruments once and bump raw pointers, so the
+// lock is off every hot path). Snapshots are not linearizable across
+// instruments — taking one concurrently with writers yields some valid
+// interleaving, and quiescent snapshots are exact.
 
 // Monotonically increasing integer (events: firings, matches, duplicates).
 class Counter {
  public:
-  void Increment(int64_t delta = 1) { value_ += delta; }
-  int64_t value() const { return value_; }
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  int64_t value_ = 0;
+  std::atomic<int64_t> value_{0};
 };
 
 // Last-write-wins floating-point level (sizes, ratios).
 class Gauge {
  public:
-  void Set(double value) { value_ = value; }
-  double value() const { return value_; }
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 // Fixed-bucket histogram with percentile summaries. Buckets are defined by
@@ -50,6 +59,11 @@ class Gauge {
 // implicit overflow bucket. Percentiles interpolate linearly inside the
 // containing bucket (Prometheus-style) and are clamped to the exact
 // observed [min, max], so small-count histograms stay honest.
+//
+// Observe() is wait-free outside of min/max CAS retries: state lives in
+// kStripes independent stripes of atomic cells and each thread writes the
+// stripe it hashed to, so concurrent observers touch disjoint cache lines.
+// Readers aggregate across stripes.
 class Histogram {
  public:
   // Default bounds: a 1-2-5 ladder from 1 microsecond to 10 seconds,
@@ -60,24 +74,35 @@ class Histogram {
 
   void Observe(double value);
 
-  int64_t count() const { return count_; }
-  double sum() const { return sum_; }
-  double min() const { return count_ == 0 ? 0.0 : min_; }
-  double max() const { return count_ == 0 ? 0.0 : max_; }
+  int64_t count() const;
+  double sum() const;
+  double min() const;
+  double max() const;
 
   // p in (0, 100]; returns 0 when empty.
   double Percentile(double p) const;
 
   const std::vector<double>& bounds() const { return bounds_; }
-  const std::vector<int64_t>& bucket_counts() const { return buckets_; }
+  // Aggregated across stripes; bounds_.size() + 1 entries (overflow last).
+  std::vector<int64_t> bucket_counts() const;
 
  private:
-  std::vector<double> bounds_;   // ascending upper bounds
-  std::vector<int64_t> buckets_; // bounds_.size() + 1 (overflow last)
-  int64_t count_ = 0;
-  double sum_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
+  static constexpr int kStripes = 8;
+
+  struct Stripe {
+    std::vector<std::atomic<int64_t>> buckets;
+    std::atomic<int64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{0.0};
+    std::atomic<double> max{0.0};
+
+    explicit Stripe(size_t num_buckets) : buckets(num_buckets) {}
+  };
+
+  Stripe& LocalStripe();
+
+  std::vector<double> bounds_;  // ascending upper bounds
+  std::vector<std::unique_ptr<Stripe>> stripes_;
 };
 
 // Point-in-time copies, ordered by name (std::map iteration), so two
@@ -120,6 +145,8 @@ struct MetricsSnapshot {
 
 // Get-or-create registry. Returned pointers are stable for the registry's
 // lifetime, so hot loops resolve instruments once and bump raw pointers.
+// Get-or-create and Snapshot are serialized by an internal mutex; the
+// instruments themselves are lock-free.
 class MetricsRegistry {
  public:
   Counter* counter(const std::string& name);
@@ -131,6 +158,7 @@ class MetricsRegistry {
   MetricsSnapshot Snapshot() const;
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;

@@ -1,0 +1,73 @@
+#include "obs/trace.h"
+
+#include <atomic>
+
+namespace templex {
+namespace obs {
+
+namespace {
+
+// TLS cache mapping tracer id -> that tracer's buffer for this thread.
+// Tracer ids are process-unique and never reused, so an entry for a
+// destroyed tracer can never be matched again (it only wastes one slot per
+// tracer per thread — tracers are per-run objects, so the list stays
+// short). Buffer memory is owned by the tracer; stale pointers here are
+// never dereferenced because the id lookup fails first.
+thread_local std::vector<std::pair<uint64_t, void*>> tls_buffers;
+
+uint64_t NextTracerId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Tracer::Tracer()
+    : id_(NextTracerId()), epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer::~Tracer() = default;
+
+Tracer::ThreadBuffer* Tracer::LocalBuffer() {
+  for (const auto& [id, buffer] : tls_buffers) {
+    if (id == id_) return static_cast<ThreadBuffer*>(buffer);
+  }
+  ThreadBuffer* buffer = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(std::make_unique<ThreadBuffer>());
+    buffer = buffers_.back().get();
+    buffer->tid = static_cast<int>(buffers_.size()) - 1;
+  }
+  tls_buffers.emplace_back(id_, buffer);
+  return buffer;
+}
+
+int Tracer::OpenSpan() { return LocalBuffer()->depth++; }
+
+void Tracer::CloseSpan(TraceEvent event) {
+  ThreadBuffer* buffer = LocalBuffer();
+  --buffer->depth;
+  event.tid = buffer->tid;
+  buffer->events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> merged;
+  size_t total = 0;
+  for (const auto& buffer : buffers_) total += buffer->events.size();
+  merged.reserve(total);
+  for (const auto& buffer : buffers_) {
+    merged.insert(merged.end(), buffer->events.begin(),
+                  buffer->events.end());
+  }
+  return merged;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buffer : buffers_) buffer->events.clear();
+}
+
+}  // namespace obs
+}  // namespace templex

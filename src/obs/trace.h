@@ -3,6 +3,8 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -20,10 +22,15 @@ struct TraceEvent {
   std::string name;
   double ts_micros = 0.0;
   double dur_micros = 0.0;
-  // Nesting depth when the span opened (0 = top level). Chrome infers
-  // nesting from ts/dur containment; the depth is kept for assertions and
-  // non-visual consumers.
+  // Nesting depth on the recording thread when the span opened (0 = top
+  // level). Chrome infers nesting from ts/dur containment; the depth is
+  // kept for assertions and non-visual consumers.
   int depth = 0;
+  // Recording thread: 0 is the first thread that opened a span on this
+  // tracer (the run's main thread), workers follow in first-span order.
+  // Exported as the Chrome trace "tid", so parallel rounds render as
+  // parallel tracks.
+  int tid = 0;
   std::vector<std::pair<std::string, std::string>> attributes;
 };
 
@@ -31,12 +38,18 @@ struct TraceEvent {
 // through instrumented code may be null: Span construction against a null
 // tracer is a no-op (one branch, no clock read).
 //
-// Single-threaded by design for now (per-thread buffers are the ROADMAP
-// follow-up for the parallel chase); events are appended when spans close,
-// so children precede their parents in events() — Chrome orders by ts.
+// Thread-safe via per-thread buffers: each thread's spans append to a
+// buffer registered for that thread on first use (one mutex acquisition
+// per thread per tracer, then lock-free appends), and events() merges the
+// buffers at export. Span open/close must happen on the same thread;
+// nesting depth is tracked per thread.
 class Tracer {
  public:
-  Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+  Tracer();
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
 
   // Microseconds since the tracer was created.
   double NowMicros() const {
@@ -45,26 +58,40 @@ class Tracer {
         .count();
   }
 
-  const std::vector<TraceEvent>& events() const { return events_; }
-  void Clear() { events_.clear(); }
+  // Merged copy of every thread's buffer: buffers in thread-registration
+  // order (tid order), each buffer's events in span-close order — so for a
+  // single-threaded run children precede their parents, exactly the
+  // pre-parallel behaviour. Chrome orders by ts either way. Must not race
+  // with open spans closing; call it after joining / quiescing workers.
+  std::vector<TraceEvent> events() const;
+  void Clear();
 
-  // Span bookkeeping (public for Span; not meant for direct use).
-  int OpenSpan() { return depth_++; }
-  void CloseSpan(TraceEvent event) {
-    --depth_;
-    events_.push_back(std::move(event));
-  }
+  // Span bookkeeping (public for Span; not meant for direct use). Both
+  // touch only the calling thread's buffer.
+  int OpenSpan();
+  void CloseSpan(TraceEvent event);
 
  private:
+  struct ThreadBuffer {
+    int tid = 0;
+    int depth = 0;
+    std::vector<TraceEvent> events;
+  };
+
+  // The calling thread's buffer, registered on first use.
+  ThreadBuffer* LocalBuffer();
+
+  const uint64_t id_;  // process-unique, never reused — keys the TLS cache
   std::chrono::steady_clock::time_point epoch_;
-  int depth_ = 0;
-  std::vector<TraceEvent> events_;
+  mutable std::mutex mu_;  // guards buffers_ registration and export
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
 };
 
 // RAII timed span: opens at construction, records a TraceEvent into the
 // tracer when destroyed (or End()-ed explicitly). The duration comes from a
 // ScopedTimer accumulating into the span's own cell, reusing the same
-// primitive the per-phase metrics use.
+// primitive the per-phase metrics use. Construct and destroy on the same
+// thread (worker spans live inside their task).
 //
 //   obs::Span round(tracer, "chase.round");   // tracer may be null
 //   round.AddAttribute("round", round_number);

@@ -24,10 +24,12 @@ TEST(SpanTest, RecordsEventOnDestruction) {
     Span span(&tracer, "chase.round");
     span.AddAttribute("round", int64_t{1});
   }
-  ASSERT_EQ(tracer.events().size(), 1u);
-  const TraceEvent& event = tracer.events()[0];
+  const std::vector<TraceEvent> events = tracer.events();
+  ASSERT_EQ(events.size(), 1u);
+  const TraceEvent& event = events[0];
   EXPECT_EQ(event.name, "chase.round");
   EXPECT_EQ(event.depth, 0);
+  EXPECT_EQ(event.tid, 0);
   EXPECT_GE(event.ts_micros, 0.0);
   EXPECT_GE(event.dur_micros, 0.0);
   ASSERT_EQ(event.attributes.size(), 1u);
@@ -56,10 +58,11 @@ TEST(TracerTest, NestedSpansRecordDepthAndContainment) {
     }
   }
   // Spans are appended as they close: leaf, inner, outer.
-  ASSERT_EQ(tracer.events().size(), 3u);
-  const TraceEvent& leaf = tracer.events()[0];
-  const TraceEvent& inner = tracer.events()[1];
-  const TraceEvent& outer = tracer.events()[2];
+  const std::vector<TraceEvent> events = tracer.events();
+  ASSERT_EQ(events.size(), 3u);
+  const TraceEvent& leaf = events[0];
+  const TraceEvent& inner = events[1];
+  const TraceEvent& outer = events[2];
   EXPECT_EQ(leaf.name, "chase.rule");
   EXPECT_EQ(inner.name, "chase.round");
   EXPECT_EQ(outer.name, "chase.run");

@@ -1,0 +1,239 @@
+// metrics_diff — compare two metrics snapshots written by
+// `templex_cli --metrics-json` (or any MetricsSnapshotToJson output).
+//
+//   metrics_diff OLD.json NEW.json [--filter PREFIX] [--threshold-pct P]
+//
+// Prints counter and gauge deltas and histogram percentile shifts
+// (p50/p95/p99), one line per metric that changed; metrics present in only
+// one snapshot are reported as added/removed.
+//
+// --filter PREFIX      only consider metrics whose name starts with PREFIX
+//                      (e.g. --filter chase.phase.);
+// --threshold-pct P    exit with status 3 if any histogram percentile
+//                      regressed (grew) by more than P percent — the
+//                      regression-gate mode for CI and bench comparisons.
+//
+// Exit codes: 0 diff printed (and no regression beyond the threshold),
+// 2 usage error, 1 unreadable/unparsable input, 3 threshold exceeded.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "io/csv.h"
+#include "io/json_parse.h"
+
+namespace {
+
+using namespace templex;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: metrics_diff OLD.json NEW.json [--filter PREFIX] "
+               "[--threshold-pct P]\n");
+  return 2;
+}
+
+// Percent change new vs old; +inf when appearing from zero.
+double PercentChange(double old_value, double new_value) {
+  if (old_value == new_value) return 0.0;
+  if (old_value == 0.0) return new_value > 0.0 ? HUGE_VAL : -HUGE_VAL;
+  return (new_value - old_value) / std::fabs(old_value) * 100.0;
+}
+
+std::string FormatPercent(double pct) {
+  if (std::isinf(pct)) return pct > 0 ? "+inf%" : "-inf%";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", pct);
+  return buf;
+}
+
+struct Snapshot {
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+  // histogram name -> {p50, p95, p99, count}
+  std::map<std::string, std::map<std::string, double>> histograms;
+};
+
+Result<Snapshot> LoadSnapshot(const std::string& path) {
+  Result<std::string> text = ReadFileToString(path);
+  if (!text.ok()) return text.status();
+  Result<JsonValue> parsed = ParseJson(text.value());
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue& root = parsed.value();
+  if (!root.is_object()) {
+    return Status::InvalidArgument(path + ": not a metrics snapshot object");
+  }
+  Snapshot snapshot;
+  auto load_scalars = [&root](const char* section,
+                              std::map<std::string, double>* out) {
+    const JsonValue* values = root.Find(section);
+    if (values == nullptr || !values->is_object()) return;
+    for (const auto& [name, value] : values->members()) {
+      if (value.is_number()) (*out)[name] = value.number_value();
+    }
+  };
+  load_scalars("counters", &snapshot.counters);
+  load_scalars("gauges", &snapshot.gauges);
+  const JsonValue* histograms = root.Find("histograms");
+  if (histograms != nullptr && histograms->is_object()) {
+    for (const auto& [name, hist] : histograms->members()) {
+      if (!hist.is_object()) continue;
+      std::map<std::string, double>& fields = snapshot.histograms[name];
+      for (const char* key : {"count", "p50", "p95", "p99"}) {
+        const JsonValue* field = hist.Find(key);
+        if (field != nullptr && field->is_number()) {
+          fields[key] = field->number_value();
+        }
+      }
+    }
+  }
+  return snapshot;
+}
+
+bool MatchesFilter(const std::string& name, const std::string& prefix) {
+  return prefix.empty() || name.rfind(prefix, 0) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  std::string filter;
+  double threshold_pct = -1.0;  // < 0: no gate
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires an argument\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--filter") {
+      filter = next("--filter");
+    } else if (arg == "--threshold-pct") {
+      char* end = nullptr;
+      const char* value = next("--threshold-pct");
+      threshold_pct = std::strtod(value, &end);
+      if (end == value || *end != '\0' || threshold_pct < 0.0) {
+        std::fprintf(stderr,
+                     "--threshold-pct expects a non-negative number\n");
+        return 2;
+      }
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) return Usage();
+
+  Result<Snapshot> old_snapshot = LoadSnapshot(paths[0]);
+  if (!old_snapshot.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 old_snapshot.status().ToString().c_str());
+    return 1;
+  }
+  Result<Snapshot> new_snapshot = LoadSnapshot(paths[1]);
+  if (!new_snapshot.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 new_snapshot.status().ToString().c_str());
+    return 1;
+  }
+  const Snapshot& before = old_snapshot.value();
+  const Snapshot& after = new_snapshot.value();
+
+  int changed = 0;
+  bool regressed = false;
+
+  auto diff_scalars = [&](const char* label,
+                          const std::map<std::string, double>& old_values,
+                          const std::map<std::string, double>& new_values,
+                          bool integral) {
+    for (const auto& [name, old_value] : old_values) {
+      if (!MatchesFilter(name, filter)) continue;
+      auto it = new_values.find(name);
+      if (it == new_values.end()) {
+        std::printf("%s %-48s removed (was %g)\n", label, name.c_str(),
+                    old_value);
+        ++changed;
+        continue;
+      }
+      if (it->second == old_value) continue;
+      const double delta = it->second - old_value;
+      if (integral) {
+        std::printf("%s %-48s %12lld -> %12lld  (%+lld, %s)\n", label,
+                    name.c_str(), static_cast<long long>(old_value),
+                    static_cast<long long>(it->second),
+                    static_cast<long long>(delta),
+                    FormatPercent(PercentChange(old_value, it->second))
+                        .c_str());
+      } else {
+        std::printf("%s %-48s %12g -> %12g  (%s)\n", label, name.c_str(),
+                    old_value, it->second,
+                    FormatPercent(PercentChange(old_value, it->second))
+                        .c_str());
+      }
+      ++changed;
+    }
+    for (const auto& [name, new_value] : new_values) {
+      if (!MatchesFilter(name, filter)) continue;
+      if (old_values.count(name) == 0) {
+        std::printf("%s %-48s added (now %g)\n", label, name.c_str(),
+                    new_value);
+        ++changed;
+      }
+    }
+  };
+
+  diff_scalars("counter  ", before.counters, after.counters,
+               /*integral=*/true);
+  diff_scalars("gauge    ", before.gauges, after.gauges, /*integral=*/false);
+
+  for (const auto& [name, old_fields] : before.histograms) {
+    if (!MatchesFilter(name, filter)) continue;
+    auto it = after.histograms.find(name);
+    if (it == after.histograms.end()) {
+      std::printf("histogram %-48s removed\n", name.c_str());
+      ++changed;
+      continue;
+    }
+    for (const char* key : {"p50", "p95", "p99"}) {
+      auto old_field = old_fields.find(key);
+      auto new_field = it->second.find(key);
+      if (old_field == old_fields.end() || new_field == it->second.end()) {
+        continue;
+      }
+      if (old_field->second == new_field->second) continue;
+      const double pct =
+          PercentChange(old_field->second, new_field->second);
+      std::printf("histogram %-48s %s %12g -> %12g  (%s)\n", name.c_str(),
+                  key, old_field->second, new_field->second,
+                  FormatPercent(pct).c_str());
+      ++changed;
+      if (threshold_pct >= 0.0 && pct > threshold_pct) regressed = true;
+    }
+  }
+  for (const auto& [name, fields] : after.histograms) {
+    (void)fields;
+    if (!MatchesFilter(name, filter)) continue;
+    if (before.histograms.count(name) == 0) {
+      std::printf("histogram %-48s added\n", name.c_str());
+      ++changed;
+    }
+  }
+
+  if (changed == 0) std::printf("no differences\n");
+  if (regressed) {
+    std::fprintf(stderr,
+                 "regression: a histogram percentile grew more than %.1f%%\n",
+                 threshold_pct);
+    return 3;
+  }
+  return 0;
+}

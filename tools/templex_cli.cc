@@ -6,6 +6,7 @@
 //               [--report out.md] [--interactive]
 //               [--dump-json chase.json] [--templates]
 //               [--metrics-json m.json] [--trace-out t.json] [--profile]
+//               [--threads N]
 //
 // Every flag also accepts the --flag=value form.
 //
@@ -35,8 +36,12 @@
 // --trace-out  writes a Chrome trace-event JSON of the run's nested spans
 //              (load in chrome://tracing or https://ui.perfetto.dev);
 // --profile    prints a metrics summary table on stderr after the run.
+// --threads    match-phase threads for each chase round (default 1 =
+//              sequential, 0 = hardware concurrency); results are
+//              byte-identical across thread counts.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -65,7 +70,8 @@ int Usage() {
       "                   [--anonymize] [--report FILE] [--interactive]\n"
       "                   [--templates] [--dump-json FILE]\n"
       "                   [--metrics-json FILE] [--trace-out FILE] "
-      "[--profile]\n");
+      "[--profile]\n"
+      "                   [--threads N]\n");
   return 2;
 }
 
@@ -98,6 +104,7 @@ int main(int argc, char** argv) {
   bool print_templates = false;
   bool interactive = false;
   bool profile = false;
+  int num_threads = 1;
 
   // Normalize "--flag=value" into "--flag" "value" so both forms parse.
   std::vector<std::string> args;
@@ -147,6 +154,15 @@ int main(int argc, char** argv) {
       trace_path = next("--trace-out");
     } else if (arg == "--profile") {
       profile = true;
+    } else if (arg == "--threads") {
+      const std::string& value = next("--threads");
+      char* end = nullptr;
+      const long parsed = std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || parsed < 0) {
+        std::fprintf(stderr, "--threads expects a non-negative integer\n");
+        return Usage();
+      }
+      num_threads = static_cast<int>(parsed);
     } else if (arg == "--anonymize") {
       anonymize = true;
     } else if (arg == "--templates") {
@@ -234,6 +250,7 @@ int main(int argc, char** argv) {
     app.value()->AddFacts(std::move(facts).value());
   }
   ChaseConfig chase_config;
+  chase_config.num_threads = num_threads;
   if (observe) {
     chase_config.metrics = &registry;
     chase_config.tracer = &tracer;
