@@ -1,0 +1,65 @@
+#include "common/deadline.h"
+
+#include <chrono>
+#include <limits>
+
+namespace templex {
+
+namespace {
+
+int64_t SteadyNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int64_t Deadline::NowMicros() const {
+  return clock_ != nullptr ? clock_->NowMicros() : SteadyNowMicros();
+}
+
+Deadline Deadline::AfterMillis(int64_t millis, const VirtualClock* clock) {
+  Deadline deadline;
+  deadline.infinite_ = false;
+  deadline.clock_ = clock;
+  deadline.expiry_micros_ = deadline.NowMicros() + millis * 1000;
+  return deadline;
+}
+
+Deadline Deadline::AfterSeconds(double seconds, const VirtualClock* clock) {
+  Deadline deadline;
+  deadline.infinite_ = false;
+  deadline.clock_ = clock;
+  deadline.expiry_micros_ =
+      deadline.NowMicros() + static_cast<int64_t>(seconds * 1e6);
+  return deadline;
+}
+
+bool Deadline::expired() const {
+  return !infinite_ && NowMicros() >= expiry_micros_;
+}
+
+int64_t Deadline::RemainingMillis() const {
+  if (infinite_) return std::numeric_limits<int64_t>::max();
+  return (expiry_micros_ - NowMicros()) / 1000;
+}
+
+double Deadline::RemainingSeconds() const {
+  if (infinite_) return std::numeric_limits<double>::max();
+  return static_cast<double>(expiry_micros_ - NowMicros()) / 1e6;
+}
+
+Status CheckInterruption(const Deadline& deadline,
+                         const CancellationToken& cancel, const char* where) {
+  if (cancel.cancelled()) {
+    return Status::Cancelled(std::string("cancelled at ") + where);
+  }
+  if (deadline.expired()) {
+    return Status::DeadlineExceeded(std::string("deadline exceeded at ") +
+                                    where);
+  }
+  return Status::OK();
+}
+
+}  // namespace templex

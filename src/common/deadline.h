@@ -1,0 +1,110 @@
+#ifndef TEMPLEX_COMMON_DEADLINE_H_
+#define TEMPLEX_COMMON_DEADLINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+
+namespace templex {
+
+// A monotonically advancing, test-controllable time source. Production code
+// leaves it out (Deadline then reads std::chrono::steady_clock); tests hand
+// the same VirtualClock to a Deadline and to the failure-injection /
+// retry decorators (llm/fault_injecting_llm.h, llm/retrying_llm.h), so
+// latency, backoff, and deadline expiry interact deterministically without
+// any real sleeping.
+//
+// Thread-safe: Advance* and NowMicros are single atomic operations.
+class VirtualClock {
+ public:
+  int64_t NowMicros() const {
+    return now_micros_.load(std::memory_order_relaxed);
+  }
+  void AdvanceMicros(int64_t micros) {
+    now_micros_.fetch_add(micros, std::memory_order_relaxed);
+  }
+  void AdvanceMillis(int64_t millis) { AdvanceMicros(millis * 1000); }
+  void AdvanceSeconds(double seconds) {
+    AdvanceMicros(static_cast<int64_t>(seconds * 1e6));
+  }
+
+ private:
+  std::atomic<int64_t> now_micros_{0};
+};
+
+// An absolute point on a monotonic clock after which an operation must give
+// up with StatusCode::kDeadlineExceeded. Default-constructed deadlines are
+// infinite (never expire), so threading one through an API costs nothing
+// for callers that do not set it. Copyable value type; copies share the
+// governing clock but are otherwise independent.
+//
+// The clock is std::chrono::steady_clock unless a VirtualClock was given at
+// construction — wall-clock adjustments never shorten or extend a run.
+class Deadline {
+ public:
+  // Infinite: never expires.
+  Deadline() = default;
+
+  static Deadline Infinite() { return Deadline(); }
+
+  // Expires `millis` from now. AfterMillis(0) is already expired, which is
+  // how tests model "the time budget was gone before we started".
+  static Deadline AfterMillis(int64_t millis,
+                              const VirtualClock* clock = nullptr);
+  static Deadline AfterSeconds(double seconds,
+                               const VirtualClock* clock = nullptr);
+
+  bool infinite() const { return infinite_; }
+  bool expired() const;
+
+  // Time left before expiry. Negative once expired; int64_t/double max when
+  // infinite. Retry loops use this to refuse a backoff that would overrun
+  // the deadline.
+  int64_t RemainingMillis() const;
+  double RemainingSeconds() const;
+
+ private:
+  int64_t NowMicros() const;
+
+  bool infinite_ = true;
+  int64_t expiry_micros_ = 0;          // on the governing clock
+  const VirtualClock* clock_ = nullptr;  // null: steady_clock
+};
+
+// A cooperative cancellation flag shared between a controller and the
+// operation it may abort. Copies share state: hand one copy to ChaseConfig /
+// ExplainerOptions, keep another, and Cancel() from any thread; the running
+// operation polls cancelled() at its interruption points and returns
+// StatusCode::kCancelled. A cancelled token stays cancelled forever.
+//
+// Thread-safe: Cancel and cancelled are single relaxed atomic operations on
+// the shared cell, cheap enough to poll per match in the chase inner loop.
+class CancellationToken {
+ public:
+  CancellationToken()
+      : cancelled_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void Cancel() const {
+    cancelled_->store(true, std::memory_order_relaxed);
+  }
+  bool cancelled() const {
+    return cancelled_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> cancelled_;
+};
+
+// The standard interruption probe: kCancelled when the token fired (it
+// wins over the deadline — an explicit abort is more informative than a
+// coincident timeout), kDeadlineExceeded when the deadline passed, OK
+// otherwise. `where` names the interruption point in the error message
+// ("chase round", "llm retry", ...).
+Status CheckInterruption(const Deadline& deadline,
+                         const CancellationToken& cancel, const char* where);
+
+}  // namespace templex
+
+#endif  // TEMPLEX_COMMON_DEADLINE_H_

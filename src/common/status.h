@@ -21,6 +21,10 @@ enum class StatusCode {
   kResourceExhausted,
   kFailedPrecondition,
   kInternal,
+  // Failure-model codes (common/deadline.h): the operation ran out of its
+  // time budget, or was cooperatively aborted via a CancellationToken.
+  kDeadlineExceeded,
+  kCancelled,
 };
 
 // Returns a stable, human-readable name for a status code ("InvalidArgument").
@@ -55,6 +59,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -47,6 +47,50 @@ std::string RuleMetricName(const Rule& rule, int index) {
   return rule.label.empty() ? "rule" + std::to_string(index) : rule.label;
 }
 
+// Cooperative interruption probe for match enumeration loops. The
+// cancellation token is polled on every call (one relaxed atomic load);
+// the deadline — a clock read — only every 256 calls. Each enumeration
+// scope (one sequential rule evaluation, one parallel match task, one
+// constraint sweep) owns its probe, so parallel tasks poll independently
+// and abort cooperatively wherever they are in their window.
+class InterruptProbe {
+ public:
+  InterruptProbe(const Deadline& deadline, const CancellationToken& cancel,
+                 const char* where)
+      : deadline_(deadline), cancel_(cancel), where_(where) {}
+
+  Status Check() {
+    if (cancel_.cancelled()) {
+      return Status::Cancelled(std::string("chase cancelled during ") +
+                               where_);
+    }
+    if (!deadline_.infinite() && (++calls_ & kDeadlineStrideMask) == 0 &&
+        deadline_.expired()) {
+      return Status::DeadlineExceeded(
+          std::string("chase deadline exceeded during ") + where_);
+    }
+    return Status::OK();
+  }
+
+ private:
+  static constexpr uint32_t kDeadlineStrideMask = 255;
+
+  const Deadline& deadline_;
+  const CancellationToken& cancel_;
+  const char* where_;
+  uint32_t calls_ = 0;
+};
+
+// Folds a run's terminal interruption into the failure-model counters.
+void RecordInterruption(obs::MetricsRegistry* metrics, const Status& status) {
+  if (metrics == nullptr) return;
+  if (status.code() == StatusCode::kCancelled) {
+    metrics->counter("chase.cancelled")->Increment();
+  } else if (status.code() == StatusCode::kDeadlineExceeded) {
+    metrics->counter("chase.deadline_exceeded")->Increment();
+  }
+}
+
 RulePlan MakePlan(const Rule& rule, int index) {
   RulePlan plan;
   plan.rule = &rule;
@@ -96,6 +140,8 @@ class ChaseRun {
   Result<ChaseResult> Run(const std::vector<Fact>& edb) {
     obs::Span run_span(tracer_, "chase.run");
     run_span.AddAttribute("edb_facts", static_cast<int64_t>(edb.size()));
+    TEMPLEX_RETURN_IF_ERROR(
+        CheckInterruption(config_.deadline, config_.cancel, "chase start"));
     TEMPLEX_RETURN_IF_ERROR(Prepare());
     for (const Fact& fact : edb) {
       ChaseNode node;
@@ -121,6 +167,8 @@ class ChaseRun {
     obs::Span run_span(tracer_, "chase.extend");
     run_span.AddAttribute("delta_facts",
                           static_cast<int64_t>(additional.size()));
+    TEMPLEX_RETURN_IF_ERROR(
+        CheckInterruption(config_.deadline, config_.cancel, "chase extend"));
     extend_mode_ = true;
     extend_base_rounds_ = base.stats.rounds;
     // Covers seeding plus incremental derivation; the post-fixpoint
@@ -207,7 +255,10 @@ class ChaseRun {
     const FactId limit = result_.graph.size();
     for (const RulePlan& plan : plans_) {
       if (!plan.rule->is_constraint) continue;
-      auto callback = [this, &plan](const BodyMatch& match) -> Status {
+      InterruptProbe probe(config_.deadline, config_.cancel,
+                           "constraint check");
+      auto callback = [this, &plan, &probe](const BodyMatch& match) -> Status {
+        TEMPLEX_RETURN_IF_ERROR(probe.Check());
         for (const Atom& atom : plan.rule->negative_body) {
           if (!NegatedAtomHolds(atom, match.binding)) return Status::OK();
         }
@@ -308,6 +359,9 @@ class ChaseRun {
     while (true) {
       const FactId limit = result_.graph.size();
       if (!first_pass && delta_begin >= limit) break;  // fixpoint
+      TEMPLEX_RETURN_IF_ERROR(CheckInterruption(config_.deadline,
+                                                config_.cancel,
+                                                "chase round boundary"));
       if (result_.stats.rounds >= config_.max_rounds) {
         return Status::ResourceExhausted(
             "chase did not reach fixpoint within max_rounds=" +
@@ -364,7 +418,10 @@ class ChaseRun {
 
   Status EvaluateRuleBody(const RulePlan& plan, FactId delta_begin,
                           FactId limit) {
-    auto callback = [this, &plan](const BodyMatch& match) {
+    InterruptProbe probe(config_.deadline, config_.cancel,
+                         "rule evaluation");
+    auto callback = [this, &plan, &probe](const BodyMatch& match) -> Status {
+      TEMPLEX_RETURN_IF_ERROR(probe.Check());
       ++result_.stats.matches;
       if (plan.matches_counter != nullptr) plan.matches_counter->Increment();
       return ProcessMatch(plan, match);
@@ -448,9 +505,11 @@ class ChaseRun {
   // Runs on a pool thread: everything reached from here is read-only over
   // the round-frozen store/graph; outputs go only into *task.
   void RunMatchTask(MatchTask* task) const {
+    InterruptProbe probe(config_.deadline, config_.cancel, "match task");
     task->status = EnumerateMatches(
         *task->plan->rule, store_, result_.graph, task->window,
-        [this, task](const BodyMatch& match) -> Status {
+        [this, task, &probe](const BodyMatch& match) -> Status {
+          TEMPLEX_RETURN_IF_ERROR(probe.Check());
           ++task->matches;
           std::optional<Binding> binding;
           TEMPLEX_RETURN_IF_ERROR(EvalMatch(*task->plan, match, &binding));
@@ -773,14 +832,18 @@ ChaseEngine& ChaseEngine::operator=(ChaseEngine&&) noexcept = default;
 Result<ChaseResult> ChaseEngine::Run(const Program& program,
                                      const std::vector<Fact>& edb) const {
   ChaseRun run(program, config_, pool_.get());
-  return run.Run(edb);
+  Result<ChaseResult> result = run.Run(edb);
+  if (!result.ok()) RecordInterruption(config_.metrics, result.status());
+  return result;
 }
 
 Result<ChaseResult> ChaseEngine::Extend(
     ChaseResult base, const Program& program,
     const std::vector<Fact>& additional) const {
   ChaseRun run(program, config_, pool_.get());
-  return run.Extend(std::move(base), additional);
+  Result<ChaseResult> result = run.Extend(std::move(base), additional);
+  if (!result.ok()) RecordInterruption(config_.metrics, result.status());
+  return result;
 }
 
 size_t ProgramFingerprint(const Program& program) {

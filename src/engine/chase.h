@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "datalog/program.h"
 #include "engine/chase_graph.h"
@@ -23,10 +24,11 @@ class Tracer;  // obs/trace.h
 struct ChaseConfig {
   // Hard cap on fixpoint rounds; exceeding it is a ResourceExhausted error
   // (the paper only considers programs with guaranteed termination, so the
-  // caps act as guard rails for mis-specified inputs).
-  int max_rounds = 100000;
+  // caps act as guard rails for mis-specified inputs). 64-bit like
+  // ChaseStats: fact counts outgrow int at the ROADMAP's target scale.
+  int64_t max_rounds = 100000;
   // Hard cap on the total number of facts (extensional + derived).
-  int max_facts = 5000000;
+  int64_t max_facts = 5000000;
   // When false, every round re-evaluates all rules over the whole database
   // (naive evaluation); used by the ablation benchmarks.
   bool semi_naive = true;
@@ -57,6 +59,16 @@ struct ChaseConfig {
   // trace-event JSON. Both must outlive the run.
   obs::MetricsRegistry* metrics = nullptr;
   obs::Tracer* tracer = nullptr;
+  // Failure model (common/deadline.h): the run returns kDeadlineExceeded /
+  // kCancelled — never crashes, hangs, or leaks — as soon as an
+  // interruption point observes the deadline passed or the token fired.
+  // Interruption points: run entry, every round boundary, and every match
+  // enumerated (sequentially or on a pool thread; worker tasks abort
+  // cooperatively and the pool is drained before the status returns).
+  // Partial chase state is discarded. Defaults: no deadline, no
+  // cancellation — zero-cost for callers that leave them unset.
+  Deadline deadline;
+  CancellationToken cancel;
 };
 
 // One match of a negative constraint's body (φ(x̄) → ⊥): the instance

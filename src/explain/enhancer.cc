@@ -212,19 +212,34 @@ std::string TemplateEnhancer::RewriteSentence(const std::string& sentence,
   return RewriteWithContext(sentence, frame, "", &unused);
 }
 
+namespace {
+
+// Applies the degradation contract to one segment: keep the deterministic
+// text and record why, so reports can surface the fallback.
+void DegradeSegment(TemplateSegment* segment, std::string reason) {
+  segment->enhanced_text.clear();
+  segment->degraded = true;
+  segment->degradation_reason = std::move(reason);
+}
+
+}  // namespace
+
 Status TemplateEnhancer::Enhance(ExplanationTemplate* tmpl,
                                  int variant) const {
   std::string prev_head;
   for (size_t i = 0; i < tmpl->segments.size(); ++i) {
     TemplateSegment& segment = tmpl->segments[i];
+    segment.degraded = false;
+    segment.degradation_reason.clear();
     std::string head_normalized;
     std::string candidate =
         RewriteWithContext(segment.text, static_cast<int>(i) + variant,
                            prev_head, &head_normalized);
-    if (VerifyTokensPreserved(segment, candidate).ok()) {
+    Status preserved = VerifyTokensPreserved(segment, candidate);
+    if (preserved.ok()) {
       segment.enhanced_text = std::move(candidate);
     } else {
-      segment.enhanced_text.clear();  // fall back to deterministic text
+      DegradeSegment(&segment, preserved.ToString());
     }
     prev_head = head_normalized;
   }
@@ -234,17 +249,44 @@ Status TemplateEnhancer::Enhance(ExplanationTemplate* tmpl,
 Status TemplateEnhancer::EnhanceWithLlm(ExplanationTemplate* tmpl,
                                         LlmClient* llm,
                                         int* num_fallbacks) const {
+  return EnhanceWithLlm(tmpl, llm, LlmEnhancementOptions(), num_fallbacks);
+}
+
+Status TemplateEnhancer::EnhanceWithLlm(ExplanationTemplate* tmpl,
+                                        LlmClient* llm,
+                                        const LlmEnhancementOptions& options,
+                                        int* num_fallbacks) const {
   int fallbacks = 0;
   for (TemplateSegment& segment : tmpl->segments) {
-    Result<std::string> candidate =
-        llm->Complete("Rephrase the following text: " + segment.text);
-    if (candidate.ok() &&
-        VerifyTokensPreserved(segment, candidate.value()).ok()) {
-      segment.enhanced_text = std::move(candidate).value();
-    } else {
-      segment.enhanced_text.clear();
-      ++fallbacks;
+    segment.degraded = false;
+    segment.degradation_reason.clear();
+    if (options.cancel.cancelled()) {
+      return Status::Cancelled("template enhancement cancelled");
     }
+    if (options.deadline.expired()) {
+      // Out of time: the remaining segments degrade without burning LLM
+      // calls, and the template still completes.
+      DegradeSegment(&segment, "deadline expired before enhancement");
+      ++fallbacks;
+      continue;
+    }
+    Result<std::string> candidate =
+        llm->Complete(kRephrasePrompt + segment.text);
+    if (!candidate.ok()) {
+      if (candidate.status().code() == StatusCode::kCancelled) {
+        return candidate.status();
+      }
+      DegradeSegment(&segment, candidate.status().ToString());
+      ++fallbacks;
+      continue;
+    }
+    Status preserved = VerifyTokensPreserved(segment, candidate.value());
+    if (!preserved.ok()) {
+      DegradeSegment(&segment, preserved.ToString());
+      ++fallbacks;
+      continue;
+    }
+    segment.enhanced_text = std::move(candidate).value();
   }
   if (num_fallbacks != nullptr) *num_fallbacks = fallbacks;
   return Status::OK();

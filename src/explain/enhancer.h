@@ -3,12 +3,20 @@
 
 #include <string>
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "explain/template.h"
 
 namespace templex {
 
 class LlmClient;  // llm/llm_client.h
+
+// Run-scoped failure-model controls for the LLM enhancement pass
+// (common/deadline.h). Defaults are inert: no deadline, no cancellation.
+struct LlmEnhancementOptions {
+  Deadline deadline;
+  CancellationToken cancel;
+};
 
 // The automatic preventive check of §4.4: every token of the deterministic
 // segment must still occur (as "<name>") in the candidate enhanced text.
@@ -40,10 +48,18 @@ class TemplateEnhancer {
   Status Enhance(ExplanationTemplate* tmpl, int variant = 0) const;
 
   // Same, but the rewriting is delegated to an LLM ("Rephrase the following
-  // text: ..."), mirroring the paper's automated pipeline. Segments whose
-  // LLM output fails the token check fall back to the deterministic text.
-  // Returns the number of segments that fell back via `num_fallbacks`.
+  // text: ..."), mirroring the paper's automated pipeline. Graceful
+  // degradation contract (§4.4 extended): ANY per-segment failure — an LLM
+  // error that survived its retry policy, a token-check omission, or the
+  // deadline expiring before the segment's turn — degrades that segment to
+  // its deterministic text, marks it (TemplateSegment::degraded + reason),
+  // and the pass continues; a complete template always comes back. Only
+  // cancellation aborts the pass (kCancelled). Returns the number of
+  // degraded segments via `num_fallbacks`.
   Status EnhanceWithLlm(ExplanationTemplate* tmpl, LlmClient* llm,
+                        int* num_fallbacks) const;
+  Status EnhanceWithLlm(ExplanationTemplate* tmpl, LlmClient* llm,
+                        const LlmEnhancementOptions& options,
                         int* num_fallbacks) const;
 
   // Rewrites one deterministic sentence (exposed for tests).

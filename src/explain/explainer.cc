@@ -61,6 +61,8 @@ Result<std::unique_ptr<Explainer>> Explainer::Create(
     }
   }
   obs::Span create_span(options.tracer, "explain.create");
+  TEMPLEX_RETURN_IF_ERROR(CheckInterruption(options.deadline, options.cancel,
+                                            "explainer pipeline build"));
   if (options.analyzer.metrics == nullptr) {
     options.analyzer.metrics = options.metrics;
   }
@@ -77,6 +79,8 @@ Result<std::unique_ptr<Explainer>> Explainer::Create(
   }();
   if (!analysis.ok()) return analysis.status();
   explainer->analysis_ = std::move(analysis).value();
+  TEMPLEX_RETURN_IF_ERROR(CheckInterruption(options.deadline, options.cancel,
+                                            "template generation"));
 
   TemplateGenerator generator(&explainer->program_, &explainer->glossary_);
   Result<std::vector<ExplanationTemplate>> templates = [&] {
@@ -96,6 +100,9 @@ Result<std::unique_ptr<Explainer>> Explainer::Create(
     obs::StageScope stage(options.metrics, options.tracer, "explain.enhance",
                           "explain.phase.enhancement.seconds");
     TemplateEnhancer enhancer;
+    LlmEnhancementOptions enhancement;
+    enhancement.deadline = options.deadline;
+    enhancement.cancel = options.cancel;
     // Segments whose LLM rewrite failed the token-preservation (omission)
     // check and kept their deterministic text.
     int omission_fallbacks = 0;
@@ -103,7 +110,7 @@ Result<std::unique_ptr<Explainer>> Explainer::Create(
       if (options.enhancement_llm != nullptr) {
         int fallbacks = 0;
         TEMPLEX_RETURN_IF_ERROR(enhancer.EnhanceWithLlm(
-            &tmpl, options.enhancement_llm, &fallbacks));
+            &tmpl, options.enhancement_llm, enhancement, &fallbacks));
         omission_fallbacks += fallbacks;
       } else {
         TEMPLEX_RETURN_IF_ERROR(
@@ -113,6 +120,11 @@ Result<std::unique_ptr<Explainer>> Explainer::Create(
     if (options.metrics != nullptr) {
       options.metrics->counter("explain.enhance.omission_fallbacks")
           ->Increment(omission_fallbacks);
+      // Full degradation accounting (§4.4 extended): every segment that
+      // kept deterministic text because its enhancement failed, whatever
+      // the failure mode.
+      options.metrics->counter("explain.enhance.degraded_segments")
+          ->Increment(explainer->degraded_segment_count());
     }
   }
 
@@ -137,6 +149,9 @@ Result<std::string> Explainer::Explain(const ChaseResult& chase,
 
 Result<std::string> Explainer::ExplainProof(const Proof& proof) const {
   obs::Span query_span(options_.tracer, "explain.query");
+  TEMPLEX_RETURN_IF_ERROR(CheckInterruption(options_.deadline,
+                                            options_.cancel,
+                                            "explanation query"));
   if (options_.metrics != nullptr) {
     options_.metrics->counter("explain.queries")->Increment();
   }
@@ -195,6 +210,16 @@ Result<std::string> Explainer::DeterministicExplanation(
 
 Result<std::vector<MappedUnit>> Explainer::MapProof(const Proof& proof) const {
   return mapper_->Map(proof);
+}
+
+int64_t Explainer::degraded_segment_count() const {
+  int64_t degraded = 0;
+  for (const ExplanationTemplate& tmpl : templates_) {
+    for (const TemplateSegment& segment : tmpl.segments) {
+      if (segment.degraded) ++degraded;
+    }
+  }
+  return degraded;
 }
 
 Result<std::string> Explainer::RenderUnit(const Proof& proof,

@@ -35,9 +35,21 @@ struct ExplainerOptions {
   int enhancement_variant = 0;
   // When set (and `enhance` is true), templates are enhanced by prompting
   // this LLM with the rules — the paper's §4.4 automated pipeline. Every
-  // rewritten segment passes the token-preservation check, falling back to
-  // the deterministic text on omissions. The client must outlive Create().
+  // rewritten segment passes the token-preservation check; a segment whose
+  // rewrite failed in ANY way (LLM error surviving retries, omission,
+  // expired deadline) degrades to its deterministic text and is recorded
+  // (TemplateSegment::degraded, explain.enhance.degraded_segments). The
+  // client must outlive Create(). Wrap it in RetryingLlm
+  // (llm/retrying_llm.h) for transient-failure tolerance.
   LlmClient* enhancement_llm = nullptr;
+  // Failure model (common/deadline.h): Create() checks both at stage
+  // boundaries and threads them through the enhancement pass; every
+  // explanation query checks them at entry. An expired deadline fails the
+  // required deterministic stages (analysis, template generation) with
+  // kDeadlineExceeded but only degrades the optional enhancement;
+  // cancellation aborts everything with kCancelled.
+  Deadline deadline;
+  CancellationToken cancel;
   // Limits for the structural analysis.
   AnalyzerOptions analyzer;
 };
@@ -95,6 +107,11 @@ class Explainer {
   }
   const Verbalizer& verbalizer() const { return *verbalizer_; }
   const ExplainerOptions& options() const { return options_; }
+
+  // Segments across all templates whose enhancement degraded to
+  // deterministic text (§4.4 extended contract); 0 when enhancement was
+  // clean or disabled. Reports surface these (ReportBuilder::Build).
+  int64_t degraded_segment_count() const;
 
  private:
   Explainer(Program program, DomainGlossary glossary,

@@ -80,6 +80,25 @@ Result<std::string> ReportBuilder::Build() const {
       }
     }
   }
+  // Degradation contract (§4.4 extended): a report built from templates
+  // whose enhancement fell back to deterministic wording says so — the
+  // degradation is part of the answer, never silently swallowed.
+  if (const int64_t degraded = explainer_->degraded_segment_count();
+      degraded > 0) {
+    doc += "## Degraded explanations\n\n";
+    doc += "_" + std::to_string(degraded) +
+           " template segment(s) fell back to their deterministic wording "
+           "after enhancement failures; the explanations above are complete "
+           "but less fluent._\n\n";
+    for (const ExplanationTemplate& tmpl : explainer_->templates()) {
+      for (const TemplateSegment& segment : tmpl.segments) {
+        if (!segment.degraded) continue;
+        doc += "- `" + tmpl.name + "` / rule `" + segment.rule_label +
+               "`: " + segment.degradation_reason + "\n";
+      }
+    }
+    doc += "\n";
+  }
   if (metrics_appendix_ && !metrics_.empty()) {
     doc += "\n## Run metrics\n\n";
     if (!metrics_.counters.empty()) {

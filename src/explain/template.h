@@ -34,6 +34,13 @@ struct TemplateSegment {
   // The aggregate input variable (token that expands to the contributor
   // list), empty when the rule has no aggregate.
   std::string aggregate_input_variable;
+  // Degradation accounting (§4.4 extended — DESIGN.md "Failure model"):
+  // set when enhancement failed for this segment (LLM error surviving
+  // retry, token-check omission, expired deadline) and it kept its
+  // deterministic text. The reason names the failure so reports can
+  // surface it instead of silently swallowing the fallback.
+  bool degraded = false;
+  std::string degradation_reason;
 
   const std::string& effective_text() const {
     return enhanced_text.empty() ? text : enhanced_text;

@@ -293,6 +293,14 @@ std::string MetricsSnapshotToJson(const obs::MetricsSnapshot& snapshot) {
     json.Key("p50").Number(h.p50);
     json.Key("p95").Number(h.p95);
     json.Key("p99").Number(h.p99);
+    // Full bucket layout (buckets has a trailing overflow cell), so offline
+    // analyses (stats SummarizeHistogram boxplots) can run from the file.
+    json.Key("bounds").BeginArray();
+    for (double bound : h.bounds) json.Number(bound);
+    json.EndArray();
+    json.Key("buckets").BeginArray();
+    for (int64_t bucket : h.buckets) json.Int(bucket);
+    json.EndArray();
     json.EndObject();
   }
   json.EndObject();

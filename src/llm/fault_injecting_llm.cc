@@ -1,0 +1,63 @@
+#include "llm/fault_injecting_llm.h"
+
+#include <functional>
+
+namespace templex {
+
+namespace {
+
+// SplitMix64 finalizer: one uniform draw in [0, 1) from the call identity.
+// A full Rng per call would work too, but one mix is enough for a fault
+// coin and keeps the decorator allocation-free.
+double UniformDraw(uint64_t seed, uint64_t call, uint64_t prompt_hash) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (call + 1) + prompt_hash;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultInjectingLlm::FaultInjectingLlm(LlmClient* inner,
+                                     FaultInjectingLlmOptions options)
+    : inner_(inner), options_(options) {}
+
+Result<std::string> FaultInjectingLlm::Complete(const std::string& prompt) {
+  const int64_t call = calls_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.clock != nullptr && options_.latency_ms > 0) {
+    options_.clock->AdvanceMillis(options_.latency_ms);
+  }
+  const double draw =
+      UniformDraw(options_.seed, static_cast<uint64_t>(call),
+                  std::hash<std::string>{}(prompt));
+  double threshold = options_.transient_error_rate;
+  if (draw < threshold) {
+    faults_.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        "injected transient LLM fault (call " + std::to_string(call) + ")");
+  }
+  threshold += options_.permanent_error_rate;
+  if (draw < threshold) {
+    faults_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Internal("injected permanent LLM fault (call " +
+                            std::to_string(call) + ")");
+  }
+  Result<std::string> completion = inner_->Complete(prompt);
+  if (!completion.ok()) return completion;
+  threshold += options_.truncate_rate;
+  if (draw < threshold) {
+    faults_.fetch_add(1, std::memory_order_relaxed);
+    const std::string& text = completion.value();
+    return text.substr(0, text.size() / 2);
+  }
+  threshold += options_.garbage_rate;
+  if (draw < threshold) {
+    faults_.fetch_add(1, std::memory_order_relaxed);
+    return std::string(
+        "As a large language model, I cannot comply with this request.");
+  }
+  return completion;
+}
+
+}  // namespace templex

@@ -1,0 +1,78 @@
+#ifndef TEMPLEX_LLM_FAULT_INJECTING_LLM_H_
+#define TEMPLEX_LLM_FAULT_INJECTING_LLM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/deadline.h"
+#include "llm/llm_client.h"
+
+namespace templex {
+
+// Behavioural parameters of the fault injector. Rates are cumulative-draw
+// probabilities in [0, 1]; their sum should not exceed 1 (a single uniform
+// draw per call decides which fault, if any, fires — transient first, so
+// transient_error_rate = 1.0 means every call fails transiently).
+struct FaultInjectingLlmOptions {
+  uint64_t seed = 20250806;
+
+  // Probability of a transient failure (kResourceExhausted — the
+  // rate-limit/overload class RetryingLlm retries).
+  double transient_error_rate = 0.0;
+  // Probability of a permanent failure (kInternal — never retried).
+  double permanent_error_rate = 0.0;
+  // Probability of returning only a truncated prefix of the inner output
+  // (a cut-off completion; downstream token checks must catch it).
+  double truncate_rate = 0.0;
+  // Probability of returning garbage text unrelated to the prompt
+  // (a hallucinated completion; ditto).
+  double garbage_rate = 0.0;
+
+  // Simulated per-call latency, charged to `clock` before the outcome is
+  // decided — so a Deadline on the same VirtualClock can expire mid-
+  // pipeline and the deadline/latency interplay is testable without
+  // sleeping. Ignored when `clock` is null.
+  int64_t latency_ms = 0;
+  VirtualClock* clock = nullptr;
+};
+
+// A seedable LlmClient decorator injecting deterministic faults, for chaos
+// tests of the §4.4 degradation contract: however the LLM fails — error,
+// truncation, garbage, latency — the explanation pipeline must survive and
+// fall back to deterministic template text, never crash or silently drop a
+// segment.
+//
+// Deterministic: each call's outcome is derived from (seed, call index,
+// prompt), so a fixed seed replays the exact same fault sequence, while a
+// retried prompt (new call index) can draw a different outcome — which is
+// what lets retry tests model "transient" faults honestly.
+//
+// Thread-compatible: concurrent Complete() calls are safe (the call
+// counter is atomic), though the interleaving then decides which call
+// draws which fault.
+class FaultInjectingLlm : public LlmClient {
+ public:
+  explicit FaultInjectingLlm(LlmClient* inner,
+                             FaultInjectingLlmOptions options = {});
+
+  Result<std::string> Complete(const std::string& prompt) override;
+
+  const FaultInjectingLlmOptions& options() const { return options_; }
+
+  // Accounting for test assertions.
+  int64_t calls() const { return calls_.load(std::memory_order_relaxed); }
+  int64_t injected_faults() const {
+    return faults_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  LlmClient* inner_;
+  FaultInjectingLlmOptions options_;
+  std::atomic<int64_t> calls_{0};
+  std::atomic<int64_t> faults_{0};
+};
+
+}  // namespace templex
+
+#endif  // TEMPLEX_LLM_FAULT_INJECTING_LLM_H_

@@ -1,0 +1,83 @@
+#include "llm/retrying_llm.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace templex {
+
+namespace {
+
+// 1-2-5 ladder in milliseconds for the llm.retry.backoff_ms histogram (the
+// default registry bounds are seconds-scaled latencies, wrong for waits).
+std::vector<double> BackoffBoundsMs() {
+  std::vector<double> bounds;
+  for (double decade = 1.0; decade < 10000.0; decade *= 10.0) {
+    bounds.push_back(decade);
+    bounds.push_back(decade * 2.0);
+    bounds.push_back(decade * 5.0);
+  }
+  bounds.push_back(10000.0);
+  return bounds;
+}
+
+}  // namespace
+
+bool IsTransientLlmError(StatusCode code) {
+  return code == StatusCode::kResourceExhausted;
+}
+
+RetryingLlm::RetryingLlm(LlmClient* inner, RetryingLlmOptions options)
+    : inner_(inner), options_(options) {
+  if (options_.max_attempts < 1) options_.max_attempts = 1;
+}
+
+int64_t RetryingLlm::BackoffMillisForRetry(int retry) const {
+  const double backoff =
+      static_cast<double>(options_.initial_backoff_ms) *
+      std::pow(options_.backoff_multiplier, retry - 1);
+  return std::min(options_.max_backoff_ms,
+                  static_cast<int64_t>(std::llround(backoff)));
+}
+
+Result<std::string> RetryingLlm::Complete(const std::string& prompt) {
+  obs::MetricsRegistry* metrics = options_.metrics;
+  for (int attempt = 1;; ++attempt) {
+    TEMPLEX_RETURN_IF_ERROR(CheckInterruption(options_.deadline,
+                                              options_.cancel, "llm call"));
+    Result<std::string> completion = inner_->Complete(prompt);
+    if (completion.ok()) return completion;
+    if (!IsTransientLlmError(completion.status().code())) {
+      if (metrics != nullptr) {
+        metrics->counter("llm.failures.permanent")->Increment();
+      }
+      return completion;
+    }
+    if (metrics != nullptr) {
+      metrics->counter("llm.failures.transient")->Increment();
+    }
+    if (attempt >= options_.max_attempts) return completion;
+    const int64_t backoff_ms = BackoffMillisForRetry(attempt);
+    if (!options_.deadline.infinite() &&
+        options_.deadline.RemainingMillis() <= backoff_ms) {
+      return Status::DeadlineExceeded(
+          "llm retry backoff of " + std::to_string(backoff_ms) +
+          "ms would overrun the deadline; last error: " +
+          completion.status().ToString());
+    }
+    if (metrics != nullptr) {
+      metrics->counter("llm.retries")->Increment();
+      metrics->histogram("llm.retry.backoff_ms", BackoffBoundsMs())
+          ->Observe(static_cast<double>(backoff_ms));
+    }
+    if (options_.clock != nullptr) {
+      options_.clock->AdvanceMillis(backoff_ms);
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    }
+  }
+}
+
+}  // namespace templex

@@ -1,0 +1,70 @@
+#ifndef TEMPLEX_LLM_RETRYING_LLM_H_
+#define TEMPLEX_LLM_RETRYING_LLM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/deadline.h"
+#include "llm/llm_client.h"
+#include "obs/metrics.h"
+
+namespace templex {
+
+// True for error codes worth retrying: rate-limit/overload-class failures
+// (kResourceExhausted). Permanent codes — malformed prompts, internal
+// faults — propagate immediately, as do kDeadlineExceeded/kCancelled (the
+// run's own budget is gone; another attempt cannot help).
+bool IsTransientLlmError(StatusCode code);
+
+struct RetryingLlmOptions {
+  // Total attempts, including the first; must be >= 1.
+  int max_attempts = 3;
+  // Exponential backoff: initial * multiplier^(retry - 1), capped.
+  // Deterministic (no jitter): a fixed fault seed replays a fixed schedule.
+  int64_t initial_backoff_ms = 100;
+  double backoff_multiplier = 2.0;
+  int64_t max_backoff_ms = 2000;
+
+  // Failure model (common/deadline.h). Checked before every attempt; a
+  // backoff that would overrun the deadline is not taken — the call returns
+  // kDeadlineExceeded immediately instead of sleeping into a lost cause.
+  Deadline deadline;
+  CancellationToken cancel;
+
+  // When set, backoff advances this clock instead of sleeping the thread —
+  // tests drive the full retry/deadline interplay in virtual time.
+  VirtualClock* clock = nullptr;
+
+  // Optional accounting (may be null; must outlive the decorator):
+  //   llm.retries                    re-attempts taken
+  //   llm.failures.transient         transient errors observed (pre-retry)
+  //   llm.failures.permanent         permanent errors propagated
+  //   llm.retry.backoff_ms           histogram of backoff waits, in ms
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+// A bounded exponential-backoff retry decorator around any LlmClient.
+// Retries only transient codes (IsTransientLlmError) and respects the
+// deadline and cancellation token; whatever error survives the attempts is
+// returned unchanged, so the caller's degradation policy (§4.4 fallback to
+// deterministic template text) sees the true terminal failure.
+class RetryingLlm : public LlmClient {
+ public:
+  explicit RetryingLlm(LlmClient* inner, RetryingLlmOptions options = {});
+
+  Result<std::string> Complete(const std::string& prompt) override;
+
+  // The deterministic backoff schedule: wait after the `retry`-th failed
+  // attempt (1-based). Exposed for tests.
+  int64_t BackoffMillisForRetry(int retry) const;
+
+  const RetryingLlmOptions& options() const { return options_; }
+
+ private:
+  LlmClient* inner_;
+  RetryingLlmOptions options_;
+};
+
+}  // namespace templex
+
+#endif  // TEMPLEX_LLM_RETRYING_LLM_H_

@@ -234,6 +234,8 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     h.p50 = histogram->Percentile(50.0);
     h.p95 = histogram->Percentile(95.0);
     h.p99 = histogram->Percentile(99.0);
+    h.bounds = histogram->bounds();
+    h.buckets = histogram->bucket_counts();
     snapshot.histograms.push_back(std::move(h));
   }
   return snapshot;

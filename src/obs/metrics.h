@@ -126,6 +126,13 @@ struct HistogramSnapshot {
   double p50 = 0.0;
   double p95 = 0.0;
   double p99 = 0.0;
+  // The full bucket layout (ascending upper bounds; buckets has one extra
+  // trailing overflow cell), so recorded metrics feed downstream analyses
+  // — e.g. stats/descriptive.h SummarizeHistogram() reconstructs the
+  // five-number boxplot summaries behind the Figure-18-style plots without
+  // bespoke timers.
+  std::vector<double> bounds;
+  std::vector<int64_t> buckets;
 };
 
 struct MetricsSnapshot {

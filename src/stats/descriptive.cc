@@ -50,6 +50,45 @@ BoxStats Summarize(const std::vector<double>& sample) {
   return stats;
 }
 
+namespace {
+
+// Quantile over snapshot buckets, mirroring obs::Histogram::Percentile:
+// find the bucket holding the target rank, interpolate inside it, clamp to
+// the exact observed range. The overflow bucket reports the observed max.
+double BucketQuantile(const obs::HistogramSnapshot& h, double q) {
+  const double target = q * static_cast<double>(h.count);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < h.buckets.size(); ++i) {
+    if (h.buckets[i] == 0) continue;
+    const int64_t next = cumulative + h.buckets[i];
+    if (static_cast<double>(next) >= target) {
+      if (i >= h.bounds.size()) return h.max;
+      const double lower = i == 0 ? 0.0 : h.bounds[i - 1];
+      const double upper = h.bounds[i];
+      const double fraction = (target - static_cast<double>(cumulative)) /
+                              static_cast<double>(h.buckets[i]);
+      return std::clamp(lower + (upper - lower) * fraction, h.min, h.max);
+    }
+    cumulative = next;
+  }
+  return h.max;
+}
+
+}  // namespace
+
+BoxStats SummarizeHistogram(const obs::HistogramSnapshot& histogram) {
+  BoxStats stats;
+  if (histogram.count <= 0) return stats;
+  stats.n = static_cast<int>(histogram.count);
+  stats.min = histogram.min;
+  stats.max = histogram.max;
+  stats.mean = histogram.sum / static_cast<double>(histogram.count);
+  stats.q1 = BucketQuantile(histogram, 0.25);
+  stats.median = BucketQuantile(histogram, 0.5);
+  stats.q3 = BucketQuantile(histogram, 0.75);
+  return stats;
+}
+
 std::string BoxStats::ToString() const {
   char buffer[160];
   std::snprintf(buffer, sizeof(buffer),

@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace templex {
 
 // Descriptive statistics used by the evaluation harness. All functions
@@ -34,6 +36,15 @@ struct BoxStats {
 };
 
 BoxStats Summarize(const std::vector<double>& sample);
+
+// Five-number summary from a recorded latency histogram (e.g. the
+// chase.phase.*.seconds snapshots), so Figure-18-style boxplots run off the
+// observability layer instead of bespoke timers. min/max/mean are exact
+// (the snapshot carries them); quartiles interpolate linearly inside the
+// containing bucket, clamped to [min, max] — the same Prometheus-style
+// estimate obs::Histogram::Percentile reports. Empty histograms summarize
+// to an all-zero BoxStats with n = 0.
+BoxStats SummarizeHistogram(const obs::HistogramSnapshot& histogram);
 
 }  // namespace templex
 

@@ -1,0 +1,125 @@
+#include "common/deadline.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <thread>
+#include <vector>
+
+namespace templex {
+namespace {
+
+TEST(VirtualClockTest, AdvancesMonotonically) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.NowMicros(), 0);
+  clock.AdvanceMicros(5);
+  EXPECT_EQ(clock.NowMicros(), 5);
+  clock.AdvanceMillis(2);
+  EXPECT_EQ(clock.NowMicros(), 2005);
+  clock.AdvanceSeconds(0.001);
+  EXPECT_EQ(clock.NowMicros(), 3005);
+}
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  Deadline deadline;
+  EXPECT_TRUE(deadline.infinite());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_EQ(deadline.RemainingMillis(), std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(Deadline::Infinite().RemainingSeconds(),
+            std::numeric_limits<double>::max());
+}
+
+TEST(DeadlineTest, ExpiresOnVirtualClock) {
+  VirtualClock clock;
+  Deadline deadline = Deadline::AfterMillis(10, &clock);
+  EXPECT_FALSE(deadline.infinite());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_EQ(deadline.RemainingMillis(), 10);
+  clock.AdvanceMillis(9);
+  EXPECT_FALSE(deadline.expired());
+  clock.AdvanceMillis(1);
+  EXPECT_TRUE(deadline.expired());
+  EXPECT_LE(deadline.RemainingMillis(), 0);
+}
+
+TEST(DeadlineTest, ZeroBudgetIsAlreadyExpired) {
+  VirtualClock clock;
+  EXPECT_TRUE(Deadline::AfterMillis(0, &clock).expired());
+  // Also on the real steady clock: "the budget was gone before we started".
+  EXPECT_TRUE(Deadline::AfterMillis(0).expired());
+}
+
+TEST(DeadlineTest, AfterSecondsMatchesAfterMillis) {
+  VirtualClock clock;
+  Deadline deadline = Deadline::AfterSeconds(0.5, &clock);
+  EXPECT_NEAR(deadline.RemainingSeconds(), 0.5, 1e-9);
+  clock.AdvanceMillis(499);
+  EXPECT_FALSE(deadline.expired());
+  clock.AdvanceMillis(1);
+  EXPECT_TRUE(deadline.expired());
+}
+
+TEST(DeadlineTest, RealClockDeadlineEventuallyExpires) {
+  Deadline deadline = Deadline::AfterMillis(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(deadline.expired());
+}
+
+TEST(DeadlineTest, CopiesShareTheGoverningClock) {
+  VirtualClock clock;
+  Deadline original = Deadline::AfterMillis(10, &clock);
+  Deadline copy = original;
+  clock.AdvanceMillis(10);
+  EXPECT_TRUE(original.expired());
+  EXPECT_TRUE(copy.expired());
+}
+
+TEST(CancellationTokenTest, CopiesShareState) {
+  CancellationToken token;
+  CancellationToken copy = token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(copy.cancelled());
+  copy.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(copy.cancelled());
+}
+
+TEST(CancellationTokenTest, StaysCancelledForever) {
+  CancellationToken token;
+  token.Cancel();
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancellationTokenTest, CancelFromAnotherThreadIsObserved) {
+  CancellationToken token;
+  std::thread canceller([token] { token.Cancel(); });
+  canceller.join();
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CheckInterruptionTest, OkWhenNeitherFired) {
+  EXPECT_TRUE(
+      CheckInterruption(Deadline(), CancellationToken(), "here").ok());
+}
+
+TEST(CheckInterruptionTest, DeadlineExceededNamesTheSite) {
+  VirtualClock clock;
+  Deadline deadline = Deadline::AfterMillis(0, &clock);
+  Status status = CheckInterruption(deadline, CancellationToken(), "round");
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(status.message().find("round"), std::string::npos);
+}
+
+TEST(CheckInterruptionTest, CancellationWinsOverExpiredDeadline) {
+  VirtualClock clock;
+  Deadline deadline = Deadline::AfterMillis(0, &clock);
+  CancellationToken cancel;
+  cancel.Cancel();
+  Status status = CheckInterruption(deadline, cancel, "match");
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  EXPECT_NE(status.message().find("match"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace templex

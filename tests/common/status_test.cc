@@ -29,6 +29,20 @@ TEST(StatusTest, FactoriesProduceDistinctCodes) {
   EXPECT_EQ(Status::FailedPrecondition("x").code(),
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+}
+
+TEST(StatusTest, FailureModelCodesRoundTrip) {
+  Status deadline = Status::DeadlineExceeded("budget spent");
+  EXPECT_FALSE(deadline.ok());
+  EXPECT_EQ(deadline.ToString(), "DeadlineExceeded: budget spent");
+  Status cancelled = Status::Cancelled("user abort");
+  EXPECT_FALSE(cancelled.ok());
+  EXPECT_EQ(cancelled.ToString(), "Cancelled: user abort");
+  EXPECT_FALSE(deadline == cancelled);
+  EXPECT_EQ(cancelled, Status::Cancelled("user abort"));
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
@@ -40,6 +54,9 @@ TEST(StatusTest, EqualityComparesCodeAndMessage) {
 TEST(StatusTest, CodeNames) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kCancelled), "Cancelled");
 }
 
 TEST(ResultTest, HoldsValue) {

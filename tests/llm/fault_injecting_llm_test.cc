@@ -1,0 +1,144 @@
+#include "llm/fault_injecting_llm.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "llm/simulated_llm.h"
+
+namespace templex {
+namespace {
+
+// An inner client whose output is trivially recognizable, so truncation and
+// garbage injection are distinguishable from honest completions.
+class EchoLlm : public LlmClient {
+ public:
+  Result<std::string> Complete(const std::string& prompt) override {
+    return "echo: " + prompt;
+  }
+};
+
+TEST(FaultInjectingLlmTest, ZeroRatesPassThrough) {
+  EchoLlm inner;
+  FaultInjectingLlm llm(&inner);
+  Result<std::string> completion = llm.Complete("hello");
+  ASSERT_TRUE(completion.ok());
+  EXPECT_EQ(completion.value(), "echo: hello");
+  EXPECT_EQ(llm.calls(), 1);
+  EXPECT_EQ(llm.injected_faults(), 0);
+}
+
+TEST(FaultInjectingLlmTest, AllTransientFailsEveryCall) {
+  EchoLlm inner;
+  FaultInjectingLlmOptions options;
+  options.transient_error_rate = 1.0;
+  FaultInjectingLlm llm(&inner, options);
+  for (int i = 0; i < 20; ++i) {
+    Result<std::string> completion = llm.Complete("p" + std::to_string(i));
+    EXPECT_EQ(completion.status().code(), StatusCode::kResourceExhausted);
+  }
+  EXPECT_EQ(llm.injected_faults(), 20);
+}
+
+TEST(FaultInjectingLlmTest, AllPermanentIsInternal) {
+  EchoLlm inner;
+  FaultInjectingLlmOptions options;
+  options.permanent_error_rate = 1.0;
+  FaultInjectingLlm llm(&inner, options);
+  EXPECT_EQ(llm.Complete("p").status().code(), StatusCode::kInternal);
+}
+
+TEST(FaultInjectingLlmTest, TruncationReturnsHalfThePayload) {
+  EchoLlm inner;
+  FaultInjectingLlmOptions options;
+  options.truncate_rate = 1.0;
+  FaultInjectingLlm llm(&inner, options);
+  Result<std::string> completion = llm.Complete("0123456789");
+  ASSERT_TRUE(completion.ok());
+  const std::string full = "echo: 0123456789";
+  EXPECT_EQ(completion.value(), full.substr(0, full.size() / 2));
+}
+
+TEST(FaultInjectingLlmTest, GarbageIsUnrelatedToThePrompt) {
+  EchoLlm inner;
+  FaultInjectingLlmOptions options;
+  options.garbage_rate = 1.0;
+  FaultInjectingLlm llm(&inner, options);
+  Result<std::string> completion = llm.Complete("prompt");
+  ASSERT_TRUE(completion.ok());
+  EXPECT_EQ(completion.value().find("prompt"), std::string::npos);
+}
+
+TEST(FaultInjectingLlmTest, SameSeedReplaysTheSameFaultSequence) {
+  auto run = [](uint64_t seed) {
+    EchoLlm inner;
+    FaultInjectingLlmOptions options;
+    options.seed = seed;
+    options.transient_error_rate = 0.5;
+    FaultInjectingLlm llm(&inner, options);
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 64; ++i) {
+      outcomes.push_back(llm.Complete("p" + std::to_string(i)).ok());
+    }
+    return outcomes;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(FaultInjectingLlmTest, RetriedPromptCanDrawADifferentOutcome) {
+  // The call index is part of the draw, so a 50% injector cannot fail the
+  // same prompt forever — which is what makes its faults "transient".
+  EchoLlm inner;
+  FaultInjectingLlmOptions options;
+  options.transient_error_rate = 0.5;
+  FaultInjectingLlm llm(&inner, options);
+  bool succeeded = false;
+  for (int attempt = 0; attempt < 20 && !succeeded; ++attempt) {
+    succeeded = llm.Complete("same prompt").ok();
+  }
+  EXPECT_TRUE(succeeded);
+}
+
+TEST(FaultInjectingLlmTest, ApproximatesTheConfiguredRate) {
+  EchoLlm inner;
+  FaultInjectingLlmOptions options;
+  options.transient_error_rate = 0.25;
+  FaultInjectingLlm llm(&inner, options);
+  for (int i = 0; i < 1000; ++i) {
+    (void)llm.Complete("p" + std::to_string(i));
+  }
+  EXPECT_GT(llm.injected_faults(), 180);
+  EXPECT_LT(llm.injected_faults(), 320);
+}
+
+TEST(FaultInjectingLlmTest, LatencyChargesTheVirtualClock) {
+  EchoLlm inner;
+  VirtualClock clock;
+  FaultInjectingLlmOptions options;
+  options.latency_ms = 40;
+  options.clock = &clock;
+  FaultInjectingLlm llm(&inner, options);
+  Deadline deadline = Deadline::AfterMillis(100, &clock);
+  ASSERT_TRUE(llm.Complete("a").ok());
+  ASSERT_TRUE(llm.Complete("b").ok());
+  EXPECT_EQ(clock.NowMicros(), 80 * 1000);
+  EXPECT_FALSE(deadline.expired());
+  ASSERT_TRUE(llm.Complete("c").ok());
+  // The third call pushed virtual time past the 100ms budget: callers that
+  // check the deadline between calls now observe expiry.
+  EXPECT_TRUE(deadline.expired());
+}
+
+TEST(FaultInjectingLlmTest, ComposesWithTheSimulatedLlm) {
+  SimulatedLlm inner;
+  FaultInjectingLlmOptions options;
+  options.transient_error_rate = 1.0;
+  FaultInjectingLlm llm(&inner, options);
+  EXPECT_EQ(llm.Paraphrase("Alfa owns Bravo.").status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace templex

@@ -1,0 +1,203 @@
+#include "llm/retrying_llm.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "llm/fault_injecting_llm.h"
+#include "llm/simulated_llm.h"
+#include "obs/metrics.h"
+
+namespace templex {
+namespace {
+
+// Fails the first `failures` calls with the given code, then succeeds.
+class FlakyLlm : public LlmClient {
+ public:
+  FlakyLlm(int failures, StatusCode code)
+      : failures_(failures), code_(code) {}
+
+  Result<std::string> Complete(const std::string& prompt) override {
+    ++calls_;
+    if (calls_ <= failures_) {
+      return Status(code_, "flaky failure " + std::to_string(calls_));
+    }
+    return "ok: " + prompt;
+  }
+
+  int calls() const { return calls_; }
+
+ private:
+  int failures_;
+  StatusCode code_;
+  int calls_ = 0;
+};
+
+TEST(RetryingLlmTest, TransientCodeClassification) {
+  EXPECT_TRUE(IsTransientLlmError(StatusCode::kResourceExhausted));
+  EXPECT_FALSE(IsTransientLlmError(StatusCode::kInternal));
+  EXPECT_FALSE(IsTransientLlmError(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(IsTransientLlmError(StatusCode::kDeadlineExceeded));
+  EXPECT_FALSE(IsTransientLlmError(StatusCode::kCancelled));
+}
+
+TEST(RetryingLlmTest, RecoversFromTransientFailures) {
+  FlakyLlm inner(2, StatusCode::kResourceExhausted);
+  VirtualClock clock;
+  RetryingLlmOptions options;
+  options.max_attempts = 3;
+  options.clock = &clock;
+  RetryingLlm llm(&inner, options);
+  Result<std::string> completion = llm.Complete("p");
+  ASSERT_TRUE(completion.ok());
+  EXPECT_EQ(completion.value(), "ok: p");
+  EXPECT_EQ(inner.calls(), 3);
+}
+
+TEST(RetryingLlmTest, PermanentErrorsPropagateWithoutRetry) {
+  FlakyLlm inner(2, StatusCode::kInternal);
+  VirtualClock clock;
+  RetryingLlmOptions options;
+  options.clock = &clock;
+  RetryingLlm llm(&inner, options);
+  EXPECT_EQ(llm.Complete("p").status().code(), StatusCode::kInternal);
+  EXPECT_EQ(inner.calls(), 1);
+}
+
+TEST(RetryingLlmTest, ExhaustedAttemptsReturnTheLastTransientError) {
+  FlakyLlm inner(100, StatusCode::kResourceExhausted);
+  VirtualClock clock;
+  RetryingLlmOptions options;
+  options.max_attempts = 3;
+  options.clock = &clock;
+  RetryingLlm llm(&inner, options);
+  Status status = llm.Complete("p").status();
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(status.message().find("flaky failure 3"), std::string::npos);
+  EXPECT_EQ(inner.calls(), 3);
+}
+
+TEST(RetryingLlmTest, BackoffScheduleIsExponentialAndCapped) {
+  RetryingLlmOptions options;
+  options.initial_backoff_ms = 100;
+  options.backoff_multiplier = 2.0;
+  options.max_backoff_ms = 500;
+  FlakyLlm inner(0, StatusCode::kOk);
+  RetryingLlm llm(&inner, options);
+  EXPECT_EQ(llm.BackoffMillisForRetry(1), 100);
+  EXPECT_EQ(llm.BackoffMillisForRetry(2), 200);
+  EXPECT_EQ(llm.BackoffMillisForRetry(3), 400);
+  EXPECT_EQ(llm.BackoffMillisForRetry(4), 500);  // capped
+  EXPECT_EQ(llm.BackoffMillisForRetry(5), 500);
+}
+
+TEST(RetryingLlmTest, BackoffAdvancesTheVirtualClockOnly) {
+  FlakyLlm inner(2, StatusCode::kResourceExhausted);
+  VirtualClock clock;
+  RetryingLlmOptions options;
+  options.max_attempts = 3;
+  options.initial_backoff_ms = 100;
+  options.clock = &clock;
+  RetryingLlm llm(&inner, options);
+  ASSERT_TRUE(llm.Complete("p").ok());
+  EXPECT_EQ(clock.NowMicros(), (100 + 200) * 1000);
+}
+
+TEST(RetryingLlmTest, RefusesBackoffThatWouldOverrunTheDeadline) {
+  FlakyLlm inner(100, StatusCode::kResourceExhausted);
+  VirtualClock clock;
+  RetryingLlmOptions options;
+  options.max_attempts = 5;
+  options.initial_backoff_ms = 100;
+  options.clock = &clock;
+  options.deadline = Deadline::AfterMillis(150, &clock);
+  RetryingLlm llm(&inner, options);
+  Status status = llm.Complete("p").status();
+  // First attempt fails, 100ms backoff fits in the 150ms budget; the second
+  // attempt fails and the 200ms backoff would overrun — refuse, don't sleep.
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(status.message().find("overrun"), std::string::npos);
+  EXPECT_EQ(inner.calls(), 2);
+}
+
+TEST(RetryingLlmTest, ExpiredDeadlineShortCircuitsBeforeTheFirstCall) {
+  FlakyLlm inner(0, StatusCode::kOk);
+  VirtualClock clock;
+  RetryingLlmOptions options;
+  options.clock = &clock;
+  options.deadline = Deadline::AfterMillis(0, &clock);
+  RetryingLlm llm(&inner, options);
+  EXPECT_EQ(llm.Complete("p").status().code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(inner.calls(), 0);
+}
+
+TEST(RetryingLlmTest, CancellationAborts) {
+  FlakyLlm inner(0, StatusCode::kOk);
+  VirtualClock clock;
+  RetryingLlmOptions options;
+  options.clock = &clock;
+  options.cancel.Cancel();
+  RetryingLlm llm(&inner, options);
+  EXPECT_EQ(llm.Complete("p").status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(inner.calls(), 0);
+}
+
+TEST(RetryingLlmTest, MetricsAccountForRetriesAndFailures) {
+  obs::MetricsRegistry registry;
+  FlakyLlm transient(2, StatusCode::kResourceExhausted);
+  VirtualClock clock;
+  RetryingLlmOptions options;
+  options.max_attempts = 3;
+  options.clock = &clock;
+  options.metrics = &registry;
+  RetryingLlm llm(&transient, options);
+  ASSERT_TRUE(llm.Complete("p").ok());
+
+  FlakyLlm permanent(1, StatusCode::kInternal);
+  RetryingLlm llm2(&permanent, options);
+  EXPECT_FALSE(llm2.Complete("p").ok());
+
+  obs::MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.FindCounter("llm.retries")->value, 2);
+  EXPECT_EQ(snapshot.FindCounter("llm.failures.transient")->value, 2);
+  EXPECT_EQ(snapshot.FindCounter("llm.failures.permanent")->value, 1);
+  const obs::HistogramSnapshot* backoff =
+      snapshot.FindHistogram("llm.retry.backoff_ms");
+  ASSERT_NE(backoff, nullptr);
+  EXPECT_EQ(backoff->count, 2);
+  EXPECT_DOUBLE_EQ(backoff->sum, 100.0 + 200.0);
+}
+
+TEST(RetryingLlmTest, DeterministicUnderAFixedFaultSeed) {
+  // The full decorator stack replays byte-identically under a fixed seed:
+  // same outcomes, same retry counts, same virtual-clock time.
+  auto run = [] {
+    SimulatedLlm sim;
+    FaultInjectingLlmOptions fault_options;
+    fault_options.seed = 99;
+    fault_options.transient_error_rate = 0.5;
+    FaultInjectingLlm faulty(&sim, fault_options);
+    VirtualClock clock;
+    RetryingLlmOptions retry_options;
+    retry_options.max_attempts = 4;
+    retry_options.clock = &clock;
+    RetryingLlm llm(&faulty, retry_options);
+    std::vector<std::string> outcomes;
+    for (int i = 0; i < 16; ++i) {
+      Result<std::string> completion =
+          llm.Complete(kRephrasePrompt + std::string("Sentence number ") +
+                       std::to_string(i) + ".");
+      outcomes.push_back(completion.ok() ? completion.value()
+                                         : completion.status().ToString());
+    }
+    outcomes.push_back(std::to_string(clock.NowMicros()));
+    outcomes.push_back(std::to_string(faulty.calls()));
+    return outcomes;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace templex

@@ -59,5 +59,73 @@ TEST(SummarizeTest, ToStringReadable) {
   EXPECT_NE(text.find("med="), std::string::npos);
 }
 
+TEST(SummarizeHistogramTest, EmptyHistogramIsAllZero) {
+  obs::HistogramSnapshot snapshot;
+  BoxStats stats = SummarizeHistogram(snapshot);
+  EXPECT_EQ(stats.n, 0);
+  EXPECT_DOUBLE_EQ(stats.min, 0.0);
+  EXPECT_DOUBLE_EQ(stats.median, 0.0);
+  EXPECT_DOUBLE_EQ(stats.max, 0.0);
+}
+
+TEST(SummarizeHistogramTest, ExactFieldsComeFromTheSnapshot) {
+  obs::Histogram histogram({1.0, 2.0, 5.0, 10.0});
+  for (double v : {0.5, 1.5, 3.0, 4.0, 8.0}) histogram.Observe(v);
+  obs::HistogramSnapshot snapshot;
+  snapshot.count = histogram.count();
+  snapshot.sum = histogram.sum();
+  snapshot.min = histogram.min();
+  snapshot.max = histogram.max();
+  snapshot.bounds = histogram.bounds();
+  snapshot.buckets = histogram.bucket_counts();
+  BoxStats stats = SummarizeHistogram(snapshot);
+  EXPECT_EQ(stats.n, 5);
+  EXPECT_DOUBLE_EQ(stats.min, 0.5);
+  EXPECT_DOUBLE_EQ(stats.max, 8.0);
+  EXPECT_DOUBLE_EQ(stats.mean, (0.5 + 1.5 + 3.0 + 4.0 + 8.0) / 5.0);
+}
+
+TEST(SummarizeHistogramTest, QuartilesMatchThePercentileEstimator) {
+  // The bucket-walk quartiles must agree with obs::Histogram::Percentile on
+  // the same data — SummarizeHistogram is that estimator applied offline to
+  // an exported snapshot.
+  obs::Histogram histogram({0.001, 0.002, 0.005, 0.01, 0.02, 0.05});
+  for (int i = 1; i <= 40; ++i) histogram.Observe(0.0005 * i);
+  obs::HistogramSnapshot snapshot;
+  snapshot.count = histogram.count();
+  snapshot.sum = histogram.sum();
+  snapshot.min = histogram.min();
+  snapshot.max = histogram.max();
+  snapshot.bounds = histogram.bounds();
+  snapshot.buckets = histogram.bucket_counts();
+  BoxStats stats = SummarizeHistogram(snapshot);
+  EXPECT_DOUBLE_EQ(stats.q1, histogram.Percentile(25.0));
+  EXPECT_DOUBLE_EQ(stats.median, histogram.Percentile(50.0));
+  EXPECT_DOUBLE_EQ(stats.q3, histogram.Percentile(75.0));
+  // And the box is ordered as a box must be.
+  EXPECT_LE(stats.min, stats.q1);
+  EXPECT_LE(stats.q1, stats.median);
+  EXPECT_LE(stats.median, stats.q3);
+  EXPECT_LE(stats.q3, stats.max);
+}
+
+TEST(SummarizeHistogramTest, OverflowBucketReportsTheObservedMax) {
+  obs::Histogram histogram({1.0});
+  histogram.Observe(0.5);
+  histogram.Observe(50.0);
+  histogram.Observe(80.0);
+  histogram.Observe(90.0);
+  obs::HistogramSnapshot snapshot;
+  snapshot.count = histogram.count();
+  snapshot.sum = histogram.sum();
+  snapshot.min = histogram.min();
+  snapshot.max = histogram.max();
+  snapshot.bounds = histogram.bounds();
+  snapshot.buckets = histogram.bucket_counts();
+  BoxStats stats = SummarizeHistogram(snapshot);
+  EXPECT_DOUBLE_EQ(stats.q3, 90.0);
+  EXPECT_DOUBLE_EQ(stats.max, 90.0);
+}
+
 }  // namespace
 }  // namespace templex

@@ -59,13 +59,23 @@ struct Snapshot {
 };
 
 Result<Snapshot> LoadSnapshot(const std::string& path) {
+  // Every load failure surfaces as InvalidArgument naming the offending
+  // path — a missing or malformed snapshot is a usage problem, and the
+  // message must say which of the two inputs to fix.
   Result<std::string> text = ReadFileToString(path);
-  if (!text.ok()) return text.status();
+  if (!text.ok()) {
+    return Status::InvalidArgument("cannot load metrics snapshot '" + path +
+                                   "': " + text.status().message());
+  }
   Result<JsonValue> parsed = ParseJson(text.value());
-  if (!parsed.ok()) return parsed.status();
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("cannot load metrics snapshot '" + path +
+                                   "': " + parsed.status().message());
+  }
   const JsonValue& root = parsed.value();
   if (!root.is_object()) {
-    return Status::InvalidArgument(path + ": not a metrics snapshot object");
+    return Status::InvalidArgument("cannot load metrics snapshot '" + path +
+                                   "': not a metrics snapshot object");
   }
   Snapshot snapshot;
   auto load_scalars = [&root](const char* section,

@@ -39,6 +39,10 @@
 // --threads    match-phase threads for each chase round (default 1 =
 //              sequential, 0 = hardware concurrency); results are
 //              byte-identical across thread counts.
+// --deadline-ms overall wall-clock budget in milliseconds for reasoning
+//              and explanation. When it expires the chase aborts cleanly
+//              with DeadlineExceeded, and any LLM enhancement still
+//              pending degrades to the deterministic template wording.
 
 #include <cstdio>
 #include <cstdlib>
@@ -49,6 +53,7 @@
 #include <vector>
 
 #include "apps/application.h"
+#include "common/deadline.h"
 #include "core/termination.h"
 #include "explain/report.h"
 #include "datalog/parser.h"
@@ -71,7 +76,7 @@ int Usage() {
       "                   [--templates] [--dump-json FILE]\n"
       "                   [--metrics-json FILE] [--trace-out FILE] "
       "[--profile]\n"
-      "                   [--threads N]\n");
+      "                   [--threads N] [--deadline-ms N]\n");
   return 2;
 }
 
@@ -105,6 +110,7 @@ int main(int argc, char** argv) {
   bool interactive = false;
   bool profile = false;
   int num_threads = 1;
+  long deadline_ms = -1;  // < 0: no deadline
 
   // Normalize "--flag=value" into "--flag" "value" so both forms parse.
   std::vector<std::string> args;
@@ -163,6 +169,15 @@ int main(int argc, char** argv) {
         return Usage();
       }
       num_threads = static_cast<int>(parsed);
+    } else if (arg == "--deadline-ms") {
+      const std::string& value = next("--deadline-ms");
+      char* end = nullptr;
+      const long parsed = std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || parsed <= 0) {
+        std::fprintf(stderr, "--deadline-ms expects a positive integer\n");
+        return Usage();
+      }
+      deadline_ms = parsed;
     } else if (arg == "--anonymize") {
       anonymize = true;
     } else if (arg == "--templates") {
@@ -186,6 +201,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
     std::exit(1);
   };
+
+  // One budget for the whole invocation: the clock starts here, before the
+  // pipeline build, so parsing + chase + explanation all share it.
+  const Deadline deadline = deadline_ms > 0
+                                ? Deadline::AfterMillis(deadline_ms)
+                                : Deadline::Infinite();
 
   Result<std::string> source = ReadFileToString(program_path);
   if (!source.ok()) die(source.status());
@@ -235,6 +256,7 @@ int main(int argc, char** argv) {
   }
 
   ExplainerOptions explainer_options;
+  explainer_options.deadline = deadline;
   if (observe) {
     explainer_options.metrics = &registry;
     explainer_options.tracer = &tracer;
@@ -251,6 +273,7 @@ int main(int argc, char** argv) {
   }
   ChaseConfig chase_config;
   chase_config.num_threads = num_threads;
+  chase_config.deadline = deadline;
   if (observe) {
     chase_config.metrics = &registry;
     chase_config.tracer = &tracer;
