@@ -1,0 +1,34 @@
+#ifndef TEMPLEX_COMMON_HASH_H_
+#define TEMPLEX_COMMON_HASH_H_
+
+#include <cstdint>
+
+namespace templex {
+
+// The one hash-mixing implementation for the project. Fact dedup, the
+// fact-store position index, and value hashing all route through these two
+// functions; tests/common/hash_test.cc pins their avalanche quality, so a
+// weak ad-hoc mix can't quietly creep back into a hot index.
+
+// 64-bit finalizer (splitmix64): flipping any single input bit flips each
+// output bit with probability ~1/2.
+inline uint64_t HashMix(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+// Folds `value` into `seed`, order-sensitively: HashCombine(HashCombine(s,
+// a), b) and HashCombine(HashCombine(s, b), a) differ, and combining the
+// same value twice does not cancel (unlike a bare XOR chain).
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return HashMix(seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                         (seed >> 2)));
+}
+
+}  // namespace templex
+
+#endif  // TEMPLEX_COMMON_HASH_H_

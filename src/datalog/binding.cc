@@ -3,10 +3,16 @@
 namespace templex {
 
 std::optional<Value> Binding::Get(std::string_view name) const {
+  const Value* v = Find(name);
+  if (v == nullptr) return std::nullopt;
+  return *v;
+}
+
+const Value* Binding::Find(std::string_view name) const {
   for (const auto& [n, v] : entries_) {
-    if (n == name) return v;
+    if (n == name) return &v;
   }
-  return std::nullopt;
+  return nullptr;
 }
 
 bool Binding::Bind(const std::string& name, const Value& value) {
@@ -25,6 +31,21 @@ void Binding::Set(const std::string& name, const Value& value) {
     }
   }
   entries_.emplace_back(name, value);
+}
+
+void Binding::AssignSlots(const std::vector<std::string>& names,
+                          const Value* values) {
+  if (entries_.size() == names.size()) {
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      entries_[i].second = values[i];
+    }
+    return;
+  }
+  entries_.clear();
+  entries_.reserve(names.size());
+  for (size_t i = 0; i < names.size(); ++i) {
+    entries_.emplace_back(names[i], values[i]);
+  }
 }
 
 bool Binding::Merge(const Binding& other) {

@@ -21,6 +21,10 @@ class Binding {
   // Returns the bound value, or nullopt.
   std::optional<Value> Get(std::string_view name) const;
 
+  // Pointer form of Get for hot paths: no Value copy, no optional. The
+  // pointer is invalidated by any mutation of the binding.
+  const Value* Find(std::string_view name) const;
+
   bool IsBound(std::string_view name) const { return Get(name).has_value(); }
 
   // Binds name -> value. If already bound, returns true iff the existing
@@ -35,6 +39,14 @@ class Binding {
   // variable (this binding is left partially merged in that case, so callers
   // should treat `false` as a hard error).
   bool Merge(const Binding& other);
+
+  // Rebuilds this binding as {names[i] -> values[i]} for i in
+  // [0, names.size()). Storage is reused: when the binding already holds
+  // names.size() entries, they are assumed to carry these exact names in
+  // this exact order and only the values are overwritten — the contract
+  // under which the match enumerator re-materializes its scratch binding
+  // from the compiled rule plan's slots on every match.
+  void AssignSlots(const std::vector<std::string>& names, const Value* values);
 
   // Drops every entry past the first `n` (no-op when n >= size()). Entries
   // are append-ordered, so this is the undo-trail primitive the match

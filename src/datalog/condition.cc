@@ -37,8 +37,8 @@ std::unique_ptr<Expr> Expr::Clone() const {
 Result<Value> Expr::Eval(const Binding& binding) const {
   if (is_leaf()) {
     if (term_.is_constant()) return term_.constant_value();
-    std::optional<Value> v = binding.Get(term_.variable_name());
-    if (!v.has_value()) {
+    const Value* v = binding.Find(term_.variable_name());
+    if (v == nullptr) {
       return Status::InvalidArgument("unbound variable in expression: " +
                                      term_.variable_name());
     }

@@ -1,0 +1,31 @@
+#include "datalog/symbol.h"
+
+namespace templex {
+
+SymbolTable::SymbolTable(const SymbolTable& other) {
+  for (const std::string& name : other.names_) Intern(name);
+}
+
+SymbolTable& SymbolTable::operator=(const SymbolTable& other) {
+  if (this == &other) return *this;
+  names_.clear();
+  ids_.clear();
+  for (const std::string& name : other.names_) Intern(name);
+  return *this;
+}
+
+Symbol SymbolTable::Intern(std::string_view name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  const Symbol symbol = static_cast<Symbol>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(std::string_view(names_.back()), symbol);
+  return symbol;
+}
+
+Symbol SymbolTable::Lookup(std::string_view name) const {
+  auto it = ids_.find(name);
+  return it == ids_.end() ? kInvalidSymbol : it->second;
+}
+
+}  // namespace templex

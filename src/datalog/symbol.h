@@ -1,0 +1,58 @@
+#ifndef TEMPLEX_DATALOG_SYMBOL_H_
+#define TEMPLEX_DATALOG_SYMBOL_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace templex {
+
+// Dense id of an interned string. The chase hot path (candidate lookup,
+// atom matching, per-predicate indexing) compares and indexes Symbols —
+// one int each — instead of hashing and comparing strings; the owning
+// SymbolTable resolves the id back to its string at the explain/io
+// boundary.
+using Symbol = int32_t;
+
+inline constexpr Symbol kInvalidSymbol = -1;
+
+// Interns strings into dense Symbols: the i-th distinct string interned
+// gets id i. Lookups never invalidate; interning more strings never
+// invalidates existing ids or `name()` references (names live in a deque).
+//
+// Each ChaseGraph owns one table, so symbols are only comparable within
+// one graph (and its moved-from successors — ChaseEngine::Extend moves the
+// base graph, table included, so ids stay stable across extensions).
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+
+  // The id map holds views into names_; copying must rebuild it against
+  // the copy's own storage. Moves keep deque nodes alive, so the default
+  // member-wise move preserves the views.
+  SymbolTable(const SymbolTable& other);
+  SymbolTable& operator=(const SymbolTable& other);
+  SymbolTable(SymbolTable&&) = default;
+  SymbolTable& operator=(SymbolTable&&) = default;
+
+  // Id of `name`, interning it first if unknown.
+  Symbol Intern(std::string_view name);
+
+  // Id of `name`, or kInvalidSymbol if it was never interned.
+  Symbol Lookup(std::string_view name) const;
+
+  // The string behind a valid symbol of this table.
+  const std::string& name(Symbol symbol) const { return names_[symbol]; }
+
+  int size() const { return static_cast<int>(names_.size()); }
+
+ private:
+  std::deque<std::string> names_;  // symbol -> string; stable addresses
+  std::unordered_map<std::string_view, Symbol> ids_;  // views into names_
+};
+
+}  // namespace templex
+
+#endif  // TEMPLEX_DATALOG_SYMBOL_H_

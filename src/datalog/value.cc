@@ -2,6 +2,7 @@
 
 #include <functional>
 
+#include "common/hash.h"
 #include "common/number_format.h"
 
 namespace templex {
@@ -91,19 +92,22 @@ std::string Value::ToDisplayString() const {
 
 size_t Value::Hash() const {
   // Numerics hash through their double image so that Int(2) and Double(2.0)
-  // collide, consistent with operator==.
+  // collide, consistent with operator==. Every branch runs through HashMix /
+  // HashCombine (common/hash.h): these hashes feed the fact store's packed
+  // position keys directly, so they need full avalanche on their own.
   if (is_numeric()) {
-    return std::hash<double>{}(AsDouble());
+    return HashMix(std::hash<double>{}(AsDouble()));
   }
   switch (kind()) {
     case Kind::kNull:
-      return 0x9e3779b9;
+      return HashMix(0x9e3779b9ULL);
     case Kind::kBool:
-      return std::hash<bool>{}(bool_value()) ^ 0x517cc1b7;
+      return HashMix(0x517cc1b7ULL + (bool_value() ? 1 : 0));
     case Kind::kString:
-      return std::hash<std::string>{}(string_value());
+      return HashMix(std::hash<std::string>{}(string_value()));
     case Kind::kLabeledNull:
-      return std::hash<int64_t>{}(labeled_null_id()) ^ 0x2545f491;
+      return HashCombine(0x2545f491ULL,
+                         static_cast<uint64_t>(labeled_null_id()));
     default:
       return 0;
   }

@@ -8,39 +8,13 @@
 #include "engine/aggregate_state.h"
 #include "engine/fact_store.h"
 #include "engine/matcher.h"
+#include "engine/rule_plan.h"
 #include "engine/stratification.h"
 #include "obs/trace.h"
 
 namespace templex {
 
 namespace {
-
-bool VectorContains(const std::vector<std::string>& names,
-                    const std::string& n) {
-  return std::find(names.begin(), names.end(), n) != names.end();
-}
-
-// Precomputed per-rule evaluation plan.
-struct RulePlan {
-  const Rule* rule = nullptr;
-  int index = 0;
-
-  std::vector<const Condition*> pre_conditions;
-  std::vector<const Condition*> post_conditions;
-
-  // Aggregation plan (set iff rule->has_aggregate()).
-  std::vector<std::string> group_vars;
-  std::vector<std::string> contributor_vars;  // residual (implicit) key
-  bool explicit_contributor_keys = false;
-
-  std::vector<std::string> existential_vars;
-
-  // Per-rule instruments, resolved once in Prepare(); null when the run has
-  // no MetricsRegistry attached (the hot loop then pays one pointer test).
-  obs::Counter* matches_counter = nullptr;    // body homomorphisms
-  obs::Counter* firings_counter = nullptr;    // head emissions attempted
-  obs::Counter* duplicates_counter = nullptr; // emissions already present
-};
 
 // Metric segment for a rule: its label, or "rule<i>" for unlabeled rules.
 std::string RuleMetricName(const Rule& rule, int index) {
@@ -91,41 +65,6 @@ void RecordInterruption(obs::MetricsRegistry* metrics, const Status& status) {
   }
 }
 
-RulePlan MakePlan(const Rule& rule, int index) {
-  RulePlan plan;
-  plan.rule = &rule;
-  plan.index = index;
-  plan.pre_conditions = rule.PreAggregateConditions();
-  plan.post_conditions = rule.PostAggregateConditions();
-  plan.existential_vars = rule.ExistentialVariableNames();
-  if (rule.has_aggregate()) {
-    const Aggregate& agg = *rule.aggregate;
-    // Group key: head variables plus post-condition variables, minus the
-    // aggregate result and existential variables.
-    auto add_group_var = [&plan, &agg](const std::string& v) {
-      if (v == agg.result_variable) return;
-      if (VectorContains(plan.existential_vars, v)) return;
-      if (!VectorContains(plan.group_vars, v)) plan.group_vars.push_back(v);
-    };
-    for (const std::string& v : rule.HeadVariableNames()) add_group_var(v);
-    for (const Condition* c : plan.post_conditions) {
-      for (const std::string& v : c->VariableNames()) add_group_var(v);
-    }
-    plan.explicit_contributor_keys = !agg.contributor_keys.empty();
-    if (!plan.explicit_contributor_keys) {
-      for (const std::string& v : rule.AllBoundVariableNames()) {
-        if (v == agg.result_variable) continue;
-        if (!VectorContains(plan.group_vars, v)) {
-          plan.contributor_vars.push_back(v);
-        }
-      }
-    } else {
-      plan.contributor_vars = agg.contributor_keys;
-    }
-  }
-  return plan;
-}
-
 class ChaseRun {
  public:
   ChaseRun(const Program& program, const ChaseConfig& config, ThreadPool* pool)
@@ -150,6 +89,7 @@ class ChaseRun {
       if (inserted) store_.OnNewFact(id);
     }
     result_.stats.initial_facts = result_.graph.size();
+    CompilePlans();
 
     // Stratified evaluation: each stratum runs to fixpoint before any rule
     // that negates its predicates starts. Programs without negation form a
@@ -227,6 +167,7 @@ class ChaseRun {
     result_.stats.initial_facts += added;
     extend_added_ = added;
     extend_start_size_ = result_.graph.size();
+    CompilePlans();
     TEMPLEX_RETURN_IF_ERROR(RunStratum(strata.value()[0], delta_begin));
     extend_timer.Stop();
     return Finalize();
@@ -284,8 +225,7 @@ class ChaseRun {
         result_.violations.push_back(std::move(violation));
         return Status::OK();
       };
-      TEMPLEX_RETURN_IF_ERROR(EnumerateMatches(*plan.rule, store_,
-                                               result_.graph,
+      TEMPLEX_RETURN_IF_ERROR(EnumerateMatches(plan, store_, result_.graph,
                                                /*delta_atom=*/-1,
                                                /*delta_begin=*/0, limit,
                                                callback));
@@ -296,7 +236,8 @@ class ChaseRun {
   Status Prepare() {
     TEMPLEX_RETURN_IF_ERROR(program_.Validate());
     for (size_t i = 0; i < program_.rules().size(); ++i) {
-      plans_.push_back(MakePlan(program_.rules()[i], static_cast<int>(i)));
+      plans_.push_back(
+          MakeRulePlan(program_.rules()[i], static_cast<int>(i)));
     }
     if (metrics_ != nullptr) {
       for (RulePlan& plan : plans_) {
@@ -316,6 +257,17 @@ class ChaseRun {
     return Status::OK();
   }
 
+  // Compiles each plan's match program against the run graph's symbol
+  // table (interning, so rule predicates without facts still resolve).
+  // Must run after the graph that will be chased owns its final
+  // SymbolTable — in Extend the base graph, table included, is moved in
+  // after Prepare() — and before any rule enumeration.
+  void CompilePlans() {
+    for (RulePlan& plan : plans_) {
+      CompileMatchPlan(&plan, &result_.graph.symbols());
+    }
+  }
+
   Result<ChaseResult> Finalize() {
     result_.stats.derived_facts =
         result_.graph.size() - result_.stats.initial_facts;
@@ -333,6 +285,14 @@ class ChaseRun {
           ->Increment(result_.stats.derived_facts);
       metrics_->counter("chase.rounds")->Increment(result_.stats.rounds);
       metrics_->counter("chase.matches")->Increment(result_.stats.matches);
+      // Index shape — deterministic across thread counts (the saturated
+      // graph is), so these participate in the determinism tests.
+      metrics_->counter("chase.index.predicates")
+          ->Increment(static_cast<int64_t>(result_.graph.symbols().size()));
+      metrics_->counter("chase.index.position_keys")
+          ->Increment(store_.position_keys());
+      metrics_->counter("chase.index.position_entries")
+          ->Increment(store_.position_entries());
       if (extend_mode_) {
         metrics_->counter("chase.extend.runs")->Increment();
         metrics_->counter("chase.extend.delta_facts")
@@ -427,13 +387,12 @@ class ChaseRun {
       return ProcessMatch(plan, match);
     };
     if (delta_begin < 0 || !config_.semi_naive) {
-      return EnumerateMatches(*plan.rule, store_, result_.graph,
+      return EnumerateMatches(plan, store_, result_.graph,
                               /*delta_atom=*/-1, /*delta_begin=*/0, limit,
                               callback);
     }
-    for (size_t pos = 0; pos < plan.rule->body.size(); ++pos) {
-      TEMPLEX_RETURN_IF_ERROR(EnumerateMatches(*plan.rule, store_,
-                                               result_.graph,
+    for (size_t pos = 0; pos < plan.body.size(); ++pos) {
+      TEMPLEX_RETURN_IF_ERROR(EnumerateMatches(plan, store_, result_.graph,
                                                static_cast<int>(pos),
                                                delta_begin, limit, callback));
     }
@@ -507,7 +466,7 @@ class ChaseRun {
   void RunMatchTask(MatchTask* task) const {
     InterruptProbe probe(config_.deadline, config_.cancel, "match task");
     task->status = EnumerateMatches(
-        *task->plan->rule, store_, result_.graph, task->window,
+        *task->plan, store_, result_.graph, task->window,
         [this, task, &probe](const BodyMatch& match) -> Status {
           TEMPLEX_RETURN_IF_ERROR(probe.Check());
           ++task->matches;
@@ -573,11 +532,43 @@ class ChaseRun {
     const std::vector<FactId>& candidates =
         store_.CandidatesFor(atom, binding);
     const size_t n = candidates.size();
-    for (size_t i = 0; i < n; ++i) {
-      Binding probe = binding;
-      if (MatchAtom(atom, result_.graph.node(candidates[i]).fact, &probe)) {
-        return false;
+    if (n == 0) return true;
+    // Fast path: when every term resolves up front (constant or bound
+    // variable — validation guarantees negated variables are body-bound, so
+    // this is the always case), candidates reduce to flat value compares
+    // with no per-candidate Binding copy.
+    const int arity = atom.arity();
+    std::vector<Value> want(static_cast<size_t>(arity));
+    bool any_unbound = false;
+    for (int pos = 0; pos < arity; ++pos) {
+      const Term& t = atom.terms[pos];
+      if (t.is_constant()) {
+        want[pos] = t.constant_value();
+      } else if (const Value* v = binding.Find(t.variable_name());
+                 v != nullptr) {
+        want[pos] = *v;
+      } else {
+        any_unbound = true;
+        break;
       }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const Fact& fact = result_.graph.node(candidates[i]).fact;
+      if (any_unbound) {
+        // Unbound negated variable: full unification (handles repeated
+        // variables within the atom).
+        Binding probe = binding;
+        if (MatchAtom(atom, fact, &probe)) return false;
+        continue;
+      }
+      // Candidate lists are keyed by hashed position keys, so a collision
+      // can surface another predicate's facts — check like MatchAtom does.
+      if (atom.predicate != fact.predicate || arity != fact.arity()) continue;
+      bool matched = true;
+      for (int pos = 0; pos < arity && matched; ++pos) {
+        matched = want[pos] == fact.args[pos];
+      }
+      if (matched) return false;
     }
     return true;
   }
@@ -592,6 +583,17 @@ class ChaseRun {
     out->reset();
     for (const Atom& atom : plan.rule->negative_body) {
       if (!NegatedAtomHolds(atom, match.binding)) return Status::OK();
+    }
+    if (plan.rule->assignments.empty()) {
+      // Nothing can rebind: filter on the match binding in place and pay
+      // the Binding copy only for matches that survive the conditions.
+      for (const Condition* c : plan.pre_conditions) {
+        Result<bool> pass = c->Eval(match.binding);
+        if (!pass.ok()) return pass.status();
+        if (!pass.value()) return Status::OK();
+      }
+      *out = match.binding;
+      return Status::OK();
     }
     Binding binding = match.binding;
     for (const Assignment& a : plan.rule->assignments) {
@@ -614,27 +616,41 @@ class ChaseRun {
   Status ApplyHead(const RulePlan& plan, Binding binding,
                    std::vector<FactId> facts) {
     if (plan.rule->has_aggregate()) {
-      return ProcessAggregateMatch(plan, std::move(binding),
-                                   std::move(facts));
+      return ProcessAggregateMatch(plan, binding, facts);
     }
     return EmitHead(plan, std::move(binding), std::move(facts), {});
   }
 
   Status ProcessMatch(const RulePlan& plan, const BodyMatch& match) {
+    if (plan.rule->has_aggregate() && plan.rule->assignments.empty()) {
+      // Sequential aggregate fast path: filter and contribute straight off
+      // the enumerator's scratch binding — ProcessAggregateMatch copies a
+      // Binding only when the group actually emits. Mirrors EvalMatch's
+      // no-assignment filtering; keep the two in sync.
+      for (const Atom& atom : plan.rule->negative_body) {
+        if (!NegatedAtomHolds(atom, match.binding)) return Status::OK();
+      }
+      for (const Condition* c : plan.pre_conditions) {
+        Result<bool> pass = c->Eval(match.binding);
+        if (!pass.ok()) return pass.status();
+        if (!pass.value()) return Status::OK();
+      }
+      return ProcessAggregateMatch(plan, match.binding, match.facts);
+    }
     std::optional<Binding> binding;
     TEMPLEX_RETURN_IF_ERROR(EvalMatch(plan, match, &binding));
     if (!binding.has_value()) return Status::OK();
     return ApplyHead(plan, std::move(*binding), match.facts);
   }
 
-  Status ProcessAggregateMatch(const RulePlan& plan, Binding binding,
-                               std::vector<FactId> facts) {
+  Status ProcessAggregateMatch(const RulePlan& plan, const Binding& binding,
+                               const std::vector<FactId>& facts) {
     // Stopped before EmitHead so head-creation time is not double-counted.
     std::optional<ScopedTimer> phase_timer;
     if (metrics_ != nullptr) phase_timer.emplace(&aggregate_seconds_);
     const Aggregate& agg = *plan.rule->aggregate;
-    std::optional<Value> input = binding.Get(agg.input_variable);
-    if (!input.has_value()) {
+    const Value* input = binding.Find(agg.input_variable);
+    if (input == nullptr) {
       return Status::Internal("aggregate input unbound in rule '" +
                               plan.rule->label + "'");
     }
@@ -647,7 +663,8 @@ class ChaseRun {
       std::vector<Value> key;
       key.reserve(vars.size());
       for (const std::string& v : vars) {
-        key.push_back(binding.Get(v).value_or(Value::Null()));
+        const Value* bound = binding.Find(v);
+        key.push_back(bound != nullptr ? *bound : Value::Null());
       }
       return key;
     };
@@ -656,14 +673,15 @@ class ChaseRun {
         key_of(plan.group_vars), key_of(plan.contributor_vars), *input,
         facts);
     if (!emission.has_value()) return Status::OK();
-    binding.Set(agg.result_variable, emission->aggregate);
+    Binding out = binding;
+    out.Set(agg.result_variable, emission->aggregate);
     for (const Condition* c : plan.post_conditions) {
-      Result<bool> pass = c->Eval(binding);
+      Result<bool> pass = c->Eval(out);
       if (!pass.ok()) return pass.status();
       if (!pass.value()) return Status::OK();
     }
     if (phase_timer.has_value()) phase_timer->Stop();
-    return EmitHead(plan, std::move(binding), emission->all_parents,
+    return EmitHead(plan, std::move(out), emission->all_parents,
                     std::move(emission->contributions));
   }
 
@@ -677,15 +695,15 @@ class ChaseRun {
     // the head predicate agrees with the head atom on all positions bound by
     // the body, no new fact (with fresh nulls) is invented.
     if (!plan.existential_vars.empty()) {
-      for (FactId id : store_.FactsOf(head.predicate)) {
+      for (FactId id : result_.graph.FactsOf(plan.head_predicate)) {
         const Fact& existing = result_.graph.node(id).fact;
         bool agrees = true;
         for (int pos = 0; pos < head.arity() && agrees; ++pos) {
           const Term& t = head.terms[pos];
           if (t.is_constant()) {
             agrees = t.constant_value() == existing.args[pos];
-          } else if (std::optional<Value> v = binding.Get(t.variable_name());
-                     v.has_value()) {
+          } else if (const Value* v = binding.Find(t.variable_name());
+                     v != nullptr) {
             agrees = *v == existing.args[pos];
           }
         }
@@ -700,13 +718,14 @@ class ChaseRun {
         fact.args.push_back(t.constant_value());
         continue;
       }
-      std::optional<Value> v = binding.Get(t.variable_name());
-      if (!v.has_value()) {
+      const Value* v = binding.Find(t.variable_name());
+      if (v == nullptr) {
         Value null = Value::LabeledNull(next_null_id_++);
-        binding.Set(t.variable_name(), null);
-        v = null;
+        binding.Set(t.variable_name(), null);  // invalidates `v`, not `null`
+        fact.args.push_back(std::move(null));
+        continue;
       }
-      fact.args.push_back(std::move(*v));
+      fact.args.push_back(*v);
     }
     if (result_.graph.size() >= config_.max_facts) {
       return Status::ResourceExhausted("chase exceeded max_facts=" +
@@ -741,16 +760,10 @@ class ChaseRun {
         config_.max_alternative_derivations) {
       return;
     }
-    // Acyclic only: no parent may (transitively, along primary
-    // derivations) depend on the fact itself, or proofs built from the
-    // alternative would loop. Ids are no proxy here — a fact derived later
-    // can still be independent.
-    for (FactId parent : candidate.parents) {
-      if (parent == id) return;
-      const std::vector<FactId> closure =
-          result_.graph.AncestorClosure(parent);
-      if (std::binary_search(closure.begin(), closure.end(), id)) return;
-    }
+    // Distinctness first: re-finding an already-recorded derivation is by
+    // far the common case (aggregates re-emit their group every round), and
+    // comparing (rule, parents) is a few int compares — the ancestor walk
+    // below is O(sub-graph) and must only run for genuinely new stories.
     auto same = [&candidate](int rule_index,
                              const std::vector<FactId>& parents) {
       return candidate.rule_index == rule_index &&
@@ -759,6 +772,13 @@ class ChaseRun {
     if (same(existing.rule_index, existing.parents)) return;
     for (const Derivation& alt : existing.alternatives) {
       if (same(alt.rule_index, alt.parents)) return;
+    }
+    // Acyclic only: no parent may (transitively, along primary
+    // derivations) depend on the fact itself, or proofs built from the
+    // alternative would loop. Ids are no proxy here — a fact derived later
+    // can still be independent.
+    for (FactId parent : candidate.parents) {
+      if (result_.graph.DependsOn(parent, id)) return;
     }
     Derivation derivation;
     derivation.rule_index = candidate.rule_index;

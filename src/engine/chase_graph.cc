@@ -5,18 +5,28 @@
 namespace templex {
 
 std::pair<FactId, bool> ChaseGraph::AddNode(ChaseNode node) {
-  auto it = index_.find(node.fact);
-  if (it != index_.end()) return {it->second, false};
-  FactId id = static_cast<FactId>(nodes_.size());
-  index_.emplace(node.fact, id);
+  const size_t hash = node.fact.Hash();
+  auto [first, last] = index_.equal_range(hash);
+  for (auto it = first; it != last; ++it) {
+    if (nodes_[it->second].fact == node.fact) return {it->second, false};
+  }
+  const FactId id = static_cast<FactId>(nodes_.size());
+  node.fact.pred_symbol = symbols_.Intern(node.fact.predicate);
+  if (node.fact.pred_symbol >= static_cast<Symbol>(by_predicate_.size())) {
+    by_predicate_.resize(node.fact.pred_symbol + 1);
+  }
+  by_predicate_[node.fact.pred_symbol].push_back(id);
+  index_.emplace(hash, id);
   nodes_.push_back(std::move(node));
   return {id, true};
 }
 
 std::optional<FactId> ChaseGraph::Find(const Fact& fact) const {
-  auto it = index_.find(fact);
-  if (it == index_.end()) return std::nullopt;
-  return it->second;
+  auto [first, last] = index_.equal_range(fact.Hash());
+  for (auto it = first; it != last; ++it) {
+    if (nodes_[it->second].fact == fact) return it->second;
+  }
+  return std::nullopt;
 }
 
 std::vector<FactId> ChaseGraph::AncestorClosure(FactId id) const {
@@ -37,12 +47,36 @@ std::vector<FactId> ChaseGraph::AncestorClosure(FactId id) const {
   return result;
 }
 
-std::vector<FactId> ChaseGraph::FactsOf(const std::string& predicate) const {
-  std::vector<FactId> result;
-  for (FactId id = 0; id < size(); ++id) {
-    if (nodes_[id].fact.predicate == predicate) result.push_back(id);
+bool ChaseGraph::DependsOn(FactId node, FactId target) const {
+  if (target > node) return false;  // ancestors only have smaller ids
+  if (target == node) return true;
+  // Only ids in (target, node] can lie on a path to target; track visits
+  // over just that range.
+  const FactId base = target + 1;
+  std::vector<bool> seen(static_cast<size_t>(node - target), false);
+  std::vector<FactId> stack = {node};
+  while (!stack.empty()) {
+    const FactId current = stack.back();
+    stack.pop_back();
+    if (current == target) return true;
+    if (current < base) continue;  // below target: no way back up
+    if (seen[current - base]) continue;
+    seen[current - base] = true;
+    for (FactId parent : nodes_[current].parents) stack.push_back(parent);
   }
-  return result;
+  return false;
+}
+
+const std::vector<FactId>& ChaseGraph::FactsOf(
+    const std::string& predicate) const {
+  return FactsOf(symbols_.Lookup(predicate));
+}
+
+const std::vector<FactId>& ChaseGraph::FactsOf(Symbol predicate) const {
+  if (predicate < 0 || predicate >= static_cast<Symbol>(by_predicate_.size())) {
+    return empty_;
+  }
+  return by_predicate_[predicate];
 }
 
 ChaseGraph ChaseGraph::WithAlternative(FactId id,

@@ -1,12 +1,14 @@
 #ifndef TEMPLEX_ENGINE_CHASE_GRAPH_H_
 #define TEMPLEX_ENGINE_CHASE_GRAPH_H_
 
+#include <deque>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "datalog/binding.h"
+#include "datalog/symbol.h"
 #include "engine/fact.h"
 
 namespace templex {
@@ -64,12 +66,20 @@ struct ChaseNode {
 // The chase graph: facts as nodes, derivation edges from parents to the
 // derived fact. Nodes are appended in derivation order; a fact is stored at
 // most once (set semantics), so the graph doubles as the fact database.
+//
+// The graph owns the run's SymbolTable: AddNode interns each fact's
+// predicate and stamps Fact::pred_symbol, and maintains a dense
+// per-predicate id index, so the engine's hot paths (matching, candidate
+// indexing, existential reuse, pattern queries) operate on ints and O(1)
+// lookups while the stored strings keep every report and explanation
+// byte-identical.
 class ChaseGraph {
  public:
   ChaseGraph() = default;
 
   // Adds a node for `node.fact` if the fact is new. Returns (id, true) when
-  // inserted, (existing id, false) otherwise.
+  // inserted, (existing id, false) otherwise. On insertion the fact's
+  // predicate is interned and `pred_symbol` assigned.
   std::pair<FactId, bool> AddNode(ChaseNode node);
 
   // Id of an existing fact, if present.
@@ -84,8 +94,29 @@ class ChaseGraph {
   // sub-chase-graph that derives the fact, topologically ordered.
   std::vector<FactId> AncestorClosure(FactId id) const;
 
-  // All facts of a given predicate.
-  std::vector<FactId> FactsOf(const std::string& predicate) const;
+  // True iff `target` is in AncestorClosure(node) — node transitively
+  // depends on target along primary derivations (node == target counts).
+  // Equivalent to a membership test on AncestorClosure but far cheaper for
+  // a negative or shallow answer: primary parents always precede their
+  // node, so the walk prunes every branch that drops below `target`
+  // instead of materializing the closure down to the extensional facts.
+  // Precondition: every node's primary parents have smaller ids — true for
+  // any graph built by the chase, but not for WithAlternative copies,
+  // whose swapped-in primaries may point forward.
+  bool DependsOn(FactId node, FactId target) const;
+
+  // All facts of a given predicate, ascending by id. O(1): returns the
+  // per-predicate index maintained by AddNode. The reference stays valid
+  // while facts are appended (per-predicate lists live in a deque), but
+  // appended ids become visible in it — iterate over a size snapshot when
+  // inserting concurrently with a scan.
+  const std::vector<FactId>& FactsOf(const std::string& predicate) const;
+  const std::vector<FactId>& FactsOf(Symbol predicate) const;
+
+  // The graph's predicate/constant interner. Mutable access lets the chase
+  // intern rule predicates when compiling match plans against this graph.
+  const SymbolTable& symbols() const { return symbols_; }
+  SymbolTable& symbols() { return symbols_; }
 
   // GraphViz DOT rendering of the sub-graph deriving `goal` (the whole
   // graph if goal == kInvalidFactId). Edges are labelled with rule labels.
@@ -98,7 +129,17 @@ class ChaseGraph {
 
  private:
   std::vector<ChaseNode> nodes_;
-  std::unordered_map<Fact, FactId, FactHash> index_;
+  // Dedup index keyed by the fact's (cached-at-insert) hash; candidates are
+  // verified against nodes_, so a 64-bit collision costs one extra compare,
+  // never a wrong merge. Storing ids instead of Fact keys halves the memory
+  // the old unordered_map<Fact, FactId> spent on key copies.
+  std::unordered_multimap<size_t, FactId> index_;
+  SymbolTable symbols_;
+  // pred_symbol -> ascending fact ids. Deque: growing the outer container
+  // when a new predicate appears must not move existing lists — FactsOf
+  // references are held across insertions by the match enumerator.
+  std::deque<std::vector<FactId>> by_predicate_;
+  std::vector<FactId> empty_;
 };
 
 }  // namespace templex

@@ -1,5 +1,7 @@
 #include "engine/fact.h"
 
+#include "common/hash.h"
+
 namespace templex {
 
 std::string Fact::ToString() const {
@@ -14,11 +16,11 @@ std::string Fact::ToString() const {
 }
 
 size_t Fact::Hash() const {
-  size_t h = std::hash<std::string>{}(predicate);
+  uint64_t h = HashMix(std::hash<std::string>{}(predicate));
   for (const Value& v : args) {
-    h ^= v.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h = HashCombine(h, v.Hash());
   }
-  return h;
+  return static_cast<size_t>(h);
 }
 
 }  // namespace templex

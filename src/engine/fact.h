@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "datalog/symbol.h"
 #include "datalog/value.h"
 
 namespace templex {
@@ -20,6 +21,12 @@ inline constexpr FactId kInvalidFactId = -1;
 struct Fact {
   std::string predicate;
   std::vector<Value> args;
+  // Interned id of `predicate`, assigned by the owning ChaseGraph when the
+  // fact is inserted (kInvalidSymbol until then). The match/index hot path
+  // compares this int; equality and hashing below stay on the string, so
+  // boundary-constructed facts (parsers, queries, tests) and interned facts
+  // agree. Only meaningful relative to that graph's SymbolTable.
+  Symbol pred_symbol = kInvalidSymbol;
 
   Fact() = default;
   Fact(std::string pred, std::vector<Value> as)

@@ -4,20 +4,23 @@ namespace templex {
 
 void FactStore::OnNewFact(FactId id) {
   const Fact& fact = graph_->node(id).fact;
-  by_predicate_[fact.predicate].push_back(id);
   for (int pos = 0; pos < fact.arity(); ++pos) {
-    by_position_[PosKey{fact.predicate, pos, fact.args[pos]}].push_back(id);
+    by_position_[PosKey(fact.pred_symbol, pos, fact.args[pos])].push_back(id);
   }
 }
 
-const std::vector<FactId>& FactStore::FactsOf(
-    const std::string& predicate) const {
-  auto it = by_predicate_.find(predicate);
-  return it == by_predicate_.end() ? empty_ : it->second;
+int64_t FactStore::position_entries() const {
+  int64_t total = 0;
+  for (const auto& [key, ids] : by_position_) {
+    total += static_cast<int64_t>(ids.size());
+  }
+  return total;
 }
 
 const std::vector<FactId>& FactStore::CandidatesFor(
     const Atom& atom, const Binding& binding) const {
+  const Symbol predicate = graph_->symbols().Lookup(atom.predicate);
+  if (predicate == kInvalidSymbol) return empty_;  // no fact of the predicate
   const std::vector<FactId>* best = nullptr;
   for (int pos = 0; pos < atom.arity(); ++pos) {
     const Term& t = atom.terms[pos];
@@ -29,14 +32,38 @@ const std::vector<FactId>& FactStore::CandidatesFor(
       if (!v.has_value()) continue;
       bound_value = *v;
     }
-    auto it = by_position_.find(PosKey{atom.predicate, pos, bound_value});
+    auto it = by_position_.find(PosKey(predicate, pos, bound_value));
     if (it == by_position_.end()) return empty_;  // no fact can match
     if (best == nullptr || it->second.size() < best->size()) {
       best = &it->second;
     }
   }
   if (best != nullptr) return *best;
-  return FactsOf(atom.predicate);
+  return graph_->FactsOf(predicate);
+}
+
+const std::vector<FactId>& FactStore::CandidatesFor(
+    const AtomPlan& atom, const Value* slots, const uint8_t* bound) const {
+  const std::vector<FactId>* best = nullptr;
+  const int arity = atom.arity;
+  for (int pos = 0; pos < arity; ++pos) {
+    const TermPlan& t = atom.terms[pos];
+    const Value* value;
+    if (t.is_constant) {
+      value = &t.constant;
+    } else if (bound[t.slot]) {
+      value = &slots[t.slot];
+    } else {
+      continue;
+    }
+    auto it = by_position_.find(PosKey(atom.predicate, pos, *value));
+    if (it == by_position_.end()) return empty_;  // no fact can match
+    if (best == nullptr || it->second.size() < best->size()) {
+      best = &it->second;
+    }
+  }
+  if (best != nullptr) return *best;
+  return graph_->FactsOf(atom.predicate);
 }
 
 bool MatchAtom(const Atom& atom, const Fact& fact, Binding* binding) {

@@ -1,20 +1,31 @@
 #ifndef TEMPLEX_ENGINE_FACT_STORE_H_
 #define TEMPLEX_ENGINE_FACT_STORE_H_
 
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/hash.h"
 #include "datalog/atom.h"
 #include "datalog/binding.h"
 #include "engine/chase_graph.h"
 #include "engine/fact.h"
+#include "engine/rule_plan.h"
 
 namespace templex {
 
 // Secondary index layer over a ChaseGraph used by the body matcher: facts
-// per predicate, and facts per (predicate, argument position, value) so
-// joins can scan only candidates agreeing with already-bound variables.
+// per (predicate, argument position, value) so joins can scan only
+// candidates agreeing with already-bound variables. Per-predicate lists
+// live in the graph itself (ChaseGraph::FactsOf); this class only owns the
+// position index.
+//
+// The position index is keyed by a packed 64-bit hash of
+// (pred_symbol, position, value hash) — no string ever touches a probe.
+// Hash collisions can merge two value groups into one candidate list;
+// that is sound (and preserves ascending-id enumeration order) because
+// every candidate is still verified by the full atom match.
 class FactStore {
  public:
   explicit FactStore(const ChaseGraph* graph) : graph_(graph) {}
@@ -22,12 +33,16 @@ class FactStore {
   FactStore(const FactStore&) = delete;
   FactStore& operator=(const FactStore&) = delete;
 
-  // Registers a newly inserted fact in all indexes. Must be called exactly
-  // once per ChaseGraph node, in id order.
+  // Registers a newly inserted fact in the position index. Must be called
+  // exactly once per ChaseGraph node, in id order, after the graph assigned
+  // the fact's pred_symbol.
   void OnNewFact(FactId id);
 
-  // All facts of a predicate, ascending by id.
-  const std::vector<FactId>& FactsOf(const std::string& predicate) const;
+  // All facts of a predicate, ascending by id (delegates to the graph's
+  // per-predicate index).
+  const std::vector<FactId>& FactsOf(const std::string& predicate) const {
+    return graph_->FactsOf(predicate);
+  }
 
   // Candidate facts that could match `atom` under `binding`: if some atom
   // position holds a constant or an already-bound variable, the most
@@ -36,29 +51,32 @@ class FactStore {
   const std::vector<FactId>& CandidatesFor(const Atom& atom,
                                            const Binding& binding) const;
 
- private:
-  struct PosKey {
-    std::string predicate;
-    int position;
-    Value value;
+  // Compiled-plan twin of CandidatesFor: slot-indexed bound lookups, int
+  // predicate — the chase hot path. `slots`/`bound` are the enumerator's
+  // per-slot value array and bound flags.
+  const std::vector<FactId>& CandidatesFor(const AtomPlan& atom,
+                                           const Value* slots,
+                                           const uint8_t* bound) const;
 
-    bool operator==(const PosKey& o) const {
-      return position == o.position && predicate == o.predicate &&
-             value == o.value;
-    }
-  };
-  struct PosKeyHash {
-    size_t operator()(const PosKey& k) const {
-      size_t h = std::hash<std::string>{}(k.predicate);
-      h ^= std::hash<int>{}(k.position) + 0x9e3779b9 + (h << 6) + (h >> 2);
-      h ^= k.value.Hash() + 0x9e3779b9 + (h << 6) + (h >> 2);
-      return h;
-    }
-  };
+  // Index shape, exported as chase.index.* counters at the end of a run.
+  int64_t position_keys() const {
+    return static_cast<int64_t>(by_position_.size());
+  }
+  int64_t position_entries() const;
+
+ private:
+  // Packed probe key. Exact (pred, position) packing is not required —
+  // downstream verification makes any collision harmless — but pred and
+  // position are small, so this is near-injective in practice.
+  static uint64_t PosKey(Symbol predicate, int position, const Value& value) {
+    return HashCombine(
+        (static_cast<uint64_t>(static_cast<uint32_t>(predicate)) << 8) ^
+            static_cast<uint64_t>(static_cast<uint32_t>(position)),
+        value.Hash());
+  }
 
   const ChaseGraph* graph_;
-  std::unordered_map<std::string, std::vector<FactId>> by_predicate_;
-  std::unordered_map<PosKey, std::vector<FactId>, PosKeyHash> by_position_;
+  std::unordered_map<uint64_t, std::vector<FactId>> by_position_;
   std::vector<FactId> empty_;
 };
 

@@ -6,19 +6,22 @@ namespace {
 
 class MatchEnumerator {
  public:
-  MatchEnumerator(const Rule& rule, const FactStore& store,
+  MatchEnumerator(const RulePlan& plan, const FactStore& store,
                   const ChaseGraph& graph, const MatchWindow& window,
                   const std::function<Status(const BodyMatch&)>& callback)
-      : rule_(rule),
+      : plan_(plan),
         store_(store),
         graph_(graph),
         window_(window),
-        callback_(callback) {}
+        callback_(callback),
+        slots_(static_cast<size_t>(plan.num_slots())),
+        bound_(static_cast<size_t>(plan.num_slots()), 0) {
+    trail_.reserve(slots_.size());
+  }
 
   Status Run() {
-    BodyMatch match;
-    match.facts.reserve(rule_.body.size());
-    return Descend(0, match);
+    match_.facts.reserve(plan_.body.size());
+    return Descend(0);
   }
 
  private:
@@ -32,54 +35,113 @@ class MatchEnumerator {
     return true;
   }
 
-  Status Descend(size_t atom_index, BodyMatch& match) {
-    if (atom_index == rule_.body.size()) {
-      return callback_(match);
+  // Unifies one candidate fact against a compiled atom: constants compare,
+  // bound slots compare, unbound slots bind and go on the trail. On
+  // failure the caller undoes the trail to its mark — a partially bound
+  // candidate leaves no residue.
+  bool MatchCandidate(const AtomPlan& ap, const Fact& fact) {
+    if (ap.predicate != fact.pred_symbol || ap.arity != fact.arity()) {
+      return false;
     }
-    const Atom& atom = rule_.body[atom_index];
+    for (int pos = 0; pos < ap.arity; ++pos) {
+      const TermPlan& t = ap.terms[pos];
+      if (t.is_constant) {
+        if (!(t.constant == fact.args[pos])) return false;
+      } else if (bound_[t.slot]) {
+        if (!(slots_[t.slot] == fact.args[pos])) return false;
+      } else {
+        slots_[t.slot] = fact.args[pos];
+        bound_[t.slot] = 1;
+        trail_.push_back(t.slot);
+      }
+    }
+    return true;
+  }
+
+  void UndoTo(size_t mark) {
+    while (trail_.size() > mark) {
+      bound_[static_cast<size_t>(trail_.back())] = 0;
+      trail_.pop_back();
+    }
+  }
+
+  Status Descend(size_t atom_index) {
+    if (atom_index == plan_.body.size()) {
+      // Every slot is bound here (each came from some body atom), so the
+      // name-keyed binding handed to the callback is total. Slot order is
+      // first-occurrence order, matching the old string matcher's append
+      // order byte for byte.
+      match_.binding.AssignSlots(plan_.slot_names, slots_.data());
+      return callback_(match_);
+    }
+    const AtomPlan& atom = plan_.body[atom_index];
     const std::vector<FactId>& candidates =
-        store_.CandidatesFor(atom, match.binding);
+        store_.CandidatesFor(atom, slots_.data(), bound_.data());
     // Facts emitted by the enclosing chase round are appended to the index
     // vectors while we iterate: use index-based access over a size snapshot
     // (the appended ids are >= limit and age-filtered out regardless).
     const size_t candidate_count = candidates.size();
-    // Candidates are matched into the one scratch binding; every exit from
-    // a candidate — failed unification included, which may have bound a
-    // prefix of the atom's variables — backtracks by truncating to the
-    // depth this atom started at. Bind() only ever appends (an existing
-    // entry is checked, never overwritten), so truncation restores the
-    // exact pre-candidate state without copying a Binding per candidate.
-    const size_t binding_mark = match.binding.size();
+    const size_t trail_mark = trail_.size();
     for (size_t i = 0; i < candidate_count; ++i) {
       const FactId id = candidates[i];
       if (!AgeAllowed(static_cast<int>(atom_index), id)) continue;
-      if (!MatchAtom(atom, graph_.node(id).fact, &match.binding)) {
-        match.binding.Truncate(binding_mark);
+      if (!MatchCandidate(atom, graph_.node(id).fact)) {
+        UndoTo(trail_mark);
         continue;
       }
-      match.facts.push_back(id);
-      TEMPLEX_RETURN_IF_ERROR(Descend(atom_index + 1, match));
-      match.facts.pop_back();
-      match.binding.Truncate(binding_mark);
+      match_.facts.push_back(id);
+      TEMPLEX_RETURN_IF_ERROR(Descend(atom_index + 1));
+      match_.facts.pop_back();
+      UndoTo(trail_mark);
     }
     return Status::OK();
   }
 
-  const Rule& rule_;
+  const RulePlan& plan_;
   const FactStore& store_;
   const ChaseGraph& graph_;
   const MatchWindow window_;
   const std::function<Status(const BodyMatch&)>& callback_;
+
+  // Scratch match state: per-slot values and bound flags, plus the undo
+  // trail of slots bound since each atom's mark. The BodyMatch is
+  // materialized from the slots only at full-match depth.
+  std::vector<Value> slots_;
+  std::vector<uint8_t> bound_;
+  std::vector<int> trail_;
+  BodyMatch match_;
 };
 
 }  // namespace
 
 Status EnumerateMatches(
+    const RulePlan& plan, const FactStore& store, const ChaseGraph& graph,
+    const MatchWindow& window,
+    const std::function<Status(const BodyMatch&)>& callback) {
+  MatchEnumerator enumerator(plan, store, graph, window, callback);
+  return enumerator.Run();
+}
+
+Status EnumerateMatches(
+    const RulePlan& plan, const FactStore& store, const ChaseGraph& graph,
+    int delta_atom, FactId delta_begin, FactId limit,
+    const std::function<Status(const BodyMatch&)>& callback) {
+  MatchWindow window;
+  window.limit = limit;
+  window.pivot_atom = delta_atom;
+  window.pivot_begin = delta_begin;
+  window.pivot_end = limit;
+  window.pre_pivot_cap = delta_begin;
+  return EnumerateMatches(plan, store, graph, window, callback);
+}
+
+Status EnumerateMatches(
     const Rule& rule, const FactStore& store, const ChaseGraph& graph,
     const MatchWindow& window,
     const std::function<Status(const BodyMatch&)>& callback) {
-  MatchEnumerator enumerator(rule, store, graph, window, callback);
-  return enumerator.Run();
+  RulePlan plan = MakeRulePlan(rule, 0);
+  CompileMatchPlan(&plan, graph.symbols());  // lookup-only: graph is frozen
+  return EnumerateMatches(plan, store, graph, window, callback);
 }
 
 Status EnumerateMatches(

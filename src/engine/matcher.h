@@ -6,6 +6,7 @@
 #include "common/status.h"
 #include "datalog/rule.h"
 #include "engine/fact_store.h"
+#include "engine/rule_plan.h"
 
 namespace templex {
 
@@ -47,23 +48,43 @@ struct MatchWindow {
   FactId pre_pivot_cap = 0;
 };
 
-// Enumerates every homomorphism from `rule`'s body atoms into the facts of
-// `graph` admitted by `window`, invoking `callback` for each. Enumeration
-// order is deterministic (fact-id order per atom). Matching keeps one
-// scratch binding and backtracks by truncation, so failed candidates cost
-// no allocation.
+// Enumerates every homomorphism from the plan's body atoms into the facts
+// of `graph` admitted by `window`, invoking `callback` for each.
+// Enumeration order is deterministic (fact-id order per atom).
+//
+// This is the chase hot path: the plan must be compiled
+// (CompileMatchPlan), candidate unification runs over dense value slots —
+// integer predicate compares, slot-indexed loads, an undo trail for
+// backtracking — and a name-keyed Binding is materialized only when a full
+// body match reaches the callback. Variables enter the binding in slot
+// order, which is first-occurrence order across body atoms: byte-identical
+// to what the string-keyed matcher produced.
 //
 // Read-only over `store` and `graph`: concurrent enumerations over the
 // same frozen store are safe (the parallel match phase relies on this).
 //
 // Stops and propagates the first non-OK status returned by the callback.
-Status EnumerateMatches(const Rule& rule, const FactStore& store,
+Status EnumerateMatches(const RulePlan& plan, const FactStore& store,
                         const ChaseGraph& graph, const MatchWindow& window,
                         const std::function<Status(const BodyMatch&)>& callback);
 
 // Classic semi-naive form: delta_atom < 0 evaluates every atom over
 // [0, limit); otherwise the atom at `delta_atom` matches [delta_begin,
 // limit), atoms before it ids < delta_begin, atoms after it any id < limit.
+Status EnumerateMatches(const RulePlan& plan, const FactStore& store,
+                        const ChaseGraph& graph, int delta_atom,
+                        FactId delta_begin, FactId limit,
+                        const std::function<Status(const BodyMatch&)>& callback);
+
+// Convenience overloads for callers holding a bare Rule (tests, one-shot
+// probes): compile a throwaway plan against the graph's symbol table
+// (lookup-only — sound because facts below the window limit are frozen)
+// and enumerate with it. The chase itself compiles each rule once per run
+// and calls the RulePlan overloads.
+Status EnumerateMatches(const Rule& rule, const FactStore& store,
+                        const ChaseGraph& graph, const MatchWindow& window,
+                        const std::function<Status(const BodyMatch&)>& callback);
+
 Status EnumerateMatches(const Rule& rule, const FactStore& store,
                         const ChaseGraph& graph, int delta_atom,
                         FactId delta_begin, FactId limit,

@@ -2,18 +2,18 @@
 
 #include <functional>
 
+#include "common/hash.h"
+
 namespace templex {
 
 namespace {
 
-// SplitMix64 finalizer: one uniform draw in [0, 1) from the call identity.
-// A full Rng per call would work too, but one mix is enough for a fault
-// coin and keeps the decorator allocation-free.
+// One uniform draw in [0, 1) from the call identity. A full Rng per call
+// would work too, but one finalizer mix (common/hash.h) is enough for a
+// fault coin and keeps the decorator allocation-free.
 double UniformDraw(uint64_t seed, uint64_t call, uint64_t prompt_hash) {
-  uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (call + 1) + prompt_hash;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  z ^= z >> 31;
+  const uint64_t z =
+      HashMix(seed + 0x9e3779b97f4a7c15ULL * (call + 1) + prompt_hash);
   return static_cast<double>(z >> 11) * 0x1.0p-53;
 }
 

@@ -1,0 +1,68 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <bitset>
+#include <cstdint>
+
+namespace templex {
+namespace {
+
+int HammingDistance(uint64_t a, uint64_t b) {
+  return static_cast<int>(std::bitset<64>(a ^ b).count());
+}
+
+// HashMix must avalanche: flipping any single input bit should flip about
+// half of the 64 output bits. The fact-store position index keys differ in
+// only a few low bits (predicate, position), so a mix without avalanche
+// would funnel whole predicates into a handful of buckets.
+TEST(HashMixTest, SingleBitFlipAvalanches) {
+  const uint64_t inputs[] = {0u, 1u, 0x1234'5678'9abc'def0ULL,
+                             0xffff'ffff'ffff'ffffULL};
+  for (uint64_t input : inputs) {
+    for (int bit = 0; bit < 64; ++bit) {
+      const uint64_t flipped = input ^ (1ULL << bit);
+      const int distance = HammingDistance(HashMix(input), HashMix(flipped));
+      // ~32 expected; [10, 54] is > 12 sigma for a fair coin, so a pass is
+      // stable while a broken (identity-like or masking) mix still fails.
+      EXPECT_GE(distance, 10) << "input=" << input << " bit=" << bit;
+      EXPECT_LE(distance, 54) << "input=" << input << " bit=" << bit;
+    }
+  }
+}
+
+TEST(HashMixTest, DeterministicAndNonTrivial) {
+  EXPECT_EQ(HashMix(42u), HashMix(42u));
+  EXPECT_NE(HashMix(42u), 42u);
+  // Note HashMix(0) == 0: zero is the splitmix64 finalizer's fixed point.
+  // HashCombine's pre-add of the golden-ratio constant keeps the zero seed
+  // from ever reaching the mix unsalted.
+  EXPECT_NE(HashCombine(0u, 0u), 0u);
+}
+
+TEST(HashCombineTest, OrderSensitive) {
+  const uint64_t seed = 0x9e37'79b9ULL;
+  const uint64_t a = 111, b = 222;
+  EXPECT_NE(HashCombine(HashCombine(seed, a), b),
+            HashCombine(HashCombine(seed, b), a));
+}
+
+// A bare XOR chain cancels a value combined twice (s ^ a ^ a == s) —
+// exactly the weakness that collided (pred, pos, value) triples before the
+// mixing was centralized. HashCombine must not have it.
+TEST(HashCombineTest, SameValueTwiceDoesNotCancel) {
+  const uint64_t seed = 7;
+  const uint64_t a = 0xdead'beefULL;
+  const uint64_t once = HashCombine(seed, a);
+  const uint64_t twice = HashCombine(once, a);
+  EXPECT_NE(twice, seed);
+  EXPECT_NE(twice, once);
+}
+
+TEST(HashCombineTest, SeedAndValueBothMatter) {
+  EXPECT_NE(HashCombine(1, 100), HashCombine(2, 100));
+  EXPECT_NE(HashCombine(1, 100), HashCombine(1, 101));
+}
+
+}  // namespace
+}  // namespace templex

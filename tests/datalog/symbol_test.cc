@@ -1,0 +1,83 @@
+#include "datalog/symbol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace templex {
+namespace {
+
+TEST(SymbolTableTest, InternAssignsDenseIdsInOrder) {
+  SymbolTable table;
+  EXPECT_EQ(table.Intern("Own"), 0);
+  EXPECT_EQ(table.Intern("Control"), 1);
+  EXPECT_EQ(table.Intern("Company"), 2);
+  EXPECT_EQ(table.size(), 3);
+}
+
+TEST(SymbolTableTest, ReInternReturnsExistingId) {
+  SymbolTable table;
+  const Symbol own = table.Intern("Own");
+  table.Intern("Control");
+  EXPECT_EQ(table.Intern("Own"), own);
+  EXPECT_EQ(table.size(), 2);
+}
+
+TEST(SymbolTableTest, LookupUnknownIsInvalid) {
+  SymbolTable table;
+  table.Intern("Own");
+  EXPECT_EQ(table.Lookup("Missing"), kInvalidSymbol);
+  EXPECT_EQ(table.Lookup("Own"), 0);
+}
+
+TEST(SymbolTableTest, NameRoundTrip) {
+  SymbolTable table;
+  const Symbol a = table.Intern("Own");
+  const Symbol b = table.Intern("Control");
+  EXPECT_EQ(table.name(a), "Own");
+  EXPECT_EQ(table.name(b), "Control");
+}
+
+// The id map holds string_views into the table's own name storage; a copy
+// must rebuild those views against its own strings, and the two tables
+// must evolve independently afterwards.
+TEST(SymbolTableTest, CopyIsIndependent) {
+  SymbolTable original;
+  original.Intern("Own");
+  original.Intern("Control");
+
+  SymbolTable copy = original;
+  EXPECT_EQ(copy.Lookup("Own"), 0);
+  EXPECT_EQ(copy.Lookup("Control"), 1);
+
+  EXPECT_EQ(copy.Intern("Company"), 2);
+  EXPECT_EQ(original.Lookup("Company"), kInvalidSymbol);
+  EXPECT_EQ(original.size(), 2);
+  EXPECT_EQ(copy.name(2), "Company");
+}
+
+// Interning more names must not invalidate previously returned name()
+// references (deque-backed storage) — the matcher holds them across
+// insertions.
+TEST(SymbolTableTest, NameReferencesSurviveGrowth) {
+  SymbolTable table;
+  const std::string* first = &table.name(table.Intern("Own"));
+  for (int i = 0; i < 1000; ++i) {
+    table.Intern("P" + std::to_string(i));
+  }
+  EXPECT_EQ(*first, "Own");
+  EXPECT_EQ(table.Lookup("Own"), 0);
+}
+
+TEST(SymbolTableTest, MovePreservesIds) {
+  SymbolTable table;
+  table.Intern("Own");
+  table.Intern("Control");
+  SymbolTable moved = std::move(table);
+  EXPECT_EQ(moved.Lookup("Own"), 0);
+  EXPECT_EQ(moved.Lookup("Control"), 1);
+  EXPECT_EQ(moved.Intern("Company"), 2);
+}
+
+}  // namespace
+}  // namespace templex

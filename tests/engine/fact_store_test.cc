@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "datalog/parser.h"
+
 namespace templex {
 namespace {
 
@@ -70,6 +74,85 @@ TEST_F(FactStoreTest, CandidatesFallBackToFullPredicateScan) {
                     Term::Variable("s")});
   Binding empty;
   EXPECT_EQ(store_.CandidatesFor(atom, empty).size(), 2u);
+}
+
+TEST_F(FactStoreTest, CandidatesPickMostSelectiveBoundPosition) {
+  // 5 facts share y == "Hub"; only one has x == "A0". With both bound the
+  // store must probe the x index (1 candidate), not the y index (5).
+  for (int i = 0; i < 5; ++i) {
+    Add({"Own",
+         {Value::String("A" + std::to_string(i)), Value::String("Hub"),
+          Value::Double(0.6)}});
+  }
+  Atom atom("Own", {Term::Variable("x"), Term::Variable("y"),
+                    Term::Variable("s")});
+  Binding binding;
+  binding.Set("x", Value::String("A0"));
+  binding.Set("y", Value::String("Hub"));
+  EXPECT_EQ(store_.CandidatesFor(atom, binding).size(), 1u);
+}
+
+TEST_F(FactStoreTest, CandidatesEmptyWhenBoundValueNeverIndexed) {
+  Add({"Own", {Value::String("A"), Value::String("B"), Value::Double(0.6)}});
+  Atom atom("Own", {Term::Variable("x"), Term::Variable("y"),
+                    Term::Variable("s")});
+  Binding binding;
+  binding.Set("x", Value::String("NeverSeen"));
+  EXPECT_TRUE(store_.CandidatesFor(atom, binding).empty());
+}
+
+TEST_F(FactStoreTest, CompiledPlanCandidatesMatchLegacyLookup) {
+  for (int i = 0; i < 4; ++i) {
+    Add({"Own",
+         {Value::String("A" + std::to_string(i)), Value::String("B"),
+          Value::Double(0.6)}});
+  }
+  Add({"Company", {Value::String("A0")}});
+
+  Rule rule = ParseRule("Own(x, y, s) -> Control(x, y).").value();
+  RulePlan plan = MakeRulePlan(rule, 0);
+  CompileMatchPlan(&plan, graph_.symbols());
+
+  // Slot 0 is x (first occurrence). Bound x == "A2" must probe the same
+  // position index the string path uses.
+  std::vector<Value> slots(plan.num_slots());
+  std::vector<uint8_t> bound(plan.num_slots(), 0);
+  slots[0] = Value::String("A2");
+  bound[0] = 1;
+  const auto& compiled =
+      store_.CandidatesFor(plan.body[0], slots.data(), bound.data());
+  ASSERT_EQ(compiled.size(), 1u);
+  EXPECT_EQ(graph_.node(compiled[0]).fact.args[0], Value::String("A2"));
+
+  // All slots unbound: fall back to the full predicate list.
+  std::fill(bound.begin(), bound.end(), 0);
+  EXPECT_EQ(store_.CandidatesFor(plan.body[0], slots.data(), bound.data())
+                .size(),
+            4u);
+}
+
+TEST_F(FactStoreTest, CompiledPlanUnknownPredicateHasNoCandidates) {
+  Add({"Own", {Value::String("A"), Value::String("B"), Value::Double(0.6)}});
+  Rule rule = ParseRule("Missing(x) -> Out(x).").value();
+  RulePlan plan = MakeRulePlan(rule, 0);
+  const SymbolTable& frozen = graph_.symbols();
+  CompileMatchPlan(&plan, frozen);
+  ASSERT_EQ(plan.body[0].predicate, kInvalidSymbol);
+  std::vector<Value> slots(plan.num_slots());
+  std::vector<uint8_t> bound(plan.num_slots(), 0);
+  EXPECT_TRUE(
+      store_.CandidatesFor(plan.body[0], slots.data(), bound.data()).empty());
+}
+
+TEST_F(FactStoreTest, PositionIndexCountersGrowWithFacts) {
+  EXPECT_EQ(store_.position_keys(), 0);
+  EXPECT_EQ(store_.position_entries(), 0);
+  Add({"Own", {Value::String("A"), Value::String("B"), Value::Double(0.6)}});
+  Add({"Own", {Value::String("A"), Value::String("C"), Value::Double(0.7)}});
+  // 2 facts x 3 positions = 6 index entries; "A" at position 0 shares one
+  // key, so 5 distinct keys (absent adversarial hash collisions).
+  EXPECT_EQ(store_.position_entries(), 6);
+  EXPECT_EQ(store_.position_keys(), 5);
 }
 
 TEST(MatchAtomTest, ConstantMismatch) {

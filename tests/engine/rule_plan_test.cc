@@ -1,0 +1,98 @@
+#include "engine/rule_plan.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+
+namespace templex {
+namespace {
+
+Rule Parse(const std::string& text) {
+  Result<Rule> rule = ParseRule(text);
+  EXPECT_TRUE(rule.ok()) << rule.status().ToString();
+  return std::move(rule).value();
+}
+
+// Slots must be assigned in first-occurrence order across the body atoms —
+// the exact order MatchAtom's Bind() appended variables, so a Binding
+// materialized from the slot array is byte-identical to the string-keyed
+// matcher's output.
+TEST(RulePlanTest, SlotsFollowFirstOccurrenceOrder) {
+  Rule rule = Parse("Own(a, b, s1), Own(b, c, s2) -> Indirect(a, c).");
+  RulePlan plan = MakeRulePlan(rule, 0);
+  SymbolTable symbols;
+  CompileMatchPlan(&plan, &symbols);
+
+  ASSERT_TRUE(plan.compiled);
+  ASSERT_EQ(plan.slot_names.size(), 5u);
+  EXPECT_EQ(plan.slot_names[0], "a");
+  EXPECT_EQ(plan.slot_names[1], "b");
+  EXPECT_EQ(plan.slot_names[2], "s1");
+  EXPECT_EQ(plan.slot_names[3], "c");
+  EXPECT_EQ(plan.slot_names[4], "s2");
+
+  // The join variable `b` maps to one slot in both atoms.
+  ASSERT_EQ(plan.body.size(), 2u);
+  EXPECT_EQ(plan.body[0].terms[1].slot, plan.body[1].terms[0].slot);
+}
+
+TEST(RulePlanTest, ConstantsCompileToConstantChecks) {
+  Rule rule = Parse("Risk(c, e, \"long\") -> Flagged(c).");
+  RulePlan plan = MakeRulePlan(rule, 0);
+  SymbolTable symbols;
+  CompileMatchPlan(&plan, &symbols);
+
+  ASSERT_EQ(plan.body.size(), 1u);
+  const AtomPlan& atom = plan.body[0];
+  EXPECT_EQ(atom.arity, 3);
+  EXPECT_FALSE(atom.terms[0].is_constant);
+  EXPECT_FALSE(atom.terms[1].is_constant);
+  ASSERT_TRUE(atom.terms[2].is_constant);
+  EXPECT_EQ(atom.terms[2].constant, Value::String("long"));
+  EXPECT_EQ(atom.terms[2].slot, -1);
+}
+
+TEST(RulePlanTest, MutableCompileInternsPredicates) {
+  Rule rule = Parse("Own(x, y, s) -> Control(x, y).");
+  RulePlan plan = MakeRulePlan(rule, 0);
+  SymbolTable symbols;
+  CompileMatchPlan(&plan, &symbols);
+
+  EXPECT_EQ(plan.body[0].predicate, symbols.Lookup("Own"));
+  EXPECT_NE(plan.body[0].predicate, kInvalidSymbol);
+  EXPECT_EQ(plan.head_predicate, symbols.Lookup("Control"));
+  EXPECT_NE(plan.head_predicate, kInvalidSymbol);
+}
+
+// The const overload only looks predicates up: an unknown predicate
+// compiles to kInvalidSymbol (matches nothing), without mutating the table.
+TEST(RulePlanTest, ConstCompileLeavesUnknownPredicatesInvalid) {
+  Rule rule = Parse("Own(x, y, s) -> Control(x, y).");
+  RulePlan plan = MakeRulePlan(rule, 0);
+  SymbolTable symbols;
+  symbols.Intern("Own");
+  const SymbolTable& frozen = symbols;
+  CompileMatchPlan(&plan, frozen);
+
+  EXPECT_TRUE(plan.compiled);
+  EXPECT_EQ(plan.body[0].predicate, symbols.Lookup("Own"));
+  EXPECT_EQ(plan.head_predicate, kInvalidSymbol);
+  EXPECT_EQ(symbols.Lookup("Control"), kInvalidSymbol);
+}
+
+TEST(RulePlanTest, LogicalPlanSplitsConditionsAroundAggregate) {
+  Rule rule = Parse(
+      "Control(x, z), Own(z, y, s), ts = sum(s, [z]), ts > 0.5 "
+      "-> Control(x, y).");
+  RulePlan plan = MakeRulePlan(rule, 3);
+  EXPECT_EQ(plan.index, 3);
+  ASSERT_TRUE(plan.rule->has_aggregate());
+  EXPECT_TRUE(plan.pre_conditions.empty());
+  ASSERT_EQ(plan.post_conditions.size(), 1u);
+  ASSERT_EQ(plan.contributor_vars.size(), 1u);
+  EXPECT_EQ(plan.contributor_vars[0], "z");
+  EXPECT_TRUE(plan.explicit_contributor_keys);
+}
+
+}  // namespace
+}  // namespace templex

@@ -1,0 +1,188 @@
+// bench_diff — compare two google-benchmark JSON result files (as written
+// by `tools/bench_baseline` or any `--benchmark_format=json` run).
+//
+//   bench_diff OLD.json NEW.json [--filter PREFIX] [--threshold-pct P]
+//
+// Prints one line per benchmark present in both files with the real_time
+// delta; benchmarks present in only one file are reported as added/removed.
+//
+// --filter PREFIX      only consider benchmarks whose name starts with
+//                      PREFIX (e.g. --filter BM_Chase);
+// --threshold-pct P    exit with status 3 if any benchmark's real_time
+//                      regressed (grew) by more than P percent — the
+//                      regression-gate mode for CI against the committed
+//                      BENCH_engine.json baseline.
+//
+// Exit codes follow the metrics_diff convention: 0 diff printed (and no
+// regression beyond the threshold), 2 usage error, 1 unreadable or
+// unparsable input, 3 threshold exceeded.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "io/csv.h"
+#include "io/json_parse.h"
+
+namespace {
+
+using namespace templex;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: bench_diff OLD.json NEW.json [--filter PREFIX] "
+               "[--threshold-pct P]\n");
+  return 2;
+}
+
+double PercentChange(double old_value, double new_value) {
+  if (old_value == new_value) return 0.0;
+  if (old_value == 0.0) return new_value > 0.0 ? HUGE_VAL : -HUGE_VAL;
+  return (new_value - old_value) / std::fabs(old_value) * 100.0;
+}
+
+std::string FormatPercent(double pct) {
+  if (std::isinf(pct)) return pct > 0 ? "+inf%" : "-inf%";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", pct);
+  return buf;
+}
+
+struct BenchEntry {
+  double real_time = 0.0;
+  std::string time_unit;  // "ns" unless the run says otherwise
+};
+
+// name -> timing, aggregates (mean/median/stddev rows emitted with
+// --benchmark_repetitions) excluded so the gate compares like with like.
+using BenchRun = std::map<std::string, BenchEntry>;
+
+Result<BenchRun> LoadRun(const std::string& path) {
+  // Every load failure surfaces as InvalidArgument naming the offending
+  // path — the message must say which of the two inputs to fix.
+  Result<std::string> text = ReadFileToString(path);
+  if (!text.ok()) {
+    return Status::InvalidArgument("cannot load benchmark results '" + path +
+                                   "': " + text.status().message());
+  }
+  Result<JsonValue> parsed = ParseJson(text.value());
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("cannot load benchmark results '" + path +
+                                   "': " + parsed.status().message());
+  }
+  const JsonValue& root = parsed.value();
+  const JsonValue* benchmarks =
+      root.is_object() ? root.Find("benchmarks") : nullptr;
+  if (benchmarks == nullptr || !benchmarks->is_array()) {
+    return Status::InvalidArgument("cannot load benchmark results '" + path +
+                                   "': no \"benchmarks\" array");
+  }
+  BenchRun run;
+  for (const JsonValue& bench : benchmarks->items()) {
+    if (!bench.is_object()) continue;
+    const JsonValue* name = bench.Find("name");
+    const JsonValue* real_time = bench.Find("real_time");
+    if (name == nullptr || !name->is_string() || real_time == nullptr ||
+        !real_time->is_number()) {
+      continue;
+    }
+    const JsonValue* run_type = bench.Find("run_type");
+    if (run_type != nullptr && run_type->is_string() &&
+        run_type->string_value() != "iteration") {
+      continue;  // aggregate row
+    }
+    BenchEntry entry;
+    entry.real_time = real_time->number_value();
+    const JsonValue* unit = bench.Find("time_unit");
+    entry.time_unit = (unit != nullptr && unit->is_string())
+                          ? unit->string_value()
+                          : "ns";
+    run[name->string_value()] = entry;
+  }
+  return run;
+}
+
+bool MatchesFilter(const std::string& name, const std::string& prefix) {
+  return prefix.empty() || name.rfind(prefix, 0) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  std::string filter;
+  double threshold_pct = -1.0;  // < 0: no gate
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires an argument\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--filter") {
+      filter = next("--filter");
+    } else if (arg == "--threshold-pct") {
+      char* end = nullptr;
+      const char* value = next("--threshold-pct");
+      threshold_pct = std::strtod(value, &end);
+      if (end == value || *end != '\0' || threshold_pct < 0.0) {
+        std::fprintf(stderr,
+                     "--threshold-pct expects a non-negative number\n");
+        return 2;
+      }
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) return Usage();
+
+  Result<BenchRun> old_run = LoadRun(paths[0]);
+  if (!old_run.ok()) {
+    std::fprintf(stderr, "error: %s\n", old_run.status().ToString().c_str());
+    return 1;
+  }
+  Result<BenchRun> new_run = LoadRun(paths[1]);
+  if (!new_run.ok()) {
+    std::fprintf(stderr, "error: %s\n", new_run.status().ToString().c_str());
+    return 1;
+  }
+  const BenchRun& before = old_run.value();
+  const BenchRun& after = new_run.value();
+
+  bool regressed = false;
+  for (const auto& [name, old_entry] : before) {
+    if (!MatchesFilter(name, filter)) continue;
+    auto it = after.find(name);
+    if (it == after.end()) {
+      std::printf("bench %-48s removed (was %.0f %s)\n", name.c_str(),
+                  old_entry.real_time, old_entry.time_unit.c_str());
+      continue;
+    }
+    const double pct = PercentChange(old_entry.real_time,
+                                     it->second.real_time);
+    std::printf("bench %-48s %14.0f -> %14.0f %-3s (%s)\n", name.c_str(),
+                old_entry.real_time, it->second.real_time,
+                it->second.time_unit.c_str(), FormatPercent(pct).c_str());
+    if (threshold_pct >= 0.0 && pct > threshold_pct) {
+      std::printf("  ^ REGRESSION: %s exceeds +%.1f%% gate\n",
+                  FormatPercent(pct).c_str(), threshold_pct);
+      regressed = true;
+    }
+  }
+  for (const auto& [name, new_entry] : after) {
+    if (!MatchesFilter(name, filter)) continue;
+    if (before.count(name) == 0) {
+      std::printf("bench %-48s added (now %.0f %s)\n", name.c_str(),
+                  new_entry.real_time, new_entry.time_unit.c_str());
+    }
+  }
+  return regressed ? 3 : 0;
+}
