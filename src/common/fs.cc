@@ -1,0 +1,498 @@
+#include "common/fs.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/hash.h"
+
+namespace templex {
+
+std::string JoinPath(const std::string& dir, const std::string& name) {
+  if (dir.empty()) return name;
+  if (dir.back() == '/') return dir + name;
+  return dir + "/" + name;
+}
+
+namespace {
+
+Status Errno(const std::string& op, const std::string& path) {
+  const int err = errno;
+  const std::string message = op + " " + path + ": " + std::strerror(err);
+  if (err == ENOENT) return Status::NotFound(message);
+  return Status::Unavailable(message);
+}
+
+// ---------------------------------------------------------------------------
+// POSIX filesystem
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (fd_ < 0) return Status::Internal("append to closed file " + path_);
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      const ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Errno("write", path_);
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) return Status::Internal("sync of closed file " + path_);
+    if (::fsync(fd_) != 0) return Errno("fsync", path_);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return Errno("close", path_);
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+// Durability of a rename needs the parent directory flushed too; best
+// effort — some filesystems refuse to fsync directories.
+void SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+class PosixFs : public Fs {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override {
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) return Errno("open", path);
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(fd, path));
+  }
+
+  Result<std::string> ReadFile(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return Errno("open", path);
+    std::string content;
+    char buffer[1 << 16];
+    while (true) {
+      const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const Status status = Errno("read", path);
+        ::close(fd);
+        return status;
+      }
+      if (n == 0) break;
+      content.append(buffer, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return content;
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return Errno("rename", from);
+    }
+    SyncParentDir(to);
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) return Errno("unlink", path);
+    return Status::OK();
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override {
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) return Errno("opendir", dir);
+    std::vector<std::string> names;
+    while (struct dirent* entry = ::readdir(d)) {
+      const std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      struct stat st;
+      if (::stat(JoinPath(dir, name).c_str(), &st) == 0 &&
+          S_ISREG(st.st_mode)) {
+        names.push_back(name);
+      }
+    }
+    ::closedir(d);
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  Status CreateDir(const std::string& dir) override {
+    // mkdir -p: create each missing component left to right.
+    std::string prefix;
+    size_t pos = 0;
+    while (pos <= dir.size()) {
+      const size_t slash = dir.find('/', pos);
+      prefix = slash == std::string::npos ? dir : dir.substr(0, slash);
+      pos = slash == std::string::npos ? dir.size() + 1 : slash + 1;
+      if (prefix.empty()) continue;  // leading '/'
+      if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+        return Errno("mkdir", prefix);
+      }
+    }
+    return Status::OK();
+  }
+
+  bool Exists(const std::string& path) override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+  }
+};
+
+}  // namespace
+
+Fs* RealFilesystem() {
+  static PosixFs* fs = new PosixFs();
+  return fs;
+}
+
+// ---------------------------------------------------------------------------
+// MemFs
+
+class MemWritableFile : public WritableFile {
+ public:
+  MemWritableFile(MemFs* fs, std::string path)
+      : fs_(fs), path_(std::move(path)) {}
+
+  Status Append(std::string_view data) override;
+  Status Sync() override;
+  Status Close() override {
+    closed_ = true;
+    return Status::OK();
+  }
+
+ private:
+  MemFs* fs_;
+  std::string path_;
+  bool closed_ = false;
+};
+
+Result<std::unique_ptr<WritableFile>> MemFs::NewWritableFile(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_[path] = MemFile{};
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<MemWritableFile>(this, path));
+}
+
+Status MemWritableFile::Append(std::string_view data) {
+  if (closed_) return Status::Internal("append to closed file " + path_);
+  std::lock_guard<std::mutex> lock(fs_->mu_);
+  auto it = fs_->files_.find(path_);
+  if (it == fs_->files_.end()) {
+    // Renamed or removed underneath the handle; POSIX would keep writing to
+    // the inode, but the checkpoint protocol never does this — flag it.
+    return Status::Internal("append to vanished file " + path_);
+  }
+  it->second.content.append(data.data(), data.size());
+  return Status::OK();
+}
+
+Status MemWritableFile::Sync() {
+  if (closed_) return Status::Internal("sync of closed file " + path_);
+  std::lock_guard<std::mutex> lock(fs_->mu_);
+  auto it = fs_->files_.find(path_);
+  if (it == fs_->files_.end()) {
+    return Status::Internal("sync of vanished file " + path_);
+  }
+  it->second.synced = it->second.content.size();
+  return Status::OK();
+}
+
+Result<std::string> MemFs::ReadFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  return it->second.content;
+}
+
+Status MemFs::Rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(from);
+  if (it == files_.end()) return Status::NotFound("no such file: " + from);
+  files_[to] = std::move(it->second);
+  files_.erase(it);
+  return Status::OK();
+}
+
+Status MemFs::RemoveFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (files_.erase(path) == 0) {
+    return Status::NotFound("no such file: " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> MemFs::ListDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string prefix = dir.empty() || dir.back() == '/' ? dir : dir + "/";
+  if (dirs_.count(dir) == 0) {
+    // A directory also "exists" if any file lives under it.
+    bool any = false;
+    for (const auto& [path, file] : files_) {
+      if (path.rfind(prefix, 0) == 0) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return Status::NotFound("no such directory: " + dir);
+  }
+  std::vector<std::string> names;
+  for (const auto& [path, file] : files_) {
+    if (path.rfind(prefix, 0) != 0) continue;
+    const std::string rest = path.substr(prefix.size());
+    if (rest.find('/') == std::string::npos) names.push_back(rest);
+  }
+  return names;  // map iteration is already sorted
+}
+
+Status MemFs::CreateDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dirs_.insert(dir);
+  return Status::OK();
+}
+
+bool MemFs::Exists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(path) > 0 || dirs_.count(path) > 0;
+}
+
+void MemFs::LoseUnsyncedData() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [path, file] : files_) {
+    if (file.content.size() > file.synced) file.content.resize(file.synced);
+  }
+}
+
+int64_t MemFs::synced_bytes(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  return it == files_.end() ? -1 : static_cast<int64_t>(it->second.synced);
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectingFs
+
+class FaultInjectingWritableFile : public WritableFile {
+ public:
+  FaultInjectingWritableFile(FaultInjectingFs* fs,
+                             std::unique_ptr<WritableFile> inner)
+      : fs_(fs), inner_(std::move(inner)) {}
+
+  Status Append(std::string_view data) override {
+    double uniform = 0.0;
+    Status fault = fs_->NextOp(&uniform, /*can_short_write=*/true,
+                                /*can_tear=*/false);
+    if (!fault.ok()) {
+      if (fault.code() == StatusCode::kUnavailable &&
+          fault.message().rfind("injected short write", 0) == 0 &&
+          !data.empty()) {
+        // Persist a seeded strict prefix, then report failure.
+        const size_t keep =
+            static_cast<size_t>(uniform * static_cast<double>(data.size()));
+        inner_->Append(data.substr(0, keep));
+      }
+      return fault;
+    }
+    return inner_->Append(data);
+  }
+
+  Status Sync() override {
+    double uniform = 0.0;
+    TEMPLEX_RETURN_IF_ERROR(
+        fs_->NextOp(&uniform, /*can_short_write=*/false, /*can_tear=*/false));
+    return inner_->Sync();
+  }
+
+  Status Close() override { return inner_->Close(); }
+
+ private:
+  FaultInjectingFs* fs_;
+  std::unique_ptr<WritableFile> inner_;
+};
+
+FaultInjectingFs::FaultInjectingFs(Fs* base, FsFaultOptions options)
+    : base_(base), options_(options) {}
+
+double FaultInjectingFs::DrawAt(int64_t index, uint64_t salt) const {
+  const uint64_t mixed = HashCombine(
+      HashCombine(options_.seed, static_cast<uint64_t>(index)), salt);
+  return static_cast<double>(mixed >> 11) * 0x1.0p-53;
+}
+
+Status FaultInjectingFs::NextOp(double* uniform, bool can_short_write,
+                                bool can_tear) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) {
+    return Status::Unavailable("simulated crash: filesystem is down");
+  }
+  const int64_t index = ops_++;
+  if (options_.crash_after_ops >= 0 && index >= options_.crash_after_ops) {
+    crashed_ = true;
+    ++faults_;
+    return Status::Unavailable("simulated crash: filesystem is down");
+  }
+  // One uniform draw decides which fault, if any, fires (cumulative bands,
+  // like FaultInjectingLlm); a second independent draw picks offsets. Band
+  // layout is the same for every op — a draw landing in a band the op
+  // cannot experience (a short write on a Sync, a torn rename on an
+  // Append) passes cleanly, keeping the sequence a pure function of
+  // (seed, op index).
+  const double draw = DrawAt(index, /*salt=*/1);
+  *uniform = DrawAt(index, /*salt=*/2);
+  double band = options_.error_rate;
+  if (draw < band) {
+    ++faults_;
+    return Status::Unavailable("injected I/O error");
+  }
+  band += options_.short_write_rate;
+  if (draw < band) {
+    if (!can_short_write) return Status::OK();
+    ++faults_;
+    return Status::Unavailable("injected short write");
+  }
+  band += options_.torn_rename_rate;
+  if (draw < band) {
+    if (!can_tear) return Status::OK();
+    ++faults_;
+    return Status::Unavailable("injected torn rename");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectingFs::NewWritableFile(
+    const std::string& path) {
+  double uniform = 0.0;
+  TEMPLEX_RETURN_IF_ERROR(
+      NextOp(&uniform, /*can_short_write=*/false, /*can_tear=*/false));
+  Result<std::unique_ptr<WritableFile>> inner = base_->NewWritableFile(path);
+  if (!inner.ok()) return inner.status();
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultInjectingWritableFile>(this,
+                                                   std::move(inner).value()));
+}
+
+Result<std::string> FaultInjectingFs::ReadFile(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_) {
+      return Status::Unavailable("simulated crash: filesystem is down");
+    }
+  }
+  return base_->ReadFile(path);
+}
+
+Status FaultInjectingFs::Rename(const std::string& from,
+                                const std::string& to) {
+  double uniform = 0.0;
+  Status fault =
+      NextOp(&uniform, /*can_short_write=*/false, /*can_tear=*/true);
+  if (!fault.ok()) {
+    if (fault.code() == StatusCode::kUnavailable &&
+        fault.message().rfind("injected torn rename", 0) == 0) {
+      // The directory entry outran the data: the rename "happens" but the
+      // destination holds a truncated prefix, and the device is dead after
+      // the power cut that exposed it.
+      Result<std::string> content = base_->ReadFile(from);
+      if (content.ok()) {
+        const size_t keep = static_cast<size_t>(
+            uniform * static_cast<double>(content.value().size()));
+        Result<std::unique_ptr<WritableFile>> file =
+            base_->NewWritableFile(from);
+        if (file.ok()) {
+          file.value()->Append(
+              std::string_view(content.value()).substr(0, keep));
+          file.value()->Sync();
+          file.value()->Close();
+        }
+        base_->Rename(from, to);
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      crashed_ = true;
+    }
+    return fault;
+  }
+  return base_->Rename(from, to);
+}
+
+Status FaultInjectingFs::RemoveFile(const std::string& path) {
+  double uniform = 0.0;
+  TEMPLEX_RETURN_IF_ERROR(
+      NextOp(&uniform, /*can_short_write=*/false, /*can_tear=*/false));
+  return base_->RemoveFile(path);
+}
+
+Result<std::vector<std::string>> FaultInjectingFs::ListDir(
+    const std::string& dir) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_) {
+      return Status::Unavailable("simulated crash: filesystem is down");
+    }
+  }
+  return base_->ListDir(dir);
+}
+
+Status FaultInjectingFs::CreateDir(const std::string& dir) {
+  double uniform = 0.0;
+  TEMPLEX_RETURN_IF_ERROR(
+      NextOp(&uniform, /*can_short_write=*/false, /*can_tear=*/false));
+  return base_->CreateDir(dir);
+}
+
+bool FaultInjectingFs::Exists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return false;
+  return base_->Exists(path);
+}
+
+bool FaultInjectingFs::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+int64_t FaultInjectingFs::mutating_ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_;
+}
+
+int64_t FaultInjectingFs::injected_faults() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return faults_;
+}
+
+}  // namespace templex

@@ -1,0 +1,188 @@
+#ifndef TEMPLEX_COMMON_FS_H_
+#define TEMPLEX_COMMON_FS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace templex {
+
+// Filesystem abstraction for the durability layer (io/checkpoint.h). The
+// production implementation is POSIX; MemFs gives tests a hermetic disk
+// with honest crash semantics (unsynced bytes are lost), and
+// FaultInjectingFs decorates any Fs with seeded storage faults — the
+// storage twin of llm/fault_injecting_llm.h.
+//
+// Durability contract (what io/checkpoint relies on):
+//   - WritableFile::Append buffers; only bytes covered by a returned-OK
+//     Sync() are guaranteed to survive a crash.
+//   - Rename atomically replaces the destination. After a crash, readers
+//     see either the old or the new file — never a mix — PROVIDED the
+//     source was Sync()ed first (renaming unsynced data is the classic
+//     torn-rename bug, and MemFs/FaultInjectingFs reproduce it).
+
+// A file opened for writing. Close() without Sync() makes no durability
+// promise. Destruction closes (without syncing).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual Status Append(std::string_view data) = 0;
+  // Flushes all appended bytes to durable storage.
+  virtual Status Sync() = 0;
+  // Idempotent; further Appends are an error.
+  virtual Status Close() = 0;
+};
+
+class Fs {
+ public:
+  virtual ~Fs() = default;
+
+  // Creates (or truncates) `path` for writing.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) = 0;
+
+  // Whole-file read. NotFound when the file does not exist.
+  virtual Result<std::string> ReadFile(const std::string& path) = 0;
+
+  // Atomically replaces `to` with `from`. NotFound when `from` is missing.
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
+  // NotFound when missing.
+  virtual Status RemoveFile(const std::string& path) = 0;
+
+  // Plain file names directly inside `dir`, sorted. NotFound when the
+  // directory does not exist.
+  virtual Result<std::vector<std::string>> ListDir(const std::string& dir) = 0;
+
+  // Creates `dir` (and missing parents); OK when it already exists.
+  virtual Status CreateDir(const std::string& dir) = 0;
+
+  virtual bool Exists(const std::string& path) = 0;
+};
+
+// `dir` + "/" + `name`, without doubling separators.
+std::string JoinPath(const std::string& dir, const std::string& name);
+
+// The process-wide POSIX filesystem.
+Fs* RealFilesystem();
+
+// In-memory filesystem with crash semantics: each file tracks how many of
+// its bytes have been Sync()ed, and LoseUnsyncedData() — the simulated
+// power cut — truncates every file back to its synced prefix. Renames and
+// removals are modelled as immediately durable (as if the directory were
+// fsynced), so the only way to lose bytes is to skip Sync() on the data
+// itself — exactly the failure the checkpoint commit protocol must order
+// against. Thread-safe.
+class MemFs : public Fs {
+ public:
+  MemFs() = default;
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  Result<std::string> ReadFile(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
+  Status CreateDir(const std::string& dir) override;
+  bool Exists(const std::string& path) override;
+
+  // Simulates a crash + restart of the storage device: every file keeps
+  // only the prefix covered by its last successful Sync().
+  void LoseUnsyncedData();
+
+  // Test introspection.
+  int64_t synced_bytes(const std::string& path);
+
+ private:
+  friend class MemWritableFile;
+  struct MemFile {
+    std::string content;
+    size_t synced = 0;
+  };
+
+  std::mutex mu_;
+  std::map<std::string, MemFile> files_;
+  std::set<std::string> dirs_;
+};
+
+// Which storage faults a FaultInjectingFs draws, and how often. Rates are
+// per-mutating-op probabilities in [0, 1]; each op makes one deterministic
+// draw from (seed, op index), so a fixed seed replays the exact same fault
+// sequence regardless of wall clock or thread timing.
+struct FsFaultOptions {
+  uint64_t seed = 20250806;
+
+  // After this many successful mutating ops, the next mutating op and
+  // everything after it (reads included) fails with
+  // kUnavailable("simulated crash"). -1 disables. Drive this 0..N to sweep
+  // every crash point of a protocol; pair with MemFs::LoseUnsyncedData()
+  // before "restarting".
+  int64_t crash_after_ops = -1;
+
+  // Probability that a mutating op fails outright with kUnavailable (EIO).
+  double error_rate = 0.0;
+  // Probability that an Append persists only a seeded prefix of its bytes
+  // and then reports kUnavailable — a short write the caller must treat as
+  // failed even though bytes hit the file.
+  double short_write_rate = 0.0;
+  // Probability that a Rename goes through but the destination is
+  // truncated at a seeded offset and the fs enters the crashed state — a
+  // torn rename: the directory entry outran the data blocks (what happens
+  // on power cut when the protocol forgets to Sync() before Rename()).
+  double torn_rename_rate = 0.0;
+};
+
+// Seeded fault-injecting Fs decorator for storage chaos tests: recovery
+// code must either resume from what survived or fail with a diagnosable
+// Status — never read garbage as truth. Thread-safe; the op counter is
+// shared across all files of this instance.
+class FaultInjectingFs : public Fs {
+ public:
+  explicit FaultInjectingFs(Fs* base, FsFaultOptions options = {});
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  Result<std::string> ReadFile(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
+  Status CreateDir(const std::string& dir) override;
+  bool Exists(const std::string& path) override;
+
+  bool crashed() const;
+  // Accounting for test assertions.
+  int64_t mutating_ops() const;
+  int64_t injected_faults() const;
+
+ private:
+  friend class FaultInjectingWritableFile;
+
+  // Draws the fault (if any) for the next mutating op; advances the op
+  // counter. kOk means "proceed"; anything else is the injected failure the
+  // op must surface. `uniform` is the op's deterministic U[0,1) draw,
+  // exposed for offset-picking faults. Fault bands only fire on ops they
+  // apply to (`can_short_write` for Appends, `can_tear` for Renames); the
+  // draw itself is identical for every op, so the fault sequence stays a
+  // pure function of (seed, op index).
+  Status NextOp(double* uniform, bool can_short_write, bool can_tear);
+  double DrawAt(int64_t index, uint64_t salt) const;
+
+  Fs* base_;
+  FsFaultOptions options_;
+  mutable std::mutex mu_;
+  int64_t ops_ = 0;
+  int64_t faults_ = 0;
+  bool crashed_ = false;
+};
+
+}  // namespace templex
+
+#endif  // TEMPLEX_COMMON_FS_H_

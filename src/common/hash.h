@@ -1,6 +1,7 @@
 #ifndef TEMPLEX_COMMON_HASH_H_
 #define TEMPLEX_COMMON_HASH_H_
 
+#include <cstddef>
 #include <cstdint>
 
 namespace templex {
@@ -27,6 +28,43 @@ inline uint64_t HashMix(uint64_t x) {
 inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
   return HashMix(seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) +
                          (seed >> 2)));
+}
+
+namespace internal {
+// Reflected CRC-32 (IEEE 802.3, polynomial 0xEDB88320) byte table.
+inline const uint32_t* Crc32Table() {
+  static const auto table = [] {
+    struct Table {
+      uint32_t entries[256];
+    } t;
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+      }
+      t.entries[i] = crc;
+    }
+    return t;
+  }();
+  return table.entries;
+}
+}  // namespace internal
+
+// CRC-32 (IEEE) over `size` bytes, resumable: pass a previous checksum as
+// `seed` to continue it over the next chunk (Crc32(b, n2, Crc32(a, n1)) ==
+// Crc32(a+b, n1+n2)). Unlike HashMix/HashCombine — which optimize for
+// avalanche in in-memory indexes — this is the detection code for bytes
+// that cross a durability boundary: every io/checkpoint record carries one
+// so torn writes and bit rot surface as kDataLoss instead of a wrong
+// resume.
+inline uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0) {
+  const uint32_t* table = internal::Crc32Table();
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ bytes[i]) & 0xFFu];
+  }
+  return ~crc;
 }
 
 }  // namespace templex

@@ -25,6 +25,13 @@ enum class StatusCode {
   // time budget, or was cooperatively aborted via a CancellationToken.
   kDeadlineExceeded,
   kCancelled,
+  // Storage failure-model codes (common/fs.h, io/checkpoint.h): the
+  // underlying storage failed transiently (I/O error, injected fault,
+  // simulated crash) vs. durable bytes that fail their integrity checks
+  // (bad magic/CRC, truncated record). kDataLoss is terminal for the
+  // artifact: retrying cannot make a corrupt checkpoint readable.
+  kUnavailable,
+  kDataLoss,
 };
 
 // Returns a stable, human-readable name for a status code ("InvalidArgument").
@@ -65,6 +72,12 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -60,6 +60,29 @@ int AggregateState::GroupContributorCount(
   return static_cast<int>(it->second.size());
 }
 
+void AggregateState::ForEach(
+    const std::function<void(int, const std::vector<Value>&,
+                             const std::vector<Value>&, const Value&,
+                             const std::vector<FactId>&)>& fn) const {
+  for (size_t rule = 0; rule < per_rule_.size(); ++rule) {
+    for (const auto& [group_key, group] : per_rule_[rule]) {
+      for (const auto& [contributor_key, entry] : group) {
+        fn(static_cast<int>(rule), group_key, contributor_key, entry.value,
+           entry.parents);
+      }
+    }
+  }
+}
+
+void AggregateState::Restore(int rule_index,
+                             const std::vector<Value>& group_key,
+                             const std::vector<Value>& contributor_key,
+                             const Value& value,
+                             const std::vector<FactId>& parents) {
+  per_rule_[rule_index][group_key][contributor_key] =
+      ContributorEntry{value, parents};
+}
+
 AggregateEmission AggregateState::MakeEmission(AggregateFunction function,
                                                const Group& group) const {
   AggregateEmission emission;

@@ -1,6 +1,7 @@
 #ifndef TEMPLEX_ENGINE_AGGREGATE_STATE_H_
 #define TEMPLEX_ENGINE_AGGREGATE_STATE_H_
 
+#include <functional>
 #include <map>
 #include <optional>
 #include <vector>
@@ -48,6 +49,27 @@ class AggregateState {
   // Number of contributors currently recorded for a group (0 if unseen).
   int GroupContributorCount(int rule_index,
                             const std::vector<Value>& group_key) const;
+
+  int num_rules() const { return static_cast<int>(per_rule_.size()); }
+
+  // Serialization support (io/checkpoint.h). ForEach visits every recorded
+  // contribution in deterministic order (rule index ascending, then group
+  // key, then contributor key — map order), and Restore overwrites one
+  // contribution in place. Replaying a checkpoint's entries through Restore
+  // in their recorded order reconstructs the exact state: snapshot entries
+  // come from ForEach, and journal entries are the monotone update stream
+  // (each Contribute that changed state), whose last write per key is the
+  // current value.
+  void ForEach(
+      const std::function<void(int rule_index,
+                               const std::vector<Value>& group_key,
+                               const std::vector<Value>& contributor_key,
+                               const Value& value,
+                               const std::vector<FactId>& parents)>& fn) const;
+
+  void Restore(int rule_index, const std::vector<Value>& group_key,
+               const std::vector<Value>& contributor_key, const Value& value,
+               const std::vector<FactId>& parents);
 
  private:
   struct VectorValueLess {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <optional>
 
+#include "common/fs.h"
+#include "common/hash.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "engine/aggregate_state.h"
@@ -10,6 +12,7 @@
 #include "engine/matcher.h"
 #include "engine/rule_plan.h"
 #include "engine/stratification.h"
+#include "io/checkpoint.h"
 #include "obs/trace.h"
 
 namespace templex {
@@ -82,22 +85,52 @@ class ChaseRun {
     TEMPLEX_RETURN_IF_ERROR(
         CheckInterruption(config_.deadline, config_.cancel, "chase start"));
     TEMPLEX_RETURN_IF_ERROR(Prepare());
-    for (const Fact& fact : edb) {
-      ChaseNode node;
-      node.fact = fact;
-      auto [id, inserted] = result_.graph.AddNode(std::move(node));
-      if (inserted) store_.OnNewFact(id);
+    Result<std::vector<std::vector<int>>> strata = RuleStrata(program_);
+    if (!strata.ok()) return strata.status();
+
+    // Resume position: fresh runs start at stratum 0 with a full first
+    // evaluation pass; a restored run re-enters the stratified loop exactly
+    // at its committed cursor.
+    size_t start_stratum = 0;
+    FactId resume_delta = -1;
+    if (config_.checkpoint.enabled()) {
+      TEMPLEX_RETURN_IF_ERROR(InitCheckpointing(edb));
     }
-    result_.stats.initial_facts = result_.graph.size();
-    CompilePlans();
+    if (ckpt_ != nullptr && config_.checkpoint.resume && ckpt_->CanResume()) {
+      obs::Span restore_span(tracer_, "chase.checkpoint.restore");
+      Result<ChaseCheckpoint> loaded = ckpt_->Load(ckpt_config_hash_);
+      if (!loaded.ok()) return loaded.status();
+      TEMPLEX_RETURN_IF_ERROR(RestoreFrom(std::move(loaded).value(),
+                                          strata.value().size(),
+                                          &start_stratum, &resume_delta));
+      CompilePlans();
+    } else {
+      for (const Fact& fact : edb) {
+        ChaseNode node;
+        node.fact = fact;
+        auto [id, inserted] = result_.graph.AddNode(std::move(node));
+        if (inserted) store_.OnNewFact(id);
+      }
+      result_.stats.initial_facts = result_.graph.size();
+      CompilePlans();
+    }
+    if (ckpt_ != nullptr) {
+      // Round-0 snapshot (or, after a restore, a fresh generation of the
+      // restored state): from here on every committed round is resumable.
+      TEMPLEX_RETURN_IF_ERROR(CommitSnapshot(
+          static_cast<int>(start_stratum), resume_delta));
+    }
 
     // Stratified evaluation: each stratum runs to fixpoint before any rule
     // that negates its predicates starts. Programs without negation form a
     // single stratum.
-    Result<std::vector<std::vector<int>>> strata = RuleStrata(program_);
-    if (!strata.ok()) return strata.status();
-    for (const std::vector<int>& stratum : strata.value()) {
-      TEMPLEX_RETURN_IF_ERROR(RunStratum(stratum, /*delta_begin=*/-1));
+    for (size_t s = start_stratum; s < strata.value().size(); ++s) {
+      const FactId initial = s == start_stratum ? resume_delta : -1;
+      TEMPLEX_RETURN_IF_ERROR(
+          RunStratum(strata.value()[s], initial, static_cast<int>(s)));
+    }
+    if (ckpt_ != nullptr) {
+      TEMPLEX_RETURN_IF_ERROR(CommitFinal(strata.value().size()));
     }
     return Finalize();
   }
@@ -168,7 +201,8 @@ class ChaseRun {
     extend_added_ = added;
     extend_start_size_ = result_.graph.size();
     CompilePlans();
-    TEMPLEX_RETURN_IF_ERROR(RunStratum(strata.value()[0], delta_begin));
+    TEMPLEX_RETURN_IF_ERROR(
+        RunStratum(strata.value()[0], delta_begin, /*stratum_index=*/0));
     extend_timer.Stop();
     return Finalize();
   }
@@ -311,9 +345,9 @@ class ChaseRun {
   // Runs rules to fixpoint. With initial_delta < 0, the first pass
   // evaluates over every fact derived so far (fresh run / new stratum);
   // otherwise only matches touching [initial_delta, ...) run (incremental
-  // extension of an already-saturated instance).
+  // extension of an already-saturated instance, or a resumed checkpoint).
   Status RunStratum(const std::vector<int>& rule_indexes,
-                    FactId initial_delta) {
+                    FactId initial_delta, int stratum_index) {
     bool first_pass = initial_delta < 0;
     FactId delta_begin = first_pass ? 0 : initial_delta;
     while (true) {
@@ -342,7 +376,248 @@ class ChaseRun {
       }
       first_pass = false;
       delta_begin = limit;
+      // Commit the finished round before the next boundary's interruption
+      // check: a deadline or cancellation can then only lose uncommitted
+      // work, never committed rounds. `delta_begin` is the cursor — a
+      // resumed run re-enters here with the same window.
+      TEMPLEX_RETURN_IF_ERROR(CommitRound(stratum_index, delta_begin));
     }
+    return Status::OK();
+  }
+
+  // -------------------------------------------------------------------------
+  // Crash-safe checkpointing (io/checkpoint.h, DESIGN.md §9). Run()-only;
+  // every method below no-ops (or is never called) when the policy is off.
+
+  Status InitCheckpointing(const std::vector<Fact>& edb) {
+    Fs* fs = config_.checkpoint.fs != nullptr ? config_.checkpoint.fs
+                                              : RealFilesystem();
+    ckpt_ = std::make_unique<CheckpointStore>(fs, config_.checkpoint.dir,
+                                              metrics_);
+    TEMPLEX_RETURN_IF_ERROR(ckpt_->Open());
+    // The config hash ties a checkpoint to everything that shapes the
+    // derivation sequence: format version, program text, the EDB facts in
+    // order, and the semantics-affecting config knobs. Deliberately outside
+    // the hash: num_threads (successful runs are byte-identical across
+    // thread counts, so resuming at a different count is a feature),
+    // deadline/cancel, and the max_rounds/max_facts guard rails (raising a
+    // limit to finish an interrupted run must not orphan its checkpoint).
+    uint64_t h = HashCombine(0, kCheckpointFormatVersion);
+    h = HashCombine(h, static_cast<uint64_t>(ProgramFingerprint(program_)));
+    for (const Fact& fact : edb) {
+      h = HashCombine(h, static_cast<uint64_t>(fact.Hash()));
+    }
+    h = HashCombine(h, config_.semi_naive ? 1 : 0);
+    h = HashCombine(
+        h, static_cast<uint64_t>(config_.max_alternative_derivations));
+    ckpt_config_hash_ = h;
+    return Status::OK();
+  }
+
+  // Rebuilds the run's full state from a loaded checkpoint: symbol table
+  // (in id order, so re-interning anywhere later is a lookup hit), chase
+  // graph + fact store, aggregate state, stats, null counter, and cursor.
+  // Structural inconsistencies are kDataLoss: the records passed their
+  // CRCs, so a violated invariant means the checkpoint lies about itself.
+  Status RestoreFrom(ChaseCheckpoint checkpoint, size_t num_strata,
+                     size_t* start_stratum, FactId* resume_delta) {
+    SymbolTable& symbols = result_.graph.symbols();
+    for (const std::string& name : checkpoint.symbols) {
+      symbols.Intern(name);
+    }
+    if (symbols.size() != static_cast<int>(checkpoint.symbols.size())) {
+      return Status::DataLoss(
+          "checkpoint: symbol table contains duplicates");
+    }
+    const std::vector<Rule>& rules = program_.rules();
+    auto relabel = [&rules](int rule_index, std::string* label) -> bool {
+      if (rule_index < 0) return true;  // extensional
+      if (static_cast<size_t>(rule_index) >= rules.size()) return false;
+      *label = rules[rule_index].label;
+      return true;
+    };
+    const FactId total = static_cast<FactId>(checkpoint.nodes.size());
+    for (FactId i = 0; i < total; ++i) {
+      ChaseNode node = std::move(checkpoint.nodes[i]);
+      if (!relabel(node.rule_index, &node.rule_label)) {
+        return Status::DataLoss("checkpoint: fact " + std::to_string(i) +
+                                " derived by out-of-range rule " +
+                                std::to_string(node.rule_index));
+      }
+      for (FactId parent : node.parents) {
+        if (parent < 0 || parent >= i) {
+          return Status::DataLoss(
+              "checkpoint: fact " + std::to_string(i) +
+              " has non-preceding parent " + std::to_string(parent));
+        }
+      }
+      for (Derivation& alt : node.alternatives) {
+        if (!relabel(alt.rule_index, &alt.rule_label)) {
+          return Status::DataLoss(
+              "checkpoint: alternative derived by out-of-range rule");
+        }
+        // Alternative parents may postdate the fact (acyclic, not
+        // id-ordered), but must exist.
+        for (FactId parent : alt.parents) {
+          if (parent < 0 || parent >= total) {
+            return Status::DataLoss(
+                "checkpoint: alternative parent out of range");
+          }
+        }
+      }
+      auto [id, inserted] = result_.graph.AddNode(std::move(node));
+      if (!inserted || id != i) {
+        return Status::DataLoss("checkpoint: duplicate fact at id " +
+                                std::to_string(i));
+      }
+      store_.OnNewFact(id);
+    }
+    for (const AggregateEntryRecord& entry : checkpoint.aggregates) {
+      if (entry.rule_index < 0 ||
+          entry.rule_index >= aggregates_.num_rules()) {
+        return Status::DataLoss(
+            "checkpoint: aggregate entry for out-of-range rule " +
+            std::to_string(entry.rule_index));
+      }
+      aggregates_.Restore(entry.rule_index, entry.group_key,
+                          entry.contributor_key, entry.value, entry.parents);
+    }
+    const CheckpointCursor& cursor = checkpoint.cursor;
+    if (cursor.stratum_index < 0 ||
+        static_cast<size_t>(cursor.stratum_index) > num_strata) {
+      return Status::DataLoss("checkpoint: cursor at out-of-range stratum " +
+                              std::to_string(cursor.stratum_index));
+    }
+    result_.stats = cursor.stats;
+    next_null_id_ = cursor.next_null_id;
+    *start_stratum = static_cast<size_t>(cursor.stratum_index);
+    *resume_delta = cursor.resume_delta;
+    if (metrics_ != nullptr) {
+      metrics_->counter("checkpoint.resume.rounds_skipped")
+          ->Increment(cursor.stats.rounds);
+    }
+    return Status::OK();
+  }
+
+  CheckpointCursor MakeCursor(int stratum_index, FactId resume_delta) const {
+    CheckpointCursor cursor;
+    cursor.stratum_index = stratum_index;
+    cursor.resume_delta = resume_delta;
+    cursor.stats = result_.stats;
+    cursor.next_null_id = next_null_id_;
+    return cursor;
+  }
+
+  // Remembers the committed watermarks and drops the pending change lists.
+  void MarkCommitted() {
+    last_committed_round_ = result_.stats.rounds;
+    last_committed_size_ = result_.graph.size();
+    last_committed_symbols_ = result_.graph.symbols().size();
+    pending_alternatives_.clear();
+    pending_aggregates_.clear();
+  }
+
+  // Round-boundary policy: journal a delta every `every_rounds` completed
+  // rounds, promote to a full snapshot (new journal generation) every
+  // `snapshot_every_rounds`.
+  Status CommitRound(int stratum_index, FactId resume_delta) {
+    if (ckpt_ == nullptr) return Status::OK();
+    if (result_.stats.rounds - last_committed_round_ <
+        config_.checkpoint.every_rounds) {
+      return Status::OK();
+    }
+    if (result_.stats.rounds - last_snapshot_round_ >=
+        config_.checkpoint.snapshot_every_rounds) {
+      return CommitSnapshot(stratum_index, resume_delta);
+    }
+    return CommitDelta(stratum_index, resume_delta);
+  }
+
+  // Flushes whatever the round policy left uncommitted once the strata
+  // loop reaches fixpoint, so a completed run's checkpoint always points
+  // at its final state (resuming it is a no-op that reproduces the result).
+  Status CommitFinal(size_t num_strata) {
+    if (ckpt_ == nullptr) return Status::OK();
+    const int last_stratum =
+        num_strata == 0 ? 0 : static_cast<int>(num_strata) - 1;
+    const FactId size = result_.graph.size();
+    if (result_.stats.rounds == last_committed_round_ &&
+        size == last_committed_size_ && pending_alternatives_.empty() &&
+        pending_aggregates_.empty()) {
+      // Nothing happened since the last commit, but the cursor may still
+      // point into an earlier stratum whose fixpoint round was the last
+      // committed one; the delta below would be empty, so skip it only
+      // when the committed cursor already equals the final one.
+      if (committed_cursor_.stratum_index == last_stratum &&
+          committed_cursor_.resume_delta == size) {
+        return Status::OK();
+      }
+    }
+    return CommitDelta(last_stratum, size);
+  }
+
+  Status CommitSnapshot(int stratum_index, FactId resume_delta) {
+    obs::Span span(tracer_, "chase.checkpoint.snapshot");
+    ChaseCheckpoint snapshot;
+    snapshot.config_hash = ckpt_config_hash_;
+    const SymbolTable& symbols = result_.graph.symbols();
+    snapshot.symbols.reserve(static_cast<size_t>(symbols.size()));
+    for (Symbol s = 0; s < symbols.size(); ++s) {
+      snapshot.symbols.push_back(symbols.name(s));
+    }
+    snapshot.nodes.reserve(static_cast<size_t>(result_.graph.size()));
+    for (FactId id = 0; id < result_.graph.size(); ++id) {
+      snapshot.nodes.push_back(result_.graph.node(id));
+    }
+    aggregates_.ForEach([&snapshot](int rule_index,
+                                    const std::vector<Value>& group_key,
+                                    const std::vector<Value>& contributor_key,
+                                    const Value& value,
+                                    const std::vector<FactId>& parents) {
+      AggregateEntryRecord entry;
+      entry.rule_index = rule_index;
+      entry.group_key = group_key;
+      entry.contributor_key = contributor_key;
+      entry.value = value;
+      entry.parents = parents;
+      snapshot.aggregates.push_back(std::move(entry));
+    });
+    snapshot.cursor = MakeCursor(stratum_index, resume_delta);
+    TEMPLEX_RETURN_IF_ERROR(ckpt_->WriteSnapshot(snapshot));
+    committed_cursor_ = snapshot.cursor;
+    last_snapshot_round_ = result_.stats.rounds;
+    MarkCommitted();
+    return Status::OK();
+  }
+
+  Status CommitDelta(int stratum_index, FactId resume_delta) {
+    obs::Span span(tracer_, "chase.checkpoint.delta");
+    CheckpointDelta delta;
+    delta.cursor = MakeCursor(stratum_index, resume_delta);
+    const SymbolTable& symbols = result_.graph.symbols();
+    for (Symbol s = last_committed_symbols_; s < symbols.size(); ++s) {
+      delta.new_symbols.push_back(symbols.name(s));
+    }
+    delta.nodes.reserve(
+        static_cast<size_t>(result_.graph.size() - last_committed_size_));
+    for (FactId id = last_committed_size_; id < result_.graph.size(); ++id) {
+      // Alternatives gained by these new nodes travel in the alternatives
+      // stream below (the serializer strips them), preserving arrival
+      // order across the whole delta.
+      delta.nodes.push_back(result_.graph.node(id));
+    }
+    delta.alternatives.reserve(pending_alternatives_.size());
+    for (const auto& [fact, index] : pending_alternatives_) {
+      AlternativeRecord record;
+      record.fact = fact;
+      record.derivation =
+          result_.graph.node(fact).alternatives[static_cast<size_t>(index)];
+      delta.alternatives.push_back(std::move(record));
+    }
+    delta.aggregates = std::move(pending_aggregates_);
+    TEMPLEX_RETURN_IF_ERROR(ckpt_->AppendDelta(delta));
+    committed_cursor_ = delta.cursor;
+    MarkCommitted();
     return Status::OK();
   }
 
@@ -668,10 +943,23 @@ class ChaseRun {
       }
       return key;
     };
+    std::vector<Value> group_key = key_of(plan.group_vars);
+    std::vector<Value> contributor_key = key_of(plan.contributor_vars);
     std::optional<AggregateEmission> emission = aggregates_.Contribute(
-        plan.index, agg.function, plan.explicit_contributor_keys,
-        key_of(plan.group_vars), key_of(plan.contributor_vars), *input,
-        facts);
+        plan.index, agg.function, plan.explicit_contributor_keys, group_key,
+        contributor_key, *input, facts);
+    if (emission.has_value() && ckpt_ != nullptr) {
+      // An emission is returned exactly when the group's state changed,
+      // and the stored entry is then (input, parents) — journal the update
+      // before post-conditions, which filter the head but not the state.
+      AggregateEntryRecord record;
+      record.rule_index = plan.index;
+      record.group_key = std::move(group_key);
+      record.contributor_key = std::move(contributor_key);
+      record.value = *input;
+      record.parents = facts;
+      pending_aggregates_.push_back(std::move(record));
+    }
     if (!emission.has_value()) return Status::OK();
     Binding out = binding;
     out.Set(agg.result_variable, emission->aggregate);
@@ -787,6 +1075,10 @@ class ChaseRun {
     derivation.parents = std::move(candidate.parents);
     derivation.contributions = std::move(candidate.contributions);
     existing.alternatives.push_back(std::move(derivation));
+    if (ckpt_ != nullptr) {
+      pending_alternatives_.emplace_back(
+          id, static_cast<int>(existing.alternatives.size()) - 1);
+    }
   }
 
   const Program& program_;
@@ -799,6 +1091,20 @@ class ChaseRun {
   AggregateState aggregates_;
   std::vector<RulePlan> plans_;
   int64_t next_null_id_ = 1;
+  // Checkpointing state (Run() with ChaseConfig::checkpoint enabled; null /
+  // empty otherwise). The watermarks delimit what the next delta carries;
+  // the pending lists capture mutations of pre-watermark state that a
+  // size-based diff would miss (alternatives attached to old facts,
+  // aggregate-group updates).
+  std::unique_ptr<CheckpointStore> ckpt_;
+  uint64_t ckpt_config_hash_ = 0;
+  int64_t last_committed_round_ = 0;
+  int64_t last_snapshot_round_ = 0;
+  FactId last_committed_size_ = 0;
+  int last_committed_symbols_ = 0;
+  CheckpointCursor committed_cursor_;
+  std::vector<std::pair<FactId, int>> pending_alternatives_;
+  std::vector<AggregateEntryRecord> pending_aggregates_;
   // Extend-run bookkeeping for the chase.extend.* metrics.
   bool extend_mode_ = false;
   double extend_seconds_ = 0.0;

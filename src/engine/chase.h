@@ -14,6 +14,7 @@
 namespace templex {
 
 class AggregateState;  // engine/aggregate_state.h
+class Fs;              // common/fs.h
 class ThreadPool;      // common/thread_pool.h
 
 namespace obs {
@@ -65,10 +66,41 @@ struct ChaseConfig {
   // Interruption points: run entry, every round boundary, and every match
   // enumerated (sequentially or on a pool thread; worker tasks abort
   // cooperatively and the pool is drained before the status returns).
-  // Partial chase state is discarded. Defaults: no deadline, no
-  // cancellation — zero-cost for callers that leave them unset.
+  // Partial chase state is discarded — unless checkpointing (below) is on,
+  // in which case the rounds committed before the interruption survive on
+  // disk and a later run with `resume` continues from them.
+  // Defaults: no deadline, no cancellation — zero-cost for callers that
+  // leave them unset.
   Deadline deadline;
   CancellationToken cancel;
+  // Crash-safe persistence (io/checkpoint.h, DESIGN.md §9). With a
+  // directory set, Run() commits its state at round boundaries: a full
+  // snapshot at round 0 (and every `snapshot_every_rounds` rounds), an
+  // append-only journal delta every `every_rounds` rounds in between, and
+  // a final flush at fixpoint. With `resume` also set, Run() restores a
+  // committed checkpoint whose config hash matches this program + EDB +
+  // semantics-affecting config, skips the restored rounds, and continues
+  // to fixpoint — byte-identical to the uninterrupted run, at any thread
+  // count (num_threads is deliberately outside the config hash).
+  //
+  // Applies to Run() only; Extend() ignores the policy (its input is an
+  // already-saturated result, not a resumable run).
+  struct CheckpointPolicy {
+    // Filesystem to commit through; null means the real POSIX filesystem.
+    // Chaos tests inject MemFs / FaultInjectingFs here.
+    Fs* fs = nullptr;
+    // Checkpoint directory; empty disables checkpointing entirely.
+    std::string dir;
+    // Journal a delta every N completed rounds.
+    int64_t every_rounds = 1;
+    // Replace the snapshot (and reset the journal) every N rounds.
+    int64_t snapshot_every_rounds = 16;
+    // Resume from the directory's committed checkpoint when present.
+    bool resume = false;
+
+    bool enabled() const { return !dir.empty(); }
+  };
+  CheckpointPolicy checkpoint;
 };
 
 // One match of a negative constraint's body (φ(x̄) → ⊥): the instance

@@ -49,6 +49,12 @@ const JsonValue* JsonValue::Find(const std::string& key) const {
 
 namespace {
 
+// Nesting cap for arrays/objects: parsing is recursive, so unbounded depth
+// in hostile input would overflow the stack long before exhausting memory.
+// 192 is far beyond any legitimate fact file and well within the default
+// stack even under sanitizers.
+constexpr int kMaxNestingDepth = 192;
+
 class JsonParser {
  public:
   explicit JsonParser(const std::string& text) : text_(text) {}
@@ -81,10 +87,20 @@ class JsonParser {
   Result<JsonValue> ParseValue() {
     if (AtEnd()) return Error("unexpected end of input");
     switch (Peek()) {
-      case '{':
-        return ParseObject();
-      case '[':
-        return ParseArray();
+      case '{': {
+        if (depth_ >= kMaxNestingDepth) return Error("nesting too deep");
+        ++depth_;
+        Result<JsonValue> v = ParseObject();
+        --depth_;
+        return v;
+      }
+      case '[': {
+        if (depth_ >= kMaxNestingDepth) return Error("nesting too deep");
+        ++depth_;
+        Result<JsonValue> v = ParseArray();
+        --depth_;
+        return v;
+      }
       case '"': {
         Result<std::string> s = ParseString();
         if (!s.ok()) return s.status();
@@ -246,6 +262,10 @@ class JsonParser {
 
   Result<JsonValue> ParseNumber() {
     const size_t start = pos_;
+    if (!AtEnd() && Peek() == '+') {
+      // strtod would accept a leading '+'; JSON does not.
+      return Error("invalid number");
+    }
     if (!AtEnd() && Peek() == '-') ++pos_;
     while (!AtEnd() && (std::isdigit(static_cast<unsigned char>(Peek())) ||
                         Peek() == '.' || Peek() == 'e' || Peek() == 'E' ||
@@ -257,11 +277,15 @@ class JsonParser {
     char* end = nullptr;
     const double value = std::strtod(token.c_str(), &end);
     if (end == nullptr || *end != '\0') return Error("invalid number");
+    // JSON has no syntax for infinities or NaN; an overflowing literal like
+    // 1e999 must be rejected, not smuggled in as +inf.
+    if (!std::isfinite(value)) return Error("number out of range");
     return JsonValue::Number(value);
   }
 
   const std::string& text_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 Result<Fact> FactFromJsonObject(const JsonValue& object) {

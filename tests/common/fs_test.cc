@@ -1,0 +1,212 @@
+// MemFs crash semantics and FaultInjectingFs determinism: the durability
+// layer (io/checkpoint) is only as trustworthy as these two test doubles,
+// so their contracts — synced-prefix survival, atomic rename, seeded fault
+// replay — are pinned here independently of any checkpoint code.
+
+#include "common/fs.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace templex {
+namespace {
+
+Status WriteAll(Fs* fs, const std::string& path, const std::string& data,
+                bool sync) {
+  Result<std::unique_ptr<WritableFile>> file = fs->NewWritableFile(path);
+  if (!file.ok()) return file.status();
+  Status status = file.value()->Append(data);
+  if (!status.ok()) return status;
+  if (sync) {
+    status = file.value()->Sync();
+    if (!status.ok()) return status;
+  }
+  return file.value()->Close();
+}
+
+TEST(JoinPathTest, HandlesSeparators) {
+  EXPECT_EQ(JoinPath("dir", "file"), "dir/file");
+  EXPECT_EQ(JoinPath("dir/", "file"), "dir/file");
+  EXPECT_EQ(JoinPath("", "file"), "file");
+}
+
+TEST(MemFsTest, ReadBackAndNotFound) {
+  MemFs fs;
+  EXPECT_EQ(fs.ReadFile("missing").status().code(), StatusCode::kNotFound);
+  ASSERT_TRUE(WriteAll(&fs, "a.txt", "hello", /*sync=*/true).ok());
+  EXPECT_TRUE(fs.Exists("a.txt"));
+  EXPECT_EQ(fs.ReadFile("a.txt").value(), "hello");
+}
+
+TEST(MemFsTest, UnsyncedBytesDieInTheCrash) {
+  MemFs fs;
+  // Synced prefix, then more appends without a Sync.
+  Result<std::unique_ptr<WritableFile>> file = fs.NewWritableFile("wal");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file.value()->Append("durable|").ok());
+  ASSERT_TRUE(file.value()->Sync().ok());
+  ASSERT_TRUE(file.value()->Append("volatile").ok());
+  ASSERT_TRUE(file.value()->Close().ok());
+  EXPECT_EQ(fs.ReadFile("wal").value(), "durable|volatile");
+  EXPECT_EQ(fs.synced_bytes("wal"), 8);
+
+  fs.LoseUnsyncedData();
+  EXPECT_EQ(fs.ReadFile("wal").value(), "durable|");
+}
+
+TEST(MemFsTest, FullyUnsyncedFileVanishesInTheCrash) {
+  MemFs fs;
+  ASSERT_TRUE(WriteAll(&fs, "tmp", "never synced", /*sync=*/false).ok());
+  fs.LoseUnsyncedData();
+  EXPECT_EQ(fs.ReadFile("tmp").value(), "");
+}
+
+TEST(MemFsTest, RenameReplacesAtomicallyAndIsDurable) {
+  MemFs fs;
+  ASSERT_TRUE(WriteAll(&fs, "old", "OLD", /*sync=*/true).ok());
+  ASSERT_TRUE(WriteAll(&fs, "new.tmp", "NEW", /*sync=*/true).ok());
+  ASSERT_TRUE(fs.Rename("new.tmp", "old").ok());
+  EXPECT_FALSE(fs.Exists("new.tmp"));
+  EXPECT_EQ(fs.ReadFile("old").value(), "NEW");
+  // Renames are modelled durable: the crash must not resurrect "OLD".
+  fs.LoseUnsyncedData();
+  EXPECT_EQ(fs.ReadFile("old").value(), "NEW");
+  EXPECT_EQ(fs.Rename("missing", "x").code(), StatusCode::kNotFound);
+}
+
+TEST(MemFsTest, TornRenameLosesUnsyncedPayload) {
+  // The classic bug the commit protocol must order against: rename without
+  // syncing the source first. The directory entry survives the crash but
+  // the bytes do not.
+  MemFs fs;
+  ASSERT_TRUE(WriteAll(&fs, "snap.tmp", "PAYLOAD", /*sync=*/false).ok());
+  ASSERT_TRUE(fs.Rename("snap.tmp", "snap").ok());
+  fs.LoseUnsyncedData();
+  EXPECT_TRUE(fs.Exists("snap"));
+  EXPECT_EQ(fs.ReadFile("snap").value(), "");
+}
+
+TEST(MemFsTest, ListDirIsSortedAndDirectChildrenOnly) {
+  MemFs fs;
+  ASSERT_TRUE(fs.CreateDir("d").ok());
+  ASSERT_TRUE(WriteAll(&fs, "d/b", "1", true).ok());
+  ASSERT_TRUE(WriteAll(&fs, "d/a", "2", true).ok());
+  ASSERT_TRUE(WriteAll(&fs, "d/sub/c", "3", true).ok());
+  ASSERT_TRUE(WriteAll(&fs, "elsewhere", "4", true).ok());
+  Result<std::vector<std::string>> names = fs.ListDir("d");
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names.value(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(fs.ListDir("nodir").status().code(), StatusCode::kNotFound);
+}
+
+TEST(MemFsTest, RemoveFile) {
+  MemFs fs;
+  ASSERT_TRUE(WriteAll(&fs, "f", "x", true).ok());
+  ASSERT_TRUE(fs.RemoveFile("f").ok());
+  EXPECT_FALSE(fs.Exists("f"));
+  EXPECT_EQ(fs.RemoveFile("f").code(), StatusCode::kNotFound);
+}
+
+TEST(FaultInjectingFsTest, CleanPassThroughWithNoFaults) {
+  MemFs mem;
+  FaultInjectingFs fs(&mem);
+  ASSERT_TRUE(WriteAll(&fs, "f", "data", true).ok());
+  EXPECT_EQ(fs.ReadFile("f").value(), "data");
+  EXPECT_FALSE(fs.crashed());
+  EXPECT_EQ(fs.injected_faults(), 0);
+  EXPECT_GT(fs.mutating_ops(), 0);
+}
+
+TEST(FaultInjectingFsTest, CrashAfterOpsFailsEverythingAfterward) {
+  MemFs mem;
+  FsFaultOptions options;
+  options.crash_after_ops = 2;
+  FaultInjectingFs fs(&mem, options);
+  // Op 0: open; op 1: append — both succeed. Op 2 hits the wall.
+  Result<std::unique_ptr<WritableFile>> file = fs.NewWritableFile("f");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file.value()->Append("ok").ok());
+  EXPECT_EQ(file.value()->Sync().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(fs.crashed());
+  // Once crashed, reads and further mutations fail too — the device is
+  // gone until the test "restarts" on the underlying MemFs.
+  EXPECT_EQ(fs.ReadFile("f").status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(fs.NewWritableFile("g").status().code(),
+            StatusCode::kUnavailable);
+  // The base fs still holds whatever survived.
+  mem.LoseUnsyncedData();
+  EXPECT_EQ(mem.ReadFile("f").value(), "");
+}
+
+TEST(FaultInjectingFsTest, SameSeedSameFaultSequence) {
+  auto run = [](uint64_t seed) {
+    MemFs mem;
+    FsFaultOptions options;
+    options.seed = seed;
+    options.error_rate = 0.3;
+    FaultInjectingFs fs(&mem, options);
+    std::string outcomes;
+    for (int i = 0; i < 40; ++i) {
+      outcomes.push_back(
+          WriteAll(&fs, "f" + std::to_string(i), "x", true).ok() ? '.' : 'E');
+    }
+    return outcomes;
+  };
+  const std::string a = run(7);
+  EXPECT_EQ(a, run(7));
+  EXPECT_NE(a, run(8));
+  EXPECT_NE(a.find('E'), std::string::npos);
+  EXPECT_NE(a.find('.'), std::string::npos);
+}
+
+TEST(FaultInjectingFsTest, ShortWritePersistsPrefixAndReportsFailure) {
+  MemFs mem;
+  FsFaultOptions options;
+  options.short_write_rate = 1.0;  // every append is short
+  FaultInjectingFs fs(&mem, options);
+  Result<std::unique_ptr<WritableFile>> file = fs.NewWritableFile("f");
+  ASSERT_TRUE(file.ok());
+  const std::string payload(1024, 'x');
+  EXPECT_EQ(file.value()->Append(payload).code(), StatusCode::kUnavailable);
+  // Some strict prefix of the payload reached the base file.
+  const std::string persisted = mem.ReadFile("f").value();
+  EXPECT_LT(persisted.size(), payload.size());
+  EXPECT_EQ(persisted, payload.substr(0, persisted.size()));
+  EXPECT_GT(fs.injected_faults(), 0);
+}
+
+TEST(FaultInjectingFsTest, TornRenameTruncatesDestinationAndCrashes) {
+  MemFs mem;
+  FsFaultOptions options;
+  options.torn_rename_rate = 1.0;
+  FaultInjectingFs fs(&mem, options);
+  ASSERT_TRUE(WriteAll(&fs, "snap.tmp", std::string(512, 'y'), true).ok());
+  EXPECT_EQ(fs.Rename("snap.tmp", "snap").code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(fs.crashed());
+  // The destination exists (directory entry landed) but holds a truncated
+  // prefix — exactly what a reader must detect via CRCs.
+  EXPECT_TRUE(mem.Exists("snap"));
+  EXPECT_LT(mem.ReadFile("snap").value().size(), 512u);
+}
+
+TEST(RealFilesystemTest, RoundTripInTmp) {
+  Fs* fs = RealFilesystem();
+  const std::string dir = ::testing::TempDir() + "templex_fs_test";
+  ASSERT_TRUE(fs->CreateDir(dir).ok());
+  const std::string path = JoinPath(dir, "probe.txt");
+  ASSERT_TRUE(WriteAll(fs, path, "posix", true).ok());
+  EXPECT_EQ(fs->ReadFile(path).value(), "posix");
+  const std::string renamed = JoinPath(dir, "renamed.txt");
+  ASSERT_TRUE(fs->Rename(path, renamed).ok());
+  EXPECT_FALSE(fs->Exists(path));
+  Result<std::vector<std::string>> names = fs->ListDir(dir);
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names.value(), (std::vector<std::string>{"renamed.txt"}));
+  ASSERT_TRUE(fs->RemoveFile(renamed).ok());
+}
+
+}  // namespace
+}  // namespace templex

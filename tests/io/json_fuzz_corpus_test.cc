@@ -1,0 +1,180 @@
+// JSON parser hardening: truncated documents, byte soup, hostile nesting,
+// and overflow literals must all come back as InvalidArgument with a byte
+// offset — never a crash, a stack overflow, or a smuggled non-finite
+// number. The corpus cases pin the specific failure classes; the fuzz
+// cases sweep seeded garbage and mutations of valid documents.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "common/rng.h"
+#include "io/json_parse.h"
+
+namespace templex {
+namespace {
+
+TEST(JsonCorpusTest, TruncationsOfAValidDocumentAllFailCleanly) {
+  const std::string valid =
+      R"({"facts": [{"predicate": "Own", "args": ["a", "b", 0.6]}]})";
+  ASSERT_TRUE(ParseJson(valid).ok());
+  for (size_t cut = 0; cut < valid.size(); ++cut) {
+    Result<JsonValue> result = ParseJson(valid.substr(0, cut));
+    ASSERT_FALSE(result.ok()) << "prefix of length " << cut << " parsed";
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(JsonCorpusTest, ErrorsCarryAByteOffset) {
+  const Status status = ParseJson(R"({"key": )").status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.ToString().find("offset 8"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(JsonCorpusTest, GarbageCorpus) {
+  const char* corpus[] = {
+      "",
+      "   ",
+      "nul",
+      "tru",
+      "truee",
+      "-",
+      "+1",
+      "1.2.3",
+      "1e",
+      "0x10",
+      "'single'",
+      "\"unterminated",
+      "\"bad escape \\q\"",
+      "\"bad unicode \\u12g4\"",
+      "\"\\u12",
+      "{",
+      "}",
+      "{]",
+      "[}",
+      "[1,]",      // trailing comma is not tolerated... see below
+      "{\"a\" 1}",
+      "{\"a\":}",
+      "{1: 2}",
+      "[1 2]",
+      "[1],",
+      "{} {}",
+      "\x01\x02\x03",
+      "\"embedded \x01 control\"",
+  };
+  for (const char* input : corpus) {
+    Result<JsonValue> result = ParseJson(input);
+    EXPECT_FALSE(result.ok()) << "accepted: " << input;
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+TEST(JsonCorpusTest, NonFiniteNumbersAreRejected) {
+  for (const char* input : {"1e999", "-1e999", "[1e400]",
+                            "{\"v\": 1e9999}"}) {
+    Result<JsonValue> result = ParseJson(input);
+    EXPECT_FALSE(result.ok()) << "accepted overflow literal: " << input;
+  }
+  // Large-but-finite still parses.
+  Result<JsonValue> ok = ParseJson("1e300");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(std::isfinite(ok.value().number_value()));
+}
+
+TEST(JsonCorpusTest, DeepNestingIsRejectedNotOverflowed) {
+  // Far past the cap: without the depth guard this is a stack overflow,
+  // not a Status. 100k levels of '[' at ~100 bytes of frame each would
+  // need ~tens of MB of stack.
+  const std::string deep_arrays(100000, '[');
+  Result<JsonValue> arrays = ParseJson(deep_arrays);
+  ASSERT_FALSE(arrays.ok());
+  EXPECT_EQ(arrays.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(arrays.status().ToString().find("nesting"), std::string::npos);
+
+  std::string deep_objects;
+  for (int i = 0; i < 50000; ++i) deep_objects += "{\"a\":";
+  EXPECT_FALSE(ParseJson(deep_objects).ok());
+
+  // Just inside the cap parses fine (and balanced).
+  std::string shallow(64, '[');
+  shallow += "1";
+  shallow += std::string(64, ']');
+  EXPECT_TRUE(ParseJson(shallow).ok());
+}
+
+TEST(JsonCorpusTest, FactsFromJsonRejectsStructuralSurprises) {
+  EXPECT_FALSE(FactsFromJson("42").ok());
+  EXPECT_FALSE(FactsFromJson("{\"notfacts\": []}").ok());
+  EXPECT_FALSE(FactsFromJson("[42]").ok());
+  EXPECT_FALSE(FactsFromJson("[{\"args\": []}]").ok());
+  EXPECT_FALSE(
+      FactsFromJson("[{\"predicate\": \"P\", \"args\": [[1]]}]").ok());
+  EXPECT_TRUE(FactsFromJson("[]").ok());
+}
+
+class JsonFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JsonFuzz, ByteSoupNeverCrashes) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 300; ++round) {
+    std::string input;
+    const int length = static_cast<int>(rng.NextInt(0, 200));
+    for (int i = 0; i < length; ++i) {
+      input.push_back(static_cast<char>(rng.NextInt(0, 255)));
+    }
+    Result<JsonValue> result = ParseJson(input);  // either outcome, no crash
+    (void)result;
+  }
+}
+
+TEST_P(JsonFuzz, StructuralSoupNeverCrashes) {
+  Rng rng(GetParam() * 131);
+  const char alphabet[] = "{}[]\",:0123456789.eE+-truefalsnu \\";
+  for (int round = 0; round < 300; ++round) {
+    std::string input;
+    const int length = static_cast<int>(rng.NextInt(0, 160));
+    for (int i = 0; i < length; ++i) {
+      input.push_back(
+          alphabet[rng.NextInt(0, sizeof(alphabet) - 2)]);
+    }
+    Result<JsonValue> result = ParseJson(input);
+    (void)result;
+  }
+}
+
+TEST_P(JsonFuzz, MutationsOfValidDocumentNeverCrash) {
+  const std::string valid =
+      R"({"facts": [{"predicate": "Own", "args": ["a", 1, true, null]},)"
+      R"( {"predicate": "Exposure", "args": [-2.5e3]}]})";
+  Rng rng(GetParam() * 977);
+  for (int round = 0; round < 300; ++round) {
+    std::string mutated = valid;
+    const int edits = static_cast<int>(rng.NextInt(1, 4));
+    for (int e = 0; e < edits; ++e) {
+      const size_t pos = rng.NextInt(0, mutated.size() - 1);
+      switch (rng.NextInt(0, 2)) {
+        case 0:
+          mutated[pos] = static_cast<char>(rng.NextInt(1, 126));
+          break;
+        case 1:
+          mutated.erase(pos, 1);
+          break;
+        default:
+          mutated.insert(pos, 1, static_cast<char>(rng.NextInt(1, 126)));
+          break;
+      }
+      if (mutated.empty()) break;
+    }
+    Result<std::vector<Fact>> result = FactsFromJson(mutated);
+    (void)result;  // either outcome, never a crash
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonFuzz, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace templex

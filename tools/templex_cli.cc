@@ -43,6 +43,26 @@
 //              and explanation. When it expires the chase aborts cleanly
 //              with DeadlineExceeded, and any LLM enhancement still
 //              pending degrades to the deterministic template wording.
+// --checkpoint-dir directory for crash-safe chase checkpoints (see
+//              DESIGN.md §9): the run commits its state at round
+//              boundaries, so a killed or deadline-exceeded run can be
+//              continued with --resume instead of recomputed.
+// --checkpoint-every-rounds journal a delta every N completed rounds
+//              (default 1; requires --checkpoint-dir).
+// --resume     resume from the checkpoint in --checkpoint-dir when one is
+//              present (exact same program, facts, and semantics-affecting
+//              config required); byte-identical to the uninterrupted run,
+//              at any --threads value.
+//
+// Exit codes (pinned by tests/tools/cli_exit_codes.cmake):
+//   0  success;
+//   1  generic error (bad input files, runtime failure, config-hash
+//      mismatch on --resume);
+//   2  usage error (unknown flag, missing argument, bad flag value);
+//   4  deadline exceeded (--deadline-ms expired before completion);
+//   5  cancelled;
+//   6  corrupt checkpoint (DataLoss: the checkpoint failed its integrity
+//      checks and --resume refused to trust it).
 
 #include <cstdio>
 #include <cstdlib>
@@ -76,8 +96,28 @@ int Usage() {
       "                   [--templates] [--dump-json FILE]\n"
       "                   [--metrics-json FILE] [--trace-out FILE] "
       "[--profile]\n"
-      "                   [--threads N] [--deadline-ms N]\n");
+      "                   [--threads N] [--deadline-ms N]\n"
+      "                   [--checkpoint-dir DIR] "
+      "[--checkpoint-every-rounds N]\n"
+      "                   [--resume]\n"
+      "exit codes: 0 ok, 1 error, 2 usage, 4 deadline exceeded,\n"
+      "            5 cancelled, 6 corrupt checkpoint\n");
   return 2;
+}
+
+// Maps a failed Status to the documented exit-code convention (see the
+// header comment; pinned by tests/tools/cli_exit_codes.cmake).
+int ExitCodeFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kDeadlineExceeded:
+      return 4;
+    case StatusCode::kCancelled:
+      return 5;
+    case StatusCode::kDataLoss:
+      return 6;
+    default:
+      return 1;
+  }
 }
 
 // Parses a query pattern: like a fact literal, but `_` is a wildcard.
@@ -111,6 +151,9 @@ int main(int argc, char** argv) {
   bool profile = false;
   int num_threads = 1;
   long deadline_ms = -1;  // < 0: no deadline
+  std::string checkpoint_dir;
+  long checkpoint_every_rounds = 1;
+  bool resume = false;
 
   // Normalize "--flag=value" into "--flag" "value" so both forms parse.
   std::vector<std::string> args;
@@ -178,6 +221,20 @@ int main(int argc, char** argv) {
         return Usage();
       }
       deadline_ms = parsed;
+    } else if (arg == "--checkpoint-dir") {
+      checkpoint_dir = next("--checkpoint-dir");
+    } else if (arg == "--checkpoint-every-rounds") {
+      const std::string& value = next("--checkpoint-every-rounds");
+      char* end = nullptr;
+      const long parsed = std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || parsed <= 0) {
+        std::fprintf(
+            stderr, "--checkpoint-every-rounds expects a positive integer\n");
+        return Usage();
+      }
+      checkpoint_every_rounds = parsed;
+    } else if (arg == "--resume") {
+      resume = true;
     } else if (arg == "--anonymize") {
       anonymize = true;
     } else if (arg == "--templates") {
@@ -188,6 +245,10 @@ int main(int argc, char** argv) {
     }
   }
   if (program_path.empty() || fact_paths.empty()) return Usage();
+  if (resume && checkpoint_dir.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint-dir\n");
+    return Usage();
+  }
 
   // One registry + tracer for the whole invocation (pipeline build, chase,
   // and every explanation query) when any observability output is asked
@@ -199,7 +260,7 @@ int main(int argc, char** argv) {
 
   auto die = [](const Status& status) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-    std::exit(1);
+    std::exit(ExitCodeFor(status));
   };
 
   // One budget for the whole invocation: the clock starts here, before the
@@ -274,6 +335,9 @@ int main(int argc, char** argv) {
   ChaseConfig chase_config;
   chase_config.num_threads = num_threads;
   chase_config.deadline = deadline;
+  chase_config.checkpoint.dir = checkpoint_dir;
+  chase_config.checkpoint.every_rounds = checkpoint_every_rounds;
+  chase_config.checkpoint.resume = resume;
   if (observe) {
     chase_config.metrics = &registry;
     chase_config.tracer = &tracer;
