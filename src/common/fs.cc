@@ -180,6 +180,26 @@ Fs* RealFilesystem() {
   return fs;
 }
 
+Status WriteFileAtomically(Fs* fs, const std::string& path,
+                           std::string_view content) {
+  // The checkpoint commit discipline, packaged: write a sibling temp file,
+  // sync it, then rename over the destination. On any failure the temp is
+  // removed and the destination is untouched — readers only ever see the
+  // previous intact file or the new intact file.
+  const std::string tmp = path + ".tmp";
+  Result<std::unique_ptr<WritableFile>> file = fs->NewWritableFile(tmp);
+  if (!file.ok()) return file.status();
+  Status status = file.value()->Append(content);
+  if (status.ok()) status = file.value()->Sync();
+  if (status.ok()) status = file.value()->Close();
+  if (status.ok()) status = fs->Rename(tmp, path);
+  if (!status.ok()) {
+    Status removed = fs->RemoveFile(tmp);
+    (void)removed;  // best-effort cleanup; the original error wins
+  }
+  return status;
+}
+
 // ---------------------------------------------------------------------------
 // MemFs
 

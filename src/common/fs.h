@@ -74,6 +74,13 @@ std::string JoinPath(const std::string& dir, const std::string& name);
 // The process-wide POSIX filesystem.
 Fs* RealFilesystem();
 
+// Commits `content` to `path` with the checkpoint discipline — write
+// `path`.tmp, Sync, Close, Rename — so `path` only ever holds a previous
+// intact file or the new intact file, never a torn one. On failure the temp
+// file is removed (best effort) and the first error is returned.
+Status WriteFileAtomically(Fs* fs, const std::string& path,
+                           std::string_view content);
+
 // In-memory filesystem with crash semantics: each file tracks how many of
 // its bytes have been Sync()ed, and LoseUnsyncedData() — the simulated
 // power cut — truncates every file back to its synced prefix. Renames and

@@ -13,6 +13,7 @@
 #include "engine/rule_plan.h"
 #include "engine/stratification.h"
 #include "io/checkpoint.h"
+#include "obs/event_log.h"
 #include "obs/trace.h"
 
 namespace templex {
@@ -68,6 +69,21 @@ void RecordInterruption(obs::MetricsRegistry* metrics, const Status& status) {
   }
 }
 
+// Terminal failure path for Run/Extend: counters, a run.failed event, and
+// — when the flight recorder has a crash-report path — a dump of its last
+// events, so a deadline kill, chaos fault, or torn checkpoint leaves a
+// post-mortem naming the in-flight rule/stratum/round.
+void RecordFailure(const ChaseConfig& config, const Status& status) {
+  RecordInterruption(config.metrics, status);
+  if (config.event_log == nullptr) return;
+  config.event_log->Log(obs::EventLevel::kError, "chase", "run.failed",
+                        {{"status", status.ToString()}});
+  if (!config.event_log->options().crash_report_path.empty()) {
+    Status dumped = config.event_log->DumpNow(status.ToString());
+    (void)dumped;  // the run's own error must win; the dump is best effort
+  }
+}
+
 class ChaseRun {
  public:
   ChaseRun(const Program& program, const ChaseConfig& config, ThreadPool* pool)
@@ -76,12 +92,21 @@ class ChaseRun {
         pool_(pool),
         metrics_(config.metrics),
         tracer_(config.tracer),
+        event_log_(config.event_log),
         store_(&result_.graph),
         aggregates_(static_cast<int>(program.rules().size())) {}
 
   Result<ChaseResult> Run(const std::vector<Fact>& edb) {
     obs::Span run_span(tracer_, "chase.run");
     run_span.AddAttribute("edb_facts", static_cast<int64_t>(edb.size()));
+    if (event_log_ != nullptr) {
+      event_log_->Log(
+          obs::EventLevel::kInfo, "chase", "run.start",
+          {{"edb_facts", std::to_string(edb.size())},
+           {"rules", std::to_string(program_.rules().size())},
+           {"threads",
+            std::to_string(pool_ != nullptr ? pool_->num_threads() : 1)}});
+    }
     TEMPLEX_RETURN_IF_ERROR(
         CheckInterruption(config_.deadline, config_.cancel, "chase start"));
     TEMPLEX_RETURN_IF_ERROR(Prepare());
@@ -140,6 +165,10 @@ class ChaseRun {
     obs::Span run_span(tracer_, "chase.extend");
     run_span.AddAttribute("delta_facts",
                           static_cast<int64_t>(additional.size()));
+    if (event_log_ != nullptr) {
+      event_log_->Log(obs::EventLevel::kInfo, "chase", "extend.start",
+                      {{"delta_facts", std::to_string(additional.size())}});
+    }
     TEMPLEX_RETURN_IF_ERROR(
         CheckInterruption(config_.deadline, config_.cancel, "chase extend"));
     extend_mode_ = true;
@@ -288,7 +317,31 @@ class ChaseRun {
       constraints_hist_ =
           metrics_->histogram("chase.phase.constraints.seconds");
     }
+    profile_by_plan_.assign(plans_.size(), nullptr);
     return Status::OK();
+  }
+
+  // Repoints profile_by_plan_ at the stratum's accumulators (rules belong
+  // to exactly one stratum, so each (rule, stratum) cell is created once).
+  void SetupStratumProfiles(const std::vector<int>& rule_indexes) {
+    std::fill(profile_by_plan_.begin(), profile_by_plan_.end(), nullptr);
+    if (metrics_ == nullptr) return;
+    for (int index : rule_indexes) {
+      const RulePlan& plan = plans_[static_cast<size_t>(index)];
+      if (plan.rule->is_constraint) continue;
+      obs::RuleProfile& profile = rule_profiles_[{index, cur_stratum_}];
+      if (profile.rule.empty()) {
+        profile.rule = RuleMetricName(*plan.rule, plan.index);
+        profile.stratum = cur_stratum_;
+      }
+      profile_by_plan_[static_cast<size_t>(index)] = &profile;
+    }
+  }
+
+  obs::RuleProfile* ProfileFor(const RulePlan& plan) const {
+    return profile_by_plan_.empty()
+               ? nullptr
+               : profile_by_plan_[static_cast<size_t>(plan.index)];
   }
 
   // Compiles each plan's match program against the run graph's symbol
@@ -327,6 +380,23 @@ class ChaseRun {
           ->Increment(store_.position_keys());
       metrics_->counter("chase.index.position_entries")
           ->Increment(store_.position_entries());
+      // Per-rule attribution: the deterministic column goes into counters
+      // (so it participates in the cross-thread-count determinism tests);
+      // the wall-clock columns and the stratum assignment are gauges. The
+      // map iterates in (rule index, stratum) order, so the result vector
+      // is deterministic too.
+      for (const auto& [key, profile] : rule_profiles_) {
+        (void)key;
+        const std::string prefix = "chase.rule." + profile.rule + ".";
+        metrics_->counter(prefix + "delta_facts")
+            ->Increment(profile.delta_facts);
+        metrics_->gauge(prefix + "stratum")
+            ->Set(static_cast<double>(profile.stratum));
+        metrics_->gauge(prefix + "match_seconds")->Set(profile.match_seconds);
+        metrics_->gauge(prefix + "derive_seconds")
+            ->Set(profile.derive_seconds);
+        result_.rule_profiles.push_back(profile);
+      }
       if (extend_mode_) {
         metrics_->counter("chase.extend.runs")->Increment();
         metrics_->counter("chase.extend.delta_facts")
@@ -348,6 +418,14 @@ class ChaseRun {
   // extension of an already-saturated instance, or a resumed checkpoint).
   Status RunStratum(const std::vector<int>& rule_indexes,
                     FactId initial_delta, int stratum_index) {
+    cur_stratum_ = stratum_index;
+    SetupStratumProfiles(rule_indexes);
+    if (event_log_ != nullptr) {
+      event_log_->Log(
+          obs::EventLevel::kInfo, "chase", "stratum.start",
+          {{"stratum", std::to_string(stratum_index)},
+           {"rules", std::to_string(rule_indexes.size())}});
+    }
     bool first_pass = initial_delta < 0;
     FactId delta_begin = first_pass ? 0 : initial_delta;
     while (true) {
@@ -362,9 +440,19 @@ class ChaseRun {
             std::to_string(config_.max_rounds));
       }
       ++result_.stats.rounds;
+      cur_round_ = result_.stats.rounds;
       obs::Span round_span(tracer_, "chase.round");
       round_span.AddAttribute("round", result_.stats.rounds)
           .AddAttribute("facts", static_cast<int64_t>(limit));
+      if (event_log_ != nullptr) {
+        event_log_->Log(
+            obs::EventLevel::kInfo, "chase", "round.start",
+            {{"round", std::to_string(result_.stats.rounds)},
+             {"stratum", std::to_string(stratum_index)},
+             {"facts", std::to_string(limit)},
+             {"delta_begin",
+              first_pass ? std::string("full") : std::to_string(delta_begin)}});
+      }
       if (pool_ != nullptr) {
         TEMPLEX_RETURN_IF_ERROR(RunRoundParallel(
             rule_indexes, first_pass ? -1 : delta_begin, limit));
@@ -393,7 +481,7 @@ class ChaseRun {
     Fs* fs = config_.checkpoint.fs != nullptr ? config_.checkpoint.fs
                                               : RealFilesystem();
     ckpt_ = std::make_unique<CheckpointStore>(fs, config_.checkpoint.dir,
-                                              metrics_);
+                                              metrics_, event_log_);
     TEMPLEX_RETURN_IF_ERROR(ckpt_->Open());
     // The config hash ties a checkpoint to everything that shapes the
     // derivation sequence: format version, program text, the EDB facts in
@@ -629,6 +717,14 @@ class ChaseRun {
   // scopes accumulate into their own cells, and the matching share is the
   // remainder of the whole-evaluation time.
   Status EvaluateRule(const RulePlan& plan, FactId delta_begin, FactId limit) {
+    if (event_log_ != nullptr) {
+      event_log_->Log(obs::EventLevel::kDebug, "chase", "rule.eval",
+                      {{"rule", RuleMetricName(*plan.rule, plan.index)},
+                       {"stratum", std::to_string(cur_stratum_)},
+                       {"round", std::to_string(cur_round_)},
+                       {"delta_begin", std::to_string(delta_begin)},
+                       {"limit", std::to_string(limit)}});
+    }
     if (metrics_ == nullptr && tracer_ == nullptr) {
       return EvaluateRuleBody(plan, delta_begin, limit);
     }
@@ -648,23 +744,42 @@ class ChaseRun {
     match_hist_->Observe(std::max(0.0, eval_seconds - head - aggregate));
     if (head > 0.0) head_hist_->Observe(head);
     if (aggregate > 0.0) aggregate_hist_->Observe(aggregate);
+    if (obs::RuleProfile* profile = ProfileFor(plan)) {
+      profile->match_seconds += std::max(0.0, eval_seconds - head - aggregate);
+      profile->derive_seconds += head + aggregate;
+    }
     return status;
   }
 
   Status EvaluateRuleBody(const RulePlan& plan, FactId delta_begin,
                           FactId limit) {
+    obs::RuleProfile* profile = ProfileFor(plan);
     InterruptProbe probe(config_.deadline, config_.cancel,
                          "rule evaluation");
-    auto callback = [this, &plan, &probe](const BodyMatch& match) -> Status {
+    auto callback = [this, &plan, profile,
+                     &probe](const BodyMatch& match) -> Status {
       TEMPLEX_RETURN_IF_ERROR(probe.Check());
       ++result_.stats.matches;
       if (plan.matches_counter != nullptr) plan.matches_counter->Increment();
+      if (profile != nullptr) ++profile->matches;
       return ProcessMatch(plan, match);
     };
+    // delta_facts accounting mirrors the parallel windows exactly (a task
+    // contributes pivot_end - pivot_begin), so the totals are identical at
+    // every thread count: a full pass scans [0, limit) through one pivot, a
+    // semi-naive pass scans [delta_begin, limit) once per body position,
+    // and an empty body pivots on nothing.
     if (delta_begin < 0 || !config_.semi_naive) {
+      if (profile != nullptr && !plan.rule->body.empty()) {
+        profile->delta_facts += limit;
+      }
       return EnumerateMatches(plan, store_, result_.graph,
                               /*delta_atom=*/-1, /*delta_begin=*/0, limit,
                               callback);
+    }
+    if (profile != nullptr) {
+      profile->delta_facts +=
+          static_cast<int64_t>(plan.body.size()) * (limit - delta_begin);
     }
     for (size_t pos = 0; pos < plan.body.size(); ++pos) {
       TEMPLEX_RETURN_IF_ERROR(EnumerateMatches(plan, store_, result_.graph,
@@ -690,6 +805,7 @@ class ChaseRun {
     // Outputs, owned by this task until the merge:
     Status status;
     int64_t matches = 0;  // homomorphisms enumerated (pre-filter)
+    double seconds = 0.0;  // wall time on the worker (metrics runs only)
     std::vector<PendingHead> heads;
   };
 
@@ -737,8 +853,21 @@ class ChaseRun {
   }
 
   // Runs on a pool thread: everything reached from here is read-only over
-  // the round-frozen store/graph; outputs go only into *task.
+  // the round-frozen store/graph (cur_stratum_/cur_round_ included — the
+  // driving thread only advances them between rounds); outputs go only
+  // into *task.
   void RunMatchTask(MatchTask* task) const {
+    if (event_log_ != nullptr) {
+      event_log_->Log(
+          obs::EventLevel::kDebug, "chase", "match.task",
+          {{"rule", RuleMetricName(*task->plan->rule, task->plan->index)},
+           {"stratum", std::to_string(cur_stratum_)},
+           {"round", std::to_string(cur_round_)},
+           {"pivot_begin", std::to_string(task->window.pivot_begin)},
+           {"pivot_end", std::to_string(task->window.pivot_end)}});
+    }
+    std::optional<ScopedTimer> timer;
+    if (metrics_ != nullptr) timer.emplace(&task->seconds);
     InterruptProbe probe(config_.deadline, config_.cancel, "match task");
     task->status = EnumerateMatches(
         *task->plan, store_, result_.graph, task->window,
@@ -791,6 +920,18 @@ class ChaseRun {
       if (task.plan->matches_counter != nullptr && task.matches > 0) {
         task.plan->matches_counter->Increment(task.matches);
       }
+      obs::RuleProfile* profile = ProfileFor(*task.plan);
+      if (profile != nullptr) {
+        // Windows partition the sequential scan, so these sums reproduce
+        // the sequential totals at any thread count; match_seconds sums
+        // worker wall time and is the one thread-dependent column.
+        profile->matches += task.matches;
+        profile->delta_facts +=
+            task.window.pivot_end - task.window.pivot_begin;
+        profile->match_seconds += task.seconds;
+      }
+      std::optional<ScopedTimer> derive_timer;
+      if (profile != nullptr) derive_timer.emplace(&profile->derive_seconds);
       for (PendingHead& head : task.heads) {
         TEMPLEX_RETURN_IF_ERROR(ApplyHead(*task.plan, std::move(head.binding),
                                           std::move(head.facts)));
@@ -1027,13 +1168,16 @@ class ChaseRun {
     node.parents = std::move(parents);
     node.contributions = std::move(contributions);
     auto [id, inserted] = result_.graph.AddNode(node);
+    obs::RuleProfile* profile = ProfileFor(plan);
     if (plan.firings_counter != nullptr) plan.firings_counter->Increment();
+    if (profile != nullptr) ++profile->firings;
     if (inserted) {
       store_.OnNewFact(id);
     } else {
       if (plan.duplicates_counter != nullptr) {
         plan.duplicates_counter->Increment();
       }
+      if (profile != nullptr) ++profile->duplicates;
       MaybeRecordAlternative(id, std::move(node));
     }
     return Status::OK();
@@ -1086,6 +1230,7 @@ class ChaseRun {
   ThreadPool* pool_;               // null: sequential rounds
   obs::MetricsRegistry* metrics_;  // may be null
   obs::Tracer* tracer_;            // may be null
+  obs::EventLog* event_log_;       // may be null
   ChaseResult result_;
   FactStore store_;
   AggregateState aggregates_;
@@ -1111,6 +1256,16 @@ class ChaseRun {
   int64_t extend_added_ = 0;
   int64_t extend_base_rounds_ = 0;
   int64_t extend_start_size_ = 0;
+  // Per-rule cost attribution, collected when metrics_ is set. The map is
+  // keyed (plan index, stratum) — node references are stable, so
+  // profile_by_plan_ caches one raw pointer per plan for the running
+  // stratum (null for constraints and for plans outside it) and the hot
+  // paths pay one pointer test. cur_stratum_/cur_round_ also tag flight-
+  // recorder events, so they advance even without a registry.
+  std::map<std::pair<int, int>, obs::RuleProfile> rule_profiles_;
+  std::vector<obs::RuleProfile*> profile_by_plan_;
+  int cur_stratum_ = 0;
+  int64_t cur_round_ = 0;
   // Per-phase accumulators (seconds), only touched when metrics_ is set;
   // phase scopes add to them via ScopedTimer, EvaluateRule observes the
   // per-evaluation deltas into the histograms below.
@@ -1159,7 +1314,7 @@ Result<ChaseResult> ChaseEngine::Run(const Program& program,
                                      const std::vector<Fact>& edb) const {
   ChaseRun run(program, config_, pool_.get());
   Result<ChaseResult> result = run.Run(edb);
-  if (!result.ok()) RecordInterruption(config_.metrics, result.status());
+  if (!result.ok()) RecordFailure(config_, result.status());
   return result;
 }
 
@@ -1168,7 +1323,7 @@ Result<ChaseResult> ChaseEngine::Extend(
     const std::vector<Fact>& additional) const {
   ChaseRun run(program, config_, pool_.get());
   Result<ChaseResult> result = run.Extend(std::move(base), additional);
-  if (!result.ok()) RecordInterruption(config_.metrics, result.status());
+  if (!result.ok()) RecordFailure(config_, result.status());
   return result;
 }
 

@@ -10,6 +10,7 @@
 #include "engine/chase_graph.h"
 #include "engine/fact.h"
 #include "obs/metrics.h"
+#include "obs/rule_profile.h"
 
 namespace templex {
 
@@ -18,7 +19,8 @@ class Fs;              // common/fs.h
 class ThreadPool;      // common/thread_pool.h
 
 namespace obs {
-class Tracer;  // obs/trace.h
+class EventLog;  // obs/event_log.h
+class Tracer;    // obs/trace.h
 }
 
 // Tuning and safety limits for a chase run.
@@ -60,6 +62,16 @@ struct ChaseConfig {
   // trace-event JSON. Both must outlive the run.
   obs::MetricsRegistry* metrics = nullptr;
   obs::Tracer* tracer = nullptr;
+  // Flight recorder (obs/event_log.h); may be null, in which case event
+  // sites reduce to one pointer test each. When set, the run records
+  // structured events — run/stratum/round boundaries at info level, per
+  // rule evaluation and per parallel match task at debug level, each
+  // carrying the in-flight rule/stratum/round — and on any failing Run()
+  // or Extend() (deadline, cancellation, chase error, checkpoint
+  // kDataLoss) the engine dumps the recorder's last events to the log's
+  // crash-report path, so chaos failures are diagnosable post-mortem.
+  // Must outlive the run.
+  obs::EventLog* event_log = nullptr;
   // Failure model (common/deadline.h): the run returns kDeadlineExceeded /
   // kCancelled — never crashes, hangs, or leaks — as soon as an
   // interruption point observes the deadline passed or the token fired.
@@ -132,6 +144,11 @@ struct ChaseResult {
   // when no registry was attached): per-rule counters, per-phase latency
   // histograms, and the ChaseStats fields as counters.
   obs::MetricsSnapshot metrics;
+  // Per-(rule, stratum) cost attribution, collected when a metrics
+  // registry is attached (empty otherwise), ordered by rule index then
+  // stratum. The count columns are byte-identical across thread counts;
+  // the seconds columns are wall-clock and are not (see obs/rule_profile.h).
+  std::vector<obs::RuleProfile> rule_profiles;
   // Negative-constraint violations found after fixpoint (empty when the
   // program has no constraints or the instance satisfies them all).
   std::vector<ConstraintViolation> violations;

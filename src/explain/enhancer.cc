@@ -4,6 +4,7 @@
 
 #include "common/string_util.h"
 #include "llm/llm_client.h"
+#include "obs/event_log.h"
 
 namespace templex {
 
@@ -257,6 +258,18 @@ Status TemplateEnhancer::EnhanceWithLlm(ExplanationTemplate* tmpl,
                                         const LlmEnhancementOptions& options,
                                         int* num_fallbacks) const {
   int fallbacks = 0;
+  // Degrade + count + flight-recorder event, in one place.
+  auto degrade = [&options, &fallbacks](TemplateSegment* segment,
+                                        std::string reason) {
+    if (options.event_log != nullptr) {
+      options.event_log->Log(obs::EventLevel::kWarn, "explain",
+                             "segment.degraded",
+                             {{"rule", segment->rule_label},
+                              {"reason", reason}});
+    }
+    DegradeSegment(segment, std::move(reason));
+    ++fallbacks;
+  };
   for (TemplateSegment& segment : tmpl->segments) {
     segment.degraded = false;
     segment.degradation_reason.clear();
@@ -266,8 +279,7 @@ Status TemplateEnhancer::EnhanceWithLlm(ExplanationTemplate* tmpl,
     if (options.deadline.expired()) {
       // Out of time: the remaining segments degrade without burning LLM
       // calls, and the template still completes.
-      DegradeSegment(&segment, "deadline expired before enhancement");
-      ++fallbacks;
+      degrade(&segment, "deadline expired before enhancement");
       continue;
     }
     Result<std::string> candidate =
@@ -276,14 +288,12 @@ Status TemplateEnhancer::EnhanceWithLlm(ExplanationTemplate* tmpl,
       if (candidate.status().code() == StatusCode::kCancelled) {
         return candidate.status();
       }
-      DegradeSegment(&segment, candidate.status().ToString());
-      ++fallbacks;
+      degrade(&segment, candidate.status().ToString());
       continue;
     }
     Status preserved = VerifyTokensPreserved(segment, candidate.value());
     if (!preserved.ok()) {
-      DegradeSegment(&segment, preserved.ToString());
-      ++fallbacks;
+      degrade(&segment, preserved.ToString());
       continue;
     }
     segment.enhanced_text = std::move(candidate).value();

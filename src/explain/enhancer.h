@@ -11,11 +11,22 @@ namespace templex {
 
 class LlmClient;  // llm/llm_client.h
 
+namespace obs {
+class EventLog;  // obs/event_log.h
+}
+
 // Run-scoped failure-model controls for the LLM enhancement pass
-// (common/deadline.h). Defaults are inert: no deadline, no cancellation.
+// (common/deadline.h). Defaults are inert: no deadline, no cancellation,
+// no flight recorder.
 struct LlmEnhancementOptions {
   Deadline deadline;
   CancellationToken cancel;
+  // When set, every degraded segment is recorded as a warn-level
+  // "segment.degraded" event (component "explain") naming the rule and the
+  // degradation reason, so an enhancement pass gone wrong shows up in
+  // crash reports next to the LLM retry events. May be null; must outlive
+  // the pass.
+  obs::EventLog* event_log = nullptr;
 };
 
 // The automatic preventive check of §4.4: every token of the deterministic

@@ -103,6 +103,7 @@ Result<std::unique_ptr<Explainer>> Explainer::Create(
     LlmEnhancementOptions enhancement;
     enhancement.deadline = options.deadline;
     enhancement.cancel = options.cancel;
+    enhancement.event_log = options.event_log;
     // Segments whose LLM rewrite failed the token-preservation (omission)
     // check and kept their deterministic text.
     int omission_fallbacks = 0;

@@ -30,6 +30,10 @@ struct ExplainerOptions {
   // one carries its own.
   obs::MetricsRegistry* metrics = nullptr;
   obs::Tracer* tracer = nullptr;
+  // Optional flight recorder (obs/event_log.h; may be null, must outlive
+  // the explainer). Threaded into the LLM enhancement pass so degraded
+  // segments leave warn-level "segment.degraded" events.
+  obs::EventLog* event_log = nullptr;
   // Which interchangeable enhanced phrasing to use (the paper generates
   // several by re-prompting; we rotate sentence frames).
   int enhancement_variant = 0;

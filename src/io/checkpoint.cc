@@ -460,8 +460,9 @@ Status CheckFileHeader(const FileHeader& header, uint64_t expected_hash,
 // CheckpointStore
 
 CheckpointStore::CheckpointStore(Fs* fs, std::string dir,
-                                 obs::MetricsRegistry* metrics)
-    : fs_(fs), dir_(std::move(dir)) {
+                                 obs::MetricsRegistry* metrics,
+                                 obs::EventLog* event_log)
+    : fs_(fs), dir_(std::move(dir)), event_log_(event_log) {
   if (metrics != nullptr) {
     writes_ = metrics->counter("checkpoint.writes");
     bytes_ = metrics->counter("checkpoint.bytes");
@@ -471,6 +472,13 @@ CheckpointStore::CheckpointStore(Fs* fs, std::string dir,
 }
 
 CheckpointStore::~CheckpointStore() = default;
+
+void CheckpointStore::LogEvent(
+    obs::EventLevel level, std::string_view name,
+    std::vector<std::pair<std::string, std::string>> fields) {
+  if (event_log_ == nullptr) return;
+  event_log_->Log(level, "checkpoint", name, std::move(fields));
+}
 
 Status CheckpointStore::Open() {
   TEMPLEX_RETURN_IF_ERROR(fs_->CreateDir(dir_));
@@ -561,6 +569,9 @@ Status CheckpointStore::WriteSnapshot(const ChaseCheckpoint& snapshot) {
     bytes_->Increment(static_cast<int64_t>(content.size()));
     write_seconds_->Observe(seconds);
   }
+  LogEvent(obs::EventLevel::kInfo, "snapshot.committed",
+           {{"generation", std::to_string(generation_)},
+            {"bytes", std::to_string(content.size())}});
   return Status::OK();
 }
 
@@ -629,10 +640,30 @@ Status CheckpointStore::AppendDelta(const CheckpointDelta& delta) {
     bytes_->Increment(static_cast<int64_t>(framed.size()));
     write_seconds_->Observe(seconds);
   }
+  LogEvent(obs::EventLevel::kInfo, "delta.committed",
+           {{"generation", std::to_string(generation_)},
+            {"bytes", std::to_string(framed.size())},
+            {"round", std::to_string(delta.cursor.stats.rounds)}});
   return Status::OK();
 }
 
 Result<ChaseCheckpoint> CheckpointStore::Load(uint64_t expected_config_hash) {
+  Result<ChaseCheckpoint> loaded = LoadImpl(expected_config_hash);
+  if (loaded.ok()) {
+    LogEvent(obs::EventLevel::kInfo, "load.ok",
+             {{"generation", std::to_string(generation_)},
+              {"facts", std::to_string(loaded.value().nodes.size())}});
+  } else if (loaded.status().code() == StatusCode::kDataLoss) {
+    // A corrupt committed checkpoint is exactly what the flight recorder
+    // exists for — record it before the caller turns it into exit code 6.
+    LogEvent(obs::EventLevel::kError, "load.dataloss",
+             {{"status", loaded.status().ToString()}});
+  }
+  return loaded;
+}
+
+Result<ChaseCheckpoint> CheckpointStore::LoadImpl(
+    uint64_t expected_config_hash) {
   if (!opened_) return Status::Internal("CheckpointStore used before Open()");
 
   // --- Snapshot: must parse completely, footer included. It was committed
@@ -769,6 +800,8 @@ Result<ChaseCheckpoint> CheckpointStore::Load(uint64_t expected_config_hash) {
   const std::string& jdata = journal_content.value();
   auto crash_cut = [&]() {
     if (corrupt_records_ != nullptr) corrupt_records_->Increment();
+    LogEvent(obs::EventLevel::kWarn, "journal.torn_tail",
+             {{"generation", std::to_string(generation_)}});
   };
   if (jdata.size() < sizeof(kMagic) ||
       std::memcmp(jdata.data(), kMagic, sizeof(kMagic)) != 0) {

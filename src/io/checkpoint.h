@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "engine/chase.h"
 #include "engine/chase_graph.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 
 namespace templex {
@@ -103,10 +104,16 @@ struct ChaseCheckpoint {
 // Metrics (when a registry is attached): checkpoint.writes,
 // checkpoint.bytes, checkpoint.corrupt_records counters and the
 // checkpoint.write.seconds histogram (docs/OBSERVABILITY.md).
+//
+// Events (when a flight recorder is attached): snapshot/delta commits at
+// info level, corrupt journal tails at warn, and kDataLoss loads at error
+// — so a post-mortem crash report shows the durability layer's last acts
+// next to the chase's.
 class CheckpointStore {
  public:
   CheckpointStore(Fs* fs, std::string dir,
-                  obs::MetricsRegistry* metrics = nullptr);
+                  obs::MetricsRegistry* metrics = nullptr,
+                  obs::EventLog* event_log = nullptr);
   ~CheckpointStore();
 
   // Creates the directory and sweeps `*.tmp` leftovers of interrupted
@@ -135,9 +142,13 @@ class CheckpointStore {
  private:
   Status StartJournal(uint64_t config_hash);
   void RetireOtherJournals();
+  Result<ChaseCheckpoint> LoadImpl(uint64_t expected_config_hash);
+  void LogEvent(obs::EventLevel level, std::string_view name,
+                std::vector<std::pair<std::string, std::string>> fields);
 
   Fs* fs_;
   std::string dir_;
+  obs::EventLog* event_log_ = nullptr;      // may be null
   obs::Counter* writes_ = nullptr;          // may stay null (no registry)
   obs::Counter* bytes_ = nullptr;
   obs::Counter* corrupt_records_ = nullptr;

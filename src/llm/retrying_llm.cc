@@ -58,7 +58,20 @@ Result<std::string> RetryingLlm::Complete(const std::string& prompt) {
     if (metrics != nullptr) {
       metrics->counter("llm.failures.transient")->Increment();
     }
-    if (attempt >= options_.max_attempts) return completion;
+    if (attempt >= options_.max_attempts) {
+      if (options_.event_log != nullptr) {
+        options_.event_log->Log(
+            obs::EventLevel::kError, "llm", "retries.exhausted",
+            {{"attempts", std::to_string(attempt)},
+             {"status", completion.status().ToString()}});
+        if (!options_.event_log->options().crash_report_path.empty()) {
+          Status dumped = options_.event_log->DumpNow(
+              "llm retries exhausted: " + completion.status().ToString());
+          (void)dumped;  // the terminal error wins; the dump is best effort
+        }
+      }
+      return completion;
+    }
     const int64_t backoff_ms = BackoffMillisForRetry(attempt);
     if (!options_.deadline.infinite() &&
         options_.deadline.RemainingMillis() <= backoff_ms) {
@@ -71,6 +84,13 @@ Result<std::string> RetryingLlm::Complete(const std::string& prompt) {
       metrics->counter("llm.retries")->Increment();
       metrics->histogram("llm.retry.backoff_ms", BackoffBoundsMs())
           ->Observe(static_cast<double>(backoff_ms));
+    }
+    if (options_.event_log != nullptr) {
+      options_.event_log->Log(
+          obs::EventLevel::kWarn, "llm", "retry",
+          {{"attempt", std::to_string(attempt)},
+           {"backoff_ms", std::to_string(backoff_ms)},
+           {"status", completion.status().ToString()}});
     }
     if (options_.clock != nullptr) {
       options_.clock->AdvanceMillis(backoff_ms);

@@ -6,6 +6,7 @@
 
 #include "common/deadline.h"
 #include "llm/llm_client.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 
 namespace templex {
@@ -41,6 +42,12 @@ struct RetryingLlmOptions {
   //   llm.failures.permanent         permanent errors propagated
   //   llm.retry.backoff_ms           histogram of backoff waits, in ms
   obs::MetricsRegistry* metrics = nullptr;
+  // Optional flight recorder (obs/event_log.h; may be null, must outlive
+  // the decorator). Records each retry at warn level and, when the
+  // attempts are exhausted, an error event followed by a crash-report dump
+  // (if the log has a crash_report_path) — retry exhaustion is a terminal
+  // failure the post-mortem must explain.
+  obs::EventLog* event_log = nullptr;
 };
 
 // A bounded exponential-backoff retry decorator around any LlmClient.

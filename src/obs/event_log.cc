@@ -1,0 +1,290 @@
+#include "obs/event_log.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <unordered_map>
+
+#include "common/fs.h"
+
+namespace templex {
+namespace obs {
+
+namespace {
+
+// obs sits below io/ in the layering, so the event log carries its own
+// minimal JSON string escaper instead of reusing io/json.h.
+void AppendJsonString(std::string_view s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+uint64_t NextLogId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+const char* EventLevelName(EventLevel level) {
+  switch (level) {
+    case EventLevel::kDebug:
+      return "debug";
+    case EventLevel::kInfo:
+      return "info";
+    case EventLevel::kWarn:
+      return "warn";
+    case EventLevel::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string EventToJsonLine(const Event& event) {
+  std::string out;
+  out.reserve(96 + 24 * event.fields.size());
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "{\"ts\":%.6f,\"tid\":%d,\"level\":",
+                event.ts_seconds, event.tid);
+  out.append(buf);
+  AppendJsonString(EventLevelName(event.level), &out);
+  out.append(",\"component\":");
+  AppendJsonString(event.component, &out);
+  out.append(",\"name\":");
+  AppendJsonString(event.name, &out);
+  out.append(",\"fields\":{");
+  bool first = true;
+  for (const auto& [key, value] : event.fields) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(key, &out);
+    out.push_back(':');
+    AppendJsonString(value, &out);
+  }
+  out.append("}}");
+  return out;
+}
+
+EventLog::EventLog(EventLogOptions options)
+    : options_(std::move(options)),
+      fs_(options_.fs != nullptr ? options_.fs : RealFilesystem()),
+      id_(NextLogId()),
+      epoch_(std::chrono::steady_clock::now()) {
+  if (options_.ring_capacity == 0) options_.ring_capacity = 1;
+  if (options_.metrics != nullptr) {
+    events_counter_ = options_.metrics->counter("event_log.events");
+    dropped_counter_ = options_.metrics->counter("event_log.dropped_events");
+    sink_errors_counter_ = options_.metrics->counter("event_log.sink_errors");
+    crash_reports_counter_ =
+        options_.metrics->counter("event_log.crash_reports");
+  }
+  if (!options_.sink_path.empty()) {
+    Result<std::unique_ptr<WritableFile>> sink =
+        fs_->NewWritableFile(options_.sink_path);
+    if (sink.ok()) {
+      sink_ = std::move(sink.value());
+    } else {
+      sink_status_ = sink.status();
+      if (sink_errors_counter_ != nullptr) sink_errors_counter_->Increment();
+    }
+  }
+}
+
+EventLog::~EventLog() {
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  if (sink_ != nullptr) {
+    { Status ignored = sink_->Sync(); (void)ignored; }
+    { Status ignored = sink_->Close(); (void)ignored; }
+  }
+}
+
+EventLog::ThreadRing* EventLog::LocalRing() {
+  // Each thread caches its ring per EventLog instance; the map is keyed by
+  // the log's process-unique id so a thread outliving one log and logging
+  // to another never dereferences a stale ring.
+  thread_local std::unordered_map<uint64_t, ThreadRing*> local_rings;
+  auto it = local_rings.find(id_);
+  if (it != local_rings.end()) return it->second;
+  auto ring = std::make_unique<ThreadRing>();
+  ring->ring.reserve(options_.ring_capacity);
+  ThreadRing* raw = ring.get();
+  {
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    raw->tid = static_cast<int>(rings_.size());
+    rings_.push_back(std::move(ring));
+  }
+  local_rings[id_] = raw;
+  return raw;
+}
+
+void EventLog::Log(EventLevel level, std::string_view component,
+                   std::string_view name,
+                   std::vector<std::pair<std::string, std::string>> fields) {
+  if (level < options_.min_level) return;
+  std::stable_sort(fields.begin(), fields.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  ThreadRing* ring = LocalRing();
+  Event event;
+  event.ts_seconds = NowSeconds();
+  event.tid = ring->tid;
+  event.level = level;
+  event.component.assign(component);
+  event.name.assign(name);
+  event.fields = std::move(fields);
+
+  {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    if (ring->ring.size() < options_.ring_capacity) {
+      ring->ring.push_back(event);
+    } else {
+      // Ring full: overwrite the oldest event in place — recording never
+      // blocks on the reader or grows without bound.
+      ring->ring[ring->next] = event;
+      ring->next = (ring->next + 1) % options_.ring_capacity;
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      if (dropped_counter_ != nullptr) dropped_counter_->Increment();
+    }
+    ++ring->total;
+  }
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  if (events_counter_ != nullptr) events_counter_->Increment();
+
+  AppendToSink(event);
+}
+
+void EventLog::AppendToSink(const Event& event) {
+  if (options_.sink_path.empty()) return;
+  std::string line = EventToJsonLine(event);
+  line.push_back('\n');
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  if (sink_ == nullptr) return;  // already failed and detached
+  Status status = sink_->Append(line);
+  if (!status.ok()) {
+    // First failure detaches the stream: the recorder keeps recording,
+    // the sink error is counted once per failed op, never retried.
+    sink_status_ = status;
+    { Status ignored = sink_->Close(); (void)ignored; }
+    sink_.reset();
+    if (sink_errors_counter_ != nullptr) sink_errors_counter_->Increment();
+  }
+}
+
+std::vector<Event> EventLog::RecentEvents(size_t max_events) const {
+  std::vector<Event> merged;
+  {
+    std::lock_guard<std::mutex> rings_lock(rings_mu_);
+    for (const auto& ring : rings_) {
+      std::lock_guard<std::mutex> lock(ring->mu);
+      // Chronological order within the ring: once full, `next` points at
+      // the oldest slot.
+      const size_t n = ring->ring.size();
+      for (size_t i = 0; i < n; ++i) {
+        merged.push_back(ring->ring[(ring->next + i) % n]);
+      }
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const Event& a, const Event& b) {
+                     if (a.ts_seconds != b.ts_seconds) {
+                       return a.ts_seconds < b.ts_seconds;
+                     }
+                     return a.tid < b.tid;
+                   });
+  if (max_events > 0 && merged.size() > max_events) {
+    merged.erase(merged.begin(),
+                 merged.end() - static_cast<ptrdiff_t>(max_events));
+  }
+  return merged;
+}
+
+int64_t EventLog::dropped_events() const {
+  return dropped_.load(std::memory_order_relaxed);
+}
+
+int64_t EventLog::retained_events() const {
+  // recorded − dropped: what the rings currently hold. Reads two counters
+  // non-atomically; exact when quiescent, some valid interleaving under
+  // concurrent loggers.
+  return recorded_.load(std::memory_order_relaxed) -
+         dropped_.load(std::memory_order_relaxed);
+}
+
+Status EventLog::Flush() {
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  if (sink_ == nullptr) return sink_status_;
+  Status status = sink_->Sync();
+  if (!status.ok()) {
+    sink_status_ = status;
+    { Status ignored = sink_->Close(); (void)ignored; }
+    sink_.reset();
+    if (sink_errors_counter_ != nullptr) sink_errors_counter_->Increment();
+  }
+  return status;
+}
+
+Status EventLog::DumpNow(std::string_view reason) {
+  if (options_.crash_report_path.empty()) {
+    return Status::FailedPrecondition(
+        "event log has no crash_report_path configured");
+  }
+  Status status = WriteCrashReport(options_.crash_report_path, reason);
+  if (status.ok() && crash_reports_counter_ != nullptr) {
+    crash_reports_counter_->Increment();
+  }
+  return status;
+}
+
+Status EventLog::WriteCrashReport(const std::string& path,
+                                  std::string_view reason) const {
+  const std::vector<Event> events = RecentEvents(options_.crash_report_last_n);
+  std::string content;
+  content.reserve(128 + 128 * events.size());
+  // Header line first so a reader (or a grep) can identify the report and
+  // its trigger without parsing event lines.
+  content.append("{\"crash_report\":{\"reason\":");
+  AppendJsonString(reason, &content);
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), ",\"events\":%zu,\"dropped\":%lld}}\n",
+                events.size(),
+                static_cast<long long>(
+                    dropped_.load(std::memory_order_relaxed)));
+  content.append(buf);
+  for (const Event& event : events) {
+    content.append(EventToJsonLine(event));
+    content.push_back('\n');
+  }
+  // Same commit discipline as checkpoints: the report path holds either
+  // nothing, the previous intact report, or this one — never a torn file.
+  return WriteFileAtomically(fs_, path, content);
+}
+
+}  // namespace obs
+}  // namespace templex

@@ -1,0 +1,188 @@
+#ifndef TEMPLEX_OBS_EVENT_LOG_H_
+#define TEMPLEX_OBS_EVENT_LOG_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace templex {
+
+class Fs;            // common/fs.h
+class WritableFile;  // common/fs.h
+
+namespace obs {
+
+// Structured, leveled event log — the engine's flight recorder. Unlike the
+// metrics registry (aggregates) and the tracer (timings), the event log
+// answers "what was the engine *doing* just before it died": every event
+// carries a monotonic timestamp, the recording thread, a severity level, a
+// component, a name, and sorted key→value fields.
+//
+// Events land in a bounded per-thread ring buffer that drops oldest-first
+// under overflow — recording never blocks or allocates unboundedly, so the
+// chase hot path can log at round/rule granularity without a safety valve.
+// Optionally every event is also streamed to a JSONL sink through the
+// common/fs.h Fs abstraction (MemFs / FaultInjectingFs in tests); a sink
+// failure disables the stream and counts event_log.sink_errors, it never
+// fails the caller.
+//
+// On any failure path the owner calls DumpNow(): the last-N retained
+// events, merged across threads in timestamp order, are committed to the
+// crash-report path with the checkpoint discipline (tmp + fsync + rename),
+// so a deadline kill, chaos fault, or torn checkpoint leaves a diagnosable
+// post-mortem instead of nothing.
+//
+// Like the other obs instruments, instrumented code holds an EventLog*
+// that may be null and branches on it — a run without a recorder pays one
+// pointer test per site.
+
+enum class EventLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+// Lowercase level name ("debug", "info", "warn", "error").
+const char* EventLevelName(EventLevel level);
+
+struct Event {
+  // Monotonic seconds since the owning log was created.
+  double ts_seconds = 0.0;
+  // Recording thread: 0 is the first thread that logged to this EventLog
+  // (the run's driving thread), workers follow in first-event order.
+  int tid = 0;
+  EventLevel level = EventLevel::kInfo;
+  std::string component;  // "chase", "checkpoint", "llm", "explain", ...
+  std::string name;       // "round.start", "run.failed", ...
+  // Sorted by key (Log() sorts), so serialized events are diffable.
+  std::vector<std::pair<std::string, std::string>> fields;
+};
+
+// One JSONL line (no trailing newline):
+//   {"ts":0.000123,"tid":0,"level":"info","component":"chase",
+//    "name":"round.start","fields":{"round":"3","stratum":"0"}}
+std::string EventToJsonLine(const Event& event);
+
+struct EventLogOptions {
+  // Events retained per recording thread; older events are dropped
+  // oldest-first (counted in event_log.dropped_events).
+  size_t ring_capacity = 256;
+  // Events below this level are discarded at the Log() call.
+  EventLevel min_level = EventLevel::kDebug;
+  // Filesystem for the sink and crash reports; null means the real POSIX
+  // filesystem. Chaos tests inject MemFs / FaultInjectingFs here.
+  Fs* fs = nullptr;
+  // When non-empty, every retained event is also appended to this JSONL
+  // file as it is logged. Append errors disable the sink (the recorder
+  // keeps recording) and count event_log.sink_errors.
+  std::string sink_path;
+  // Crash-report target for DumpNow(); empty disables dumping.
+  std::string crash_report_path;
+  // How many trailing events a crash report carries.
+  size_t crash_report_last_n = 128;
+  // Optional accounting (may be null; must outlive the log):
+  //   event_log.events          events recorded (min_level-filtered excluded)
+  //   event_log.dropped_events  events evicted oldest-first by overflow
+  //   event_log.sink_errors     sink append/sync failures (stream disabled)
+  //   event_log.crash_reports   successful DumpNow()/WriteCrashReport()s
+  MetricsRegistry* metrics = nullptr;
+};
+
+class EventLog {
+ public:
+  explicit EventLog(EventLogOptions options = {});
+  ~EventLog();
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  // Records one event on the calling thread's ring (dropping its oldest
+  // event when full) and streams it to the sink when one is configured.
+  // Thread-safe; per-thread rings mean concurrent loggers do not contend.
+  void Log(EventLevel level, std::string_view component,
+           std::string_view name,
+           std::vector<std::pair<std::string, std::string>> fields = {});
+
+  // The retained events, merged across threads in timestamp order. With
+  // max_events > 0, only the trailing max_events are returned. Thread-safe
+  // (each ring is copied under its own mutex).
+  std::vector<Event> RecentEvents(size_t max_events = 0) const;
+
+  // Events evicted by ring overflow, across all threads — and what the
+  // rings currently hold (recorded − dropped).
+  int64_t dropped_events() const;
+  int64_t retained_events() const;
+
+  // Syncs the JSONL sink (no-op without one). Returns the sink's status —
+  // after a sink failure, the error that disabled it.
+  Status Flush();
+
+  // Commits the last crash_report_last_n events to crash_report_path with
+  // tmp+fsync+rename: the report file is either absent, the previous
+  // intact report, or the new intact report — never torn. The report's
+  // first line is a header naming `reason`; event lines follow in
+  // timestamp order. kFailedPrecondition when no crash_report_path is
+  // configured.
+  Status DumpNow(std::string_view reason);
+
+  // Same, to an explicit path (DumpNow is this with the configured path).
+  Status WriteCrashReport(const std::string& path,
+                          std::string_view reason) const;
+
+  const EventLogOptions& options() const { return options_; }
+
+ private:
+  // One recording thread's bounded ring. `mu` serializes the owning
+  // thread's appends with cross-thread reads (RecentEvents/DumpNow);
+  // appends are uncontended in steady state.
+  struct ThreadRing {
+    mutable std::mutex mu;
+    int tid = 0;
+    std::vector<Event> ring;  // capacity-bounded, oldest overwritten
+    size_t next = 0;          // insertion cursor once the ring is full
+    int64_t total = 0;        // events ever appended
+  };
+
+  ThreadRing* LocalRing();
+  void AppendToSink(const Event& event);
+  double NowSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch_)
+        .count();
+  }
+
+  EventLogOptions options_;
+  Fs* fs_;  // resolved: options_.fs or the real filesystem
+  const uint64_t id_;  // process-unique — keys the TLS ring cache
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex rings_mu_;  // guards ring registration and iteration
+  std::vector<std::unique_ptr<ThreadRing>> rings_;
+
+  std::mutex sink_mu_;  // serializes sink appends and Flush
+  std::unique_ptr<WritableFile> sink_;
+  Status sink_status_;  // first sink error; OK while streaming
+
+  std::atomic<int64_t> dropped_{0};
+  std::atomic<int64_t> recorded_{0};
+
+  // Resolved instrument pointers (null without a registry).
+  Counter* events_counter_ = nullptr;
+  Counter* dropped_counter_ = nullptr;
+  Counter* sink_errors_counter_ = nullptr;
+  Counter* crash_reports_counter_ = nullptr;
+};
+
+}  // namespace obs
+}  // namespace templex
+
+#endif  // TEMPLEX_OBS_EVENT_LOG_H_

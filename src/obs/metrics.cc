@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <limits>
 
 namespace templex {
@@ -291,6 +292,69 @@ std::string ProfileTable(const MetricsSnapshot& snapshot) {
     }
   }
   return table;
+}
+
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; dotted templex names are
+// flattened with '_' and namespaced under templex_.
+std::string PrometheusName(const std::string& name) {
+  std::string out = "templex_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+// Shortest decimal that round-trips to the exact double (so the 0.1 bucket
+// bound reads "0.1", not "0.10000000000000001"), with the Prometheus
+// spellings for infinities.
+std::string PrometheusNumber(double value) {
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  char buffer[64];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+    if (std::strtod(buffer, nullptr) == value) break;
+  }
+  return buffer;
+}
+
+}  // namespace
+
+std::string MetricsSnapshotToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string text;
+  char line[256];
+  for (const CounterSnapshot& c : snapshot.counters) {
+    const std::string name = PrometheusName(c.name);
+    std::snprintf(line, sizeof(line), "# TYPE %s counter\n%s %lld\n",
+                  name.c_str(), name.c_str(),
+                  static_cast<long long>(c.value));
+    text += line;
+  }
+  for (const GaugeSnapshot& g : snapshot.gauges) {
+    const std::string name = PrometheusName(g.name);
+    text += "# TYPE " + name + " gauge\n";
+    text += name + " " + PrometheusNumber(g.value) + "\n";
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    const std::string name = PrometheusName(h.name);
+    text += "# TYPE " + name + " histogram\n";
+    // Cumulative bucket series: each le line counts observations <= bound,
+    // and le="+Inf" equals _count (the overflow cell closes the sum).
+    int64_t cumulative = 0;
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += i < h.buckets.size() ? h.buckets[i] : 0;
+      text += name + "_bucket{le=\"" + PrometheusNumber(h.bounds[i]) +
+              "\"} " + std::to_string(cumulative) + "\n";
+    }
+    text += name + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    text += name + "_sum " + PrometheusNumber(h.sum) + "\n";
+    text += name + "_count " + std::to_string(h.count) + "\n";
+  }
+  return text;
 }
 
 }  // namespace obs

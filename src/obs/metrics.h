@@ -176,6 +176,21 @@ class MetricsRegistry {
 // count / p50 / p95 / p99 / total columns.
 std::string ProfileTable(const MetricsSnapshot& snapshot);
 
+// Prometheus text exposition (version 0.0.4) of a snapshot — what a future
+// /metrics endpoint serves, and what `templex_cli --metrics-prom` writes.
+// Dotted metric names are sanitized to the Prometheus charset (every char
+// outside [a-zA-Z0-9_:] becomes '_') and prefixed "templex_": the counter
+// "chase.rule.sigma1.firings" exports as
+//
+//   # TYPE templex_chase_rule_sigma1_firings counter
+//   templex_chase_rule_sigma1_firings 42
+//
+// Gauges export as `gauge`. Histograms export the standard cumulative
+// series: one `_bucket{le="<bound>"}` line per bound plus `le="+Inf"`,
+// then `_sum` and `_count`. Output is name-ordered (the snapshot already
+// is), so identical runs export byte-identical text.
+std::string MetricsSnapshotToPrometheusText(const MetricsSnapshot& snapshot);
+
 }  // namespace obs
 }  // namespace templex
 

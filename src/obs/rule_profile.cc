@@ -1,0 +1,81 @@
+#include "obs/rule_profile.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <tuple>
+
+namespace templex {
+namespace obs {
+
+void SortRuleProfilesByCost(std::vector<RuleProfile>* profiles) {
+  std::sort(profiles->begin(), profiles->end(),
+            [](const RuleProfile& a, const RuleProfile& b) {
+              if (a.matches != b.matches) return a.matches > b.matches;
+              return std::tie(a.rule, a.stratum) < std::tie(b.rule, b.stratum);
+            });
+}
+
+namespace {
+
+std::string FormatSeconds(double seconds) {
+  char buffer[32];
+  if (seconds < 1e-3) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fus", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.2fms", seconds * 1e3);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.3fs", seconds);
+  }
+  return buffer;
+}
+
+}  // namespace
+
+std::string RuleProfileTable(std::vector<RuleProfile> profiles, size_t top_k,
+                             bool include_seconds) {
+  SortRuleProfilesByCost(&profiles);
+  if (top_k > 0 && profiles.size() > top_k) profiles.resize(top_k);
+
+  std::string table;
+  char line[256];
+  if (include_seconds) {
+    table +=
+        "-- rule profile (by matches) -------------------------------------"
+        "----------------\n";
+    std::snprintf(line, sizeof(line), "%-24s %3s %12s %12s %12s %12s %10s %10s\n",
+                  "rule", "str", "matches", "firings", "duplicates",
+                  "delta_facts", "match", "derive");
+    table += line;
+  } else {
+    table +=
+        "-- rule profile (by matches) -------------------------------------\n";
+    std::snprintf(line, sizeof(line), "%-24s %3s %12s %12s %12s %12s\n", "rule",
+                  "str", "matches", "firings", "duplicates", "delta_facts");
+    table += line;
+  }
+  for (const RuleProfile& p : profiles) {
+    if (include_seconds) {
+      std::snprintf(line, sizeof(line),
+                    "%-24s %3d %12lld %12lld %12lld %12lld %10s %10s\n",
+                    p.rule.c_str(), p.stratum,
+                    static_cast<long long>(p.matches),
+                    static_cast<long long>(p.firings),
+                    static_cast<long long>(p.duplicates),
+                    static_cast<long long>(p.delta_facts),
+                    FormatSeconds(p.match_seconds).c_str(),
+                    FormatSeconds(p.derive_seconds).c_str());
+    } else {
+      std::snprintf(line, sizeof(line), "%-24s %3d %12lld %12lld %12lld %12lld\n",
+                    p.rule.c_str(), p.stratum,
+                    static_cast<long long>(p.matches),
+                    static_cast<long long>(p.firings),
+                    static_cast<long long>(p.duplicates),
+                    static_cast<long long>(p.delta_facts));
+    }
+    table += line;
+  }
+  return table;
+}
+
+}  // namespace obs
+}  // namespace templex

@@ -1,0 +1,198 @@
+// The flight-recorder contract of the chase (ChaseConfig::event_log): the
+// engine narrates run/stratum/round/rule progress into the event log, and
+// any failed run — deadline, cancellation, chase error — dumps the last
+// events to a crash report whose tail names the in-flight rule, stratum,
+// and round, at any thread count. Per-rule cost attribution
+// (ChaseResult::rule_profiles) must be byte-identical across thread counts
+// on its deterministic columns.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/fs.h"
+#include "datalog/parser.h"
+#include "engine/chase.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "obs/rule_profile.h"
+
+namespace templex {
+namespace {
+
+Value S(const std::string& s) { return Value::String(s); }
+
+Program ClosureProgram() {
+  return ParseProgram(R"(
+base: Edge(x, y) -> Path(x, y).
+step: Path(x, z), Edge(z, y) -> Path(x, y).
+)")
+      .value();
+}
+
+std::vector<Fact> ChainEdb(int nodes) {
+  std::vector<Fact> edb;
+  for (int i = 0; i < nodes; ++i) {
+    edb.push_back({"Edge", {S("N" + std::to_string(i)),
+                            S("N" + std::to_string(i + 1))}});
+  }
+  return edb;
+}
+
+bool HasEvent(const std::vector<obs::Event>& events, const std::string& name) {
+  for (const obs::Event& event : events) {
+    if (event.name == name) return true;
+  }
+  return false;
+}
+
+TEST(ChaseFlightRecorderTest, SuccessfulRunNarratesProgress) {
+  obs::EventLog log;
+  ChaseConfig config;
+  config.event_log = &log;
+  auto result = ChaseEngine(config).Run(ClosureProgram(), ChainEdb(4));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const std::vector<obs::Event> events = log.RecentEvents();
+  EXPECT_TRUE(HasEvent(events, "run.start"));
+  EXPECT_TRUE(HasEvent(events, "stratum.start"));
+  EXPECT_TRUE(HasEvent(events, "round.start"));
+  EXPECT_TRUE(HasEvent(events, "rule.eval"));
+  EXPECT_FALSE(HasEvent(events, "run.failed"));
+}
+
+TEST(ChaseFlightRecorderTest, NullEventLogIsZeroCost) {
+  ChaseConfig config;
+  config.event_log = nullptr;
+  auto result = ChaseEngine(config).Run(ClosureProgram(), ChainEdb(4));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+}
+
+// The acceptance criterion of the flight recorder: a chaos-injected
+// failure leaves a crash report whose last events name the in-flight
+// rule/stratum/round — at 1, 2, and 8 threads.
+TEST(ChaseFlightRecorderTest, DeadlineFailureDumpsCrashReportNamingWork) {
+  for (int threads : {1, 2, 8}) {
+    MemFs fs;
+    obs::EventLogOptions log_options;
+    log_options.fs = &fs;
+    log_options.crash_report_path = "crash.jsonl";
+    obs::EventLog log(log_options);
+
+    ChaseConfig config;
+    config.num_threads = threads;
+    config.deadline = Deadline::AfterMillis(5);
+    config.event_log = &log;
+    auto result = ChaseEngine(config).Run(ClosureProgram(), ChainEdb(300));
+    ASSERT_EQ(result.status().code(), StatusCode::kDeadlineExceeded)
+        << "at " << threads << " threads";
+
+    ASSERT_TRUE(fs.Exists("crash.jsonl")) << "at " << threads << " threads";
+    EXPECT_FALSE(fs.Exists("crash.jsonl.tmp"));
+    Result<std::string> report = fs.ReadFile("crash.jsonl");
+    ASSERT_TRUE(report.ok());
+    const std::string& text = report.value();
+    // Header names the failure; the tail names what was in flight.
+    EXPECT_EQ(text.find("{\"crash_report\":"), 0u);
+    EXPECT_NE(text.find("DeadlineExceeded"), std::string::npos)
+        << "at " << threads << " threads";
+    EXPECT_NE(text.find("\"name\":\"run.failed\""), std::string::npos);
+    EXPECT_NE(text.find("\"rule\":"), std::string::npos)
+        << "at " << threads << " threads";
+    EXPECT_NE(text.find("\"stratum\":"), std::string::npos);
+    EXPECT_NE(text.find("\"round\":"), std::string::npos);
+  }
+}
+
+TEST(ChaseFlightRecorderTest, CancellationDumpsCrashReport) {
+  MemFs fs;
+  obs::EventLogOptions log_options;
+  log_options.fs = &fs;
+  log_options.crash_report_path = "crash.jsonl";
+  obs::EventLog log(log_options);
+
+  ChaseConfig config;
+  config.cancel.Cancel();
+  config.event_log = &log;
+  auto result = ChaseEngine(config).Run(ClosureProgram(), ChainEdb(10));
+  ASSERT_EQ(result.status().code(), StatusCode::kCancelled);
+  ASSERT_TRUE(fs.Exists("crash.jsonl"));
+  Result<std::string> report = fs.ReadFile("crash.jsonl");
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report.value().find("Cancelled"), std::string::npos);
+}
+
+TEST(ChaseFlightRecorderTest, FailureWithoutCrashPathStillLogsRunFailed) {
+  obs::EventLog log;  // no crash_report_path
+  ChaseConfig config;
+  config.cancel.Cancel();
+  config.event_log = &log;
+  auto result = ChaseEngine(config).Run(ClosureProgram(), ChainEdb(10));
+  ASSERT_EQ(result.status().code(), StatusCode::kCancelled);
+  EXPECT_TRUE(HasEvent(log.RecentEvents(), "run.failed"));
+}
+
+// Per-rule cost attribution: the deterministic columns and the rendered
+// table are byte-identical across thread counts.
+TEST(ChaseFlightRecorderTest, RuleProfilesAreThreadCountInvariant) {
+  std::string reference_table;
+  std::vector<obs::RuleProfile> reference;
+  for (int threads : {1, 2, 8}) {
+    obs::MetricsRegistry registry;
+    ChaseConfig config;
+    config.num_threads = threads;
+    config.metrics = &registry;
+    auto result = ChaseEngine(config).Run(ClosureProgram(), ChainEdb(24));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    const std::vector<obs::RuleProfile>& profiles =
+        result.value().rule_profiles;
+    ASSERT_EQ(profiles.size(), 2u);
+    const std::string table = obs::RuleProfileTable(
+        profiles, /*top_k=*/0, /*include_seconds=*/false);
+    if (threads == 1) {
+      reference = profiles;
+      reference_table = table;
+      // Sanity: the closure workload exercises every column.
+      int64_t matches = 0;
+      for (const obs::RuleProfile& p : profiles) matches += p.matches;
+      EXPECT_GT(matches, 0);
+    } else {
+      EXPECT_EQ(table, reference_table) << "at " << threads << " threads";
+      for (size_t i = 0; i < profiles.size(); ++i) {
+        EXPECT_EQ(profiles[i].rule, reference[i].rule);
+        EXPECT_EQ(profiles[i].stratum, reference[i].stratum);
+        EXPECT_EQ(profiles[i].matches, reference[i].matches);
+        EXPECT_EQ(profiles[i].firings, reference[i].firings);
+        EXPECT_EQ(profiles[i].duplicates, reference[i].duplicates);
+        EXPECT_EQ(profiles[i].delta_facts, reference[i].delta_facts);
+      }
+    }
+  }
+}
+
+TEST(ChaseFlightRecorderTest, RuleProfilesExportAsMetrics) {
+  obs::MetricsRegistry registry;
+  ChaseConfig config;
+  config.metrics = &registry;
+  auto result = ChaseEngine(config).Run(ClosureProgram(), ChainEdb(8));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const obs::MetricsSnapshot snapshot = registry.Snapshot();
+  const obs::CounterSnapshot* delta =
+      snapshot.FindCounter("chase.rule.step.delta_facts");
+  ASSERT_NE(delta, nullptr);
+  EXPECT_GT(delta->value, 0);
+  EXPECT_NE(snapshot.FindGauge("chase.rule.step.stratum"), nullptr);
+  EXPECT_NE(snapshot.FindGauge("chase.rule.step.match_seconds"), nullptr);
+  EXPECT_NE(snapshot.FindGauge("chase.rule.step.derive_seconds"), nullptr);
+}
+
+TEST(ChaseFlightRecorderTest, NoMetricsMeansNoProfiles) {
+  ChaseConfig config;
+  auto result = ChaseEngine(config).Run(ClosureProgram(), ChainEdb(8));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.value().rule_profiles.empty());
+}
+
+}  // namespace
+}  // namespace templex

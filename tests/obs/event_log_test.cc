@@ -1,0 +1,296 @@
+#include "obs/event_log.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fs.h"
+#include "obs/metrics.h"
+
+namespace templex {
+namespace obs {
+namespace {
+
+TEST(EventToJsonLineTest, SerializesAllFields) {
+  Event event;
+  event.ts_seconds = 0.000123;
+  event.tid = 2;
+  event.level = EventLevel::kWarn;
+  event.component = "chase";
+  event.name = "round.start";
+  event.fields = {{"round", "3"}, {"stratum", "0"}};
+  EXPECT_EQ(EventToJsonLine(event),
+            "{\"ts\":0.000123,\"tid\":2,\"level\":\"warn\","
+            "\"component\":\"chase\",\"name\":\"round.start\","
+            "\"fields\":{\"round\":\"3\",\"stratum\":\"0\"}}");
+}
+
+TEST(EventToJsonLineTest, EscapesSpecialCharacters) {
+  Event event;
+  event.component = "llm";
+  event.name = "retry";
+  event.fields = {{"status", "quote \" backslash \\ newline \n tab \t"}};
+  const std::string line = EventToJsonLine(event);
+  EXPECT_NE(line.find("\\\""), std::string::npos);
+  EXPECT_NE(line.find("\\\\"), std::string::npos);
+  EXPECT_NE(line.find("\\n"), std::string::npos);
+  EXPECT_NE(line.find("\\t"), std::string::npos);
+  // No raw control characters survive.
+  for (char c : line) EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+}
+
+TEST(EventLogTest, RecordsAndMergesEvents) {
+  EventLog log;
+  log.Log(EventLevel::kInfo, "chase", "run.start", {{"rules", "4"}});
+  log.Log(EventLevel::kDebug, "chase", "rule.eval",
+          {{"rule", "sigma1"}, {"round", "1"}});
+  const std::vector<Event> events = log.RecentEvents();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "run.start");
+  EXPECT_EQ(events[1].name, "rule.eval");
+  EXPECT_LE(events[0].ts_seconds, events[1].ts_seconds);
+  EXPECT_EQ(events[0].tid, 0);
+  EXPECT_EQ(log.retained_events(), 2);
+  EXPECT_EQ(log.dropped_events(), 0);
+}
+
+TEST(EventLogTest, SortsFieldsByKey) {
+  EventLog log;
+  log.Log(EventLevel::kInfo, "chase", "round.start",
+          {{"stratum", "0"}, {"round", "7"}, {"facts", "12"}});
+  const std::vector<Event> events = log.RecentEvents();
+  ASSERT_EQ(events.size(), 1u);
+  ASSERT_EQ(events[0].fields.size(), 3u);
+  EXPECT_EQ(events[0].fields[0].first, "facts");
+  EXPECT_EQ(events[0].fields[1].first, "round");
+  EXPECT_EQ(events[0].fields[2].first, "stratum");
+}
+
+TEST(EventLogTest, MinLevelFiltersAtTheCall) {
+  EventLogOptions options;
+  options.min_level = EventLevel::kWarn;
+  EventLog log(options);
+  log.Log(EventLevel::kDebug, "chase", "rule.eval");
+  log.Log(EventLevel::kInfo, "chase", "round.start");
+  log.Log(EventLevel::kWarn, "llm", "retry");
+  log.Log(EventLevel::kError, "chase", "run.failed");
+  const std::vector<Event> events = log.RecentEvents();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "retry");
+  EXPECT_EQ(events[1].name, "run.failed");
+}
+
+// The flight-recorder contract: a full ring drops the OLDEST events, never
+// blocks, and accounts every eviction.
+TEST(EventLogTest, OverflowDropsOldestFirstWithoutBlocking) {
+  MetricsRegistry registry;
+  EventLogOptions options;
+  options.ring_capacity = 4;
+  options.metrics = &registry;
+  EventLog log(options);
+  for (int i = 0; i < 10; ++i) {
+    log.Log(EventLevel::kInfo, "chase", "e" + std::to_string(i));
+  }
+  const std::vector<Event> events = log.RecentEvents();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].name, "e6");
+  EXPECT_EQ(events[1].name, "e7");
+  EXPECT_EQ(events[2].name, "e8");
+  EXPECT_EQ(events[3].name, "e9");
+  EXPECT_EQ(log.dropped_events(), 6);
+  EXPECT_EQ(log.retained_events(), 4);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_NE(snapshot.FindCounter("event_log.dropped_events"), nullptr);
+  EXPECT_EQ(snapshot.FindCounter("event_log.dropped_events")->value, 6);
+  ASSERT_NE(snapshot.FindCounter("event_log.events"), nullptr);
+  EXPECT_EQ(snapshot.FindCounter("event_log.events")->value, 10);
+}
+
+TEST(EventLogTest, RecentEventsTrimsToTrailingN) {
+  EventLog log;
+  for (int i = 0; i < 8; ++i) {
+    log.Log(EventLevel::kInfo, "chase", "e" + std::to_string(i));
+  }
+  const std::vector<Event> last3 = log.RecentEvents(3);
+  ASSERT_EQ(last3.size(), 3u);
+  EXPECT_EQ(last3[0].name, "e5");
+  EXPECT_EQ(last3[2].name, "e7");
+}
+
+TEST(EventLogTest, PerThreadRingsMergeInTimestampOrder) {
+  EventLogOptions options;
+  options.ring_capacity = 64;
+  EventLog log(options);
+  log.Log(EventLevel::kInfo, "chase", "main.before");
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&log, t] {
+      for (int i = 0; i < 16; ++i) {
+        log.Log(EventLevel::kDebug, "chase",
+                "w" + std::to_string(t) + "." + std::to_string(i));
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  log.Log(EventLevel::kInfo, "chase", "main.after");
+  const std::vector<Event> events = log.RecentEvents();
+  ASSERT_EQ(events.size(), 2u + 4u * 16u);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].ts_seconds, events[i].ts_seconds);
+  }
+  EXPECT_EQ(events.front().name, "main.before");
+  EXPECT_EQ(events.back().name, "main.after");
+  EXPECT_EQ(log.dropped_events(), 0);
+}
+
+TEST(EventLogTest, StreamsJsonlToSink) {
+  MemFs fs;
+  EventLogOptions options;
+  options.fs = &fs;
+  options.sink_path = "events.jsonl";
+  EventLog log(options);
+  log.Log(EventLevel::kInfo, "chase", "run.start");
+  log.Log(EventLevel::kError, "chase", "run.failed", {{"status", "boom"}});
+  ASSERT_TRUE(log.Flush().ok());
+  Result<std::string> content = fs.ReadFile("events.jsonl");
+  ASSERT_TRUE(content.ok());
+  const std::string& text = content.value();
+  EXPECT_NE(text.find("\"name\":\"run.start\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"run.failed\""), std::string::npos);
+  EXPECT_NE(text.find("\"status\":\"boom\""), std::string::npos);
+  // One line per event, newline-terminated.
+  size_t newlines = 0;
+  for (char c : text) newlines += c == '\n';
+  EXPECT_EQ(newlines, 2u);
+}
+
+// A failing sink must disable the stream and count the error — it never
+// fails or stops the recorder.
+TEST(EventLogTest, SinkFailureDisablesStreamButKeepsRecording) {
+  MemFs base;
+  FsFaultOptions faults;
+  faults.crash_after_ops = 1;  // the first append lands, the next op dies
+  FaultInjectingFs fs(&base, faults);
+  MetricsRegistry registry;
+  EventLogOptions options;
+  options.fs = &fs;
+  options.sink_path = "events.jsonl";
+  options.metrics = &registry;
+  EventLog log(options);
+  for (int i = 0; i < 5; ++i) {
+    log.Log(EventLevel::kInfo, "chase", "e" + std::to_string(i));
+  }
+  EXPECT_FALSE(log.Flush().ok());  // reports the error that killed the sink
+  EXPECT_EQ(log.RecentEvents().size(), 5u);  // the rings kept recording
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_NE(snapshot.FindCounter("event_log.sink_errors"), nullptr);
+  EXPECT_GE(snapshot.FindCounter("event_log.sink_errors")->value, 1);
+}
+
+TEST(EventLogTest, DumpNowCommitsCrashReportAtomically) {
+  MemFs fs;
+  MetricsRegistry registry;
+  EventLogOptions options;
+  options.fs = &fs;
+  options.crash_report_path = "crash.jsonl";
+  options.crash_report_last_n = 3;
+  options.metrics = &registry;
+  EventLog log(options);
+  for (int i = 0; i < 6; ++i) {
+    log.Log(EventLevel::kInfo, "chase", "e" + std::to_string(i));
+  }
+  ASSERT_TRUE(log.DumpNow("deadline exceeded").ok());
+  // The tmp staging file is gone: only the committed report remains.
+  EXPECT_TRUE(fs.Exists("crash.jsonl"));
+  EXPECT_FALSE(fs.Exists("crash.jsonl.tmp"));
+  Result<std::string> content = fs.ReadFile("crash.jsonl");
+  ASSERT_TRUE(content.ok());
+  const std::string& text = content.value();
+  // Header first, then exactly the trailing N events.
+  EXPECT_EQ(text.find("{\"crash_report\":"), 0u);
+  EXPECT_NE(text.find("deadline exceeded"), std::string::npos);
+  EXPECT_EQ(text.find("\"name\":\"e2\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"e3\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"e5\""), std::string::npos);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_NE(snapshot.FindCounter("event_log.crash_reports"), nullptr);
+  EXPECT_EQ(snapshot.FindCounter("event_log.crash_reports")->value, 1);
+}
+
+TEST(EventLogTest, DumpNowWithoutPathIsFailedPrecondition) {
+  EventLog log;
+  log.Log(EventLevel::kInfo, "chase", "e0");
+  const Status status = log.DumpNow("whatever");
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+// A crash during the report write must never leave a torn report: the
+// commit is tmp+fsync+rename, so the target is absent or intact.
+TEST(EventLogTest, CrashDuringDumpLeavesNoTornReport) {
+  for (int64_t crash_after = 0; crash_after < 4; ++crash_after) {
+    MemFs base;
+    FsFaultOptions faults;
+    faults.crash_after_ops = crash_after;
+    FaultInjectingFs fs(&base, faults);
+    EventLogOptions options;
+    options.fs = &fs;
+    options.crash_report_path = "crash.jsonl";
+    EventLog log(options);
+    log.Log(EventLevel::kError, "chase", "run.failed");
+    const Status status = log.DumpNow("chaos");
+    base.LoseUnsyncedData();
+    if (base.Exists("crash.jsonl")) {
+      // Present implies intact: committed only after a successful Sync.
+      Result<std::string> content = base.ReadFile("crash.jsonl");
+      ASSERT_TRUE(content.ok());
+      EXPECT_EQ(content.value().find("{\"crash_report\":"), 0u);
+      EXPECT_NE(content.value().find("\"name\":\"run.failed\""),
+                std::string::npos);
+    } else {
+      EXPECT_FALSE(status.ok());
+    }
+  }
+}
+
+TEST(EventLogTest, WriteCrashReportToExplicitPath) {
+  MemFs fs;
+  EventLogOptions options;
+  options.fs = &fs;
+  EventLog log(options);
+  log.Log(EventLevel::kWarn, "llm", "retry", {{"attempt", "2"}});
+  ASSERT_TRUE(log.WriteCrashReport("post_mortem.jsonl", "test").ok());
+  Result<std::string> content = fs.ReadFile("post_mortem.jsonl");
+  ASSERT_TRUE(content.ok());
+  EXPECT_NE(content.value().find("\"attempt\":\"2\""), std::string::npos);
+}
+
+TEST(EventLogTest, ManyThreadsOverflowConcurrentlyWithoutLoss) {
+  MetricsRegistry registry;
+  EventLogOptions options;
+  options.ring_capacity = 8;
+  options.metrics = &registry;
+  EventLog log(options);
+  constexpr int kThreads = 8;
+  constexpr int kEventsPerThread = 500;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&log] {
+      for (int i = 0; i < kEventsPerThread; ++i) {
+        log.Log(EventLevel::kDebug, "chase", "e");
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  // Every event was either retained or dropped — nothing vanished.
+  EXPECT_EQ(log.retained_events() + log.dropped_events(),
+            kThreads * kEventsPerThread);
+  EXPECT_EQ(log.RecentEvents().size(),
+            static_cast<size_t>(log.retained_events()));
+  EXPECT_EQ(log.retained_events(), kThreads * 8);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace templex

@@ -161,6 +161,55 @@ TEST(MetricsJsonTest, SnapshotJsonShape) {
   EXPECT_DOUBLE_EQ(phase->Find("p50")->number_value(), 0.25);
 }
 
+// Histogram edge cases: empty, single-sample, and all-overflow histograms
+// must render through every exporter without NaN, Inf, or division by
+// zero — these are the shapes a short or failed run leaves behind.
+
+TEST(HistogramEdgeCaseTest, SingleSamplePercentilesEqualTheSample) {
+  Histogram hist({1.0, 2.0});
+  hist.Observe(1.5);
+  EXPECT_DOUBLE_EQ(hist.Percentile(50.0), 1.5);
+  EXPECT_DOUBLE_EQ(hist.Percentile(95.0), 1.5);
+  EXPECT_DOUBLE_EQ(hist.Percentile(99.0), 1.5);
+  EXPECT_DOUBLE_EQ(hist.min(), 1.5);
+  EXPECT_DOUBLE_EQ(hist.max(), 1.5);
+}
+
+TEST(HistogramEdgeCaseTest, AllOverflowPercentilesReportObservedMax) {
+  Histogram hist({1.0});
+  hist.Observe(50.0);
+  hist.Observe(100.0);
+  EXPECT_DOUBLE_EQ(hist.Percentile(50.0), 100.0);
+  EXPECT_DOUBLE_EQ(hist.Percentile(99.0), 100.0);
+  EXPECT_EQ(hist.bucket_counts()[0], 0);
+  EXPECT_EQ(hist.bucket_counts()[1], 2);
+}
+
+TEST(HistogramEdgeCaseTest, EdgeShapesRenderWithoutNaN) {
+  MetricsRegistry registry;
+  registry.histogram("empty.seconds");
+  registry.histogram("single.seconds", {1.0})->Observe(0.5);
+  Histogram* overflow = registry.histogram("overflow.seconds", {1.0});
+  overflow->Observe(10.0);
+  overflow->Observe(20.0);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  for (const std::string& text :
+       {MetricsSnapshotToJson(snapshot), ProfileTable(snapshot),
+        MetricsSnapshotToPrometheusText(snapshot)}) {
+    EXPECT_EQ(text.find("nan"), std::string::npos) << text;
+    EXPECT_EQ(text.find("NaN"), std::string::npos) << text;
+    EXPECT_EQ(text.find("inf"), std::string::npos) << text;
+  }
+  // The JSON stays parseable with honest zeros for the empty histogram.
+  Result<JsonValue> parsed = ParseJson(MetricsSnapshotToJson(snapshot));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* empty =
+      parsed.value().Find("histograms")->Find("empty.seconds");
+  ASSERT_NE(empty, nullptr);
+  EXPECT_DOUBLE_EQ(empty->Find("count")->number_value(), 0.0);
+  EXPECT_DOUBLE_EQ(empty->Find("p99")->number_value(), 0.0);
+}
+
 TEST(ProfileTableTest, RendersEverySection) {
   MetricsRegistry registry;
   registry.counter("chase.rule.sigma1.firings")->Increment(12);

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace templex {
+namespace obs {
+namespace {
+
+TEST(PrometheusTextTest, EmptySnapshotIsEmptyText) {
+  MetricsRegistry registry;
+  EXPECT_EQ(MetricsSnapshotToPrometheusText(registry.Snapshot()), "");
+}
+
+TEST(PrometheusTextTest, CountersAndGaugesWithSanitizedNames) {
+  MetricsRegistry registry;
+  registry.counter("chase.rule.sigma1.firings")->Increment(42);
+  registry.gauge("chase.rule.sigma1.stratum")->Set(2.0);
+  const std::string text =
+      MetricsSnapshotToPrometheusText(registry.Snapshot());
+  EXPECT_NE(
+      text.find("# TYPE templex_chase_rule_sigma1_firings counter\n"
+                "templex_chase_rule_sigma1_firings 42\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("# TYPE templex_chase_rule_sigma1_stratum gauge\n"),
+            std::string::npos);
+  // No raw dots survive in metric names.
+  for (size_t pos = text.find("templex_"); pos != std::string::npos;
+       pos = text.find("templex_", pos + 1)) {
+    const size_t end = text.find_first_of(" \n{", pos);
+    EXPECT_EQ(text.substr(pos, end - pos).find('.'), std::string::npos);
+  }
+}
+
+TEST(PrometheusTextTest, HistogramExportsCumulativeBuckets) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.histogram("chase.phase.match.seconds",
+                                       {0.001, 0.01, 0.1});
+  hist->Observe(0.0005);  // bucket le=0.001
+  hist->Observe(0.05);    // bucket le=0.1
+  hist->Observe(0.05);    // bucket le=0.1
+  hist->Observe(5.0);     // overflow
+  const std::string text =
+      MetricsSnapshotToPrometheusText(registry.Snapshot());
+  const std::string base = "templex_chase_phase_match_seconds";
+  EXPECT_NE(text.find("# TYPE " + base + " histogram\n"), std::string::npos);
+  // Cumulative: 1, 1, 3, then +Inf = total.
+  EXPECT_NE(text.find(base + "_bucket{le=\"0.001\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find(base + "_bucket{le=\"0.01\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find(base + "_bucket{le=\"0.1\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find(base + "_bucket{le=\"+Inf\"} 4\n"), std::string::npos);
+  EXPECT_NE(text.find(base + "_count 4\n"), std::string::npos);
+  EXPECT_NE(text.find(base + "_sum "), std::string::npos);
+}
+
+TEST(PrometheusTextTest, EmptyHistogramRendersWithoutNaN) {
+  MetricsRegistry registry;
+  registry.histogram("explain.phase.map.seconds");
+  const std::string text =
+      MetricsSnapshotToPrometheusText(registry.Snapshot());
+  EXPECT_NE(text.find("_bucket{le=\"+Inf\"} 0\n"), std::string::npos);
+  EXPECT_NE(text.find("_count 0\n"), std::string::npos);
+  EXPECT_EQ(text.find("nan"), std::string::npos);
+  EXPECT_EQ(text.find("NaN"), std::string::npos);
+}
+
+TEST(PrometheusTextTest, AllOverflowHistogramStaysCumulative) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.histogram("h", {1.0});
+  hist->Observe(100.0);
+  hist->Observe(200.0);
+  const std::string text =
+      MetricsSnapshotToPrometheusText(registry.Snapshot());
+  EXPECT_NE(text.find("templex_h_bucket{le=\"1\"} 0\n"), std::string::npos);
+  EXPECT_NE(text.find("templex_h_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("templex_h_count 2\n"), std::string::npos);
+}
+
+TEST(PrometheusTextTest, IdenticalSnapshotsExportByteIdenticalText) {
+  auto build = [] {
+    MetricsRegistry registry;
+    registry.counter("a.b")->Increment(7);
+    registry.gauge("c.d")->Set(1.5);
+    registry.histogram("e.f", {1.0, 2.0})->Observe(1.5);
+    return MetricsSnapshotToPrometheusText(registry.Snapshot());
+  };
+  EXPECT_EQ(build(), build());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace templex

@@ -1,0 +1,90 @@
+#include "obs/rule_profile.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace templex {
+namespace obs {
+namespace {
+
+RuleProfile Make(const std::string& rule, int stratum, int64_t matches) {
+  RuleProfile profile;
+  profile.rule = rule;
+  profile.stratum = stratum;
+  profile.matches = matches;
+  return profile;
+}
+
+TEST(SortRuleProfilesByCostTest, MatchesDescendingThenNameThenStratum) {
+  std::vector<RuleProfile> profiles = {
+      Make("sigma2", 0, 5),
+      Make("sigma1", 1, 9),
+      Make("sigma3", 0, 5),
+      Make("sigma2", 1, 5),
+  };
+  SortRuleProfilesByCost(&profiles);
+  ASSERT_EQ(profiles.size(), 4u);
+  EXPECT_EQ(profiles[0].rule, "sigma1");
+  EXPECT_EQ(profiles[1].rule, "sigma2");
+  EXPECT_EQ(profiles[1].stratum, 0);
+  EXPECT_EQ(profiles[2].rule, "sigma2");
+  EXPECT_EQ(profiles[2].stratum, 1);
+  EXPECT_EQ(profiles[3].rule, "sigma3");
+}
+
+TEST(RuleProfileTableTest, RendersDeterministicColumns) {
+  RuleProfile p = Make("sigma1", 0, 12);
+  p.firings = 7;
+  p.duplicates = 3;
+  p.delta_facts = 40;
+  p.match_seconds = 0.5;
+  const std::string table =
+      RuleProfileTable({p}, /*top_k=*/0, /*include_seconds=*/false);
+  EXPECT_NE(table.find("rule profile"), std::string::npos);
+  EXPECT_NE(table.find("sigma1"), std::string::npos);
+  EXPECT_NE(table.find("12"), std::string::npos);
+  EXPECT_NE(table.find("40"), std::string::npos);
+  // Wall-clock columns excluded: byte-identical across thread counts.
+  EXPECT_EQ(table.find("derive"), std::string::npos);
+}
+
+TEST(RuleProfileTableTest, IncludeSecondsAddsWallClockColumns) {
+  RuleProfile p = Make("sigma1", 0, 12);
+  p.match_seconds = 0.25;
+  p.derive_seconds = 0.125;
+  const std::string table =
+      RuleProfileTable({p}, /*top_k=*/0, /*include_seconds=*/true);
+  EXPECT_NE(table.find("derive"), std::string::npos);
+  EXPECT_NE(table.find("250.00ms"), std::string::npos);
+  EXPECT_NE(table.find("125.00ms"), std::string::npos);
+}
+
+TEST(RuleProfileTableTest, TopKTruncates) {
+  std::vector<RuleProfile> profiles;
+  for (int i = 0; i < 10; ++i) {
+    profiles.push_back(Make("rule" + std::to_string(i), 0, 100 - i));
+  }
+  const std::string table =
+      RuleProfileTable(profiles, /*top_k=*/3, /*include_seconds=*/false);
+  EXPECT_NE(table.find("rule0"), std::string::npos);
+  EXPECT_NE(table.find("rule2"), std::string::npos);
+  EXPECT_EQ(table.find("rule3"), std::string::npos);
+}
+
+TEST(RuleProfileTableTest, EmptyProfilesRenderHeaderOnly) {
+  const std::string table =
+      RuleProfileTable({}, /*top_k=*/5, /*include_seconds=*/false);
+  EXPECT_NE(table.find("rule profile"), std::string::npos);
+}
+
+TEST(RuleProfileTableTest, InputOrderDoesNotMatter) {
+  std::vector<RuleProfile> a = {Make("x", 0, 1), Make("y", 0, 2)};
+  std::vector<RuleProfile> b = {Make("y", 0, 2), Make("x", 0, 1)};
+  EXPECT_EQ(RuleProfileTable(a, 0, false), RuleProfileTable(b, 0, false));
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace templex

@@ -1,0 +1,155 @@
+# Pins the observability artifact contract of templex_cli:
+#   - --metrics-json / --metrics-prom / --trace-out / --report / --dump-json
+#     are committed atomically (tmp + fsync + rename): after any run,
+#     killed or clean, the work dir holds either no artifact or an intact
+#     one — and never a stray *.tmp staging file;
+#   - a run killed by --deadline-ms with --crash-report leaves a crash
+#     report whose trailing events name the in-flight rule/stratum/round;
+#   - --rule-profile output is byte-identical across --threads values;
+#   - --event-log streams JSONL flight-recorder events.
+#
+# Invoked as:
+#   cmake -DTEMPLEX_CLI=<binary> -DMETRICS_DIFF=<binary>
+#         -DDATA_DIR=<tests/data> -DWORK_DIR=<scratch>
+#         -P cli_obs_artifacts.cmake
+
+foreach(var TEMPLEX_CLI METRICS_DIFF DATA_DIR WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+function(expect_exit expected label)
+  execute_process(COMMAND ${ARGN}
+                  RESULT_VARIABLE code
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT code EQUAL ${expected})
+    message(FATAL_ERROR
+            "${label}: expected exit ${expected}, got ${code}\n${out}\n${err}")
+  endif()
+endfunction()
+
+function(expect_contains path pattern label)
+  if(NOT EXISTS "${path}")
+    message(FATAL_ERROR "${label}: ${path} does not exist")
+  endif()
+  file(READ "${path}" content)
+  if(NOT content MATCHES "${pattern}")
+    message(FATAL_ERROR
+            "${label}: ${path} does not match '${pattern}':\n${content}")
+  endif()
+endfunction()
+
+function(expect_no_strays label)
+  file(GLOB_RECURSE stray "${WORK_DIR}/*.tmp")
+  if(stray)
+    message(FATAL_ERROR "${label}: stray staging files left: ${stray}")
+  endif()
+endfunction()
+
+# --- clean run: every observability artifact lands intact ----------------
+expect_exit(0 "clean observability run"
+            "${TEMPLEX_CLI}" --program "${DATA_DIR}/control.vada"
+            --facts "${DATA_DIR}/facts.csv"
+            --glossary "${DATA_DIR}/glossary.csv"
+            --explain "Control(Alfa, Charlie)"
+            --report "${WORK_DIR}/report.md"
+            --dump-json "${WORK_DIR}/chase.json"
+            --metrics-json "${WORK_DIR}/metrics.json"
+            --metrics-prom "${WORK_DIR}/metrics.prom"
+            --trace-out "${WORK_DIR}/trace.json"
+            --event-log "${WORK_DIR}/events.jsonl"
+            --crash-report "${WORK_DIR}/crash.jsonl"
+            --rule-profile)
+expect_contains("${WORK_DIR}/metrics.prom"
+                "# TYPE templex_chase_rounds counter" "prometheus export")
+expect_contains("${WORK_DIR}/metrics.prom"
+                "templex_chase_rule_sigma1_matches" "per-rule metrics")
+expect_contains("${WORK_DIR}/metrics.prom" "_bucket{le=\"\\+Inf\"}"
+                "histogram exposition")
+expect_contains("${WORK_DIR}/events.jsonl"
+                "\"name\":\"run.start\"" "event log stream")
+expect_contains("${WORK_DIR}/metrics.json" "event_log" "event log accounting")
+if(EXISTS "${WORK_DIR}/crash.jsonl")
+  message(FATAL_ERROR "clean run must not write a crash report")
+endif()
+expect_no_strays("clean run")
+
+# --- the diff tool reads what the CLI writes, in both formats ------------
+expect_exit(0 "metrics_diff prom vs prom"
+            "${METRICS_DIFF}" "${WORK_DIR}/metrics.prom"
+            "${WORK_DIR}/metrics.prom")
+expect_exit(0 "metrics_diff json vs json"
+            "${METRICS_DIFF}" "${WORK_DIR}/metrics.json"
+            "${WORK_DIR}/metrics.json")
+
+# --- rule profile: byte-identical across thread counts -------------------
+foreach(threads 1 2 8)
+  execute_process(COMMAND "${TEMPLEX_CLI}"
+                          --program "${DATA_DIR}/control.vada"
+                          --facts "${DATA_DIR}/facts.csv"
+                          --rule-profile --threads ${threads}
+                  RESULT_VARIABLE code
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE profile_${threads})
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "rule profile at ${threads} threads: exit ${code}")
+  endif()
+endforeach()
+if(NOT profile_1 STREQUAL profile_2 OR NOT profile_1 STREQUAL profile_8)
+  message(FATAL_ERROR "rule profile differs across thread counts:\n"
+          "1:\n${profile_1}\n2:\n${profile_2}\n8:\n${profile_8}")
+endif()
+if(NOT profile_1 MATCHES "sigma1")
+  message(FATAL_ERROR "rule profile missing rules:\n${profile_1}")
+endif()
+
+# --- killed run: crash report yes, partial artifacts no ------------------
+# Transitive closure over a 260-edge chain — far beyond a 5ms budget.
+set(big_program "${WORK_DIR}/closure.vada")
+file(WRITE "${big_program}" "@goal Path.
+base: Edge(x, y) -> Path(x, y).
+step: Path(x, z), Edge(z, y) -> Path(x, y).
+")
+set(big_facts "${WORK_DIR}/edges.csv")
+set(lines "")
+foreach(i RANGE 1 260)
+  math(EXPR j "${i} + 1")
+  string(APPEND lines "Edge,\"N${i}\",\"N${j}\"\n")
+endforeach()
+file(WRITE "${big_facts}" "${lines}")
+
+expect_exit(4 "deadline-killed observability run"
+            "${TEMPLEX_CLI}" --program "${big_program}"
+            --facts "${big_facts}" --deadline-ms 5 --threads 2
+            --metrics-json "${WORK_DIR}/killed_metrics.json"
+            --metrics-prom "${WORK_DIR}/killed_metrics.prom"
+            --trace-out "${WORK_DIR}/killed_trace.json"
+            --dump-json "${WORK_DIR}/killed_chase.json"
+            --crash-report "${WORK_DIR}/killed_crash.jsonl")
+
+# The post-mortem must name the failure and the in-flight work.
+expect_contains("${WORK_DIR}/killed_crash.jsonl" "DeadlineExceeded"
+                "crash report reason")
+expect_contains("${WORK_DIR}/killed_crash.jsonl" "\"rule\":"
+                "crash report in-flight rule")
+expect_contains("${WORK_DIR}/killed_crash.jsonl" "\"stratum\":"
+                "crash report in-flight stratum")
+expect_contains("${WORK_DIR}/killed_crash.jsonl" "\"round\":"
+                "crash report in-flight round")
+
+# The run died before its artifact writes: each target is absent — never a
+# truncated file — and no *.tmp staging file survives anywhere.
+foreach(artifact killed_metrics.json killed_metrics.prom killed_trace.json
+        killed_chase.json)
+  if(EXISTS "${WORK_DIR}/${artifact}")
+    message(FATAL_ERROR "killed run left a partial artifact: ${artifact}")
+  endif()
+endforeach()
+expect_no_strays("killed run")
+
+message(STATUS "cli observability artifact contract holds")

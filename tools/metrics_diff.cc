@@ -1,7 +1,17 @@
 // metrics_diff — compare two metrics snapshots written by
-// `templex_cli --metrics-json` (or any MetricsSnapshotToJson output).
+// `templex_cli --metrics-json` (MetricsSnapshotToJson output) or
+// `templex_cli --metrics-prom` (Prometheus text exposition 0.0.4).
 //
-//   metrics_diff OLD.json NEW.json [--filter PREFIX] [--threshold-pct P]
+//   metrics_diff OLD NEW [--filter PREFIX] [--threshold-pct P]
+//
+// The format of each input is auto-detected: a leading '{' means JSON,
+// anything with `# TYPE` lines or `name value` samples is parsed as
+// Prometheus text; anything else fails with InvalidArgument naming the
+// expected formats. Prometheus histograms carry only cumulative buckets,
+// so their p50/p95/p99 are reconstructed by linear interpolation inside
+// the bucket bounds (no observed-min/max clamp) — compare like with like
+// (JSON against JSON, Prometheus against Prometheus) when percentiles must
+// match exactly.
 //
 // Prints counter and gauge deltas and histogram percentile shifts
 // (p50/p95/p99), one line per metric that changed; metrics present in only
@@ -32,8 +42,10 @@ using namespace templex;
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: metrics_diff OLD.json NEW.json [--filter PREFIX] "
-               "[--threshold-pct P]\n");
+               "usage: metrics_diff OLD NEW [--filter PREFIX] "
+               "[--threshold-pct P]\n"
+               "       (inputs: --metrics-json JSON or --metrics-prom "
+               "Prometheus text)\n");
   return 2;
 }
 
@@ -58,16 +70,9 @@ struct Snapshot {
   std::map<std::string, std::map<std::string, double>> histograms;
 };
 
-Result<Snapshot> LoadSnapshot(const std::string& path) {
-  // Every load failure surfaces as InvalidArgument naming the offending
-  // path — a missing or malformed snapshot is a usage problem, and the
-  // message must say which of the two inputs to fix.
-  Result<std::string> text = ReadFileToString(path);
-  if (!text.ok()) {
-    return Status::InvalidArgument("cannot load metrics snapshot '" + path +
-                                   "': " + text.status().message());
-  }
-  Result<JsonValue> parsed = ParseJson(text.value());
+Result<Snapshot> LoadJsonSnapshot(const std::string& path,
+                                  const std::string& text) {
+  Result<JsonValue> parsed = ParseJson(text);
   if (!parsed.ok()) {
     return Status::InvalidArgument("cannot load metrics snapshot '" + path +
                                    "': " + parsed.status().message());
@@ -102,6 +107,225 @@ Result<Snapshot> LoadSnapshot(const std::string& path) {
     }
   }
   return snapshot;
+}
+
+// --- Prometheus text exposition (0.0.4) input ----------------------------
+
+// First non-whitespace character decides: '{' is a JSON snapshot.
+bool LooksLikeJson(const std::string& text) {
+  for (char c : text) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') continue;
+    return c == '{';
+  }
+  return false;
+}
+
+// One histogram family accumulated from `X_bucket`/`X_sum`/`X_count`
+// samples: cumulative counts per `le` bound, in file order.
+struct PromHistogram {
+  std::vector<double> bounds;      // le values; HUGE_VAL for +Inf
+  std::vector<double> cumulative;  // cumulative count at each bound
+  double count = 0.0;
+};
+
+// A Prometheus number: decimal, or +Inf/-Inf/NaN.
+bool ParsePromNumber(const std::string& token, double* out) {
+  if (token == "+Inf" || token == "Inf") {
+    *out = HUGE_VAL;
+    return true;
+  }
+  if (token == "-Inf") {
+    *out = -HUGE_VAL;
+    return true;
+  }
+  char* end = nullptr;
+  *out = std::strtod(token.c_str(), &end);
+  return end != token.c_str() && *end == '\0';
+}
+
+// Reconstructs a percentile from per-bucket (non-cumulative) counts with
+// the same interpolation the live Histogram uses, minus the observed
+// min/max clamp (the text format does not carry them): the overflow
+// bucket reports the largest finite bound.
+double PromPercentile(const std::vector<double>& bounds,
+                      const std::vector<double>& buckets, double p) {
+  double total = 0.0;
+  for (double b : buckets) total += b;
+  if (total <= 0.0) return 0.0;
+  double last_finite = 0.0;
+  for (double bound : bounds) {
+    if (!std::isinf(bound)) last_finite = bound;
+  }
+  const double target = p / 100.0 * total;
+  double cumulative = 0.0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] <= 0.0) continue;
+    const double next = cumulative + buckets[i];
+    if (next >= target) {
+      if (i >= bounds.size() || std::isinf(bounds[i])) return last_finite;
+      const double lower = i == 0 ? 0.0 : bounds[i - 1];
+      const double upper = bounds[i];
+      return lower + (upper - lower) * (target - cumulative) / buckets[i];
+    }
+    cumulative = next;
+  }
+  return last_finite;
+}
+
+// Parses Prometheus text exposition: `# TYPE name kind` comments route the
+// samples; `name{labels} value` / `name value` lines carry them. Histogram
+// families are folded back into p50/p95/p99 via PromPercentile.
+Result<Snapshot> LoadPromSnapshot(const std::string& path,
+                                  const std::string& text) {
+  auto malformed = [&path](size_t line_number, const std::string& line) {
+    return Status::InvalidArgument(
+        "cannot load metrics snapshot '" + path + "': line " +
+        std::to_string(line_number) +
+        " is not Prometheus text exposition: '" + line + "'");
+  };
+  std::map<std::string, std::string> types;  // name -> counter|gauge|...
+  std::map<std::string, PromHistogram> histograms;
+  Snapshot snapshot;
+  size_t line_number = 0;
+  size_t start = 0;
+  bool saw_anything = false;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    std::string line = text.substr(start, end - start);
+    start = end + 1;
+    ++line_number;
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // `# TYPE <name> <kind>`; other comments (# HELP ...) are skipped.
+      const std::string type_prefix = "# TYPE ";
+      if (line.rfind(type_prefix, 0) == 0) {
+        const std::string rest = line.substr(type_prefix.size());
+        const size_t space = rest.find(' ');
+        if (space == std::string::npos) return malformed(line_number, line);
+        types[rest.substr(0, space)] = rest.substr(space + 1);
+        saw_anything = true;
+      }
+      continue;
+    }
+    // Sample: name[{labels}] value
+    std::string name;
+    std::string labels;
+    size_t value_start;
+    const size_t brace = line.find('{');
+    const size_t first_space = line.find(' ');
+    if (brace != std::string::npos &&
+        (first_space == std::string::npos || brace < first_space)) {
+      const size_t close = line.find('}', brace);
+      if (close == std::string::npos) return malformed(line_number, line);
+      name = line.substr(0, brace);
+      labels = line.substr(brace + 1, close - brace - 1);
+      value_start = close + 1;
+    } else {
+      if (first_space == std::string::npos) {
+        return malformed(line_number, line);
+      }
+      name = line.substr(0, first_space);
+      value_start = first_space;
+    }
+    while (value_start < line.size() && line[value_start] == ' ') {
+      ++value_start;
+    }
+    // A trailing timestamp (` value timestamp`) would show up as a second
+    // token; templex never writes one, so a plain number is required.
+    double value = 0.0;
+    if (name.empty() ||
+        !ParsePromNumber(line.substr(value_start), &value)) {
+      return malformed(line_number, line);
+    }
+    saw_anything = true;
+    // Histogram series: `X_bucket{le="..."}`, `X_sum`, `X_count` where X
+    // was declared `# TYPE X histogram`.
+    auto family_of = [&types](const std::string& sample_name,
+                              const char* suffix) -> std::string {
+      const std::string tail = suffix;
+      if (sample_name.size() <= tail.size() ||
+          sample_name.compare(sample_name.size() - tail.size(), tail.size(),
+                              tail) != 0) {
+        return "";
+      }
+      const std::string base =
+          sample_name.substr(0, sample_name.size() - tail.size());
+      auto it = types.find(base);
+      return it != types.end() && it->second == "histogram" ? base : "";
+    };
+    if (std::string base = family_of(name, "_bucket"); !base.empty()) {
+      const std::string le_prefix = "le=\"";
+      const size_t le = labels.find(le_prefix);
+      const size_t le_end =
+          le == std::string::npos
+              ? std::string::npos
+              : labels.find('"', le + le_prefix.size());
+      double bound = 0.0;
+      if (le_end == std::string::npos ||
+          !ParsePromNumber(
+              labels.substr(le + le_prefix.size(),
+                            le_end - le - le_prefix.size()),
+              &bound)) {
+        return malformed(line_number, line);
+      }
+      histograms[base].bounds.push_back(bound);
+      histograms[base].cumulative.push_back(value);
+    } else if (base = family_of(name, "_count"); !base.empty()) {
+      histograms[base].count = value;
+    } else if (base = family_of(name, "_sum"); !base.empty()) {
+      // The sum is not part of the diff; accepted and dropped.
+    } else {
+      auto type = types.find(name);
+      if (type != types.end() && type->second == "counter") {
+        snapshot.counters[name] = value;
+      } else {
+        // Gauges and untyped samples diff as gauges.
+        snapshot.gauges[name] = value;
+      }
+    }
+  }
+  if (!saw_anything) {
+    return Status::InvalidArgument(
+        "cannot load metrics snapshot '" + path +
+        "': unrecognized format — expected a --metrics-json object or "
+        "--metrics-prom Prometheus text exposition (0.0.4)");
+  }
+  for (auto& [name, hist] : histograms) {
+    // Exposition order is ascending `le`, +Inf last; de-cumulate into
+    // per-bucket counts for the percentile reconstruction.
+    std::vector<double> buckets(hist.cumulative.size(), 0.0);
+    double previous = 0.0;
+    for (size_t i = 0; i < hist.cumulative.size(); ++i) {
+      buckets[i] = hist.cumulative[i] - previous;
+      if (buckets[i] < 0.0) buckets[i] = 0.0;  // malformed: clamp
+      previous = hist.cumulative[i];
+    }
+    std::map<std::string, double>& fields = snapshot.histograms[name];
+    fields["count"] = hist.count;
+    fields["p50"] = PromPercentile(hist.bounds, buckets, 50.0);
+    fields["p95"] = PromPercentile(hist.bounds, buckets, 95.0);
+    fields["p99"] = PromPercentile(hist.bounds, buckets, 99.0);
+  }
+  return snapshot;
+}
+
+Result<Snapshot> LoadSnapshot(const std::string& path) {
+  // Every load failure surfaces as InvalidArgument naming the offending
+  // path — a missing or malformed snapshot is a usage problem, and the
+  // message must say which of the two inputs to fix.
+  Result<std::string> text = ReadFileToString(path);
+  if (!text.ok()) {
+    return Status::InvalidArgument("cannot load metrics snapshot '" + path +
+                                   "': " + text.status().message());
+  }
+  if (LooksLikeJson(text.value())) {
+    return LoadJsonSnapshot(path, text.value());
+  }
+  return LoadPromSnapshot(path, text.value());
 }
 
 bool MatchesFilter(const std::string& name, const std::string& prefix) {

@@ -5,7 +5,9 @@
 //               [--explain 'Control(A, C)']... [--anonymize]
 //               [--report out.md] [--interactive]
 //               [--dump-json chase.json] [--templates]
-//               [--metrics-json m.json] [--trace-out t.json] [--profile]
+//               [--metrics-json m.json] [--metrics-prom m.prom]
+//               [--trace-out t.json] [--profile] [--rule-profile]
+//               [--event-log events.jsonl] [--crash-report crash.jsonl]
 //               [--threads N]
 //
 // Every flag also accepts the --flag=value form.
@@ -33,9 +35,31 @@
 // --metrics-json writes the run's metrics snapshot (per-rule firing
 //              counters, per-phase latency histograms with p50/p95/p99) as
 //              JSON — see docs/OBSERVABILITY.md for the naming scheme;
+// --metrics-prom writes the same snapshot in Prometheus text exposition
+//              format (0.0.4: # TYPE lines, histogram _bucket/_sum/_count)
+//              for scraping or pushing to a gateway;
 // --trace-out  writes a Chrome trace-event JSON of the run's nested spans
 //              (load in chrome://tracing or https://ui.perfetto.dev);
 // --profile    prints a metrics summary table on stderr after the run.
+// --rule-profile prints per-rule cost attribution on stderr after the
+//              chase: matches, firings, duplicates, and delta-window sizes
+//              per (rule, stratum), sorted by matches. The columns are
+//              deterministic, so the table is byte-identical across
+//              --threads values.
+// --rule-profile-top keep only the K most expensive rows (default 20,
+//              0 = all; implies nothing by itself — pair with
+//              --rule-profile).
+// --event-log  streams the run's structured flight-recorder events
+//              (chase rounds, rule evaluations, checkpoint commits, LLM
+//              retries) to a JSONL file as they happen;
+// --crash-report on any failure (deadline, cancellation, chase error,
+//              corrupt checkpoint, LLM retry exhaustion) writes the last
+//              flight-recorder events to this JSONL file atomically, so a
+//              post-mortem can see what the run was doing when it died.
+//
+// All file outputs (--report, --dump-json, --metrics-json, --metrics-prom,
+// --trace-out, --crash-report) are written atomically: tmp + fsync +
+// rename, so a killed run never leaves a partial artifact.
 // --threads    match-phase threads for each chase round (default 1 =
 //              sequential, 0 = hardware concurrency); results are
 //              byte-identical across thread counts.
@@ -67,20 +91,24 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include <optional>
+
 #include "apps/application.h"
 #include "common/deadline.h"
+#include "common/fs.h"
 #include "core/termination.h"
 #include "explain/report.h"
 #include "datalog/parser.h"
 #include "io/csv.h"
 #include "io/glossary_csv.h"
 #include "io/json.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/rule_profile.h"
 #include "obs/trace.h"
 
 namespace {
@@ -94,8 +122,10 @@ int Usage() {
       "                   [--glossary FILE] [--query FACT] [--explain FACT]...\n"
       "                   [--anonymize] [--report FILE] [--interactive]\n"
       "                   [--templates] [--dump-json FILE]\n"
-      "                   [--metrics-json FILE] [--trace-out FILE] "
-      "[--profile]\n"
+      "                   [--metrics-json FILE] [--metrics-prom FILE]\n"
+      "                   [--trace-out FILE] [--profile] [--rule-profile]\n"
+      "                   [--rule-profile-top K]\n"
+      "                   [--event-log FILE] [--crash-report FILE]\n"
       "                   [--threads N] [--deadline-ms N]\n"
       "                   [--checkpoint-dir DIR] "
       "[--checkpoint-every-rounds N]\n"
@@ -144,11 +174,16 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::string report_path;
   std::string metrics_path;
+  std::string metrics_prom_path;
   std::string trace_path;
+  std::string event_log_path;
+  std::string crash_report_path;
   bool anonymize = false;
   bool print_templates = false;
   bool interactive = false;
   bool profile = false;
+  bool rule_profile = false;
+  long rule_profile_top = 20;
   int num_threads = 1;
   long deadline_ms = -1;  // < 0: no deadline
   std::string checkpoint_dir;
@@ -199,10 +234,28 @@ int main(int argc, char** argv) {
       json_path = next("--dump-json");
     } else if (arg == "--metrics-json") {
       metrics_path = next("--metrics-json");
+    } else if (arg == "--metrics-prom") {
+      metrics_prom_path = next("--metrics-prom");
     } else if (arg == "--trace-out") {
       trace_path = next("--trace-out");
+    } else if (arg == "--event-log") {
+      event_log_path = next("--event-log");
+    } else if (arg == "--crash-report") {
+      crash_report_path = next("--crash-report");
     } else if (arg == "--profile") {
       profile = true;
+    } else if (arg == "--rule-profile") {
+      rule_profile = true;
+    } else if (arg == "--rule-profile-top") {
+      const std::string& value = next("--rule-profile-top");
+      char* end = nullptr;
+      const long parsed = std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || parsed < 0) {
+        std::fprintf(
+            stderr, "--rule-profile-top expects a non-negative integer\n");
+        return Usage();
+      }
+      rule_profile_top = parsed;
     } else if (arg == "--threads") {
       const std::string& value = next("--threads");
       char* end = nullptr;
@@ -255,11 +308,31 @@ int main(int argc, char** argv) {
   // for; otherwise the instrumented paths stay on their null branches.
   obs::MetricsRegistry registry;
   obs::Tracer tracer;
-  const bool observe =
-      !metrics_path.empty() || !trace_path.empty() || profile;
+  const bool observe = !metrics_path.empty() || !metrics_prom_path.empty() ||
+                       !trace_path.empty() || profile || rule_profile;
 
-  auto die = [](const Status& status) {
+  // The flight recorder: always-on ring buffers once asked for, streamed
+  // to --event-log if given, dumped to --crash-report on failure.
+  std::optional<obs::EventLog> event_log;
+  if (!event_log_path.empty() || !crash_report_path.empty()) {
+    obs::EventLogOptions log_options;
+    log_options.fs = RealFilesystem();
+    log_options.sink_path = event_log_path;
+    log_options.crash_report_path = crash_report_path;
+    if (observe) log_options.metrics = &registry;
+    event_log.emplace(log_options);
+  }
+
+  auto die = [&event_log](const Status& status) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    // Failure paths outside the chase (input loading, explanation queries)
+    // still leave a post-mortem; chase failures have already dumped, and
+    // re-dumping here just refreshes the report with the same ring.
+    if (event_log.has_value() &&
+        !event_log->options().crash_report_path.empty()) {
+      Status dumped = event_log->DumpNow("cli: " + status.ToString());
+      (void)dumped;  // the run's own error wins
+    }
     std::exit(ExitCodeFor(status));
   };
 
@@ -322,6 +395,7 @@ int main(int argc, char** argv) {
     explainer_options.metrics = &registry;
     explainer_options.tracer = &tracer;
   }
+  if (event_log.has_value()) explainer_options.event_log = &*event_log;
   auto app = KnowledgeGraphApplication::Create(std::move(program).value(),
                                                std::move(glossary),
                                                explainer_options);
@@ -342,6 +416,7 @@ int main(int argc, char** argv) {
     chase_config.metrics = &registry;
     chase_config.tracer = &tracer;
   }
+  if (event_log.has_value()) chase_config.event_log = &*event_log;
   Status run = app.value()->Run(chase_config);
   if (!run.ok()) die(run);
 
@@ -426,9 +501,9 @@ int main(int argc, char** argv) {
     if (observe) builder.AddMetricsAppendix(registry.Snapshot());
     Result<std::string> report = builder.Build();
     if (!report.ok()) die(report.status());
-    std::ofstream out(report_path, std::ios::binary | std::ios::trunc);
-    out << report.value();
-    if (!out) die(Status::Internal("cannot write " + report_path));
+    Status written =
+        WriteFileAtomically(RealFilesystem(), report_path, report.value());
+    if (!written.ok()) die(written);
     std::printf("report written to %s\n", report_path.c_str());
   }
 
@@ -468,29 +543,48 @@ int main(int argc, char** argv) {
   if (!json_path.empty()) {
     Result<std::string> json = app.value()->ExportChaseJson();
     if (!json.ok()) die(json.status());
-    std::ofstream out(json_path, std::ios::binary | std::ios::trunc);
-    out << json.value();
-    if (!out) die(Status::Internal("cannot write " + json_path));
+    Status written =
+        WriteFileAtomically(RealFilesystem(), json_path, json.value());
+    if (!written.ok()) die(written);
     std::printf("chase graph written to %s\n", json_path.c_str());
   }
 
   // Observability outputs last, so the snapshot covers the whole
   // invocation (pipeline build, chase, queries, reports).
   if (!metrics_path.empty()) {
-    std::ofstream out(metrics_path, std::ios::binary | std::ios::trunc);
-    out << MetricsSnapshotToJson(registry.Snapshot()) << "\n";
-    if (!out) die(Status::Internal("cannot write " + metrics_path));
+    Status written =
+        WriteFileAtomically(RealFilesystem(), metrics_path,
+                            MetricsSnapshotToJson(registry.Snapshot()) + "\n");
+    if (!written.ok()) die(written);
     std::printf("metrics written to %s\n", metrics_path.c_str());
   }
+  if (!metrics_prom_path.empty()) {
+    Status written =
+        WriteFileAtomically(RealFilesystem(), metrics_prom_path,
+                            MetricsSnapshotToPrometheusText(
+                                registry.Snapshot()));
+    if (!written.ok()) die(written);
+    std::printf("prometheus metrics written to %s\n",
+                metrics_prom_path.c_str());
+  }
   if (!trace_path.empty()) {
-    std::ofstream out(trace_path, std::ios::binary | std::ios::trunc);
-    out << TraceEventsToJson(tracer.events()) << "\n";
-    if (!out) die(Status::Internal("cannot write " + trace_path));
+    Status written =
+        WriteFileAtomically(RealFilesystem(), trace_path,
+                            TraceEventsToJson(tracer.events()) + "\n");
+    if (!written.ok()) die(written);
     std::printf("trace written to %s (load in chrome://tracing)\n",
                 trace_path.c_str());
   }
   if (profile) {
     std::fprintf(stderr, "%s", ProfileTable(registry.Snapshot()).c_str());
+  }
+  if (rule_profile) {
+    std::fprintf(stderr, "%s",
+                 obs::RuleProfileTable(
+                     app.value()->chase().rule_profiles,
+                     static_cast<size_t>(rule_profile_top),
+                     /*include_seconds=*/false)
+                     .c_str());
   }
   return 0;
 }
