@@ -12,6 +12,8 @@
 #include "engine/fact_store.h"
 #include "engine/matcher.h"
 #include "engine/proof.h"
+#include "engine/rule_plan.h"
+#include "engine/segment.h"
 
 namespace {
 
@@ -208,14 +210,19 @@ BENCHMARK(BM_ParallelChaseMultiRule)
 
 void BM_MatcherEnumeration(benchmark::State& state) {
   // The match enumerator alone (no head application): a 3-atom join over a
-  // dense binary relation. Sensitive to the per-candidate binding cost —
-  // the scratch-binding/truncate backtracking shows up directly here.
+  // dense binary relation, sourced the way the chase sources it — sealed
+  // columnar segments with merge-join on the bound positions (or the
+  // legacy hash probe under TEMPLEX_JOIN_MODE=probe, which the CI bench
+  // matrix exercises). Sensitive to the per-candidate binding cost and to
+  // the equal-run binary search.
   const Rule rule =
       ParseRule("j: Edge(x, y), Edge(y, z), Edge(z, w) -> Quad(x, w).")
           .value();
   const int n = static_cast<int>(state.range(0));
   ChaseGraph graph;
   FactStore store(&graph);
+  const JoinMode mode = JoinModeFromEnv(JoinMode::kMerge);
+  if (mode == JoinMode::kMerge) store.EnableSegments();
   for (int i = 0; i < n; ++i) {
     for (int d = 1; d <= 3; ++d) {
       ChaseNode node;
@@ -225,21 +232,71 @@ void BM_MatcherEnumeration(benchmark::State& state) {
     }
   }
   const FactId limit = graph.size();
+  store.SealRound(limit, nullptr, 0);
+  RulePlan plan = MakeRulePlan(rule, 0);
+  CompileMatchPlan(&plan, graph.symbols());
+  const std::vector<AtomJoin> joins =
+      ComputeAtomJoins(plan, store, mode, limit);
+  MatchWindow window;
+  window.limit = limit;
   int64_t matches = 0;
   for (auto _ : state) {
     matches = 0;
-    auto status = EnumerateMatches(
-        rule, store, graph, /*delta_atom=*/-1, /*delta_begin=*/0, limit,
-        [&matches](const BodyMatch&) {
-          ++matches;
-          return Status::OK();
-        });
+    auto status = EnumerateMatches(plan, store, graph, window, &joins,
+                                   [&matches](const BodyMatch&) {
+                                     ++matches;
+                                     return Status::OK();
+                                   });
     if (!status.ok()) state.SkipWithError(status.ToString().c_str());
     benchmark::DoNotOptimize(matches);
   }
   state.SetItemsProcessed(state.iterations() * matches);
+  state.counters["merge_atoms"] = 0;
+  for (const AtomJoin& join : joins) {
+    if (join.merge) state.counters["merge_atoms"] += 1;
+  }
 }
 BENCHMARK(BM_MatcherEnumeration)->Arg(32)->Arg(128);
+
+void BM_SegmentRetain(benchmark::State& state) {
+  // The node-level retain (RetainNewTuples): dedup n candidate tuples —
+  // half already present — against a sealed segment of n wide rows whose
+  // long shared prefixes exercise the prefix-caching merge scan.
+  const int n = static_cast<int>(state.range(0));
+  constexpr int kArity = 4;
+  std::vector<FactId> ids;
+  std::vector<std::vector<Value>> columns(kArity);
+  Rng rng(19);
+  auto tuple_at = [](int i) {
+    // Leading columns change slowly: long shared prefixes.
+    return std::vector<Value>{Value::Int(i / 64), Value::Int(i / 8),
+                              Value::Int(i), Value::String("tag")};
+  };
+  for (int i = 0; i < n; ++i) {
+    ids.push_back(i);
+    const std::vector<Value> t = tuple_at(i);
+    for (int pos = 0; pos < kArity; ++pos) columns[pos].push_back(t[pos]);
+  }
+  DeltaSegment seg(/*predicate=*/0, kArity, std::move(ids),
+                   std::move(columns));
+  const std::vector<uint32_t> lex = LexOrder(seg);
+  std::vector<std::vector<Value>> candidates;
+  for (int i = 0; i < n; ++i) {
+    // Even: a duplicate of some segment row. Odd: a fresh tuple.
+    candidates.push_back(i % 2 == 0
+                             ? tuple_at(static_cast<int>(rng.NextInt(0, n - 1)))
+                             : tuple_at(n + i));
+  }
+  size_t kept = 0;
+  for (auto _ : state) {
+    const std::vector<uint32_t> order = SortTuples(candidates);
+    kept = RetainNewTuples(seg, lex, candidates, order).size();
+    benchmark::DoNotOptimize(kept);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["kept"] = static_cast<double>(kept);
+}
+BENCHMARK(BM_SegmentRetain)->Arg(512)->Arg(4096);
 
 void BM_ProofExtraction(benchmark::State& state) {
   Program program = CompanyControlProgram();
@@ -260,3 +317,22 @@ void BM_ProofExtraction(benchmark::State& state) {
 BENCHMARK(BM_ProofExtraction)->Arg(5)->Arg(21);
 
 }  // namespace
+
+// Custom main (instead of benchmark::benchmark_main) so the JSON context
+// reports *this repo's* build type. The stock "library_build_type" field
+// describes how the google-benchmark library was compiled — on systems
+// with a debug-built system benchmark it says "debug" even for a Release
+// build of templex, which is the number that actually matters for a
+// committed baseline. tools/bench_baseline gates on this key.
+int main(int argc, char** argv) {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("templex_build_type", "release");
+#else
+  benchmark::AddCustomContext("templex_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

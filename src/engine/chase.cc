@@ -94,7 +94,9 @@ class ChaseRun {
         tracer_(config.tracer),
         event_log_(config.event_log),
         store_(&result_.graph),
-        aggregates_(static_cast<int>(program.rules().size())) {}
+        aggregates_(static_cast<int>(program.rules().size())) {
+    if (config_.join_mode == JoinMode::kMerge) store_.EnableSegments();
+  }
 
   Result<ChaseResult> Run(const std::vector<Fact>& edb) {
     obs::Span run_span(tracer_, "chase.run");
@@ -353,6 +355,21 @@ class ChaseRun {
     for (RulePlan& plan : plans_) {
       CompileMatchPlan(&plan, &result_.graph.symbols());
     }
+    // Only predicates in positive rule bodies are ever merge-joined;
+    // restrict segment building to them so head-only outputs don't pay
+    // for columnar copies nobody reads. (Negation and constraints go
+    // through the hash index.)
+    std::vector<bool> body_preds(
+        static_cast<size_t>(result_.graph.symbols().size()), false);
+    for (const RulePlan& plan : plans_) {
+      for (const AtomPlan& atom : plan.body) {
+        if (atom.predicate >= 0 &&
+            static_cast<size_t>(atom.predicate) < body_preds.size()) {
+          body_preds[static_cast<size_t>(atom.predicate)] = true;
+        }
+      }
+    }
+    store_.SetSegmentPredicates(std::move(body_preds));
   }
 
   Result<ChaseResult> Finalize() {
@@ -380,6 +397,22 @@ class ChaseRun {
           ->Increment(store_.position_keys());
       metrics_->counter("chase.index.position_entries")
           ->Increment(store_.position_entries());
+      metrics_->counter("chase.index.collision_groups")
+          ->Increment(store_.collision_groups());
+      // Join/trigger-graph attribution, exported from the node graph's
+      // totals. Join choices are counted once per non-skipped rule
+      // execution on the driving thread and the skip test is join-mode
+      // independent, so all four are byte-identical across thread counts —
+      // and resume-stable, because checkpoints carry the execution records
+      // the totals are rebuilt from.
+      metrics_->counter("chase.join.merge")
+          ->Increment(result_.node_graph.merge_choices());
+      metrics_->counter("chase.join.probe")
+          ->Increment(result_.node_graph.probe_choices());
+      metrics_->counter("chase.join.skipped_rules")
+          ->Increment(result_.node_graph.skipped_rules());
+      metrics_->counter("chase.join.executed_rules")
+          ->Increment(result_.node_graph.executed_rules());
       // Per-rule attribution: the deterministic column goes into counters
       // (so it participates in the cross-thread-count determinism tests);
       // the wall-clock columns and the stratum assignment are gauges. The
@@ -412,6 +445,108 @@ class ChaseRun {
     return std::move(result_);
   }
 
+  // One semi-naive pass of a rule execution: the pivot atom, its id
+  // window, and how many pivot-predicate rows the window actually holds
+  // (the unit delta_facts counts). pivot < 0 is the empty-body full pass.
+  struct RulePass {
+    int pivot = -1;
+    FactId begin = 0;
+    FactId end = 0;
+    FactId cap = 0;
+    int64_t pivot_rows = 0;
+  };
+
+  // Everything the round decided about one rule before any matching ran:
+  // the passes worth running (pivot windows holding at least one row), the
+  // per-atom join strategies, and the RuleExecution record destined for
+  // the node graph. Computed once per (rule, round) on the driving thread,
+  // then shared by the sequential loop or every parallel task slice — that
+  // is what makes the chase.join.* counters thread-invariant.
+  struct RuleExecutionPlan {
+    std::vector<RulePass> passes;
+    std::vector<AtomJoin> joins;
+    RuleExecution record;
+    FactId delta_begin = 0;  // for the rule.eval event only
+    FactId limit = 0;
+  };
+
+  // Rows of `predicate` with id in [lo, hi) — a binary search over the
+  // graph's ascending per-predicate id list.
+  int64_t PredRows(Symbol predicate, FactId lo, FactId hi) const {
+    const std::vector<FactId>& ids = result_.graph.FactsOf(predicate);
+    auto first = std::lower_bound(ids.begin(), ids.end(), lo);
+    auto last = std::lower_bound(first, ids.end(), hi);
+    return static_cast<int64_t>(last - first);
+  }
+
+  // The trigger-graph admission test, pass by pass: a pass whose pivot
+  // window holds zero pivot-predicate rows cannot enumerate a single
+  // candidate and is dropped before any matching machinery spins up; a
+  // rule all of whose passes drop is skipped outright. The test is join-
+  // mode independent (it reads the graph's id lists, not the segments), so
+  // skip counts — and therefore all chase.join.* counters — agree between
+  // merge and probe runs.
+  // Fill-style so the sequential round loop can reuse one plan's vectors
+  // across every (rule, round) — the per-round allocation churn showed up
+  // on small many-round workloads.
+  void PlanRuleExecution(const RulePlan& plan, FactId delta_begin,
+                         FactId limit, RuleExecutionPlan* out) {
+    RuleExecutionPlan& eplan = *out;
+    eplan.passes.clear();
+    eplan.record = RuleExecution{};
+    eplan.delta_begin = delta_begin;
+    eplan.limit = limit;
+    ComputeAtomJoins(plan, store_, config_.join_mode, limit, &eplan.joins);
+    eplan.record.rule_index = plan.index;
+    eplan.record.stratum = cur_stratum_;
+    eplan.record.round = cur_round_;
+    for (const AtomJoin& join : eplan.joins) {
+      ++(join.merge ? eplan.record.merge_atoms : eplan.record.probe_atoms);
+    }
+    if (delta_begin < 0 || !config_.semi_naive) {
+      if (plan.rule->body.empty()) {
+        // The one empty-body match exists regardless of the database; a
+        // full pass must still emit it.
+        eplan.passes.push_back(RulePass{});
+      } else {
+        const int64_t rows = PredRows(plan.body[0].predicate, 0, limit);
+        if (rows > 0) {
+          eplan.passes.push_back(RulePass{/*pivot=*/0, 0, limit, 0, rows});
+        } else {
+          ++eplan.record.passes_skipped;
+        }
+      }
+    } else {
+      for (size_t pos = 0; pos < plan.body.size(); ++pos) {
+        const int64_t rows =
+            PredRows(plan.body[pos].predicate, delta_begin, limit);
+        if (rows > 0) {
+          eplan.passes.push_back(RulePass{static_cast<int>(pos), delta_begin,
+                                          limit, delta_begin, rows});
+        } else {
+          ++eplan.record.passes_skipped;
+        }
+      }
+    }
+    eplan.record.passes_run = static_cast<int>(eplan.passes.size());
+    eplan.record.skipped = eplan.passes.empty();
+  }
+
+  // Records the round's decision about one rule and narrates a skip. Runs
+  // on the driving thread in stratum rule order, both sequentially and in
+  // the parallel round — the record stream is part of the checkpoint.
+  void RecordExecution(const RulePlan& plan, const RuleExecutionPlan& eplan) {
+    result_.node_graph.AddRuleExecution(eplan.record);
+    if (eplan.record.skipped && event_log_ != nullptr) {
+      event_log_->Log(obs::EventLevel::kDebug, "chase", "rule.skip",
+                      {{"rule", RuleMetricName(*plan.rule, plan.index)},
+                       {"stratum", std::to_string(cur_stratum_)},
+                       {"round", std::to_string(cur_round_)},
+                       {"passes_skipped",
+                        std::to_string(eplan.record.passes_skipped)}});
+    }
+  }
+
   // Runs rules to fixpoint. With initial_delta < 0, the first pass
   // evaluates over every fact derived so far (fresh run / new stratum);
   // otherwise only matches touching [initial_delta, ...) run (incremental
@@ -430,6 +565,13 @@ class ChaseRun {
     FactId delta_begin = first_pass ? 0 : initial_delta;
     while (true) {
       const FactId limit = result_.graph.size();
+      // Seal the previous round's delta (or the initial base / restored
+      // state, tagged with the pre-increment round number) before the
+      // fixpoint check, so the final delta is recorded too. Idempotent:
+      // the store tracks its sealed watermark, and after a resume the node
+      // graph's restored watermark suppresses re-recording the restored
+      // base while the segments themselves are still (re)built.
+      store_.SealRound(limit, &result_.node_graph, result_.stats.rounds);
       if (!first_pass && delta_begin >= limit) break;  // fixpoint
       TEMPLEX_RETURN_IF_ERROR(CheckInterruption(config_.deadline,
                                                 config_.cancel,
@@ -458,8 +600,11 @@ class ChaseRun {
             rule_indexes, first_pass ? -1 : delta_begin, limit));
       } else {
         for (int index : rule_indexes) {
-          TEMPLEX_RETURN_IF_ERROR(EvaluateRule(
-              plans_[index], first_pass ? -1 : delta_begin, limit));
+          PlanRuleExecution(plans_[index], first_pass ? -1 : delta_begin,
+                            limit, &eplan_scratch_);
+          RecordExecution(plans_[index], eplan_scratch_);
+          if (eplan_scratch_.record.skipped) continue;
+          TEMPLEX_RETURN_IF_ERROR(EvaluateRule(plans_[index], eplan_scratch_));
         }
       }
       first_pass = false;
@@ -578,6 +723,13 @@ class ChaseRun {
     }
     result_.stats = cursor.stats;
     next_null_id_ = cursor.next_null_id;
+    // Seed the trigger graph with the committed history; the watermark
+    // (the restored graph size) makes the first post-resume SealRound a
+    // segment-building no-op record-wise, so a resumed run's node graph —
+    // and the chase.join.* counters derived from it — match the
+    // uninterrupted run's byte for byte.
+    result_.node_graph.Restore(std::move(checkpoint.segment_nodes),
+                               std::move(checkpoint.rule_executions), total);
     *start_stratum = static_cast<size_t>(cursor.stratum_index);
     *resume_delta = cursor.resume_delta;
     if (metrics_ != nullptr) {
@@ -601,6 +753,8 @@ class ChaseRun {
     last_committed_round_ = result_.stats.rounds;
     last_committed_size_ = result_.graph.size();
     last_committed_symbols_ = result_.graph.symbols().size();
+    last_committed_seg_nodes_ = result_.node_graph.segment_nodes().size();
+    last_committed_execs_ = result_.node_graph.rule_executions().size();
     pending_alternatives_.clear();
     pending_aggregates_.clear();
   }
@@ -670,6 +824,8 @@ class ChaseRun {
       entry.parents = parents;
       snapshot.aggregates.push_back(std::move(entry));
     });
+    snapshot.segment_nodes = result_.node_graph.segment_nodes();
+    snapshot.rule_executions = result_.node_graph.rule_executions();
     snapshot.cursor = MakeCursor(stratum_index, resume_delta);
     TEMPLEX_RETURN_IF_ERROR(ckpt_->WriteSnapshot(snapshot));
     committed_cursor_ = snapshot.cursor;
@@ -703,6 +859,14 @@ class ChaseRun {
       delta.alternatives.push_back(std::move(record));
     }
     delta.aggregates = std::move(pending_aggregates_);
+    const std::vector<SegmentNode>& seg_nodes =
+        result_.node_graph.segment_nodes();
+    delta.segment_nodes.assign(seg_nodes.begin() + last_committed_seg_nodes_,
+                               seg_nodes.end());
+    const std::vector<RuleExecution>& execs =
+        result_.node_graph.rule_executions();
+    delta.rule_executions.assign(execs.begin() + last_committed_execs_,
+                                 execs.end());
     TEMPLEX_RETURN_IF_ERROR(ckpt_->AppendDelta(delta));
     committed_cursor_ = delta.cursor;
     MarkCommitted();
@@ -710,34 +874,34 @@ class ChaseRun {
   }
 
  private:
-  // delta_begin < 0 requests a full evaluation over all facts below
-  // `limit`; otherwise only matches touching [delta_begin, limit) run.
-  // With a registry attached, the evaluation is timed and decomposed into
-  // the match / head-creation / aggregation phases: head and aggregation
-  // scopes accumulate into their own cells, and the matching share is the
-  // remainder of the whole-evaluation time.
-  Status EvaluateRule(const RulePlan& plan, FactId delta_begin, FactId limit) {
+  // Evaluates one non-skipped rule execution: every planned pass, with the
+  // execution's precomputed join strategies. With a registry attached, the
+  // evaluation is timed and decomposed into the match / head-creation /
+  // aggregation phases: head and aggregation scopes accumulate into their
+  // own cells, and the matching share is the remainder of the
+  // whole-evaluation time.
+  Status EvaluateRule(const RulePlan& plan, const RuleExecutionPlan& eplan) {
     if (event_log_ != nullptr) {
       event_log_->Log(obs::EventLevel::kDebug, "chase", "rule.eval",
                       {{"rule", RuleMetricName(*plan.rule, plan.index)},
                        {"stratum", std::to_string(cur_stratum_)},
                        {"round", std::to_string(cur_round_)},
-                       {"delta_begin", std::to_string(delta_begin)},
-                       {"limit", std::to_string(limit)}});
+                       {"delta_begin", std::to_string(eplan.delta_begin)},
+                       {"limit", std::to_string(eplan.limit)}});
     }
     if (metrics_ == nullptr && tracer_ == nullptr) {
-      return EvaluateRuleBody(plan, delta_begin, limit);
+      return EvaluateRuleBody(plan, eplan);
     }
     obs::Span span(tracer_, "chase.rule");
     span.AddAttribute("rule", RuleMetricName(*plan.rule, plan.index));
-    if (metrics_ == nullptr) return EvaluateRuleBody(plan, delta_begin, limit);
+    if (metrics_ == nullptr) return EvaluateRuleBody(plan, eplan);
     const double head_before = head_seconds_;
     const double aggregate_before = aggregate_seconds_;
     double eval_seconds = 0.0;
     Status status;
     {
       ScopedTimer timer(&eval_seconds);
-      status = EvaluateRuleBody(plan, delta_begin, limit);
+      status = EvaluateRuleBody(plan, eplan);
     }
     const double head = head_seconds_ - head_before;
     const double aggregate = aggregate_seconds_ - aggregate_before;
@@ -751,8 +915,8 @@ class ChaseRun {
     return status;
   }
 
-  Status EvaluateRuleBody(const RulePlan& plan, FactId delta_begin,
-                          FactId limit) {
+  Status EvaluateRuleBody(const RulePlan& plan,
+                          const RuleExecutionPlan& eplan) {
     obs::RuleProfile* profile = ProfileFor(plan);
     InterruptProbe probe(config_.deadline, config_.cancel,
                          "rule evaluation");
@@ -764,27 +928,20 @@ class ChaseRun {
       if (profile != nullptr) ++profile->matches;
       return ProcessMatch(plan, match);
     };
-    // delta_facts accounting mirrors the parallel windows exactly (a task
-    // contributes pivot_end - pivot_begin), so the totals are identical at
-    // every thread count: a full pass scans [0, limit) through one pivot, a
-    // semi-naive pass scans [delta_begin, limit) once per body position,
-    // and an empty body pivots on nothing.
-    if (delta_begin < 0 || !config_.semi_naive) {
-      if (profile != nullptr && !plan.rule->body.empty()) {
-        profile->delta_facts += limit;
-      }
-      return EnumerateMatches(plan, store_, result_.graph,
-                              /*delta_atom=*/-1, /*delta_begin=*/0, limit,
-                              callback);
-    }
-    if (profile != nullptr) {
-      profile->delta_facts +=
-          static_cast<int64_t>(plan.body.size()) * (limit - delta_begin);
-    }
-    for (size_t pos = 0; pos < plan.body.size(); ++pos) {
-      TEMPLEX_RETURN_IF_ERROR(EnumerateMatches(plan, store_, result_.graph,
-                                               static_cast<int>(pos),
-                                               delta_begin, limit, callback));
+    // delta_facts counts the pivot-predicate rows each executed pass
+    // actually scans. The parallel round slices passes on row boundaries
+    // and sums per-task row counts, so the totals are identical at every
+    // thread count; skipped passes contribute zero on both paths.
+    for (const RulePass& pass : eplan.passes) {
+      if (profile != nullptr) profile->delta_facts += pass.pivot_rows;
+      MatchWindow window;
+      window.limit = eplan.limit;
+      window.pivot_atom = pass.pivot;
+      window.pivot_begin = pass.begin;
+      window.pivot_end = pass.end;
+      window.pre_pivot_cap = pass.cap;
+      TEMPLEX_RETURN_IF_ERROR(EnumerateMatches(
+          plan, store_, result_.graph, window, &eplan.joins, callback));
     }
     return Status::OK();
   }
@@ -802,6 +959,8 @@ class ChaseRun {
   struct MatchTask {
     const RulePlan* plan = nullptr;
     MatchWindow window;
+    const std::vector<AtomJoin>* joins = nullptr;  // the execution's joins
+    int64_t pivot_rows = 0;  // pivot rows in this slice (delta_facts share)
     // Outputs, owned by this task until the merge:
     Status status;
     int64_t matches = 0;  // homomorphisms enumerated (pre-filter)
@@ -809,46 +968,53 @@ class ChaseRun {
     std::vector<PendingHead> heads;
   };
 
-  // Splits one rule's round work into windowed tasks, appended in canonical
-  // order: delta position ascending, then id-window ascending. Window
-  // slices concatenate back to the unpartitioned enumeration, so replaying
-  // task outputs in this order reproduces the sequential match order
-  // exactly.
-  void PlanRuleTasks(const RulePlan& plan, FactId delta_begin, FactId limit,
+  // Splits one rule execution's passes into windowed tasks, appended in
+  // canonical order: pass (pivot position) ascending, then id-window
+  // ascending. Slices cut on pivot-predicate ROW boundaries — every slice
+  // carries about the same number of pivot rows even when the delta's ids
+  // cluster in one predicate — and concatenate back to the unpartitioned
+  // enumeration, so replaying task outputs in this order reproduces the
+  // sequential match order exactly, and per-task pivot_rows sums to the
+  // pass's row count at any slice count.
+  void PlanRuleTasks(const RulePlan& plan, const RuleExecutionPlan& eplan,
                      std::vector<MatchTask>* tasks) const {
     // A few tasks per thread so work stealing can even out skewed windows.
-    const FactId slices =
-        static_cast<FactId>(pool_->num_threads()) * 2;
-    auto add_windows = [&](int pivot, FactId begin, FactId end, FactId cap) {
-      if (begin >= end) return;
-      const FactId span = end - begin;
-      const FactId n = std::min(slices, span);
-      for (FactId s = 0; s < n; ++s) {
-        MatchTask task;
-        task.plan = &plan;
-        task.window.limit = limit;
-        task.window.pivot_atom = pivot;
-        task.window.pivot_begin = begin + span * s / n;
-        task.window.pivot_end = begin + span * (s + 1) / n;
-        task.window.pre_pivot_cap = cap;
-        tasks->push_back(std::move(task));
-      }
-    };
-    if (delta_begin < 0 || !config_.semi_naive) {
-      if (plan.rule->body.empty()) {
+    const int64_t slices = static_cast<int64_t>(pool_->num_threads()) * 2;
+    for (const RulePass& pass : eplan.passes) {
+      if (pass.pivot < 0) {
         // No atom to pivot on; a single unwindowed task enumerates the one
         // empty-body match.
         MatchTask task;
         task.plan = &plan;
-        task.window.limit = limit;
+        task.window.limit = eplan.limit;
+        task.joins = &eplan.joins;
         tasks->push_back(std::move(task));
-        return;
+        continue;
       }
-      add_windows(/*pivot=*/0, 0, limit, /*cap=*/0);
-      return;
-    }
-    for (size_t pos = 0; pos < plan.rule->body.size(); ++pos) {
-      add_windows(static_cast<int>(pos), delta_begin, limit, delta_begin);
+      const std::vector<FactId>& ids = result_.graph.FactsOf(
+          plan.body[static_cast<size_t>(pass.pivot)].predicate);
+      const size_t first = static_cast<size_t>(
+          std::lower_bound(ids.begin(), ids.end(), pass.begin) - ids.begin());
+      const int64_t rows = pass.pivot_rows;
+      const int64_t n = std::min(slices, rows);
+      for (int64_t s = 0; s < n; ++s) {
+        const int64_t row_lo = rows * s / n;
+        const int64_t row_hi = rows * (s + 1) / n;
+        MatchTask task;
+        task.plan = &plan;
+        task.window.limit = eplan.limit;
+        task.window.pivot_atom = pass.pivot;
+        // Window bounds sit on the slice's first row id (outer bounds keep
+        // the pass's own), so slices stay disjoint and exhaustive.
+        task.window.pivot_begin =
+            s == 0 ? pass.begin : ids[first + static_cast<size_t>(row_lo)];
+        task.window.pivot_end =
+            s == n - 1 ? pass.end : ids[first + static_cast<size_t>(row_hi)];
+        task.window.pre_pivot_cap = pass.cap;
+        task.joins = &eplan.joins;
+        task.pivot_rows = row_hi - row_lo;
+        tasks->push_back(std::move(task));
+      }
     }
   }
 
@@ -870,7 +1036,7 @@ class ChaseRun {
     if (metrics_ != nullptr) timer.emplace(&task->seconds);
     InterruptProbe probe(config_.deadline, config_.cancel, "match task");
     task->status = EnumerateMatches(
-        *task->plan, store_, result_.graph, task->window,
+        *task->plan, store_, result_.graph, task->window, task->joins,
         [this, task, &probe](const BodyMatch& match) -> Status {
           TEMPLEX_RETURN_IF_ERROR(probe.Check());
           ++task->matches;
@@ -896,9 +1062,20 @@ class ChaseRun {
   // task's outputs.
   Status RunRoundParallel(const std::vector<int>& rule_indexes,
                           FactId delta_begin, FactId limit) {
+    // Execution plans are decided and recorded on this thread, in stratum
+    // rule order — identically to the sequential path — before any task
+    // exists; tasks alias each plan's joins, so the vector must not grow
+    // afterwards.
+    std::vector<RuleExecutionPlan> eplans(rule_indexes.size());
+    for (size_t k = 0; k < rule_indexes.size(); ++k) {
+      PlanRuleExecution(plans_[rule_indexes[k]], delta_begin, limit,
+                        &eplans[k]);
+      RecordExecution(plans_[rule_indexes[k]], eplans[k]);
+    }
     std::vector<MatchTask> tasks;
-    for (int index : rule_indexes) {
-      PlanRuleTasks(plans_[index], delta_begin, limit, &tasks);
+    for (size_t k = 0; k < rule_indexes.size(); ++k) {
+      if (eplans[k].record.skipped) continue;
+      PlanRuleTasks(plans_[rule_indexes[k]], eplans[k], &tasks);
     }
     if (tasks.empty()) return Status::OK();
     double match_seconds = 0.0;
@@ -926,8 +1103,7 @@ class ChaseRun {
         // the sequential totals at any thread count; match_seconds sums
         // worker wall time and is the one thread-dependent column.
         profile->matches += task.matches;
-        profile->delta_facts +=
-            task.window.pivot_end - task.window.pivot_begin;
+        profile->delta_facts += task.pivot_rows;
         profile->match_seconds += task.seconds;
       }
       std::optional<ScopedTimer> derive_timer;
@@ -1247,6 +1423,8 @@ class ChaseRun {
   int64_t last_snapshot_round_ = 0;
   FactId last_committed_size_ = 0;
   int last_committed_symbols_ = 0;
+  size_t last_committed_seg_nodes_ = 0;
+  size_t last_committed_execs_ = 0;
   CheckpointCursor committed_cursor_;
   std::vector<std::pair<FactId, int>> pending_alternatives_;
   std::vector<AggregateEntryRecord> pending_aggregates_;
@@ -1266,6 +1444,8 @@ class ChaseRun {
   std::vector<obs::RuleProfile*> profile_by_plan_;
   int cur_stratum_ = 0;
   int64_t cur_round_ = 0;
+  // Reused by the sequential round loop; see PlanRuleExecution.
+  RuleExecutionPlan eplan_scratch_;
   // Per-phase accumulators (seconds), only touched when metrics_ is set;
   // phase scopes add to them via ScopedTimer, EvaluateRule observes the
   // per-evaluation deltas into the histograms below.
@@ -1301,6 +1481,9 @@ std::vector<Fact> ChaseResult::FactsOf(const std::string& predicate) const {
 }
 
 ChaseEngine::ChaseEngine(ChaseConfig config) : config_(config) {
+  // TEMPLEX_JOIN_MODE overrides the configured join mode — the CI bench
+  // matrix flips it without touching call sites. Output-invisible.
+  config_.join_mode = JoinModeFromEnv(config_.join_mode);
   int threads = config_.num_threads;
   if (threads == 0) threads = ThreadPool::HardwareConcurrency();
   if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);

@@ -9,6 +9,8 @@
 #include "datalog/program.h"
 #include "engine/chase_graph.h"
 #include "engine/fact.h"
+#include "engine/node_graph.h"
+#include "engine/segment.h"
 #include "obs/metrics.h"
 #include "obs/rule_profile.h"
 
@@ -51,6 +53,16 @@ struct ChaseConfig {
   // chase graph, provenance, stats, and per-rule counters (only the phase
   // *latency* histograms and span shapes differ — see DESIGN.md).
   int num_threads = 1;
+  // How body atoms source their candidates (engine/segment.h): kMerge (the
+  // default) seals each round's facts into sorted columnar segments and
+  // merge-joins atoms whose predicate chains are regular; kProbe keeps the
+  // legacy hash-probe-only path (the merge machinery then costs nothing).
+  // A pure execution-strategy knob: match sets, enumeration order, and
+  // every chase output are byte-identical in both modes, so — like
+  // num_threads — it is deliberately outside the checkpoint config hash.
+  // The ChaseEngine constructor lets the TEMPLEX_JOIN_MODE environment
+  // variable ("merge"/"probe") override this field.
+  JoinMode join_mode = JoinMode::kMerge;
   // Optional observability sinks (obs/metrics.h, obs/trace.h); both may be
   // null, in which case instrumented code paths reduce to one pointer test
   // each — tier-1 timings are unaffected. When `metrics` is set, the run
@@ -159,6 +171,12 @@ struct ChaseResult {
   // Fingerprint of the program that produced this result; Extend refuses a
   // mismatch.
   size_t program_fingerprint = 0;
+  // Trigger-graph record of the run (engine/node_graph.h): per-round
+  // segment nodes and per-(rule, round) execution decisions, including
+  // which executions were skipped because no body predicate grew. Feeds the
+  // chase.join.* counters and travels through checkpoints so resumed runs
+  // report the same totals.
+  NodeGraph node_graph;
 
   // Id of a fact in the saturated instance, or NotFound.
   Result<FactId> Find(const Fact& fact) const;

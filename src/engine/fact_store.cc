@@ -1,18 +1,89 @@
 #include "engine/fact_store.h"
 
+#include <algorithm>
+
 namespace templex {
 
 void FactStore::OnNewFact(FactId id) {
   const Fact& fact = graph_->node(id).fact;
   for (int pos = 0; pos < fact.arity(); ++pos) {
-    by_position_[PosKey(fact.pred_symbol, pos, fact.args[pos])].push_back(id);
+    const uint64_t value_hash = fact.args[pos].Hash();
+    PosBucket& bucket =
+        by_position_[PosKey(fact.pred_symbol, pos, value_hash)];
+    if (bucket.ids.empty()) {
+      bucket.predicate = fact.pred_symbol;
+      bucket.position = pos;
+      bucket.value_hash = value_hash;
+    } else if (!bucket.collided &&
+               (bucket.predicate != fact.pred_symbol ||
+                bucket.position != pos || bucket.value_hash != value_hash)) {
+      bucket.collided = true;
+      ++collision_groups_;
+    }
+    bucket.ids.push_back(id);
   }
+}
+
+void FactStore::SealRound(FactId limit, NodeGraph* node_graph, int64_t round) {
+  if (limit <= sealed_limit_) return;
+  const int num_symbols = graph_->symbols().size();
+  if (static_cast<int>(chains_.size()) < num_symbols) {
+    chains_.resize(static_cast<size_t>(num_symbols));
+  }
+  for (Symbol predicate = 0; predicate < num_symbols; ++predicate) {
+    const std::vector<FactId>& ids = graph_->FactsOf(predicate);
+    auto first = std::lower_bound(ids.begin(), ids.end(), sealed_limit_);
+    auto last = std::lower_bound(first, ids.end(), limit);
+    if (first == last) continue;  // predicate gained nothing this round
+    if (node_graph != nullptr) {
+      node_graph->AddSegmentNode(predicate, round, *first, *(last - 1) + 1);
+    }
+    if (!segments_enabled_) continue;
+    if (!segment_predicates_.empty() &&
+        (static_cast<size_t>(predicate) >= segment_predicates_.size() ||
+         !segment_predicates_[static_cast<size_t>(predicate)])) {
+      continue;  // never consulted by the matcher: skip the columnar copy
+    }
+    SegmentChain& chain = chains_[static_cast<size_t>(predicate)];
+    if (!chain.regular()) continue;
+    // One columnar segment for this predicate's round delta. A predicate
+    // observed at more than one arity has no rectangular layout: mark the
+    // chain irregular so the matcher falls back to index probing.
+    const int arity = graph_->node(*first).fact.arity();
+    if (chain.arity() >= 0 && chain.arity() != arity) {
+      chain.MarkIrregular();
+      continue;
+    }
+    std::vector<FactId> seg_ids;
+    seg_ids.reserve(static_cast<size_t>(last - first));
+    std::vector<std::vector<Value>> columns(static_cast<size_t>(arity));
+    for (auto& col : columns) col.reserve(static_cast<size_t>(last - first));
+    bool mixed_arity = false;
+    for (auto it = first; it != last; ++it) {
+      const Fact& fact = graph_->node(*it).fact;
+      if (fact.arity() != arity) {
+        mixed_arity = true;
+        break;
+      }
+      seg_ids.push_back(*it);
+      for (int pos = 0; pos < arity; ++pos) {
+        columns[static_cast<size_t>(pos)].push_back(fact.args[pos]);
+      }
+    }
+    if (mixed_arity) {
+      chain.MarkIrregular();
+      continue;
+    }
+    chain.Append(DeltaSegment(predicate, arity, std::move(seg_ids),
+                              std::move(columns)));
+  }
+  sealed_limit_ = limit;
 }
 
 int64_t FactStore::position_entries() const {
   int64_t total = 0;
-  for (const auto& [key, ids] : by_position_) {
-    total += static_cast<int64_t>(ids.size());
+  for (const auto& [key, bucket] : by_position_) {
+    total += static_cast<int64_t>(bucket.ids.size());
   }
   return total;
 }
@@ -32,10 +103,10 @@ const std::vector<FactId>& FactStore::CandidatesFor(
       if (!v.has_value()) continue;
       bound_value = *v;
     }
-    auto it = by_position_.find(PosKey(predicate, pos, bound_value));
+    auto it = by_position_.find(PosKey(predicate, pos, bound_value.Hash()));
     if (it == by_position_.end()) return empty_;  // no fact can match
-    if (best == nullptr || it->second.size() < best->size()) {
-      best = &it->second;
+    if (best == nullptr || it->second.ids.size() < best->size()) {
+      best = &it->second.ids;
     }
   }
   if (best != nullptr) return *best;
@@ -43,23 +114,20 @@ const std::vector<FactId>& FactStore::CandidatesFor(
 }
 
 const std::vector<FactId>& FactStore::CandidatesFor(
-    const AtomPlan& atom, const Value* slots, const uint8_t* bound) const {
+    const AtomPlan& atom, const Value* slots) const {
   const std::vector<FactId>* best = nullptr;
   const int arity = atom.arity;
   for (int pos = 0; pos < arity; ++pos) {
     const TermPlan& t = atom.terms[pos];
-    const Value* value;
-    if (t.is_constant) {
-      value = &t.constant;
-    } else if (bound[t.slot]) {
-      value = &slots[t.slot];
-    } else {
-      continue;
-    }
-    auto it = by_position_.find(PosKey(atom.predicate, pos, *value));
+    // bound_at_entry is the static answer to "is this slot readable when
+    // the enumerator probes this atom": constants always, variables iff an
+    // earlier body atom first bound them.
+    if (!t.bound_at_entry) continue;
+    const Value* value = t.is_constant ? &t.constant : &slots[t.slot];
+    auto it = by_position_.find(PosKey(atom.predicate, pos, value->Hash()));
     if (it == by_position_.end()) return empty_;  // no fact can match
-    if (best == nullptr || it->second.size() < best->size()) {
-      best = &it->second;
+    if (best == nullptr || it->second.ids.size() < best->size()) {
+      best = &it->second.ids;
     }
   }
   if (best != nullptr) return *best;

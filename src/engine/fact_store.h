@@ -11,7 +11,9 @@
 #include "datalog/binding.h"
 #include "engine/chase_graph.h"
 #include "engine/fact.h"
+#include "engine/node_graph.h"
 #include "engine/rule_plan.h"
+#include "engine/segment.h"
 
 namespace templex {
 
@@ -19,13 +21,17 @@ namespace templex {
 // per (predicate, argument position, value) so joins can scan only
 // candidates agreeing with already-bound variables. Per-predicate lists
 // live in the graph itself (ChaseGraph::FactsOf); this class only owns the
-// position index.
+// position index and (in merge-join mode) the per-predicate columnar
+// segment chains the merge path enumerates instead of probing.
 //
 // The position index is keyed by a packed 64-bit hash of
 // (pred_symbol, position, value hash) — no string ever touches a probe.
 // Hash collisions can merge two value groups into one candidate list;
 // that is sound (and preserves ascending-id enumeration order) because
-// every candidate is still verified by the full atom match.
+// every candidate is still verified by the full atom match. Collisions
+// ARE counted (chase.index.collision_groups): each bucket remembers the
+// (predicate, position, value-hash) triple of its first fact and flags the
+// bucket the first time a fact with a different triple lands in it.
 class FactStore {
  public:
   explicit FactStore(const ChaseGraph* graph) : graph_(graph) {}
@@ -52,32 +58,97 @@ class FactStore {
                                            const Binding& binding) const;
 
   // Compiled-plan twin of CandidatesFor: slot-indexed bound lookups, int
-  // predicate — the chase hot path. `slots`/`bound` are the enumerator's
-  // per-slot value array and bound flags.
+  // predicate — the chase hot path. `slots` is the enumerator's per-slot
+  // value array; which slots are readable is static (TermPlan::
+  // bound_at_entry), so no bound flags travel with it.
   const std::vector<FactId>& CandidatesFor(const AtomPlan& atom,
-                                           const Value* slots,
-                                           const uint8_t* bound) const;
+                                           const Value* slots) const;
+
+  // --- Columnar delta segments (merge-join mode) ---
+
+  // Turns on segment building: every SealRound from now on appends the
+  // new facts' columns to per-predicate chains. Off by default — probe
+  // mode pays nothing for the machinery it never reads.
+  void EnableSegments() { segments_enabled_ = true; }
+  bool segments_enabled() const { return segments_enabled_; }
+
+  // Restricts segment building to the flagged predicates (index = Symbol).
+  // The matcher only merge-joins predicates occurring in positive rule
+  // bodies, so chains for head-only output predicates are pure overhead —
+  // the chase flags body predicates once plans are compiled. Predicates
+  // beyond the vector (interned later) are treated as unflagged. An empty
+  // vector means no filter: every predicate builds chains.
+  void SetSegmentPredicates(std::vector<bool> wanted) {
+    segment_predicates_ = std::move(wanted);
+  }
+
+  // Seals the facts in [sealed_limit, limit): records one SegmentNode per
+  // predicate that grew (into `node_graph`, tagged `round`) and, when
+  // segments are enabled, builds the round's columnar segments. Must be
+  // called with non-decreasing limits, in id order, after the facts exist.
+  void SealRound(FactId limit, NodeGraph* node_graph, int64_t round);
+
+  // Highest id below which facts are covered by sealed segments. The merge
+  // path only applies to windows within this limit.
+  FactId sealed_limit() const { return sealed_limit_; }
+
+  // Segment chain of a predicate, or nullptr when the predicate has no
+  // sealed fact (or segments are disabled).
+  const SegmentChain* ChainOf(Symbol predicate) const {
+    if (predicate < 0 || predicate >= static_cast<Symbol>(chains_.size())) {
+      return nullptr;
+    }
+    return &chains_[static_cast<size_t>(predicate)];
+  }
 
   // Index shape, exported as chase.index.* counters at the end of a run.
   int64_t position_keys() const {
     return static_cast<int64_t>(by_position_.size());
   }
   int64_t position_entries() const;
+  int64_t collision_groups() const { return collision_groups_; }
+
+  // Narrows PosKey to its low bits so tests can force collisions without
+  // crafting hash-colliding values. Production keeps the full 64 bits.
+  void set_position_key_mask_for_testing(uint64_t mask) {
+    poskey_mask_ = mask;
+  }
 
  private:
+  // One position-index bucket: the candidate ids plus the identity of the
+  // first (pred, pos, value-hash) triple that landed here, so later facts
+  // can detect they were merged in by a PosKey collision. Distinct values
+  // with EQUAL hashes remain indistinguishable — undetected but harmless,
+  // the full atom match filters them.
+  struct PosBucket {
+    std::vector<FactId> ids;
+    Symbol predicate = kInvalidSymbol;
+    int position = -1;
+    uint64_t value_hash = 0;
+    bool collided = false;
+  };
+
   // Packed probe key. Exact (pred, position) packing is not required —
   // downstream verification makes any collision harmless — but pred and
   // position are small, so this is near-injective in practice.
-  static uint64_t PosKey(Symbol predicate, int position, const Value& value) {
+  uint64_t PosKey(Symbol predicate, int position, uint64_t value_hash) const {
     return HashCombine(
-        (static_cast<uint64_t>(static_cast<uint32_t>(predicate)) << 8) ^
-            static_cast<uint64_t>(static_cast<uint32_t>(position)),
-        value.Hash());
+               (static_cast<uint64_t>(static_cast<uint32_t>(predicate)) << 8) ^
+                   static_cast<uint64_t>(static_cast<uint32_t>(position)),
+               value_hash) &
+           poskey_mask_;
   }
 
   const ChaseGraph* graph_;
-  std::unordered_map<uint64_t, std::vector<FactId>> by_position_;
+  std::unordered_map<uint64_t, PosBucket> by_position_;
   std::vector<FactId> empty_;
+  int64_t collision_groups_ = 0;
+  uint64_t poskey_mask_ = ~uint64_t{0};
+
+  bool segments_enabled_ = false;
+  std::vector<bool> segment_predicates_;  // empty: build for every predicate
+  FactId sealed_limit_ = 0;
+  std::vector<SegmentChain> chains_;  // indexed by predicate symbol
 };
 
 // Returns true and extends `binding` iff `fact` matches `atom` under the

@@ -1,0 +1,60 @@
+#include "engine/node_graph.h"
+
+#include <utility>
+
+namespace templex {
+
+void NodeGraph::AddSegmentNode(Symbol predicate, int64_t round,
+                               FactId id_begin, FactId id_end) {
+  if (id_begin >= id_end) return;
+  if (id_end <= restored_limit_) return;  // covered by restored history
+  segment_nodes_.push_back(SegmentNode{predicate, round, id_begin, id_end});
+}
+
+void NodeGraph::AddRuleExecution(const RuleExecution& exec) {
+  rule_executions_.push_back(exec);
+  if (exec.skipped) {
+    ++skipped_rules_;
+  } else {
+    ++executed_rules_;
+    merge_choices_ += exec.merge_atoms;
+    probe_choices_ += exec.probe_atoms;
+  }
+}
+
+bool NodeGraph::PredicateGrewSince(Symbol predicate, FactId since) const {
+  // Nodes are appended in seal order: rounds ascend across the vector, but
+  // ranges of sibling nodes within one round can interleave. A node with
+  // id_end <= since proves every strictly-earlier round is stale too (all
+  // their ids sit below this round's delta window) — so after meeting one,
+  // only the rest of its own round still needs checking.
+  bool saw_stale = false;
+  int64_t stale_round = 0;
+  for (auto it = segment_nodes_.rbegin(); it != segment_nodes_.rend(); ++it) {
+    if (saw_stale && it->round != stale_round) break;
+    if (it->id_end <= since) {
+      if (!saw_stale) {
+        saw_stale = true;
+        stale_round = it->round;
+      }
+      continue;
+    }
+    if (it->predicate == predicate) return true;
+  }
+  return false;
+}
+
+void NodeGraph::Restore(std::vector<SegmentNode> nodes,
+                        std::vector<RuleExecution> executions,
+                        FactId restored_limit) {
+  segment_nodes_ = std::move(nodes);
+  rule_executions_.clear();
+  merge_choices_ = 0;
+  probe_choices_ = 0;
+  skipped_rules_ = 0;
+  executed_rules_ = 0;
+  for (const RuleExecution& exec : executions) AddRuleExecution(exec);
+  restored_limit_ = restored_limit;
+}
+
+}  // namespace templex

@@ -25,6 +25,10 @@ template <typename Resolve>
 void Compile(RulePlan* plan, Resolve&& resolve) {
   plan->body.clear();
   plan->slot_names.clear();
+  // Slots whose variable first occurred in an atom BEFORE the current one.
+  // bound_at_entry must not see slots introduced by the current atom's own
+  // earlier positions: those values exist only per candidate fact.
+  std::vector<bool> bound_by_earlier_atoms;
   for (const Atom& atom : plan->rule->body) {
     AtomPlan ap;
     ap.predicate = resolve(atom.predicate);
@@ -35,11 +39,22 @@ void Compile(RulePlan* plan, Resolve&& resolve) {
       if (term.is_constant()) {
         tp.is_constant = true;
         tp.constant = term.constant_value();
+        tp.bound_at_entry = true;
       } else {
+        const size_t slots_before = plan->slot_names.size();
         tp.slot = SlotOf(&plan->slot_names, term.variable_name());
+        tp.binds = plan->slot_names.size() > slots_before;  // fresh slot
+        tp.bound_at_entry =
+            tp.slot < static_cast<int>(bound_by_earlier_atoms.size()) &&
+            bound_by_earlier_atoms[tp.slot];
+      }
+      if (tp.bound_at_entry && ap.probe_position < 0) {
+        ap.probe_position =
+            static_cast<int>(ap.terms.size());  // first bound position
       }
       ap.terms.push_back(std::move(tp));
     }
+    bound_by_earlier_atoms.resize(plan->slot_names.size(), true);
     plan->body.push_back(std::move(ap));
   }
   plan->head_predicate = plan->rule->is_constraint

@@ -22,6 +22,20 @@ struct TermPlan {
   bool is_constant = false;
   Value constant;
   int slot = -1;
+  // True iff this position is the variable's first occurrence across the
+  // whole body. Atom order is fixed and positions scan left to right, so
+  // whether a slot is bound when the enumerator reaches a position is a
+  // compile-time fact: binds == write the slot, !binds == compare against
+  // it. No runtime bound flags, no undo trail — a failed candidate's stale
+  // writes are dead because only a `binds` position ever writes a slot and
+  // every read happens at a strictly later position.
+  bool binds = false;
+  // True when this position's value is known the moment the enumerator
+  // ENTERS the atom: a constant, or a variable slot first bound by an
+  // earlier body atom. Positions bound by an earlier position of the same
+  // atom do not qualify — their value only materializes per candidate,
+  // too late to drive a sorted-segment probe.
+  bool bound_at_entry = false;
 };
 
 // Compiled body atom: interned predicate plus per-position term plans.
@@ -31,6 +45,10 @@ struct AtomPlan {
   Symbol predicate = kInvalidSymbol;
   int arity = 0;
   std::vector<TermPlan> terms;
+  // First bound_at_entry position, or -1 when none: the join key a
+  // merge-join sources candidates by (EqualRange on the segments' sorted
+  // view). -1 still merge-joins as an ordered row scan of the segments.
+  int probe_position = -1;
 };
 
 // Precomputed per-rule evaluation plan, built once per chase run: the

@@ -1,0 +1,319 @@
+#include "engine/segment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
+
+namespace templex {
+
+JoinMode JoinModeFromEnv(JoinMode fallback) {
+  const char* env = std::getenv("TEMPLEX_JOIN_MODE");
+  if (env == nullptr) return fallback;
+  if (std::strcmp(env, "merge") == 0) return JoinMode::kMerge;
+  if (std::strcmp(env, "probe") == 0) return JoinMode::kProbe;
+  return fallback;
+}
+
+bool SegmentValueLess(const Value& a, const Value& b) {
+  if (a.is_numeric() && b.is_numeric()) {
+    const double x = a.AsDouble();
+    const double y = b.AsDouble();
+    const bool x_nan = std::isnan(x);
+    const bool y_nan = std::isnan(y);
+    if (x_nan || y_nan) return !x_nan && y_nan;  // non-NaN < NaN, NaN ~ NaN
+    return x < y;
+  }
+  return a < b;
+}
+
+bool SegmentValueEquivalent(const Value& a, const Value& b) {
+  return !SegmentValueLess(a, b) && !SegmentValueLess(b, a);
+}
+
+namespace {
+
+bool IsNanValue(const Value& v) {
+  return v.is_numeric() && std::isnan(v.AsDouble());
+}
+
+// (value, row) order for one column: the sort key of a position's view.
+// The row tie-break makes the order total and keeps equal runs ascending
+// by row index — and rows are id-sorted, so runs ascend by fact id.
+struct ColumnLess {
+  const std::vector<Value>* column;
+  bool operator()(uint32_t a, uint32_t b) const {
+    const Value& va = (*column)[a];
+    const Value& vb = (*column)[b];
+    if (SegmentValueLess(va, vb)) return true;
+    if (SegmentValueLess(vb, va)) return false;
+    return a < b;
+  }
+};
+
+}  // namespace
+
+DeltaSegment::DeltaSegment(Symbol predicate, int arity,
+                           std::vector<FactId> ids,
+                           std::vector<std::vector<Value>> columns)
+    : predicate_(predicate),
+      arity_(arity),
+      ids_(std::move(ids)),
+      columns_(std::move(columns)) {
+  sorted_.resize(static_cast<size_t>(arity_));
+  for (int pos = 0; pos < arity_; ++pos) {
+    std::vector<uint32_t>& view = sorted_[static_cast<size_t>(pos)];
+    view.resize(ids_.size());
+    std::iota(view.begin(), view.end(), 0u);
+    std::sort(view.begin(), view.end(),
+              ColumnLess{&columns_[static_cast<size_t>(pos)]});
+  }
+  BuildTypedKeys();
+}
+
+void DeltaSegment::BuildTypedKeys() {
+  num_keys_.assign(static_cast<size_t>(arity_), {});
+  str_keys_.assign(static_cast<size_t>(arity_), {});
+  for (int pos = 0; pos < arity_; ++pos) {
+    const std::vector<Value>& col = columns_[static_cast<size_t>(pos)];
+    bool all_num = !col.empty();
+    bool all_str = !col.empty();
+    for (const Value& v : col) {
+      if (!v.is_numeric() || std::isnan(v.AsDouble())) all_num = false;
+      if (!v.is_string()) all_str = false;
+      if (!all_num && !all_str) break;
+    }
+    const std::vector<uint32_t>& view = sorted_[static_cast<size_t>(pos)];
+    if (all_num) {
+      std::vector<double>& keys = num_keys_[static_cast<size_t>(pos)];
+      keys.reserve(view.size());
+      for (uint32_t row : view) keys.push_back(col[row].AsDouble());
+    } else if (all_str) {
+      std::vector<std::string_view>& keys =
+          str_keys_[static_cast<size_t>(pos)];
+      keys.reserve(view.size());
+      for (uint32_t row : view) keys.push_back(col[row].string_value());
+    }
+  }
+}
+
+DeltaSegment DeltaSegment::Merge(const DeltaSegment& a, const DeltaSegment& b) {
+  DeltaSegment merged;
+  merged.predicate_ = a.predicate_;
+  merged.arity_ = a.arity_;
+  merged.ids_.reserve(a.rows() + b.rows());
+  merged.ids_.insert(merged.ids_.end(), a.ids_.begin(), a.ids_.end());
+  merged.ids_.insert(merged.ids_.end(), b.ids_.begin(), b.ids_.end());
+  merged.columns_.resize(static_cast<size_t>(a.arity_));
+  for (int pos = 0; pos < a.arity_; ++pos) {
+    std::vector<Value>& col = merged.columns_[static_cast<size_t>(pos)];
+    col.reserve(merged.ids_.size());
+    const std::vector<Value>& ca = a.columns_[static_cast<size_t>(pos)];
+    const std::vector<Value>& cb = b.columns_[static_cast<size_t>(pos)];
+    col.insert(col.end(), ca.begin(), ca.end());
+    col.insert(col.end(), cb.begin(), cb.end());
+  }
+  // Linear merge of the two inputs' already-sorted views (b's rows shift
+  // by a.rows()) — no from-scratch sort, so size-tiered consolidation
+  // stays amortized-linear per round.
+  merged.sorted_.resize(static_cast<size_t>(a.arity_));
+  const uint32_t shift = static_cast<uint32_t>(a.rows());
+  for (int pos = 0; pos < a.arity_; ++pos) {
+    const std::vector<uint32_t>& va = a.sorted_[static_cast<size_t>(pos)];
+    const std::vector<uint32_t>& vb = b.sorted_[static_cast<size_t>(pos)];
+    std::vector<uint32_t>& out = merged.sorted_[static_cast<size_t>(pos)];
+    out.reserve(va.size() + vb.size());
+    const std::vector<Value>& col = merged.columns_[static_cast<size_t>(pos)];
+    size_t i = 0;
+    size_t j = 0;
+    while (i < va.size() && j < vb.size()) {
+      const uint32_t ra = va[i];
+      const uint32_t rb = vb[j] + shift;
+      // Equal values: a's row first (smaller row index keeps the tie-break).
+      if (SegmentValueLess(col[rb], col[ra])) {
+        out.push_back(rb);
+        ++j;
+      } else {
+        out.push_back(ra);
+        ++i;
+      }
+    }
+    for (; i < va.size(); ++i) out.push_back(va[i]);
+    for (; j < vb.size(); ++j) out.push_back(vb[j] + shift);
+  }
+  merged.BuildTypedKeys();
+  return merged;
+}
+
+DeltaSegment::Run DeltaSegment::EqualRangeGeneral(int pos,
+                                                  const Value& probe) const {
+  if (IsNanValue(probe)) return Run{};
+  const std::vector<uint32_t>& view = sorted_[static_cast<size_t>(pos)];
+  const std::vector<Value>& col = columns_[static_cast<size_t>(pos)];
+  auto lo = std::lower_bound(
+      view.begin(), view.end(), probe,
+      [&col](uint32_t row, const Value& v) {
+        return SegmentValueLess(col[row], v);
+      });
+  auto hi = std::upper_bound(
+      lo, view.end(), probe,
+      [&col](const Value& v, uint32_t row) {
+        return SegmentValueLess(v, col[row]);
+      });
+  return Run{view.data() + (lo - view.begin()), view.data() + (hi - view.begin())};
+}
+
+DeltaSegment::Run DeltaSegment::Restrict(Run run, FactId lo, FactId hi) const {
+  const uint32_t* begin = std::lower_bound(
+      run.begin, run.end, lo,
+      [this](uint32_t row, FactId id) { return ids_[row] < id; });
+  const uint32_t* end = std::lower_bound(
+      begin, run.end, hi,
+      [this](uint32_t row, FactId id) { return ids_[row] < id; });
+  return Run{begin, end};
+}
+
+std::pair<size_t, size_t> DeltaSegment::RowRange(FactId lo, FactId hi) const {
+  auto first = std::lower_bound(ids_.begin(), ids_.end(), lo);
+  auto last = std::lower_bound(first, ids_.end(), hi);
+  return {static_cast<size_t>(first - ids_.begin()),
+          static_cast<size_t>(last - ids_.begin())};
+}
+
+void SegmentChain::Append(DeltaSegment segment) {
+  if (!regular_) return;
+  if (arity_ < 0) arity_ = segment.arity();
+  segments_.push_back(std::move(segment));
+  // Size-tiered consolidation: adjacent segments keep ascending id ranges,
+  // so merging the last two preserves the chain invariant.
+  while (segments_.size() >= 2 &&
+         segments_[segments_.size() - 1].rows() >=
+             segments_[segments_.size() - 2].rows()) {
+    DeltaSegment merged = DeltaSegment::Merge(
+        segments_[segments_.size() - 2], segments_[segments_.size() - 1]);
+    segments_.pop_back();
+    segments_.back() = std::move(merged);
+  }
+}
+
+void SegmentChain::MarkIrregular() {
+  regular_ = false;
+  segments_.clear();
+}
+
+std::vector<uint32_t> LexOrder(const DeltaSegment& seg) {
+  std::vector<uint32_t> order(seg.rows());
+  std::iota(order.begin(), order.end(), 0u);
+  const int arity = seg.arity();
+  std::sort(order.begin(), order.end(), [&seg, arity](uint32_t a, uint32_t b) {
+    for (int pos = 0; pos < arity; ++pos) {
+      const Value& va = seg.value(pos, a);
+      const Value& vb = seg.value(pos, b);
+      if (SegmentValueLess(va, vb)) return true;
+      if (SegmentValueLess(vb, va)) return false;
+    }
+    return a < b;
+  });
+  return order;
+}
+
+std::vector<uint32_t> SortTuples(
+    const std::vector<std::vector<Value>>& tuples) {
+  std::vector<uint32_t> order(tuples.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&tuples](uint32_t a, uint32_t b) {
+              const std::vector<Value>& ta = tuples[a];
+              const std::vector<Value>& tb = tuples[b];
+              for (size_t pos = 0; pos < ta.size(); ++pos) {
+                if (SegmentValueLess(ta[pos], tb[pos])) return true;
+                if (SegmentValueLess(tb[pos], ta[pos])) return false;
+              }
+              return a < b;
+            });
+  return order;
+}
+
+namespace {
+
+// Three-way compare of a candidate tuple against a segment row, starting
+// at column `from` (earlier columns are known equal). Returns the sign and
+// reports the length of the equal prefix found.
+int CompareFrom(const std::vector<Value>& tuple, const DeltaSegment& seg,
+                uint32_t row, int from, int arity, int* eq_prefix) {
+  for (int pos = from; pos < arity; ++pos) {
+    const Value& a = tuple[static_cast<size_t>(pos)];
+    const Value& b = seg.value(pos, row);
+    if (SegmentValueLess(a, b)) {
+      *eq_prefix = pos;
+      return -1;
+    }
+    if (SegmentValueLess(b, a)) {
+      *eq_prefix = pos;
+      return 1;
+    }
+  }
+  *eq_prefix = arity;
+  return 0;
+}
+
+int SharedPrefix(const std::vector<Value>& a, const std::vector<Value>& b,
+                 int arity) {
+  int pos = 0;
+  while (pos < arity && SegmentValueEquivalent(a[static_cast<size_t>(pos)],
+                                               b[static_cast<size_t>(pos)])) {
+    ++pos;
+  }
+  return pos;
+}
+
+}  // namespace
+
+std::vector<uint32_t> RetainNewTuples(
+    const DeltaSegment& seg, const std::vector<uint32_t>& lex,
+    const std::vector<std::vector<Value>>& tuples,
+    const std::vector<uint32_t>& order) {
+  std::vector<uint32_t> kept;
+  const int arity = seg.arity();
+  size_t j = 0;  // cursor into the segment's lex order
+  const std::vector<Value>* prev = nullptr;  // previous sorted candidate
+  // Equality prefix between the previous candidate and lex[j], carried
+  // across candidates while j stands still (the CacheRetainEntry cache).
+  int seg_eq_prefix = 0;
+  for (uint32_t idx : order) {
+    const std::vector<Value>& tuple = tuples[idx];
+    int cand_shared = 0;
+    if (prev != nullptr) {
+      cand_shared = SharedPrefix(tuple, *prev, arity);
+      if (cand_shared == arity) continue;  // duplicate candidate: collapse
+    }
+    prev = &tuple;
+    bool duplicate = false;
+    while (j < lex.size()) {
+      // prev-candidate == seg[j] on seg_eq_prefix columns and this
+      // candidate == prev-candidate on cand_shared columns, so the first
+      // min() columns need no re-compare.
+      const int start = std::min(cand_shared, seg_eq_prefix);
+      int eq_prefix = 0;
+      const int cmp =
+          CompareFrom(tuple, seg, lex[j], start, arity, &eq_prefix);
+      if (cmp < 0) {
+        seg_eq_prefix = eq_prefix;
+        break;  // candidate precedes every remaining segment row: new
+      }
+      if (cmp == 0) {
+        seg_eq_prefix = arity;
+        duplicate = true;
+        break;
+      }
+      ++j;  // segment row precedes the candidate: advance the scan
+      seg_eq_prefix = 0;
+      cand_shared = 0;  // nothing known about the new row
+    }
+    if (!duplicate) kept.push_back(idx);
+  }
+  return kept;
+}
+
+}  // namespace templex

@@ -1,0 +1,237 @@
+#ifndef TEMPLEX_ENGINE_SEGMENT_H_
+#define TEMPLEX_ENGINE_SEGMENT_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "datalog/symbol.h"
+#include "datalog/value.h"
+#include "engine/fact.h"
+
+namespace templex {
+
+// How the match enumerator sources candidates for a body atom (DESIGN.md
+// §10): merge-join over sorted columnar delta segments, or the legacy
+// hash probe into the FactStore position index. The mode is a pure
+// execution-strategy knob — chase output is byte-identical either way.
+enum class JoinMode {
+  kMerge,  // columnar segments + merge-join where applicable (default)
+  kProbe,  // legacy row-at-a-time hash probing only
+};
+
+// Resolves the effective join mode: the TEMPLEX_JOIN_MODE environment
+// variable ("merge" / "probe") when set, otherwise `fallback`. Unknown
+// values fall through to `fallback` — an env typo must not silently change
+// semantics-neutral but perf-relevant behavior without a trace, so the
+// caller default wins.
+JoinMode JoinModeFromEnv(JoinMode fallback);
+
+// Total order over Values for sorted segment views. Value::operator< is
+// not a strict weak order in the presence of NaN (NaN compares false both
+// ways against every number, making unequal numbers "equivalent"), so the
+// segment order handles numerics explicitly: cross-kind by numeric value,
+// with every non-NaN below NaN and all NaNs equivalent. Non-numeric pairs
+// defer to Value::operator< (kind rank, then per-kind order) — Int and
+// Double both rank strictly between Bool and String, so merging them into
+// one numeric class preserves transitivity.
+bool SegmentValueLess(const Value& a, const Value& b);
+
+// Equivalence under SegmentValueLess. Coincides with Value::operator== on
+// every pair except NaN-vs-NaN (equivalent here, unequal under ==), which
+// is why EqualRange refuses NaN probes rather than return a run whose rows
+// would all fail the == check.
+bool SegmentValueEquivalent(const Value& a, const Value& b);
+
+// An immutable, column-major slice of one predicate's facts: the delta a
+// chase round (or the EDB load) contributed, sealed after the round by
+// FactStore::SealRound. Rows are stored in ascending fact-id order; every
+// argument position additionally carries a (value, row)-sorted view so the
+// matcher can binary-search a join key and walk its equal run — rows
+// within a run ascend by row index, hence by fact id, which is what keeps
+// merge-join enumeration order identical to the legacy index scan.
+//
+// Columns own copies of the Values: ChaseGraph nodes live in a growing
+// vector whose elements move on reallocation, and the copies pack the hot
+// join data contiguously anyway.
+class DeltaSegment {
+ public:
+  // `ids` ascending, `columns[pos][row]` the argument values; all rows of
+  // one predicate and arity. Builds the per-position sorted views.
+  DeltaSegment(Symbol predicate, int arity, std::vector<FactId> ids,
+               std::vector<std::vector<Value>> columns);
+
+  // Concatenates two segments with disjoint, adjacent id ranges
+  // (a entirely before b); sorted views are merged linearly.
+  static DeltaSegment Merge(const DeltaSegment& a, const DeltaSegment& b);
+
+  Symbol predicate() const { return predicate_; }
+  int arity() const { return arity_; }
+  size_t rows() const { return ids_.size(); }
+  FactId id(size_t row) const { return ids_[row]; }
+  FactId id_begin() const { return ids_.empty() ? 0 : ids_.front(); }
+  FactId id_end() const { return ids_.empty() ? 0 : ids_.back() + 1; }
+  const Value& value(int pos, size_t row) const {
+    return columns_[static_cast<size_t>(pos)][row];
+  }
+  const std::vector<uint32_t>& sorted_view(int pos) const {
+    return sorted_[static_cast<size_t>(pos)];
+  }
+
+  // A contiguous run of a position's sorted view (row indices).
+  struct Run {
+    const uint32_t* begin = nullptr;
+    const uint32_t* end = nullptr;
+    bool empty() const { return begin == end; }
+  };
+
+  // Rows whose value at `pos` equals `probe` under Value::operator==, as
+  // the equal run of the sorted view; rows ascend by id within the run.
+  // NaN probes return the empty run (NaN == nothing, itself included) —
+  // exactly what the legacy hash probe yields after verification.
+  // Defined inline below: this runs once per candidate binding on the
+  // chase hot path and the typed fast paths must inline into the matcher.
+  Run EqualRange(int pos, const Value& probe) const;
+
+  // Restricts a run to rows with id in [lo, hi) (binary search; run rows
+  // ascend by id).
+  Run Restrict(Run run, FactId lo, FactId hi) const;
+
+  // Row range [first, last) with id in [lo, hi) — rows are id-sorted.
+  std::pair<size_t, size_t> RowRange(FactId lo, FactId hi) const;
+
+ private:
+  // For Merge, which fills every field itself (linear view merge instead
+  // of the constructor's from-scratch sort).
+  DeltaSegment() = default;
+
+  // Rebuilds the typed key arrays below from columns_ and sorted_.
+  void BuildTypedKeys();
+
+  // Comparator-path EqualRange for columns without a typed key array.
+  Run EqualRangeGeneral(int pos, const Value& probe) const;
+
+  Symbol predicate_;
+  int arity_;
+  std::vector<FactId> ids_;                   // ascending
+  std::vector<std::vector<Value>> columns_;   // [pos][row]
+  std::vector<std::vector<uint32_t>> sorted_;  // [pos] rows by (value, row)
+  // Typed sort keys in sorted-view order, so EqualRange can binary-search
+  // contiguous machine values instead of dispatching SegmentValueLess per
+  // probe step. num_keys_[pos] is populated iff every value of the column
+  // is numeric and non-NaN (AsDouble order == segment order there);
+  // str_keys_[pos] iff every value is a string (views into columns_, which
+  // the segment owns and never mutates). Mixed columns leave both empty
+  // and EqualRange takes the general comparator path.
+  std::vector<std::vector<double>> num_keys_;
+  std::vector<std::vector<std::string_view>> str_keys_;
+};
+
+// Per-predicate chain of delta segments with disjoint, ascending id
+// ranges. Append consolidates size-tiered: whenever the newest segment has
+// at least as many rows as its predecessor the two merge, so a chain holds
+// O(log rows) segments and consolidation work stays amortized-linearithmic.
+// Chain shape is output-invisible (enumeration concatenates the segments
+// in id order), which is why a resumed run may legitimately hold one big
+// restored segment where the uninterrupted run held several.
+class SegmentChain {
+ public:
+  // `segment` must start at or after the chain's current id_end.
+  void Append(DeltaSegment segment);
+
+  const std::vector<DeltaSegment>& segments() const { return segments_; }
+  int arity() const { return arity_; }
+  // False once the predicate showed more than one arity: the columnar
+  // layout no longer applies and the matcher falls back to probing.
+  bool regular() const { return regular_; }
+  void MarkIrregular();
+
+ private:
+  std::vector<DeltaSegment> segments_;
+  int arity_ = -1;
+  bool regular_ = true;
+};
+
+// --- Node-level retain (TGChase's retainVsNodeFast / CacheRetainEntry) ---
+
+// Row order of `seg` sorted lexicographically across all columns under
+// SegmentValueLess (ties by row index).
+std::vector<uint32_t> LexOrder(const DeltaSegment& seg);
+
+// Of the candidate `tuples` (row-major, all of seg's arity), returns the
+// indexes of those NOT already present in `seg`, in lexicographic order
+// with duplicate candidates collapsed to their first occurrence. `order`
+// is the candidates' lex-sorted index order (SortTuples) and `lex` the
+// segment's (LexOrder).
+//
+// This is a single merge scan with the shared-prefix trick: consecutive
+// sorted candidates usually agree on their leading columns, and the
+// previous candidate's comparison against the current segment row already
+// established an equality prefix — the next comparison starts at the
+// minimum of the two prefixes instead of column 0, so wide tuples with
+// long shared prefixes dedup in near-constant comparisons per row.
+std::vector<uint32_t> RetainNewTuples(
+    const DeltaSegment& seg, const std::vector<uint32_t>& lex,
+    const std::vector<std::vector<Value>>& tuples,
+    const std::vector<uint32_t>& order);
+
+// Lexicographic index order of `tuples` under SegmentValueLess.
+std::vector<uint32_t> SortTuples(const std::vector<std::vector<Value>>& tuples);
+
+// --- inline hot path -----------------------------------------------------
+
+namespace segment_internal {
+
+// Branchless lower bound over a sorted key array: every step is a
+// conditional move instead of a compare-and-branch, and the whole search
+// inlines into the matcher's per-candidate probe.
+template <typename K, typename P>
+inline size_t LowerBoundIndex(const std::vector<K>& keys, const P& probe) {
+  const K* base = keys.data();
+  size_t n = keys.size();
+  while (n > 1) {
+    const size_t half = n / 2;
+    base += (base[half - 1] < probe) ? half : 0;
+    n -= half;
+  }
+  return (keys.empty() || !(*base < probe))
+             ? static_cast<size_t>(base - keys.data())
+             : static_cast<size_t>(base - keys.data()) + 1;
+}
+
+}  // namespace segment_internal
+
+inline DeltaSegment::Run DeltaSegment::EqualRange(int pos,
+                                                  const Value& probe) const {
+  const std::vector<uint32_t>& view = sorted_[static_cast<size_t>(pos)];
+  if (probe.is_numeric()) {
+    const double p = probe.AsDouble();
+    if (std::isnan(p)) return Run{};  // NaN == nothing, itself included
+    const std::vector<double>& keys = num_keys_[static_cast<size_t>(pos)];
+    if (!keys.empty()) {
+      const size_t klo = segment_internal::LowerBoundIndex(keys, p);
+      size_t khi = klo;  // equal runs are short: scan beats a second search
+      while (khi < keys.size() && keys[khi] == p) ++khi;
+      return Run{view.data() + klo, view.data() + khi};
+    }
+  } else if (probe.is_string()) {
+    const std::vector<std::string_view>& keys =
+        str_keys_[static_cast<size_t>(pos)];
+    if (!keys.empty()) {
+      const std::string_view p = probe.string_value();
+      const size_t klo = segment_internal::LowerBoundIndex(keys, p);
+      size_t khi = klo;
+      while (khi < keys.size() && keys[khi] == p) ++khi;
+      return Run{view.data() + klo, view.data() + khi};
+    }
+  }
+  // Mixed column (or a probe kind the column cannot hold): the comparator
+  // path. NaN numeric probes were rejected above, so it need not re-check.
+  return EqualRangeGeneral(pos, probe);
+}
+
+}  // namespace templex
+
+#endif  // TEMPLEX_ENGINE_SEGMENT_H_

@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "engine/chase.h"
 #include "engine/chase_graph.h"
+#include "engine/node_graph.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
 
@@ -85,6 +86,11 @@ struct CheckpointDelta {
   std::vector<ChaseNode> nodes;
   std::vector<AlternativeRecord> alternatives;
   std::vector<AggregateEntryRecord> aggregates;
+  // Trigger-graph records accrued since the previous commit
+  // (engine/node_graph.h): resumed runs must report the same
+  // chase.join.* totals as uninterrupted ones.
+  std::vector<SegmentNode> segment_nodes;
+  std::vector<RuleExecution> rule_executions;
 };
 
 // Full resumable chase state. Rule labels are not stored — the config hash
@@ -94,6 +100,9 @@ struct ChaseCheckpoint {
   std::vector<std::string> symbols;  // SymbolTable in id order
   std::vector<ChaseNode> nodes;      // chase graph in id order
   std::vector<AggregateEntryRecord> aggregates;
+  // Full trigger-graph history (engine/node_graph.h), in record order.
+  std::vector<SegmentNode> segment_nodes;
+  std::vector<RuleExecution> rule_executions;
   CheckpointCursor cursor;
 };
 
@@ -160,7 +169,9 @@ class CheckpointStore {
 
 // The serialized format version; bumped on any incompatible layout change
 // and folded into the engine's checkpoint config hash.
-inline constexpr uint32_t kCheckpointFormatVersion = 1;
+// v2: trigger-graph records (segment nodes + rule executions) joined the
+// snapshot and delta payloads.
+inline constexpr uint32_t kCheckpointFormatVersion = 2;
 
 }  // namespace templex
 

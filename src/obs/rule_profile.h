@@ -27,7 +27,11 @@ struct RuleProfile {
   int64_t matches = 0;      // body matches enumerated
   int64_t firings = 0;      // head emissions (duplicates included)
   int64_t duplicates = 0;   // head facts already present
-  int64_t delta_facts = 0;  // delta-window sizes summed over evaluations
+  // Pivot-window sizes summed over the rule's EXECUTED passes. Passes the
+  // trigger graph skips (no body atom can see a new fact) contribute
+  // nothing — so under merge mode this measures delta actually scanned,
+  // not delta nominally available, and still merges deterministically.
+  int64_t delta_facts = 0;
   double match_seconds = 0.0;   // time enumerating body matches
   double derive_seconds = 0.0;  // time applying heads (derive + dedupe)
 };

@@ -109,25 +109,28 @@ TEST_F(FactStoreTest, CompiledPlanCandidatesMatchLegacyLookup) {
   }
   Add({"Company", {Value::String("A0")}});
 
-  Rule rule = ParseRule("Own(x, y, s) -> Control(x, y).").value();
+  Rule rule = ParseRule("Company(x), Own(x, y, s) -> Control(x, y).").value();
   RulePlan plan = MakeRulePlan(rule, 0);
   CompileMatchPlan(&plan, graph_.symbols());
 
-  // Slot 0 is x (first occurrence). Bound x == "A2" must probe the same
-  // position index the string path uses.
+  // Slot 0 is x, first bound by the Company atom, so Own's position 0 is
+  // bound_at_entry: with x == "A2" in the slot, the compiled probe must
+  // hit the same position index the string path uses.
+  ASSERT_TRUE(plan.body[1].terms[0].bound_at_entry);
   std::vector<Value> slots(plan.num_slots());
-  std::vector<uint8_t> bound(plan.num_slots(), 0);
   slots[0] = Value::String("A2");
-  bound[0] = 1;
-  const auto& compiled =
-      store_.CandidatesFor(plan.body[0], slots.data(), bound.data());
+  const auto& compiled = store_.CandidatesFor(plan.body[1], slots.data());
   ASSERT_EQ(compiled.size(), 1u);
   EXPECT_EQ(graph_.node(compiled[0]).fact.args[0], Value::String("A2"));
 
-  // All slots unbound: fall back to the full predicate list.
-  std::fill(bound.begin(), bound.end(), 0);
-  EXPECT_EQ(store_.CandidatesFor(plan.body[0], slots.data(), bound.data())
-                .size(),
+  // The leading atom has no bound-at-entry position: full predicate list
+  // of Company. Same for a one-atom body over Own.
+  EXPECT_EQ(store_.CandidatesFor(plan.body[0], slots.data()).size(), 1u);
+  Rule solo = ParseRule("Own(x, y, s) -> Control(x, y).").value();
+  RulePlan solo_plan = MakeRulePlan(solo, 0);
+  CompileMatchPlan(&solo_plan, graph_.symbols());
+  std::vector<Value> solo_slots(solo_plan.num_slots());
+  EXPECT_EQ(store_.CandidatesFor(solo_plan.body[0], solo_slots.data()).size(),
             4u);
 }
 
@@ -139,9 +142,7 @@ TEST_F(FactStoreTest, CompiledPlanUnknownPredicateHasNoCandidates) {
   CompileMatchPlan(&plan, frozen);
   ASSERT_EQ(plan.body[0].predicate, kInvalidSymbol);
   std::vector<Value> slots(plan.num_slots());
-  std::vector<uint8_t> bound(plan.num_slots(), 0);
-  EXPECT_TRUE(
-      store_.CandidatesFor(plan.body[0], slots.data(), bound.data()).empty());
+  EXPECT_TRUE(store_.CandidatesFor(plan.body[0], slots.data()).empty());
 }
 
 TEST_F(FactStoreTest, PositionIndexCountersGrowWithFacts) {
@@ -153,6 +154,81 @@ TEST_F(FactStoreTest, PositionIndexCountersGrowWithFacts) {
   // key, so 5 distinct keys (absent adversarial hash collisions).
   EXPECT_EQ(store_.position_entries(), 6);
   EXPECT_EQ(store_.position_keys(), 5);
+}
+
+TEST_F(FactStoreTest, CollisionGroupsCountForcedPosKeyCollisions) {
+  // Narrow PosKey to its low 4 bits: with (predicate, position, value-hash)
+  // triples scattered over 16 buckets, distinct triples are forced to share
+  // buckets. Each shared bucket is flagged exactly once.
+  store_.set_position_key_mask_for_testing(0xF);
+  EXPECT_EQ(store_.collision_groups(), 0);
+  for (int i = 0; i < 32; ++i) {
+    Add({"Own",
+         {Value::String("A" + std::to_string(i)), Value::String("B"),
+          Value::Double(i / 10.0)}});
+  }
+  // 32 facts x 3 positions = 96 triples into <= 16 buckets: by pigeonhole
+  // at least one bucket holds two distinct triples, and a flagged bucket
+  // counts once no matter how many more land in it.
+  EXPECT_GT(store_.collision_groups(), 0);
+  EXPECT_LE(store_.collision_groups(), store_.position_keys());
+
+  // Collided buckets stay sound: the candidate list is a superset that the
+  // matcher verifies, so a bound probe still finds its fact.
+  Atom atom("Own", {Term::Variable("x"), Term::Variable("y"),
+                    Term::Variable("s")});
+  Binding binding;
+  binding.Set("x", Value::String("A7"));
+  const auto& candidates = store_.CandidatesFor(atom, binding);
+  bool found = false;
+  for (FactId id : candidates) {
+    if (graph_.node(id).fact.args[0] == Value::String("A7")) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(FactStoreTest, NoCollisionsWithFullWidthKeys) {
+  for (int i = 0; i < 64; ++i) {
+    Add({"Own",
+         {Value::String("A" + std::to_string(i)), Value::String("B"),
+          Value::Double(i / 10.0)}});
+  }
+  EXPECT_EQ(store_.collision_groups(), 0);
+}
+
+TEST_F(FactStoreTest, SealRoundBuildsChainsAndRecordsSegmentNodes) {
+  store_.EnableSegments();
+  Add({"Own", {Value::String("A"), Value::String("B"), Value::Double(0.6)}});
+  Add({"Own", {Value::String("B"), Value::String("C"), Value::Double(0.7)}});
+  Add({"Company", {Value::String("A")}});
+  NodeGraph node_graph;
+  store_.SealRound(graph_.size(), &node_graph, 0);
+  EXPECT_EQ(store_.sealed_limit(), graph_.size());
+  ASSERT_EQ(node_graph.segment_nodes().size(), 2u);
+
+  const Symbol own = graph_.symbols().Lookup("Own");
+  const SegmentChain* chain = store_.ChainOf(own);
+  ASSERT_NE(chain, nullptr);
+  ASSERT_TRUE(chain->regular());
+  ASSERT_EQ(chain->segments().size(), 1u);
+  EXPECT_EQ(chain->segments()[0].rows(), 2u);
+  EXPECT_EQ(chain->segments()[0].arity(), 3);
+
+  // Sealing again at the same limit is a no-op (idempotent watermark).
+  store_.SealRound(graph_.size(), &node_graph, 0);
+  EXPECT_EQ(node_graph.segment_nodes().size(), 2u);
+}
+
+TEST_F(FactStoreTest, MixedArityPredicateMarksChainIrregular) {
+  store_.EnableSegments();
+  Add({"P", {Value::Int(1)}});
+  store_.SealRound(graph_.size(), nullptr, 0);
+  Add({"P", {Value::Int(1), Value::Int(2)}});
+  store_.SealRound(graph_.size(), nullptr, 1);
+  const Symbol p = graph_.symbols().Lookup("P");
+  const SegmentChain* chain = store_.ChainOf(p);
+  ASSERT_NE(chain, nullptr);
+  EXPECT_FALSE(chain->regular());
 }
 
 TEST(MatchAtomTest, ConstantMismatch) {

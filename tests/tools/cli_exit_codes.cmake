@@ -44,6 +44,9 @@ expect_exit(2 "missing flag argument"
 expect_exit(2 "bad threads value"
             "${TEMPLEX_CLI}" --program "${DATA_DIR}/control.vada"
             --facts "${DATA_DIR}/facts.csv" --threads nope)
+expect_exit(2 "bad join-mode value"
+            "${TEMPLEX_CLI}" --program "${DATA_DIR}/control.vada"
+            --facts "${DATA_DIR}/facts.csv" --join-mode nested-loop)
 expect_exit(2 "resume without checkpoint dir"
             "${TEMPLEX_CLI}" --program "${DATA_DIR}/control.vada"
             --facts "${DATA_DIR}/facts.csv" --resume)

@@ -4,7 +4,10 @@
 //   bench_diff OLD.json NEW.json [--filter PREFIX] [--threshold-pct P]
 //
 // Prints one line per benchmark present in both files with the real_time
-// delta; benchmarks present in only one file are reported as added/removed.
+// delta, then a summary line with the geometric-mean speedup across the
+// compared pairs (ratio of old/new real_time — above 1.0x means the new
+// run is faster overall); benchmarks present in only one file are
+// reported as added/removed and excluded from the mean.
 //
 // --filter PREFIX      only consider benchmarks whose name starts with
 //                      PREFIX (e.g. --filter BM_Chase);
@@ -158,6 +161,8 @@ int main(int argc, char** argv) {
   const BenchRun& after = new_run.value();
 
   bool regressed = false;
+  double log_speedup_sum = 0.0;  // sum of ln(old/new) over compared pairs
+  int compared = 0;
   for (const auto& [name, old_entry] : before) {
     if (!MatchesFilter(name, filter)) continue;
     auto it = after.find(name);
@@ -171,6 +176,10 @@ int main(int argc, char** argv) {
     std::printf("bench %-48s %14.0f -> %14.0f %-3s (%s)\n", name.c_str(),
                 old_entry.real_time, it->second.real_time,
                 it->second.time_unit.c_str(), FormatPercent(pct).c_str());
+    if (old_entry.real_time > 0.0 && it->second.real_time > 0.0) {
+      log_speedup_sum += std::log(old_entry.real_time / it->second.real_time);
+      ++compared;
+    }
     if (threshold_pct >= 0.0 && pct > threshold_pct) {
       std::printf("  ^ REGRESSION: %s exceeds +%.1f%% gate\n",
                   FormatPercent(pct).c_str(), threshold_pct);
@@ -183,6 +192,13 @@ int main(int argc, char** argv) {
       std::printf("bench %-48s added (now %.0f %s)\n", name.c_str(),
                   new_entry.real_time, new_entry.time_unit.c_str());
     }
+  }
+  if (compared > 0) {
+    // Geometric mean of per-benchmark old/new time ratios: the natural
+    // average for rates, insensitive to which benchmark runs longest.
+    const double geomean = std::exp(log_speedup_sum / compared);
+    std::printf("summary: geometric mean speedup %.3fx over %d benchmark%s\n",
+                geomean, compared, compared == 1 ? "" : "s");
   }
   return regressed ? 3 : 0;
 }

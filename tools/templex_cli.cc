@@ -63,6 +63,12 @@
 // --threads    match-phase threads for each chase round (default 1 =
 //              sequential, 0 = hardware concurrency); results are
 //              byte-identical across thread counts.
+// --join-mode  how body atoms source candidates: "merge" (default) seals
+//              each round into sorted columnar segments and merge-joins
+//              regular predicates, "probe" keeps the hash-index-only path.
+//              A pure execution-strategy knob — outputs are byte-identical
+//              in both modes. The TEMPLEX_JOIN_MODE environment variable
+//              overrides the flag (the CI bench matrix uses it).
 // --deadline-ms overall wall-clock budget in milliseconds for reasoning
 //              and explanation. When it expires the chase aborts cleanly
 //              with DeadlineExceeded, and any LLM enhancement still
@@ -126,7 +132,8 @@ int Usage() {
       "                   [--trace-out FILE] [--profile] [--rule-profile]\n"
       "                   [--rule-profile-top K]\n"
       "                   [--event-log FILE] [--crash-report FILE]\n"
-      "                   [--threads N] [--deadline-ms N]\n"
+      "                   [--threads N] [--join-mode merge|probe]\n"
+      "                   [--deadline-ms N]\n"
       "                   [--checkpoint-dir DIR] "
       "[--checkpoint-every-rounds N]\n"
       "                   [--resume]\n"
@@ -185,6 +192,7 @@ int main(int argc, char** argv) {
   bool rule_profile = false;
   long rule_profile_top = 20;
   int num_threads = 1;
+  JoinMode join_mode = JoinMode::kMerge;
   long deadline_ms = -1;  // < 0: no deadline
   std::string checkpoint_dir;
   long checkpoint_every_rounds = 1;
@@ -265,6 +273,16 @@ int main(int argc, char** argv) {
         return Usage();
       }
       num_threads = static_cast<int>(parsed);
+    } else if (arg == "--join-mode") {
+      const std::string& value = next("--join-mode");
+      if (value == "merge") {
+        join_mode = JoinMode::kMerge;
+      } else if (value == "probe") {
+        join_mode = JoinMode::kProbe;
+      } else {
+        std::fprintf(stderr, "--join-mode expects 'merge' or 'probe'\n");
+        return Usage();
+      }
     } else if (arg == "--deadline-ms") {
       const std::string& value = next("--deadline-ms");
       char* end = nullptr;
@@ -408,6 +426,7 @@ int main(int argc, char** argv) {
   }
   ChaseConfig chase_config;
   chase_config.num_threads = num_threads;
+  chase_config.join_mode = join_mode;
   chase_config.deadline = deadline;
   chase_config.checkpoint.dir = checkpoint_dir;
   chase_config.checkpoint.every_rounds = checkpoint_every_rounds;
