@@ -1,0 +1,96 @@
+#include "common/memory.h"
+
+#include <algorithm>
+
+namespace templex {
+
+const char* MemoryPressureName(MemoryPressure pressure) {
+  switch (pressure) {
+    case MemoryPressure::kNone:
+      return "none";
+    case MemoryPressure::kSoft:
+      return "soft";
+    case MemoryPressure::kHard:
+      return "hard";
+  }
+  return "unknown";
+}
+
+FaultInjectingAllocator::FaultInjectingAllocator(Options options)
+    : options_(options), state_(options.seed) {}
+
+uint64_t FaultInjectingAllocator::NextRandom() {
+  // splitmix64: tiny, well-distributed, and identical everywhere.
+  state_ += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+bool FaultInjectingAllocator::ShouldFail() {
+  const int64_t index = observations_++;
+  bool fail = false;
+  if (options_.hard_after_observations >= 0 &&
+      index >= options_.hard_after_observations) {
+    fail = true;
+  }
+  // The stream advances on every observation regardless of the verdict, so
+  // (seed, index) alone determines each draw.
+  const uint64_t draw = NextRandom();
+  if (!fail && options_.hard_rate > 0.0) {
+    const double u =
+        static_cast<double>(draw >> 11) * (1.0 / 9007199254740992.0);
+    fail = u < options_.hard_rate;
+  }
+  if (fail) ++injected_;
+  return fail;
+}
+
+MemoryBudget::MemoryBudget(Options options) : options_(options) {}
+
+void MemoryBudget::UpdatePeak(int64_t bytes) {
+  int64_t peak = peak_bytes_.load(std::memory_order_relaxed);
+  while (bytes > peak && !peak_bytes_.compare_exchange_weak(
+                             peak, bytes, std::memory_order_relaxed)) {
+  }
+}
+
+void MemoryBudget::Charge(int64_t bytes) {
+  const int64_t now =
+      bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  UpdatePeak(now);
+}
+
+void MemoryBudget::Release(int64_t bytes) {
+  bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+MemoryBudget::Observation MemoryBudget::Observe(int64_t total_bytes) {
+  std::lock_guard<std::mutex> lock(observe_mu_);
+  bytes_.store(total_bytes, std::memory_order_relaxed);
+  UpdatePeak(total_bytes);
+
+  Observation result;
+  if (options_.allocator != nullptr && options_.allocator->ShouldFail()) {
+    result.pressure = MemoryPressure::kHard;
+    result.injected = true;
+  } else if (options_.hard_limit_bytes > 0 &&
+             total_bytes >= options_.hard_limit_bytes) {
+    result.pressure = MemoryPressure::kHard;
+  } else if (options_.soft_limit_bytes > 0 &&
+             total_bytes >= options_.soft_limit_bytes) {
+    result.pressure = MemoryPressure::kSoft;
+  }
+
+  const int observed = static_cast<int>(result.pressure);
+  const int prior = pressure_.load(std::memory_order_relaxed);
+  if (observed > prior) {
+    pressure_.store(observed, std::memory_order_relaxed);
+    pressure_events_.fetch_add(1, std::memory_order_relaxed);
+    result.transitioned = true;
+  }
+  return result;
+}
+
+}  // namespace templex

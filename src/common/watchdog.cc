@@ -1,0 +1,83 @@
+#include "common/watchdog.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace templex {
+
+StallWatchdog::StallWatchdog(Options options)
+    : options_(std::move(options)) {}
+
+StallWatchdog::~StallWatchdog() { Stop(); }
+
+int64_t StallWatchdog::NowMicros() const {
+  if (options_.clock != nullptr) return options_.clock->NowMicros();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void StallWatchdog::SetContext(std::string_view rule, int stratum,
+                               int64_t round) {
+  std::lock_guard<std::mutex> lock(mu_);
+  context_rule_.assign(rule);
+  context_stratum_ = stratum;
+  context_round_ = round;
+}
+
+bool StallWatchdog::Poll() {
+  if (options_.stall_timeout_ms <= 0) return false;
+  StallReport report;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stalled_.load(std::memory_order_relaxed)) return false;
+    const int64_t now = NowMicros();
+    const int64_t beats = heartbeats_.load(std::memory_order_relaxed);
+    if (!armed_ || beats != last_seen_heartbeats_) {
+      armed_ = true;
+      last_seen_heartbeats_ = beats;
+      last_progress_micros_ = now;
+      return false;
+    }
+    const int64_t stalled_for_micros = now - last_progress_micros_;
+    if (stalled_for_micros < options_.stall_timeout_ms * 1000) return false;
+    stalled_.store(true, std::memory_order_relaxed);
+    report.rule = context_rule_;
+    report.stratum = context_stratum_;
+    report.round = context_round_;
+    report.heartbeats = beats;
+    report.stalled_for_ms = stalled_for_micros / 1000;
+    report.stall_timeout_ms = options_.stall_timeout_ms;
+  }
+  // Sink and cancel outside the lock: on_stall may log, dump a crash
+  // report, or (in tests) call back into the watchdog's accessors.
+  if (options_.on_stall) options_.on_stall(report);
+  options_.cancel.Cancel();
+  return true;
+}
+
+void StallWatchdog::Start() {
+  if (monitor_running_ || options_.stall_timeout_ms <= 0) return;
+  int64_t every_ms = options_.poll_every_ms;
+  if (every_ms <= 0) {
+    every_ms = std::clamp<int64_t>(options_.stall_timeout_ms / 4, 1, 1000);
+  }
+  stop_monitor_.store(false, std::memory_order_relaxed);
+  monitor_running_ = true;
+  monitor_ = std::thread([this, every_ms] {
+    while (!stop_monitor_.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(every_ms));
+      if (stop_monitor_.load(std::memory_order_relaxed)) break;
+      Poll();
+    }
+  });
+}
+
+void StallWatchdog::Stop() {
+  if (!monitor_running_) return;
+  stop_monitor_.store(true, std::memory_order_relaxed);
+  if (monitor_.joinable()) monitor_.join();
+  monitor_running_ = false;
+}
+
+}  // namespace templex

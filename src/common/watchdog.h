@@ -1,0 +1,111 @@
+#ifndef TEMPLEX_COMMON_WATCHDOG_H_
+#define TEMPLEX_COMMON_WATCHDOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/deadline.h"
+
+namespace templex {
+
+// Round-progress watchdog for the chase: detects a *stalled* computation —
+// one that is neither finishing nor failing, just stuck inside a round —
+// and cancels it cooperatively.
+//
+// The monitored computation heartbeats with Pet() (cheap: one relaxed
+// atomic increment, called from the match loop's interruption probe and at
+// round boundaries) and names its in-flight work with SetContext(). The
+// detector side, Poll(), compares the heartbeat counter against the last
+// observed value: unchanged for longer than `stall_timeout_ms` on the
+// governing clock means the run is stuck, and the watchdog fires once —
+// invoking `on_stall` with a report naming the in-flight rule/stratum/
+// round, then cancelling the shared token so the run unwinds with
+// kCancelled at its next interruption point.
+//
+// Poll() can be driven two ways: Start()/Stop() run a background monitor
+// thread (the CLI), or the owner calls Poll() directly after advancing a
+// VirtualClock (deterministic tests — the same pattern Deadline uses).
+class StallWatchdog {
+ public:
+  struct StallReport {
+    std::string rule;     // in-flight rule label ("" before the first rule)
+    int stratum = 0;
+    int64_t round = 0;
+    int64_t heartbeats = 0;   // total Pet() calls when the stall fired
+    int64_t stalled_for_ms = 0;
+    int64_t stall_timeout_ms = 0;
+  };
+
+  struct Options {
+    // No heartbeat for this long means the run is stalled. <= 0 disables
+    // detection entirely (Poll never fires).
+    int64_t stall_timeout_ms = 0;
+    // Governing clock; null means std::chrono::steady_clock. Tests hand the
+    // same VirtualClock to Poll-driven detection.
+    const VirtualClock* clock = nullptr;
+    // Token shared with the monitored run; Cancel()ed when a stall fires.
+    CancellationToken cancel;
+    // Stall sink (crash report, event log, metrics — wired by the owner so
+    // this layer stays free of obs dependencies). May be empty. Invoked at
+    // most once, from the thread that ran the firing Poll().
+    std::function<void(const StallReport&)> on_stall;
+    // Background monitor cadence for Start(); <= 0 derives stall_timeout/4
+    // (clamped to [1, 1000] ms).
+    int64_t poll_every_ms = 0;
+  };
+
+  StallWatchdog() : StallWatchdog(Options()) {}
+  explicit StallWatchdog(Options options);
+  ~StallWatchdog();
+
+  StallWatchdog(const StallWatchdog&) = delete;
+  StallWatchdog& operator=(const StallWatchdog&) = delete;
+
+  // Heartbeat: "the run made matcher progress". Thread-safe, wait-free.
+  void Pet() { heartbeats_.fetch_add(1, std::memory_order_relaxed); }
+
+  // Names the in-flight work for the stall report. Called from the driving
+  // thread at rule/round boundaries; thread-safe.
+  void SetContext(std::string_view rule, int stratum, int64_t round);
+
+  // One detection step. Returns true iff the stall fired on this call (at
+  // most once per watchdog). Thread-safe, but meant for one detector.
+  bool Poll();
+
+  // Background monitor thread around Poll(). Start is idempotent; Stop
+  // joins the thread (also called by the destructor).
+  void Start();
+  void Stop();
+
+  bool stalled() const { return stalled_.load(std::memory_order_relaxed); }
+  int64_t heartbeats() const {
+    return heartbeats_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  int64_t NowMicros() const;
+
+  Options options_;
+  std::atomic<int64_t> heartbeats_{0};
+  std::atomic<bool> stalled_{false};
+
+  std::mutex mu_;  // guards context_* and the detector state below
+  std::string context_rule_;
+  int context_stratum_ = 0;
+  int64_t context_round_ = 0;
+  int64_t last_seen_heartbeats_ = 0;
+  int64_t last_progress_micros_ = 0;
+  bool armed_ = false;  // first Poll()/Start() stamps the baseline
+
+  std::thread monitor_;
+  std::atomic<bool> stop_monitor_{false};
+  bool monitor_running_ = false;
+};
+
+}  // namespace templex
+
+#endif  // TEMPLEX_COMMON_WATCHDOG_H_

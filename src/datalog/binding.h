@@ -66,6 +66,19 @@ class Binding {
     return entries_;
   }
 
+  // Content-based footprint (see Value::ApproxBytes): name lengths plus
+  // value bytes plus the per-entry inline pair, independent of vector or
+  // string capacities.
+  int64_t ApproxBytes() const {
+    int64_t total = 0;
+    for (const auto& [name, value] : entries_) {
+      total += static_cast<int64_t>(sizeof(std::pair<std::string, Value>)) +
+               static_cast<int64_t>(name.size()) + value.ApproxBytes() -
+               static_cast<int64_t>(sizeof(Value));
+    }
+    return total;
+  }
+
   // "{x=\"A\", s=0.6}" — for debugging and chase-graph dumps.
   std::string ToString() const;
 

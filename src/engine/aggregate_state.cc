@@ -4,6 +4,25 @@
 
 namespace templex {
 
+namespace {
+
+// Fixed per-map-node charge (tree node + links): a constant keeps the
+// accounted footprint a pure function of recorded content.
+constexpr int64_t kMapNodeBytes = 48;
+
+int64_t KeyBytes(const std::vector<Value>& key) {
+  int64_t total = 0;
+  for (const Value& v : key) total += v.ApproxBytes();
+  return total;
+}
+
+int64_t EntryBytes(const Value& value, const std::vector<FactId>& parents) {
+  return value.ApproxBytes() +
+         static_cast<int64_t>(parents.size() * sizeof(FactId));
+}
+
+}  // namespace
+
 bool AggregateState::VectorValueLess::operator()(
     const std::vector<Value>& a, const std::vector<Value>& b) const {
   const size_t n = std::min(a.size(), b.size());
@@ -19,11 +38,19 @@ std::optional<AggregateEmission> AggregateState::Contribute(
     const std::vector<Value>& group_key,
     const std::vector<Value>& contributor_key, const Value& input,
     const std::vector<FactId>& parents) {
-  Group& group = per_rule_[rule_index][group_key];
+  RuleState& state = per_rule_[rule_index];
+  auto group_it = state.find(group_key);
+  if (group_it == state.end()) {
+    group_it = state.emplace(group_key, Group{}).first;
+    approx_bytes_ += KeyBytes(group_key) + kMapNodeBytes;
+  }
+  Group& group = group_it->second;
   auto it = group.find(contributor_key);
   bool changed = false;
   if (it == group.end()) {
     group.emplace(contributor_key, ContributorEntry{input, parents});
+    approx_bytes_ +=
+        KeyBytes(contributor_key) + EntryBytes(input, parents) + kMapNodeBytes;
     changed = true;
   } else if (explicit_keys) {
     bool update = false;
@@ -41,6 +68,8 @@ std::optional<AggregateEmission> AggregateState::Contribute(
         break;
     }
     if (update) {
+      approx_bytes_ += EntryBytes(input, parents) -
+                       EntryBytes(it->second.value, it->second.parents);
       it->second.value = input;
       it->second.parents = parents;
       changed = true;
@@ -79,8 +108,23 @@ void AggregateState::Restore(int rule_index,
                              const std::vector<Value>& contributor_key,
                              const Value& value,
                              const std::vector<FactId>& parents) {
-  per_rule_[rule_index][group_key][contributor_key] =
-      ContributorEntry{value, parents};
+  RuleState& state = per_rule_[rule_index];
+  auto group_it = state.find(group_key);
+  if (group_it == state.end()) {
+    group_it = state.emplace(group_key, Group{}).first;
+    approx_bytes_ += KeyBytes(group_key) + kMapNodeBytes;
+  }
+  Group& group = group_it->second;
+  auto it = group.find(contributor_key);
+  if (it == group.end()) {
+    group.emplace(contributor_key, ContributorEntry{value, parents});
+    approx_bytes_ +=
+        KeyBytes(contributor_key) + EntryBytes(value, parents) + kMapNodeBytes;
+    return;
+  }
+  approx_bytes_ += EntryBytes(value, parents) -
+                   EntryBytes(it->second.value, it->second.parents);
+  it->second = ContributorEntry{value, parents};
 }
 
 AggregateEmission AggregateState::MakeEmission(AggregateFunction function,

@@ -71,6 +71,10 @@ class AggregateState {
                const std::vector<Value>& contributor_key, const Value& value,
                const std::vector<FactId>& parents);
 
+  // Content-based footprint of the recorded keys/values/parents (see
+  // Value::ApproxBytes), maintained incrementally by Contribute/Restore.
+  int64_t approx_bytes() const { return approx_bytes_; }
+
  private:
   struct VectorValueLess {
     bool operator()(const std::vector<Value>& a,
@@ -89,6 +93,7 @@ class AggregateState {
                                  const Group& group) const;
 
   std::vector<RuleState> per_rule_;
+  int64_t approx_bytes_ = 0;
 };
 
 }  // namespace templex

@@ -1,12 +1,16 @@
 #include "engine/chase.h"
 
 #include <algorithm>
+#include <chrono>
 #include <optional>
+#include <thread>
 
 #include "common/fs.h"
 #include "common/hash.h"
+#include "common/memory.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "common/watchdog.h"
 #include "engine/aggregate_state.h"
 #include "engine/fact_store.h"
 #include "engine/matcher.h"
@@ -27,22 +31,31 @@ std::string RuleMetricName(const Rule& rule, int index) {
 
 // Cooperative interruption probe for match enumeration loops. The
 // cancellation token is polled on every call (one relaxed atomic load);
-// the deadline — a clock read — only every 256 calls. Each enumeration
-// scope (one sequential rule evaluation, one parallel match task, one
-// constraint sweep) owns its probe, so parallel tasks poll independently
-// and abort cooperatively wherever they are in their window.
+// the deadline — a clock read — only every 256 calls, and the stall
+// watchdog (when one is attached) is heartbeated every 64 — a stuck rule
+// stops petting, a merely slow one keeps the watchdog quiet. Each
+// enumeration scope (one sequential rule evaluation, one parallel match
+// task, one constraint sweep) owns its probe, so parallel tasks poll
+// independently and abort cooperatively wherever they are in their window.
 class InterruptProbe {
  public:
   InterruptProbe(const Deadline& deadline, const CancellationToken& cancel,
-                 const char* where)
-      : deadline_(deadline), cancel_(cancel), where_(where) {}
+                 StallWatchdog* watchdog, const char* where)
+      : deadline_(deadline),
+        cancel_(cancel),
+        watchdog_(watchdog),
+        where_(where) {}
 
   Status Check() {
     if (cancel_.cancelled()) {
       return Status::Cancelled(std::string("chase cancelled during ") +
                                where_);
     }
-    if (!deadline_.infinite() && (++calls_ & kDeadlineStrideMask) == 0 &&
+    ++calls_;
+    if (watchdog_ != nullptr && (calls_ & kPetStrideMask) == 0) {
+      watchdog_->Pet();
+    }
+    if (!deadline_.infinite() && (calls_ & kDeadlineStrideMask) == 0 &&
         deadline_.expired()) {
       return Status::DeadlineExceeded(
           std::string("chase deadline exceeded during ") + where_);
@@ -52,9 +65,11 @@ class InterruptProbe {
 
  private:
   static constexpr uint32_t kDeadlineStrideMask = 255;
+  static constexpr uint32_t kPetStrideMask = 63;
 
   const Deadline& deadline_;
   const CancellationToken& cancel_;
+  StallWatchdog* watchdog_;
   const char* where_;
   uint32_t calls_ = 0;
 };
@@ -93,9 +108,19 @@ class ChaseRun {
         metrics_(config.metrics),
         tracer_(config.tracer),
         event_log_(config.event_log),
+        budget_(config.budget),
+        watchdog_(config.watchdog),
         store_(&result_.graph),
         aggregates_(static_cast<int>(program.rules().size())) {
     if (config_.join_mode == JoinMode::kMerge) store_.EnableSegments();
+    store_.SetSegmentHotMinFacts(config_.segment_hot_min_facts);
+    if (metrics_ != nullptr && budget_ != nullptr) {
+      memory_bytes_gauge_ = metrics_->gauge("chase.memory.bytes");
+      memory_peak_gauge_ = metrics_->gauge("chase.memory.peak_bytes");
+      memory_pressure_counter_ =
+          metrics_->counter("chase.memory.pressure_events");
+      memory_degrade_counter_ = metrics_->counter("chase.memory.degrade_steps");
+    }
   }
 
   Result<ChaseResult> Run(const std::vector<Fact>& edb) {
@@ -147,6 +172,11 @@ class ChaseRun {
       TEMPLEX_RETURN_IF_ERROR(CommitSnapshot(
           static_cast<int>(start_stratum), resume_delta));
     }
+    // First budget observation covers the seeded (or restored) base before
+    // any round runs — a base alone can already cross a watermark, and the
+    // round-0 snapshot above makes even that trip resumable.
+    TEMPLEX_RETURN_IF_ERROR(
+        GovernMemory(static_cast<int>(start_stratum), resume_delta));
 
     // Stratified evaluation: each stratum runs to fixpoint before any rule
     // that negates its predicates starts. Programs without negation form a
@@ -261,7 +291,7 @@ class ChaseRun {
     const FactId limit = result_.graph.size();
     for (const RulePlan& plan : plans_) {
       if (!plan.rule->is_constraint) continue;
-      InterruptProbe probe(config_.deadline, config_.cancel,
+      InterruptProbe probe(config_.deadline, config_.cancel, watchdog_,
                            "constraint check");
       auto callback = [this, &plan, &probe](const BodyMatch& match) -> Status {
         TEMPLEX_RETURN_IF_ERROR(probe.Check());
@@ -563,6 +593,7 @@ class ChaseRun {
     }
     bool first_pass = initial_delta < 0;
     FactId delta_begin = first_pass ? 0 : initial_delta;
+    bool round_pending = false;  // a finished round awaits its commit
     while (true) {
       const FactId limit = result_.graph.size();
       // Seal the previous round's delta (or the initial base / restored
@@ -572,17 +603,41 @@ class ChaseRun {
       // graph's restored watermark suppresses re-recording the restored
       // base while the segments themselves are still (re)built.
       store_.SealRound(limit, &result_.node_graph, result_.stats.rounds);
+      if (round_pending) {
+        round_pending = false;
+        // Commit the finished round only after its delta is sealed, so its
+        // trigger-graph segment nodes ride the same commit as the facts
+        // they cover — a checkpoint cut here (deadline, stall, budget
+        // trip) restores a node graph byte-identical to the uninterrupted
+        // run's. The commit still precedes this boundary's interruption
+        // check: an abort can only lose uncommitted work, never committed
+        // rounds. `delta_begin` is the cursor — a resumed run re-enters
+        // here with the same window.
+        TEMPLEX_RETURN_IF_ERROR(CommitRound(stratum_index, delta_begin));
+        // Reconcile the footprint once per completed round, after the
+        // commit: a hard verdict then save-and-stops on exactly the state
+        // the cursor names. One Observe per round on the driving thread
+        // keeps the fault injector's observation index — and so a seeded
+        // chaos sweep — aligned with round numbers at every thread count.
+        TEMPLEX_RETURN_IF_ERROR(GovernMemory(stratum_index, delta_begin));
+      }
       if (!first_pass && delta_begin >= limit) break;  // fixpoint
       TEMPLEX_RETURN_IF_ERROR(CheckInterruption(config_.deadline,
                                                 config_.cancel,
                                                 "chase round boundary"));
       if (result_.stats.rounds >= config_.max_rounds) {
-        return Status::ResourceExhausted(
-            "chase did not reach fixpoint within max_rounds=" +
-            std::to_string(config_.max_rounds));
+        return LimitTripped(
+            "max_rounds", config_.max_rounds,
+            "max_rounds limit tripped: chase did not reach fixpoint within "
+            "max_rounds=" +
+                std::to_string(config_.max_rounds));
       }
       ++result_.stats.rounds;
       cur_round_ = result_.stats.rounds;
+      if (watchdog_ != nullptr) {
+        watchdog_->SetContext("", stratum_index, cur_round_);
+        watchdog_->Pet();
+      }
       obs::Span round_span(tracer_, "chase.round");
       round_span.AddAttribute("round", result_.stats.rounds)
           .AddAttribute("facts", static_cast<int64_t>(limit));
@@ -594,6 +649,10 @@ class ChaseRun {
              {"facts", std::to_string(limit)},
              {"delta_begin",
               first_pass ? std::string("full") : std::to_string(delta_begin)}});
+      }
+      if (config_.chaos_stall_ms > 0 &&
+          result_.stats.rounds == config_.chaos_stall_round) {
+        TEMPLEX_RETURN_IF_ERROR(ChaosStall());
       }
       if (pool_ != nullptr) {
         TEMPLEX_RETURN_IF_ERROR(RunRoundParallel(
@@ -609,13 +668,142 @@ class ChaseRun {
       }
       first_pass = false;
       delta_begin = limit;
-      // Commit the finished round before the next boundary's interruption
-      // check: a deadline or cancellation can then only lose uncommitted
-      // work, never committed rounds. `delta_begin` is the cursor — a
-      // resumed run re-enters here with the same window.
-      TEMPLEX_RETURN_IF_ERROR(CommitRound(stratum_index, delta_begin));
+      round_pending = true;  // committed at the next loop top, post-seal
     }
     return Status::OK();
+  }
+
+  // Burns wall-clock at a round boundary without heartbeating the watchdog —
+  // a simulated stuck rule (ChaseConfig chaos knobs, tests/CI only). Sleeps
+  // in short slices so the watchdog's cancellation still unwinds the run
+  // promptly. No chase state changes: a run killed here resumes
+  // byte-identically.
+  Status ChaosStall() {
+    if (event_log_ != nullptr) {
+      event_log_->Log(obs::EventLevel::kWarn, "chase", "chaos.stall",
+                      {{"stall_ms", std::to_string(config_.chaos_stall_ms)},
+                       {"round", std::to_string(cur_round_)},
+                       {"stratum", std::to_string(cur_stratum_)}});
+    }
+    const auto until =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(config_.chaos_stall_ms);
+    while (std::chrono::steady_clock::now() < until) {
+      if (config_.cancel.cancelled()) {
+        return Status::Cancelled("chase cancelled during chaos stall");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return Status::OK();
+  }
+
+  // Names the guard rail that stopped the run — in the Status message (the
+  // caller passes one that leads with the limit's name) and in an error-level
+  // limit.tripped flight-recorder record, so "which limit?" never requires
+  // reading the code.
+  Status LimitTripped(const char* limit, int64_t value, std::string message) {
+    if (event_log_ != nullptr) {
+      event_log_->Log(obs::EventLevel::kError, "chase", "limit.tripped",
+                      {{"limit", limit},
+                       {"value", std::to_string(value)},
+                       {"round", std::to_string(result_.stats.rounds)},
+                       {"stratum", std::to_string(cur_stratum_)},
+                       {"facts", std::to_string(result_.graph.size())}});
+    }
+    return Status::ResourceExhausted(std::move(message));
+  }
+
+  // ---------------------------------------------------------------------
+  // Resource governor (common/memory.h, DESIGN.md §11). No-ops without a
+  // budget; otherwise one content-based footprint reconciliation per round.
+
+  // The run's accounted footprint: chase graph + provenance, position index
+  // + segment chains, trigger graph, and aggregate state. Every term is a
+  // pure function of derived content (string lengths + element sizes, never
+  // container capacities), so the figure is byte-identical across thread
+  // counts and across checkpoint resume — which keeps a budget sweep
+  // deterministic at 1/2/8 threads.
+  int64_t FootprintBytes() const {
+    return result_.graph.approx_bytes() + store_.approx_bytes() +
+           result_.node_graph.approx_bytes() + aggregates_.approx_bytes();
+  }
+
+  // One degradation step per soft observation, cheapest accessory state
+  // first; returns what was shed (null once the ladder is exhausted).
+  const char* Degrade() {
+    switch (degrade_step_++) {
+      case 0:
+        // Span buffers are diagnostics only; Spans handle a null tracer.
+        tracer_ = nullptr;
+        return "tracer";
+      case 1:
+        // Releases every columnar chain and stops building new ones; the
+        // join chooser falls back to the probe path, which is
+        // output-invisible (DESIGN.md §10). Safe here: between rounds no
+        // compiled plan holds a chain pointer.
+        store_.DisableSegments();
+        return "segments";
+      case 2:
+        if (event_log_ != nullptr) event_log_->ShrinkRings(32);
+        return "event_rings";
+      default:
+        --degrade_step_;  // stay saturated, don't creep toward overflow
+        return nullptr;
+    }
+  }
+
+  // Round-boundary budget reconciliation. Soft pressure sheds one ladder
+  // step; hard pressure (real or injected) is save-and-stop: the round that
+  // just committed is the resume point, a final delta commits if the round
+  // cadence skipped it, and the run returns kResourceExhausted — resuming
+  // without the budget continues byte-identically.
+  Status GovernMemory(int stratum_index, FactId resume_delta) {
+    if (budget_ == nullptr) return Status::OK();
+    const int64_t footprint = FootprintBytes();
+    const MemoryBudget::Observation obs = budget_->Observe(footprint);
+    if (memory_bytes_gauge_ != nullptr) {
+      memory_bytes_gauge_->Set(static_cast<double>(footprint));
+      memory_peak_gauge_->Set(static_cast<double>(budget_->peak_bytes()));
+      if (obs.transitioned) memory_pressure_counter_->Increment();
+    }
+    if (obs.pressure == MemoryPressure::kNone) return Status::OK();
+    if (obs.pressure == MemoryPressure::kSoft) {
+      const char* shed = Degrade();
+      if (shed == nullptr) return Status::OK();  // ladder exhausted
+      if (memory_degrade_counter_ != nullptr) {
+        memory_degrade_counter_->Increment();
+      }
+      if (event_log_ != nullptr) {
+        event_log_->Log(
+            obs::EventLevel::kWarn, "chase", "memory.pressure",
+            {{"pressure", MemoryPressureName(obs.pressure)},
+             {"bytes", std::to_string(footprint)},
+             {"soft_limit",
+              std::to_string(budget_->options().soft_limit_bytes)},
+             {"shed", shed},
+             {"round", std::to_string(result_.stats.rounds)}});
+      }
+      return Status::OK();
+    }
+    // Hard watermark (or injected fault): save-and-stop. CommitRound's
+    // cadence may have skipped this round — force a delta so the committed
+    // cursor names exactly the state the error message promises.
+    if (ckpt_ != nullptr &&
+        (committed_cursor_.stratum_index != stratum_index ||
+         committed_cursor_.resume_delta != resume_delta)) {
+      TEMPLEX_RETURN_IF_ERROR(CommitDelta(stratum_index, resume_delta));
+    }
+    return LimitTripped(
+        "max_bytes", budget_->options().hard_limit_bytes,
+        std::string("max_bytes limit tripped (") +
+            (obs.injected ? "injected fault" : "hard watermark") +
+            "): footprint " + std::to_string(footprint) +
+            " bytes, hard limit " +
+            std::to_string(budget_->options().hard_limit_bytes) +
+            " after round " + std::to_string(result_.stats.rounds) +
+            (ckpt_ != nullptr
+                 ? "; committed checkpoint is resumable without the budget"
+                 : "; enable checkpointing to make this trip resumable"));
   }
 
   // -------------------------------------------------------------------------
@@ -633,8 +821,12 @@ class ChaseRun {
     // order, and the semantics-affecting config knobs. Deliberately outside
     // the hash: num_threads (successful runs are byte-identical across
     // thread counts, so resuming at a different count is a feature),
-    // deadline/cancel, and the max_rounds/max_facts guard rails (raising a
-    // limit to finish an interrupted run must not orphan its checkpoint).
+    // deadline/cancel, the max_rounds/max_facts guard rails (raising a
+    // limit to finish an interrupted run must not orphan its checkpoint),
+    // and the resource-governance and execution-strategy knobs — budget,
+    // watchdog, segment_hot_min_facts, join_mode, chaos_stall_* — so a run
+    // save-and-stopped by its memory budget resumes on a bigger box with
+    // the budget simply removed.
     uint64_t h = HashCombine(0, kCheckpointFormatVersion);
     h = HashCombine(h, static_cast<uint64_t>(ProgramFingerprint(program_)));
     for (const Fact& fact : edb) {
@@ -881,6 +1073,13 @@ class ChaseRun {
   // own cells, and the matching share is the remainder of the
   // whole-evaluation time.
   Status EvaluateRule(const RulePlan& plan, const RuleExecutionPlan& eplan) {
+    if (watchdog_ != nullptr) {
+      // Sequential path only: name the rule the stall report would blame.
+      // (The parallel round evaluates rules concurrently, so its report
+      // names the round via the boundary SetContext instead.)
+      watchdog_->SetContext(RuleMetricName(*plan.rule, plan.index),
+                            cur_stratum_, cur_round_);
+    }
     if (event_log_ != nullptr) {
       event_log_->Log(obs::EventLevel::kDebug, "chase", "rule.eval",
                       {{"rule", RuleMetricName(*plan.rule, plan.index)},
@@ -918,7 +1117,7 @@ class ChaseRun {
   Status EvaluateRuleBody(const RulePlan& plan,
                           const RuleExecutionPlan& eplan) {
     obs::RuleProfile* profile = ProfileFor(plan);
-    InterruptProbe probe(config_.deadline, config_.cancel,
+    InterruptProbe probe(config_.deadline, config_.cancel, watchdog_,
                          "rule evaluation");
     auto callback = [this, &plan, profile,
                      &probe](const BodyMatch& match) -> Status {
@@ -1034,7 +1233,8 @@ class ChaseRun {
     }
     std::optional<ScopedTimer> timer;
     if (metrics_ != nullptr) timer.emplace(&task->seconds);
-    InterruptProbe probe(config_.deadline, config_.cancel, "match task");
+    InterruptProbe probe(config_.deadline, config_.cancel, watchdog_,
+                         "match task");
     task->status = EnumerateMatches(
         *task->plan, store_, result_.graph, task->window, task->joins,
         [this, task, &probe](const BodyMatch& match) -> Status {
@@ -1333,8 +1533,13 @@ class ChaseRun {
       fact.args.push_back(*v);
     }
     if (result_.graph.size() >= config_.max_facts) {
-      return Status::ResourceExhausted("chase exceeded max_facts=" +
-                                       std::to_string(config_.max_facts));
+      return LimitTripped(
+          "max_facts", config_.max_facts,
+          "max_facts limit tripped: chase holds " +
+              std::to_string(result_.graph.size()) +
+              " facts and the head of rule '" + plan.rule->label +
+              "' needs another (max_facts=" +
+              std::to_string(config_.max_facts) + ")");
     }
     ChaseNode node;
     node.fact = std::move(fact);
@@ -1395,6 +1600,10 @@ class ChaseRun {
     derivation.parents = std::move(candidate.parents);
     derivation.contributions = std::move(candidate.contributions);
     existing.alternatives.push_back(std::move(derivation));
+    // AddNode charged the node without this alternative; account the growth
+    // so the governed footprint matches a restore (whose nodes arrive with
+    // alternatives attached and are charged whole).
+    result_.graph.AddApproxBytes(ApproxBytes(existing.alternatives.back()));
     if (ckpt_ != nullptr) {
       pending_alternatives_.emplace_back(
           id, static_cast<int>(existing.alternatives.size()) - 1);
@@ -1405,8 +1614,18 @@ class ChaseRun {
   const ChaseConfig& config_;
   ThreadPool* pool_;               // null: sequential rounds
   obs::MetricsRegistry* metrics_;  // may be null
-  obs::Tracer* tracer_;            // may be null
+  obs::Tracer* tracer_;            // may be null; nulled by Degrade()
   obs::EventLog* event_log_;       // may be null
+  MemoryBudget* budget_;           // may be null: no governor
+  StallWatchdog* watchdog_;        // may be null: no stall detection
+  // Next rung of the degradation ladder (see Degrade); saturates at 3.
+  int degrade_step_ = 0;
+  // Resolved chase.memory.* instruments (null without metrics + budget; the
+  // four are set together, so one null test covers them).
+  obs::Gauge* memory_bytes_gauge_ = nullptr;
+  obs::Gauge* memory_peak_gauge_ = nullptr;
+  obs::Counter* memory_pressure_counter_ = nullptr;
+  obs::Counter* memory_degrade_counter_ = nullptr;
   ChaseResult result_;
   FactStore store_;
   AggregateState aggregates_;

@@ -18,6 +18,8 @@ namespace templex {
 
 class AggregateState;  // engine/aggregate_state.h
 class Fs;              // common/fs.h
+class MemoryBudget;    // common/memory.h
+class StallWatchdog;   // common/watchdog.h
 class ThreadPool;      // common/thread_pool.h
 
 namespace obs {
@@ -97,6 +99,43 @@ struct ChaseConfig {
   // leave them unset.
   Deadline deadline;
   CancellationToken cancel;
+  // Resource governor (common/memory.h, DESIGN.md §11); may be null, in
+  // which case footprint accounting costs one pointer test per round. When
+  // set, the run reconciles its content-based footprint (chase graph +
+  // provenance, position index, segment chains, trigger graph, aggregate
+  // state) against the budget at every round boundary and exports
+  // chase.memory.{bytes,peak_bytes,pressure_events}. Soft pressure sheds
+  // accessory state in priority order — tracer buffers first, then the
+  // columnar segment chains (falling back to JoinMode::kProbe, which is
+  // output-invisible), then the flight-recorder rings. Hard pressure is
+  // save-and-stop: the current round finishes, a final checkpoint commits
+  // (when checkpointing is on), and Run() returns kResourceExhausted — a
+  // later run with `checkpoint.resume` (on a bigger box, without the
+  // budget) continues byte-identically. Like num_threads, the budget is an
+  // execution-environment knob: deliberately outside the checkpoint config
+  // hash. Must outlive the run.
+  MemoryBudget* budget = nullptr;
+  // Stall watchdog (common/watchdog.h); may be null. The run heartbeats it
+  // from the match loop's interruption probes and at round boundaries, and
+  // names the in-flight rule/stratum/round for its stall report. Detection
+  // (StallWatchdog::Poll) runs on the owner's monitor thread or test clock;
+  // on a stall the watchdog cancels the shared token and the run unwinds
+  // with kCancelled at the next interruption point. Must outlive the run.
+  StallWatchdog* watchdog = nullptr;
+  // Sealing heuristic (FactStore::SetSegmentHotMinFacts): a predicate's
+  // columnar chain is only built once the predicate holds this many facts,
+  // then backfilled from fact 0; colder predicates stay on the probe path,
+  // recovering the per-round sealing overhead on small workloads. <= 0
+  // builds on first contact. A pure execution-strategy knob (join choices
+  // shift, outputs do not): outside the checkpoint config hash.
+  int64_t segment_hot_min_facts = 128;
+  // Chaos knobs (tests/CI only): at the start of round `chaos_stall_round`,
+  // the driving thread burns wall-clock in short cancellation-polling
+  // slices without heartbeating the watchdog for `chaos_stall_ms` — a
+  // simulated stuck rule. 0 disables. No chase state changes, so a run
+  // killed here resumes byte-identically; outside the config hash.
+  int64_t chaos_stall_ms = 0;
+  int64_t chaos_stall_round = 2;
   // Crash-safe persistence (io/checkpoint.h, DESIGN.md §9). With a
   // directory set, Run() commits its state at round boundaries: a full
   // snapshot at round 0 (and every `snapshot_every_rounds` rounds), an

@@ -4,6 +4,49 @@
 
 namespace templex {
 
+namespace {
+
+// Fixed per-node charge for the dedup index entry and the per-predicate id
+// list slot. A constant (rather than live bucket-count arithmetic) keeps
+// the figure a pure function of graph content.
+constexpr int64_t kPerNodeIndexBytes = 64;
+
+}  // namespace
+
+int64_t ApproxBytes(const AggregateContribution& contribution) {
+  int64_t total = static_cast<int64_t>(sizeof(AggregateContribution)) +
+                  contribution.input.ApproxBytes() -
+                  static_cast<int64_t>(sizeof(Value));
+  total += static_cast<int64_t>(contribution.parents.size() * sizeof(FactId));
+  return total;
+}
+
+int64_t ApproxBytes(const Derivation& derivation) {
+  int64_t total = static_cast<int64_t>(sizeof(Derivation)) +
+                  static_cast<int64_t>(derivation.rule_label.size()) +
+                  derivation.binding.ApproxBytes() +
+                  static_cast<int64_t>(derivation.parents.size() *
+                                       sizeof(FactId));
+  for (const AggregateContribution& c : derivation.contributions) {
+    total += ApproxBytes(c);
+  }
+  return total;
+}
+
+int64_t ApproxBytes(const ChaseNode& node) {
+  int64_t total = static_cast<int64_t>(sizeof(ChaseNode)) +
+                  node.fact.ApproxBytes() -
+                  static_cast<int64_t>(sizeof(Fact)) +
+                  static_cast<int64_t>(node.rule_label.size()) +
+                  node.binding.ApproxBytes() +
+                  static_cast<int64_t>(node.parents.size() * sizeof(FactId));
+  for (const AggregateContribution& c : node.contributions) {
+    total += ApproxBytes(c);
+  }
+  for (const Derivation& d : node.alternatives) total += ApproxBytes(d);
+  return total;
+}
+
 std::pair<FactId, bool> ChaseGraph::AddNode(ChaseNode node) {
   const size_t hash = node.fact.Hash();
   auto [first, last] = index_.equal_range(hash);
@@ -17,6 +60,7 @@ std::pair<FactId, bool> ChaseGraph::AddNode(ChaseNode node) {
   }
   by_predicate_[node.fact.pred_symbol].push_back(id);
   index_.emplace(hash, id);
+  approx_bytes_ += ApproxBytes(node) + kPerNodeIndexBytes;
   nodes_.push_back(std::move(node));
   return {id, true};
 }

@@ -42,6 +42,11 @@ struct Derivation {
   std::vector<AggregateContribution> contributions;
 };
 
+// Content-based footprint of a derivation / contribution (see
+// Value::ApproxBytes for the discipline: lengths, never capacities).
+int64_t ApproxBytes(const AggregateContribution& contribution);
+int64_t ApproxBytes(const Derivation& derivation);
+
 // One node of the chase graph G(D, Σ): a fact plus how it was derived. The
 // first (chronologically earliest) derivation is the primary one used by
 // proofs; later re-derivations of the same fact through different rules or
@@ -62,6 +67,8 @@ struct ChaseNode {
 
   bool is_extensional() const { return rule_index < 0; }
 };
+
+int64_t ApproxBytes(const ChaseNode& node);
 
 // The chase graph: facts as nodes, derivation edges from parents to the
 // derived fact. Nodes are appended in derivation order; a fact is stored at
@@ -127,6 +134,14 @@ class ChaseGraph {
   // explaining a fact "the other way".
   ChaseGraph WithAlternative(FactId id, size_t alternative_index) const;
 
+  // Content-based footprint of the graph (nodes + a fixed per-node index
+  // overhead), maintained incrementally by AddNode. Mutations that bypass
+  // AddNode (recording an alternative through mutable_node) account their
+  // growth via AddApproxBytes. Deterministic across thread counts, join
+  // modes, and checkpoint resume — see common/memory.h.
+  int64_t approx_bytes() const { return approx_bytes_; }
+  void AddApproxBytes(int64_t bytes) { approx_bytes_ += bytes; }
+
  private:
   std::vector<ChaseNode> nodes_;
   // Dedup index keyed by the fact's (cached-at-insert) hash; candidates are
@@ -140,6 +155,7 @@ class ChaseGraph {
   // references are held across insertions by the match enumerator.
   std::deque<std::vector<FactId>> by_predicate_;
   std::vector<FactId> empty_;
+  int64_t approx_bytes_ = 0;
 };
 
 }  // namespace templex

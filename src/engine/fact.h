@@ -42,6 +42,15 @@ struct Fact {
   std::string ToString() const;
 
   size_t Hash() const;
+
+  // Content-based footprint (see Value::ApproxBytes): predicate length plus
+  // argument bytes, independent of container capacities.
+  int64_t ApproxBytes() const {
+    int64_t total = static_cast<int64_t>(sizeof(Fact)) +
+                    static_cast<int64_t>(predicate.size());
+    for (const Value& v : args) total += v.ApproxBytes();
+    return total;
+  }
 };
 
 struct FactHash {

@@ -4,13 +4,24 @@
 
 namespace templex {
 
+namespace {
+
+// Fixed per-bucket charge (PosBucket fields + one hash-table slot): a
+// constant keeps the accounted footprint a pure function of indexed
+// content, independent of hash-table load factor.
+constexpr int64_t kPosBucketBytes = 96;
+
+}  // namespace
+
 void FactStore::OnNewFact(FactId id) {
   const Fact& fact = graph_->node(id).fact;
   for (int pos = 0; pos < fact.arity(); ++pos) {
     const uint64_t value_hash = fact.args[pos].Hash();
     PosBucket& bucket =
         by_position_[PosKey(fact.pred_symbol, pos, value_hash)];
+    index_bytes_ += static_cast<int64_t>(sizeof(FactId));
     if (bucket.ids.empty()) {
+      index_bytes_ += kPosBucketBytes;
       bucket.predicate = fact.pred_symbol;
       bucket.position = pos;
       bucket.value_hash = value_hash;
@@ -46,20 +57,41 @@ void FactStore::SealRound(FactId limit, NodeGraph* node_graph, int64_t round) {
     }
     SegmentChain& chain = chains_[static_cast<size_t>(predicate)];
     if (!chain.regular()) continue;
-    // One columnar segment for this predicate's round delta. A predicate
-    // observed at more than one arity has no rectangular layout: mark the
-    // chain irregular so the matcher falls back to index probing.
-    const int arity = graph_->node(*first).fact.arity();
+    // Sealing heuristic: an unbuilt chain is only started once the
+    // predicate proves hot (>= segment_hot_min_facts_ facts below the seal
+    // limit). The first build backfills from the predicate's first fact so
+    // the chain covers [0, limit) — ComputeAtomJoins assumes a present
+    // chain spans the whole sealed window. Hotness is monotone in the
+    // limit, so an uninterrupted run and a resumed one (whose first seal
+    // covers the whole restored base at once) flip the same predicates at
+    // the same limits.
+    auto seg_first = first;
+    if (chain.segments().empty() && chain.arity() < 0) {
+      const int64_t facts_below_limit =
+          static_cast<int64_t>(last - ids.begin());
+      if (segment_hot_min_facts_ > 0 &&
+          facts_below_limit < segment_hot_min_facts_) {
+        continue;  // cold: stays on the probe path, no columnar copy
+      }
+      seg_first = ids.begin();  // backfill the whole sealed window
+    }
+    // One columnar segment for this predicate's round delta (or its entire
+    // backfill window on the first build). A predicate observed at more
+    // than one arity has no rectangular layout: mark the chain irregular so
+    // the matcher falls back to index probing.
+    const int arity = graph_->node(*seg_first).fact.arity();
     if (chain.arity() >= 0 && chain.arity() != arity) {
       chain.MarkIrregular();
       continue;
     }
     std::vector<FactId> seg_ids;
-    seg_ids.reserve(static_cast<size_t>(last - first));
+    seg_ids.reserve(static_cast<size_t>(last - seg_first));
     std::vector<std::vector<Value>> columns(static_cast<size_t>(arity));
-    for (auto& col : columns) col.reserve(static_cast<size_t>(last - first));
+    for (auto& col : columns) {
+      col.reserve(static_cast<size_t>(last - seg_first));
+    }
     bool mixed_arity = false;
-    for (auto it = first; it != last; ++it) {
+    for (auto it = seg_first; it != last; ++it) {
       const Fact& fact = graph_->node(*it).fact;
       if (fact.arity() != arity) {
         mixed_arity = true;

@@ -72,6 +72,31 @@ class FactStore {
   void EnableSegments() { segments_enabled_ = true; }
   bool segments_enabled() const { return segments_enabled_; }
 
+  // Turns segment building off and releases every chain — the memory
+  // governor's soft-pressure degradation step. The matcher's join chooser
+  // (ComputeAtomJoins) keys on segments_enabled(), so from the next round's
+  // planning on, every atom falls back to the probe path; SealRound keeps
+  // recording SegmentNodes (the trigger graph is semantics-relevant and
+  // cheap). Call only between rounds: ChainOf pointers cached by compiled
+  // plans die here.
+  void DisableSegments() {
+    segments_enabled_ = false;
+    chains_.clear();
+  }
+
+  // Sealing heuristic: a predicate's chain is only built once the predicate
+  // holds at least this many facts below the seal limit; the first build
+  // then backfills one segment covering all of them, so a present chain
+  // always spans [0, sealed_limit). Colder predicates stay chain-less —
+  // ComputeAtomJoins sees arity() == -1 and probes, which recovers the
+  // small-workload sealing overhead. <= 0 (the default) builds on first
+  // contact. Hotness is a pure function of (predicate, seal limit), so
+  // resumed runs make identical choices at identical limits.
+  void SetSegmentHotMinFacts(int64_t min_facts) {
+    segment_hot_min_facts_ = min_facts;
+  }
+  int64_t segment_hot_min_facts() const { return segment_hot_min_facts_; }
+
   // Restricts segment building to the flagged predicates (index = Symbol).
   // The matcher only merge-joins predicates occurring in positive rule
   // bodies, so chains for head-only output predicates are pure overhead —
@@ -107,6 +132,15 @@ class FactStore {
   }
   int64_t position_entries() const;
   int64_t collision_groups() const { return collision_groups_; }
+
+  // Content-based footprint of the position index plus the segment chains
+  // (common/memory.h accounting; index entries and bucket overhead are
+  // charged at fixed per-element rates, never hash-table capacities).
+  int64_t approx_bytes() const {
+    int64_t total = index_bytes_;
+    for (const SegmentChain& chain : chains_) total += chain.approx_bytes();
+    return total;
+  }
 
   // Narrows PosKey to its low bits so tests can force collisions without
   // crafting hash-colliding values. Production keeps the full 64 bits.
@@ -147,8 +181,10 @@ class FactStore {
 
   bool segments_enabled_ = false;
   std::vector<bool> segment_predicates_;  // empty: build for every predicate
+  int64_t segment_hot_min_facts_ = 0;  // <= 0: build on first contact
   FactId sealed_limit_ = 0;
   std::vector<SegmentChain> chains_;  // indexed by predicate symbol
+  int64_t index_bytes_ = 0;  // position-index footprint (OnNewFact)
 };
 
 // Returns true and extends `binding` iff `fact` matches `atom` under the

@@ -75,6 +75,14 @@ class NodeGraph {
   int64_t skipped_rules() const { return skipped_rules_; }
   int64_t executed_rules() const { return executed_rules_; }
 
+  // Content-based footprint: both records are flat structs, so element
+  // counts times element sizes (never vector capacities) is exact.
+  int64_t approx_bytes() const {
+    return static_cast<int64_t>(segment_nodes_.size() * sizeof(SegmentNode)) +
+           static_cast<int64_t>(rule_executions_.size() *
+                                sizeof(RuleExecution));
+  }
+
   // Seeds the graph from a checkpoint and arms the watermark: subsequent
   // AddSegmentNode calls covering only ids below `restored_limit` are
   // duplicates of restored history and are ignored.

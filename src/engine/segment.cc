@@ -70,6 +70,24 @@ DeltaSegment::DeltaSegment(Symbol predicate, int arity,
               ColumnLess{&columns_[static_cast<size_t>(pos)]});
   }
   BuildTypedKeys();
+  ComputeApproxBytes();
+}
+
+void DeltaSegment::ComputeApproxBytes() {
+  int64_t total = static_cast<int64_t>(ids_.size() * sizeof(FactId));
+  for (const std::vector<Value>& col : columns_) {
+    for (const Value& v : col) total += v.ApproxBytes();
+  }
+  for (const std::vector<uint32_t>& view : sorted_) {
+    total += static_cast<int64_t>(view.size() * sizeof(uint32_t));
+  }
+  for (const std::vector<double>& keys : num_keys_) {
+    total += static_cast<int64_t>(keys.size() * sizeof(double));
+  }
+  for (const std::vector<std::string_view>& keys : str_keys_) {
+    total += static_cast<int64_t>(keys.size() * sizeof(std::string_view));
+  }
+  approx_bytes_ = total;
 }
 
 void DeltaSegment::BuildTypedKeys() {
@@ -143,6 +161,7 @@ DeltaSegment DeltaSegment::Merge(const DeltaSegment& a, const DeltaSegment& b) {
     for (; j < vb.size(); ++j) out.push_back(vb[j] + shift);
   }
   merged.BuildTypedKeys();
+  merged.ComputeApproxBytes();
   return merged;
 }
 

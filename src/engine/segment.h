@@ -102,6 +102,12 @@ class DeltaSegment {
   // Row range [first, last) with id in [lo, hi) — rows are id-sorted.
   std::pair<size_t, size_t> RowRange(FactId lo, FactId hi) const;
 
+  // Content-based footprint (ids + columns + sorted views + typed keys),
+  // computed once at construction/merge. Counts string lengths, never
+  // capacities, so the figure is (up to typed-key eligibility of merged
+  // columns) a function of segment content, not of chain shape.
+  int64_t approx_bytes() const { return approx_bytes_; }
+
  private:
   // For Merge, which fills every field itself (linear view merge instead
   // of the constructor's from-scratch sort).
@@ -109,6 +115,10 @@ class DeltaSegment {
 
   // Rebuilds the typed key arrays below from columns_ and sorted_.
   void BuildTypedKeys();
+
+  // Recomputes approx_bytes_ from the populated fields (constructor and
+  // Merge call it last).
+  void ComputeApproxBytes();
 
   // Comparator-path EqualRange for columns without a typed key array.
   Run EqualRangeGeneral(int pos, const Value& probe) const;
@@ -127,6 +137,7 @@ class DeltaSegment {
   // and EqualRange takes the general comparator path.
   std::vector<std::vector<double>> num_keys_;
   std::vector<std::vector<std::string_view>> str_keys_;
+  int64_t approx_bytes_ = 0;
 };
 
 // Per-predicate chain of delta segments with disjoint, ascending id
@@ -143,6 +154,12 @@ class SegmentChain {
 
   const std::vector<DeltaSegment>& segments() const { return segments_; }
   int arity() const { return arity_; }
+  // Content-based footprint: sum of the segments' (cached) figures.
+  int64_t approx_bytes() const {
+    int64_t total = 0;
+    for (const DeltaSegment& seg : segments_) total += seg.approx_bytes();
+    return total;
+  }
   // False once the predicate showed more than one arity: the columnar
   // layout no longer applies and the matcher falls back to probing.
   bool regular() const { return regular_; }

@@ -99,6 +99,7 @@ EventLog::EventLog(EventLogOptions options)
       id_(NextLogId()),
       epoch_(std::chrono::steady_clock::now()) {
   if (options_.ring_capacity == 0) options_.ring_capacity = 1;
+  ring_capacity_.store(options_.ring_capacity, std::memory_order_relaxed);
   if (options_.metrics != nullptr) {
     events_counter_ = options_.metrics->counter("event_log.events");
     dropped_counter_ = options_.metrics->counter("event_log.dropped_events");
@@ -134,7 +135,7 @@ EventLog::ThreadRing* EventLog::LocalRing() {
   auto it = local_rings.find(id_);
   if (it != local_rings.end()) return it->second;
   auto ring = std::make_unique<ThreadRing>();
-  ring->ring.reserve(options_.ring_capacity);
+  ring->ring.reserve(ring_capacity_.load(std::memory_order_relaxed));
   ThreadRing* raw = ring.get();
   {
     std::lock_guard<std::mutex> lock(rings_mu_);
@@ -161,14 +162,15 @@ void EventLog::Log(EventLevel level, std::string_view component,
   event.fields = std::move(fields);
 
   {
+    const size_t capacity = ring_capacity_.load(std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(ring->mu);
-    if (ring->ring.size() < options_.ring_capacity) {
+    if (ring->ring.size() < capacity) {
       ring->ring.push_back(event);
     } else {
       // Ring full: overwrite the oldest event in place — recording never
       // blocks on the reader or grows without bound.
       ring->ring[ring->next] = event;
-      ring->next = (ring->next + 1) % options_.ring_capacity;
+      ring->next = (ring->next + 1) % ring->ring.size();
       dropped_.fetch_add(1, std::memory_order_relaxed);
       if (dropped_counter_ != nullptr) dropped_counter_->Increment();
     }
@@ -194,6 +196,32 @@ void EventLog::AppendToSink(const Event& event) {
     { Status ignored = sink_->Close(); (void)ignored; }
     sink_.reset();
     if (sink_errors_counter_ != nullptr) sink_errors_counter_->Increment();
+  }
+}
+
+void EventLog::ShrinkRings(size_t new_capacity) {
+  if (new_capacity == 0) new_capacity = 1;
+  const size_t current = ring_capacity_.load(std::memory_order_relaxed);
+  if (new_capacity >= current) return;  // shrink only — never grow
+  ring_capacity_.store(new_capacity, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> rings_lock(rings_mu_);
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    const size_t n = ring->ring.size();
+    if (n <= new_capacity) continue;
+    // Rebuild keeping the newest new_capacity events in chronological
+    // order; `next` wraps to 0 so the next overwrite evicts the oldest.
+    std::vector<Event> kept;
+    kept.reserve(new_capacity);
+    for (size_t i = n - new_capacity; i < n; ++i) {
+      kept.push_back(std::move(ring->ring[(ring->next + i) % n]));
+    }
+    const int64_t evicted = static_cast<int64_t>(n - new_capacity);
+    ring->ring = std::move(kept);
+    ring->ring.shrink_to_fit();
+    ring->next = 0;
+    dropped_.fetch_add(evicted, std::memory_order_relaxed);
+    if (dropped_counter_ != nullptr) dropped_counter_->Increment(evicted);
   }
 }
 

@@ -1,6 +1,7 @@
 #ifndef TEMPLEX_OBS_EVENT_LOG_H_
 #define TEMPLEX_OBS_EVENT_LOG_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -138,6 +139,18 @@ class EventLog {
   Status WriteCrashReport(const std::string& path,
                           std::string_view reason) const;
 
+  // Shrinks every thread ring to at most `new_capacity` events (keeping the
+  // newest) and lowers the capacity for future appends — the memory
+  // governor's last degradation step. Never grows the capacity; excess
+  // events are counted as dropped. Thread-safe.
+  void ShrinkRings(size_t new_capacity);
+
+  // Current per-thread ring capacity (options().ring_capacity adjusted by
+  // ShrinkRings).
+  size_t ring_capacity() const {
+    return ring_capacity_.load(std::memory_order_relaxed);
+  }
+
   const EventLogOptions& options() const { return options_; }
 
  private:
@@ -161,6 +174,10 @@ class EventLog {
   }
 
   EventLogOptions options_;
+  // Live ring capacity: options_.ring_capacity, lowered by ShrinkRings.
+  // Atomic because Log() reads it on every append while ShrinkRings may
+  // store concurrently.
+  std::atomic<size_t> ring_capacity_{0};
   Fs* fs_;  // resolved: options_.fs or the real filesystem
   const uint64_t id_;  // process-unique — keys the TLS ring cache
   std::chrono::steady_clock::time_point epoch_;

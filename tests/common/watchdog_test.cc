@@ -1,0 +1,132 @@
+// StallWatchdog unit tests, Poll-driven on a VirtualClock (the same
+// deterministic pattern deadline_test uses): no stall while heartbeats
+// flow, a single trip once they stop for longer than the timeout, a report
+// naming the in-flight rule/stratum/round, and cooperative cancellation of
+// the shared token.
+
+#include "common/watchdog.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/deadline.h"
+
+namespace templex {
+namespace {
+
+TEST(StallWatchdogTest, NoStallWhileHeartbeatsFlow) {
+  VirtualClock clock;
+  StallWatchdog::Options options;
+  options.stall_timeout_ms = 100;
+  options.clock = &clock;
+  CancellationToken cancel = options.cancel;  // copies share state
+  StallWatchdog watchdog(options);
+
+  EXPECT_FALSE(watchdog.Poll());  // arms the baseline
+  for (int i = 0; i < 10; ++i) {
+    clock.AdvanceMillis(90);  // just under the timeout between heartbeats
+    watchdog.Pet();
+    EXPECT_FALSE(watchdog.Poll()) << "iteration " << i;
+  }
+  EXPECT_FALSE(watchdog.stalled());
+  EXPECT_FALSE(cancel.cancelled());
+  EXPECT_EQ(watchdog.heartbeats(), 10);
+}
+
+TEST(StallWatchdogTest, TripsOnceWhenHeartbeatsStop) {
+  VirtualClock clock;
+  std::vector<StallWatchdog::StallReport> reports;
+  StallWatchdog::Options options;
+  options.stall_timeout_ms = 100;
+  options.clock = &clock;
+  options.on_stall = [&reports](const StallWatchdog::StallReport& report) {
+    reports.push_back(report);
+  };
+  CancellationToken cancel = options.cancel;  // copies share state
+  StallWatchdog watchdog(options);
+
+  watchdog.SetContext("rule_r2", /*stratum=*/1, /*round=*/7);
+  watchdog.Pet();
+  EXPECT_FALSE(watchdog.Poll());  // arms: heartbeat observed at t=0
+
+  clock.AdvanceMillis(99);
+  EXPECT_FALSE(watchdog.Poll()) << "99ms of silence is under the timeout";
+  clock.AdvanceMillis(51);
+  EXPECT_TRUE(watchdog.Poll());
+  EXPECT_TRUE(watchdog.stalled());
+  EXPECT_TRUE(cancel.cancelled()) << "the stall must cancel the shared token";
+
+  // The report names the in-flight work and how long it sat.
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].rule, "rule_r2");
+  EXPECT_EQ(reports[0].stratum, 1);
+  EXPECT_EQ(reports[0].round, 7);
+  EXPECT_EQ(reports[0].heartbeats, 1);
+  EXPECT_EQ(reports[0].stalled_for_ms, 150);
+  EXPECT_EQ(reports[0].stall_timeout_ms, 100);
+
+  // Fires at most once: later polls (even much later) stay quiet.
+  clock.AdvanceMillis(10000);
+  EXPECT_FALSE(watchdog.Poll());
+  ASSERT_EQ(reports.size(), 1u);
+}
+
+TEST(StallWatchdogTest, HeartbeatAfterQuietPeriodRestampsBaseline) {
+  VirtualClock clock;
+  StallWatchdog::Options options;
+  options.stall_timeout_ms = 100;
+  options.clock = &clock;
+  StallWatchdog watchdog(options);
+
+  EXPECT_FALSE(watchdog.Poll());  // arms at t=0
+  clock.AdvanceMillis(80);
+  EXPECT_FALSE(watchdog.Poll());
+  // A heartbeat arrives before the deadline; the next Poll observes it and
+  // restarts the quiet period from its own timestamp.
+  watchdog.Pet();
+  clock.AdvanceMillis(80);
+  EXPECT_FALSE(watchdog.Poll());  // restamps at t=160
+  clock.AdvanceMillis(99);
+  EXPECT_FALSE(watchdog.Poll()) << "99ms since the restamp";
+  clock.AdvanceMillis(1);
+  EXPECT_TRUE(watchdog.Poll()) << "100ms of silence since the restamp";
+}
+
+TEST(StallWatchdogTest, DisabledTimeoutNeverFires) {
+  VirtualClock clock;
+  StallWatchdog::Options options;
+  options.stall_timeout_ms = 0;  // disabled
+  options.clock = &clock;
+  CancellationToken cancel = options.cancel;
+  StallWatchdog watchdog(options);
+
+  EXPECT_FALSE(watchdog.Poll());
+  clock.AdvanceMillis(1000000);
+  EXPECT_FALSE(watchdog.Poll());
+  EXPECT_FALSE(watchdog.stalled());
+  EXPECT_FALSE(cancel.cancelled());
+}
+
+TEST(StallWatchdogTest, ContextUpdatesAreReflectedInTheReport) {
+  VirtualClock clock;
+  StallWatchdog::StallReport report;
+  StallWatchdog::Options options;
+  options.stall_timeout_ms = 50;
+  options.clock = &clock;
+  options.on_stall =
+      [&report](const StallWatchdog::StallReport& r) { report = r; };
+  StallWatchdog watchdog(options);
+
+  watchdog.SetContext("early_rule", 0, 1);
+  EXPECT_FALSE(watchdog.Poll());
+  watchdog.SetContext("late_rule", 2, 9);  // the stall names the latest
+  clock.AdvanceMillis(60);
+  EXPECT_TRUE(watchdog.Poll());
+  EXPECT_EQ(report.rule, "late_rule");
+  EXPECT_EQ(report.stratum, 2);
+  EXPECT_EQ(report.round, 9);
+}
+
+}  // namespace
+}  // namespace templex

@@ -50,11 +50,14 @@ std::vector<std::string> GraphSignature(const ChaseResult& chase) {
 
 ChaseResult RunWith(const Program& program, const std::vector<Fact>& edb,
                     JoinMode mode, int threads,
-                    obs::MetricsRegistry* metrics = nullptr) {
+                    obs::MetricsRegistry* metrics = nullptr,
+                    int64_t segment_hot_min_facts =
+                        ChaseConfig().segment_hot_min_facts) {
   ChaseConfig config;
   config.join_mode = mode;
   config.num_threads = threads;
   config.metrics = metrics;
+  config.segment_hot_min_facts = segment_hot_min_facts;
   auto result = ChaseEngine(config).Run(program, edb);
   EXPECT_TRUE(result.ok()) << result.status().ToString();
   return std::move(result).value();
@@ -158,8 +161,12 @@ TEST(JoinModeTest, CompanyControlSkipsRedundantRuleExecutions) {
   Rng rng(11);
   const std::vector<Fact> edb = GenerateOwnershipNetwork(options, &rng);
   obs::MetricsRegistry registry;
+  // Hot-min 0 builds segments on first contact: this instance is below the
+  // default sealing threshold, and the assertion here is about merge-join
+  // choices, not the heuristic (segment_heuristic_test covers that).
   const ChaseResult result =
-      RunWith(CompanyControlProgram(), edb, JoinMode::kMerge, 1, &registry);
+      RunWith(CompanyControlProgram(), edb, JoinMode::kMerge, 1, &registry,
+              /*segment_hot_min_facts=*/0);
   const auto counters = JoinCounters(result);
   EXPECT_GT(counters.at("chase.join.skipped_rules"), 0);
   EXPECT_GT(counters.at("chase.join.executed_rules"), 0);

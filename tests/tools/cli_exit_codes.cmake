@@ -2,8 +2,11 @@
 # header comment) end to end, including the kill-and-resume smoke: a run
 # killed by a short --deadline-ms must leave a checkpoint that a --resume
 # run completes, and the resumed chase JSON must be byte-identical to an
-# uninterrupted run's. kCancelled (5) has no external trigger (no signal
-# handler maps to it), so it is documented but not pinned here.
+# uninterrupted run's. The same contract is pinned for the resource
+# governor (a --max-bytes hard trip exits 7 with a committed checkpoint
+# that resumes without the budget) and for the stall watchdog (a simulated
+# stuck round under --stall-timeout-ms exits 5 — kCancelled's only
+# external trigger — and the checkpoint resumes cleanly).
 #
 # Invoked as:
 #   cmake -DTEMPLEX_CLI=<binary> -DDATA_DIR=<tests/data> -DWORK_DIR=<scratch>
@@ -138,5 +141,61 @@ expect_exit(6 "corrupt checkpoint"
             "${TEMPLEX_CLI}" --program "${big_program}"
             --facts "${big_facts}"
             --checkpoint-dir "${ckpt_dir}" --resume)
+
+# --- 7: resource exhausted (--max-bytes hard watermark) -----------------
+# A hard limit far below the EDB's own footprint trips on the first
+# reconciliation; without a checkpoint directory the trip is still exit 7.
+expect_exit(7 "max-bytes trip without checkpointing"
+            "${TEMPLEX_CLI}" --program "${big_program}"
+            --facts "${big_facts}" --max-bytes 4096)
+
+# Save-and-stop: the trip commits a checkpoint, and resuming WITHOUT the
+# budget ("on a bigger box") must reproduce the unbudgeted reference JSON
+# byte-for-byte.
+set(budget_ckpt "${WORK_DIR}/ckpt_budget")
+expect_exit(7 "max-bytes trip with checkpointing"
+            "${TEMPLEX_CLI}" --program "${big_program}"
+            --facts "${big_facts}" --max-bytes 4096
+            --checkpoint-dir "${budget_ckpt}")
+expect_exit(0 "resume after budget trip"
+            "${TEMPLEX_CLI}" --program "${big_program}"
+            --facts "${big_facts}"
+            --checkpoint-dir "${budget_ckpt}" --resume
+            --dump-json "${WORK_DIR}/resumed_after_budget.json")
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        "${WORK_DIR}/reference.json"
+                        "${WORK_DIR}/resumed_after_budget.json"
+                RESULT_VARIABLE budget_diff)
+if(NOT budget_diff EQUAL 0)
+  message(FATAL_ERROR
+          "chase JSON resumed after a budget trip differs from the "
+          "unbudgeted reference run")
+endif()
+
+# --- 5: cancelled (watchdog-detected stall) -----------------------------
+# The chaos knob burns 10s at the start of round 2 without heartbeating;
+# a 150ms stall timeout must detect it long before that and cancel the
+# run. The watchdog's crash path is stderr + event log, so only the exit
+# code and the resume contract are pinned here.
+set(stall_ckpt "${WORK_DIR}/ckpt_stall")
+expect_exit(5 "watchdog stall"
+            "${TEMPLEX_CLI}" --program "${big_program}"
+            --facts "${big_facts}"
+            --chaos-stall-ms 10000 --stall-timeout-ms 150
+            --checkpoint-dir "${stall_ckpt}")
+expect_exit(0 "resume after stall"
+            "${TEMPLEX_CLI}" --program "${big_program}"
+            --facts "${big_facts}"
+            --checkpoint-dir "${stall_ckpt}" --resume
+            --dump-json "${WORK_DIR}/resumed_after_stall.json")
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        "${WORK_DIR}/reference.json"
+                        "${WORK_DIR}/resumed_after_stall.json"
+                RESULT_VARIABLE stall_diff)
+if(NOT stall_diff EQUAL 0)
+  message(FATAL_ERROR
+          "chase JSON resumed after a watchdog stall differs from the "
+          "reference run")
+endif()
 
 message(STATUS "cli exit code convention holds")

@@ -83,6 +83,22 @@
 //              present (exact same program, facts, and semantics-affecting
 //              config required); byte-identical to the uninterrupted run,
 //              at any --threads value.
+// --max-bytes  memory budget for the chase's accounted footprint (chase
+//              graph + provenance, indexes, segments, aggregates). The
+//              flag value is the hard watermark: crossing it finishes the
+//              current round, commits a final checkpoint (with
+//              --checkpoint-dir), and exits 7 — rerun with --resume,
+//              without the budget, to continue byte-identically. The soft
+//              watermark sits at 3/4 of it and sheds accessory state
+//              first (tracer buffers, columnar segments, flight-recorder
+//              rings) without changing any output.
+// --stall-timeout-ms round-progress watchdog: if the matcher makes no
+//              progress for this long, the run is cancelled cooperatively
+//              (exit 5) and the crash report names the in-flight
+//              rule/stratum/round. Committed rounds stay resumable.
+// --chaos-stall-ms / --chaos-stall-round (tests/CI only) simulate a stuck
+//              rule: burn this much wall-clock at the start of the given
+//              round without heartbeating the watchdog.
 //
 // Exit codes (pinned by tests/tools/cli_exit_codes.cmake):
 //   0  success;
@@ -90,9 +106,12 @@
 //      mismatch on --resume);
 //   2  usage error (unknown flag, missing argument, bad flag value);
 //   4  deadline exceeded (--deadline-ms expired before completion);
-//   5  cancelled;
+//   5  cancelled (including a watchdog-detected stall);
 //   6  corrupt checkpoint (DataLoss: the checkpoint failed its integrity
-//      checks and --resume refused to trust it).
+//      checks and --resume refused to trust it);
+//   7  resource exhausted (--max-bytes hard watermark, max_rounds /
+//      max_facts guard rails) — with --checkpoint-dir the committed
+//      checkpoint resumes on a bigger box.
 
 #include <cstdio>
 #include <cstdlib>
@@ -106,6 +125,8 @@
 #include "apps/application.h"
 #include "common/deadline.h"
 #include "common/fs.h"
+#include "common/memory.h"
+#include "common/watchdog.h"
 #include "core/termination.h"
 #include "explain/report.h"
 #include "datalog/parser.h"
@@ -136,9 +157,12 @@ int Usage() {
       "                   [--deadline-ms N]\n"
       "                   [--checkpoint-dir DIR] "
       "[--checkpoint-every-rounds N]\n"
-      "                   [--resume]\n"
+      "                   [--resume] [--max-bytes N] [--stall-timeout-ms N]\n"
       "exit codes: 0 ok, 1 error, 2 usage, 4 deadline exceeded,\n"
-      "            5 cancelled, 6 corrupt checkpoint\n");
+      "            5 cancelled (incl. watchdog stall), 6 corrupt "
+      "checkpoint,\n"
+      "            7 resource exhausted (--max-bytes; resumable with "
+      "--resume)\n");
   return 2;
 }
 
@@ -152,6 +176,8 @@ int ExitCodeFor(const Status& status) {
       return 5;
     case StatusCode::kDataLoss:
       return 6;
+    case StatusCode::kResourceExhausted:
+      return 7;
     default:
       return 1;
   }
@@ -197,6 +223,10 @@ int main(int argc, char** argv) {
   std::string checkpoint_dir;
   long checkpoint_every_rounds = 1;
   bool resume = false;
+  long long max_bytes = 0;      // 0: no memory budget
+  long stall_timeout_ms = 0;    // 0: no watchdog
+  long chaos_stall_ms = 0;      // tests/CI only
+  long chaos_stall_round = 2;
 
   // Normalize "--flag=value" into "--flag" "value" so both forms parse.
   std::vector<std::string> args;
@@ -306,6 +336,45 @@ int main(int argc, char** argv) {
       checkpoint_every_rounds = parsed;
     } else if (arg == "--resume") {
       resume = true;
+    } else if (arg == "--max-bytes") {
+      const std::string& value = next("--max-bytes");
+      char* end = nullptr;
+      const long long parsed = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || parsed <= 0) {
+        std::fprintf(stderr, "--max-bytes expects a positive integer\n");
+        return Usage();
+      }
+      max_bytes = parsed;
+    } else if (arg == "--stall-timeout-ms") {
+      const std::string& value = next("--stall-timeout-ms");
+      char* end = nullptr;
+      const long parsed = std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || parsed <= 0) {
+        std::fprintf(stderr,
+                     "--stall-timeout-ms expects a positive integer\n");
+        return Usage();
+      }
+      stall_timeout_ms = parsed;
+    } else if (arg == "--chaos-stall-ms") {
+      const std::string& value = next("--chaos-stall-ms");
+      char* end = nullptr;
+      const long parsed = std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || parsed < 0) {
+        std::fprintf(stderr,
+                     "--chaos-stall-ms expects a non-negative integer\n");
+        return Usage();
+      }
+      chaos_stall_ms = parsed;
+    } else if (arg == "--chaos-stall-round") {
+      const std::string& value = next("--chaos-stall-round");
+      char* end = nullptr;
+      const long parsed = std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || parsed <= 0) {
+        std::fprintf(stderr,
+                     "--chaos-stall-round expects a positive integer\n");
+        return Usage();
+      }
+      chaos_stall_round = parsed;
     } else if (arg == "--anonymize") {
       anonymize = true;
     } else if (arg == "--templates") {
@@ -431,12 +500,69 @@ int main(int argc, char** argv) {
   chase_config.checkpoint.dir = checkpoint_dir;
   chase_config.checkpoint.every_rounds = checkpoint_every_rounds;
   chase_config.checkpoint.resume = resume;
+  chase_config.chaos_stall_ms = chaos_stall_ms;
+  chase_config.chaos_stall_round = chaos_stall_round;
   if (observe) {
     chase_config.metrics = &registry;
     chase_config.tracer = &tracer;
   }
   if (event_log.has_value()) chase_config.event_log = &*event_log;
+
+  // Resource governor: --max-bytes is the hard (save-and-stop) watermark;
+  // the soft (degrade) watermark sits at 3/4 of it. Budget and watchdog
+  // are execution-environment knobs — outside the checkpoint config hash,
+  // so a save-and-stopped run resumes without them.
+  std::optional<MemoryBudget> budget;
+  if (max_bytes > 0) {
+    MemoryBudget::Options budget_options;
+    budget_options.hard_limit_bytes = max_bytes;
+    budget_options.soft_limit_bytes = max_bytes / 4 * 3;
+    budget.emplace(budget_options);
+    chase_config.budget = &*budget;
+  }
+
+  // Stall watchdog: shares chase_config.cancel, so a detected stall
+  // unwinds the run with kCancelled (exit 5) at the next interruption
+  // point; the crash report and the watchdog.stall event name the
+  // in-flight rule/stratum/round.
+  std::optional<StallWatchdog> watchdog;
+  if (stall_timeout_ms > 0) {
+    StallWatchdog::Options wd_options;
+    wd_options.stall_timeout_ms = stall_timeout_ms;
+    wd_options.cancel = chase_config.cancel;
+    wd_options.on_stall = [&event_log, &registry,
+                           observe](const StallWatchdog::StallReport& report) {
+      std::fprintf(stderr,
+                   "watchdog: no matcher progress for %lld ms "
+                   "(rule '%s', stratum %d, round %lld) — cancelling\n",
+                   static_cast<long long>(report.stalled_for_ms),
+                   report.rule.c_str(), report.stratum,
+                   static_cast<long long>(report.round));
+      if (observe) registry.counter("chase.watchdog.stalls")->Increment();
+      if (event_log.has_value()) {
+        event_log->Log(
+            obs::EventLevel::kError, "chase", "watchdog.stall",
+            {{"rule", report.rule},
+             {"stratum", std::to_string(report.stratum)},
+             {"round", std::to_string(report.round)},
+             {"stalled_for_ms", std::to_string(report.stalled_for_ms)},
+             {"stall_timeout_ms", std::to_string(report.stall_timeout_ms)},
+             {"heartbeats", std::to_string(report.heartbeats)}});
+        if (!event_log->options().crash_report_path.empty()) {
+          Status dumped = event_log->DumpNow("watchdog: stalled round");
+          (void)dumped;  // the cancellation is the signal; dump best effort
+        }
+      }
+    };
+    watchdog.emplace(std::move(wd_options));
+    chase_config.watchdog = &*watchdog;
+    watchdog->Start();
+  }
+
   Status run = app.value()->Run(chase_config);
+  // Stop the monitor before anything else: explanation queries and report
+  // building do not heartbeat, and a late stall trip would cancel them.
+  if (watchdog.has_value()) watchdog->Stop();
   if (!run.ok()) die(run);
 
   const ChaseResult& chase = app.value()->chase();
