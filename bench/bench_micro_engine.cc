@@ -12,6 +12,7 @@
 #include "engine/fact_store.h"
 #include "engine/matcher.h"
 #include "engine/proof.h"
+#include "engine/query.h"
 #include "engine/rule_plan.h"
 #include "engine/segment.h"
 
@@ -45,6 +46,86 @@ void BM_ChaseCompanyControl(benchmark::State& state) {
   state.counters["derived"] = static_cast<double>(derived);
 }
 BENCHMARK(BM_ChaseCompanyControl)->Arg(20)->Arg(50)->Arg(100)->Arg(200);
+
+// A bound, derivable point-query goal: Control(X, _) for the subject with
+// the FEWEST derived non-reflexive controls — a typical low-degree entity,
+// not a hub whose control cone spans the network. Deterministic given
+// OwnershipEdb's fixed seed.
+Fact PointQueryGoal(const Program& program, const std::vector<Fact>& edb) {
+  auto chase = ChaseEngine().Run(program, edb);
+  std::map<std::string, int> degree;
+  if (chase.ok()) {
+    for (FactId id : chase.value().graph.FactsOf("Control")) {
+      const ChaseNode& node = chase.value().graph.node(id);
+      if (node.is_extensional()) continue;
+      if (node.fact.args[0] == node.fact.args[1]) continue;
+      ++degree[node.fact.args[0].ToString()];
+    }
+  }
+  std::string best;
+  int best_degree = -1;
+  for (const auto& [subject, count] : degree) {
+    if (best_degree < 0 || count < best_degree) {
+      best = subject;
+      best_degree = count;
+    }
+  }
+  if (best_degree < 0) {
+    return Fact{"Control", {Value::String(CompanyName(0)), Value::Null()}};
+  }
+  // degree keys are ToString()ed strings: strip the quotes.
+  return Fact{"Control",
+              {Value::String(best.substr(1, best.size() - 2)), Value::Null()}};
+}
+
+void BM_PointQueryCompanyControl(benchmark::State& state) {
+  // Query-driven evaluation (engine/query.h): magic-set relevance pass +
+  // restricted chase. Compare against BM_PointQueryCompanyControlMaterialize
+  // — the whole point is that a bound goal stops paying for the full chase.
+  // (Under TEMPLEX_EVAL_MODE=materialize this degenerates to the baseline;
+  // the CI bench gate excludes BM_PointQuery* on that leg.)
+  Program program = CompanyControlProgram();
+  std::vector<Fact> edb = OwnershipEdb(static_cast<int>(state.range(0)));
+  Fact goal = PointQueryGoal(program, edb);
+  ChaseConfig config;
+  int64_t answers = 0;
+  int64_t relevant = 0;
+  for (auto _ : state) {
+    auto result = QueryEvaluator(config).Evaluate(program, edb, goal);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    answers = result.value().stats.answers;
+    relevant = result.value().stats.relevant_edb_facts;
+    benchmark::DoNotOptimize(result.value().answers.size());
+  }
+  state.counters["edb"] = static_cast<double>(edb.size());
+  state.counters["relevant_edb"] = static_cast<double>(relevant);
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_PointQueryCompanyControl)->Arg(20)->Arg(50)->Arg(100);
+
+void BM_PointQueryCompanyControlMaterialize(benchmark::State& state) {
+  // The classic strategy for the same goal: materialize the full chase,
+  // then filter. This is what every point query paid before query-driven
+  // evaluation existed.
+  Program program = CompanyControlProgram();
+  std::vector<Fact> edb = OwnershipEdb(static_cast<int>(state.range(0)));
+  Fact goal = PointQueryGoal(program, edb);
+  ChaseEngine engine;
+  int64_t answers = 0;
+  for (auto _ : state) {
+    auto result = engine.Run(program, edb);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    answers = 0;
+    for (FactId id : result.value().graph.FactsOf(goal.predicate)) {
+      const Fact& fact = result.value().graph.node(id).fact;
+      if (goal.args[0] == fact.args[0]) ++answers;
+    }
+    benchmark::DoNotOptimize(answers);
+  }
+  state.counters["edb"] = static_cast<double>(edb.size());
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_PointQueryCompanyControlMaterialize)->Arg(20)->Arg(50)->Arg(100);
 
 void BM_ChaseSemiNaiveVsNaive(benchmark::State& state) {
   Program program = CompanyControlProgram();

@@ -7,6 +7,8 @@
 
 #include "common/status.h"
 #include "engine/chase.h"
+#include "engine/query.h"
+#include "engine/query_planner.h"
 #include "explain/anonymizer.h"
 #include "explain/explainer.h"
 
@@ -40,6 +42,22 @@ class KnowledgeGraphApplication {
 
   // Runs the chase over the loaded facts.
   Status Run(ChaseConfig config = ChaseConfig());
+
+  // Runs just enough of the chase to answer `goal_pattern` (Null arguments
+  // act as wildcards): plans materialize-vs-qsqr with PlanQuery, then
+  // either a full Run or a query-driven evaluation (engine/query.h). Either
+  // way the application ends up with a chase installed, so Query() and
+  // Explain() work unchanged afterwards — under the query-driven strategy
+  // they only cover goal-relevant facts, with byte-identical answers and
+  // explanation text for those.
+  struct QueryExecution {
+    QueryPlan plan;       // the chooser's verdict and estimates
+    QueryStats stats;     // what the evaluation actually did
+    std::vector<Fact> answers;
+  };
+  Result<QueryExecution> RunForQuery(const Fact& goal_pattern,
+                                     ChaseConfig config = ChaseConfig(),
+                                     EvalMode requested = EvalMode::kAuto);
 
   bool has_run() const { return chase_ != nullptr; }
 

@@ -1,0 +1,272 @@
+#include "datalog/magic.h"
+
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "datalog/atom.h"
+#include "datalog/rule.h"
+#include "engine/stratification.h"
+
+namespace templex {
+namespace {
+
+// Adornment of an atom occurrence: a position is bound when it holds a
+// constant or a variable already bound by the sideways pass.
+std::string AtomAdornment(const Atom& atom,
+                          const std::set<std::string>& bound_vars) {
+  std::string adornment;
+  adornment.reserve(atom.terms.size());
+  for (const Term& term : atom.terms) {
+    bool bound = term.is_constant() ||
+                 bound_vars.count(term.variable_name()) > 0;
+    adornment.push_back(bound ? 'b' : 'f');
+  }
+  return adornment;
+}
+
+bool AllFree(const std::string& adornment) {
+  return adornment.find('b') == std::string::npos;
+}
+
+// Terms of `atom` at the 'b' positions of `adornment` — the arguments of
+// the corresponding magic guard atom.
+std::vector<Term> BoundTerms(const Atom& atom, const std::string& adornment) {
+  std::vector<Term> terms;
+  for (size_t i = 0; i < atom.terms.size(); ++i) {
+    if (adornment[i] == 'b') terms.push_back(atom.terms[i]);
+  }
+  return terms;
+}
+
+struct Rewriter {
+  const Program& program;
+  const Fact& goal;
+  MagicRewriteResult result;
+
+  // (predicate, adornment) pairs already queued or processed.
+  std::set<std::pair<std::string, std::string>> seen;
+  std::deque<std::pair<std::string, std::string>> work;
+
+  bool refused = false;
+
+  void Refuse(std::string reason) {
+    if (refused) return;
+    refused = true;
+    result.refusal_reason = std::move(reason);
+  }
+
+  void Enqueue(const std::string& pred, const std::string& adornment) {
+    if (seen.emplace(pred, adornment).second) {
+      work.emplace_back(pred, adornment);
+      result.adorned_predicates.push_back(AdornedName(pred, adornment));
+    }
+  }
+
+  // Specializes every rule with head `pred` to adornment `adornment`,
+  // appending the adorned rule and its magic rules to `rules`.
+  void ProcessAdornedPredicate(const std::string& pred,
+                               const std::string& adornment,
+                               std::vector<Rule>* rules) {
+    for (size_t rule_idx = 0; rule_idx < program.rules().size(); ++rule_idx) {
+      const Rule& rule = program.rules()[rule_idx];
+      if (rule.is_constraint || rule.head.predicate != pred) continue;
+      if (refused) return;
+
+      if (!rule.ExistentialVariableNames().empty()) {
+        Refuse("rule '" + rule.label +
+               "' in the goal's dependency cone has existential head "
+               "variables; restricted labeled-null identities would not "
+               "match the full chase");
+        return;
+      }
+
+      const std::string result_var =
+          rule.has_aggregate() ? rule.aggregate->result_variable : "";
+
+      // Variables bound by the magic guard: head variables at 'b'
+      // positions. A bound position holding the aggregate result variable
+      // cannot be seeded (the value only exists after aggregation).
+      std::set<std::string> bound_vars;
+      for (size_t i = 0; i < rule.head.terms.size(); ++i) {
+        if (adornment[i] != 'b') continue;
+        const Term& term = rule.head.terms[i];
+        if (!term.is_variable()) continue;
+        if (!result_var.empty() && term.variable_name() == result_var) {
+          Refuse("goal binds the aggregate result position of rule '" +
+                 rule.label + "'; values cannot be seeded through a "
+                 "monotone aggregate");
+          return;
+        }
+        bound_vars.insert(term.variable_name());
+      }
+
+      Rule adorned = rule;
+      adorned.label = rule.label + "@" + adornment;
+      adorned.head.predicate = AdornedName(pred, adornment);
+
+      const bool guarded = !AllFree(adornment);
+      Atom guard(MagicName(pred, adornment), BoundTerms(rule.head, adornment));
+
+      // Left-to-right sideways pass over the positive body. `prefix`
+      // accumulates the adorned forms of the atoms already traversed —
+      // the bodies of the magic rules for later atoms.
+      std::vector<Atom> prefix;
+      if (guarded) prefix.push_back(guard);
+
+      for (size_t j = 0; j < rule.body.size(); ++j) {
+        const Atom& atom = rule.body[j];
+        Atom adorned_atom = atom;
+        if (program.IsIntensional(atom.predicate)) {
+          std::string beta = AtomAdornment(atom, bound_vars);
+          adorned_atom.predicate = AdornedName(atom.predicate, beta);
+          Enqueue(atom.predicate, beta);
+          if (!AllFree(beta)) {
+            Rule magic;
+            magic.label =
+                "m@" + rule.label + "@" + adornment + "@" + std::to_string(j);
+            magic.head = Atom(MagicName(atom.predicate, beta),
+                              BoundTerms(atom, beta));
+            magic.body = prefix;
+            rules->push_back(std::move(magic));
+          }
+        }
+        adorned.body[j] = adorned_atom;
+        prefix.push_back(adorned_atom);
+        for (const std::string& var : atom.VariableNames()) {
+          bound_vars.insert(var);
+        }
+      }
+
+      // Negated atoms are checked after the positive body; rule safety
+      // guarantees all their variables are bound there, so their
+      // adornment is all-'b' and the magic rule's body is the full
+      // positive prefix. Magic completeness then makes the restricted
+      // negated relation complete for every binding actually checked.
+      for (size_t j = 0; j < rule.negative_body.size(); ++j) {
+        const Atom& atom = rule.negative_body[j];
+        if (!program.IsIntensional(atom.predicate)) continue;
+        std::string beta = AtomAdornment(atom, bound_vars);
+        if (beta.find('f') != std::string::npos) {
+          // Unreachable for validated programs; refuse rather than emit
+          // an unsound rewrite.
+          Refuse("negated atom '" + atom.ToString() + "' in rule '" +
+                 rule.label + "' is not fully bound by the positive body");
+          return;
+        }
+        adorned.negative_body[j].predicate =
+            AdornedName(atom.predicate, beta);
+        Enqueue(atom.predicate, beta);
+        Rule magic;
+        magic.label =
+            "m@" + rule.label + "@" + adornment + "@n" + std::to_string(j);
+        magic.head =
+            Atom(MagicName(atom.predicate, beta), BoundTerms(atom, beta));
+        magic.body = prefix;
+        rules->push_back(std::move(magic));
+      }
+
+      if (guarded) {
+        adorned.body.insert(adorned.body.begin(), guard);
+      }
+      rules->push_back(std::move(adorned));
+    }
+  }
+
+  MagicRewriteResult Run() {
+    const std::string& goal_pred = goal.predicate;
+    if (!program.IsIntensional(goal_pred)) {
+      // Purely extensional goal: nothing to rewrite, nothing to chase.
+      result.rewritten = true;
+      result.goal_predicate = goal_pred;
+      result.program = Program({}, "");
+      return std::move(result);
+    }
+
+    std::string a0 = GoalAdornment(goal);
+    Enqueue(goal_pred, a0);
+
+    std::vector<Rule> rules;
+    while (!work.empty() && !refused) {
+      auto [pred, adornment] = work.front();
+      work.pop_front();
+      ProcessAdornedPredicate(pred, adornment, &rules);
+    }
+    if (refused) return std::move(result);
+
+    result.goal_predicate = AdornedName(goal_pred, a0);
+    result.program = Program(std::move(rules), result.goal_predicate);
+
+    if (!AllFree(a0)) {
+      std::vector<Value> seed_args;
+      for (const Value& arg : goal.args) {
+        if (!arg.is_null()) seed_args.push_back(arg);
+      }
+      result.seeds.push_back(
+          Fact(MagicName(goal_pred, a0), std::move(seed_args)));
+    }
+
+    // The magic rules add positive edges from guard predicates to body
+    // prefixes; if one of them closes a cycle through a negated atom the
+    // rewritten program has no stratification and restricted evaluation
+    // would be unsound. Refuse and let the caller materialize.
+    if (Result<std::map<std::string, int>> strata =
+            StratifyProgram(result.program);
+        !strata.ok()) {
+      Refuse("magic rewrite breaks stratification: " +
+             std::string(strata.status().message()));
+      return std::move(result);
+    }
+
+    result.rewritten = true;
+    return std::move(result);
+  }
+};
+
+}  // namespace
+
+std::string GoalAdornment(const Fact& goal_pattern) {
+  std::string adornment;
+  adornment.reserve(goal_pattern.args.size());
+  for (const Value& arg : goal_pattern.args) {
+    adornment.push_back(arg.is_null() ? 'f' : 'b');
+  }
+  return adornment;
+}
+
+std::string AdornedName(const std::string& predicate,
+                        const std::string& adornment) {
+  return predicate + "@" + adornment;
+}
+
+std::string MagicName(const std::string& predicate,
+                      const std::string& adornment) {
+  return "m@" + predicate + "@" + adornment;
+}
+
+bool IsMagicRewritten(const Program& program) {
+  for (const Rule& rule : program.rules()) {
+    if (rule.head.predicate.find('@') != std::string::npos) return true;
+  }
+  return false;
+}
+
+MagicRewriteResult MagicRewrite(const Program& program,
+                                const Fact& goal_pattern) {
+  if (IsMagicRewritten(program)) {
+    // Idempotence: the program is already goal-restricted; re-adorning
+    // adorned predicates would only rename them.
+    MagicRewriteResult result;
+    result.rewritten = true;
+    result.program = program;
+    result.goal_predicate = program.goal_predicate();
+    return result;
+  }
+  Rewriter rewriter{program, goal_pattern, {}, {}, {}};
+  return rewriter.Run();
+}
+
+}  // namespace templex

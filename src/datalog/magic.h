@@ -1,0 +1,86 @@
+#ifndef TEMPLEX_DATALOG_MAGIC_H_
+#define TEMPLEX_DATALOG_MAGIC_H_
+
+#include <string>
+#include <vector>
+
+#include "datalog/program.h"
+#include "datalog/value.h"
+#include "engine/fact.h"
+
+namespace templex {
+
+// Magic-set rewriting of a program for a ground or partially-bound goal
+// atom (Bancilhon et al.; the goal-directed half of VLog's QSQR/wizard
+// stack cited in PAPERS.md). Given a goal pattern — a Fact whose Null
+// arguments mean "free" — the rewrite specializes every rule reachable
+// from the goal predicate to the adornment under which it is called
+// (left-to-right sideways information passing) and guards it with a magic
+// predicate whose extension is exactly the set of subqueries the goal can
+// ask, seeded by the goal's own bound arguments.
+//
+// The rewrite is deliberately conservative. It REFUSES (rewritten=false,
+// refusal_reason set) instead of producing a program whose restricted
+// evaluation could disagree with the full chase:
+//   - a bound goal/subgoal position holds an aggregate result variable
+//     (values cannot be seeded through a monotone aggregate);
+//   - a rule in the goal's dependency cone has existential head variables
+//     (labeled-null identities depend on global derivation order, so a
+//     restricted run could not reproduce the full chase's explanations
+//     byte for byte);
+//   - the rewritten program fails stratification: magic rules add
+//     positive dependencies from magic predicates to body prefixes, which
+//     can close a cycle through a negated atom even when the original
+//     program stratifies cleanly.
+// Callers treat refusal as "fall back to full materialization".
+//
+// Rewriting an already-rewritten program is the identity (idempotence):
+// adorned heads are detected and the input is returned unchanged.
+struct MagicRewriteResult {
+  // True when `program` below is a usable query-restricted program; false
+  // when the rewrite refused and callers must materialize instead.
+  bool rewritten = false;
+  std::string refusal_reason;
+
+  // The adorned program: one specialized copy of each reachable rule per
+  // adornment it is called under, guarded by magic atoms, plus the magic
+  // rules that derive the guards. Constraints are dropped (they assert
+  // over the full instance, not the query cone). Empty when the goal
+  // predicate is purely extensional.
+  Program program;
+
+  // Seed facts for the goal's magic predicate (empty when every goal
+  // argument is free — an unrestricted query needs no seed).
+  std::vector<Fact> seeds;
+
+  // Adorned name of the goal predicate, e.g. "Control@bf". Equal to the
+  // original predicate when the goal is purely extensional.
+  std::string goal_predicate;
+
+  // Every (predicate, adornment) pair reached by the sideways pass, in
+  // discovery order: "Control@bf", "Control@ff", ...
+  std::vector<std::string> adorned_predicates;
+};
+
+// Adornment string for a goal pattern: one char per argument, 'b' for a
+// bound (non-Null) argument, 'f' for a free one. "Control(\"A\", _)" -> "bf".
+std::string GoalAdornment(const Fact& goal_pattern);
+
+// "Control" + "bf" -> "Control@bf".
+std::string AdornedName(const std::string& predicate,
+                        const std::string& adornment);
+
+// "Control" + "bf" -> "m@Control@bf" (the magic guard predicate, arity =
+// number of 'b' positions).
+std::string MagicName(const std::string& predicate,
+                      const std::string& adornment);
+
+// True when the program already carries adorned/magic predicates.
+bool IsMagicRewritten(const Program& program);
+
+MagicRewriteResult MagicRewrite(const Program& program,
+                                const Fact& goal_pattern);
+
+}  // namespace templex
+
+#endif  // TEMPLEX_DATALOG_MAGIC_H_

@@ -1,0 +1,162 @@
+#include "engine/query_planner.h"
+
+#include <cstdlib>
+#include <deque>
+#include <set>
+#include <string>
+
+#include "datalog/magic.h"
+
+namespace templex {
+namespace {
+
+// Below this many cone EDB facts a full chase is effectively free; the
+// top-down pass's bookkeeping would dominate.
+constexpr int64_t kSmallConeFacts = 64;
+
+// Fixed overhead factor charged to the query-driven side: the relevance
+// pass re-enumerates joins the restricted chase then performs again.
+constexpr double kQsqrOverhead = 2.0;
+
+struct ConeStats {
+  std::set<std::string> predicates;
+  int rules = 0;
+  bool recursive = false;
+};
+
+ConeStats GoalCone(const Program& program, const std::string& goal_pred) {
+  ConeStats cone;
+  std::deque<std::string> work{goal_pred};
+  cone.predicates.insert(goal_pred);
+  while (!work.empty()) {
+    std::string pred = work.front();
+    work.pop_front();
+    for (const Rule& rule : program.rules()) {
+      if (rule.is_constraint || rule.head.predicate != pred) continue;
+      ++cone.rules;
+      for (const auto* atoms : {&rule.body, &rule.negative_body}) {
+        for (const Atom& atom : *atoms) {
+          if (atom.predicate == rule.head.predicate) cone.recursive = true;
+          if (cone.predicates.insert(atom.predicate).second) {
+            work.push_back(atom.predicate);
+          } else if (program.IsIntensional(atom.predicate)) {
+            // A revisited IDB predicate means a cycle through the cone.
+            cone.recursive = true;
+          }
+        }
+      }
+    }
+  }
+  return cone;
+}
+
+}  // namespace
+
+const char* EvalModeName(EvalMode mode) {
+  switch (mode) {
+    case EvalMode::kAuto:
+      return "auto";
+    case EvalMode::kMaterialize:
+      return "materialize";
+    case EvalMode::kQsqr:
+      return "qsqr";
+  }
+  return "unknown";
+}
+
+Result<EvalMode> ParseEvalMode(std::string_view text) {
+  if (text == "auto") return EvalMode::kAuto;
+  if (text == "materialize") return EvalMode::kMaterialize;
+  if (text == "qsqr") return EvalMode::kQsqr;
+  return Status::InvalidArgument("unknown eval mode '" + std::string(text) +
+                                 "' (want auto, materialize, or qsqr)");
+}
+
+QueryPlan PlanQuery(const Program& program, const std::vector<Fact>& edb,
+                    const Fact& goal_pattern, EvalMode requested) {
+  QueryPlan plan;
+  plan.arity = goal_pattern.arity();
+  for (const Value& arg : goal_pattern.args) {
+    if (!arg.is_null()) ++plan.bound_args;
+  }
+  plan.edb_facts = static_cast<int64_t>(edb.size());
+
+  if (requested == EvalMode::kAuto) {
+    if (const char* env = std::getenv("TEMPLEX_EVAL_MODE");
+        env != nullptr && *env != '\0') {
+      if (Result<EvalMode> parsed = ParseEvalMode(env);
+          parsed.ok() && parsed.value() != EvalMode::kAuto) {
+        requested = parsed.value();
+      }
+    }
+  }
+
+  ConeStats cone = GoalCone(program, goal_pattern.predicate);
+  plan.cone_rules = cone.rules;
+  plan.recursive_cone = cone.recursive;
+  for (const Fact& fact : edb) {
+    if (cone.predicates.count(fact.predicate) > 0) ++plan.cone_edb_facts;
+  }
+
+  // Abstract work units: a chase touches every cone EDB fact once per cone
+  // rule (recursion multiplies the passes); a query-driven run touches the
+  // same shape scaled by the fraction of the instance the bound arguments
+  // select, plus a fixed re-enumeration overhead.
+  double recursion_factor = cone.recursive ? 4.0 : 1.0;
+  plan.materialize_cost = static_cast<double>(plan.cone_edb_facts) *
+                          static_cast<double>(plan.cone_rules > 0
+                                                  ? plan.cone_rules
+                                                  : 1) *
+                          recursion_factor;
+  double selectivity =
+      plan.arity > 0
+          ? static_cast<double>(plan.arity - plan.bound_args) /
+                static_cast<double>(plan.arity)
+          : 1.0;
+  plan.query_cost = plan.materialize_cost * selectivity * kQsqrOverhead +
+                    static_cast<double>(plan.cone_edb_facts);
+
+  if (requested == EvalMode::kMaterialize) {
+    plan.mode = EvalMode::kMaterialize;
+    plan.reason = "forced by --eval-mode=materialize";
+    return plan;
+  }
+  if (requested == EvalMode::kQsqr) {
+    plan.mode = EvalMode::kQsqr;
+    plan.reason = "forced by --eval-mode=qsqr";
+    return plan;
+  }
+
+  if (plan.bound_args == 0) {
+    plan.mode = EvalMode::kMaterialize;
+    plan.reason =
+        "goal has no bound arguments; enumeration needs the full relation";
+    return plan;
+  }
+  if (plan.cone_edb_facts < kSmallConeFacts) {
+    plan.mode = EvalMode::kMaterialize;
+    plan.reason = "cone EDB (" + std::to_string(plan.cone_edb_facts) +
+                  " facts) below the " + std::to_string(kSmallConeFacts) +
+                  "-fact threshold; full chase is effectively free";
+    return plan;
+  }
+  MagicRewriteResult rewrite = MagicRewrite(program, goal_pattern);
+  if (!rewrite.rewritten) {
+    plan.mode = EvalMode::kMaterialize;
+    plan.reason = "magic rewrite refused: " + rewrite.refusal_reason;
+    return plan;
+  }
+  if (plan.query_cost < plan.materialize_cost) {
+    plan.mode = EvalMode::kQsqr;
+  } else {
+    plan.mode = EvalMode::kMaterialize;
+  }
+  plan.reason = "estimated query cost " + std::to_string(plan.query_cost) +
+                " vs materialize " + std::to_string(plan.materialize_cost) +
+                " over a " + std::to_string(plan.cone_edb_facts) +
+                "-fact cone with " + std::to_string(plan.cone_rules) +
+                " rules";
+  return plan;
+}
+
+}  // namespace templex

@@ -1,0 +1,54 @@
+#ifndef TEMPLEX_ENGINE_QUERY_PLANNER_H_
+#define TEMPLEX_ENGINE_QUERY_PLANNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/program.h"
+#include "engine/fact.h"
+
+namespace templex {
+
+// How a point query is evaluated. kAuto lets the cost model below choose;
+// the other two force a strategy (`templex_cli --eval-mode=...`). A forced
+// kQsqr still falls back to materialization when the magic rewrite refuses
+// (datalog/magic.h) — forcing the mode must never change answers.
+enum class EvalMode { kAuto, kMaterialize, kQsqr };
+
+const char* EvalModeName(EvalMode mode);
+Result<EvalMode> ParseEvalMode(std::string_view text);
+
+// The chooser's verdict plus the estimates it was based on — a
+// VLog-costestimator-style decision surface (PAPERS.md), kept simple and
+// fully deterministic so a plan is explainable in one log line.
+struct QueryPlan {
+  // Resolved strategy: kMaterialize or kQsqr, never kAuto.
+  EvalMode mode = EvalMode::kMaterialize;
+  // One-line rationale ("bound goal over 512-fact cone, est. 8x cheaper").
+  std::string reason;
+
+  // Estimates the decision used.
+  int64_t edb_facts = 0;        // total EDB size
+  int64_t cone_edb_facts = 0;   // EDB facts of predicates in the goal cone
+  int cone_rules = 0;           // rules whose head is in the goal cone
+  int bound_args = 0;           // non-Null goal arguments
+  int arity = 0;                // goal arity
+  bool recursive_cone = false;  // the cone contains recursion
+  double materialize_cost = 0;  // abstract work units
+  double query_cost = 0;
+};
+
+// Chooses materialize-then-query vs. query-driven evaluation for
+// `goal_pattern` (Null arguments = free) from EDB sizes, rule fan-out,
+// and goal boundness. `requested` == kMaterialize / kQsqr short-circuits
+// the model. The TEMPLEX_EVAL_MODE environment variable (values
+// "materialize" / "qsqr") overrides kAuto, mirroring TEMPLEX_JOIN_MODE.
+QueryPlan PlanQuery(const Program& program, const std::vector<Fact>& edb,
+                    const Fact& goal_pattern, EvalMode requested);
+
+}  // namespace templex
+
+#endif  // TEMPLEX_ENGINE_QUERY_PLANNER_H_

@@ -1,0 +1,187 @@
+// Magic-set rewrite tests: adornment propagation, magic seeds, the
+// stratification-refusal fallback, and idempotence (datalog/magic.h).
+
+#include "datalog/magic.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "apps/programs.h"
+#include "datalog/parser.h"
+#include "engine/stratification.h"
+
+namespace templex {
+namespace {
+
+Value S(const char* s) { return Value::String(s); }
+Value N() { return Value::Null(); }
+
+bool HasRuleWithHead(const Program& program, const std::string& predicate) {
+  for (const Rule& rule : program.rules()) {
+    if (!rule.is_constraint && rule.head.predicate == predicate) return true;
+  }
+  return false;
+}
+
+TEST(MagicRewriteTest, GoalAdornment) {
+  EXPECT_EQ(GoalAdornment({"Control", {S("A"), N()}}), "bf");
+  EXPECT_EQ(GoalAdornment({"Control", {N(), S("C")}}), "fb");
+  EXPECT_EQ(GoalAdornment({"Control", {S("A"), S("C")}}), "bb");
+  EXPECT_EQ(GoalAdornment({"Default", {N()}}), "f");
+  EXPECT_EQ(AdornedName("Control", "bf"), "Control@bf");
+  EXPECT_EQ(MagicName("Control", "bf"), "m@Control@bf");
+}
+
+TEST(MagicRewriteTest, AdornmentPropagatesThroughRecursion) {
+  Program program = ParseProgram(R"(
+base: Edge(x, y) -> Path(x, y).
+step: Edge(x, z), Path(z, y) -> Path(x, y).
+)")
+                        .value();
+  MagicRewriteResult result =
+      MagicRewrite(program, {"Path", {S("a"), N()}});
+  ASSERT_TRUE(result.rewritten) << result.refusal_reason;
+  EXPECT_EQ(result.goal_predicate, "Path@bf");
+  // The left-to-right sip calls Path with its first argument bound in
+  // `step`, so the bf adornment reaches the recursive call and no other
+  // adornment is ever needed.
+  EXPECT_EQ(result.adorned_predicates,
+            std::vector<std::string>{"Path@bf"});
+  EXPECT_TRUE(HasRuleWithHead(result.program, "Path@bf"));
+  EXPECT_TRUE(HasRuleWithHead(result.program, "m@Path@bf"));
+  // One seed carrying the goal's bound argument.
+  ASSERT_EQ(result.seeds.size(), 1u);
+  EXPECT_EQ(result.seeds[0].predicate, "m@Path@bf");
+  ASSERT_EQ(result.seeds[0].arity(), 1);
+  EXPECT_EQ(result.seeds[0].args[0], S("a"));
+  // The rewritten program still stratifies.
+  EXPECT_TRUE(StratifyProgram(result.program).ok());
+}
+
+TEST(MagicRewriteTest, CompanyControlBoundGoal) {
+  Program program = CompanyControlProgram();
+  MagicRewriteResult result =
+      MagicRewrite(program, {"Control", {S("A"), N()}});
+  ASSERT_TRUE(result.rewritten) << result.refusal_reason;
+  EXPECT_EQ(result.goal_predicate, "Control@bf");
+  ASSERT_EQ(result.seeds.size(), 1u);
+  EXPECT_EQ(result.seeds[0].args, std::vector<Value>{S("A")});
+  // Every adorned rule with a bound head position is guarded by its magic
+  // atom in first body position.
+  for (const Rule& rule : result.program.rules()) {
+    if (rule.head.predicate.find('@') == std::string::npos) continue;
+    if (rule.head.predicate.rfind("m@", 0) == 0) continue;
+    std::string adornment =
+        rule.head.predicate.substr(rule.head.predicate.find('@') + 1);
+    if (adornment.find('b') == std::string::npos) continue;
+    ASSERT_FALSE(rule.body.empty());
+    EXPECT_EQ(rule.body.front().predicate.rfind("m@", 0), 0u)
+        << rule.ToString();
+  }
+}
+
+TEST(MagicRewriteTest, AllFreeGoalHasNoSeeds) {
+  Program program = ParseProgram(R"(
+base: Edge(x, y) -> Path(x, y).
+step: Edge(x, z), Path(z, y) -> Path(x, y).
+)")
+                        .value();
+  MagicRewriteResult result = MagicRewrite(program, {"Path", {N(), N()}});
+  ASSERT_TRUE(result.rewritten) << result.refusal_reason;
+  EXPECT_EQ(result.goal_predicate, "Path@ff");
+  EXPECT_TRUE(result.seeds.empty());
+  // The all-free goal itself gets no guard and no magic predicate...
+  EXPECT_FALSE(HasRuleWithHead(result.program, "m@Path@ff"));
+  for (const Rule& rule : result.program.rules()) {
+    if (rule.head.predicate != "Path@ff") continue;
+    ASSERT_FALSE(rule.body.empty());
+    EXPECT_NE(rule.body.front().predicate.rfind("m@", 0), 0u)
+        << rule.ToString();
+  }
+  // ...but the sip still binds the recursive call (Edge(x, z) grounds z
+  // before Path(z, y)), so a bf sub-adornment with its magic rules is
+  // expected.
+  EXPECT_EQ(result.adorned_predicates,
+            (std::vector<std::string>{"Path@ff", "Path@bf"}));
+  EXPECT_TRUE(HasRuleWithHead(result.program, "m@Path@bf"));
+}
+
+TEST(MagicRewriteTest, ExtensionalGoalIsTrivial) {
+  Program program = ParseProgram(R"(
+base: Edge(x, y) -> Path(x, y).
+)")
+                        .value();
+  MagicRewriteResult result = MagicRewrite(program, {"Edge", {S("a"), N()}});
+  ASSERT_TRUE(result.rewritten) << result.refusal_reason;
+  EXPECT_EQ(result.goal_predicate, "Edge");
+  EXPECT_TRUE(result.program.rules().empty());
+}
+
+TEST(MagicRewriteTest, RefusesBoundAggregateResult) {
+  // sum's result variable cannot be seeded: a bound second position on
+  // Total would have to flow through the aggregate.
+  Program program = ParseProgram(R"(
+total: Own(x, y, s), ts = sum(s) -> Total(x, ts).
+)")
+                        .value();
+  MagicRewriteResult result =
+      MagicRewrite(program, {"Total", {S("A"), Value::Double(0.5)}});
+  EXPECT_FALSE(result.rewritten);
+  EXPECT_NE(result.refusal_reason.find("aggregate"), std::string::npos)
+      << result.refusal_reason;
+  // Binding only the group variable is fine.
+  MagicRewriteResult bf = MagicRewrite(program, {"Total", {S("A"), N()}});
+  EXPECT_TRUE(bf.rewritten) << bf.refusal_reason;
+}
+
+TEST(MagicRewriteTest, RefusesExistentialCone) {
+  Program program = ParseProgram(R"(
+officer: Company(x) -> Officer(x, z).
+)")
+                        .value();
+  MagicRewriteResult result =
+      MagicRewrite(program, {"Officer", {S("A"), N()}});
+  EXPECT_FALSE(result.rewritten);
+  EXPECT_NE(result.refusal_reason.find("existential"), std::string::npos)
+      << result.refusal_reason;
+}
+
+TEST(MagicRewriteTest, RefusesWhenGuardBreaksStratification) {
+  // The original stratifies: {H, P} is a purely positive recursive
+  // component and B sits below it. The rewrite's magic rule for the
+  // negated B@b carries rule h's positive prefix (m@H@b, P@b), which
+  // closes the cycle H@b -neg-> B@b -> m@B@b -> P@b -> H@b: the rewritten
+  // program cannot stratify, so the rewrite must refuse.
+  Program program = ParseProgram(R"(
+h0: Seed(x) -> H(x).
+h: P(x), not B(x) -> H(x).
+p: E(x, y), H(y) -> P(x).
+b: E2(x) -> B(x).
+)")
+                        .value();
+  ASSERT_TRUE(StratifyProgram(program).ok());
+  MagicRewriteResult result = MagicRewrite(program, {"H", {S("a")}});
+  EXPECT_FALSE(result.rewritten);
+  EXPECT_NE(result.refusal_reason.find("stratif"), std::string::npos)
+      << result.refusal_reason;
+}
+
+TEST(MagicRewriteTest, Idempotent) {
+  Program program = ParseProgram(R"(
+base: Edge(x, y) -> Path(x, y).
+step: Edge(x, z), Path(z, y) -> Path(x, y).
+)")
+                        .value();
+  MagicRewriteResult once = MagicRewrite(program, {"Path", {S("a"), N()}});
+  ASSERT_TRUE(once.rewritten);
+  MagicRewriteResult twice =
+      MagicRewrite(once.program, {"Path", {S("a"), N()}});
+  ASSERT_TRUE(twice.rewritten);
+  EXPECT_EQ(twice.program.ToString(), once.program.ToString());
+}
+
+}  // namespace
+}  // namespace templex

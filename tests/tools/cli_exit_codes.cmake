@@ -6,7 +6,9 @@
 # governor (a --max-bytes hard trip exits 7 with a committed checkpoint
 # that resumes without the budget) and for the stall watchdog (a simulated
 # stuck round under --stall-timeout-ms exits 5 — kCancelled's only
-# external trigger — and the checkpoint resumes cleanly).
+# external trigger — and the checkpoint resumes cleanly). Exit 3 is the
+# query contract: an unknown predicate, a malformed goal, or an arity
+# mismatch in --query is reported before any chase work starts.
 #
 # Invoked as:
 #   cmake -DTEMPLEX_CLI=<binary> -DDATA_DIR=<tests/data> -DWORK_DIR=<scratch>
@@ -36,6 +38,10 @@ endfunction()
 expect_exit(0 "clean query run"
             "${TEMPLEX_CLI}" --program "${DATA_DIR}/control.vada"
             --facts "${DATA_DIR}/facts.csv" --query "Control(_, _)")
+expect_exit(0 "bound query under forced qsqr"
+            "${TEMPLEX_CLI}" --program "${DATA_DIR}/control.vada"
+            --facts "${DATA_DIR}/facts.csv" --eval-mode qsqr
+            --query "Control(\"Alfa\", _)")
 
 # --- 2: usage errors ----------------------------------------------------
 expect_exit(2 "no arguments" "${TEMPLEX_CLI}")
@@ -53,6 +59,27 @@ expect_exit(2 "bad join-mode value"
 expect_exit(2 "resume without checkpoint dir"
             "${TEMPLEX_CLI}" --program "${DATA_DIR}/control.vada"
             --facts "${DATA_DIR}/facts.csv" --resume)
+expect_exit(2 "bad eval-mode value"
+            "${TEMPLEX_CLI}" --program "${DATA_DIR}/control.vada"
+            --facts "${DATA_DIR}/facts.csv" --eval-mode eager)
+
+# --- 3: bad query goal --------------------------------------------------
+# Distinct from usage errors (the command line itself is well-formed) and
+# from generic errors (program and facts load fine): the goal does not
+# make sense against this program.
+expect_exit(3 "unknown query predicate"
+            "${TEMPLEX_CLI}" --program "${DATA_DIR}/control.vada"
+            --facts "${DATA_DIR}/facts.csv" --query "NoSuchPredicate(_)")
+expect_exit(3 "malformed query goal"
+            "${TEMPLEX_CLI}" --program "${DATA_DIR}/control.vada"
+            --facts "${DATA_DIR}/facts.csv" --query "Control(")
+expect_exit(3 "query arity mismatch"
+            "${TEMPLEX_CLI}" --program "${DATA_DIR}/control.vada"
+            --facts "${DATA_DIR}/facts.csv" --query "Control(_)")
+expect_exit(3 "unknown predicate under forced qsqr"
+            "${TEMPLEX_CLI}" --program "${DATA_DIR}/control.vada"
+            --facts "${DATA_DIR}/facts.csv" --eval-mode qsqr
+            --query "NoSuchPredicate(_)")
 
 # --- 1: generic errors --------------------------------------------------
 expect_exit(1 "missing program file"

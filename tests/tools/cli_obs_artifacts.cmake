@@ -109,7 +109,9 @@ if(NOT profile_1 MATCHES "sigma1")
 endif()
 
 # --- killed run: crash report yes, partial artifacts no ------------------
-# Transitive closure over a 260-edge chain — far beyond a 5ms budget.
+# Transitive closure over a 400-edge chain — hundreds of milliseconds of
+# chase on current hardware, far beyond every rung of the deadline ladder
+# below, so the run reliably dies mid-chase rather than completing.
 set(big_program "${WORK_DIR}/closure.vada")
 file(WRITE "${big_program}" "@goal Path.
 base: Edge(x, y) -> Path(x, y).
@@ -117,20 +119,33 @@ step: Path(x, z), Edge(z, y) -> Path(x, y).
 ")
 set(big_facts "${WORK_DIR}/edges.csv")
 set(lines "")
-foreach(i RANGE 1 260)
+foreach(i RANGE 1 400)
   math(EXPR j "${i} + 1")
   string(APPEND lines "Edge,\"N${i}\",\"N${j}\"\n")
 endforeach()
 file(WRITE "${big_facts}" "${lines}")
 
-expect_exit(4 "deadline-killed observability run"
-            "${TEMPLEX_CLI}" --program "${big_program}"
-            --facts "${big_facts}" --deadline-ms 5 --threads 2
-            --metrics-json "${WORK_DIR}/killed_metrics.json"
-            --metrics-prom "${WORK_DIR}/killed_metrics.prom"
-            --trace-out "${WORK_DIR}/killed_trace.json"
-            --dump-json "${WORK_DIR}/killed_chase.json"
-            --crash-report "${WORK_DIR}/killed_crash.jsonl")
+# The deadline must be long enough to get past process startup (so the
+# crash report names in-flight chase work, not "deadline exceeded at
+# chase start") yet short enough to die mid-chase — the whole closure
+# takes hundreds of milliseconds. Under a loaded parallel ctest run the
+# startup side of that window is machine-dependent, so climb a ladder of
+# deadlines until the report names a rule; every rung must still exit 4.
+foreach(killed_deadline_ms 5 20 80)
+  expect_exit(4 "deadline-killed observability run"
+              "${TEMPLEX_CLI}" --program "${big_program}"
+              --facts "${big_facts}" --deadline-ms ${killed_deadline_ms}
+              --threads 2
+              --metrics-json "${WORK_DIR}/killed_metrics.json"
+              --metrics-prom "${WORK_DIR}/killed_metrics.prom"
+              --trace-out "${WORK_DIR}/killed_trace.json"
+              --dump-json "${WORK_DIR}/killed_chase.json"
+              --crash-report "${WORK_DIR}/killed_crash.jsonl")
+  file(READ "${WORK_DIR}/killed_crash.jsonl" killed_crash_content)
+  if(killed_crash_content MATCHES "\"rule\":")
+    break()
+  endif()
+endforeach()
 
 # The post-mortem must name the failure and the in-flight work.
 expect_contains("${WORK_DIR}/killed_crash.jsonl" "DeadlineExceeded"

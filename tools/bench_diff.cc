@@ -1,7 +1,8 @@
 // bench_diff — compare two google-benchmark JSON result files (as written
 // by `tools/bench_baseline` or any `--benchmark_format=json` run).
 //
-//   bench_diff OLD.json NEW.json [--filter PREFIX] [--threshold-pct P]
+//   bench_diff OLD.json NEW.json [--filter PREFIX] [--exclude SUBSTR]
+//              [--threshold-pct P]
 //
 // Prints one line per benchmark present in both files with the real_time
 // delta, then a summary line with the geometric-mean speedup across the
@@ -11,6 +12,10 @@
 //
 // --filter PREFIX      only consider benchmarks whose name starts with
 //                      PREFIX (e.g. --filter BM_Chase);
+// --exclude SUBSTR     skip benchmarks whose name contains SUBSTR
+//                      (repeatable) — e.g. the CI forced-materialize leg
+//                      excludes BM_PointQuery, whose whole point is to be
+//                      slow under that mode;
 // --threshold-pct P    exit with status 3 if any benchmark's real_time
 //                      regressed (grew) by more than P percent — the
 //                      regression-gate mode for CI against the committed
@@ -37,7 +42,7 @@ using namespace templex;
 int Usage() {
   std::fprintf(stderr,
                "usage: bench_diff OLD.json NEW.json [--filter PREFIX] "
-               "[--threshold-pct P]\n");
+               "[--exclude SUBSTR] [--threshold-pct P]\n");
   return 2;
 }
 
@@ -112,11 +117,20 @@ bool MatchesFilter(const std::string& name, const std::string& prefix) {
   return prefix.empty() || name.rfind(prefix, 0) == 0;
 }
 
+bool Excluded(const std::string& name,
+              const std::vector<std::string>& excludes) {
+  for (const std::string& substr : excludes) {
+    if (name.find(substr) != std::string::npos) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> paths;
   std::string filter;
+  std::vector<std::string> excludes;
   double threshold_pct = -1.0;  // < 0: no gate
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -129,6 +143,8 @@ int main(int argc, char** argv) {
     };
     if (arg == "--filter") {
       filter = next("--filter");
+    } else if (arg == "--exclude") {
+      excludes.push_back(next("--exclude"));
     } else if (arg == "--threshold-pct") {
       char* end = nullptr;
       const char* value = next("--threshold-pct");
@@ -164,7 +180,7 @@ int main(int argc, char** argv) {
   double log_speedup_sum = 0.0;  // sum of ln(old/new) over compared pairs
   int compared = 0;
   for (const auto& [name, old_entry] : before) {
-    if (!MatchesFilter(name, filter)) continue;
+    if (!MatchesFilter(name, filter) || Excluded(name, excludes)) continue;
     auto it = after.find(name);
     if (it == after.end()) {
       std::printf("bench %-48s removed (was %.0f %s)\n", name.c_str(),
@@ -187,7 +203,7 @@ int main(int argc, char** argv) {
     }
   }
   for (const auto& [name, new_entry] : after) {
-    if (!MatchesFilter(name, filter)) continue;
+    if (!MatchesFilter(name, filter) || Excluded(name, excludes)) continue;
     if (before.count(name) == 0) {
       std::printf("bench %-48s added (now %.0f %s)\n", name.c_str(),
                   new_entry.real_time, new_entry.time_unit.c_str());

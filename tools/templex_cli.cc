@@ -19,6 +19,15 @@
 //              (styles: plain|millions|percent). Without it, a minimal
 //              fallback glossary is generated from the rules.
 // --query      prints all facts matching a pattern (use _ as wildcard);
+// --eval-mode  auto|materialize|qsqr — how --query is answered. auto (the
+//              default) lets a cost model choose; qsqr runs goal-directed
+//              evaluation (magic-set relevance + restricted chase, see
+//              DESIGN.md §12) so point queries stop paying for the full
+//              chase; materialize forces the classic full run. Answers and
+//              explanation text are byte-identical across modes. Flags
+//              that need the whole instance (--what-if, --interactive,
+//              --dump-json, --report, --explain-all, --checkpoint-dir)
+//              force materialize. TEMPLEX_EVAL_MODE overrides auto.
 // --explain    prints the textual explanation of a derived fact
 //              (repeatable);
 // --explain-all prints every recorded reasoning story for the fact;
@@ -105,6 +114,8 @@
 //   1  generic error (bad input files, runtime failure, config-hash
 //      mismatch on --resume);
 //   2  usage error (unknown flag, missing argument, bad flag value);
+//   3  query error: --query names a predicate unknown to the program and
+//      facts, the goal is malformed, or the arity does not match;
 //   4  deadline exceeded (--deadline-ms expired before completion);
 //   5  cancelled (including a watchdog-detected stall);
 //   6  corrupt checkpoint (DataLoss: the checkpoint failed its integrity
@@ -154,11 +165,13 @@ int Usage() {
       "                   [--rule-profile-top K]\n"
       "                   [--event-log FILE] [--crash-report FILE]\n"
       "                   [--threads N] [--join-mode merge|probe]\n"
+      "                   [--eval-mode auto|materialize|qsqr]\n"
       "                   [--deadline-ms N]\n"
       "                   [--checkpoint-dir DIR] "
       "[--checkpoint-every-rounds N]\n"
       "                   [--resume] [--max-bytes N] [--stall-timeout-ms N]\n"
-      "exit codes: 0 ok, 1 error, 2 usage, 4 deadline exceeded,\n"
+      "exit codes: 0 ok, 1 error, 2 usage, 3 bad query goal,\n"
+      "            4 deadline exceeded,\n"
       "            5 cancelled (incl. watchdog stall), 6 corrupt "
       "checkpoint,\n"
       "            7 resource exhausted (--max-bytes; resumable with "
@@ -219,6 +232,7 @@ int main(int argc, char** argv) {
   long rule_profile_top = 20;
   int num_threads = 1;
   JoinMode join_mode = JoinMode::kMerge;
+  EvalMode eval_mode = EvalMode::kAuto;
   long deadline_ms = -1;  // < 0: no deadline
   std::string checkpoint_dir;
   long checkpoint_every_rounds = 1;
@@ -313,6 +327,15 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--join-mode expects 'merge' or 'probe'\n");
         return Usage();
       }
+    } else if (arg == "--eval-mode") {
+      const std::string& value = next("--eval-mode");
+      Result<EvalMode> parsed = ParseEvalMode(value);
+      if (!parsed.ok()) {
+        std::fprintf(stderr,
+                     "--eval-mode expects 'auto', 'materialize', or 'qsqr'\n");
+        return Usage();
+      }
+      eval_mode = parsed.value();
     } else if (arg == "--deadline-ms") {
       const std::string& value = next("--deadline-ms");
       char* end = nullptr;
@@ -493,6 +516,26 @@ int main(int argc, char** argv) {
     if (!facts.ok()) die(facts.status());
     app.value()->AddFacts(std::move(facts).value());
   }
+  // Resolve and validate the query goal before any chase work: a bad
+  // goal must fail fast with the documented exit code 3 in every
+  // evaluation mode.
+  std::optional<Fact> query_pattern;
+  if (!query_text.empty()) {
+    Result<Fact> pattern = ParsePattern(query_text);
+    if (!pattern.ok()) {
+      std::fprintf(stderr, "error: malformed query goal: %s\n",
+                   pattern.status().ToString().c_str());
+      return 3;
+    }
+    Status valid = ValidateGoalPattern(app.value()->explainer().program(),
+                                       app.value()->facts(), pattern.value());
+    if (!valid.ok()) {
+      std::fprintf(stderr, "error: %s\n", valid.ToString().c_str());
+      return 3;
+    }
+    query_pattern = std::move(pattern).value();
+  }
+
   ChaseConfig chase_config;
   chase_config.num_threads = num_threads;
   chase_config.join_mode = join_mode;
@@ -559,11 +602,40 @@ int main(int argc, char** argv) {
     watchdog->Start();
   }
 
-  Status run = app.value()->Run(chase_config);
+  // Flags that read beyond the query cone need the whole instance; with
+  // them present the query is answered off a classic full run.
+  const bool needs_full_chase =
+      !whatif_texts.empty() || interactive || !json_path.empty() ||
+      !report_path.empty() || !explain_all_text.empty() ||
+      !checkpoint_dir.empty();
+  std::optional<KnowledgeGraphApplication::QueryExecution> query_execution;
+  Status run = Status::OK();
+  if (query_pattern.has_value() && !needs_full_chase) {
+    auto execution =
+        app.value()->RunForQuery(*query_pattern, chase_config, eval_mode);
+    if (execution.ok()) {
+      query_execution = std::move(execution).value();
+    } else {
+      run = execution.status();
+    }
+  } else {
+    run = app.value()->Run(chase_config);
+  }
   // Stop the monitor before anything else: explanation queries and report
   // building do not heartbeat, and a late stall trip would cancel them.
   if (watchdog.has_value()) watchdog->Stop();
   if (!run.ok()) die(run);
+  if (query_execution.has_value()) {
+    // Plan and strategy go to stderr so stdout stays the stable
+    // answer/explanation stream.
+    std::fprintf(stderr, "query plan: %s — %s\n",
+                 query_execution->stats.query_driven ? "qsqr" : "materialize",
+                 query_execution->stats.query_driven
+                     ? query_execution->plan.reason.c_str()
+                     : (query_execution->stats.fallback_reason.empty()
+                            ? query_execution->plan.reason.c_str()
+                            : query_execution->stats.fallback_reason.c_str()));
+  }
 
   const ChaseResult& chase = app.value()->chase();
   std::printf("facts: %d total (%lld derived) in %lld rounds\n",
@@ -582,10 +654,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!query_text.empty()) {
-    Result<Fact> pattern = ParsePattern(query_text);
-    if (!pattern.ok()) die(pattern.status());
-    for (const Fact& fact : app.value()->Query(pattern.value())) {
+  if (query_pattern.has_value()) {
+    for (const Fact& fact : app.value()->Query(*query_pattern)) {
       std::printf("%s\n", fact.ToString().c_str());
     }
   }
