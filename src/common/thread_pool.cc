@@ -25,7 +25,36 @@ ThreadPool::~ThreadPool() {
     stop_ = true;
   }
   work_cv_.notify_all();
+  // Workers drain the Submit queue before exiting (WorkerLoop pops queued
+  // tasks even after stop is signalled), so joining here already covers
+  // every task a worker could reach.
   for (std::thread& worker : workers_) worker.join();
+  // Leftovers — the zero-worker pool's whole queue, plus any task submitted
+  // after the last worker exited — run inline: shutdown with pending tasks
+  // must not drop work silently.
+  while (true) {
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (submitted_.empty()) break;
+      task = std::move(submitted_.front());
+      submitted_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    submitted_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+size_t ThreadPool::QueuedTasks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return submitted_.size();
 }
 
 void ThreadPool::ParallelFor(size_t count,
@@ -69,16 +98,30 @@ void ThreadPool::WorkerLoop(size_t preferred_queue) {
   uint64_t drained_seq = 0;
   while (true) {
     std::shared_ptr<Batch> batch;
+    std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [&] {
-        return stop_ || (current_ != nullptr && batch_seq_ != drained_seq);
+        return stop_ || !submitted_.empty() ||
+               (current_ != nullptr && batch_seq_ != drained_seq);
       });
-      if (stop_) return;
-      batch = current_;
-      drained_seq = batch_seq_;
+      // Queued tasks win over stop: the shutdown contract is drain, not
+      // drop, so a stopping worker keeps pulling until the queue is dry.
+      if (!submitted_.empty()) {
+        task = std::move(submitted_.front());
+        submitted_.pop_front();
+      } else if (current_ != nullptr && batch_seq_ != drained_seq) {
+        batch = current_;
+        drained_seq = batch_seq_;
+      } else {
+        return;  // stop_, nothing pending
+      }
     }
-    WorkOn(batch.get(), preferred_queue);
+    if (task) {
+      task();
+    } else {
+      WorkOn(batch.get(), preferred_queue);
+    }
   }
 }
 

@@ -31,6 +31,19 @@ namespace templex {
 // need deterministic output write into preallocated per-index slots and
 // merge in index order afterwards (see ChaseRun::RunRoundParallel). `body`
 // must not throw and must not call ParallelFor on the same pool.
+//
+// Submit() is the second unit of work: a fire-and-forget task queued FIFO
+// and run by the spawned workers (the service's request handlers ride on
+// it). Shutdown-with-pending-tasks semantics are part of the contract and
+// pinned by tests/common/thread_pool_test.cc: every task submitted before
+// the destructor returns runs EXACTLY once — the destructor drains the
+// queue (workers keep pulling queued tasks after stop is signalled, and a
+// pool whose workers already exited, including the zero-worker pool, runs
+// the leftovers inline on the destructing thread) — so destruction never
+// deadlocks and never drops a task silently. Tasks must complete for
+// destruction to return; long-running tasks need their own cancellation
+// signal (the service cancels in-flight requests before tearing the pool
+// down). Tasks may Submit() further tasks, including during the drain.
 class ThreadPool {
  public:
   // Spawns `num_threads - 1` workers (the caller is the remaining
@@ -50,6 +63,16 @@ class ThreadPool {
 
   // Runs body(0) .. body(count - 1), blocking until every index completed.
   void ParallelFor(size_t count, const std::function<void(size_t)>& body);
+
+  // Enqueues one task (FIFO) for the spawned workers and returns
+  // immediately. `task` must not throw. With no spawned workers the task
+  // stays queued until destruction, which runs it inline — Submit never
+  // runs the task on the calling thread while the pool is alive, so
+  // callers can hold locks across it.
+  void Submit(std::function<void()> task);
+
+  // Tasks submitted but not yet started (test/ops introspection).
+  size_t QueuedTasks() const;
 
  private:
   // One participant's task deque. A mutex per deque keeps stealing simple;
@@ -75,9 +98,10 @@ class ThreadPool {
   void WorkOn(Batch* batch, size_t self);
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;  // workers: a new batch is available
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: a new batch or task arrived
   std::condition_variable done_cv_;  // caller: batch.remaining hit zero
+  std::deque<std::function<void()>> submitted_;  // FIFO Submit() queue
   std::shared_ptr<Batch> current_;   // null when idle
   uint64_t batch_seq_ = 0;           // bumped per batch, so workers never
                                      // re-enter one they already drained

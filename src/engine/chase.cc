@@ -172,6 +172,7 @@ class ChaseRun {
       TEMPLEX_RETURN_IF_ERROR(CommitSnapshot(
           static_cast<int>(start_stratum), resume_delta));
     }
+    PublishProgress();
     // First budget observation covers the seeded (or restored) base before
     // any round runs — a base alone can already cross a watermark, and the
     // round-0 snapshot above makes even that trip resumable.
@@ -621,6 +622,7 @@ class ChaseRun {
         // chaos sweep — aligned with round numbers at every thread count.
         TEMPLEX_RETURN_IF_ERROR(GovernMemory(stratum_index, delta_begin));
       }
+      PublishProgress();
       if (!first_pass && delta_begin >= limit) break;  // fixpoint
       TEMPLEX_RETURN_IF_ERROR(CheckInterruption(config_.deadline,
                                                 config_.cancel,
@@ -750,6 +752,17 @@ class ChaseRun {
         --degrade_step_;  // stay saturated, don't creep toward overflow
         return nullptr;
     }
+  }
+
+  // Mirrors the run's position into the attached ChaseProgress (if any) so
+  // a host process can report warm-up progress without touching the
+  // mid-chase graph. Driving thread only; see chase.h.
+  void PublishProgress() {
+    if (config_.progress == nullptr) return;
+    config_.progress->rounds.store(result_.stats.rounds,
+                                   std::memory_order_relaxed);
+    config_.progress->facts.store(static_cast<int64_t>(result_.graph.size()),
+                                  std::memory_order_relaxed);
   }
 
   // Round-boundary budget reconciliation. Soft pressure sheds one ladder

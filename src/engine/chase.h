@@ -1,6 +1,7 @@
 #ifndef TEMPLEX_ENGINE_CHASE_H_
 #define TEMPLEX_ENGINE_CHASE_H_
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -26,6 +27,18 @@ namespace obs {
 class EventLog;  // obs/event_log.h
 class Tracer;    // obs/trace.h
 }
+
+// Live chase progress for long-lived hosts (src/service): when attached via
+// ChaseConfig::progress, the run stores its completed-round count and total
+// fact count here at every round boundary (and once at start, so a resumed
+// run reports its restored position immediately). An external observer —
+// the service's /readyz warming report — reads the atomics without touching
+// the mid-chase graph. Written by the driving thread only; relaxed loads
+// are fine (the values are advisory, not a synchronization point).
+struct ChaseProgress {
+  std::atomic<int64_t> rounds{0};
+  std::atomic<int64_t> facts{0};
+};
 
 // Tuning and safety limits for a chase run.
 struct ChaseConfig {
@@ -122,6 +135,10 @@ struct ChaseConfig {
   // on a stall the watchdog cancels the shared token and the run unwinds
   // with kCancelled at the next interruption point. Must outlive the run.
   StallWatchdog* watchdog = nullptr;
+  // Progress publication hook (see ChaseProgress); may be null. Must
+  // outlive the run. Purely observational: outside the checkpoint config
+  // hash, no effect on outputs.
+  ChaseProgress* progress = nullptr;
   // Sealing heuristic (FactStore::SetSegmentHotMinFacts): a predicate's
   // columnar chain is only built once the predicate holds this many facts,
   // then backfilled from fact 0; colder predicates stay on the probe path,

@@ -1,6 +1,8 @@
 #include "explain/glossary.h"
 
 #include "common/string_util.h"
+#include "datalog/program.h"
+#include "datalog/rule.h"
 
 namespace templex {
 
@@ -104,6 +106,38 @@ std::map<std::string, NumberStyle> DomainGlossary::VariableStyles(
     }
   }
   return styles;
+}
+
+DomainGlossary MinimalFallbackGlossary(const Program& program) {
+  // Arities by predicate, over heads and both body polarities (constraint
+  // heads excluded: they never verbalize).
+  std::map<std::string, int> arities;
+  for (const Rule& rule : program.rules()) {
+    for (const Atom& atom : rule.body) {
+      arities[atom.predicate] = atom.arity();
+    }
+    for (const Atom& atom : rule.negative_body) {
+      arities[atom.predicate] = atom.arity();
+    }
+    if (!rule.is_constraint) {
+      arities[rule.head.predicate] = rule.head.arity();
+    }
+  }
+  DomainGlossary glossary;
+  for (const auto& [predicate, arity] : arities) {
+    GlossaryEntry entry;
+    entry.pattern = predicate + " holds for";
+    for (int a = 0; a < arity; ++a) {
+      const std::string token = "a" + std::to_string(a + 1);
+      entry.pattern += (a ? ", <" : " <") + token + ">";
+      entry.arg_tokens.push_back(token);
+    }
+    if (arity == 0) entry.pattern = predicate + " holds";
+    // Generated patterns mention every token exactly once by construction.
+    Status registered = glossary.Register(predicate, std::move(entry));
+    (void)registered;
+  }
+  return glossary;
 }
 
 std::string DomainGlossary::ToTable() const {

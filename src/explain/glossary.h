@@ -12,6 +12,8 @@
 
 namespace templex {
 
+class Program;  // datalog/program.h
+
 // Glossary entry for one predicate: its natural-language pattern, with one
 // token per argument position (Figure 7 / Figure 11). `arg_styles` carries
 // how numeric arguments are rendered in explanations (plain, "7M" for
@@ -74,6 +76,12 @@ class DomainGlossary {
   std::map<std::string, GlossaryEntry> entries_;
   std::vector<std::string> order_;
 };
+
+// Minimal fallback glossary when no domain glossary is supplied: every
+// predicate mentioned by `program`'s rules verbalizes as itself
+// ("Own holds for <a1>, <a2>, <a3>"). Used by templex_cli and
+// templex_serve so explanations degrade identically in both.
+DomainGlossary MinimalFallbackGlossary(const Program& program);
 
 }  // namespace templex
 

@@ -1,0 +1,77 @@
+#include "service/admission.h"
+
+#include "common/memory.h"
+
+namespace templex {
+
+AdmissionController::AdmissionController(Options options)
+    : options_(options) {}
+
+AdmissionController::Verdict AdmissionController::TryAdmit(
+    const std::string& tenant) {
+  Verdict verdict = Verdict::kAdmitted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) {
+      verdict = Verdict::kShedDraining;
+    } else if (inflight_ >= options_.max_concurrent) {
+      verdict = Verdict::kShedConcurrency;
+    } else if (per_tenant_[tenant] >= options_.per_tenant_max) {
+      verdict = Verdict::kShedTenantCap;
+    } else if (options_.budget != nullptr &&
+               options_.budget->options().soft_limit_bytes > 0 &&
+               options_.budget->bytes() >=
+                   options_.budget->options().soft_limit_bytes) {
+      verdict = Verdict::kShedMemoryPressure;
+    } else {
+      ++inflight_;
+      ++per_tenant_[tenant];
+    }
+  }
+  if (options_.metrics != nullptr) {
+    if (verdict == Verdict::kAdmitted) {
+      options_.metrics->counter("server.admission.admitted")->Increment();
+    } else {
+      options_.metrics->counter("server.admission.shed")->Increment();
+      options_.metrics
+          ->counter(std::string("server.admission.shed.") +
+                    VerdictName(verdict))
+          ->Increment();
+    }
+  }
+  return verdict;
+}
+
+void AdmissionController::Release(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  --inflight_;
+  auto it = per_tenant_.find(tenant);
+  if (it != per_tenant_.end() && --it->second <= 0) per_tenant_.erase(it);
+}
+
+void AdmissionController::BeginDrain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  draining_ = true;
+}
+
+int AdmissionController::ShedStatus(Verdict verdict) {
+  return verdict == Verdict::kShedTenantCap ? 429 : 503;
+}
+
+const char* AdmissionController::VerdictName(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kAdmitted: return "admitted";
+    case Verdict::kShedConcurrency: return "concurrency";
+    case Verdict::kShedTenantCap: return "tenant_cap";
+    case Verdict::kShedMemoryPressure: return "memory_pressure";
+    case Verdict::kShedDraining: return "draining";
+  }
+  return "unknown";
+}
+
+int AdmissionController::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+}  // namespace templex

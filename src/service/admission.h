@@ -1,0 +1,105 @@
+#ifndef TEMPLEX_SERVICE_ADMISSION_H_
+#define TEMPLEX_SERVICE_ADMISSION_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace templex {
+
+class MemoryBudget;  // common/memory.h
+
+// Admission control for the service: every work request passes TryAdmit
+// before any real work starts, and the verdict is either a slot (held by
+// the RAII AdmissionTicket) or an explicit shed with the HTTP status and
+// Retry-After to answer with. Shedding is the design, not a failure mode —
+// a bounded server under overload answers fast with 429/503 instead of
+// queueing unboundedly and dying slowly (ISSUE 10).
+//
+// Thread-safe; one instance per server.
+class AdmissionController {
+ public:
+  struct Options {
+    // Global cap on concurrently admitted requests.
+    int max_concurrent = 8;
+    // Per-tenant cap (X-Tenant header; requests without one share the
+    // anonymous tenant ""). Keeps one noisy desk from starving the rest.
+    int per_tenant_max = 4;
+    // Retry-After seconds suggested on shed responses.
+    int retry_after_seconds = 1;
+    // Shed when the process footprint crossed the budget's soft watermark.
+    // Live bytes, deliberately NOT MemoryBudget::pressure(): pressure() is
+    // the sticky historical high-water mark, and a server that shed forever
+    // because it was once hot would never recover. May be null.
+    MemoryBudget* budget = nullptr;
+    // server.admission.* counters; may be null.
+    obs::MetricsRegistry* metrics = nullptr;
+  };
+
+  enum class Verdict {
+    kAdmitted,
+    kShedConcurrency,     // global cap hit            → 503
+    kShedTenantCap,       // this tenant's cap hit     → 429
+    kShedMemoryPressure,  // soft watermark crossed    → 503
+    kShedDraining,        // server is shutting down   → 503
+  };
+
+  explicit AdmissionController(Options options);
+
+  // The admit-or-shed decision for one request. On kAdmitted the slot is
+  // held until Release(tenant) — pair via AdmissionTicket.
+  Verdict TryAdmit(const std::string& tenant);
+  void Release(const std::string& tenant);
+
+  // Flips every future verdict to kShedDraining (admitted requests keep
+  // their slots). One-way: a draining server never un-drains.
+  void BeginDrain();
+
+  // HTTP mapping for a shed verdict: 429 for the tenant cap (the caller is
+  // the problem), 503 for server-wide conditions.
+  static int ShedStatus(Verdict verdict);
+  // Stable label for metrics/events ("concurrency", "tenant_cap", ...).
+  static const char* VerdictName(Verdict verdict);
+
+  int retry_after_seconds() const { return options_.retry_after_seconds; }
+  int inflight() const;
+
+ private:
+  Options options_;
+  mutable std::mutex mu_;
+  int inflight_ = 0;
+  std::map<std::string, int> per_tenant_;
+  bool draining_ = false;
+};
+
+// RAII admission slot: releases on destruction when admitted, no-op
+// otherwise.
+class AdmissionTicket {
+ public:
+  AdmissionTicket(AdmissionController* controller, const std::string& tenant)
+      : controller_(controller),
+        tenant_(tenant),
+        verdict_(controller->TryAdmit(tenant)) {}
+  ~AdmissionTicket() {
+    if (admitted()) controller_->Release(tenant_);
+  }
+  AdmissionTicket(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+
+  bool admitted() const {
+    return verdict_ == AdmissionController::Verdict::kAdmitted;
+  }
+  AdmissionController::Verdict verdict() const { return verdict_; }
+
+ private:
+  AdmissionController* controller_;
+  std::string tenant_;
+  AdmissionController::Verdict verdict_;
+};
+
+}  // namespace templex
+
+#endif  // TEMPLEX_SERVICE_ADMISSION_H_

@@ -1,0 +1,283 @@
+#include "service/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace templex {
+namespace {
+
+// RFC 7230 token characters (header names, methods).
+bool IsTokenChar(unsigned char c) {
+  if (std::isalnum(c)) return true;
+  switch (c) {
+    case '!': case '#': case '$': case '%': case '&': case '\'': case '*':
+    case '+': case '-': case '.': case '^': case '_': case '`': case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsToken(std::string_view s) {
+  if (s.empty()) return false;
+  for (unsigned char c : s) {
+    if (!IsTokenChar(c)) return false;
+  }
+  return true;
+}
+
+// Request targets are visible ASCII only — a target is routed and logged,
+// so opaque bytes are rejected rather than passed through.
+bool IsValidTarget(std::string_view s) {
+  if (s.empty()) return false;
+  for (unsigned char c : s) {
+    if (c < 0x21 || c > 0x7e) return false;
+  }
+  return true;
+}
+
+// Header values: SP, HTAB, and any octet >= 0x21 except DEL's control
+// neighbours are fine — values are opaque bytes (never decoded as UTF-8),
+// but CTLs other than HTAB would let a value forge log lines or smuggle
+// a CR/LF, so they are rejected.
+bool IsValidHeaderValue(std::string_view s) {
+  for (unsigned char c : s) {
+    if (c == '\t' || c == ' ') continue;
+    if (c >= 0x21 && c != 0x7f) continue;
+    return false;
+  }
+  return true;
+}
+
+std::string ToLowerAscii(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string_view StripOws(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+HttpRequestParser::HttpRequestParser(HttpLimits limits)
+    : limits_(limits) {}
+
+HttpRequestParser::State HttpRequestParser::Fail(int status,
+                                                 std::string detail) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_detail_ = std::move(detail);
+  buffer_.clear();
+  return state_;
+}
+
+HttpRequestParser::State HttpRequestParser::Consume(std::string_view bytes) {
+  if (state_ != State::kNeedMore) return state_;  // settled
+  size_t pos = 0;
+  while (true) {
+    if (phase_ == Phase::kBody) {
+      const size_t want = content_length_ - request_.body.size();
+      const size_t take = std::min(want, bytes.size() - pos);
+      request_.body.append(bytes.substr(pos, take));
+      pos += take;
+      if (request_.body.size() == content_length_) {
+        state_ = State::kComplete;
+        buffer_.clear();
+      }
+      return state_;  // trailing bytes past the body are dead (see http.h)
+    }
+    // Line-based phases: accumulate until a CRLF, with the phase's byte cap
+    // enforced on the unterminated line so oversized garbage fails before
+    // it is buffered whole.
+    const size_t newline = bytes.find('\n', pos);
+    const size_t chunk_end = newline == std::string_view::npos
+                                 ? bytes.size()
+                                 : newline + 1;
+    buffer_.append(bytes.substr(pos, chunk_end - pos));
+    pos = chunk_end;
+    const bool have_line = !buffer_.empty() && buffer_.back() == '\n';
+    if (phase_ == Phase::kRequestLine) {
+      if (buffer_.size() > limits_.max_request_line_bytes) {
+        return Fail(414, "request line exceeds " +
+                             std::to_string(limits_.max_request_line_bytes) +
+                             " bytes");
+      }
+    } else if (header_bytes_ + buffer_.size() > limits_.max_header_bytes) {
+      return Fail(431, "headers exceed " +
+                           std::to_string(limits_.max_header_bytes) +
+                           " bytes");
+    }
+    if (!have_line) return state_;  // kNeedMore: wait for the CRLF
+    if (buffer_.size() < 2 || buffer_[buffer_.size() - 2] != '\r') {
+      return Fail(400, "bare LF line ending");
+    }
+    std::string_view line(buffer_.data(), buffer_.size() - 2);
+    if (line.find('\r') != std::string_view::npos) {
+      return Fail(400, "stray CR inside line");
+    }
+    if (phase_ == Phase::kRequestLine) {
+      if (ParseRequestLine(line) == State::kError) return state_;
+      phase_ = Phase::kHeaders;
+    } else {
+      header_bytes_ += buffer_.size();
+      if (line.empty()) {
+        if (BeginBody() != State::kNeedMore) return state_;
+        phase_ = Phase::kBody;
+      } else if (ParseHeaderLine(line) == State::kError) {
+        return state_;
+      }
+    }
+    buffer_.clear();
+  }
+}
+
+HttpRequestParser::State HttpRequestParser::ParseRequestLine(
+    std::string_view line) {
+  const size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) {
+    return Fail(400, "malformed request line");
+  }
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos ||
+      line.find(' ', sp2 + 1) != std::string_view::npos) {
+    return Fail(400, "malformed request line");
+  }
+  const std::string_view method = line.substr(0, sp1);
+  const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = line.substr(sp2 + 1);
+  if (!IsToken(method)) return Fail(400, "invalid method token");
+  if (!IsValidTarget(target)) return Fail(400, "invalid request target");
+  if (version == "HTTP/1.1") {
+    request_.version_minor = 1;
+  } else if (version == "HTTP/1.0") {
+    request_.version_minor = 0;
+  } else if (version.size() == 8 && version.substr(0, 5) == "HTTP/" &&
+             std::isdigit(static_cast<unsigned char>(version[5])) &&
+             version[6] == '.' &&
+             std::isdigit(static_cast<unsigned char>(version[7]))) {
+    return Fail(505, "unsupported HTTP version");
+  } else {
+    return Fail(400, "malformed HTTP version");
+  }
+  request_.method.assign(method);
+  request_.target.assign(target);
+  return state_;
+}
+
+HttpRequestParser::State HttpRequestParser::ParseHeaderLine(
+    std::string_view line) {
+  if (line.front() == ' ' || line.front() == '\t') {
+    return Fail(400, "obsolete line folding");
+  }
+  if (request_.headers.size() >= limits_.max_headers) {
+    return Fail(431, "more than " + std::to_string(limits_.max_headers) +
+                         " headers");
+  }
+  const size_t colon = line.find(':');
+  if (colon == std::string_view::npos) {
+    return Fail(400, "header line without colon");
+  }
+  const std::string_view name = line.substr(0, colon);
+  if (!IsToken(name)) {
+    // Covers both bad characters and "name : value" (whitespace before the
+    // colon is a classic smuggling vector).
+    return Fail(400, "invalid header name");
+  }
+  const std::string_view value = StripOws(line.substr(colon + 1));
+  if (!IsValidHeaderValue(value)) {
+    return Fail(400, "control bytes in header value");
+  }
+  request_.headers.emplace_back(ToLowerAscii(name), std::string(value));
+  return state_;
+}
+
+HttpRequestParser::State HttpRequestParser::BeginBody() {
+  if (request_.FindHeader("transfer-encoding") != nullptr) {
+    return Fail(501, "Transfer-Encoding not implemented");
+  }
+  const std::string* length = nullptr;
+  for (const auto& [key, value] : request_.headers) {
+    if (key != "content-length") continue;
+    if (length != nullptr) return Fail(400, "duplicate Content-Length");
+    length = &value;
+  }
+  if (length == nullptr) {
+    content_length_ = 0;
+    state_ = State::kComplete;
+    return state_;
+  }
+  if (length->empty() || length->size() > 18 ||
+      !std::all_of(length->begin(), length->end(), [](unsigned char c) {
+        return std::isdigit(c);
+      })) {
+    return Fail(400, "malformed Content-Length");
+  }
+  const unsigned long long declared = std::stoull(*length);
+  if (declared > limits_.max_body_bytes) {
+    return Fail(413, "body of " + *length + " bytes exceeds " +
+                         std::to_string(limits_.max_body_bytes) + " bytes");
+  }
+  content_length_ = static_cast<size_t>(declared);
+  if (content_length_ == 0) {
+    state_ = State::kComplete;
+    return state_;
+  }
+  request_.body.reserve(content_length_);
+  return State::kNeedMore;
+}
+
+const char* HttpReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 414: return "URI Too Long";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 499: return "Client Closed Request";  // nginx's convention
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+std::string SerializeHttpResponse(const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    HttpReasonPhrase(response.status) + "\r\n";
+  for (const auto& [key, value] : response.headers) {
+    out += key;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+}  // namespace templex

@@ -1,0 +1,117 @@
+#ifndef TEMPLEX_SERVICE_HTTP_H_
+#define TEMPLEX_SERVICE_HTTP_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace templex {
+
+// Byte caps for a single request, enforced *while* parsing — an attacker
+// cannot make the parser buffer more than these before it fails the
+// request. The defaults fit every legitimate templex request (a query
+// pattern or a fact literal) with two orders of magnitude to spare.
+struct HttpLimits {
+  size_t max_request_line_bytes = 8 * 1024;   // method + target + version
+  size_t max_header_bytes = 16 * 1024;        // all header lines combined
+  size_t max_headers = 64;
+  size_t max_body_bytes = 1024 * 1024;
+};
+
+// A parsed request. Header names are lower-cased at parse time (field names
+// are case-insensitive); values keep their bytes verbatim apart from
+// stripped leading/trailing SP/HTAB, and may contain arbitrary non-ASCII
+// bytes — the parser treats values as opaque octets, never as UTF-8.
+struct HttpRequest {
+  std::string method;   // verbatim (method names are case-sensitive tokens)
+  std::string target;   // origin-form, e.g. "/query"
+  int version_minor = 1;  // HTTP/1.<minor>; only 0 and 1 are accepted
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  // First header with this name (give it lower-case); null when absent.
+  const std::string* FindHeader(std::string_view name) const;
+};
+
+// Incremental, strict HTTP/1.1 request parser. Feed it reads as they
+// arrive (any split, byte-at-a-time included); it buffers only up to the
+// HttpLimits caps and fails fast on anything malformed instead of guessing.
+//
+// Strictness choices (each one closes a smuggling or resource hole):
+//   - CRLF line endings only; a bare LF or a stray CR mid-line is a 400.
+//   - No obs-fold (a header line starting with SP/HTAB is a 400).
+//   - Header names must be RFC 7230 tokens; no whitespace before the colon.
+//   - Content-Length must be a single, plain digit run; duplicates or a
+//     comma list are a 400. Transfer-Encoding is not implemented: 501.
+//   - Only HTTP/1.0 and HTTP/1.1 are accepted; other versions are a 505.
+//   - Caps: request line over limit 414, headers over limit 431, declared
+//     or actual body over limit 413.
+//
+// Bytes past the end of a complete request are ignored: the server speaks
+// one request per connection and always answers `Connection: close`, so
+// pipelined leftovers are dead bytes, not a second request.
+class HttpRequestParser {
+ public:
+  enum class State {
+    kNeedMore,   // valid so far; feed more bytes
+    kComplete,   // request() is ready
+    kError,      // error_status()/error_detail() describe the rejection
+  };
+
+  explicit HttpRequestParser(HttpLimits limits = HttpLimits());
+
+  // Consumes one read's worth of bytes and returns the new state. Calling
+  // after kComplete or kError is a no-op returning the settled state.
+  State Consume(std::string_view bytes);
+
+  State state() const { return state_; }
+  // Valid once state() == kComplete.
+  const HttpRequest& request() const { return request_; }
+  // Valid once state() == kError: the HTTP status to answer with (400,
+  // 413, 414, 431, 501, or 505) and a short human-readable reason.
+  int error_status() const { return error_status_; }
+  const std::string& error_detail() const { return error_detail_; }
+
+ private:
+  enum class Phase { kRequestLine, kHeaders, kBody };
+
+  State Fail(int status, std::string detail);
+  State ParseRequestLine(std::string_view line);
+  State ParseHeaderLine(std::string_view line);
+  // Runs after the blank line: validates Content-Length/Transfer-Encoding
+  // and either completes the request or moves to the body phase.
+  State BeginBody();
+
+  HttpLimits limits_;
+  State state_ = State::kNeedMore;
+  Phase phase_ = Phase::kRequestLine;
+  std::string buffer_;         // unconsumed line bytes for the current phase
+  size_t header_bytes_ = 0;    // cumulative header-line bytes seen
+  size_t content_length_ = 0;  // declared body size, once headers are done
+  HttpRequest request_;
+  int error_status_ = 0;
+  std::string error_detail_;
+};
+
+// A response about to be serialized. Handlers fill status/body and any
+// extra headers (e.g. Content-Type, Retry-After); serialization appends
+// Content-Length and `Connection: close` itself.
+struct HttpResponse {
+  int status = 200;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+};
+
+// Canonical reason phrase for the handful of statuses the service emits;
+// unknown codes get "Unknown".
+const char* HttpReasonPhrase(int status);
+
+// Serializes `HTTP/1.1 <status> <reason>` + headers + body, adding
+// Content-Length and `Connection: close` (one request per connection).
+std::string SerializeHttpResponse(const HttpResponse& response);
+
+}  // namespace templex
+
+#endif  // TEMPLEX_SERVICE_HTTP_H_

@@ -1,0 +1,502 @@
+#include "service/server.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "apps/application.h"
+#include "common/memory.h"
+#include "datalog/parser.h"
+#include "engine/query.h"
+#include "obs/event_log.h"
+
+namespace templex {
+namespace {
+
+// The CLI's pattern convention: a fact literal whose `_` arguments are
+// wildcards (Value::Null). Kept in lockstep with tools/templex_cli.cc so
+// POST /query answers are byte-identical to --query output.
+Result<Fact> ParseGoalPattern(const std::string& text) {
+  Result<Fact> fact = ParseFactLiteral(text);
+  if (!fact.ok()) return fact;
+  Fact pattern = std::move(fact).value();
+  for (Value& arg : pattern.args) {
+    if (arg.is_string() && arg.string_value() == "_") arg = Value::Null();
+  }
+  return pattern;
+}
+
+HttpResponse TextResponse(int status, std::string body) {
+  HttpResponse response;
+  response.status = status;
+  response.headers.emplace_back("Content-Type", "text/plain; charset=utf-8");
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse ErrorResponse(int status, const std::string& detail) {
+  return TextResponse(status, "error: " + detail + "\n");
+}
+
+// 408 for a blown deadline, 499 (client closed request) for cancellation —
+// the response is mostly for the log; a disconnected peer never reads it.
+HttpResponse InterruptResponse(const Status& status) {
+  if (status.code() == StatusCode::kCancelled) {
+    return ErrorResponse(499, "request cancelled: " + status.message());
+  }
+  return ErrorResponse(408, "request deadline exceeded");
+}
+
+}  // namespace
+
+TemplexServer::TemplexServer(ServerTransport* transport,
+                             SnapshotRegistry* snapshots,
+                             ServerOptions options)
+    : transport_(transport),
+      snapshots_(snapshots),
+      options_(std::move(options)),
+      admission_([this] {
+        AdmissionController::Options admission = options_.admission;
+        admission.budget = options_.budget;
+        admission.metrics = options_.metrics;
+        return admission;
+      }()) {}
+
+TemplexServer::~TemplexServer() {
+  if (started_ && !drained_) {
+    Status ignored = WaitDrained();
+    (void)ignored;  // the destructor has no caller to report to
+  }
+}
+
+void TemplexServer::Start() {
+  started_ = true;
+  // ThreadPool(n) spawns n - 1 workers; Submit work only ever runs on
+  // spawned workers, so size for num_workers of them.
+  pool_ = std::make_unique<ThreadPool>(options_.num_workers + 1);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  LogEvent("start", {{"address", transport_->Address()},
+                     {"workers", std::to_string(options_.num_workers)}});
+}
+
+void TemplexServer::RequestDrain() {
+  const bool first = !draining_.exchange(true);
+  admission_.BeginDrain();
+  transport_->Shutdown();
+  if (first) {
+    LogEvent("drain.begin",
+             {{"active", std::to_string(active_.load())}});
+  }
+}
+
+Status TemplexServer::WaitDrained() {
+  RequestDrain();
+  const Deadline deadline =
+      Deadline::AfterMillis(options_.drain_deadline_ms, options_.clock);
+  {
+    std::unique_lock<std::mutex> lock(inflight_mu_);
+    while (active_.load(std::memory_order_acquire) > 0 &&
+           !deadline.expired()) {
+      inflight_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    }
+  }
+  Status verdict = Status::OK();
+  if (active_.load(std::memory_order_acquire) > 0) {
+    // Deadline blown: cancel the stragglers and say exactly who they were
+    // — the crash report names every in-flight request.
+    std::vector<std::pair<std::string, std::string>> named;
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      for (auto& [id, request] : inflight_) {
+        request.cancel.Cancel();
+        named.emplace_back("request." + std::to_string(id),
+                          request.method + " " + request.target +
+                              " tenant=" + request.tenant);
+        if (options_.metrics != nullptr) {
+          options_.metrics->counter("server.drain.cancelled")->Increment();
+        }
+      }
+    }
+    named.emplace_back("active", std::to_string(active_.load()));
+    LogEvent("drain.deadline", std::move(named));
+    if (options_.event_log != nullptr) {
+      Status dumped =
+          options_.event_log->DumpNow("server drain deadline exceeded");
+      (void)dumped;  // best effort; the drain verdict wins
+    }
+    verdict = Status(StatusCode::kDeadlineExceeded,
+                     "drain deadline exceeded; in-flight requests "
+                     "cancelled");
+    // Cancelled handlers unwind at their next interruption point; wait for
+    // them — the pool cannot be torn down under a running task anyway.
+    std::unique_lock<std::mutex> lock(inflight_mu_);
+    while (active_.load(std::memory_order_acquire) > 0) {
+      inflight_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    }
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  pool_.reset();  // drains any queued handlers (they shed: draining_)
+  drained_ = true;
+  LogEvent(verdict.ok() ? "drain.done" : "drain.cancelled_stragglers", {});
+  return verdict;
+}
+
+void TemplexServer::AcceptLoop() {
+  while (true) {
+    Result<std::unique_ptr<ServerConnection>> accepted =
+        transport_->Accept();
+    if (!accepted.ok()) return;  // shutdown (or a dead transport)
+    if (options_.metrics != nullptr) {
+      options_.metrics->counter("server.connections")->Increment();
+    }
+    std::shared_ptr<ServerConnection> conn = std::move(accepted).value();
+    if (draining_.load(std::memory_order_acquire)) {
+      WriteResponse(*conn, ShedResponse(503, "draining"));
+      conn->Close();
+      continue;
+    }
+    if (active_.load(std::memory_order_acquire) >= options_.max_inflight) {
+      // The outer wall: past it we answer straight from the accept thread
+      // — queueing the connection would be the unbounded growth this
+      // server exists to refuse.
+      if (options_.metrics != nullptr) {
+        options_.metrics->counter("server.admission.shed")->Increment();
+        options_.metrics->counter("server.admission.shed.overflow")
+            ->Increment();
+      }
+      LogEvent("request.shed", {{"reason", "overflow"}});
+      WriteResponse(*conn, ShedResponse(503, "server at capacity"));
+      conn->Close();
+      continue;
+    }
+    active_.fetch_add(1, std::memory_order_acq_rel);
+    if (options_.metrics != nullptr) {
+      options_.metrics->gauge("server.inflight")
+          ->Set(static_cast<double>(active_.load()));
+    }
+    pool_->Submit([this, conn] { HandleConnection(conn); });
+  }
+}
+
+void TemplexServer::HandleConnection(std::shared_ptr<ServerConnection> conn) {
+  const auto started = std::chrono::steady_clock::now();
+  HttpRequest request;
+  const Status read = ReadRequest(*conn, &request);
+  if (read.ok()) {
+    if (options_.metrics != nullptr) {
+      options_.metrics->counter("server.requests")->Increment();
+    }
+    const HttpResponse response = Route(request, *conn);
+    WriteResponse(*conn, response);
+  }
+  conn->Close();
+  if (options_.metrics != nullptr) {
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - started;
+    options_.metrics->histogram("server.request.seconds")
+        ->Observe(elapsed.count());
+  }
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    active_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  if (options_.metrics != nullptr) {
+    options_.metrics->gauge("server.inflight")
+        ->Set(static_cast<double>(active_.load()));
+  }
+  inflight_cv_.notify_all();
+}
+
+Status TemplexServer::ReadRequest(ServerConnection& conn,
+                                  HttpRequest* request) {
+  HttpRequestParser parser(options_.http_limits);
+  const Deadline read_deadline =
+      Deadline::AfterMillis(options_.read_deadline_ms, options_.clock);
+  char buf[4096];
+  size_t total = 0;
+  while (true) {
+    Result<size_t> n = conn.Read(buf, sizeof(buf), read_deadline);
+    if (!n.ok()) {
+      if (n.status().code() == StatusCode::kDeadlineExceeded) {
+        // The slow-loris outcome: the peer kept the connection open but
+        // never finished a request inside the read deadline.
+        if (options_.metrics != nullptr) {
+          options_.metrics->counter("server.http.read_timeouts")
+              ->Increment();
+        }
+        WriteResponse(conn, ErrorResponse(408, "request read deadline"));
+      } else if (options_.metrics != nullptr) {
+        options_.metrics->counter("server.http.disconnects")->Increment();
+      }
+      return n.status();
+    }
+    if (n.value() == 0) {
+      // EOF mid-request. A connection that never sent a byte is just a
+      // probe (health checkers do this); anything else is truncated.
+      if (total > 0) {
+        if (options_.metrics != nullptr) {
+          options_.metrics->counter("server.http.parse_errors")->Increment();
+        }
+        WriteResponse(conn, ErrorResponse(400, "truncated request"));
+      }
+      return Status(StatusCode::kInvalidArgument, "truncated request");
+    }
+    total += n.value();
+    switch (parser.Consume(std::string_view(buf, n.value()))) {
+      case HttpRequestParser::State::kComplete:
+        *request = parser.request();
+        return Status::OK();
+      case HttpRequestParser::State::kError:
+        if (options_.metrics != nullptr) {
+          options_.metrics->counter("server.http.parse_errors")->Increment();
+        }
+        WriteResponse(conn, ErrorResponse(parser.error_status(),
+                                          parser.error_detail()));
+        return Status(StatusCode::kInvalidArgument, parser.error_detail());
+      case HttpRequestParser::State::kNeedMore:
+        break;
+    }
+  }
+}
+
+HttpResponse TemplexServer::Route(const HttpRequest& request,
+                                  ServerConnection& conn) {
+  const std::string& target = request.target;
+  if (target == "/healthz" || target == "/readyz" || target == "/metrics") {
+    if (request.method != "GET") {
+      return ErrorResponse(405, "use GET for " + target);
+    }
+    return HandleOps(request);
+  }
+  if (target == "/query" || target == "/explain" || target == "/reload") {
+    if (request.method != "POST") {
+      return ErrorResponse(405, "use POST for " + target);
+    }
+    return HandleWork(request, conn);
+  }
+  return ErrorResponse(404, "no such endpoint: " + target);
+}
+
+HttpResponse TemplexServer::HandleOps(const HttpRequest& request) {
+  if (request.target == "/healthz") {
+    return TextResponse(200, "ok\n");
+  }
+  if (request.target == "/metrics") {
+    if (options_.metrics == nullptr) {
+      return ErrorResponse(404, "no metrics registry attached");
+    }
+    HttpResponse response;
+    response.status = 200;
+    response.headers.emplace_back("Content-Type",
+                                  "text/plain; version=0.0.4");
+    response.body =
+        MetricsSnapshotToPrometheusText(options_.metrics->Snapshot());
+    return response;
+  }
+  // /readyz: ready only once an epoch is published and we are not going
+  // away. 503 keeps load balancers from routing to a warming/draining
+  // instance; the body says which and how far along.
+  if (draining_.load(std::memory_order_acquire)) {
+    return TextResponse(503, "draining\n");
+  }
+  const int64_t epoch = snapshots_->epoch();
+  if (epoch == 0) {
+    std::string body = "warming";
+    if (options_.warmup != nullptr) {
+      body += " rounds=" +
+              std::to_string(
+                  options_.warmup->rounds.load(std::memory_order_relaxed)) +
+              " facts=" +
+              std::to_string(
+                  options_.warmup->facts.load(std::memory_order_relaxed));
+    }
+    return TextResponse(503, body + "\n");
+  }
+  return TextResponse(200, "ready epoch=" + std::to_string(epoch) + "\n");
+}
+
+HttpResponse TemplexServer::HandleWork(const HttpRequest& request,
+                                       ServerConnection& conn) {
+  if (draining_.load(std::memory_order_acquire)) {
+    return ShedResponse(503, "draining");
+  }
+  const std::string* tenant_header = request.FindHeader("x-tenant");
+  const std::string tenant =
+      tenant_header != nullptr ? *tenant_header : std::string();
+  AdmissionTicket ticket(&admission_, tenant);
+  if (!ticket.admitted()) {
+    const char* reason = AdmissionController::VerdictName(ticket.verdict());
+    LogEvent("request.shed", {{"reason", reason},
+                              {"tenant", tenant},
+                              {"target", request.target}});
+    return ShedResponse(AdmissionController::ShedStatus(ticket.verdict()),
+                        reason);
+  }
+
+  // Deadline: X-Deadline-Ms, clamped; malformed is the caller's bug.
+  int64_t deadline_ms = options_.default_request_deadline_ms;
+  if (const std::string* header = request.FindHeader("x-deadline-ms")) {
+    if (header->empty() || header->size() > 9 ||
+        !std::all_of(header->begin(), header->end(), [](unsigned char c) {
+          return std::isdigit(c);
+        })) {
+      return ErrorResponse(400, "malformed X-Deadline-Ms");
+    }
+    deadline_ms = std::min<int64_t>(std::stoll(*header),
+                                    options_.max_request_deadline_ms);
+  }
+  const Deadline deadline = Deadline::AfterMillis(deadline_ms, options_.clock);
+
+  // Register the request: the drain path cancels via this registry and the
+  // crash report names these fields; client disconnect cancels the token.
+  CancellationToken cancel;
+  const int64_t id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    inflight_[id] = InflightRequest{request.method, request.target, tenant,
+                                    cancel};
+  }
+  conn.OnPeerDisconnect([cancel, this] {
+    cancel.Cancel();
+    if (options_.metrics != nullptr) {
+      options_.metrics->counter("server.requests.cancelled")->Increment();
+    }
+  });
+
+  HttpResponse response;
+  if (request.target == "/reload") {
+    response = HandleReload(deadline, cancel);
+  } else {
+    std::shared_ptr<const KnowledgeGraphApplication> snapshot =
+        snapshots_->Current();
+    if (snapshot == nullptr) {
+      response = ShedResponse(503, "no snapshot published yet (warming)");
+    } else if (request.target == "/query") {
+      response = HandleQuery(*snapshot, request.body, deadline, cancel);
+    } else {
+      response = HandleExplain(*snapshot, request.body);
+    }
+  }
+  if (cancel.cancelled() && response.status < 400) {
+    // The peer left while we computed: the answer has no reader.
+    LogEvent("request.cancelled", {{"target", request.target},
+                                   {"tenant", tenant}});
+    response = InterruptResponse(
+        Status(StatusCode::kCancelled, "client disconnected"));
+  }
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    inflight_.erase(id);
+  }
+  return response;
+}
+
+HttpResponse TemplexServer::HandleQuery(const KnowledgeGraphApplication& app,
+                                        const std::string& body,
+                                        const Deadline& deadline,
+                                        const CancellationToken& cancel) {
+  Result<Fact> pattern = ParseGoalPattern(body);
+  if (!pattern.ok()) {
+    return ErrorResponse(400,
+                         "malformed query goal: " + pattern.status().message());
+  }
+  const Status valid = ValidateGoalPattern(app.explainer().program(),
+                                           app.facts(), pattern.value());
+  if (!valid.ok()) return ErrorResponse(400, valid.message());
+  const Status interrupted =
+      CheckInterruption(deadline, cancel, "server query");
+  if (!interrupted.ok()) return InterruptResponse(interrupted);
+  // One fact per line, same ToString as templex_cli --query: the overload
+  // chaos test diffs these bytes against the CLI's stdout.
+  std::string out;
+  for (const Fact& fact : app.Query(pattern.value())) {
+    out += fact.ToString();
+    out += "\n";
+  }
+  return TextResponse(200, std::move(out));
+}
+
+HttpResponse TemplexServer::HandleExplain(
+    const KnowledgeGraphApplication& app, const std::string& body) {
+  Result<Fact> goal = ParseFactLiteral(body);
+  if (!goal.ok()) {
+    return ErrorResponse(400,
+                         "malformed fact literal: " + goal.status().message());
+  }
+  Result<std::string> report = app.Explain(goal.value());
+  if (report.ok()) return TextResponse(200, std::move(report).value() + "\n");
+  if (report.status().code() == StatusCode::kNotFound) {
+    return ErrorResponse(404, report.status().message());
+  }
+  LogEvent("request.failed", {{"target", "/explain"},
+                              {"error", report.status().ToString()}});
+  return ErrorResponse(500, report.status().message());
+}
+
+HttpResponse TemplexServer::HandleReload(const Deadline& deadline,
+                                         const CancellationToken& cancel) {
+  if (!options_.rebuild) {
+    return ErrorResponse(501, "no reload hook configured");
+  }
+  if (reload_busy_.exchange(true, std::memory_order_acq_rel)) {
+    return ErrorResponse(409, "a reload is already running");
+  }
+  Result<std::shared_ptr<const KnowledgeGraphApplication>> rebuilt =
+      options_.rebuild(deadline, cancel);
+  reload_busy_.store(false, std::memory_order_release);
+  if (!rebuilt.ok()) {
+    if (options_.metrics != nullptr) {
+      options_.metrics->counter("server.reload.failures")->Increment();
+    }
+    const StatusCode code = rebuilt.status().code();
+    if (code == StatusCode::kCancelled ||
+        code == StatusCode::kDeadlineExceeded) {
+      return InterruptResponse(rebuilt.status());
+    }
+    return ErrorResponse(500, rebuilt.status().message());
+  }
+  const int64_t epoch = snapshots_->Publish(std::move(rebuilt).value());
+  if (options_.metrics != nullptr) {
+    options_.metrics->counter("server.reloads")->Increment();
+  }
+  LogEvent("reload.published", {{"epoch", std::to_string(epoch)}});
+  return TextResponse(200, "epoch " + std::to_string(epoch) + "\n");
+}
+
+HttpResponse TemplexServer::ShedResponse(int status,
+                                         const std::string& reason) {
+  HttpResponse response = ErrorResponse(status, "shed: " + reason);
+  response.headers.emplace_back(
+      "Retry-After", std::to_string(admission_.retry_after_seconds()));
+  return response;
+}
+
+void TemplexServer::WriteResponse(ServerConnection& conn,
+                                  const HttpResponse& response) {
+  CountResponse(response.status);
+  if (!conn.Write(SerializeHttpResponse(response)).ok() &&
+      options_.metrics != nullptr) {
+    options_.metrics->counter("server.http.disconnects")->Increment();
+  }
+}
+
+void TemplexServer::LogEvent(
+    const char* name,
+    std::vector<std::pair<std::string, std::string>> fields) {
+  if (options_.event_log == nullptr) return;
+  options_.event_log->Log(obs::EventLevel::kInfo, "server", name,
+                          std::move(fields));
+}
+
+void TemplexServer::CountResponse(int status) {
+  if (options_.metrics == nullptr) return;
+  const char* bucket = status >= 500 ? "server.responses.5xx"
+                       : status >= 400 ? "server.responses.4xx"
+                                       : "server.responses.2xx";
+  options_.metrics->counter(bucket)->Increment();
+}
+
+}  // namespace templex

@@ -1,0 +1,174 @@
+#ifndef TEMPLEX_SERVICE_SERVER_H_
+#define TEMPLEX_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/deadline.h"
+#include "common/thread_pool.h"
+#include "service/admission.h"
+#include "service/http.h"
+#include "service/snapshot.h"
+#include "service/transport.h"
+
+namespace templex {
+
+class KnowledgeGraphApplication;  // apps/application.h
+class MemoryBudget;               // common/memory.h
+struct ChaseProgress;             // engine/chase.h
+
+namespace obs {
+class EventLog;  // obs/event_log.h
+}
+
+// Everything that bounds the server. Every knob exists to keep the process
+// alive under abuse: read deadlines kill slow-loris peers, byte caps kill
+// oversized frames, the admission options bound concurrency, and the drain
+// deadline bounds shutdown.
+struct ServerOptions {
+  // Spawned worker threads handling requests (the accept loop is its own
+  // thread).
+  int num_workers = 4;
+  // Accept-side cap on connections being handled or queued; connections
+  // beyond it are answered 503 + Retry-After straight from the accept
+  // thread — the bounded admission queue's outer wall (the
+  // AdmissionController's concurrency cap is the inner, per-work-request
+  // wall).
+  int max_inflight = 64;
+  AdmissionController::Options admission;
+  HttpLimits http_limits;
+  // Reading one full request must finish within this (slow-loris guard;
+  // expiry answers 408).
+  int64_t read_deadline_ms = 5000;
+  // Per-request execution deadline: X-Deadline-Ms when given (clamped to
+  // max_request_deadline_ms), this default otherwise.
+  int64_t default_request_deadline_ms = 10000;
+  int64_t max_request_deadline_ms = 60000;
+  // WaitDrained gives in-flight requests this long, then cancels them.
+  int64_t drain_deadline_ms = 5000;
+  // Soft-watermark load shedding (see AdmissionController::Options);
+  // may be null.
+  MemoryBudget* budget = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;  // server.* instruments
+  obs::EventLog* event_log = nullptr;       // "server" component events
+  // Deadline clock (tests); null uses the steady clock.
+  const VirtualClock* clock = nullptr;
+  // Warm-start progress for /readyz's warming report; may be null. The
+  // daemon points this at the ChaseProgress its startup chase publishes.
+  const ChaseProgress* warmup = nullptr;
+  // POST /reload: rebuilds a fresh application (load + chase) and returns
+  // it for epoch publication. Null answers 501. Runs on a worker thread
+  // under the request's deadline/cancellation; at most one reload runs at
+  // a time (a second one answers 409).
+  std::function<Result<std::shared_ptr<const KnowledgeGraphApplication>>(
+      const Deadline&, const CancellationToken&)>
+      rebuild;
+};
+
+// The hardened request loop: accepts connections, parses strictly, sheds
+// explicitly, serves queries/explanations from the SnapshotRegistry's
+// current epoch, and drains cleanly. One instance per process; the daemon
+// (tools/templex_serve.cc) owns transport, registry, and observability and
+// wires signals to RequestDrain.
+//
+// Endpoints (docs/API.md is the contract):
+//   GET  /healthz  liveness, always 200 while the process accepts
+//   GET  /readyz   200 once a snapshot is published; 503 warming/draining
+//   GET  /metrics  Prometheus text exposition
+//   POST /query    body: goal pattern, `_` for wildcards; answers one
+//                  fact per line, byte-identical to templex_cli --query
+//   POST /explain  body: fact literal; answers the explanation report
+//   POST /reload   re-runs the rebuild hook, publishes the next epoch
+//
+// Work endpoints pass admission (X-Tenant picks the tenant bucket) and
+// carry a deadline (X-Deadline-Ms) and a cancellation token tripped by
+// client disconnect. Ops endpoints bypass admission: a saturated server
+// must still answer its health checks.
+class TemplexServer {
+ public:
+  TemplexServer(ServerTransport* transport, SnapshotRegistry* snapshots,
+                ServerOptions options);
+  // Drains (bounded by drain_deadline_ms) if nobody did.
+  ~TemplexServer();
+
+  TemplexServer(const TemplexServer&) = delete;
+  TemplexServer& operator=(const TemplexServer&) = delete;
+
+  // Spawns the accept thread and worker pool. Call once.
+  void Start();
+
+  // Stops accepting (new connections are shed 503, the transport wakes)
+  // and flips admission to draining. Idempotent, thread- and
+  // signal-context-safe apart from the event-log write.
+  void RequestDrain();
+
+  // Blocks until every in-flight connection finished, up to
+  // drain_deadline_ms past the call; past the deadline, cancels the
+  // stragglers' tokens, writes a crash report naming them, waits for the
+  // unwind, and returns kDeadlineExceeded. OK on a clean drain.
+  Status WaitDrained();
+
+  // Connections currently being handled (tests/ops).
+  int active_connections() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct InflightRequest {
+    std::string method;
+    std::string target;
+    std::string tenant;
+    CancellationToken cancel;
+  };
+
+  void AcceptLoop();
+  void HandleConnection(std::shared_ptr<ServerConnection> conn);
+  // Reads and parses one request. OK: `request` is filled. Error: the
+  // rejection was already answered (or the peer is gone) — close and move
+  // on.
+  Status ReadRequest(ServerConnection& conn, HttpRequest* request);
+  HttpResponse Route(const HttpRequest& request, ServerConnection& conn);
+  HttpResponse HandleOps(const HttpRequest& request);
+  HttpResponse HandleWork(const HttpRequest& request,
+                          ServerConnection& conn);
+  HttpResponse HandleQuery(const KnowledgeGraphApplication& app,
+                           const std::string& body, const Deadline& deadline,
+                           const CancellationToken& cancel);
+  HttpResponse HandleExplain(const KnowledgeGraphApplication& app,
+                             const std::string& body);
+  HttpResponse HandleReload(const Deadline& deadline,
+                            const CancellationToken& cancel);
+  HttpResponse ShedResponse(int status, const std::string& reason);
+  void WriteResponse(ServerConnection& conn, const HttpResponse& response);
+  void LogEvent(const char* name,
+                std::vector<std::pair<std::string, std::string>> fields);
+  void CountResponse(int status);
+
+  ServerTransport* transport_;
+  SnapshotRegistry* snapshots_;
+  ServerOptions options_;
+  AdmissionController admission_;
+
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread accept_thread_;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> reload_busy_{false};
+  std::atomic<int> active_{0};
+  std::atomic<int64_t> next_request_id_{1};
+  mutable std::mutex inflight_mu_;
+  std::condition_variable inflight_cv_;  // active_ hit zero
+  std::map<int64_t, InflightRequest> inflight_;
+  bool started_ = false;
+  bool drained_ = false;
+};
+
+}  // namespace templex
+
+#endif  // TEMPLEX_SERVICE_SERVER_H_

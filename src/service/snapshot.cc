@@ -1,0 +1,35 @@
+#include "service/snapshot.h"
+
+#include "apps/application.h"
+
+namespace templex {
+
+int64_t SnapshotRegistry::Publish(
+    std::shared_ptr<const KnowledgeGraphApplication> app) {
+  std::shared_ptr<const KnowledgeGraphApplication> retired;
+  int64_t epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    retired = std::move(current_);  // destroyed outside the lock
+    current_ = std::move(app);
+    epoch = ++epoch_;
+  }
+  if (metrics_ != nullptr) {
+    metrics_->gauge("server.snapshot.epoch")
+        ->Set(static_cast<double>(epoch));
+  }
+  return epoch;
+}
+
+std::shared_ptr<const KnowledgeGraphApplication> SnapshotRegistry::Current()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+int64_t SnapshotRegistry::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+}  // namespace templex

@@ -1,0 +1,49 @@
+#ifndef TEMPLEX_SERVICE_SNAPSHOT_H_
+#define TEMPLEX_SERVICE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "obs/metrics.h"
+
+namespace templex {
+
+class KnowledgeGraphApplication;  // apps/application.h
+
+// Epoch-published immutable snapshots: the bridge between the (mutable,
+// mid-chase) engine side and the (concurrent, read-only) request side.
+//
+// The chase runs to fixpoint off to the side; only a *finished* application
+// is ever Publish()ed, and readers grab a shared_ptr under a micro-lock —
+// they never block on reasoning and can never observe a half-built graph.
+// A reload that publishes epoch N+1 does not disturb requests still holding
+// epoch N; the old snapshot dies with its last reader (shared_ptr
+// refcount). KnowledgeGraphApplication's Query/Explain are const, so any
+// number of threads share one snapshot safely.
+class SnapshotRegistry {
+ public:
+  explicit SnapshotRegistry(obs::MetricsRegistry* metrics = nullptr)
+      : metrics_(metrics) {}
+
+  // Publishes a finished application and returns its epoch (1-based,
+  // monotonically increasing).
+  int64_t Publish(std::shared_ptr<const KnowledgeGraphApplication> app);
+
+  // The latest snapshot, or null before the first Publish (the server is
+  // still warming up). Never blocks on a publish in progress.
+  std::shared_ptr<const KnowledgeGraphApplication> Current() const;
+
+  // Epoch of the latest snapshot; 0 before the first Publish.
+  int64_t epoch() const;
+
+ private:
+  obs::MetricsRegistry* metrics_;
+  mutable std::mutex mu_;
+  std::shared_ptr<const KnowledgeGraphApplication> current_;
+  int64_t epoch_ = 0;
+};
+
+}  // namespace templex
+
+#endif  // TEMPLEX_SERVICE_SNAPSHOT_H_

@@ -1,0 +1,407 @@
+#include "service/transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+namespace templex {
+
+// ---------------------------------------------------------------------------
+// In-memory transport.
+
+namespace internal {
+
+// Both ends of one in-memory connection share this. The short cv waits in
+// Read keep virtual-clock deadlines honest: expiry is re-checked every
+// slice instead of being baked into a wall-clock wait_until.
+struct InMemoryConnState {
+  mutable std::mutex mu;
+  mutable std::condition_variable cv;
+  std::string to_server;         // bytes the client Sent, not yet Read
+  bool send_closed = false;      // client half-closed (EOF after the bytes)
+  bool disconnected = false;     // client reset the connection
+  std::string to_client;         // bytes the server Wrote
+  bool server_closed = false;
+  std::function<void()> on_disconnect;
+  bool disconnect_fired = false;
+};
+
+}  // namespace internal
+
+void InMemoryClient::Send(std::string_view data) {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->to_server.append(data);
+  }
+  state_->cv.notify_all();
+}
+
+void InMemoryClient::CloseSend() {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->send_closed = true;
+  }
+  state_->cv.notify_all();
+}
+
+void InMemoryClient::Disconnect() {
+  std::function<void()> callback;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->disconnected = true;
+    if (!state_->disconnect_fired) {
+      state_->disconnect_fired = true;
+      callback = std::move(state_->on_disconnect);
+    }
+  }
+  state_->cv.notify_all();
+  // Outside the lock: the callback cancels a token / pokes the server and
+  // must be free to touch the connection.
+  if (callback) callback();
+}
+
+std::string InMemoryClient::Received() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->to_client;
+}
+
+Result<std::string> InMemoryClient::WaitForClose(
+    const Deadline& deadline) const {
+  std::unique_lock<std::mutex> lock(state_->mu);
+  while (!state_->server_closed) {
+    if (deadline.expired()) {
+      return Status(StatusCode::kDeadlineExceeded,
+                    "server did not close the connection in time");
+    }
+    state_->cv.wait_for(lock, std::chrono::milliseconds(1));
+  }
+  return state_->to_client;
+}
+
+namespace {
+
+class InMemoryServerConnection : public ServerConnection {
+ public:
+  explicit InMemoryServerConnection(
+      std::shared_ptr<internal::InMemoryConnState> state)
+      : state_(std::move(state)) {}
+
+  ~InMemoryServerConnection() override { Close(); }
+
+  Result<size_t> Read(char* buf, size_t max,
+                      const Deadline& deadline) override {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    while (true) {
+      if (state_->disconnected) {
+        return Status(StatusCode::kUnavailable, "connection reset by peer");
+      }
+      if (!state_->to_server.empty()) {
+        const size_t n = std::min(max, state_->to_server.size());
+        std::memcpy(buf, state_->to_server.data(), n);
+        state_->to_server.erase(0, n);
+        return n;
+      }
+      if (state_->send_closed) return size_t{0};  // EOF
+      if (deadline.expired()) {
+        return Status(StatusCode::kDeadlineExceeded, "read deadline");
+      }
+      state_->cv.wait_for(lock, std::chrono::milliseconds(1));
+    }
+  }
+
+  Status Write(std::string_view data) override {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->disconnected) {
+      return Status(StatusCode::kUnavailable, "connection reset by peer");
+    }
+    state_->to_client.append(data);
+    return Status::OK();
+  }
+
+  void Close() override {
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      state_->server_closed = true;
+      // The contract promises no callback after Close.
+      state_->on_disconnect = nullptr;
+    }
+    state_->cv.notify_all();
+  }
+
+  void OnPeerDisconnect(std::function<void()> callback) override {
+    bool fire_now = false;
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      if (state_->disconnected && !state_->disconnect_fired) {
+        state_->disconnect_fired = true;
+        fire_now = true;
+      } else if (!state_->disconnected) {
+        state_->on_disconnect = std::move(callback);
+      }
+    }
+    if (fire_now && callback) callback();
+  }
+
+ private:
+  std::shared_ptr<internal::InMemoryConnState> state_;
+};
+
+}  // namespace
+
+struct InMemoryTransport::Impl {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::shared_ptr<internal::InMemoryConnState>> pending;
+  bool shutdown = false;
+};
+
+InMemoryTransport::InMemoryTransport() : impl_(std::make_unique<Impl>()) {}
+
+InMemoryTransport::~InMemoryTransport() { Shutdown(); }
+
+Result<std::unique_ptr<ServerConnection>> InMemoryTransport::Accept() {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  impl_->cv.wait(lock, [&] {
+    return impl_->shutdown || !impl_->pending.empty();
+  });
+  if (impl_->shutdown) {
+    return Status(StatusCode::kCancelled, "transport shut down");
+  }
+  auto state = std::move(impl_->pending.front());
+  impl_->pending.pop_front();
+  return std::unique_ptr<ServerConnection>(
+      new InMemoryServerConnection(std::move(state)));
+}
+
+void InMemoryTransport::Shutdown() {
+  std::deque<std::shared_ptr<internal::InMemoryConnState>> orphans;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->shutdown = true;
+    orphans.swap(impl_->pending);
+  }
+  impl_->cv.notify_all();
+  // Reset queued-but-unaccepted connections, as a closed listener does:
+  // their clients see the close (with zero response bytes) instead of
+  // hanging until their own deadline.
+  for (auto& state : orphans) {
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->server_closed = true;
+    }
+    state->cv.notify_all();
+  }
+}
+
+InMemoryClient InMemoryTransport::Connect() {
+  auto state = std::make_shared<internal::InMemoryConnState>();
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->pending.push_back(state);
+  }
+  impl_->cv.notify_all();
+  return InMemoryClient(std::move(state));
+}
+
+// ---------------------------------------------------------------------------
+// TCP transport.
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status(StatusCode::kUnavailable,
+                std::string(what) + ": " + std::strerror(errno));
+}
+
+class TcpConnection : public ServerConnection {
+ public:
+  explicit TcpConnection(int fd) : fd_(fd) {}
+  ~TcpConnection() override { Close(); }
+
+  Result<size_t> Read(char* buf, size_t max,
+                      const Deadline& deadline) override {
+    while (true) {
+      if (deadline.expired()) {
+        return Status(StatusCode::kDeadlineExceeded, "read deadline");
+      }
+      // Short poll slices so expiry is re-checked even against a deadline
+      // whose clock the kernel does not know about.
+      const int64_t remaining = deadline.RemainingMillis();
+      const int timeout_ms =
+          static_cast<int>(std::min<int64_t>(remaining, 100));
+      struct pollfd pfd = {fd_, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, std::max(timeout_ms, 0));
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        return Errno("poll");
+      }
+      if (ready == 0) continue;  // slice elapsed; re-check the deadline
+      const ssize_t n = ::recv(fd_, buf, max, 0);
+      if (n > 0) return static_cast<size_t>(n);
+      if (n == 0) return size_t{0};  // EOF
+      if (errno == EINTR) continue;
+      FireDisconnect();
+      return Errno("recv");
+    }
+  }
+
+  Status Write(std::string_view data) override {
+    size_t off = 0;
+    while (off < data.size()) {
+      const ssize_t n = ::send(fd_, data.data() + off, data.size() - off,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        FireDisconnect();
+        return Errno("send");
+      }
+      off += static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  void Close() override {
+    int fd = -1;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      fd = fd_;
+      fd_ = -1;
+      on_disconnect_ = nullptr;
+    }
+    if (fd >= 0) ::close(fd);
+  }
+
+  void OnPeerDisconnect(std::function<void()> callback) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    on_disconnect_ = std::move(callback);
+  }
+
+ private:
+  // A socket's death is only visible at I/O boundaries without a poller
+  // thread; deterministic mid-request disconnect chaos lives in the
+  // in-memory transport (see transport.h).
+  void FireDisconnect() {
+    std::function<void()> callback;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      callback = std::move(on_disconnect_);
+      on_disconnect_ = nullptr;
+    }
+    if (callback) callback();
+  }
+
+  int fd_;
+  std::mutex mu_;
+  std::function<void()> on_disconnect_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<TcpServerTransport>> TcpServerTransport::Listen(
+    int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status status = Errno("bind");
+    ::close(fd);
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) <
+      0) {
+    const Status status = Errno("getsockname");
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 128) < 0) {
+    const Status status = Errno("listen");
+    ::close(fd);
+    return status;
+  }
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) < 0) {
+    const Status status = Errno("pipe");
+    ::close(fd);
+    return status;
+  }
+  return std::unique_ptr<TcpServerTransport>(new TcpServerTransport(
+      fd, pipe_fds[0], pipe_fds[1], ntohs(addr.sin_port)));
+}
+
+TcpServerTransport::TcpServerTransport(int listen_fd, int wake_read_fd,
+                                       int wake_write_fd, int port)
+    : listen_fd_(listen_fd),
+      wake_read_fd_(wake_read_fd),
+      wake_write_fd_(wake_write_fd),
+      port_(port) {}
+
+TcpServerTransport::~TcpServerTransport() {
+  Shutdown();
+  ::close(listen_fd_);
+  ::close(wake_read_fd_);
+}
+
+Result<std::unique_ptr<ServerConnection>> TcpServerTransport::Accept() {
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutdown_) {
+        return Status(StatusCode::kCancelled, "transport shut down");
+      }
+    }
+    struct pollfd pfds[2] = {{listen_fd_, POLLIN, 0},
+                             {wake_read_fd_, POLLIN, 0}};
+    const int ready = ::poll(pfds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll");
+    }
+    if (pfds[1].revents != 0) {
+      return Status(StatusCode::kCancelled, "transport shut down");
+    }
+    if (pfds[0].revents == 0) continue;
+    const int conn_fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn_fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return Errno("accept");
+    }
+    return std::unique_ptr<ServerConnection>(new TcpConnection(conn_fd));
+  }
+}
+
+void TcpServerTransport::Shutdown() {
+  bool first = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    first = !shutdown_;
+    shutdown_ = true;
+  }
+  if (first) {
+    const char byte = 'x';
+    // Best effort; Accept also re-checks shutdown_ every wakeup.
+    (void)!::write(wake_write_fd_, &byte, 1);
+    ::close(wake_write_fd_);
+  }
+}
+
+std::string TcpServerTransport::Address() const {
+  return "127.0.0.1:" + std::to_string(port_);
+}
+
+}  // namespace templex

@@ -1,0 +1,163 @@
+#ifndef TEMPLEX_SERVICE_TRANSPORT_H_
+#define TEMPLEX_SERVICE_TRANSPORT_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/deadline.h"
+#include "common/status.h"
+
+namespace templex {
+
+// Byte-stream transport abstraction for the service, mirroring common/fs.h:
+// the production implementation is TCP, and InMemoryTransport gives the
+// chaos tests a deterministic wire — scripted reads, mid-request
+// disconnects, and slow-loris pacing with no real sockets or timing races.
+
+// One accepted connection, owned by the request handler that serves it.
+class ServerConnection {
+ public:
+  virtual ~ServerConnection() = default;
+
+  // Reads up to `max` bytes into `buf`. Returns the count read (0 means the
+  // peer half-closed: EOF), kDeadlineExceeded when `deadline` passed with
+  // no bytes available (the slow-loris guard), or kUnavailable when the
+  // peer reset the connection.
+  virtual Result<size_t> Read(char* buf, size_t max,
+                              const Deadline& deadline) = 0;
+
+  // Writes all of `data`. kUnavailable when the peer is gone — the handler
+  // drops the response; there is nobody to send it to.
+  virtual Status Write(std::string_view data) = 0;
+
+  // Closes the server side. Idempotent; the destructor also closes.
+  virtual void Close() = 0;
+
+  // Registers a callback fired when the peer abandons the connection, used
+  // to cancel the in-flight query. The in-memory transport fires it
+  // synchronously from InMemoryClient::Disconnect — deterministic
+  // cancellation chaos. TCP fires it when a Read or Write observes the
+  // reset (I/O boundaries are where a socket's death becomes visible
+  // without a poller thread). May be invoked from another thread; at most
+  // once; never after Close().
+  virtual void OnPeerDisconnect(std::function<void()> callback) = 0;
+};
+
+class ServerTransport {
+ public:
+  virtual ~ServerTransport() = default;
+
+  // Blocks for the next connection. kCancelled once Shutdown() was called
+  // (the accept loop's exit signal).
+  virtual Result<std::unique_ptr<ServerConnection>> Accept() = 0;
+
+  // Unblocks Accept (now and forever). Idempotent, thread-safe.
+  virtual void Shutdown() = 0;
+
+  // Human-readable bound address ("127.0.0.1:8080", "mem").
+  virtual std::string Address() const = 0;
+};
+
+// ---------------------------------------------------------------------------
+// In-memory transport (tests).
+
+class InMemoryTransport;
+
+namespace internal {
+struct InMemoryConnState;  // shared connection state (transport.cc)
+}
+
+// The test's end of one in-memory connection. Thread-safe; the server works
+// the other end from its worker threads.
+class InMemoryClient {
+ public:
+  // Queues request bytes for the server to Read. Call repeatedly to model
+  // split frames; each call is one "packet" (a server Read drains at most
+  // the queued bytes, so byte-at-a-time sends exercise incremental
+  // parsing).
+  void Send(std::string_view data);
+
+  // Half-closes: the server's next Read past the queued bytes returns 0
+  // (EOF) instead of blocking.
+  void CloseSend();
+
+  // Abandons the connection: pending reads fail kUnavailable and the
+  // server's OnPeerDisconnect callback fires (synchronously, on this
+  // thread) — the deterministic "client went away mid-query".
+  void Disconnect();
+
+  // Bytes the server wrote so far (the response accumulates here).
+  std::string Received() const;
+
+  // Blocks until the server closed its side (the response is complete,
+  // one-request-per-connection) and returns every byte it wrote.
+  // kDeadlineExceeded if that takes longer than `deadline`.
+  Result<std::string> WaitForClose(const Deadline& deadline) const;
+
+ private:
+  friend class InMemoryTransport;
+  explicit InMemoryClient(std::shared_ptr<internal::InMemoryConnState> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<internal::InMemoryConnState> state_;
+};
+
+// Deterministic ServerTransport: tests create connections with Connect()
+// and drive each end explicitly. No timers fire behind the test's back —
+// every event (bytes, EOF, reset) happens exactly when the test says so.
+class InMemoryTransport : public ServerTransport {
+ public:
+  InMemoryTransport();
+  ~InMemoryTransport() override;
+
+  Result<std::unique_ptr<ServerConnection>> Accept() override;
+  void Shutdown() override;
+  std::string Address() const override { return "mem"; }
+
+  // Creates a connection and queues it for Accept. Returns the client end.
+  InMemoryClient Connect();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// ---------------------------------------------------------------------------
+// TCP transport (production).
+
+// Listens on 127.0.0.1:`port` (0 picks a free port; read it back from
+// port()). Accept wakes from Shutdown via a self-pipe, read deadlines are
+// enforced with poll(), and writes ignore SIGPIPE (a dead peer is a status,
+// not a process kill).
+class TcpServerTransport : public ServerTransport {
+ public:
+  static Result<std::unique_ptr<TcpServerTransport>> Listen(int port);
+  ~TcpServerTransport() override;
+
+  Result<std::unique_ptr<ServerConnection>> Accept() override;
+  void Shutdown() override;
+  std::string Address() const override;
+
+  // The actually-bound port (meaningful with Listen(0)).
+  int port() const { return port_; }
+
+ private:
+  TcpServerTransport(int listen_fd, int wake_read_fd, int wake_write_fd,
+                     int port);
+
+  int listen_fd_;
+  int wake_read_fd_;   // self-pipe: Shutdown writes, Accept polls
+  int wake_write_fd_;
+  int port_;
+  std::mutex mu_;
+  bool shutdown_ = false;
+};
+
+}  // namespace templex
+
+#endif  // TEMPLEX_SERVICE_TRANSPORT_H_

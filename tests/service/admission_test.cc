@@ -1,0 +1,117 @@
+// Admission control: the bounded front door. Slots are exact, per-tenant
+// caps bite before the global cap, memory pressure sheds on live bytes
+// (not the sticky high-water mark), and drain is one-way.
+
+#include "service/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/memory.h"
+#include "obs/metrics.h"
+
+namespace templex {
+namespace {
+
+using Verdict = AdmissionController::Verdict;
+
+AdmissionController::Options SmallOptions() {
+  AdmissionController::Options options;
+  options.max_concurrent = 3;
+  options.per_tenant_max = 2;
+  options.retry_after_seconds = 7;
+  return options;
+}
+
+TEST(AdmissionTest, AdmitsUpToGlobalCapThenSheds) {
+  AdmissionController controller(SmallOptions());
+  EXPECT_EQ(controller.TryAdmit("a"), Verdict::kAdmitted);
+  EXPECT_EQ(controller.TryAdmit("b"), Verdict::kAdmitted);
+  EXPECT_EQ(controller.TryAdmit("c"), Verdict::kAdmitted);
+  EXPECT_EQ(controller.inflight(), 3);
+  EXPECT_EQ(controller.TryAdmit("d"), Verdict::kShedConcurrency);
+  controller.Release("a");
+  EXPECT_EQ(controller.TryAdmit("d"), Verdict::kAdmitted);
+}
+
+TEST(AdmissionTest, PerTenantCapShedsBeforeGlobalCap) {
+  AdmissionController controller(SmallOptions());
+  EXPECT_EQ(controller.TryAdmit("noisy"), Verdict::kAdmitted);
+  EXPECT_EQ(controller.TryAdmit("noisy"), Verdict::kAdmitted);
+  // Global cap (3) not hit, but tenant cap (2) is.
+  EXPECT_EQ(controller.TryAdmit("noisy"), Verdict::kShedTenantCap);
+  // Another tenant still gets in.
+  EXPECT_EQ(controller.TryAdmit("quiet"), Verdict::kAdmitted);
+  controller.Release("noisy");
+  EXPECT_EQ(controller.TryAdmit("noisy"), Verdict::kAdmitted);
+}
+
+TEST(AdmissionTest, MemoryPressureShedsOnLiveBytesAndRecovers) {
+  MemoryBudget::Options budget_options;
+  budget_options.soft_limit_bytes = 1000;
+  budget_options.hard_limit_bytes = 2000;
+  MemoryBudget budget(budget_options);
+  AdmissionController::Options options = SmallOptions();
+  options.budget = &budget;
+  AdmissionController controller(options);
+
+  budget.Charge(1500);  // past soft
+  EXPECT_EQ(controller.TryAdmit("a"), Verdict::kShedMemoryPressure);
+  budget.Release(1000);  // back under soft — but pressure() stays sticky
+  // Live-bytes shedding recovers; sticky-pressure shedding would not.
+  EXPECT_EQ(controller.TryAdmit("a"), Verdict::kAdmitted);
+}
+
+TEST(AdmissionTest, DrainingShedsEverythingForever) {
+  AdmissionController controller(SmallOptions());
+  EXPECT_EQ(controller.TryAdmit("a"), Verdict::kAdmitted);
+  controller.BeginDrain();
+  EXPECT_EQ(controller.TryAdmit("b"), Verdict::kShedDraining);
+  controller.Release("a");  // freeing a slot does not un-drain
+  EXPECT_EQ(controller.TryAdmit("b"), Verdict::kShedDraining);
+}
+
+TEST(AdmissionTest, ShedStatusesMatchTheContract) {
+  // 429: the caller itself is over its cap. 503: the server as a whole.
+  EXPECT_EQ(AdmissionController::ShedStatus(Verdict::kShedTenantCap), 429);
+  EXPECT_EQ(AdmissionController::ShedStatus(Verdict::kShedConcurrency), 503);
+  EXPECT_EQ(AdmissionController::ShedStatus(Verdict::kShedMemoryPressure),
+            503);
+  EXPECT_EQ(AdmissionController::ShedStatus(Verdict::kShedDraining), 503);
+}
+
+TEST(AdmissionTest, TicketReleasesOnDestruction) {
+  AdmissionController controller(SmallOptions());
+  {
+    AdmissionTicket ticket(&controller, "a");
+    EXPECT_TRUE(ticket.admitted());
+    EXPECT_EQ(controller.inflight(), 1);
+  }
+  EXPECT_EQ(controller.inflight(), 0);
+  controller.BeginDrain();
+  {
+    AdmissionTicket ticket(&controller, "a");
+    EXPECT_FALSE(ticket.admitted());
+    EXPECT_EQ(ticket.verdict(), Verdict::kShedDraining);
+  }
+  EXPECT_EQ(controller.inflight(), 0);  // shed ticket released nothing
+}
+
+TEST(AdmissionTest, CountersTrackVerdicts) {
+  obs::MetricsRegistry metrics;
+  AdmissionController::Options options = SmallOptions();
+  options.metrics = &metrics;
+  AdmissionController controller(options);
+  EXPECT_EQ(controller.TryAdmit("a"), Verdict::kAdmitted);
+  EXPECT_EQ(controller.TryAdmit("a"), Verdict::kAdmitted);
+  EXPECT_EQ(controller.TryAdmit("a"), Verdict::kShedTenantCap);
+  EXPECT_EQ(metrics.counter("server.admission.admitted")->value(), 2);
+  EXPECT_EQ(metrics.counter("server.admission.shed")->value(), 1);
+  EXPECT_EQ(metrics.counter("server.admission.shed.tenant_cap")->value(), 1);
+}
+
+}  // namespace
+}  // namespace templex

@@ -1,0 +1,272 @@
+// The service's first line of defense: the strict incremental HTTP parser.
+// Mirrors the io/json_parse corpus style — a pile of hostile inputs
+// (truncations, splits at every byte boundary, huge headers, non-UTF8
+// bytes) that must never crash, never over-buffer, and settle on the
+// documented status code.
+
+#include "service/http.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace templex {
+namespace {
+
+using State = HttpRequestParser::State;
+
+State FeedAll(HttpRequestParser& parser, const std::string& bytes) {
+  return parser.Consume(bytes);
+}
+
+TEST(HttpParserTest, ParsesMinimalGet) {
+  HttpRequestParser parser;
+  ASSERT_EQ(FeedAll(parser, "GET /healthz HTTP/1.1\r\n\r\n"),
+            State::kComplete);
+  EXPECT_EQ(parser.request().method, "GET");
+  EXPECT_EQ(parser.request().target, "/healthz");
+  EXPECT_EQ(parser.request().version_minor, 1);
+  EXPECT_TRUE(parser.request().body.empty());
+}
+
+TEST(HttpParserTest, ParsesPostWithBodyAndHeaders) {
+  HttpRequestParser parser;
+  const std::string raw =
+      "POST /query HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "X-Tenant: desk-7\r\n"
+      "Content-Length: 11\r\n"
+      "\r\n"
+      "check(X, _)";
+  ASSERT_EQ(FeedAll(parser, raw), State::kComplete);
+  EXPECT_EQ(parser.request().method, "POST");
+  EXPECT_EQ(parser.request().body, "check(X, _)");
+  ASSERT_NE(parser.request().FindHeader("x-tenant"), nullptr);
+  EXPECT_EQ(*parser.request().FindHeader("x-tenant"), "desk-7");
+  EXPECT_EQ(parser.request().FindHeader("absent"), nullptr);
+}
+
+TEST(HttpParserTest, HeaderNamesAreCaseInsensitiveValuesVerbatim) {
+  HttpRequestParser parser;
+  ASSERT_EQ(FeedAll(parser,
+                    "GET / HTTP/1.1\r\nX-MiXeD-CaSe:  Padded Value \r\n\r\n"),
+            State::kComplete);
+  ASSERT_NE(parser.request().FindHeader("x-mixed-case"), nullptr);
+  EXPECT_EQ(*parser.request().FindHeader("x-mixed-case"), "Padded Value");
+}
+
+TEST(HttpParserTest, EveryByteSplitYieldsIdenticalParse) {
+  // Frames split across reads at every boundary — the incremental parser
+  // must be byte-split agnostic, including a split inside CRLF and inside
+  // the body.
+  const std::string raw =
+      "POST /explain HTTP/1.1\r\n"
+      "Content-Length: 9\r\n"
+      "\r\n"
+      "fact(a,b)";
+  for (size_t split = 0; split <= raw.size(); ++split) {
+    HttpRequestParser parser;
+    EXPECT_NE(parser.Consume(raw.substr(0, split)), State::kError)
+        << "split " << split;
+    ASSERT_EQ(parser.Consume(raw.substr(split)), State::kComplete)
+        << "split " << split;
+    EXPECT_EQ(parser.request().body, "fact(a,b)") << "split " << split;
+  }
+}
+
+TEST(HttpParserTest, ByteAtATimeFeedCompletes) {
+  const std::string raw =
+      "GET /metrics HTTP/1.0\r\nAccept: text/plain\r\n\r\n";
+  HttpRequestParser parser;
+  for (size_t i = 0; i + 1 < raw.size(); ++i) {
+    ASSERT_EQ(parser.Consume(raw.substr(i, 1)), State::kNeedMore) << i;
+  }
+  ASSERT_EQ(parser.Consume(raw.substr(raw.size() - 1)), State::kComplete);
+  EXPECT_EQ(parser.request().version_minor, 0);
+}
+
+TEST(HttpParserTest, TruncationSweepNeverCompletesNeverCrashes) {
+  // Every proper prefix of a valid request is an incomplete request — the
+  // parser must keep asking for more (a slow-loris peer looks exactly like
+  // this; the *server's* read deadline is what kills it).
+  const std::string raw =
+      "POST /query HTTP/1.1\r\n"
+      "Content-Length: 5\r\n"
+      "\r\n"
+      "q(X).";
+  for (size_t len = 0; len < raw.size(); ++len) {
+    HttpRequestParser parser;
+    EXPECT_EQ(parser.Consume(raw.substr(0, len)), State::kNeedMore)
+        << "prefix " << len;
+  }
+}
+
+TEST(HttpParserTest, MalformedCorpusSettlesOnDocumentedStatus) {
+  const struct {
+    const char* name;
+    std::string raw;
+    int status;
+  } kCorpus[] = {
+      {"bare LF request line", "GET / HTTP/1.1\n\r\n", 400},
+      {"bare LF header", "GET / HTTP/1.1\r\nHost: x\n\r\n", 400},
+      {"missing version", "GET /\r\n\r\n", 400},
+      {"two spaces", "GET  / HTTP/1.1\r\n\r\n", 400},
+      {"garbage version", "GET / HTTP/x.y\r\n\r\n", 400},
+      {"http 2 version", "GET / HTTP/2.0\r\n\r\n", 505},
+      {"http 0.9 version", "GET / HTTP/0.9\r\n\r\n", 505},
+      {"space in method", "GE T / HTTP/1.1\r\n\r\n", 400},
+      {"empty target", "GET  HTTP/1.1\r\n\r\n", 400},
+      {"space before colon", "GET / HTTP/1.1\r\nHost : x\r\n\r\n", 400},
+      {"header without colon", "GET / HTTP/1.1\r\nHostx\r\n\r\n", 400},
+      {"obs-fold", "GET / HTTP/1.1\r\nA: b\r\n folded\r\n\r\n", 400},
+      {"stray CR in line", "GET / HTTP/1.1\r\nA: b\rc\r\n\r\n", 400},
+      {"transfer encoding",
+       "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 501},
+      {"duplicate content-length",
+       "POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nab",
+       400},
+      {"negative content-length",
+       "POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n", 400},
+      {"non-numeric content-length",
+       "POST / HTTP/1.1\r\nContent-Length: 2x\r\n\r\n", 400},
+      {"overflowing content-length",
+       "POST / HTTP/1.1\r\nContent-Length: 99999999999999999999\r\n\r\n",
+       400},
+      {"non-ascii target", "GET /caf\xc3\xa9 HTTP/1.1\r\n\r\n", 400},
+      {"control byte in header value",
+       "GET / HTTP/1.1\r\nA: b\x01z\r\n\r\n", 400},
+  };
+  for (const auto& sample : kCorpus) {
+    HttpRequestParser parser;
+    ASSERT_EQ(FeedAll(parser, sample.raw), State::kError) << sample.name;
+    EXPECT_EQ(parser.error_status(), sample.status) << sample.name;
+    EXPECT_FALSE(parser.error_detail().empty()) << sample.name;
+    // Settled: more bytes do not resurrect the request.
+    EXPECT_EQ(parser.Consume("GET / HTTP/1.1\r\n\r\n"), State::kError)
+        << sample.name;
+  }
+}
+
+TEST(HttpParserTest, NonUtf8HeaderValueAndBodyPassThroughVerbatim) {
+  // Values and bodies are opaque octets: invalid UTF-8 must survive
+  // untouched, not be rejected or mangled.
+  const std::string binary = std::string("\xff\xfe\x80zz\xc0", 6);
+  HttpRequestParser parser;
+  const std::string raw = "POST /query HTTP/1.1\r\nX-Blob: " + binary +
+                          "\r\nContent-Length: 6\r\n\r\n" + binary;
+  ASSERT_EQ(FeedAll(parser, raw), State::kComplete);
+  EXPECT_EQ(*parser.request().FindHeader("x-blob"), binary);
+  EXPECT_EQ(parser.request().body, binary);
+}
+
+TEST(HttpParserTest, OversizedRequestLineFailsBeforeBuffering) {
+  HttpLimits limits;
+  limits.max_request_line_bytes = 64;
+  HttpRequestParser parser(limits);
+  // Feed far more than the cap with no CRLF in sight: the parser must fail
+  // at the cap, not buffer the flood.
+  EXPECT_EQ(FeedAll(parser, "GET /" + std::string(10000, 'a')),
+            State::kError);
+  EXPECT_EQ(parser.error_status(), 414);
+}
+
+TEST(HttpParserTest, HugeHeadersTrip431) {
+  HttpLimits limits;
+  limits.max_header_bytes = 256;
+  HttpRequestParser parser(limits);
+  std::string raw = "GET / HTTP/1.1\r\n";
+  for (int i = 0; i < 64; ++i) {
+    raw += "X-Pad-" + std::to_string(i) + ": " + std::string(32, 'p') +
+           "\r\n";
+  }
+  raw += "\r\n";
+  ASSERT_EQ(FeedAll(parser, raw), State::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(HttpParserTest, TooManyHeadersTrip431) {
+  HttpLimits limits;
+  limits.max_headers = 4;
+  HttpRequestParser parser(limits);
+  std::string raw = "GET / HTTP/1.1\r\n";
+  for (int i = 0; i < 6; ++i) {
+    raw += "H" + std::to_string(i) + ": v\r\n";
+  }
+  raw += "\r\n";
+  ASSERT_EQ(FeedAll(parser, raw), State::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(HttpParserTest, DeclaredBodyOverCapIs413WithoutReadingIt) {
+  HttpLimits limits;
+  limits.max_body_bytes = 128;
+  HttpRequestParser parser(limits);
+  ASSERT_EQ(FeedAll(parser,
+                    "POST /query HTTP/1.1\r\nContent-Length: 1000000\r\n\r\n"),
+            State::kError);
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(HttpParserTest, GarbageCorpusNeverCrashes) {
+  // Pure fuzz-ish garbage: whatever the bytes, the parser must settle on
+  // kNeedMore or kError — never crash, never complete.
+  const std::string kGarbage[] = {
+      std::string(""),
+      std::string("\r\n\r\n"),
+      std::string("\0\0\0\0", 4),
+      std::string(512, '\xff'),
+      std::string("GET"),
+      std::string("\r"),
+      std::string("\n"),
+      std::string(" / HTTP/1.1\r\n\r\n"),
+      std::string("POST \x80\x81 HTTP/1.1\r\n\r\n"),
+      std::string("GET / HTTP/1.1\r\n\x00: v\r\n\r\n", 24),
+  };
+  for (const std::string& sample : kGarbage) {
+    HttpRequestParser parser;
+    const State state = parser.Consume(sample);
+    EXPECT_TRUE(state == State::kNeedMore || state == State::kError);
+    // And again split byte-by-byte.
+    HttpRequestParser split_parser;
+    State split_state = State::kNeedMore;
+    for (char c : sample) {
+      split_state = split_parser.Consume(std::string_view(&c, 1));
+      if (split_state != State::kNeedMore) break;
+    }
+    EXPECT_EQ(split_state, state) << "split parse diverged";
+  }
+}
+
+TEST(HttpParserTest, BytesAfterCompleteRequestAreIgnored) {
+  HttpRequestParser parser;
+  ASSERT_EQ(FeedAll(parser,
+                    "POST / HTTP/1.1\r\nContent-Length: 2\r\n\r\nokEXTRA"),
+            State::kComplete);
+  EXPECT_EQ(parser.request().body, "ok");
+  EXPECT_EQ(parser.Consume("MORE"), State::kComplete);
+}
+
+TEST(HttpParserTest, SerializeAddsFramingHeaders) {
+  HttpResponse response;
+  response.status = 429;
+  response.headers.emplace_back("Retry-After", "2");
+  response.body = "shed\n";
+  const std::string wire = SerializeHttpResponse(response);
+  EXPECT_EQ(wire,
+            "HTTP/1.1 429 Too Many Requests\r\n"
+            "Retry-After: 2\r\n"
+            "Content-Length: 5\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+            "shed\n");
+}
+
+TEST(HttpParserTest, ReasonPhrasesCoverServiceStatuses) {
+  EXPECT_STREQ(HttpReasonPhrase(200), "OK");
+  EXPECT_STREQ(HttpReasonPhrase(503), "Service Unavailable");
+  EXPECT_STREQ(HttpReasonPhrase(418), "Unknown");
+}
+
+}  // namespace
+}  // namespace templex

@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Service smoke (ISSUE 10 acceptance): start templex_serve on a free port,
+# poll /readyz, compare /query and /explain answers byte-for-byte against
+# templex_cli, check the Prometheus exposition, then SIGTERM and assert a
+# clean drain — exit code 0 and no stray .tmp files under the checkpoint
+# dir. A second life warm-starts with --resume from the committed
+# checkpoint and must serve byte-identical answers.
+#
+#   serve_smoke.sh TEMPLEX_SERVE TEMPLEX_HTTP TEMPLEX_CLI DATA_DIR WORK_DIR
+set -u
+
+SERVE="$1"; HTTP="$2"; CLI="$3"; DATA="$4"; WORK="$5"
+rm -rf "$WORK"
+mkdir -p "$WORK/ckpt"
+
+fail() { echo "serve_smoke: FAIL: $*" >&2; exit 1; }
+
+SERVE_PID=""
+BASE=""
+
+start_daemon() {  # extra daemon flags in "$@"
+  rm -f "$WORK/port.txt"
+  "$SERVE" --program "$DATA/control.vada" --facts "$DATA/facts.csv" \
+           --glossary "$DATA/glossary.csv" --port 0 \
+           --port-file "$WORK/port.txt" --checkpoint-dir "$WORK/ckpt" \
+           --drain-deadline-ms 5000 \
+           --crash-report "$WORK/crash.jsonl" "$@" \
+           2>>"$WORK/serve.log" &
+  SERVE_PID=$!
+  for _ in $(seq 1 200); do [ -s "$WORK/port.txt" ] && break; sleep 0.05; done
+  [ -s "$WORK/port.txt" ] || fail "port file never appeared"
+  BASE="http://127.0.0.1:$(cat "$WORK/port.txt")"
+  # /healthz answers from the first moment; /readyz flips once the warm-up
+  # chase publishes its epoch.
+  for _ in $(seq 1 200); do
+    "$HTTP" "$BASE/readyz" >/dev/null 2>&1 && return 0
+    sleep 0.05
+  done
+  fail "daemon never became ready ($(cat "$WORK/serve.log"))"
+}
+
+stop_daemon() {
+  kill -TERM "$SERVE_PID" 2>/dev/null || fail "daemon died early"
+  wait "$SERVE_PID"
+  local code=$?
+  [ "$code" -eq 0 ] || fail "drain exit code $code (want 0)"
+  # The tmp+rename commit discipline means a cleanly drained daemon never
+  # leaves a torn artifact behind.
+  local stray
+  stray=$(find "$WORK/ckpt" -name '*.tmp' | wc -l)
+  [ "$stray" -eq 0 ] || fail "stray .tmp files under the checkpoint dir"
+}
+
+# The CLI's ground truth: stdout minus its leading "facts: ..." summary
+# line is exactly what the service must serve.
+"$CLI" --program "$DATA/control.vada" --facts "$DATA/facts.csv" \
+       --glossary "$DATA/glossary.csv" --query 'Control(_, _)' \
+       2>/dev/null | tail -n +2 >"$WORK/cli_query.txt" \
+  || fail "templex_cli --query failed"
+"$CLI" --program "$DATA/control.vada" --facts "$DATA/facts.csv" \
+       --glossary "$DATA/glossary.csv" --explain 'Control(Alfa, Charlie)' \
+       2>/dev/null | tail -n +2 >"$WORK/cli_explain.txt" \
+  || fail "templex_cli --explain failed"
+
+# First life: cold start, serve, drain.
+start_daemon
+"$HTTP" --method POST --body 'Control(_, _)' "$BASE/query" \
+  >"$WORK/srv_query.txt" || fail "/query failed"
+cmp -s "$WORK/cli_query.txt" "$WORK/srv_query.txt" \
+  || fail "/query answer differs from templex_cli"
+"$HTTP" --method POST --body 'Control(Alfa, Charlie)' "$BASE/explain" \
+  >"$WORK/srv_explain.txt" || fail "/explain failed"
+cmp -s "$WORK/cli_explain.txt" "$WORK/srv_explain.txt" \
+  || fail "/explain answer differs from templex_cli"
+"$HTTP" "$BASE/metrics" >"$WORK/metrics.txt" || fail "/metrics failed"
+grep -q "templex_server_requests" "$WORK/metrics.txt" \
+  || fail "/metrics missing server counters"
+"$HTTP" --method POST --body '???' "$BASE/query" >/dev/null 2>&1
+[ $? -eq 3 ] || fail "malformed goal did not answer a client error"
+stop_daemon
+
+# Second life: warm start from the checkpoint the first life committed.
+start_daemon --resume
+"$HTTP" --method POST --body 'Control(_, _)' "$BASE/query" \
+  >"$WORK/srv_query_resumed.txt" || fail "/query after warm start failed"
+cmp -s "$WORK/cli_query.txt" "$WORK/srv_query_resumed.txt" \
+  || fail "warm-started answers differ"
+stop_daemon
+
+echo "serve_smoke: ok"

@@ -117,13 +117,17 @@
 //   3  query error: --query names a predicate unknown to the program and
 //      facts, the goal is malformed, or the arity does not match;
 //   4  deadline exceeded (--deadline-ms expired before completion);
-//   5  cancelled (including a watchdog-detected stall);
+//   5  cancelled (a watchdog-detected stall, or SIGINT/SIGTERM: both
+//      signals trip the run's cancellation token, so an interrupted run
+//      unwinds cleanly — with --checkpoint-dir every committed round
+//      stays resumable);
 //   6  corrupt checkpoint (DataLoss: the checkpoint failed its integrity
 //      checks and --resume refused to trust it);
 //   7  resource exhausted (--max-bytes hard watermark, max_rounds /
 //      max_facts guard rails) — with --checkpoint-dir the committed
 //      checkpoint resumes on a bigger box.
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -194,6 +198,16 @@ int ExitCodeFor(const Status& status) {
     default:
       return 1;
   }
+}
+
+// Termination signals cancel the run instead of killing the process: the
+// token's Cancel() is a relaxed atomic store, so it is async-signal-safe,
+// and the normal kCancelled unwind (exit 5, crash report, committed
+// checkpoints intact) does the rest.
+const CancellationToken* g_signal_cancel = nullptr;
+
+extern "C" void HandleTerminationSignal(int) {
+  if (g_signal_cancel != nullptr) g_signal_cancel->Cancel();
 }
 
 // Parses a query pattern: like a fact literal, but `_` is a wildcard.
@@ -471,32 +485,9 @@ int main(int argc, char** argv) {
     if (!loaded.ok()) die(loaded.status());
     glossary = std::move(loaded).value();
   } else {
-    // Minimal fallback glossary so the pipeline can build: each predicate
-    // verbalizes as itself ("Own of <a1>, <a2>, <a3> holds").
-    std::map<std::string, int> arities;
-    for (const Rule& rule : program.value().rules()) {
-      for (const Atom& atom : rule.body) {
-        arities[atom.predicate] = atom.arity();
-      }
-      for (const Atom& atom : rule.negative_body) {
-        arities[atom.predicate] = atom.arity();
-      }
-      if (!rule.is_constraint) {
-        arities[rule.head.predicate] = rule.head.arity();
-      }
-    }
-    for (const auto& [predicate, arity] : arities) {
-      GlossaryEntry entry;
-      entry.pattern = predicate + " holds for";
-      for (int a = 0; a < arity; ++a) {
-        const std::string token = "a" + std::to_string(a + 1);
-        entry.pattern += (a ? ", <" : " <") + token + ">";
-        entry.arg_tokens.push_back(token);
-      }
-      if (arity == 0) entry.pattern = predicate + " holds";
-      Status status = glossary.Register(predicate, entry);
-      if (!status.ok()) die(status);
-    }
+    // Minimal fallback so the pipeline can build: each predicate
+    // verbalizes as itself (shared with templex_serve).
+    glossary = MinimalFallbackGlossary(program.value());
   }
 
   ExplainerOptions explainer_options;
@@ -537,6 +528,18 @@ int main(int argc, char** argv) {
   }
 
   ChaseConfig chase_config;
+  // SIGINT/SIGTERM trip the run's cancellation token: the chase unwinds
+  // cooperatively at the next interruption point — every committed
+  // checkpoint round stays resumable with --checkpoint-dir — and the
+  // process exits with the documented cancellation code 5.
+  g_signal_cancel = &chase_config.cancel;
+  {
+    struct sigaction action = {};
+    action.sa_handler = HandleTerminationSignal;
+    sigemptyset(&action.sa_mask);
+    sigaction(SIGINT, &action, nullptr);
+    sigaction(SIGTERM, &action, nullptr);
+  }
   chase_config.num_threads = num_threads;
   chase_config.join_mode = join_mode;
   chase_config.deadline = deadline;

@@ -1,0 +1,183 @@
+// templex_http — a deliberately small HTTP/1.1 client for scripting
+// against templex_serve (tests/tools/serve_smoke.sh, CI): one request,
+// one connection, body to stdout.
+//
+//   templex_http [--method GET|POST] [--body STR] [--body-file FILE]
+//                [--header 'Name: value']... [--timeout-ms N]
+//                [--include] http://HOST:PORT/PATH
+//
+// --include prints the status line and headers before the body (curl -i).
+//
+// Exit codes: 0 on a 2xx response, 1 on connect/transport failure,
+// 2 on usage error, 3 on a non-2xx response (the response still prints).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "io/csv.h"
+
+namespace templex {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: templex_http [--method GET|POST] [--body STR]\n"
+               "                    [--body-file FILE] [--header 'N: v']...\n"
+               "                    [--timeout-ms N] [--include]\n"
+               "                    http://HOST:PORT/PATH\n");
+  return 2;
+}
+
+}  // namespace
+
+int HttpMain(int argc, char** argv) {
+  std::string method = "GET";
+  std::string body;
+  bool have_body = false;
+  std::vector<std::string> headers;
+  int64_t timeout_ms = 10000;
+  bool include = false;
+  std::string url;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(Usage());
+      }
+      return argv[++i];
+    };
+    if (arg == "--method") {
+      method = next("--method");
+    } else if (arg == "--body") {
+      body = next("--body");
+      have_body = true;
+    } else if (arg == "--body-file") {
+      Result<std::string> loaded = ReadFileToString(next("--body-file"));
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+        return 1;
+      }
+      body = std::move(loaded).value();
+      have_body = true;
+    } else if (arg == "--header") {
+      headers.push_back(next("--header"));
+    } else if (arg == "--timeout-ms") {
+      timeout_ms = std::atoll(next("--timeout-ms").c_str());
+      if (timeout_ms <= 0) return Usage();
+    } else if (arg == "--include") {
+      include = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage();
+    } else if (url.empty()) {
+      url = arg;
+    } else {
+      return Usage();
+    }
+  }
+
+  // URL: http://HOST:PORT/PATH — no TLS, no DNS beyond dotted quads, no
+  // default port; the daemon always reports a concrete host:port.
+  const std::string prefix = "http://";
+  if (url.rfind(prefix, 0) != 0) return Usage();
+  const std::string rest = url.substr(prefix.size());
+  const size_t slash = rest.find('/');
+  const std::string host_port =
+      slash == std::string::npos ? rest : rest.substr(0, slash);
+  const std::string path =
+      slash == std::string::npos ? "/" : rest.substr(slash);
+  const size_t colon = host_port.rfind(':');
+  if (colon == std::string::npos) return Usage();
+  const std::string host = host_port.substr(0, colon);
+  const int port = std::atoi(host_port.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) return Usage();
+
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  struct timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = static_cast<int>(timeout_ms % 1000) * 1000;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    std::fprintf(stderr, "error: bad host '%s' (dotted quad required)\n",
+                 host.c_str());
+    close(fd);
+    return 1;
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::perror("connect");
+    close(fd);
+    return 1;
+  }
+
+  std::string request = method + " " + path + " HTTP/1.1\r\n";
+  for (const std::string& header : headers) request += header + "\r\n";
+  if (have_body || method == "POST") {
+    request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  request += "\r\n" + body;
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      std::perror("send");
+      close(fd);
+      return 1;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  shutdown(fd, SHUT_WR);  // one request per connection, like the server
+
+  std::string response;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      std::perror("recv");
+      close(fd);
+      return 1;
+    }
+    if (n == 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  close(fd);
+
+  // "HTTP/1.1 NNN ..." — anything shorter is a torn response.
+  if (response.size() < 12 || response.compare(0, 5, "HTTP/") != 0) {
+    std::fprintf(stderr, "error: malformed response\n");
+    return 1;
+  }
+  const int status = std::atoi(response.c_str() + 9);
+  const size_t split = response.find("\r\n\r\n");
+  const std::string out =
+      include ? response
+              : (split == std::string::npos ? std::string()
+                                            : response.substr(split + 4));
+  std::fwrite(out.data(), 1, out.size(), stdout);
+  if (status / 100 == 2) return 0;
+  std::fprintf(stderr, "templex_http: HTTP %d\n", status);
+  return 3;
+}
+
+}  // namespace templex
+
+int main(int argc, char** argv) { return templex::HttpMain(argc, argv); }
